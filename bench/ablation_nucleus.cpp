@@ -1,0 +1,95 @@
+// ABLATION — The design-knob study the paper's conclusion sketches: "a
+// dense nucleus graph reduces the diameter and average distance, a strong
+// set of super-generators enhances the embedding capability, ... and their
+// combined effect determines the algorithmic properties."
+//
+// Holds the architecture fixed (l = 3 cyclic-shift network, one nucleus
+// per 16-node-or-less module) and swaps the nucleus / super-generator set,
+// measuring everything exactly on the explicit networks.
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "cluster/imetrics.hpp"
+#include "cluster/partitions.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "ipg/schedule.hpp"
+#include "topo/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ipg;
+
+namespace {
+
+Table table({"variant", "N", "deg", "diam", "avg dist", "I-deg", "I-diam",
+             "DD", "II", "diam/LB"});
+
+void measure(const SuperIPSpec& spec) {
+  const IPGraph g = build_super_ip_graph(spec);
+  const TopologyProfile p = profile(g.graph);
+  const Clustering c = cluster_by_nucleus(g, spec.m);
+  const IMetrics im = i_metrics(g.graph, c);
+  table.add_row(
+      {spec.name, Table::num(p.nodes), Table::num(std::uint64_t{p.degree}),
+       Table::num(std::uint64_t{p.diameter}), Table::fixed(p.average_distance, 2),
+       Table::fixed(im.i_degree, 2), Table::num(std::uint64_t{im.i_diameter}),
+       Table::fixed(static_cast<double>(p.degree) * p.diameter, 0),
+       Table::fixed(im.i_degree * im.i_diameter, 1),
+       Table::fixed(diameter_optimality_factor(p.nodes, p.degree, p.diameter), 2)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "ABLATION: nucleus and super-generator choice at fixed "
+               "l = 3, modules <= 16 nodes\n\n";
+
+  std::cout << "-- nucleus sweep (ring-CN generators) --\n";
+  measure(make_ring_cn(3, hypercube_nucleus(4)));           // sparse: Q4
+  measure(make_ring_cn(3, folded_hypercube_nucleus(4)));    // denser: FQ4
+  measure(make_ring_cn(3, generalized_hypercube_nucleus(
+                              std::vector<int>{4, 4})));    // dense: GH(4,4)
+  measure(make_ring_cn(3, complete_nucleus(16)));           // densest: K16
+  measure(make_ring_cn(3, kary_ncube_nucleus(4, 2)));       // torus 4x4
+  measure(make_ring_cn(3, star_nucleus(3)));                // tiny star
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nReading (paper, Conclusion): a denser nucleus cuts "
+               "diameter and average distance at the price of node degree; "
+               "I-degree and I-diameter depend only on the "
+               "super-generators, so the II-cost column is flat across "
+               "the nucleus sweep.\n\n";
+
+  Table t2({"variant", "N", "deg", "diam", "t", "I-deg", "I-diam", "II"});
+  // l = 5 over a small nucleus: here the generator sets separate — ring
+  // shifts keep I-degree 2 while transpositions/flips/all-shifts pay l-1.
+  const IPGraphSpec q2 = hypercube_nucleus(2);
+  for (const auto& [label, spec] :
+       {std::pair<const char*, SuperIPSpec>{"transpositions (HSN)",
+                                            make_hsn(5, q2)},
+        {"ring shifts", make_ring_cn(5, q2)},
+        {"all shifts (complete-CN)", make_complete_cn(5, q2)},
+        {"flips (SFN)", make_super_flip(5, q2)},
+        {"single shift (directed)", make_directed_cn(5, q2)}}) {
+    const IPGraph g = build_super_ip_graph(spec);
+    const TopologyProfile p = profile(g.graph);
+    const Clustering c = cluster_by_nucleus(g, spec.m);
+    const IMetrics im = i_metrics(g.graph, c);
+    t2.add_row({label, Table::num(p.nodes), Table::num(std::uint64_t{p.degree}),
+                Table::num(std::uint64_t{p.diameter}),
+                Table::num(std::int64_t{compute_t(spec)}),
+                Table::fixed(im.i_degree, 2),
+                Table::num(std::uint64_t{im.i_diameter}),
+                Table::fixed(im.i_degree * im.i_diameter, 1)});
+  }
+  std::cout << "-- super-generator sweep (l = 5, Q2 nucleus) --\n\n";
+  t2.print(std::cout);
+  std::cout << "\nReading: every Section 3 generator set realizes t = l-1, "
+               "so diameters tie at l*D_G + (l-1); they differ in "
+               "off-module wiring — ring shifts hold I-degree at 2 (1 for "
+               "the directed variant) while transpositions, flips and "
+               "all-shifts pay ~l-1 = 4 — the paper's rationale for "
+               "fixed-degree cyclic networks (Section 5.3).\n";
+  return 0;
+}

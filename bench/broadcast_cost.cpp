@@ -1,0 +1,64 @@
+// BCAST — Executable check of the paper's algorithmic locality claim
+// (Section 1): "the required data movements when performing many important
+// algorithms on (symmetric) super-IP graphs are largely confined within
+// basic modules". Broadcast is the canonical collective: the module-staged
+// algorithm needs exactly (#modules - 1) off-module messages, while the
+// flat BFS-tree broadcast pays off-module for most of its tree edges —
+// and hierarchical networks also keep the flat broadcast's off-module
+// count low because their links are mostly intra-module.
+#include <iostream>
+
+#include "algo/broadcast.hpp"
+#include "cluster/partitions.hpp"
+#include "ipg/families.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus.hpp"
+#include "util/table.hpp"
+
+using namespace ipg;
+
+int main() {
+  std::cout << "BCAST: broadcast cost, flat BFS tree vs module-staged "
+               "(messages crossing modules / rounds)\n\n";
+
+  struct Case {
+    std::string name;
+    Graph g;
+    Clustering c;
+  };
+  std::vector<Case> cases;
+  {
+    const SuperIPSpec s = make_hsn(3, hypercube_nucleus(4));
+    const IPGraph g = build_super_ip_graph(s);
+    cases.push_back({s.name, g.graph, cluster_by_nucleus(g, s.m)});
+  }
+  {
+    const SuperIPSpec s = make_ring_cn(3, hypercube_nucleus(4));
+    const IPGraph g = build_super_ip_graph(s);
+    cases.push_back({s.name, g.graph, cluster_by_nucleus(g, s.m)});
+  }
+  cases.push_back({"hypercube Q12", topo::hypercube(12),
+                   cluster_hypercube(12, 4)});
+  cases.push_back({"2-D torus 64x64", topo::torus2d(64, 64),
+                   cluster_torus2d(64, 64, 4, 4)});
+
+  Table t({"network", "N", "modules", "flat off-msgs", "staged off-msgs",
+           "flat rounds", "staged rounds"});
+  for (const auto& c : cases) {
+    const auto flat = algo::flat_broadcast(c.g, 0, &c.c);
+    const auto staged = algo::staged_broadcast(c.g, c.c, 0);
+    t.add_row({c.name, Table::num(std::uint64_t{c.g.num_nodes()}),
+               Table::num(std::uint64_t{c.c.num_modules}),
+               Table::num(flat.off_module_messages),
+               Table::num(staged.off_module_messages),
+               Table::num(std::int64_t{flat.rounds}),
+               Table::num(std::int64_t{staged.rounds})});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: staged broadcast always hits the floor of "
+               "modules-1 off-module messages; on super-IP graphs even the "
+               "flat tree stays near that floor (their off-module links "
+               "are scarce by design), while the hypercube's flat tree "
+               "crosses modules for most sends.\n";
+  return 0;
+}

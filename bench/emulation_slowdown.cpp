@@ -1,0 +1,76 @@
+// EMU — Measures the *actual* slowdown of running a normal hypercube
+// algorithm on an HSN, end to end on the discrete-event simulator
+// (Section 1: emulation "with asymptotically optimal slowdown").
+//
+// A normal algorithm is a sequence of dimension rounds: in round j every
+// node exchanges a message with its dimension-j neighbor. We synthesize
+// each round as a packet batch, run it on (a) the native hypercube
+// Q_{l*n} and (b) HSN(l, Q_n) under the bit-block embedding, and compare
+// total makespans. The static analysis (algo/emulation.hpp) bounds the
+// ratio by dilation x congestion; the measured ratio lands well under it.
+#include <iostream>
+
+#include "algo/emulation.hpp"
+#include "ipg/families.hpp"
+#include "route/embedding.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ipg;
+
+namespace {
+
+/// Total makespan of running all l*n dimension rounds, one batch per
+/// round, on `net` with node map `phi` (identity for the native run).
+double run_rounds(const sim::SimNetwork& net, int dims,
+                  const std::vector<Node>& phi) {
+  double total = 0.0;
+  const std::uint64_t guests = std::uint64_t{1} << dims;
+  for (int j = 0; j < dims; ++j) {
+    std::vector<sim::Packet> round;
+    round.reserve(guests);
+    for (std::uint64_t g = 0; g < guests; ++g) {
+      const std::uint64_t partner = g ^ (std::uint64_t{1} << j);
+      round.push_back(sim::Packet{phi[g], phi[partner], 0.0});
+    }
+    total += simulate(net, round).makespan;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EMU: measured slowdown of normal hypercube algorithms on "
+               "HSN(l, Q_n) (Section 1's emulation claim)\n\n";
+  Table t({"host", "guest", "native makespan", "HSN makespan", "slowdown",
+           "static bound"});
+
+  for (const auto& [l, n] : {std::pair{2, 3}, {2, 4}, {3, 2}, {3, 3}}) {
+    const int dims = l * n;
+    const Graph guest = topo::hypercube(dims);
+    const IPGraph hsn = build_super_ip_graph(make_hsn(l, hypercube_nucleus(n)));
+    const auto phi = hsn_hypercube_embedding(hsn, l, n);
+    std::vector<Node> identity(guest.num_nodes());
+    for (Node u = 0; u < guest.num_nodes(); ++u) identity[u] = u;
+
+    const sim::SimNetwork native(guest, sim::LinkTiming{1.0, 1.0});
+    const sim::SimNetwork host(hsn.graph, sim::LinkTiming{1.0, 1.0});
+    const double base = run_rounds(native, dims, identity);
+    const double emu = run_rounds(host, dims, phi);
+    const auto stats = algo::emulate_hypercube_rounds(hsn, l, n);
+
+    t.add_row({"HSN(" + std::to_string(l) + ",Q" + std::to_string(n) + ")",
+               "Q" + std::to_string(dims), Table::fixed(base, 1),
+               Table::fixed(emu, 1), Table::fixed(emu / base, 2),
+               Table::num(std::uint64_t{stats.slowdown_bound()})});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: a degree-(n + l - 1) HSN runs any normal "
+               "algorithm of the degree-(l*n) hypercube within a small "
+               "constant factor — the measured ratio sits well below the "
+               "dilation x congestion bound.\n";
+  return 0;
+}

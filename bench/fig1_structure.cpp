@@ -1,0 +1,65 @@
+// FIG1 — Reproduces Fig. 1 of the paper: the structure and radix-4 node
+// ranking of HSN(2, Q2) = HCN(2,2) without diameter links (16 nodes) and
+// HSN(3, Q2) (64 nodes). Prints node/edge inventories, the per-cluster
+// layout, and the adjacency of every node by rank.
+#include <iostream>
+
+#include "cluster/imetrics.hpp"
+#include "cluster/partitions.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "ipg/ranking.hpp"
+#include "topo/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ipg;
+
+namespace {
+
+void describe(const SuperIPSpec& spec) {
+  const IPGraph g = build_super_ip_graph(spec);
+  const SuperRanking ranking(spec);
+  const TopologyProfile p = profile(g.graph);
+  const Clustering c = cluster_by_nucleus(g, spec.m);
+
+  std::cout << "== " << spec.name << " ==\n";
+  std::cout << "nodes " << p.nodes << "  links " << p.links << "  degree "
+            << p.degree << "  diameter " << p.diameter << "  avg-distance "
+            << Table::fixed(p.average_distance, 3) << "\n";
+  std::cout << "clusters " << c.num_modules << " x " << c.max_module_size()
+            << " nodes (one nucleus per cluster)\n";
+  std::cout << "generators:";
+  for (const auto& gen : spec.to_ip_spec().generators) {
+    std::cout << ' ' << gen.name;
+  }
+  std::cout << "\nseed " << label_to_string_grouped(spec.seed, spec.m)
+            << "  (rank " << ranking.radix_string(spec.seed) << ")\n";
+
+  // Adjacency by radix-M rank, sorted by rank as in the figure.
+  std::vector<Node> by_rank(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    by_rank[ranking.rank(g.labels[u])] = u;
+  }
+  Table t({"rank", "label", "neighbors (by rank)"});
+  for (std::uint64_t r = 0; r < g.num_nodes(); ++r) {
+    const Node u = by_rank[r];
+    std::string nbs;
+    for (const Node v : g.graph.neighbors(u)) {
+      if (!nbs.empty()) nbs += ' ';
+      nbs += ranking.radix_string(g.labels[v]);
+    }
+    t.add_row({ranking.radix_string(g.labels[u]),
+               label_to_string_grouped(g.labels[u], spec.m), nbs});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "FIG1: structures of HSN(l, Q2), l = 2, 3 (paper Fig. 1)\n\n";
+  describe(make_hcn(2));
+  describe(make_hsn(3, hypercube_nucleus(2)));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// FIG2 — Reproduces Fig. 2: DD-cost (node degree x network diameter) vs
+// network size for the paper's comparison set. All points come from the
+// closed forms in src/analysis (validated against BFS in the test suite);
+// the paper's qualitative claims to check are:
+//   * cyclic-shift networks have DD-cost comparable to the star graph;
+//   * both beat hypercubes, folded hypercubes, tori and CCC, increasingly
+//     so at large sizes.
+#include <iostream>
+
+#include "analysis/avg_distance.hpp"
+#include "analysis/cost_model.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "topo/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ipg;
+
+namespace {
+
+void emit(Table& t, const std::vector<CostPoint>& series) {
+  for (const auto& p : series) {
+    t.add_row({p.family, Table::num(p.nodes), Table::fixed(p.log2_nodes(), 1),
+               Table::fixed(p.degree, 0), Table::num(std::uint64_t{p.diameter}),
+               Table::fixed(p.dd_cost(), 0)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "FIG2: DD-cost = degree * diameter vs network size "
+               "(paper Fig. 2)\n\n";
+  Table t({"family", "N", "log2(N)", "degree", "diameter", "DD-cost"});
+
+  emit(t, sweep_hypercube(4, 24, 4));
+  // Folded hypercubes: degree n+1, diameter ceil(n/2).
+  {
+    std::vector<CostPoint> fq;
+    for (int n = 4; n <= 24; n += 2) {
+      fq.push_back(cost_point(folded_hypercube_nums(n), 0, 0));
+    }
+    emit(t, fq);
+  }
+  emit(t, sweep_star(4, 12, 3));
+  emit(t, sweep_torus2d({4, 8, 16, 32, 64, 128, 256, 512, 1024}, 4, 4));
+  emit(t, sweep_ccc(3, 18));
+  emit(t, sweep_de_bruijn(6, 24, 4));
+  emit(t, sweep_hsn(2, 7, hypercube_nums(4)));
+  emit(t, sweep_complete_cn(2, 7, hypercube_nums(4)));
+  emit(t, sweep_ring_cn(2, 7, hypercube_nums(4)));
+  emit(t, sweep_ring_cn(2, 7, folded_hypercube_nums(4)));
+  emit(t, sweep_ring_cn(2, 8, petersen_nums()));
+
+  t.print(std::cout);
+
+  // Companion table: degree x average distance, the second figure of
+  // merit Section 5.1 names ("diameter and average distance ... crucial
+  // for network performance under heavy load"). Closed forms where exact,
+  // all-pairs BFS for the hierarchical families (marked 'measured').
+  std::cout << "\nDA-cost = degree * average distance (Section 5.1 "
+               "companion):\n\n";
+  Table da({"family", "N", "degree", "avg distance", "DA-cost", "source"});
+  auto da_row = [&](const std::string& name, std::uint64_t nodes, double degree,
+                    double avg, const char* source) {
+    da.add_row({name, Table::num(nodes), Table::fixed(degree, 0),
+                Table::fixed(avg, 3), Table::fixed(degree * avg, 1), source});
+  };
+  for (int n = 8; n <= 20; n += 4) {
+    da_row("Q" + std::to_string(n), std::uint64_t{1} << n, n,
+           hypercube_avg_distance(n), "closed form");
+  }
+  for (int n = 7; n <= 11; n += 2) {
+    da_row(star_nums(n).name, star_nums(n).nodes, n - 1.0,
+           star_avg_distance(n), "closed form");
+  }
+  for (int s = 32; s <= 512; s *= 4) {
+    da_row("torus " + std::to_string(s) + "x" + std::to_string(s),
+           static_cast<std::uint64_t>(s) * s, 4.0, torus2d_avg_distance(s, s),
+           "closed form");
+  }
+  for (int l = 2; l <= 3; ++l) {
+    for (const auto& spec : {make_hsn(l, hypercube_nucleus(4)),
+                             make_ring_cn(l, hypercube_nucleus(4))}) {
+      const auto p = profile(build_super_ip_graph(spec).graph);
+      da_row(spec.name, p.nodes, p.degree, p.average_distance, "measured");
+    }
+  }
+  da.print(std::cout);
+
+  // Headline checks at ~2^20 nodes.
+  const auto cn20 = sweep_ring_cn(5, 5, hypercube_nums(4)).front();
+  const auto q20 = sweep_hypercube(20, 20, 4).front();
+  const auto star9 = sweep_star(9, 9, 3).front();  // 362880 ~ 2^18.5
+  std::cout << "\ncheck @ ~1M nodes: ring-CN(5,Q4) DD = " << cn20.dd_cost()
+            << "  vs hypercube Q20 DD = " << q20.dd_cost()
+            << "  (star S9 DD = " << star9.dd_cost() << " at 2^18.5)\n";
+  std::cout << (cn20.dd_cost() < q20.dd_cost() ? "PASS" : "FAIL")
+            << ": cyclic-shift networks beat the hypercube on DD-cost\n";
+  return 0;
+}

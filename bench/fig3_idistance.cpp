@@ -1,0 +1,121 @@
+// FIG3 — Reproduces Fig. 3: (a) average inter-cluster distance and
+// (b) inter-cluster diameter vs log2(network size), with at most 24
+// processors per module. Module assignments follow the paper: one nucleus
+// per module where the nucleus fits (HSN/CN over Q4), 4-cube sub-modules
+// where it does not (hypercube, HCN(n,n)), and Q3-merged nuclei for the
+// quotient network QCN(l; Q7/Q3).
+//
+// I-distances are computed on contracted module graphs: exactly (all-pairs
+// BFS) up to 8192 modules, by 128-source sampling beyond (marked '~').
+// Qualitative claims to check: hierarchical networks need far fewer
+// off-module hops than hypercubes of equal size, with HSN/CN flattest.
+#include <cmath>
+#include <iostream>
+
+#include "cluster/imetrics.hpp"
+#include "cluster/partitions.hpp"
+#include "ipg/families.hpp"
+#include "util/table.hpp"
+
+using namespace ipg;
+
+namespace {
+
+struct Row {
+  std::string family;
+  double log2_nodes;
+  double avg_i;
+  Dist i_diam;
+  bool exact;
+};
+
+std::vector<Row> rows;
+
+void add_row(std::string family, double log2_nodes, const IDistanceStats& s,
+             bool exact) {
+  rows.push_back(Row{std::move(family), log2_nodes, s.avg_i_distance,
+                     s.i_diameter, exact});
+}
+
+IDistanceStats stats_for(const Graph& module_graph, std::uint32_t module_size,
+                         bool* exact) {
+  const std::vector<std::uint32_t> sizes(module_graph.num_nodes(), module_size);
+  *exact = module_graph.num_nodes() <= 8192;
+  if (*exact) return i_distance_stats(module_graph, sizes);
+  return i_distance_stats_sampled(module_graph, sizes, 128, /*seed=*/2024);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "FIG3: average I-distance (a) and I-diameter (b) vs log2(N), "
+               "<= 24 nodes per module (paper Fig. 3)\n\n";
+
+  // Hypercube with 4-cube modules: module graph is Q_(n-4) (closed form,
+  // validated in tests): avg = (n-4)/2 * N/(N-1), I-diameter = n-4.
+  for (int n = 8; n <= 24; n += 2) {
+    const double nodes = std::pow(2.0, n);
+    IDistanceStats s;
+    s.avg_i_distance = (n - 4) / 2.0 * nodes / (nodes - 1.0);
+    s.i_diameter = static_cast<Dist>(n - 4);
+    add_row("hypercube", n, s, true);
+  }
+
+  // HCN(n,n) = HSN(2, Q_n) with 4-cube sub-modules.
+  for (int n = 4; n <= 12; ++n) {
+    const Graph mg = hcn_subcube_module_graph(n, std::min(n, 4));
+    bool exact = false;
+    const IDistanceStats s = stats_for(mg, 16, &exact);
+    add_row("HCN(n,n)", 2.0 * n, s, exact);
+  }
+
+  // HSN(l, Q4), one nucleus per module: Hamming module graph H(l-1, 16)
+  // (closed form, validated in tests).
+  for (int l = 2; l <= 6; ++l) {
+    const double nodes = std::pow(16.0, l);
+    IDistanceStats s;
+    s.avg_i_distance = (l - 1) * (1.0 - 1.0 / 16.0) * nodes / (nodes - 1.0);
+    s.i_diameter = static_cast<Dist>(l - 1);
+    add_row("HSN(l,Q4)", 4.0 * l, s, true);
+  }
+
+  // ring-CN(l, Q4), one nucleus per module.
+  for (int l = 2; l <= 5; ++l) {
+    const auto gens = ring_shift_super_gens(l);
+    const Graph mg = super_module_graph(16, l, gens);
+    bool exact = false;
+    const IDistanceStats s = stats_for(mg, 16, &exact);
+    add_row("ring-CN(l,Q4)", 4.0 * l, s, exact);
+  }
+
+  // QCN(l; Q7/Q3): physically 16 * 128^(l-1) nodes; I-metrics equal the
+  // unmerged CN(l, Q7)'s (merging acts inside modules; tested).
+  for (int l = 2; l <= 3; ++l) {
+    const auto gens = ring_shift_super_gens(l);
+    const Graph mg = super_module_graph(128, l, gens);
+    bool exact = false;
+    const IDistanceStats s = stats_for(mg, 16, &exact);
+    add_row("QCN(l,Q7/Q3)", 4.0 + 7.0 * (l - 1), s, exact);
+  }
+
+  Table a({"family", "log2(N)", "avg I-distance", "I-diameter", "mode"});
+  for (const auto& r : rows) {
+    a.add_row({r.family, Table::fixed(r.log2_nodes, 1), Table::fixed(r.avg_i, 3),
+               Table::num(std::uint64_t{r.i_diam}), r.exact ? "exact" : "~sampled"});
+  }
+  a.print(std::cout);
+
+  // Headline check at ~2^20: hypercube needs ~8 off-module hops on
+  // average, HSN(5,Q4)/ring-CN(5,Q4) need ~4 or fewer.
+  double cube20 = 0, hsn20 = 0;
+  for (const auto& r : rows) {
+    if (r.family == "hypercube" && r.log2_nodes == 20) cube20 = r.avg_i;
+    if (r.family == "HSN(l,Q4)" && r.log2_nodes == 20) hsn20 = r.avg_i;
+  }
+  std::cout << "\ncheck @ 2^20 nodes: hypercube avg I-distance = "
+            << Table::fixed(cube20, 2) << ", HSN(5,Q4) = "
+            << Table::fixed(hsn20, 2) << '\n'
+            << (hsn20 < cube20 ? "PASS" : "FAIL")
+            << ": hierarchical networks cut off-module traffic\n";
+  return 0;
+}

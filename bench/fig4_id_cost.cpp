@@ -1,0 +1,61 @@
+// FIG4 — Reproduces Fig. 4: ID-cost (inter-cluster degree x diameter) vs
+// network size, with at most 16 nodes per cluster. Under the paper's
+// packet-switched model with fixed per-module off-chip capacity, light-load
+// latency is proportional to ID-cost. Claim to check: cyclic-shift
+// networks have considerably smaller ID-cost than hypercubes, star graphs
+// and tori at every scale.
+#include <iostream>
+
+#include "analysis/cost_model.hpp"
+#include "util/table.hpp"
+
+using namespace ipg;
+
+namespace {
+
+void emit(Table& t, const std::vector<CostPoint>& series) {
+  for (const auto& p : series) {
+    t.add_row({p.family, Table::num(p.nodes), Table::fixed(p.log2_nodes(), 1),
+               Table::fixed(p.i_degree, 2), Table::num(std::uint64_t{p.diameter}),
+               Table::fixed(p.id_cost(), 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "FIG4: ID-cost = I-degree * diameter vs network size, "
+               "<= 16 nodes per module (paper Fig. 4)\n\n";
+  Table t({"family", "N", "log2(N)", "I-degree", "diameter", "ID-cost"});
+
+  emit(t, sweep_hypercube(8, 24, 4));  // 4-cube modules
+  // Star graph with 3-star (6-node) modules; I-degree = n - 3 measured
+  // (see table_idegree). Diameter from the closed form.
+  {
+    std::vector<CostPoint> star;
+    for (int n = 5; n <= 12; ++n) {
+      star.push_back(cost_point(star_nums(n), n - 3.0, 0));
+    }
+    emit(t, star);
+  }
+  emit(t, sweep_torus2d({8, 16, 32, 64, 128, 256, 512, 1024}, 4, 4));
+  emit(t, sweep_complete_cn(2, 7, hypercube_nums(4)));
+  emit(t, sweep_complete_cn(2, 7, folded_hypercube_nums(4)));
+  emit(t, sweep_ring_cn(2, 7, hypercube_nums(4)));
+  emit(t, sweep_ring_cn(2, 7, folded_hypercube_nums(4)));
+  emit(t, sweep_hsn(2, 7, hypercube_nums(4)));
+
+  t.print(std::cout);
+
+  const auto cn = sweep_ring_cn(5, 5, hypercube_nums(4)).front();   // 2^20
+  const auto hc = sweep_hypercube(20, 20, 4).front();               // 2^20
+  const auto torus = sweep_torus2d({1024}, 4, 4).front();           // 2^20
+  std::cout << "\ncheck @ 2^20 nodes: ring-CN(5,Q4) ID = " << cn.id_cost()
+            << "  hypercube ID = " << hc.id_cost() << "  2-D torus ID = "
+            << torus.id_cost() << '\n'
+            << (cn.id_cost() < hc.id_cost() && cn.id_cost() < torus.id_cost()
+                    ? "PASS"
+                    : "FAIL")
+            << ": cyclic-shift networks minimize ID-cost\n";
+  return 0;
+}

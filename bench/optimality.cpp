@@ -1,0 +1,71 @@
+// THM-OPT — Theorem 4.4: with a diameter-optimal nucleus (generalized
+// hypercube) and d_S = d_N^(1+o(1)), super-IP graph diameters sit within a
+// small constant of the universal degree/diameter (Moore) lower bound, and
+// the factor shrinks as the networks grow. Prints the optimality factor
+// (diameter / Moore bound) across families and scales; classical networks
+// are shown for contrast.
+#include <iostream>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/cost_model.hpp"
+#include "util/table.hpp"
+
+using namespace ipg;
+
+namespace {
+
+Table table({"network", "N", "degree", "diameter", "Moore LB", "factor"});
+
+void row(const std::string& name, std::uint64_t nodes, std::uint32_t degree,
+         std::uint32_t diameter) {
+  const std::uint32_t lb = moore_diameter_lower_bound(nodes, degree);
+  table.add_row({name, Table::num(nodes), Table::num(std::uint64_t{degree}),
+                 Table::num(std::uint64_t{diameter}),
+                 Table::num(std::uint64_t{lb}),
+                 Table::fixed(diameter_optimality_factor(nodes, degree, diameter), 2)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "THM-OPT: diameter optimality factor vs the degree/diameter "
+               "lower bound (Theorem 4.4)\n\n";
+
+  // Super-IP graphs over a dense generalized-hypercube nucleus.
+  const std::vector<int> radices{8, 8};
+  const TopoNums gh = generalized_hypercube_nums(radices);  // 64 nodes, deg 14, D 2
+  for (const int l : {2, 3, 4, 6, 8}) {
+    const SuperNums s = complete_cn_nums(l, gh);
+    row(s.name, s.nodes, s.degree, s.diameter);
+  }
+  // Same nucleus, HSN generators.
+  for (const int l : {2, 4, 8}) {
+    const SuperNums s = hsn_nums(l, gh);
+    row(s.name, s.nodes, s.degree, s.diameter);
+  }
+  // Cheap-nucleus variant (Q4) for contrast: sparser nucleus, looser factor.
+  for (const int l : {3, 5, 7}) {
+    const SuperNums s = ring_cn_nums(l, hypercube_nums(4));
+    row(s.name, s.nodes, s.degree, s.diameter);
+  }
+  // Classical comparators.
+  for (const int n : {10, 16, 20}) {
+    const TopoNums q = hypercube_nums(n);
+    row(q.name, q.nodes, q.degree, q.diameter);
+  }
+  for (const int n : {7, 9, 11}) {
+    const TopoNums s = star_nums(n);
+    row(s.name, s.nodes, s.degree, s.diameter);
+  }
+  {
+    const TopoNums p = petersen_nums();  // the Moore graph itself
+    row(p.name, p.nodes, p.degree, p.diameter);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading: GH-nucleus super-IP graphs hold a factor ~2-3 at "
+               "every scale, hypercubes drift beyond 4x; Petersen sits at "
+               "exactly 1.0.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// PERF — Engineering throughput of the core primitives (google-benchmark):
+// IP-graph closure, BFS, label routing, module-graph construction, and the
+// discrete-event simulator.
+#include <benchmark/benchmark.h>
+
+#include "cluster/imetrics.hpp"
+#include "cluster/partitions.hpp"
+#include "graph/bfs.hpp"
+#include "ipg/families.hpp"
+#include "route/super_ip_routing.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/hypercube.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace ipg;
+
+void BM_BuildIpGraphHsn(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  const SuperIPSpec spec = make_hsn(l, hypercube_nucleus(3));
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const IPGraph g = build_super_ip_graph(spec);
+    nodes = g.num_nodes();
+    benchmark::DoNotOptimize(g.graph.num_arcs());
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_BuildIpGraphHsn)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_BuildHypercubeExplicit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const Graph g = topo::hypercube(n);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                          << n);
+}
+BENCHMARK(BM_BuildHypercubeExplicit)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_BfsSweep(benchmark::State& state) {
+  const Graph g = topo::hypercube(static_cast<int>(state.range(0)));
+  BfsScratch scratch(g.num_nodes());
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const Node src = static_cast<Node>(rng.below(g.num_nodes()));
+    benchmark::DoNotOptimize(scratch.run(g, src).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_BfsSweep)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_RouteSuperIp(benchmark::State& state) {
+  // Label-level routing never touches the explicit graph: route in a
+  // million-node HSN(5, Q4) directly.
+  const SuperIPSpec spec = make_hsn(static_cast<int>(state.range(0)),
+                                    hypercube_nucleus(4));
+  const IPGraphSpec lifted = spec.to_ip_spec();
+  Xoshiro256 rng(7);
+  // Random destination labels: scramble the seed by random generator walks.
+  Label dst = spec.seed;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 24; ++k) {
+      const auto& gen = lifted.generators[rng.below(lifted.generators.size())];
+      dst = gen.perm.apply(dst);
+    }
+    const GenPath p = route_super_ip(spec, spec.seed, dst);
+    hops += static_cast<std::uint64_t>(p.length());
+    benchmark::DoNotOptimize(p.gens.data());
+  }
+  state.counters["avg_hops"] =
+      state.iterations() ? static_cast<double>(hops) /
+                               static_cast<double>(state.iterations())
+                         : 0.0;
+}
+BENCHMARK(BM_RouteSuperIp)->Arg(3)->Arg(5);
+
+void BM_ModuleGraph(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  const auto gens = ring_shift_super_gens(l);
+  for (auto _ : state) {
+    const Graph mg = super_module_graph(16, l, gens);
+    benchmark::DoNotOptimize(mg.num_arcs());
+  }
+}
+BENCHMARK(BM_ModuleGraph)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_SimulateUniformTraffic(benchmark::State& state) {
+  const Graph g = topo::hypercube(static_cast<int>(state.range(0)));
+  const sim::SimNetwork net(g, sim::LinkTiming{1.0, 2.0},
+                            cluster_hypercube(static_cast<int>(state.range(0)), 3));
+  const auto packets =
+      sim::uniform_traffic(g.num_nodes(), 0.2 * g.num_nodes(), 100.0, 5);
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    const auto r = simulate(net, packets);
+    delivered = r.delivered;
+    benchmark::DoNotOptimize(r.latency.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_SimulateUniformTraffic)->Arg(6)->Arg(8)->Arg(10);
+
+}  // namespace

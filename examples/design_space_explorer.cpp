@@ -1,0 +1,72 @@
+// Design-space explorer: the engineering workflow the paper motivates in
+// its conclusion — pick a nucleus, a super-generator set and a level count
+// to balance DD-, ID- and II-cost under packaging constraints.
+//
+// Given a target machine size and a per-module node budget, sweeps the
+// library's families and prints the frontier, ranked by II-cost (the
+// figure of merit when off-module bandwidth dominates).
+//
+//   $ ./design_space_explorer
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "analysis/cost_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ipg;
+
+  const double target_log2 = 20.0;  // ~1M processors
+  const double tolerance = 3.0;     // accept 2^17 .. 2^23
+  std::cout << "Design goal: ~2^" << target_log2
+            << " processors, <= 16 nodes per module\n\n";
+
+  std::vector<CostPoint> candidates;
+  auto consider = [&](const std::vector<CostPoint>& sweep) {
+    for (const auto& p : sweep) {
+      if (std::abs(p.log2_nodes() - target_log2) <= tolerance) {
+        candidates.push_back(p);
+      }
+    }
+  };
+
+  consider(sweep_hypercube(8, 24, 4));
+  consider(sweep_torus2d({256, 512, 1024, 2048}, 4, 4));
+  consider(sweep_hsn(2, 8, hypercube_nums(4)));
+  consider(sweep_ring_cn(2, 8, hypercube_nums(4)));
+  consider(sweep_ring_cn(2, 8, folded_hypercube_nums(4)));
+  consider(sweep_complete_cn(2, 8, hypercube_nums(4)));
+  consider(sweep_super_flip(2, 8, hypercube_nums(4)));
+  consider(sweep_ring_cn(2, 8, generalized_hypercube_nums(
+                                   std::vector<int>{4, 4})));
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CostPoint& a, const CostPoint& b) {
+              return a.ii_cost() < b.ii_cost();
+            });
+
+  Table t({"rank", "family", "log2(N)", "degree", "diameter", "DD", "ID",
+           "II", "diam/LB"});
+  int rank = 1;
+  for (const auto& p : candidates) {
+    t.add_row({Table::num(std::int64_t{rank++}), p.family,
+               Table::fixed(p.log2_nodes(), 1), Table::fixed(p.degree, 0),
+               Table::num(std::uint64_t{p.diameter}),
+               Table::fixed(p.dd_cost(), 0), Table::fixed(p.id_cost(), 1),
+               Table::fixed(p.ii_cost(), 1),
+               Table::fixed(diameter_optimality_factor(
+                                p.nodes, static_cast<std::uint32_t>(p.degree),
+                                p.diameter),
+                            2)});
+  }
+  t.print(std::cout);
+
+  if (!candidates.empty()) {
+    std::cout << "\nRecommendation: " << candidates.front().family
+              << " — lowest II-cost at the target scale; every message "
+                 "crosses modules at most "
+              << candidates.front().i_diameter << " time(s).\n";
+  }
+  return 0;
+}

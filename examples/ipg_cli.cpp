@@ -1,0 +1,167 @@
+// ipg_cli: command-line network explorer.
+//
+// Build any super-IP family over any library nucleus and print its
+// topology, schedule and packaging metrics — or dump it as Graphviz DOT.
+//
+//   ipg_cli <family> <l> <nucleus> [--symmetric] [--dot] [--no-metrics]
+//
+//   family   hsn | ring | complete | directed | flip
+//   nucleus  qN (hypercube) | fqN (folded) | sN (star) | pN (pancake)
+//            | bN (bubble-sort) | kN (complete) | cN (cycle)
+//            | ghR1xR2[x...] (generalized hypercube) | karyKxN (torus)
+//
+// Examples:
+//   ipg_cli hsn 2 q3            # HCN(3,3) without diameter links
+//   ipg_cli ring 3 gh4x4 --symmetric
+//   ipg_cli flip 3 q2 --dot > sfn.dot
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "cluster/imetrics.hpp"
+#include "cluster/partitions.hpp"
+#include "graph/dot.hpp"
+#include "graph/metrics.hpp"
+#include "graph/symmetry.hpp"
+#include "ipg/families.hpp"
+#include "ipg/schedule.hpp"
+#include "ipg/symmetric.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg;
+
+void usage() {
+  std::cerr
+      << "usage: ipg_cli <family> <l> <nucleus> [--symmetric] [--dot]\n"
+         "  family:  hsn | ring | complete | directed | flip\n"
+         "  nucleus: qN fqN sN pN bN kN cN ghR1xR2[x..] karyKxN\n"
+         "example: ipg_cli hsn 2 q3\n";
+}
+
+/// Parses "3x4x5" style dimension lists.
+std::vector<int> parse_dims(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('x', pos);
+    out.push_back(std::stoi(s.substr(pos, next - pos)));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+IPGraphSpec parse_nucleus(const std::string& s) {
+  if (s.rfind("rot", 0) == 0) return rotator_nucleus(std::stoi(s.substr(3)));
+  if (s.rfind("fq", 0) == 0) return folded_hypercube_nucleus(std::stoi(s.substr(2)));
+  if (s.rfind("gh", 0) == 0) {
+    const auto dims = parse_dims(s.substr(2));
+    return generalized_hypercube_nucleus(dims);
+  }
+  if (s.rfind("kary", 0) == 0) {
+    const auto dims = parse_dims(s.substr(4));
+    if (dims.size() != 2) throw std::invalid_argument("karyKxN expects two numbers");
+    return kary_ncube_nucleus(dims[0], dims[1]);
+  }
+  const int value = std::stoi(s.substr(1));
+  switch (s[0]) {
+    case 'q': return hypercube_nucleus(value);
+    case 's': return star_nucleus(value);
+    case 'p': return pancake_nucleus(value);
+    case 'b': return bubble_sort_nucleus(value);
+    case 'k': return complete_nucleus(value);
+    case 'c': return cycle_nucleus(value);
+    default: throw std::invalid_argument("unknown nucleus: " + s);
+  }
+}
+
+SuperIPSpec parse_family(const std::string& family, int l,
+                         const IPGraphSpec& nucleus) {
+  if (family == "hsn") return make_hsn(l, nucleus);
+  if (family == "ring") return make_ring_cn(l, nucleus);
+  if (family == "complete") return make_complete_cn(l, nucleus);
+  if (family == "directed") return make_directed_cn(l, nucleus);
+  if (family == "flip") return make_super_flip(l, nucleus);
+  throw std::invalid_argument("unknown family: " + family);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    usage();
+    return argc == 1 ? 0 : 2;
+  }
+  bool symmetric = false, dot = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--symmetric") == 0) {
+      symmetric = true;
+    } else if (std::strcmp(argv[i], "--dot") == 0) {
+      dot = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    const int l = std::stoi(argv[2]);
+    const IPGraphSpec nucleus = parse_nucleus(argv[3]);
+    SuperIPSpec spec = parse_family(argv[1], l, nucleus);
+    const SuperIPSpec base = spec;
+    if (symmetric) spec = make_symmetric(spec);
+
+    const IPGraph net = build_super_ip_graph(spec, /*max_nodes=*/1u << 22);
+
+    if (dot) {
+      DotOptions options;
+      options.graph_name = "net";
+      options.label = [&](Node u) {
+        return label_to_string_grouped(net.labels[u], spec.m);
+      };
+      const Clustering modules = cluster_by_nucleus(net, spec.m);
+      options.modules = &modules;
+      write_dot(std::cout, net.graph, options);
+      return 0;
+    }
+
+    const TopologyProfile p = profile(net.graph);
+    const IPGraph nucleus_graph = build_ip_graph(spec.nucleus_spec());
+    const Dist nucleus_diam = profile(nucleus_graph.graph).diameter;
+    const int t = compute_t(base);
+    const int t_s = compute_t_symmetric(base);
+
+    std::cout << "network        " << spec.name << "\n"
+              << "nodes          " << p.nodes << "\n"
+              << "links          " << p.links
+              << (p.symmetric_digraph ? "" : " (directed arcs)") << "\n"
+              << "degree         " << p.degree << "\n"
+              << "diameter       " << p.diameter << "  (theorem: l*D_G + "
+              << (symmetric ? "t_S" : "t") << " = " << l << "*" << nucleus_diam
+              << " + " << (symmetric ? t_s : t) << ")\n"
+              << "avg distance   " << Table::fixed(p.average_distance) << "\n"
+              << "t / t_S        " << t << " / " << t_s << "\n"
+              << "moore factor   "
+              << Table::fixed(diameter_optimality_factor(p.nodes, p.degree,
+                                                        p.diameter))
+              << "\n"
+              << "vertex-trans.  "
+              << (looks_vertex_transitive(net.graph) ? "yes" : "no") << "\n";
+
+    const Clustering modules = cluster_by_nucleus(net, spec.m);
+    const IMetrics im = i_metrics(net.graph, modules);
+    std::cout << "modules        " << modules.num_modules << " x "
+              << modules.max_module_size() << " nodes\n"
+              << "I-degree       " << Table::fixed(im.i_degree) << "\n"
+              << "I-diameter     " << im.i_diameter << "\n"
+              << "avg I-dist     " << Table::fixed(im.avg_i_distance) << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "algo/broadcast.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "graph/bfs.hpp"
+
+namespace ipg::algo {
+
+BroadcastResult flat_broadcast(const Graph& g, Node root,
+                               const Clustering* modules) {
+  BroadcastResult out;
+  const auto dist = bfs_distances(g, root);
+  // The BFS tree: each reached node other than the root receives exactly
+  // one message, from some predecessor at distance - 1.
+  std::uint64_t reached = 0;
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] == kUnreachable) continue;
+    ++reached;
+    out.rounds = std::max(out.rounds, static_cast<int>(dist[v]));
+  }
+  out.messages = reached - 1;
+  out.covered = reached == g.num_nodes();
+  if (modules != nullptr) {
+    assert(modules->valid(g.num_nodes()));
+    // Count tree edges crossing modules. For symmetric graphs (all our
+    // broadcast subjects) v's parent is its smallest-id neighbor at
+    // distance - 1, mirroring the deterministic BFS-tree broadcast.
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      if (v == root || dist[v] == kUnreachable) continue;
+      for (const Node u : g.neighbors(v)) {
+        if (dist[u] + 1 == dist[v]) {
+          if (modules->module_of[u] != modules->module_of[v]) {
+            ++out.off_module_messages;
+          }
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BroadcastResult staged_broadcast(const Graph& g, const Clustering& modules,
+                                 Node root) {
+  assert(modules.valid(g.num_nodes()));
+  BroadcastResult out;
+
+  // Intra-module BFS from `seed`, returning nodes reached and eccentricity
+  // within the module.
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  std::vector<Node> queue;
+  const auto flood_module = [&](Node seed, std::uint64_t* reached, int* ecc) {
+    queue.clear();
+    queue.push_back(seed);
+    dist[seed] = 0;
+    *reached = 1;
+    *ecc = 0;
+    const std::uint32_t m = modules.module_of[seed];
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Node u = queue[head];
+      for (const Node v : g.neighbors(u)) {
+        if (modules.module_of[v] != m || dist[v] != kUnreachable) continue;
+        dist[v] = dist[u] + 1;
+        *ecc = std::max(*ecc, static_cast<int>(dist[v]));
+        ++*reached;
+        queue.push_back(v);
+      }
+    }
+  };
+
+  // BFS over the module tree, seeding each child module through the first
+  // gateway link discovered from a flooded parent module.
+  struct Stage {
+    Node seed;
+    int seed_time;
+  };
+  std::vector<std::int32_t> module_state(modules.num_modules, -1);  // -1: unseen
+  std::vector<Stage> order;
+  order.push_back(Stage{root, 0});
+  module_state[modules.module_of[root]] = 0;
+  std::uint64_t total_reached = 0;
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Stage stage = order[i];
+    std::uint64_t reached = 0;
+    int ecc = 0;
+    flood_module(stage.seed, &reached, &ecc);
+    total_reached += reached;
+    out.messages += reached - 1;
+    const int done = stage.seed_time + ecc;
+    out.rounds = std::max(out.rounds, done);
+    // Gateways out of this module (members are exactly the flooded nodes —
+    // walk them via the dist array within this flood's queue snapshot).
+    for (const Node u : queue) {
+      for (const Node v : g.neighbors(u)) {
+        const std::uint32_t mv = modules.module_of[v];
+        if (module_state[mv] >= 0) continue;
+        module_state[mv] = done + 1;
+        order.push_back(Stage{v, done + 1});
+        out.messages += 1;
+        out.off_module_messages += 1;
+        out.rounds = std::max(out.rounds, done + 1);
+      }
+    }
+  }
+  out.covered = total_reached == g.num_nodes();
+  return out;
+}
+
+BroadcastResult staged_reduce(const Graph& g, const Clustering& modules,
+                              Node root) {
+  // Every tree edge of the staged broadcast carries exactly one combined
+  // partial value in the opposite direction, level by level, so the
+  // counts coincide on symmetric digraphs.
+  assert(g.is_symmetric());
+  return staged_broadcast(g, modules, root);
+}
+
+}  // namespace ipg::algo

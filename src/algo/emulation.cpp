@@ -1,0 +1,71 @@
+#include "algo/emulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "graph/bfs.hpp"
+#include "route/embedding.hpp"
+
+namespace ipg::algo {
+
+namespace {
+
+/// Shortest host path from s to t as a node sequence (BFS parents).
+std::vector<Node> shortest_path(const Graph& g, Node s, Node t) {
+  std::vector<Node> parent(g.num_nodes(), kInvalidIPNode);
+  std::vector<Node> queue{s};
+  parent[s] = s;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Node u = queue[head];
+    if (u == t) break;
+    for (const Node v : g.neighbors(u)) {
+      if (parent[v] == kInvalidIPNode) {
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  assert(parent[t] != kInvalidIPNode);
+  std::vector<Node> path{t};
+  while (path.back() != s) path.push_back(parent[path.back()]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+EmulationStats emulate_hypercube_rounds(const IPGraph& hsn, int l, int n) {
+  const std::vector<Node> phi = hsn_hypercube_embedding(hsn, l, n);
+  const std::uint64_t guests = phi.size();
+  const int dims = l * n;
+
+  EmulationStats out;
+  std::unordered_map<std::uint64_t, std::uint32_t> arc_use;
+  for (int j = 0; j < dims; ++j) {
+    DimensionCost cost;
+    cost.dimension = j;
+    arc_use.clear();
+    for (std::uint64_t g = 0; g < guests; ++g) {
+      const std::uint64_t partner = g ^ (std::uint64_t{1} << j);
+      if (partner < g) continue;  // one path per unordered exchange pair
+      const auto path = shortest_path(hsn.graph, phi[g], phi[partner]);
+      cost.dilation = std::max(cost.dilation,
+                               static_cast<Dist>(path.size() - 1));
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        // The exchange is bidirectional: both arc directions carry a flit.
+        arc_use[(static_cast<std::uint64_t>(path[i]) << 32) | path[i + 1]]++;
+        arc_use[(static_cast<std::uint64_t>(path[i + 1]) << 32) | path[i]]++;
+      }
+    }
+    for (const auto& [arc, uses] : arc_use) {
+      cost.congestion = std::max(cost.congestion, uses);
+    }
+    out.per_dimension.push_back(cost);
+    out.max_dilation = std::max(out.max_dilation, cost.dilation);
+    out.max_congestion = std::max(out.max_congestion, cost.congestion);
+  }
+  return out;
+}
+
+}  // namespace ipg::algo

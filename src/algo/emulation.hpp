@@ -1,0 +1,46 @@
+#pragma once
+// Hypercube emulation on hierarchical swap networks.
+//
+// Section 1: "suitably constructed super-IP graphs can emulate a
+// corresponding higher-degree network, such as a hypercube, with
+// asymptotically optimal slowdown". This module measures that claim for
+// HSN(l, Q_n): a hypercube algorithm proceeds in dimension rounds, where
+// every node exchanges with its dimension-j neighbor; under the natural
+// bit-block embedding each round becomes a fixed set of host paths. The
+// emulation cost per round is (max path length) x (max link congestion):
+// both stay O(1), so a Q_{l*n} algorithm of R rounds runs in O(R) time.
+
+#include <cstdint>
+#include <vector>
+
+#include "ipg/build.hpp"
+
+namespace ipg::algo {
+
+/// Cost of emulating one hypercube dimension round on the host.
+struct DimensionCost {
+  int dimension = 0;       ///< guest dimension
+  Dist dilation = 0;       ///< longest host path realizing one exchange
+  std::uint32_t congestion = 0;  ///< max host arcs shared across the round
+};
+
+struct EmulationStats {
+  std::vector<DimensionCost> per_dimension;
+  Dist max_dilation = 0;
+  std::uint32_t max_congestion = 0;
+
+  /// Slowdown bound for any normal (dimension-round) hypercube algorithm:
+  /// each guest round costs at most dilation * congestion host rounds.
+  std::uint32_t slowdown_bound() const {
+    return static_cast<std::uint32_t>(max_dilation) * max_congestion;
+  }
+};
+
+/// Measures per-dimension dilation and congestion of emulating Q_{l*n}
+/// dimension exchanges on `hsn = build_super_ip_graph(make_hsn(l,
+/// hypercube_nucleus(n)))` under the natural bit-block embedding
+/// (hsn_hypercube_embedding). Exchange paths are shortest host paths
+/// (BFS); congestion counts directed arc usages per dimension round.
+EmulationStats emulate_hypercube_rounds(const IPGraph& hsn, int l, int n);
+
+}  // namespace ipg::algo

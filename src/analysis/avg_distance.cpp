@@ -1,0 +1,69 @@
+#include "analysis/avg_distance.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "topo/perm_rank.hpp"
+
+namespace ipg {
+
+namespace {
+
+/// Rescales an expectation over independent uniform pairs (which include
+/// u == v at distance 0) to the average over ordered distinct pairs.
+double exclude_self(double expectation, double nodes) {
+  return expectation * nodes / (nodes - 1.0);
+}
+
+/// Sum of distances from one node around a k-cycle.
+double cycle_distance_sum(int k) {
+  return k % 2 == 0 ? k * k / 4.0 : (k * k - 1) / 4.0;
+}
+
+}  // namespace
+
+double hypercube_avg_distance(int n) {
+  return exclude_self(n / 2.0, std::pow(2.0, n));
+}
+
+double cycle_avg_distance(int k) {
+  assert(k >= 3);
+  return cycle_distance_sum(k) / (k - 1.0);
+}
+
+double kary_ncube_avg_distance(int k, int n) {
+  assert(k >= 2 && n >= 1);
+  const double per_coord = cycle_distance_sum(k) / k;
+  return exclude_self(n * per_coord, std::pow(k, n));
+}
+
+double torus2d_avg_distance(int rows, int cols) {
+  const double expectation =
+      cycle_distance_sum(rows) / rows + cycle_distance_sum(cols) / cols;
+  return exclude_self(expectation, static_cast<double>(rows) * cols);
+}
+
+double hamming_avg_distance(int d, int q) {
+  assert(d >= 1 && q >= 2);
+  return exclude_self(d * (1.0 - 1.0 / q), std::pow(q, d));
+}
+
+double complete_avg_distance([[maybe_unused]] int r) {
+  assert(r >= 2);
+  return 1.0;
+}
+
+double star_avg_distance(int n) {
+  assert(n >= 2 && n <= 12);
+  // d(pi) = (#moved points) + (#nontrivial cycles) - 2*[position 1 moved]
+  // (the cycle-structure distance); take expectations over uniform pi:
+  // E[moved] = n - 1, E[nontrivial cycles] = H_n - 1,
+  // P(position 1 moved) = 1 - 1/n.
+  double harmonic = 0.0;
+  for (int i = 1; i <= n; ++i) harmonic += 1.0 / i;
+  const double expectation = n - 4.0 + harmonic + 2.0 / n;
+  return exclude_self(expectation,
+                      static_cast<double>(topo::kFactorials[n]));
+}
+
+}  // namespace ipg

@@ -1,0 +1,37 @@
+#pragma once
+// Closed-form average distances (over ordered pairs of distinct nodes) for
+// the families where an exact expression exists. Section 5.1 treats
+// average distance on par with diameter ("crucial for network performance
+// under heavy load; maximum throughput is inversely proportional"), so the
+// cost benches can report it exactly at paper-scale sizes. Each formula is
+// validated against all-pairs BFS in tests/analysis_test.cpp.
+
+#include <cstdint>
+
+namespace ipg {
+
+/// Q_n: E[Hamming] = n/2 over independent pairs, rescaled to exclude u==v.
+double hypercube_avg_distance(int n);
+
+/// Cycle C_k: k^2/4 / (k-1) for even k, (k^2-1)/4 / (k-1) for odd k.
+double cycle_avg_distance(int k);
+
+/// k-ary n-cube: n independent cycle coordinates, rescaled.
+double kary_ncube_avg_distance(int k, int n);
+
+/// 2-D torus rows x cols.
+double torus2d_avg_distance(int rows, int cols);
+
+/// Hamming graph H(d, q) (e.g. super-IP module graphs, generalized
+/// hypercubes with equal radices): d*(1 - 1/q), rescaled.
+double hamming_avg_distance(int d, int q);
+
+/// Complete graph K_r.
+double complete_avg_distance(int r);
+
+/// Star graph S_n (Akers-Krishnamurthy): exact expectation
+/// n - 4 + H_n + 2/n over uniform random permutations, where H_n is the
+/// n-th harmonic number; rescaled to exclude the identity pair.
+double star_avg_distance(int n);
+
+}  // namespace ipg

@@ -1,0 +1,32 @@
+#include "analysis/bounds.hpp"
+
+#include <cassert>
+
+namespace ipg {
+
+std::uint32_t moore_diameter_lower_bound(std::uint64_t nodes, std::uint32_t degree) {
+  assert(degree >= 1);
+  if (nodes <= 1) return 0;
+  if (degree == 1) return 1;
+  if (degree == 2) return static_cast<std::uint32_t>((nodes - 1 + 1) / 2);
+  // Accumulate the Moore ball 1 + d + d(d-1) + ... until it covers `nodes`.
+  // Use floating point guarded accumulation to avoid overflow at large N.
+  long double ball = 1.0L;
+  long double shell = degree;
+  std::uint32_t d = 0;
+  while (ball < static_cast<long double>(nodes)) {
+    ball += shell;
+    shell *= (degree - 1);
+    ++d;
+    if (d > 200) break;  // unreachable for sane inputs
+  }
+  return d;
+}
+
+double diameter_optimality_factor(std::uint64_t nodes, std::uint32_t degree,
+                                  std::uint32_t diameter) {
+  const std::uint32_t lb = moore_diameter_lower_bound(nodes, degree);
+  return lb == 0 ? 1.0 : static_cast<double>(diameter) / static_cast<double>(lb);
+}
+
+}  // namespace ipg

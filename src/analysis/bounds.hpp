@@ -1,0 +1,20 @@
+#pragma once
+// Universal degree/diameter lower bounds (Moore bounds) and the optimality
+// factor of Theorem 4.4: a network's diameter divided by the smallest
+// diameter any graph of its size and degree could possibly have.
+
+#include <cstdint>
+
+namespace ipg {
+
+/// Smallest D such that a degree-d graph of diameter D can reach `nodes`
+/// nodes: 1 + d + d(d-1) + ... + d(d-1)^(D-1) >= nodes (d >= 3);
+/// ceil((nodes-1)/2) for d = 2.
+std::uint32_t moore_diameter_lower_bound(std::uint64_t nodes, std::uint32_t degree);
+
+/// diameter / moore_diameter_lower_bound — Theorem 4.4 predicts this tends
+/// to 1 + o(1) for suitably built super-IP graphs.
+double diameter_optimality_factor(std::uint64_t nodes, std::uint32_t degree,
+                                  std::uint32_t diameter);
+
+}  // namespace ipg

@@ -1,0 +1,109 @@
+#include "analysis/cost_model.hpp"
+
+namespace ipg {
+
+CostPoint cost_point(const TopoNums& t, double i_degree, std::uint32_t i_diameter) {
+  CostPoint p;
+  p.family = t.name;
+  p.nodes = t.nodes;
+  p.degree = t.degree;
+  p.diameter = t.diameter;
+  p.i_degree = i_degree;
+  p.i_diameter = i_diameter;
+  return p;
+}
+
+CostPoint cost_point(const SuperNums& s) {
+  CostPoint p;
+  p.family = s.name;
+  p.nodes = s.nodes;
+  p.degree = s.degree;
+  p.diameter = s.diameter;
+  p.i_degree = s.i_degree;
+  p.i_diameter = s.i_diameter;
+  return p;
+}
+
+std::vector<CostPoint> sweep_hypercube(int n_min, int n_max, int module_bits) {
+  std::vector<CostPoint> out;
+  for (int n = n_min; n <= n_max; ++n) {
+    const int off = n > module_bits ? n - module_bits : 0;
+    out.push_back(cost_point(hypercube_nums(n), off, off));
+  }
+  return out;
+}
+
+std::vector<CostPoint> sweep_star(int n_min, int n_max, int substar) {
+  std::vector<CostPoint> out;
+  for (int n = n_min; n <= n_max; ++n) {
+    const int off = n > substar ? n - substar : 0;
+    out.push_back(cost_point(star_nums(n), off, 0));
+  }
+  return out;
+}
+
+std::vector<CostPoint> sweep_torus2d(const std::vector<int>& sides, int tile_r,
+                                     int tile_c) {
+  std::vector<CostPoint> out;
+  for (const int s : sides) {
+    // Off-module links per tile: one per boundary node per crossing side.
+    const double i_degree =
+        2.0 * (tile_r + tile_c) / (static_cast<double>(tile_r) * tile_c);
+    const std::uint32_t i_diameter =
+        static_cast<std::uint32_t>((s / tile_r) / 2 + (s / tile_c) / 2);
+    out.push_back(cost_point(torus2d_nums(s, s), i_degree, i_diameter));
+  }
+  return out;
+}
+
+std::vector<CostPoint> sweep_ccc(int n_min, int n_max) {
+  std::vector<CostPoint> out;
+  for (int n = n_min; n <= n_max; ++n) {
+    // One cycle per module: the cube link of every node leaves the module.
+    out.push_back(cost_point(ccc_nums(n), 1.0, static_cast<std::uint32_t>(n)));
+  }
+  return out;
+}
+
+std::vector<CostPoint> sweep_de_bruijn(int n_min, int n_max, int low_digits) {
+  std::vector<CostPoint> out;
+  for (int n = n_min; n <= n_max; ++n) {
+    // MSB-block modules: effectively all 4 links leave the module
+    // (Section 5.3); I-diameter ~ shifts needed to clear the module bits.
+    out.push_back(cost_point(de_bruijn_nums(n), 4.0,
+                             static_cast<std::uint32_t>(n - low_digits)));
+  }
+  return out;
+}
+
+namespace {
+
+template <typename F>
+std::vector<CostPoint> sweep_super(int l_min, int l_max, const TopoNums& nucleus,
+                                   F&& nums) {
+  std::vector<CostPoint> out;
+  for (int l = l_min; l <= l_max; ++l) out.push_back(cost_point(nums(l, nucleus)));
+  return out;
+}
+
+}  // namespace
+
+std::vector<CostPoint> sweep_hsn(int l_min, int l_max, const TopoNums& nucleus) {
+  return sweep_super(l_min, l_max, nucleus, hsn_nums);
+}
+
+std::vector<CostPoint> sweep_ring_cn(int l_min, int l_max, const TopoNums& nucleus) {
+  return sweep_super(l_min, l_max, nucleus, ring_cn_nums);
+}
+
+std::vector<CostPoint> sweep_complete_cn(int l_min, int l_max,
+                                         const TopoNums& nucleus) {
+  return sweep_super(l_min, l_max, nucleus, complete_cn_nums);
+}
+
+std::vector<CostPoint> sweep_super_flip(int l_min, int l_max,
+                                        const TopoNums& nucleus) {
+  return sweep_super(l_min, l_max, nucleus, super_flip_nums);
+}
+
+}  // namespace ipg

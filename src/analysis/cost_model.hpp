@@ -1,0 +1,60 @@
+#pragma once
+// Composite figures of merit (Section 5) and the series catalogs that the
+// figure benches print: for each family, a sweep of (size, degree,
+// diameter, I-degree, I-diameter) points with DD / ID / II costs.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/formulas.hpp"
+
+namespace ipg {
+
+/// One point of a comparison series.
+struct CostPoint {
+  std::string family;
+  std::uint64_t nodes = 0;
+  double degree = 0.0;
+  std::uint32_t diameter = 0;
+  double i_degree = 0.0;
+  std::uint32_t i_diameter = 0;
+
+  double log2_nodes() const { return std::log2(static_cast<double>(nodes)); }
+  double dd_cost() const { return degree * diameter; }
+  double id_cost() const { return i_degree * diameter; }
+  double ii_cost() const { return i_degree * static_cast<double>(i_diameter); }
+};
+
+CostPoint cost_point(const TopoNums& t, double i_degree, std::uint32_t i_diameter);
+CostPoint cost_point(const SuperNums& s);
+
+/// Sweeps used by the figure harnesses; every returned point uses the
+/// validated closed forms of formulas.hpp. Hypercube/star/de Bruijn/torus
+/// take the module budget implied by the figure (I-metrics depend on it).
+
+/// Q_n for n in [n_min, n_max], modules of 2^module_bits nodes:
+/// I-degree = n - module_bits, I-diameter = n - module_bits.
+std::vector<CostPoint> sweep_hypercube(int n_min, int n_max, int module_bits);
+
+/// S_n for n in [n_min, n_max], sub-star modules of `substar`! nodes:
+/// I-degree = n - substar, I-diameter measured (star I-distance has no
+/// simple closed form) — figure code supplies it; this sweep sets
+/// I-diameter = 0 as a placeholder for DD-only figures.
+std::vector<CostPoint> sweep_star(int n_min, int n_max, int substar);
+
+/// Square 2-D tori of side `sides[i]`, tile_r x tile_c modules.
+std::vector<CostPoint> sweep_torus2d(const std::vector<int>& sides, int tile_r,
+                                     int tile_c);
+
+std::vector<CostPoint> sweep_ccc(int n_min, int n_max);
+std::vector<CostPoint> sweep_de_bruijn(int n_min, int n_max, int low_digits);
+
+/// Super-IP sweeps over l in [l_min, l_max] for a fixed nucleus.
+std::vector<CostPoint> sweep_hsn(int l_min, int l_max, const TopoNums& nucleus);
+std::vector<CostPoint> sweep_ring_cn(int l_min, int l_max, const TopoNums& nucleus);
+std::vector<CostPoint> sweep_complete_cn(int l_min, int l_max, const TopoNums& nucleus);
+std::vector<CostPoint> sweep_super_flip(int l_min, int l_max, const TopoNums& nucleus);
+
+}  // namespace ipg

@@ -1,0 +1,123 @@
+#include "analysis/formulas.hpp"
+
+#include <cassert>
+
+#include "topo/perm_rank.hpp"
+
+namespace ipg {
+
+namespace {
+
+std::uint64_t ipow(std::uint64_t base, int exp) {
+  std::uint64_t v = 1;
+  for (int i = 0; i < exp; ++i) v *= base;
+  return v;
+}
+
+}  // namespace
+
+TopoNums hypercube_nums(int n) {
+  return {"Q" + std::to_string(n), std::uint64_t{1} << n,
+          static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(n)};
+}
+
+TopoNums folded_hypercube_nums(int n) {
+  return {"FQ" + std::to_string(n), std::uint64_t{1} << n,
+          static_cast<std::uint32_t>(n + 1),
+          static_cast<std::uint32_t>((n + 1) / 2)};
+}
+
+TopoNums star_nums(int n) {
+  return {"S" + std::to_string(n), topo::kFactorials[n],
+          static_cast<std::uint32_t>(n - 1),
+          static_cast<std::uint32_t>(3 * (n - 1) / 2)};
+}
+
+TopoNums kary_ncube_nums(int k, int n) {
+  assert(k >= 2);
+  const std::uint32_t degree =
+      k == 2 ? static_cast<std::uint32_t>(n) : static_cast<std::uint32_t>(2 * n);
+  return {std::to_string(k) + "-ary " + std::to_string(n) + "-cube",
+          ipow(static_cast<std::uint64_t>(k), n), degree,
+          static_cast<std::uint32_t>(n * (k / 2))};
+}
+
+TopoNums torus2d_nums(int rows, int cols) {
+  return {"torus " + std::to_string(rows) + "x" + std::to_string(cols),
+          static_cast<std::uint64_t>(rows) * cols, 4,
+          static_cast<std::uint32_t>(rows / 2 + cols / 2)};
+}
+
+TopoNums ccc_nums(int n) {
+  assert(n >= 3);
+  const std::uint32_t diameter =
+      n == 3 ? 6 : static_cast<std::uint32_t>(2 * n + n / 2 - 2);
+  return {"CCC(" + std::to_string(n) + ")",
+          static_cast<std::uint64_t>(n) << n, 3, diameter};
+}
+
+TopoNums de_bruijn_nums(int n) {
+  return {"DB(2," + std::to_string(n) + ")", std::uint64_t{1} << n, 4,
+          static_cast<std::uint32_t>(n)};
+}
+
+TopoNums petersen_nums() { return {"P", 10, 3, 2}; }
+
+TopoNums complete_nums(int r) {
+  return {"K" + std::to_string(r), static_cast<std::uint64_t>(r),
+          static_cast<std::uint32_t>(r - 1), 1};
+}
+
+TopoNums generalized_hypercube_nums(std::span<const int> radices) {
+  TopoNums out;
+  out.name = "GH(";
+  out.nodes = 1;
+  for (std::size_t d = 0; d < radices.size(); ++d) {
+    out.name += (d ? "," : "") + std::to_string(radices[d]);
+    out.nodes *= static_cast<std::uint64_t>(radices[d]);
+    out.degree += static_cast<std::uint32_t>(radices[d] - 1);
+  }
+  out.name += ")";
+  out.diameter = static_cast<std::uint32_t>(radices.size());
+  return out;
+}
+
+namespace {
+
+SuperNums super_nums(const std::string& name, int l, const TopoNums& nucleus,
+                     std::uint32_t num_super_gens, std::uint32_t i_degree) {
+  SuperNums out;
+  out.name = name + "(" + std::to_string(l) + "," + nucleus.name + ")";
+  out.nodes = ipow(nucleus.nodes, l);
+  out.degree = nucleus.degree + num_super_gens;
+  out.diameter = static_cast<std::uint32_t>(l) * nucleus.diameter +
+                 static_cast<std::uint32_t>(l - 1);
+  out.i_degree = i_degree;
+  out.i_diameter = static_cast<std::uint32_t>(l - 1);
+  return out;
+}
+
+}  // namespace
+
+SuperNums hsn_nums(int l, const TopoNums& nucleus) {
+  return super_nums("HSN", l, nucleus, static_cast<std::uint32_t>(l - 1),
+                    static_cast<std::uint32_t>(l - 1));
+}
+
+SuperNums ring_cn_nums(int l, const TopoNums& nucleus) {
+  const std::uint32_t gens = l == 2 ? 1 : 2;
+  return super_nums("ring-CN", l, nucleus, gens, gens);
+}
+
+SuperNums complete_cn_nums(int l, const TopoNums& nucleus) {
+  return super_nums("complete-CN", l, nucleus,
+                    static_cast<std::uint32_t>(l - 1),
+                    static_cast<std::uint32_t>(l - 1));
+}
+
+SuperNums super_flip_nums(int l, const TopoNums& nucleus) {
+  return super_nums("SFN", l, nucleus, static_cast<std::uint32_t>(l - 1),
+                    static_cast<std::uint32_t>(l - 1));
+}
+
+}  // namespace ipg

@@ -1,0 +1,54 @@
+#pragma once
+// Closed-form topological parameters for every family in the comparison
+// figures. Each formula is validated against BFS measurements on all
+// enumerable instances (tests/analysis_test.cpp); the figure harnesses then
+// use them to extend curves to paper-scale sizes.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ipg {
+
+/// Closed-form N / degree / diameter of a network instance.
+struct TopoNums {
+  std::string name;
+  std::uint64_t nodes = 0;
+  std::uint32_t degree = 0;
+  std::uint32_t diameter = 0;
+};
+
+TopoNums hypercube_nums(int n);
+TopoNums folded_hypercube_nums(int n);
+/// Star graph: diameter floor(3(n-1)/2) (Akers-Krishnamurthy).
+TopoNums star_nums(int n);
+/// k-ary n-cube: degree 2n (k > 2), diameter n*floor(k/2).
+TopoNums kary_ncube_nums(int k, int n);
+TopoNums torus2d_nums(int rows, int cols);
+/// CCC(n): degree 3, diameter 2n + floor(n/2) - 2 for n >= 4 (6 for n = 3).
+TopoNums ccc_nums(int n);
+/// Undirected binary de Bruijn: degree 4, diameter n.
+TopoNums de_bruijn_nums(int n);
+TopoNums petersen_nums();
+TopoNums complete_nums(int r);
+TopoNums generalized_hypercube_nums(std::span<const int> radices);
+
+/// Super-IP family parameters from Theorems 3.1/3.2/4.1 and Corollary 4.2:
+/// N = M^l, degree = nucleus degree + #super-generators,
+/// diameter = l * D_G + (l - 1), I-degree <= #super-generators,
+/// I-diameter = l - 1 (one nucleus per module).
+struct SuperNums {
+  std::string name;
+  std::uint64_t nodes = 0;
+  std::uint32_t degree = 0;
+  std::uint32_t diameter = 0;
+  std::uint32_t i_degree = 0;   ///< worst-case off-module links per node
+  std::uint32_t i_diameter = 0;
+};
+
+SuperNums hsn_nums(int l, const TopoNums& nucleus);
+SuperNums ring_cn_nums(int l, const TopoNums& nucleus);
+SuperNums complete_cn_nums(int l, const TopoNums& nucleus);
+SuperNums super_flip_nums(int l, const TopoNums& nucleus);
+
+}  // namespace ipg

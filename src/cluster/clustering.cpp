@@ -1,0 +1,58 @@
+#include "cluster/clustering.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipg {
+
+std::vector<std::uint32_t> Clustering::module_sizes() const {
+  std::vector<std::uint32_t> sizes(num_modules, 0);
+  for (const std::uint32_t m : module_of) sizes[m]++;
+  return sizes;
+}
+
+std::uint32_t Clustering::max_module_size() const {
+  const auto sizes = module_sizes();
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+bool Clustering::valid(Node num_nodes) const {
+  if (module_of.size() != num_nodes) return false;
+  for (const std::uint32_t m : module_of) {
+    if (m >= num_modules) return false;
+  }
+  return true;
+}
+
+bool modules_internally_connected(const Graph& g, const Clustering& c) {
+  assert(c.valid(g.num_nodes()));
+  // Union-find over same-module arcs; then each module must collapse to a
+  // single component.
+  std::vector<Node> parent(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) parent[u] = u;
+  const auto find = [&](Node x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.neighbors(u)) {
+      if (c.module_of[u] == c.module_of[v]) parent[find(u)] = find(v);
+    }
+  }
+  std::vector<Node> root(c.num_modules, kUnreachable);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const Node r = find(u);
+    Node& expected = root[c.module_of[u]];
+    if (expected == kUnreachable) {
+      expected = r;
+    } else if (expected != r) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ipg

@@ -1,0 +1,27 @@
+#pragma once
+// Node -> module assignments ("clusters" in the paper's Section 5): the
+// packaging view where several network nodes share a chip/board and
+// off-module links are the scarce resource.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// A partition of the nodes into modules.
+struct Clustering {
+  std::vector<std::uint32_t> module_of;  ///< per node, in [0, num_modules)
+  std::uint32_t num_modules = 0;
+
+  std::vector<std::uint32_t> module_sizes() const;
+  std::uint32_t max_module_size() const;
+  bool valid(Node num_nodes) const;
+};
+
+/// True iff every module induces a connected subgraph of `g` — the
+/// precondition for computing I-distances on the contracted module graph.
+bool modules_internally_connected(const Graph& g, const Clustering& c);
+
+}  // namespace ipg

@@ -1,0 +1,104 @@
+#include "cluster/imetrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/quotient.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+
+double i_degree(const Graph& g, const Clustering& c) {
+  assert(c.valid(g.num_nodes()));
+  std::vector<std::uint64_t> off_links(c.num_modules, 0);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.neighbors(u)) {
+      if (c.module_of[u] != c.module_of[v]) off_links[c.module_of[u]]++;
+    }
+  }
+  const auto sizes = c.module_sizes();
+  double worst = 0.0;
+  for (std::uint32_t m = 0; m < c.num_modules; ++m) {
+    if (sizes[m] == 0) continue;
+    worst = std::max(worst, static_cast<double>(off_links[m]) /
+                                static_cast<double>(sizes[m]));
+  }
+  return worst;
+}
+
+Graph module_graph(const Graph& g, const Clustering& c) {
+  return quotient_graph(g, c.module_of, c.num_modules);
+}
+
+namespace {
+
+IDistanceStats stats_from_sources(const Graph& mod_graph,
+                                  std::span<const std::uint32_t> module_sizes,
+                                  std::span<const Node> sources) {
+  assert(module_sizes.size() == mod_graph.num_nodes());
+  IDistanceStats out;
+  BfsScratch scratch(mod_graph.num_nodes());
+  long double weighted_sum = 0.0L;
+  long double weighted_pairs = 0.0L;
+  std::uint64_t total_nodes = 0;
+  for (const std::uint32_t s : module_sizes) total_nodes += s;
+
+  for (const Node src : sources) {
+    const auto dist = scratch.run(mod_graph, src);
+    const long double src_size = module_sizes[src];
+    for (Node m = 0; m < mod_graph.num_nodes(); ++m) {
+      if (dist[m] == kUnreachable) {
+        out.connected = false;
+        continue;
+      }
+      out.i_diameter = std::max(out.i_diameter, dist[m]);
+      weighted_sum += src_size * static_cast<long double>(module_sizes[m]) *
+                      static_cast<long double>(dist[m]);
+    }
+    // Ordered pairs with a distinct partner, src module as source.
+    weighted_pairs += src_size * static_cast<long double>(total_nodes - 1);
+  }
+  out.avg_i_distance =
+      weighted_pairs == 0.0L
+          ? 0.0
+          : static_cast<double>(weighted_sum / weighted_pairs);
+  return out;
+}
+
+}  // namespace
+
+IDistanceStats i_distance_stats(const Graph& mod_graph,
+                                std::span<const std::uint32_t> module_sizes) {
+  std::vector<Node> all(mod_graph.num_nodes());
+  for (Node m = 0; m < mod_graph.num_nodes(); ++m) all[m] = m;
+  return stats_from_sources(mod_graph, module_sizes, all);
+}
+
+IDistanceStats i_distance_stats_sampled(const Graph& mod_graph,
+                                        std::span<const std::uint32_t> module_sizes,
+                                        int samples, std::uint64_t seed) {
+  if (static_cast<std::uint64_t>(samples) >= mod_graph.num_nodes()) {
+    return i_distance_stats(mod_graph, module_sizes);
+  }
+  Xoshiro256 rng(seed);
+  std::vector<Node> sources(samples);
+  for (Node& s : sources) {
+    s = static_cast<Node>(rng.below(mod_graph.num_nodes()));
+  }
+  return stats_from_sources(mod_graph, module_sizes, sources);
+}
+
+IMetrics i_metrics(const Graph& g, const Clustering& c) {
+  IMetrics out;
+  out.i_degree = i_degree(g, c);
+  const Graph mg = module_graph(g, c);
+  const auto sizes = c.module_sizes();
+  const IDistanceStats s = i_distance_stats(mg, sizes);
+  out.i_diameter = s.i_diameter;
+  out.avg_i_distance = s.avg_i_distance;
+  return out;
+}
+
+}  // namespace ipg

@@ -1,0 +1,59 @@
+#pragma once
+// The paper's packaging figures of merit (Sections 5.2-5.4):
+//   I-degree       max over modules of average per-node off-module links;
+//   I-diameter     max number of off-module hops between any node pair;
+//   avg I-distance expected off-module hops for uniform random pairs;
+//   ID-cost        I-degree * diameter;
+//   II-cost        I-degree * I-diameter.
+//
+// I-distances are computed exactly on the contracted module graph: inside
+// a module every hop is free, so the minimum number of off-module hops
+// between u and v equals the module-graph distance between their modules
+// (valid whenever modules are internally connected, which the tests check
+// via modules_internally_connected()).
+
+#include <cstdint>
+#include <span>
+
+#include "cluster/clustering.hpp"
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// Maximum over modules of (off-module arc endpoints in the module) /
+/// (module size). For symmetric digraphs this counts each undirected
+/// off-module link once per endpoint, i.e. per-node off-module links.
+double i_degree(const Graph& g, const Clustering& c);
+
+/// The contracted module graph (same as quotient_graph by module id).
+Graph module_graph(const Graph& g, const Clustering& c);
+
+struct IDistanceStats {
+  Dist i_diameter = 0;
+  double avg_i_distance = 0.0;  ///< over ordered pairs of distinct nodes
+  bool connected = true;
+};
+
+/// Exact I-distance statistics from all-pairs BFS on `mod_graph`, weighted
+/// by module sizes (within-module pairs contribute distance 0).
+IDistanceStats i_distance_stats(const Graph& mod_graph,
+                                std::span<const std::uint32_t> module_sizes);
+
+/// Same, but sampling `samples` source modules (for module graphs too big
+/// for all-pairs). avg is unbiased over the sampled sources; i_diameter is
+/// the max sampled eccentricity (a lower bound that is tight for the
+/// near-symmetric module graphs in this library).
+IDistanceStats i_distance_stats_sampled(const Graph& mod_graph,
+                                        std::span<const std::uint32_t> module_sizes,
+                                        int samples, std::uint64_t seed);
+
+/// Convenience: full I-metrics of an explicit network + clustering.
+struct IMetrics {
+  double i_degree = 0.0;
+  Dist i_diameter = 0;
+  double avg_i_distance = 0.0;
+};
+
+IMetrics i_metrics(const Graph& g, const Clustering& c);
+
+}  // namespace ipg

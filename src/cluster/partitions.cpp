@@ -1,0 +1,211 @@
+#include "cluster/partitions.hpp"
+
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "ipg/super.hpp"
+#include "topo/perm_rank.hpp"
+
+namespace ipg {
+
+Clustering cluster_by_nucleus(const IPGraph& g, int m) {
+  const ModuleAssignment a = nucleus_modules(g, m);
+  return Clustering{a.module_of, a.num_modules};
+}
+
+Clustering cluster_tuple(const TupleNetwork& net) {
+  Clustering c;
+  c.num_modules = net.num_modules();
+  c.module_of.resize(net.graph.num_nodes());
+  // module_of(id) = suffix = id % M^(l-1) with the big-endian encoding.
+  const Node suffix_space = static_cast<Node>(c.num_modules);
+  for (Node u = 0; u < net.graph.num_nodes(); ++u) {
+    c.module_of[u] = u % suffix_space;
+  }
+  return c;
+}
+
+Clustering cluster_hypercube(int n, int module_bits) {
+  assert(module_bits >= 0 && module_bits <= n);
+  Clustering c;
+  const Node size = Node{1} << n;
+  c.num_modules = Node{1} << (n - module_bits);
+  c.module_of.resize(size);
+  for (Node u = 0; u < size; ++u) c.module_of[u] = u >> module_bits;
+  return c;
+}
+
+Clustering cluster_star(int n, int substar) {
+  assert(substar >= 1 && substar <= n);
+  using topo::kFactorials;
+  using topo::perm_unrank;
+  Clustering c;
+  const std::uint64_t size = kFactorials[n];
+  c.module_of.resize(size);
+  std::unordered_map<std::uint64_t, std::uint32_t> suffix_ids;
+  for (std::uint64_t u = 0; u < size; ++u) {
+    const auto p = perm_unrank(u, n);
+    // Pack the fixed suffix p[substar..n) into a key.
+    std::uint64_t key = 0;
+    for (int i = substar; i < n; ++i) key = key * n + p[i];
+    const auto [it, inserted] = suffix_ids.try_emplace(key, c.num_modules);
+    if (inserted) ++c.num_modules;
+    c.module_of[u] = it->second;
+  }
+  return c;
+}
+
+Clustering cluster_de_bruijn(int d, int n, int low_digits) {
+  assert(low_digits >= 0 && low_digits <= n);
+  std::uint64_t size = 1, module_size = 1;
+  for (int i = 0; i < n; ++i) size *= static_cast<std::uint64_t>(d);
+  for (int i = 0; i < low_digits; ++i) module_size *= static_cast<std::uint64_t>(d);
+  Clustering c;
+  c.num_modules = static_cast<std::uint32_t>(size / module_size);
+  c.module_of.resize(size);
+  for (std::uint64_t u = 0; u < size; ++u) {
+    c.module_of[u] = static_cast<std::uint32_t>(u / module_size);
+  }
+  return c;
+}
+
+Clustering cluster_torus2d(int rows, int cols, int tile_r, int tile_c) {
+  assert(rows % tile_r == 0 && cols % tile_c == 0);
+  Clustering c;
+  const int tiles_per_row = cols / tile_c;
+  c.num_modules = static_cast<std::uint32_t>((rows / tile_r) * tiles_per_row);
+  c.module_of.resize(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int col = 0; col < cols; ++col) {
+      c.module_of[static_cast<std::size_t>(r) * cols + col] =
+          static_cast<std::uint32_t>((r / tile_r) * tiles_per_row + col / tile_c);
+    }
+  }
+  return c;
+}
+
+Clustering cluster_ccc(int n) {
+  Clustering c;
+  const Node cubes = Node{1} << n;
+  c.num_modules = cubes;
+  c.module_of.resize(static_cast<std::size_t>(cubes) * n);
+  for (Node x = 0; x < cubes; ++x) {
+    for (int p = 0; p < n; ++p) c.module_of[x * n + p] = x;
+  }
+  return c;
+}
+
+Graph hcn_subcube_module_graph(int n, int module_bits) {
+  assert(module_bits >= 0 && module_bits <= n);
+  const int high = n - module_bits;
+  const Node highs = Node{1} << high;
+  const Node cubes = Node{1} << n;
+  const std::uint64_t size = static_cast<std::uint64_t>(highs) * cubes;
+  assert(size < (1ull << 31));
+  // Module id = a * 2^n + b with a = v1 >> module_bits, b = v2.
+  GraphBuilder b(static_cast<Node>(size));
+  for (Node a = 0; a < highs; ++a) {
+    for (Node v2 = 0; v2 < cubes; ++v2) {
+      const Node u = a * cubes + v2;
+      // Nucleus (cube) links on the high bits of v1 leave the module.
+      for (int d = 0; d < high; ++d) {
+        b.add_arc(u, (a ^ (Node{1} << d)) * cubes + v2);
+      }
+      // Swap links (v1, v2) -> (v2, v1): v1's low bits range over the
+      // module, so the target module is (v2 >> module_bits, v1) for every
+      // v1 whose high bits equal a.
+      const Node target_a = v2 >> module_bits;
+      for (Node low = 0; low < (Node{1} << module_bits); ++low) {
+        const Node v1 = (a << module_bits) | low;
+        b.add_arc(u, target_a * cubes + v1);
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph star_module_graph(int n, int substar) {
+  assert(n >= 2 && n <= 12 && substar >= 1 && substar < n);
+  const int suffix_len = n - substar;
+
+  // Enumerate all injective suffix sequences; pack each into a key.
+  const auto pack = [&](const std::vector<std::uint8_t>& suffix) {
+    std::uint64_t key = 0;
+    for (const std::uint8_t s : suffix) key = key * 16 + s;
+    return key;
+  };
+  std::unordered_map<std::uint64_t, Node> ids;
+  std::vector<std::vector<std::uint8_t>> suffixes;
+  std::vector<std::uint8_t> current;
+  std::vector<bool> used(n, false);
+  const std::function<void()> enumerate = [&] {
+    if (static_cast<int>(current.size()) == suffix_len) {
+      ids.emplace(pack(current), static_cast<Node>(suffixes.size()));
+      suffixes.push_back(current);
+      return;
+    }
+    for (int sym = 0; sym < n; ++sym) {
+      if (used[sym]) continue;
+      used[sym] = true;
+      current.push_back(static_cast<std::uint8_t>(sym));
+      enumerate();
+      current.pop_back();
+      used[sym] = false;
+    }
+  };
+  enumerate();
+
+  GraphBuilder b(static_cast<Node>(suffixes.size()));
+  for (Node m = 0; m < suffixes.size(); ++m) {
+    const auto& suffix = suffixes[m];
+    // Free symbols = those inside the module.
+    std::vector<bool> in_suffix(n, false);
+    for (const auto s : suffix) in_suffix[s] = true;
+    for (int j = 0; j < suffix_len; ++j) {
+      for (int f = 0; f < n; ++f) {
+        if (in_suffix[f]) continue;
+        // Generator (1, substar + j + 1): the node holding f at the front
+        // swaps it into suffix position j; f joins the suffix, suffix[j]
+        // becomes free.
+        auto neighbor = suffix;
+        neighbor[j] = static_cast<std::uint8_t>(f);
+        b.add_arc(m, ids.at(pack(neighbor)));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph super_module_graph(Node nucleus_size, int l,
+                         std::span<const Generator> super_gens) {
+  assert(l >= 2);
+  std::uint64_t modules = 1;
+  for (int i = 1; i < l; ++i) modules *= nucleus_size;
+  assert(modules < (1ull << 31));
+
+  GraphBuilder b(static_cast<Node>(modules));
+  std::vector<Node> v(l), w(l);
+  for (Node suffix = 0; suffix < modules; ++suffix) {
+    // Decode the suffix into v[1..l-1] (big-endian).
+    Node rem = suffix;
+    for (int i = l - 1; i >= 1; --i) {
+      v[i] = rem % nucleus_size;
+      rem /= nucleus_size;
+    }
+    for (const Generator& g : super_gens) {
+      for (Node v1 = 0; v1 < nucleus_size; ++v1) {
+        v[0] = v1;
+        for (int p = 0; p < l; ++p) w[p] = v[g.perm[p]];
+        Node target = 0;
+        for (int i = 1; i < l; ++i) target = target * nucleus_size + w[i];
+        if (target != suffix) b.add_arc(suffix, target);
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg

@@ -1,0 +1,65 @@
+#pragma once
+// The module assignments the paper uses for each comparator network
+// (Section 5.3): whole nuclei for super-IP graphs, sub-cubes for
+// hypercubes, sub-stars for star graphs, most-significant-digit blocks for
+// de Bruijn graphs, rectangular tiles for 2-D tori, cycles for CCC.
+
+#include <cstdint>
+
+#include "cluster/clustering.hpp"
+#include "ipg/build.hpp"
+#include "ipg/families.hpp"
+
+namespace ipg {
+
+/// One nucleus per module for an explicit super-IP graph (two nodes share
+/// a module iff their labels agree outside the leftmost m symbols).
+Clustering cluster_by_nucleus(const IPGraph& g, int m);
+
+/// One nucleus per module for a tuple-space super network.
+Clustering cluster_tuple(const TupleNetwork& net);
+
+/// Hypercube Q_n partitioned into 2^(n - module_bits) sub-cubes of
+/// 2^module_bits nodes (low address bits vary inside a module).
+Clustering cluster_hypercube(int n, int module_bits);
+
+/// Star graph S_n partitioned into sub-stars: nodes sharing the symbols at
+/// positions substar..n-1 share a module (modules are substar!-node
+/// sub-star graphs). `n` must match the explicit star_graph(n) id scheme.
+Clustering cluster_star(int n, int substar);
+
+/// De Bruijn B(d, n) partitioned by the most significant n - low_digits
+/// digits (modules of d^low_digits nodes).
+Clustering cluster_de_bruijn(int d, int n, int low_digits);
+
+/// 2-D torus partitioned into tile_r x tile_c rectangular tiles
+/// (rows % tile_r == 0, cols % tile_c == 0).
+Clustering cluster_torus2d(int rows, int cols, int tile_r, int tile_c);
+
+/// CCC(n) with one n-node cycle per module.
+Clustering cluster_ccc(int n);
+
+/// Module graph of HSN(2, Q_n) (= HCN(n,n) without diameter links) when
+/// each nucleus is *subdivided* into 2^module_bits-node sub-cubes to meet a
+/// module-size budget (the Fig. 3 regime where the nucleus outgrows a
+/// module). Built directly on (v1 >> module_bits, v2) pairs, so it scales
+/// to nuclei far beyond explicit enumeration.
+Graph hcn_subcube_module_graph(int n, int module_bits);
+
+/// Module graph of a super network with nucleus size M and the given block
+/// super-generators, under one-nucleus-per-module packaging: nodes are the
+/// suffix tuples (v2..vl); an arc per super-generator image with the
+/// leading coordinate ranging freely over the module. Exact and far
+/// cheaper than contracting the full network.
+Graph super_module_graph(Node nucleus_size, int l,
+                         std::span<const Generator> super_gens);
+
+/// Module graph of the star graph S_n under sub-star packaging: modules
+/// are the arrangements of the fixed suffix (positions substar..n-1);
+/// generator (1, i) with i > substar replaces suffix position i by any of
+/// the substar symbols currently inside the module. Built directly on
+/// suffix arrangements, so exact star I-metrics scale to n ~ 10 where the
+/// full graph has n! nodes.
+Graph star_module_graph(int n, int substar);
+
+}  // namespace ipg

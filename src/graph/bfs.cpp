@@ -1,0 +1,115 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace ipg {
+
+std::vector<Dist> bfs_distances(const Graph& g, Node src) {
+  BfsScratch scratch(g.num_nodes());
+  const auto span = scratch.run(g, src);
+  return {span.begin(), span.end()};
+}
+
+BfsScratch::BfsScratch(Node num_nodes) : dist_(num_nodes) {
+  queue_.reserve(num_nodes);
+}
+
+std::span<const Dist> BfsScratch::run(const Graph& g, Node src) {
+  assert(g.num_nodes() == dist_.size());
+  std::fill(dist_.begin(), dist_.end(), kUnreachable);
+  queue_.clear();
+  dist_[src] = 0;
+  queue_.push_back(src);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const Node u = queue_[head];
+    const Dist du = dist_[u];
+    for (const Node v : g.neighbors(u)) {
+      if (dist_[v] == kUnreachable) {
+        dist_[v] = du + 1;
+        queue_.push_back(v);
+      }
+    }
+  }
+  return dist_;
+}
+
+std::vector<Dist> bfs_distances_01(const Graph& g, Node src,
+                                   std::span<const std::uint32_t> module_of) {
+  assert(module_of.size() == g.num_nodes());
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  std::deque<Node> dq;
+  dist[src] = 0;
+  dq.push_back(src);
+  while (!dq.empty()) {
+    const Node u = dq.front();
+    dq.pop_front();
+    const Dist du = dist[u];
+    for (const Node v : g.neighbors(u)) {
+      const Dist w = module_of[u] == module_of[v] ? 0 : 1;
+      if (du + w < dist[v]) {
+        dist[v] = du + w;
+        if (w == 0) {
+          dq.push_front(v);
+        } else {
+          dq.push_back(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+SourceStats source_stats(std::span<const Dist> dist) {
+  SourceStats s;
+  for (const Dist d : dist) {
+    if (d == kUnreachable) continue;
+    s.reachable++;
+    s.distance_sum += d;
+    s.eccentricity = std::max(s.eccentricity, d);
+  }
+  return s;
+}
+
+namespace {
+
+DistanceSummary summarize(const Graph& g, std::span<const Node> sources) {
+  DistanceSummary out;
+  BfsScratch scratch(g.num_nodes());
+  std::uint64_t total = 0;
+  for (const Node src : sources) {
+    const auto dist = scratch.run(g, src);
+    for (const Dist d : dist) {
+      if (d == kUnreachable) {
+        out.strongly_connected = false;
+        continue;
+      }
+      if (d >= out.histogram.size()) out.histogram.resize(d + 1, 0);
+      out.histogram[d]++;
+      out.diameter = std::max(out.diameter, d);
+      total += d;
+    }
+  }
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(sources.size()) * (g.num_nodes() - 1);
+  out.average_distance = pairs == 0 ? 0.0
+                                    : static_cast<double>(total) /
+                                          static_cast<double>(pairs);
+  return out;
+}
+
+}  // namespace
+
+DistanceSummary all_pairs_distance_summary(const Graph& g) {
+  std::vector<Node> sources(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) sources[u] = u;
+  return summarize(g, sources);
+}
+
+DistanceSummary multi_source_distance_summary(const Graph& g,
+                                              std::span<const Node> sources) {
+  return summarize(g, sources);
+}
+
+}  // namespace ipg

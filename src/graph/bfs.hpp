@@ -1,0 +1,61 @@
+#pragma once
+// Breadth-first search primitives: plain BFS, 0/1-weighted BFS (for
+// inter-module distances), eccentricities and distance histograms.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// Distances from `src` to every node (kUnreachable where disconnected).
+std::vector<Dist> bfs_distances(const Graph& g, Node src);
+
+/// Reusable BFS workspace to avoid reallocating the distance/queue arrays
+/// in all-pairs loops.
+class BfsScratch {
+ public:
+  explicit BfsScratch(Node num_nodes);
+
+  /// Runs BFS from `src`; the returned span is valid until the next run.
+  std::span<const Dist> run(const Graph& g, Node src);
+
+ private:
+  std::vector<Dist> dist_;
+  std::vector<Node> queue_;
+};
+
+/// 0/1 BFS where an arc (u, v) costs 0 if `module[u] == module[v]` and 1
+/// otherwise: the distance is the minimum number of *off-module* hops from
+/// `src` (the paper's I-distance, Section 5.2).
+std::vector<Dist> bfs_distances_01(const Graph& g, Node src,
+                                   std::span<const std::uint32_t> module_of);
+
+/// Summary of the distance distribution from one source.
+struct SourceStats {
+  Dist eccentricity = 0;            ///< max finite distance
+  std::uint64_t reachable = 0;      ///< nodes with finite distance (incl. src)
+  std::uint64_t distance_sum = 0;   ///< sum of finite distances
+};
+
+SourceStats source_stats(std::span<const Dist> dist);
+
+/// Exact all-pairs distance summary (runs one BFS per node).
+struct DistanceSummary {
+  Dist diameter = 0;
+  double average_distance = 0.0;  ///< over ordered pairs of distinct nodes
+  bool strongly_connected = true;
+  std::vector<std::uint64_t> histogram;  ///< histogram[d] = #ordered pairs at distance d
+};
+
+DistanceSummary all_pairs_distance_summary(const Graph& g);
+
+/// Distance summary computed from the given sources only (exact for
+/// vertex-transitive graphs with a single source; a cheap estimate
+/// otherwise). `average_distance` averages over the supplied sources.
+DistanceSummary multi_source_distance_summary(const Graph& g,
+                                              std::span<const Node> sources);
+
+}  // namespace ipg

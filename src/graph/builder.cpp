@@ -1,0 +1,48 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipg {
+
+GraphBuilder::GraphBuilder(Node num_nodes, bool tagged)
+    : num_nodes_(num_nodes), tagged_(tagged) {}
+
+void GraphBuilder::add_arc(Node u, Node v, EdgeTag tag) {
+  assert(u < num_nodes_ && v < num_nodes_);
+  arcs_.push_back(Arc{u, v, tag});
+}
+
+void GraphBuilder::add_edge(Node u, Node v, EdgeTag tag) {
+  add_arc(u, v, tag);
+  add_arc(v, u, tag);
+}
+
+void GraphBuilder::reserve(std::uint64_t arcs) { arcs_.reserve(arcs); }
+
+Graph GraphBuilder::build(bool keep_self_loops) && {
+  std::sort(arcs_.begin(), arcs_.end(), [](const Arc& a, const Arc& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.tag < b.tag;
+  });
+
+  Graph g;
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  g.targets_.reserve(arcs_.size());
+  if (tagged_) g.tags_.reserve(arcs_.size());
+
+  const Arc* prev = nullptr;
+  for (const Arc& a : arcs_) {
+    if (!keep_self_loops && a.u == a.v) continue;
+    if (prev != nullptr && prev->u == a.u && prev->v == a.v) continue;  // parallel arc
+    g.targets_.push_back(a.v);
+    if (tagged_) g.tags_.push_back(a.tag);
+    g.offsets_[a.u + 1]++;
+    prev = &a;
+  }
+  for (Node u = 0; u < num_nodes_; ++u) g.offsets_[u + 1] += g.offsets_[u];
+  return g;
+}
+
+}  // namespace ipg

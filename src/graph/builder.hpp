@@ -1,0 +1,45 @@
+#pragma once
+// Edge-list accumulator that finalizes into a CSR Graph.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// Collects arcs and produces an immutable Graph. Finalization sorts each
+/// adjacency list, removes self-loops (unless kept) and merges parallel
+/// arcs; a merged arc keeps the smallest tag. Self-loop and parallel-arc
+/// removal matches the paper's convention: a generator that maps a label to
+/// itself contributes no link, which is why node degree is only *bounded* by
+/// the number of generators (Theorem 3.1).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Node num_nodes, bool tagged = false);
+
+  Node num_nodes() const noexcept { return num_nodes_; }
+
+  /// Adds the directed arc u -> v.
+  void add_arc(Node u, Node v, EdgeTag tag = kNoTag);
+
+  /// Adds both arcs of the undirected link {u, v}.
+  void add_edge(Node u, Node v, EdgeTag tag = kNoTag);
+
+  /// Reserves space for `arcs` arcs.
+  void reserve(std::uint64_t arcs);
+
+  /// Finalizes into a Graph; the builder is consumed.
+  Graph build(bool keep_self_loops = false) &&;
+
+ private:
+  struct Arc {
+    Node u, v;
+    EdgeTag tag;
+  };
+  Node num_nodes_;
+  bool tagged_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace ipg

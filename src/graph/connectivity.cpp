@@ -1,0 +1,38 @@
+#include "graph/connectivity.hpp"
+
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+
+namespace ipg {
+
+bool is_connected_from(const Graph& g, Node root) {
+  if (g.num_nodes() == 0) return true;
+  const auto dist = bfs_distances(g, root);
+  for (const Dist d : dist) {
+    if (d == kUnreachable) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Graph reverse_graph(const Graph& g) {
+  GraphBuilder b(g.num_nodes());
+  b.reserve(g.num_arcs());
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.neighbors(u)) b.add_arc(v, u);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+bool is_strongly_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  if (!is_connected_from(g, 0)) return false;
+  return is_connected_from(reverse_graph(g), 0);
+}
+
+}  // namespace ipg

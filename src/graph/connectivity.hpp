@@ -1,0 +1,17 @@
+#pragma once
+// Connectivity queries for directed and undirected graphs.
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// True iff every node is reachable from node 0 following arcs forward.
+/// For symmetric digraphs this is full connectivity.
+bool is_connected_from(const Graph& g, Node root = 0);
+
+/// True iff the digraph is strongly connected (reachability both ways from
+/// node 0; sufficient because strong connectivity is equivalent to
+/// "reachable from r" + "reaches r" for any r).
+bool is_strongly_connected(const Graph& g);
+
+}  // namespace ipg

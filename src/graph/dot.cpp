@@ -1,0 +1,45 @@
+#include "graph/dot.hpp"
+
+#include <ostream>
+#include <vector>
+
+namespace ipg {
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& options) {
+  const bool undirected = g.is_symmetric();
+  os << (undirected ? "graph " : "digraph ") << options.graph_name << " {\n";
+
+  auto label_of = [&](Node u) {
+    return options.label ? options.label(u) : std::to_string(u);
+  };
+
+  if (options.modules != nullptr && options.modules->valid(g.num_nodes())) {
+    std::vector<std::vector<Node>> members(options.modules->num_modules);
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      members[options.modules->module_of[u]].push_back(u);
+    }
+    for (std::uint32_t m = 0; m < options.modules->num_modules; ++m) {
+      os << "  subgraph cluster_" << m << " {\n    label=\"module " << m
+         << "\";\n";
+      for (const Node u : members[m]) {
+        os << "    n" << u << " [label=\"" << label_of(u) << "\"];\n";
+      }
+      os << "  }\n";
+    }
+  } else {
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      os << "  n" << u << " [label=\"" << label_of(u) << "\"];\n";
+    }
+  }
+
+  const char* edge_op = undirected ? " -- " : " -> ";
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.neighbors(u)) {
+      if (undirected && v < u) continue;  // each link once
+      os << "  n" << u << edge_op << 'n' << v << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace ipg

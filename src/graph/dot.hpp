@@ -1,0 +1,27 @@
+#pragma once
+// Graphviz DOT export — for eyeballing the small structures the paper
+// draws (Fig. 1) and for downstream tooling.
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "cluster/clustering.hpp"
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+struct DotOptions {
+  /// Node label text; defaults to the node id.
+  std::function<std::string(Node)> label;
+  /// Optional module assignment: members of a module are grouped into a
+  /// graphviz cluster subgraph.
+  const Clustering* modules = nullptr;
+  std::string graph_name = "ipg";
+};
+
+/// Writes `g` in DOT format. Symmetric digraphs are written as undirected
+/// graphs (each link once); asymmetric ones as digraphs.
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& options = {});
+
+}  // namespace ipg

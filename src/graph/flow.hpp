@@ -1,0 +1,26 @@
+#pragma once
+// Vertex-disjoint paths and vertex connectivity via unit-capacity maximum
+// flow (node splitting + BFS augmentation).
+//
+// The paper's introduction credits star graphs and their relatives with
+// strong "fault tolerance properties"; connectivity is the standard
+// measure (a k-connected network survives any k-1 node failures). These
+// routines are exact and intended for the instance sizes the tests and
+// benches enumerate.
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// Maximum number of internally vertex-disjoint s -> t paths (Menger).
+/// s and t must differ; adjacent pairs are fine (the direct edge counts).
+int max_vertex_disjoint_paths(const Graph& g, Node s, Node t);
+
+/// Vertex connectivity of an undirected (symmetric) graph: the minimum
+/// number of node deletions that disconnect it (n-1 for complete graphs).
+/// Uses the classical scheme: fix v, take the minimum of kappa(v, u) over
+/// non-neighbors u and kappa(x, y) over non-adjacent pairs of neighbors
+/// of v.
+int vertex_connectivity(const Graph& g);
+
+}  // namespace ipg

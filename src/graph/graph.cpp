@@ -1,0 +1,27 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace ipg {
+
+bool Graph::has_arc(Node u, Node v) const noexcept {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+bool Graph::is_symmetric() const {
+  const Node n = num_nodes();
+  for (Node u = 0; u < n; ++u) {
+    for (const Node v : neighbors(u)) {
+      if (!has_arc(v, u)) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Graph::memory_bytes() const noexcept {
+  return offsets_.size() * sizeof(std::uint64_t) +
+         targets_.size() * sizeof(Node) + tags_.size() * sizeof(EdgeTag);
+}
+
+}  // namespace ipg

@@ -1,0 +1,82 @@
+#pragma once
+// Compressed-sparse-row graph: the common substrate under every network
+// family in the library.
+//
+// Graphs are stored as digraphs. Undirected networks are represented as
+// symmetric digraphs (each undirected link appears as two arcs); whether a
+// graph is symmetric is *checked* (see is_symmetric()), never assumed,
+// because the IP-graph model also produces genuinely directed networks
+// (directed cyclic-shift networks, directed de Bruijn graphs).
+//
+// Each arc may carry a 16-bit tag. IP-graph builders use the tag to record
+// which generator produced the arc, which the routing and clustering layers
+// rely on.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ipg {
+
+/// Node identifier. 32 bits covers every instance this library enumerates
+/// explicitly (the figure harnesses switch to closed forms well before 2^32).
+using Node = std::uint32_t;
+
+/// Arc tag (generator id for IP graphs). kNoTag for plain topologies.
+using EdgeTag = std::uint16_t;
+inline constexpr EdgeTag kNoTag = 0xffff;
+
+/// Distance value returned by the BFS routines; kUnreachable marks
+/// disconnected pairs.
+using Dist = std::uint32_t;
+inline constexpr Dist kUnreachable = 0xffffffffu;
+
+class GraphBuilder;
+
+/// Immutable CSR digraph.
+class Graph {
+ public:
+  Graph() = default;
+
+  Node num_nodes() const noexcept { return static_cast<Node>(offsets_.size() - 1); }
+
+  /// Number of arcs (directed edges). A symmetric digraph representing an
+  /// undirected network has num_arcs() == 2 * (number of undirected links).
+  std::uint64_t num_arcs() const noexcept { return targets_.size(); }
+
+  /// Out-neighbors of `u`, sorted ascending.
+  std::span<const Node> neighbors(Node u) const noexcept {
+    return {targets_.data() + offsets_[u],
+            targets_.data() + offsets_[u + 1]};
+  }
+
+  /// Arc tags parallel to neighbors(u). Empty span if the graph is untagged.
+  std::span<const EdgeTag> tags(Node u) const noexcept {
+    if (tags_.empty()) return {};
+    return {tags_.data() + offsets_[u], tags_.data() + offsets_[u + 1]};
+  }
+
+  bool has_tags() const noexcept { return !tags_.empty(); }
+
+  Node out_degree(Node u) const noexcept {
+    return static_cast<Node>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// True iff arc (u, v) exists (binary search over the sorted adjacency).
+  bool has_arc(Node u, Node v) const noexcept;
+
+  /// True iff for every arc (u, v) the reverse arc (v, u) exists, i.e. the
+  /// digraph represents an undirected network.
+  bool is_symmetric() const;
+
+  /// Approximate heap footprint in bytes (used by perf benches).
+  std::uint64_t memory_bytes() const noexcept;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::uint64_t> offsets_{0};  // size num_nodes()+1
+  std::vector<Node> targets_;
+  std::vector<EdgeTag> tags_;  // empty, or parallel to targets_
+};
+
+}  // namespace ipg

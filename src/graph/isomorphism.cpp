@@ -1,0 +1,135 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/bfs.hpp"
+
+namespace ipg {
+
+namespace {
+
+/// Per-node invariant: (out-degree, in-degree, distance histogram).
+using Signature = std::vector<std::uint32_t>;
+
+std::vector<Signature> signatures(const Graph& g) {
+  // In-degrees.
+  std::vector<std::uint32_t> in_degree(g.num_nodes(), 0);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.neighbors(u)) in_degree[v]++;
+  }
+  std::vector<Signature> out(g.num_nodes());
+  BfsScratch scratch(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    Signature s{g.out_degree(u), in_degree[u]};
+    for (const Dist d : scratch.run(g, u)) {
+      if (d == kUnreachable) continue;
+      if (d + 2 >= s.size()) s.resize(d + 3, 0);
+      s[d + 2]++;
+    }
+    out[u] = std::move(s);
+  }
+  return out;
+}
+
+struct Matcher {
+  const Graph& g;
+  const Graph& h;
+  std::vector<std::vector<Node>> candidates;  // per g-node, same-signature h-nodes
+  std::vector<Node> order;                    // g-nodes, BFS-ish order
+  std::vector<Node> mapping;                  // g-node -> h-node or kUnreachable
+  std::vector<bool> used;                     // h-node already an image
+
+  bool consistent(Node u, Node v) const {
+    // All previously mapped nodes must agree on arcs with (u, v), both
+    // directions.
+    for (const Node w : order) {
+      const Node img = mapping[w];
+      if (img == kUnreachable) break;  // order prefix is the mapped set
+      if (g.has_arc(u, w) != h.has_arc(v, img)) return false;
+      if (g.has_arc(w, u) != h.has_arc(img, v)) return false;
+    }
+    return true;
+  }
+
+  bool extend(std::size_t index) {
+    if (index == order.size()) return true;
+    const Node u = order[index];
+    for (const Node v : candidates[u]) {
+      if (used[v]) continue;
+      if (!consistent(u, v)) continue;
+      mapping[u] = v;
+      used[v] = true;
+      if (extend(index + 1)) return true;
+      mapping[u] = kUnreachable;
+      used[v] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<Node>> find_isomorphism(const Graph& g, const Graph& h) {
+  if (g.num_nodes() != h.num_nodes() || g.num_arcs() != h.num_arcs()) {
+    return std::nullopt;
+  }
+  if (g.num_nodes() == 0) return std::vector<Node>{};
+
+  const auto sig_g = signatures(g);
+  const auto sig_h = signatures(h);
+
+  // Group h-nodes by signature; reject if the multisets differ.
+  std::map<Signature, std::vector<Node>> by_sig;
+  for (Node v = 0; v < h.num_nodes(); ++v) by_sig[sig_h[v]].push_back(v);
+  {
+    std::map<Signature, std::size_t> counts;
+    for (Node u = 0; u < g.num_nodes(); ++u) counts[sig_g[u]]++;
+    for (const auto& [sig, nodes] : by_sig) {
+      const auto it = counts.find(sig);
+      if (it == counts.end() || it->second != nodes.size()) return std::nullopt;
+    }
+  }
+
+  Matcher m{g, h, {}, {}, {}, {}};
+  m.candidates.resize(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const auto it = by_sig.find(sig_g[u]);
+    if (it == by_sig.end()) return std::nullopt;
+    m.candidates[u] = it->second;
+  }
+
+  // Order: start from a rarest-signature node, grow along arcs (ignoring
+  // direction) so each new node is constrained by mapped neighbors.
+  Node start = 0;
+  for (Node u = 1; u < g.num_nodes(); ++u) {
+    if (m.candidates[u].size() < m.candidates[start].size()) start = u;
+  }
+  std::vector<bool> queued(g.num_nodes(), false);
+  m.order.push_back(start);
+  queued[start] = true;
+  for (std::size_t head = 0; head < m.order.size(); ++head) {
+    for (const Node v : g.neighbors(m.order[head])) {
+      if (!queued[v]) {
+        queued[v] = true;
+        m.order.push_back(v);
+      }
+    }
+  }
+  // Append any nodes unreachable along out-arcs (directed or disconnected
+  // inputs).
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (!queued[u]) m.order.push_back(u);
+  }
+
+  m.mapping.assign(g.num_nodes(), kUnreachable);
+  m.used.assign(h.num_nodes(), false);
+  if (!m.extend(0)) return std::nullopt;
+  return m.mapping;
+}
+
+bool are_isomorphic(const Graph& g, const Graph& h) {
+  return find_isomorphism(g, h).has_value();
+}
+
+}  // namespace ipg

@@ -1,0 +1,24 @@
+#pragma once
+// Exact graph isomorphism for small instances (backtracking over a
+// refinement-ordered candidate list, VF2-style feasibility checks).
+//
+// Used to turn "same invariants" claims into proofs: e.g. that CCC(n) is
+// literally the symmetric ring-CN(n, Q1) (tests/ip_equivalences_test.cpp).
+// Intended for graphs up to a few hundred nodes; highly symmetric inputs
+// stay fast because candidates are pruned by distance signatures.
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// Finds an isomorphism g -> h (a node bijection preserving arcs exactly),
+/// or nullopt. Both digraphs may be directed; arc sets must correspond 1:1.
+std::optional<std::vector<Node>> find_isomorphism(const Graph& g, const Graph& h);
+
+/// Convenience wrapper.
+bool are_isomorphic(const Graph& g, const Graph& h);
+
+}  // namespace ipg

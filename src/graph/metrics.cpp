@@ -1,0 +1,40 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace ipg {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const Node n = g.num_nodes();
+  if (n == 0) return s;
+  s.min_degree = g.out_degree(0);
+  s.max_degree = g.out_degree(0);
+  std::uint64_t total = 0;
+  for (Node u = 0; u < n; ++u) {
+    const Node d = g.out_degree(u);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    total += d;
+  }
+  s.avg_degree = static_cast<double>(total) / static_cast<double>(n);
+  s.regular = s.min_degree == s.max_degree;
+  return s;
+}
+
+TopologyProfile profile(const Graph& g) {
+  TopologyProfile p;
+  p.nodes = g.num_nodes();
+  p.symmetric_digraph = g.is_symmetric();
+  p.links = p.symmetric_digraph ? g.num_arcs() / 2 : g.num_arcs();
+  p.degree = degree_stats(g).max_degree;
+  const DistanceSummary d = all_pairs_distance_summary(g);
+  p.diameter = d.diameter;
+  p.average_distance = d.average_distance;
+  p.connected = d.strongly_connected;
+  return p;
+}
+
+}  // namespace ipg

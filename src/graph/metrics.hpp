@@ -1,0 +1,44 @@
+#pragma once
+// Degree statistics and whole-graph topological metrics.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// Out-degree statistics. For symmetric digraphs (undirected networks)
+/// out-degree equals node degree.
+struct DegreeStats {
+  Node min_degree = 0;
+  Node max_degree = 0;
+  double avg_degree = 0.0;
+  bool regular = true;  ///< all nodes share the same out-degree
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Topological profile used by the figure harnesses: exact degree,
+/// diameter and average distance (all-pairs BFS).
+struct TopologyProfile {
+  std::uint64_t nodes = 0;
+  std::uint64_t links = 0;  ///< undirected links for symmetric graphs, arcs otherwise
+  Node degree = 0;          ///< max out-degree
+  Dist diameter = 0;
+  double average_distance = 0.0;
+  bool connected = true;
+  bool symmetric_digraph = true;
+};
+
+/// Computes the full profile. Cost: one BFS per node; intended for
+/// instances small enough to enumerate (the analysis layer supplies closed
+/// forms beyond that).
+TopologyProfile profile(const Graph& g);
+
+/// DD-cost: degree times diameter, the composite figure of merit of
+/// Section 5.1 (after Bhuyan & Agrawal).
+inline std::uint64_t dd_cost(const TopologyProfile& p) {
+  return static_cast<std::uint64_t>(p.degree) * p.diameter;
+}
+
+}  // namespace ipg

@@ -1,0 +1,36 @@
+#include "graph/quotient.hpp"
+
+#include <cassert>
+
+#include "graph/builder.hpp"
+
+namespace ipg {
+
+Graph quotient_graph(const Graph& g, std::span<const std::uint32_t> color,
+                     std::uint32_t num_colors) {
+  assert(color.size() == g.num_nodes());
+  GraphBuilder b(num_colors);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const std::uint32_t cu = color[u];
+    assert(cu < num_colors);
+    for (const Node v : g.neighbors(u)) {
+      const std::uint32_t cv = color[v];
+      if (cu != cv) b.add_arc(cu, cv);
+    }
+  }
+  return std::move(b).build();
+}
+
+std::uint64_t count_cross_color_arcs(const Graph& g,
+                                     std::span<const std::uint32_t> color) {
+  assert(color.size() == g.num_nodes());
+  std::uint64_t crossings = 0;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.neighbors(u)) {
+      if (color[u] != color[v]) ++crossings;
+    }
+  }
+  return crossings;
+}
+
+}  // namespace ipg

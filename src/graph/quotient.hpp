@@ -1,0 +1,28 @@
+#pragma once
+// Graph contraction by node coloring.
+//
+// Used in two places that the paper calls out:
+//   * the *module graph* (one node per packaging module) that makes exact
+//     I-diameter / average I-distance computations cheap (Section 5.2);
+//   * *quotient variants* of super-IP graphs such as QCN(l; Q7/Q3), formed
+//     by merging each 3-cube of the nucleus into a single node (Fig. 3).
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// Contracts `g` by `color`: the result has `num_colors` nodes and an arc
+/// c1 -> c2 whenever some arc of `g` joins differently-colored nodes with
+/// those colors. Parallel arcs are merged; self-loops are dropped.
+/// `color[u]` must be < `num_colors` for every node.
+Graph quotient_graph(const Graph& g, std::span<const std::uint32_t> color,
+                     std::uint32_t num_colors);
+
+/// Number of arcs of `g` that cross between colors (counts each direction).
+std::uint64_t count_cross_color_arcs(const Graph& g,
+                                     std::span<const std::uint32_t> color);
+
+}  // namespace ipg

@@ -1,0 +1,49 @@
+#include "graph/surgery.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace ipg {
+
+FaultedGraph remove_nodes(const Graph& g, std::span<const Node> failed) {
+  FaultedGraph out;
+  std::vector<bool> dead(g.num_nodes(), false);
+  for (const Node f : failed) dead[f] = true;
+
+  out.new_id.assign(g.num_nodes(), kUnreachable);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (dead[u]) continue;
+    out.new_id[u] = static_cast<Node>(out.original_id.size());
+    out.original_id.push_back(u);
+  }
+
+  GraphBuilder b(static_cast<Node>(out.original_id.size()));
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (dead[u]) continue;
+    for (const Node v : g.neighbors(u)) {
+      if (!dead[v]) b.add_arc(out.new_id[u], out.new_id[v]);
+    }
+  }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+Graph remove_links(const Graph& g,
+                   std::span<const std::pair<Node, Node>> failed) {
+  const auto is_failed = [&](Node u, Node v) {
+    return std::any_of(failed.begin(), failed.end(), [&](const auto& link) {
+      return (link.first == u && link.second == v) ||
+             (link.first == v && link.second == u);
+    });
+  };
+  GraphBuilder b(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.neighbors(u)) {
+      if (!is_failed(u, v)) b.add_arc(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg

@@ -1,0 +1,28 @@
+#pragma once
+// Fault injection: derive a network with failed nodes or links removed.
+// Used by the fault-tolerance tests and benches to check that k-connected
+// networks (graph/flow.hpp) really survive k-1 arbitrary node failures.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// The surviving subgraph after deleting `failed` nodes, plus the mapping
+/// from surviving new ids back to the original ids.
+struct FaultedGraph {
+  Graph graph;
+  std::vector<Node> original_id;  ///< new id -> old id
+  std::vector<Node> new_id;       ///< old id -> new id (kUnreachable if failed)
+};
+
+/// Removes the given nodes (duplicates allowed) and every incident arc.
+FaultedGraph remove_nodes(const Graph& g, std::span<const Node> failed);
+
+/// Removes the given undirected links (both arc directions).
+Graph remove_links(const Graph& g,
+                   std::span<const std::pair<Node, Node>> failed);
+
+}  // namespace ipg

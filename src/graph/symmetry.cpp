@@ -1,0 +1,54 @@
+#include "graph/symmetry.hpp"
+
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+
+namespace ipg {
+
+bool is_regular(const Graph& g) { return degree_stats(g).regular; }
+
+namespace {
+
+std::vector<std::uint64_t> histogram_from(const Graph& g, BfsScratch& scratch,
+                                          Node src) {
+  const auto dist = scratch.run(g, src);
+  std::vector<std::uint64_t> h;
+  std::uint64_t unreachable = 0;
+  for (const Dist d : dist) {
+    if (d == kUnreachable) {
+      ++unreachable;
+      continue;
+    }
+    if (d >= h.size()) h.resize(d + 1, 0);
+    h[d]++;
+  }
+  if (unreachable != 0) {
+    // Distinguish sources by how much of the graph they miss.
+    h.push_back(kUnreachable);
+    h.push_back(unreachable);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool distance_profiles_identical(const Graph& g, std::span<const Node> sources) {
+  if (sources.empty()) return true;
+  BfsScratch scratch(g.num_nodes());
+  const auto reference = histogram_from(g, scratch, sources.front());
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    if (histogram_from(g, scratch, sources[i]) != reference) return false;
+  }
+  return true;
+}
+
+bool looks_vertex_transitive(const Graph& g) {
+  if (!is_regular(g)) return false;
+  std::vector<Node> all(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) all[u] = u;
+  return distance_profiles_identical(g, all);
+}
+
+}  // namespace ipg

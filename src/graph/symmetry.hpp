@@ -1,0 +1,28 @@
+#pragma once
+// Vertex-symmetry checks.
+//
+// Symmetric super-IP graphs are Cayley graphs and therefore
+// vertex-symmetric (Section 3.5); plain super-IP graphs generally are not.
+// Full automorphism search is overkill here, so the library checks the
+// standard necessary condition: every node sees the same distance
+// distribution. For the small, highly structured instances in the tests
+// this invariant separates the symmetric variants from the plain ones.
+
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// True iff every node has the same out-degree.
+bool is_regular(const Graph& g);
+
+/// True iff the per-source distance histograms of all `sources` are
+/// identical (a necessary condition for vertex-transitivity; use all nodes
+/// for the exact check on small graphs).
+bool distance_profiles_identical(const Graph& g, std::span<const Node> sources);
+
+/// Exact necessary-condition check over all nodes.
+bool looks_vertex_transitive(const Graph& g);
+
+}  // namespace ipg

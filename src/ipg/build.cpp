@@ -1,0 +1,63 @@
+#include "ipg/build.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace ipg {
+
+Node IPGraph::node_of(const Label& x) const {
+  const auto it = index.find(x);
+  return it == index.end() ? kInvalidIPNode : it->second;
+}
+
+Node IPGraph::apply_generator(Node u, int gen) const {
+  assert(u < num_nodes());
+  assert(gen >= 0 && gen < static_cast<int>(spec.generators.size()));
+  const Node v = node_of(spec.generators[gen].perm.apply(labels[u]));
+  assert(v != kInvalidIPNode && "generated set must be closed");
+  return v;
+}
+
+IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes) {
+  if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
+
+  IPGraph out;
+  out.labels.push_back(spec.seed);
+  out.index.emplace(spec.seed, Node{0});
+
+  struct Arc {
+    Node u, v;
+    EdgeTag tag;
+  };
+  std::vector<Arc> arcs;
+  Label scratch;
+
+  // BFS over labels; out.labels doubles as the queue.
+  for (Node u = 0; u < out.labels.size(); ++u) {
+    for (std::size_t gen = 0; gen < spec.generators.size(); ++gen) {
+      // Careful: out.labels may reallocate when a new node is appended, so
+      // apply the generator before taking any reference that must survive.
+      spec.generators[gen].perm.apply_into(out.labels[u], scratch);
+      auto [it, inserted] = out.index.try_emplace(scratch, static_cast<Node>(out.labels.size()));
+      if (inserted) {
+        if (out.labels.size() >= max_nodes) {
+          throw std::length_error("IP graph closure for " + spec.name +
+                                  " exceeds max_nodes");
+        }
+        out.labels.push_back(scratch);
+      }
+      arcs.push_back(Arc{u, it->second, static_cast<EdgeTag>(gen)});
+    }
+  }
+
+  GraphBuilder b(static_cast<Node>(out.labels.size()), /*tagged=*/true);
+  b.reserve(arcs.size());
+  for (const Arc& a : arcs) b.add_arc(a.u, a.v, a.tag);
+  out.graph = std::move(b).build();
+  out.spec = std::move(spec);
+  return out;
+}
+
+}  // namespace ipg

@@ -1,0 +1,44 @@
+#pragma once
+// IP-graph construction: closes the seed label under the generator set by
+// breadth-first exploration of the ball-arrangement game's state space
+// (Section 2). This is the executable heart of the model — every network
+// family in src/ipg/families.hpp is produced through this one function.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ipg/label.hpp"
+#include "ipg/spec.hpp"
+
+namespace ipg {
+
+/// A realized IP graph: the CSR digraph (arc tags = generator indices),
+/// the node -> label table in discovery (BFS) order with the seed as node
+/// 0, and the inverse label -> node index.
+struct IPGraph {
+  IPGraphSpec spec;
+  Graph graph;
+  std::vector<Label> labels;
+  std::unordered_map<Label, Node, LabelHash> index;
+
+  Node num_nodes() const noexcept { return graph.num_nodes(); }
+
+  /// Node id of `x`, or kInvalidIPNode when `x` is not a generated element.
+  Node node_of(const Label& x) const;
+
+  /// Neighbor reached from `u` by generator `gen` (label-level application;
+  /// may be `u` itself when the generator fixes the label).
+  Node apply_generator(Node u, int gen) const;
+};
+
+inline constexpr Node kInvalidIPNode = 0xffffffffu;
+
+/// Builds the IP graph for `spec`. Throws std::length_error if the closure
+/// exceeds `max_nodes` — a guard against accidentally requesting an
+/// enumeration far beyond laptop scale (the analysis layer's closed forms
+/// take over there).
+IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes = 1u << 24);
+
+}  // namespace ipg

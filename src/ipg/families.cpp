@@ -1,0 +1,395 @@
+#include "ipg/families.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+
+namespace ipg {
+
+// --------------------------------------------------------------------------
+// Super-generator sets.
+
+std::vector<Generator> transposition_super_gens(int l) {
+  assert(l >= 2);
+  std::vector<Generator> out;
+  for (int i = 1; i < l; ++i) {
+    out.push_back(Generator{"T" + std::to_string(i + 1),
+                            Permutation::transposition(l, 0, i), true});
+  }
+  return out;
+}
+
+std::vector<Generator> ring_shift_super_gens(int l) {
+  assert(l >= 2);
+  std::vector<Generator> out;
+  out.push_back(Generator{"L", Permutation::rotate_left(l, 1), true});
+  if (l > 2) {
+    out.push_back(Generator{"R", Permutation::rotate_right(l, 1), true});
+  }
+  return out;
+}
+
+std::vector<Generator> complete_shift_super_gens(int l) {
+  assert(l >= 2);
+  std::vector<Generator> out;
+  for (int s = 1; s < l; ++s) {
+    out.push_back(Generator{"L" + std::to_string(s),
+                            Permutation::rotate_left(l, s), true});
+  }
+  return out;
+}
+
+std::vector<Generator> directed_shift_super_gens(int l) {
+  assert(l >= 2);
+  return {Generator{"L", Permutation::rotate_left(l, 1), true}};
+}
+
+std::vector<Generator> flip_super_gens(int l) {
+  assert(l >= 2);
+  std::vector<Generator> out;
+  for (int i = 2; i <= l; ++i) {
+    out.push_back(Generator{"F" + std::to_string(i),
+                            Permutation::flip_prefix(l, i), true});
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Nucleus specs.
+
+namespace {
+
+Label iota_label(int m) {
+  std::vector<int> symbols(m);
+  for (int i = 0; i < m; ++i) symbols[i] = i + 1;
+  return make_label(symbols);
+}
+
+}  // namespace
+
+IPGraphSpec hypercube_nucleus(int n) {
+  assert(n >= 1);
+  IPGraphSpec out;
+  out.name = "Q" + std::to_string(n);
+  out.seed = iota_label(2 * n);
+  for (int i = 0; i < n; ++i) {
+    out.generators.push_back(Generator{
+        "X" + std::to_string(i + 1),
+        Permutation::transposition(2 * n, 2 * i, 2 * i + 1), false});
+  }
+  return out;
+}
+
+IPGraphSpec folded_hypercube_nucleus(int n) {
+  assert(n >= 2);
+  IPGraphSpec out = hypercube_nucleus(n);
+  out.name = "FQ" + std::to_string(n);
+  // The complement generator swaps every pair at once.
+  Permutation all = Permutation::identity(2 * n);
+  for (int i = 0; i < n; ++i) {
+    all = all.then(Permutation::transposition(2 * n, 2 * i, 2 * i + 1));
+  }
+  out.generators.push_back(Generator{"C", all, false});
+  return out;
+}
+
+IPGraphSpec star_nucleus(int n) {
+  assert(n >= 2);
+  IPGraphSpec out;
+  out.name = "S" + std::to_string(n);
+  out.seed = iota_label(n);
+  for (int i = 1; i < n; ++i) {
+    out.generators.push_back(Generator{"pi" + std::to_string(i + 1),
+                                       Permutation::transposition(n, 0, i),
+                                       false});
+  }
+  return out;
+}
+
+IPGraphSpec pancake_nucleus(int n) {
+  assert(n >= 2);
+  IPGraphSpec out;
+  out.name = "P" + std::to_string(n) + "(pancake)";
+  out.seed = iota_label(n);
+  for (int i = 2; i <= n; ++i) {
+    out.generators.push_back(Generator{"F" + std::to_string(i),
+                                       Permutation::flip_prefix(n, i), false});
+  }
+  return out;
+}
+
+IPGraphSpec bubble_sort_nucleus(int n) {
+  assert(n >= 2);
+  IPGraphSpec out;
+  out.name = "B" + std::to_string(n);
+  out.seed = iota_label(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    out.generators.push_back(Generator{"b" + std::to_string(i + 1),
+                                       Permutation::transposition(n, i, i + 1),
+                                       false});
+  }
+  return out;
+}
+
+IPGraphSpec complete_nucleus(int r) {
+  assert(r >= 2);
+  IPGraphSpec out;
+  out.name = "K" + std::to_string(r);
+  out.seed = iota_label(r);
+  for (int s = 1; s < r; ++s) {
+    out.generators.push_back(
+        Generator{"rot" + std::to_string(s), Permutation::rotate_left(r, s), false});
+  }
+  return out;
+}
+
+IPGraphSpec cycle_nucleus(int r) {
+  assert(r >= 3);
+  IPGraphSpec out;
+  out.name = "C" + std::to_string(r);
+  out.seed = iota_label(r);
+  out.generators.push_back(Generator{"+1", Permutation::rotate_left(r, 1), false});
+  out.generators.push_back(Generator{"-1", Permutation::rotate_right(r, 1), false});
+  return out;
+}
+
+IPGraphSpec generalized_hypercube_nucleus(std::span<const int> radices) {
+  assert(!radices.empty());
+  int m = 0;
+  for (const int r : radices) {
+    assert(r >= 2);
+    m += r;
+  }
+  IPGraphSpec out;
+  out.name = "GH(";
+  out.seed = iota_label(m);
+  int offset = 0;
+  for (std::size_t d = 0; d < radices.size(); ++d) {
+    const int r = radices[d];
+    out.name += (d ? "," : "") + std::to_string(r);
+    for (int s = 1; s < r; ++s) {
+      out.generators.push_back(Generator{
+          "d" + std::to_string(d + 1) + "s" + std::to_string(s),
+          Permutation::rotate_left(r, s).embed(m, offset), false});
+    }
+    offset += r;
+  }
+  out.name += ")";
+  return out;
+}
+
+IPGraphSpec kary_ncube_nucleus(int k, int n) {
+  assert(k >= 2 && n >= 1);
+  const int m = k * n;
+  IPGraphSpec out;
+  out.name = std::to_string(k) + "-ary-" + std::to_string(n) + "-cube";
+  out.seed = iota_label(m);
+  for (int d = 0; d < n; ++d) {
+    const int offset = d * k;
+    out.generators.push_back(Generator{
+        "d" + std::to_string(d + 1) + "+",
+        Permutation::rotate_left(k, 1).embed(m, offset), false});
+    if (k > 2) {
+      out.generators.push_back(Generator{
+          "d" + std::to_string(d + 1) + "-",
+          Permutation::rotate_right(k, 1).embed(m, offset), false});
+    }
+  }
+  return out;
+}
+
+IPGraphSpec rotator_nucleus(int n) {
+  assert(n >= 2);
+  IPGraphSpec out;
+  out.name = "R" + std::to_string(n) + "(rotator)";
+  out.seed = iota_label(n);
+  for (int i = 2; i <= n; ++i) {
+    out.generators.push_back(Generator{
+        "r" + std::to_string(i), Permutation::rotate_left(i, 1).embed(n, 0),
+        false});
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Family assembly.
+
+namespace {
+
+SuperIPSpec assemble(std::string name, int l, const IPGraphSpec& nucleus,
+                     std::vector<Generator> super_gens) {
+  SuperIPSpec out;
+  out.name = std::move(name);
+  out.l = l;
+  out.m = nucleus.label_length();
+  out.nucleus_gens = nucleus.generators;
+  out.super_gens = std::move(super_gens);
+  // A hierarchical nucleus (e.g. an inner HSN) may reuse super-generator
+  // names like "T2"; qualify nucleus names until unique so the lifted spec
+  // stays valid at any nesting depth.
+  std::unordered_set<std::string> used;
+  for (const Generator& s : out.super_gens) used.insert(s.name);
+  for (Generator& g : out.nucleus_gens) {
+    g.is_super = false;
+    while (used.contains(g.name)) g.name = "nuc:" + g.name;
+    used.insert(g.name);
+  }
+  out.seed = repeat_label(nucleus.seed, l);
+  if (!out.valid()) {
+    throw std::invalid_argument("invalid super-IP assembly: " + out.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+SuperIPSpec make_hsn(int l, const IPGraphSpec& g) {
+  return assemble("HSN(" + std::to_string(l) + "," + g.name + ")", l, g,
+                  transposition_super_gens(l));
+}
+
+SuperIPSpec make_ring_cn(int l, const IPGraphSpec& g) {
+  return assemble("ring-CN(" + std::to_string(l) + "," + g.name + ")", l, g,
+                  ring_shift_super_gens(l));
+}
+
+SuperIPSpec make_complete_cn(int l, const IPGraphSpec& g) {
+  return assemble("complete-CN(" + std::to_string(l) + "," + g.name + ")", l, g,
+                  complete_shift_super_gens(l));
+}
+
+SuperIPSpec make_directed_cn(int l, const IPGraphSpec& g) {
+  return assemble("directed-CN(" + std::to_string(l) + "," + g.name + ")", l, g,
+                  directed_shift_super_gens(l));
+}
+
+SuperIPSpec make_super_flip(int l, const IPGraphSpec& g) {
+  return assemble("SFN(" + std::to_string(l) + "," + g.name + ")", l, g,
+                  flip_super_gens(l));
+}
+
+SuperIPSpec make_hcn(int n) {
+  SuperIPSpec out = make_hsn(2, hypercube_nucleus(n));
+  out.name = "HCN(" + std::to_string(n) + "," + std::to_string(n) + ")";
+  return out;
+}
+
+SuperIPSpec make_hfn(int n) {
+  SuperIPSpec out = make_hsn(2, folded_hypercube_nucleus(n));
+  out.name = "HFN(" + std::to_string(n) + "," + std::to_string(n) + ")";
+  return out;
+}
+
+IPGraphSpec make_rhsn(int depth, const IPGraphSpec& g) {
+  assert(depth >= 0);
+  IPGraphSpec current = g;
+  for (int d = 0; d < depth; ++d) {
+    SuperIPSpec level = make_hsn(2, current);
+    level.name = "RHSN(" + std::to_string(d + 1) + "," + g.name + ")";
+    current = level.to_ip_spec();
+    current.name = level.name;
+  }
+  return current;
+}
+
+Graph add_hcn_diameter_links(const IPGraph& hcn, int n) {
+  const int m = 2 * n;
+  assert(hcn.spec.label_length() == 2 * m);
+  GraphBuilder b(hcn.num_nodes());
+  b.reserve(hcn.graph.num_arcs() + hcn.num_nodes());
+  for (Node u = 0; u < hcn.num_nodes(); ++u) {
+    for (const Node v : hcn.graph.neighbors(u)) b.add_arc(u, v);
+  }
+  for (Node u = 0; u < hcn.num_nodes(); ++u) {
+    const Label& x = hcn.labels[u];
+    if (!std::equal(x.begin(), x.begin() + m, x.begin() + m)) continue;
+    // Complement both halves: swap the two symbols of every pair.
+    Label y(x);
+    for (int p = 0; p + 1 < 2 * m; p += 2) std::swap(y[p], y[p + 1]);
+    const Node v = hcn.node_of(y);
+    assert(v != kInvalidIPNode);
+    b.add_arc(u, v);  // the complement node also satisfies x==y, adding v->u
+  }
+  return std::move(b).build();
+}
+
+// --------------------------------------------------------------------------
+// Direct tuple-space construction.
+
+Node TupleNetwork::encode(std::span<const Node> tuple) const {
+  assert(static_cast<int>(tuple.size()) == l);
+  Node id = 0;
+  for (const Node v : tuple) {
+    assert(v < nucleus_size);
+    id = id * nucleus_size + v;
+  }
+  return id;
+}
+
+std::vector<Node> TupleNetwork::decode(Node id) const {
+  std::vector<Node> tuple(l);
+  for (int i = l - 1; i >= 0; --i) {
+    tuple[i] = id % nucleus_size;
+    id /= nucleus_size;
+  }
+  return tuple;
+}
+
+std::uint32_t TupleNetwork::module_of(Node id) const {
+  // Module = the suffix (v_2 .. v_l): drop the leading coordinate.
+  Node suffix = 0;
+  const auto tuple = decode(id);
+  for (int i = 1; i < l; ++i) suffix = suffix * nucleus_size + tuple[i];
+  return suffix;
+}
+
+std::uint32_t TupleNetwork::num_modules() const {
+  std::uint32_t out = 1;
+  for (int i = 1; i < l; ++i) out *= nucleus_size;
+  return out;
+}
+
+TupleNetwork build_super_network_direct(const Graph& nucleus, int l,
+                                        std::span<const Generator> super_gens) {
+  assert(l >= 2);
+  TupleNetwork out;
+  out.nucleus_size = nucleus.num_nodes();
+  out.l = l;
+
+  std::uint64_t n = 1;
+  for (int i = 0; i < l; ++i) {
+    n *= nucleus.num_nodes();
+    if (n > (1ull << 31)) throw std::length_error("tuple network too large");
+  }
+
+  GraphBuilder b(static_cast<Node>(n));
+  const std::int64_t stride = static_cast<std::int64_t>(n / nucleus.num_nodes());
+  std::vector<Node> tuple(l), moved(l);
+  for (Node u = 0; u < n; ++u) {
+    // Decode inline (avoid per-node allocation).
+    Node id = u;
+    for (int i = l - 1; i >= 0; --i) {
+      tuple[i] = id % nucleus.num_nodes();
+      id /= nucleus.num_nodes();
+    }
+    // Nucleus arcs on the leading coordinate (most significant digit).
+    const Node head = tuple[0];
+    for (const Node w : nucleus.neighbors(head)) {
+      const std::int64_t v =
+          static_cast<std::int64_t>(u) +
+          (static_cast<std::int64_t>(w) - static_cast<std::int64_t>(head)) * stride;
+      b.add_arc(u, static_cast<Node>(v));
+    }
+    // Super-generator arcs permute coordinates.
+    for (const Generator& g : super_gens) {
+      for (int p = 0; p < l; ++p) moved[p] = tuple[g.perm[p]];
+      b.add_arc(u, out.encode(moved));
+    }
+  }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+}  // namespace ipg

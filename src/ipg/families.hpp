@@ -1,0 +1,155 @@
+#pragma once
+// The paper's network families (Section 3), built from three ingredients:
+//   * nucleus IP specs (hypercube, folded hypercube, star, pancake,
+//     bubble-sort, complete graph, cycle, generalized hypercube);
+//   * super-generator sets (transpositions -> HSN, cyclic shifts -> CN,
+//     flips -> super-flip networks);
+//   * the generic SuperIPSpec assembly.
+// Because make_hsn/make_*_cn/make_super_flip accept *any* IP spec as the
+// nucleus — including the spec of another super-IP graph — recursively
+// hierarchical networks (RHSN and friends) come out of plain composition.
+//
+// For nuclei with no convenient IP representation (e.g. the Petersen
+// graph), build_super_network_direct constructs the same network in tuple
+// space: nodes are l-tuples of nucleus vertices, nucleus edges act on the
+// leftmost coordinate and super-generators permute coordinates. On IP
+// nuclei the two constructions produce isomorphic graphs (tested).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ipg/build.hpp"
+#include "ipg/spec.hpp"
+#include "ipg/super.hpp"
+
+namespace ipg {
+
+// ---------------------------------------------------------------------------
+// Super-generator sets (block permutations over l positions).
+
+/// Transpositions T2..Tl (paper: (1,i)_m) — the HSN generators.
+std::vector<Generator> transposition_super_gens(int l);
+
+/// Ring shifts {L, R} (one generator when l == 2, where L == R).
+std::vector<Generator> ring_shift_super_gens(int l);
+
+/// All shifts L1..L(l-1) — complete cyclic-shift networks.
+std::vector<Generator> complete_shift_super_gens(int l);
+
+/// The single shift {L} — directed cyclic-shift networks.
+std::vector<Generator> directed_shift_super_gens(int l);
+
+/// Flips F2..Fl (reverse the first i blocks) — super-flip networks.
+std::vector<Generator> flip_super_gens(int l);
+
+// ---------------------------------------------------------------------------
+// Nucleus IP specs. All use seed symbols 1..m so that symmetric variants
+// (symmetric.hpp) can shift each block into a disjoint symbol range.
+
+/// n-cube Q_n in the paper's pair encoding: label 1..2n, one generator
+/// (2i-1, 2i) per dimension; bit i is the orientation of pair i.
+IPGraphSpec hypercube_nucleus(int n);
+
+/// Folded hypercube FQ_n: Q_n plus the all-pairs swap (complement) generator.
+IPGraphSpec folded_hypercube_nucleus(int n);
+
+/// Star graph S_n: generators (1, i), i = 2..n (Akers et al.).
+IPGraphSpec star_nucleus(int n);
+
+/// Pancake graph: prefix-flip generators of length 2..n.
+IPGraphSpec pancake_nucleus(int n);
+
+/// Bubble-sort graph: adjacent transpositions (i, i+1).
+IPGraphSpec bubble_sort_nucleus(int n);
+
+/// Complete graph K_r as an IP graph: label 1..r, all nontrivial rotations.
+IPGraphSpec complete_nucleus(int r);
+
+/// Cycle C_r: rotations by +-1.
+IPGraphSpec cycle_nucleus(int r);
+
+/// Generalized hypercube GH(radices): one symbol block per dimension d of
+/// size radices[d], with all rotations inside the block; node degree
+/// sum(r_d - 1), diameter = #dimensions (Bhuyan & Agrawal [7]) — the
+/// nucleus the paper recommends for diameter-optimal super-IP graphs.
+IPGraphSpec generalized_hypercube_nucleus(std::span<const int> radices);
+
+/// k-ary n-cube (torus) as an IP graph: one k-symbol block per dimension
+/// with +-1 rotations inside the block — the product-of-cycles Cayley
+/// form the paper lists among the classic examples. Coordinate d of a
+/// node decodes as label[offset_d] - offset_d - 1.
+IPGraphSpec kary_ncube_nucleus(int k, int n);
+
+/// Rotator graph (Corbett [9]): n! nodes, directed generators that rotate
+/// the first i symbols left by one, i = 2..n; degree n-1, diameter n-1 —
+/// the directed counterpart of the star/pancake Cayley family.
+IPGraphSpec rotator_nucleus(int n);
+
+// ---------------------------------------------------------------------------
+// Family assembly.
+
+/// HSN(l, G): hierarchical swap network over nucleus spec `g`.
+SuperIPSpec make_hsn(int l, const IPGraphSpec& g);
+
+/// Ring cyclic-shift network ring-CN(l, G) (also "basic-CN").
+SuperIPSpec make_ring_cn(int l, const IPGraphSpec& g);
+
+/// Complete cyclic-shift network complete-CN(l, G).
+SuperIPSpec make_complete_cn(int l, const IPGraphSpec& g);
+
+/// Directed cyclic-shift network (single L generator).
+SuperIPSpec make_directed_cn(int l, const IPGraphSpec& g);
+
+/// Super-flip network SFN(l, G).
+SuperIPSpec make_super_flip(int l, const IPGraphSpec& g);
+
+/// HCN(n, n) without diameter links, i.e. HSN(2, Q_n) (Section 2's worked
+/// example).
+SuperIPSpec make_hcn(int n);
+
+/// Two-level folded-hypercube network, the super-IP representative of the
+/// HFN family [13] (Section 1 lists HFN among the networks the model
+/// unifies): HSN(2, FQ_n). Size 4^n, degree n + 2, diameter 2*ceil(n/2)+1.
+SuperIPSpec make_hfn(int n);
+
+/// Recursive hierarchical swapped network RHSN [26]: `depth`-fold nesting
+/// of two-level swap networks, RHSN(0, G) = G and
+/// RHSN(d, G) = HSN(2, RHSN(d-1, G)). Size = |G|^(2^depth). Works because
+/// a super-IP spec lifts to a plain IP spec usable as a nucleus.
+IPGraphSpec make_rhsn(int depth, const IPGraphSpec& g);
+
+/// Adds Ghose-Desai diameter links to an explicit HCN(n, n) graph: each
+/// node whose two halves are equal, (x, x), gains a link to (x~, x~) where
+/// x~ is the bitwise complement. Diameter links are content-dependent, so
+/// they are a graph-level decoration, not an IP generator.
+Graph add_hcn_diameter_links(const IPGraph& hcn, int n);
+
+// ---------------------------------------------------------------------------
+// Direct (tuple-space) construction for arbitrary nuclei.
+
+/// A super network realized on l-tuples of nucleus vertices.
+struct TupleNetwork {
+  Graph graph;
+  Node nucleus_size = 0;
+  int l = 0;
+
+  /// Tuple encoding: node id = v_1 * M^(l-1) + v_2 * M^(l-2) + ... + v_l.
+  Node encode(std::span<const Node> tuple) const;
+  std::vector<Node> decode(Node id) const;
+
+  /// Module id with one nucleus per module: the suffix (v_2, ..., v_l).
+  std::uint32_t module_of(Node id) const;
+  std::uint32_t num_modules() const;
+};
+
+/// Builds the super network over an explicit nucleus graph: nucleus arcs
+/// act on coordinate v_1; each block generator beta sends (v_1..v_l) to
+/// (v_beta(1)..v_beta(l)). Equivalent to build_super_ip_graph when the
+/// nucleus is an IP graph; works for any nucleus (e.g. Petersen).
+TupleNetwork build_super_network_direct(const Graph& nucleus, int l,
+                                        std::span<const Generator> super_gens);
+
+}  // namespace ipg

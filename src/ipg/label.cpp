@@ -1,0 +1,52 @@
+#include "ipg/label.hpp"
+
+#include <cassert>
+
+namespace ipg {
+
+std::size_t LabelHash::operator()(const Label& x) const noexcept {
+  std::size_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const std::uint8_t b : x) {
+    h ^= b;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string label_to_string(const Label& x) {
+  std::string out;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += std::to_string(static_cast<int>(x[i]));
+  }
+  return out;
+}
+
+std::string label_to_string_grouped(const Label& x, int group) {
+  assert(group > 0);
+  std::string out;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i != 0 && i % static_cast<std::size_t>(group) == 0) out += ' ';
+    out += std::to_string(static_cast<int>(x[i]));
+  }
+  return out;
+}
+
+Label make_label(const std::vector<int>& symbols) {
+  Label out;
+  out.reserve(symbols.size());
+  for (const int s : symbols) {
+    assert(s >= 0 && s < 256);
+    out.push_back(static_cast<std::uint8_t>(s));
+  }
+  return out;
+}
+
+Label repeat_label(const Label& block, int copies) {
+  Label out;
+  out.reserve(block.size() * static_cast<std::size_t>(copies));
+  for (int c = 0; c < copies; ++c) out.insert(out.end(), block.begin(), block.end());
+  return out;
+}
+
+}  // namespace ipg

@@ -1,0 +1,37 @@
+#pragma once
+// Node labels: sequences of (possibly repeated) symbols — the "balls" of
+// the ball-arrangement game (Section 2). Repetition is exactly what
+// distinguishes IP graphs from Cayley graphs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// A label is a sequence of small symbols. 8-bit symbols and <= 255
+/// positions cover every construction in the paper by a wide margin.
+using Label = std::vector<std::uint8_t>;
+
+/// FNV-1a over the symbol bytes; used for the label -> node index.
+struct LabelHash {
+  std::size_t operator()(const Label& x) const noexcept;
+};
+
+/// "1 2 3 4" style rendering (symbols are printed 1-based to match the
+/// paper's figures when the label was built from 1-based symbol values).
+std::string label_to_string(const Label& x);
+
+/// Rendering with a space between consecutive m-symbol groups, e.g.
+/// "12 34 12 34" — the paper's super-symbol visualization.
+std::string label_to_string_grouped(const Label& x, int group);
+
+/// Builds a label from an initializer-friendly vector<int> (values must fit
+/// in a byte).
+Label make_label(const std::vector<int>& symbols);
+
+/// Concatenates `copies` copies of `block` (the super-IP seed shape
+/// S1 S1 ... S1 of Section 3.1).
+Label repeat_label(const Label& block, int copies);
+
+}  // namespace ipg

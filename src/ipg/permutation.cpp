@@ -1,0 +1,144 @@
+#include "ipg/permutation.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace ipg {
+
+Permutation::Permutation(std::vector<std::uint8_t> one_line) : p_(std::move(one_line)) {
+#ifndef NDEBUG
+  std::vector<bool> seen(p_.size(), false);
+  for (const std::uint8_t v : p_) {
+    assert(v < p_.size() && !seen[v] && "not a permutation");
+    seen[v] = true;
+  }
+#endif
+}
+
+Permutation Permutation::identity(int k) {
+  std::vector<std::uint8_t> p(k);
+  std::iota(p.begin(), p.end(), std::uint8_t{0});
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::transposition(int k, int i, int j) {
+  assert(i >= 0 && j >= 0 && i < k && j < k && i != j);
+  Permutation out = identity(k);
+  std::swap(out.p_[i], out.p_[j]);
+  return out;
+}
+
+Permutation Permutation::rotate_left(int k, int s) {
+  assert(k > 0);
+  s = ((s % k) + k) % k;
+  std::vector<std::uint8_t> p(k);
+  for (int i = 0; i < k; ++i) p[i] = static_cast<std::uint8_t>((i + s) % k);
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::rotate_right(int k, int s) { return rotate_left(k, -s); }
+
+Permutation Permutation::flip_prefix(int k, int prefix) {
+  assert(prefix >= 1 && prefix <= k);
+  Permutation out = identity(k);
+  for (int i = 0; i < prefix; ++i) {
+    out.p_[i] = static_cast<std::uint8_t>(prefix - 1 - i);
+  }
+  return out;
+}
+
+Permutation Permutation::from_cycles(
+    int k, std::initializer_list<std::initializer_list<int>> cycles) {
+  // One-line p with out[i] = in[p[i]]. A cycle (a b c) moves the symbol at
+  // position a to position b, b to c, c to a; equivalently the new content
+  // of position b comes from position a, so p[b] = a.
+  Permutation out = identity(k);
+  for (const auto& cycle : cycles) {
+    const int len = static_cast<int>(cycle.size());
+    if (len < 2) continue;
+    std::vector<int> c(cycle);
+    for (int i = 0; i < len; ++i) {
+      const int from = c[i];
+      const int to = c[(i + 1) % len];
+      assert(from >= 0 && from < k && to >= 0 && to < k);
+      out.p_[to] = static_cast<std::uint8_t>(from);
+    }
+  }
+  return out;
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (int i = 0; i < size(); ++i) {
+    if (p_[i] != i) return false;
+  }
+  return true;
+}
+
+Label Permutation::apply(const Label& x) const {
+  Label out;
+  apply_into(x, out);
+  return out;
+}
+
+void Permutation::apply_into(const Label& x, Label& out) const {
+  assert(static_cast<int>(x.size()) == size());
+  out.resize(x.size());
+  for (int i = 0; i < size(); ++i) out[i] = x[p_[i]];
+}
+
+Permutation Permutation::then(const Permutation& next) const {
+  // next.apply(this->apply(x))[i] = this->apply(x)[next.p_[i]] = x[p_[next.p_[i]]].
+  assert(size() == next.size());
+  std::vector<std::uint8_t> q(p_.size());
+  for (int i = 0; i < size(); ++i) q[i] = p_[next.p_[i]];
+  return Permutation(std::move(q));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<std::uint8_t> q(p_.size());
+  for (int i = 0; i < size(); ++i) q[p_[i]] = static_cast<std::uint8_t>(i);
+  return Permutation(std::move(q));
+}
+
+Permutation Permutation::expand_blocks(int m) const {
+  std::vector<std::uint8_t> q(p_.size() * m);
+  for (int block = 0; block < size(); ++block) {
+    for (int j = 0; j < m; ++j) {
+      q[block * m + j] = static_cast<std::uint8_t>(p_[block] * m + j);
+    }
+  }
+  return Permutation(std::move(q));
+}
+
+Permutation Permutation::embed(int total, int at) const {
+  assert(at >= 0 && at + size() <= total);
+  Permutation out = identity(total);
+  for (int i = 0; i < size(); ++i) {
+    out.p_[at + i] = static_cast<std::uint8_t>(at + p_[i]);
+  }
+  return out;
+}
+
+std::string Permutation::to_cycle_string() const {
+  std::string out;
+  std::vector<bool> seen(p_.size(), false);
+  for (int start = 0; start < size(); ++start) {
+    if (seen[start] || p_[start] == start) continue;
+    out += '(';
+    int i = start;
+    bool first = true;
+    // Follow the orbit of positions: position i receives from p_[i].
+    do {
+      if (!first) out += ' ';
+      out += std::to_string(i);
+      seen[i] = true;
+      i = p_[i];
+      first = false;
+    } while (i != start);
+    out += ')';
+  }
+  if (out.empty()) out = "()";
+  return out;
+}
+
+}  // namespace ipg

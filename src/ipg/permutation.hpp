@@ -1,0 +1,84 @@
+#pragma once
+// Index permutations: the generators of the IP-graph model (Section 2).
+//
+// A permutation over k positions is stored in one-line notation `p` and
+// acts on a label X by (Xp)[i] = X[p[i]]. This matches the paper's
+// convention: the star-graph generator pi_1 = (1,2) maps x1 x2 x3... to
+// x2 x1 x3..., and pi_6 = 456123 maps y1..y6 to y4 y5 y6 y1 y2 y3.
+// Positions are 0-based in code; doc comments quote the paper's 1-based
+// cycle notation where helpful.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ipg/label.hpp"
+
+namespace ipg {
+
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// From one-line notation; `one_line` must be a permutation of 0..k-1.
+  explicit Permutation(std::vector<std::uint8_t> one_line);
+
+  /// Identity over k positions.
+  static Permutation identity(int k);
+
+  /// Transposition (i j) over k positions (paper: (i+1, j+1)).
+  static Permutation transposition(int k, int i, int j);
+
+  /// Cyclic left rotation by `s`: result[i] = label[(i + s) mod k]
+  /// (the paper's L generator shape: 234...1 for s = 1).
+  static Permutation rotate_left(int k, int s);
+
+  /// Cyclic right rotation by `s` (the paper's R generator, L's inverse).
+  static Permutation rotate_right(int k, int s);
+
+  /// Reversal of the first `prefix` positions (flip generator shape).
+  static Permutation flip_prefix(int k, int prefix);
+
+  /// From disjoint cycles over 0-based positions, e.g. {{0,1},{2,3}}.
+  static Permutation from_cycles(int k,
+                                 std::initializer_list<std::initializer_list<int>> cycles);
+
+  int size() const noexcept { return static_cast<int>(p_.size()); }
+  std::uint8_t operator[](int i) const noexcept { return p_[i]; }
+
+  bool is_identity() const noexcept;
+
+  /// Applies to a label of matching length: out[i] = in[p[i]].
+  Label apply(const Label& x) const;
+
+  /// In-place application using caller-provided scratch (hot path of the
+  /// IP-graph builder).
+  void apply_into(const Label& x, Label& out) const;
+
+  /// Composition: (*this then `next`), i.e. applying the result to a label
+  /// equals next.apply(this->apply(x)).
+  Permutation then(const Permutation& next) const;
+
+  Permutation inverse() const;
+
+  /// Expands a permutation of `l` blocks into a permutation of l*m
+  /// positions that moves whole m-symbol blocks without reordering inside
+  /// them — exactly how super-generators act on super-symbols (Section 3.1).
+  Permutation expand_blocks(int m) const;
+
+  /// Embeds this k-permutation into `total` positions at offset `at`
+  /// (identity elsewhere); used to lift nucleus generators to whole-label
+  /// generators acting on the leftmost super-symbol.
+  Permutation embed(int total, int at = 0) const;
+
+  /// Cycle notation for diagnostics, e.g. "(0 1)(2 3)".
+  std::string to_cycle_string() const;
+
+  friend bool operator==(const Permutation&, const Permutation&) = default;
+
+ private:
+  std::vector<std::uint8_t> p_;
+};
+
+}  // namespace ipg

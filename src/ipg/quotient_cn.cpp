@@ -1,0 +1,42 @@
+#include "ipg/quotient_cn.hpp"
+
+#include <cassert>
+
+#include "graph/quotient.hpp"
+
+namespace ipg {
+
+QuotientNetwork make_quotient_cn(const TupleNetwork& net,
+                                 [[maybe_unused]] int nucleus_bits,
+                                 int merged_bits) {
+  assert(net.nucleus_size == (Node{1} << nucleus_bits));
+  assert(merged_bits >= 1 && merged_bits < nucleus_bits);
+
+  const Node n = net.graph.num_nodes();
+  const std::uint32_t merged = 1u << merged_bits;
+  const std::uint32_t heads = net.nucleus_size / merged;  // merged leading values
+  const std::uint32_t suffixes = net.num_modules();
+
+  // Color = (v1 >> merged_bits, v2, ..., vl) in mixed radix.
+  std::vector<std::uint32_t> color(n);
+  for (Node u = 0; u < n; ++u) {
+    const auto tuple = net.decode(u);
+    std::uint32_t c = tuple[0] >> merged_bits;
+    for (int i = 1; i < net.l; ++i) c = c * net.nucleus_size + tuple[i];
+    color[u] = c;
+  }
+
+  QuotientNetwork out;
+  out.num_modules = suffixes;
+  out.nodes_per_module = heads;
+  out.graph = quotient_graph(net.graph, color, heads * suffixes);
+  // Physical node id = head * suffixes' ... mixed radix above: leading digit
+  // is the merged head, the rest is the suffix, so module = c % suffixes.
+  out.module_of.resize(out.graph.num_nodes());
+  for (Node p = 0; p < out.graph.num_nodes(); ++p) {
+    out.module_of[p] = p % suffixes;
+  }
+  return out;
+}
+
+}  // namespace ipg

@@ -1,0 +1,32 @@
+#pragma once
+// Quotient variants of super-IP graphs (Fig. 3 / Conclusion): merge each
+// small sub-network of the nucleus into a single physical node so that a
+// network with a large nucleus (e.g. CN(l, Q7)) meets a per-module node
+// budget (e.g. 16 = 2^(7-3) nodes after merging each Q3). The paper's
+// QCN(l; Q7/Q3) is make_quotient_cn over CN(l, Q7) with merged_bits = 3.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ipg/families.hpp"
+
+namespace ipg {
+
+/// A quotient super network built over a hypercube-nucleus tuple network.
+struct QuotientNetwork {
+  Graph graph;                          ///< merged (physical) topology
+  std::vector<std::uint32_t> module_of; ///< physical node -> module
+  std::uint32_t num_modules = 0;
+  std::uint32_t nodes_per_module = 0;   ///< physical nodes per module
+};
+
+/// Merges each 2^merged_bits-node subcube of the leading coordinate of a
+/// CN/HSN-style tuple network whose nucleus is the binary-coded hypercube
+/// Q_nucleus_bits (low `merged_bits` address bits collapse). Modules keep
+/// the one-nucleus-per-module rule: all physical nodes sharing the suffix
+/// (v2..vl).
+QuotientNetwork make_quotient_cn(const TupleNetwork& net, int nucleus_bits,
+                                 int merged_bits);
+
+}  // namespace ipg

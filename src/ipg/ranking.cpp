@@ -1,0 +1,42 @@
+#include "ipg/ranking.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ipg {
+
+SuperRanking::SuperRanking(const SuperIPSpec& spec)
+    : l_(spec.l), m_(spec.m), nucleus_(build_ip_graph(spec.nucleus_spec())) {
+  // Ranking presumes every super-symbol's content lies in the nucleus
+  // orbit, which holds exactly when all seed blocks are identical.
+  for (int i = 1; i < l_; ++i) {
+    if (spec.seed_block(i) != spec.seed_block(0)) {
+      throw std::invalid_argument(
+          "SuperRanking requires a plain super-IP seed (identical blocks)");
+    }
+  }
+}
+
+std::uint32_t SuperRanking::digit(const Label& full, int i) const {
+  const Node v = nucleus_.node_of(block_of(full, i, m_));
+  assert(v != kInvalidIPNode && "block content outside the nucleus orbit");
+  return v;
+}
+
+std::uint64_t SuperRanking::rank(const Label& full) const {
+  std::uint64_t r = 0;
+  for (int i = 0; i < l_; ++i) r = r * nucleus_.num_nodes() + digit(full, i);
+  return r;
+}
+
+std::string SuperRanking::radix_string(const Label& full) const {
+  const bool wide = nucleus_.num_nodes() > 10;
+  std::string out;
+  for (int i = 0; i < l_; ++i) {
+    if (wide && i != 0) out += '.';
+    out += std::to_string(digit(full, i));
+  }
+  return out;
+}
+
+}  // namespace ipg

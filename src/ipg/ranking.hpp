@@ -1,0 +1,38 @@
+#pragma once
+// Node ranking for super-IP graphs: maps each node to a radix-M numeral
+// with one digit per super-symbol (M = nucleus size), the labeling used in
+// Fig. 1 of the paper ("radix-4 node labels" for HSN(l, Q2)).
+
+#include <cstdint>
+#include <string>
+
+#include "ipg/build.hpp"
+#include "ipg/super.hpp"
+
+namespace ipg {
+
+/// Ranks nodes of a *plain* super-IP graph (identical seed blocks): digit i
+/// is the nucleus-graph node id of super-symbol i's content, and the rank
+/// is the base-M value of the digit string. Rank is a bijection onto
+/// [0, M^l) by Theorem 3.2.
+class SuperRanking {
+ public:
+  explicit SuperRanking(const SuperIPSpec& spec);
+
+  std::uint64_t nucleus_size() const noexcept { return nucleus_.num_nodes(); }
+
+  /// Digit of super-symbol `i` in `full` (its content's nucleus node id).
+  std::uint32_t digit(const Label& full, int i) const;
+
+  /// Base-M rank of the whole label.
+  std::uint64_t rank(const Label& full) const;
+
+  /// Digit string, e.g. "231" (digits < 10) or "2.3.1" otherwise.
+  std::string radix_string(const Label& full) const;
+
+ private:
+  int l_, m_;
+  IPGraph nucleus_;
+};
+
+}  // namespace ipg

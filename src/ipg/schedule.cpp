@@ -1,0 +1,179 @@
+#include "ipg/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace ipg {
+
+namespace {
+
+constexpr std::uint32_t kFactorial[9] = {1, 1, 2, 6, 24, 120, 720, 5040, 40320};
+
+/// Lehmer-code rank of an arrangement (O(l^2), l <= 8).
+std::uint32_t rank_arrangement(const Arrangement& a) {
+  const int l = static_cast<int>(a.size());
+  std::uint32_t r = 0;
+  for (int i = 0; i < l; ++i) {
+    std::uint32_t smaller = 0;
+    for (int j = i + 1; j < l; ++j) {
+      if (a[j] < a[i]) ++smaller;
+    }
+    r += smaller * kFactorial[l - 1 - i];
+  }
+  return r;
+}
+
+/// Inverse of rank_arrangement (factorial number system decode).
+Arrangement unrank_arrangement(std::uint32_t r, int l) {
+  Arrangement pool(l);
+  for (int i = 0; i < l; ++i) pool[i] = static_cast<std::uint8_t>(i);
+  Arrangement out(l);
+  for (int i = 0; i < l; ++i) {
+    const std::uint32_t f = kFactorial[l - 1 - i];
+    const std::uint32_t idx = r / f;
+    r %= f;
+    out[i] = pool[idx];
+    pool.erase(pool.begin() + idx);
+  }
+  return out;
+}
+
+struct Explored {
+  // dist/parent indexed by rank(arr) * 2^l + visited_mask.
+  std::vector<std::int32_t> dist;
+  std::vector<std::int32_t> parent_state;
+  std::vector<std::int8_t> parent_gen;
+  std::vector<std::uint32_t> queue;
+  int l = 0;
+
+  std::uint32_t state_id(const Arrangement& a, std::uint32_t mask) const {
+    return rank_arrangement(a) * (1u << l) + mask;
+  }
+
+  Arrangement arrangement_of(std::uint32_t state) const {
+    return unrank_arrangement(state >> l, l);
+  }
+};
+
+/// BFS over (arrangement, visited-front set), from the identity arrangement
+/// with only block 0 marked visited (it starts at the front).
+Explored explore(const SuperIPSpec& spec) {
+  Explored e;
+  e.l = spec.l;
+  assert(spec.l >= 2 && spec.l <= 8);
+  const std::uint32_t states = kFactorial[spec.l] * (1u << spec.l);
+  e.dist.assign(states, -1);
+  e.parent_state.assign(states, -1);
+  e.parent_gen.assign(states, -1);
+
+  Arrangement start(spec.l);
+  for (int i = 0; i < spec.l; ++i) start[i] = static_cast<std::uint8_t>(i);
+  const std::uint32_t s0 = e.state_id(start, 1u);  // block 0 begins at front
+  e.dist[s0] = 0;
+  e.queue.push_back(s0);
+
+  Arrangement next(spec.l);
+  for (std::size_t head = 0; head < e.queue.size(); ++head) {
+    const std::uint32_t s = e.queue[head];
+    const Arrangement arr = e.arrangement_of(s);
+    const std::uint32_t mask = s & ((1u << spec.l) - 1);
+    for (int g = 0; g < static_cast<int>(spec.super_gens.size()); ++g) {
+      const Permutation& beta = spec.super_gens[g].perm;
+      for (int p = 0; p < spec.l; ++p) next[p] = arr[beta[p]];
+      const std::uint32_t nmask = mask | (1u << next[0]);
+      const std::uint32_t ns = e.state_id(next, nmask);
+      if (e.dist[ns] < 0) {
+        e.dist[ns] = e.dist[s] + 1;
+        e.parent_state[ns] = static_cast<std::int32_t>(s);
+        e.parent_gen[ns] = static_cast<std::int8_t>(g);
+        e.queue.push_back(ns);
+      }
+    }
+  }
+  return e;
+}
+
+Schedule reconstruct(const Explored& e, std::uint32_t state) {
+  Schedule out;
+  out.final_arrangement = e.arrangement_of(state);
+  std::uint32_t s = state;
+  while (e.parent_gen[s] >= 0) {
+    out.gens.push_back(e.parent_gen[s]);
+    s = static_cast<std::uint32_t>(e.parent_state[s]);
+  }
+  std::reverse(out.gens.begin(), out.gens.end());
+  return out;
+}
+
+}  // namespace
+
+std::optional<Schedule> min_visit_all_schedule(const SuperIPSpec& spec) {
+  const Explored e = explore(spec);
+  const std::uint32_t full = (1u << spec.l) - 1;
+  std::int32_t best = -1;
+  std::uint32_t best_state = 0;
+  for (std::uint32_t r = 0; r < kFactorial[spec.l]; ++r) {
+    const std::uint32_t s = r * (1u << spec.l) + full;
+    if (e.dist[s] >= 0 && (best < 0 || e.dist[s] < best)) {
+      best = e.dist[s];
+      best_state = s;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return reconstruct(e, best_state);
+}
+
+std::optional<Schedule> schedule_to_arrangement(const SuperIPSpec& spec,
+                                                const Arrangement& target) {
+  assert(static_cast<int>(target.size()) == spec.l);
+  const Explored e = explore(spec);
+  const std::uint32_t full = (1u << spec.l) - 1;
+  const std::uint32_t s = rank_arrangement(target) * (1u << spec.l) + full;
+  if (e.dist[s] < 0) return std::nullopt;
+  return reconstruct(e, s);
+}
+
+int compute_t(const SuperIPSpec& spec) {
+  const auto sched = min_visit_all_schedule(spec);
+  return sched ? sched->length() : -1;
+}
+
+int compute_t_symmetric(const SuperIPSpec& spec) {
+  const Explored e = explore(spec);
+  const std::uint32_t full = (1u << spec.l) - 1;
+  int worst = -1;
+  for (std::uint32_t r = 0; r < kFactorial[spec.l]; ++r) {
+    // An arrangement is relevant if reachable with any visited mask.
+    bool reachable = false;
+    std::int32_t with_full = -1;
+    for (std::uint32_t mask = 0; mask <= full; ++mask) {
+      const std::int32_t d = e.dist[r * (1u << spec.l) + mask];
+      if (d >= 0) {
+        reachable = true;
+        if (mask == full) with_full = d;
+      }
+    }
+    if (!reachable) continue;
+    if (with_full < 0) return -1;  // arrangement reachable but never with all visited
+    worst = std::max(worst, with_full);
+  }
+  return worst;
+}
+
+std::uint64_t num_reachable_arrangements(const SuperIPSpec& spec) {
+  const Explored e = explore(spec);
+  const std::uint32_t full = (1u << spec.l) - 1;
+  std::uint64_t count = 0;
+  for (std::uint32_t r = 0; r < kFactorial[spec.l]; ++r) {
+    for (std::uint32_t mask = 0; mask <= full; ++mask) {
+      if (e.dist[r * (1u << spec.l) + mask] >= 0) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace ipg

@@ -1,0 +1,49 @@
+#include "ipg/spec.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipg {
+
+bool IPGraphSpec::inverse_closed() const {
+  for (const Generator& g : generators) {
+    const Permutation inv = g.perm.inverse();
+    const bool found =
+        std::any_of(generators.begin(), generators.end(),
+                    [&](const Generator& h) { return h.perm == inv; });
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<int> IPGraphSpec::super_generator_indices() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(generators.size()); ++i) {
+    if (generators[i].is_super) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> IPGraphSpec::nucleus_generator_indices() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(generators.size()); ++i) {
+    if (!generators[i].is_super) out.push_back(i);
+  }
+  return out;
+}
+
+bool IPGraphSpec::valid() const {
+  if (seed.empty()) return false;
+  for (const Generator& g : generators) {
+    if (g.perm.size() != label_length()) return false;
+    if (g.perm.is_identity()) return false;
+  }
+  for (std::size_t i = 0; i < generators.size(); ++i) {
+    for (std::size_t j = i + 1; j < generators.size(); ++j) {
+      if (generators[i].name == generators[j].name) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ipg

@@ -1,0 +1,43 @@
+#pragma once
+// IP-graph specifications: a seed label plus a set of named generators
+// (Section 2). The spec is the declarative form; build.hpp turns it into an
+// explicit graph by closing the seed under the generators.
+
+#include <string>
+#include <vector>
+
+#include "ipg/label.hpp"
+#include "ipg/permutation.hpp"
+
+namespace ipg {
+
+/// A named generator. `is_super` marks super-generators (block-moving
+/// permutations) in super-IP specs; plain IP specs leave it false.
+struct Generator {
+  std::string name;
+  Permutation perm;
+  bool is_super = false;
+};
+
+/// Declarative description of an IP graph.
+struct IPGraphSpec {
+  std::string name;                   ///< family tag for diagnostics, e.g. "HSN(3,Q2)"
+  Label seed;                         ///< the seed element
+  std::vector<Generator> generators;  ///< all permutations have seed.size() positions
+
+  int label_length() const noexcept { return static_cast<int>(seed.size()); }
+
+  /// True iff every generator's inverse is also a generator, i.e. the
+  /// resulting digraph is symmetric and models an undirected network.
+  bool inverse_closed() const;
+
+  /// Indices of super-generators / nucleus (non-super) generators.
+  std::vector<int> super_generator_indices() const;
+  std::vector<int> nucleus_generator_indices() const;
+
+  /// Validates internal consistency (sizes match, names unique); aborts via
+  /// assert in debug builds, returns false in release.
+  bool valid() const;
+};
+
+}  // namespace ipg

@@ -1,0 +1,77 @@
+#include "ipg/super.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace ipg {
+
+Label SuperIPSpec::seed_block(int i) const { return block_of(seed, i, m); }
+
+IPGraphSpec SuperIPSpec::to_ip_spec() const {
+  assert(valid());
+  IPGraphSpec out;
+  out.name = name;
+  out.seed = seed;
+  for (const Generator& g : nucleus_gens) {
+    out.generators.push_back(Generator{g.name, g.perm.embed(l * m, 0), false});
+  }
+  for (const Generator& g : super_gens) {
+    out.generators.push_back(Generator{g.name, g.perm.expand_blocks(m), true});
+  }
+  return out;
+}
+
+IPGraphSpec SuperIPSpec::nucleus_spec() const { return nucleus_spec(seed_block(0)); }
+
+IPGraphSpec SuperIPSpec::nucleus_spec(Label block_seed) const {
+  assert(static_cast<int>(block_seed.size()) == m);
+  IPGraphSpec out;
+  out.name = name + ".nucleus";
+  out.seed = std::move(block_seed);
+  out.generators = nucleus_gens;
+  return out;
+}
+
+bool SuperIPSpec::valid() const {
+  if (l < 2 || m < 1) return false;
+  if (static_cast<int>(seed.size()) != l * m) return false;
+  for (const Generator& g : nucleus_gens) {
+    if (g.perm.size() != m || g.perm.is_identity()) return false;
+  }
+  for (const Generator& g : super_gens) {
+    if (g.perm.size() != l || g.perm.is_identity()) return false;
+  }
+  return !super_gens.empty();
+}
+
+IPGraph build_super_ip_graph(const SuperIPSpec& spec, std::uint64_t max_nodes) {
+  return build_ip_graph(spec.to_ip_spec(), max_nodes);
+}
+
+ModuleAssignment nucleus_modules(const IPGraph& g, int m) {
+  ModuleAssignment out;
+  out.module_of.resize(g.num_nodes());
+  std::unordered_map<Label, std::uint32_t, LabelHash> ids;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const Label& x = g.labels[u];
+    assert(static_cast<int>(x.size()) > m);
+    Label suffix(x.begin() + m, x.end());
+    const auto [it, inserted] = ids.try_emplace(std::move(suffix), out.num_modules);
+    if (inserted) ++out.num_modules;
+    out.module_of[u] = it->second;
+  }
+  return out;
+}
+
+Label block_of(const Label& x, int i, int m) {
+  assert(i >= 0 && (i + 1) * m <= static_cast<int>(x.size()));
+  return Label(x.begin() + i * m, x.begin() + (i + 1) * m);
+}
+
+void set_block(Label& x, int i, int m, const Label& content) {
+  assert(static_cast<int>(content.size()) == m);
+  assert(i >= 0 && (i + 1) * m <= static_cast<int>(x.size()));
+  std::copy(content.begin(), content.end(), x.begin() + i * m);
+}
+
+}  // namespace ipg

@@ -1,0 +1,69 @@
+#pragma once
+// Super-IP graphs (Section 3): IP graphs whose seed is l groups
+// (super-symbols) of m symbols, with nucleus generators permuting the
+// leftmost group and super-generators permuting whole groups.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ipg/build.hpp"
+#include "ipg/label.hpp"
+#include "ipg/spec.hpp"
+
+namespace ipg {
+
+/// Declarative description of a super-IP graph. Nucleus generators are
+/// given as m-position permutations, super-generators as l-position *block*
+/// permutations; to_ip_spec() lifts both onto the full l*m-symbol label.
+struct SuperIPSpec {
+  std::string name;
+  int l = 0;  ///< number of super-symbols in a label
+  int m = 0;  ///< symbols per super-symbol
+
+  std::vector<Generator> nucleus_gens;  ///< permutations over m positions
+  std::vector<Generator> super_gens;    ///< block permutations over l positions
+
+  /// Full seed (length l*m). Plain super-IP graphs use l identical copies
+  /// of the nucleus seed; symmetric variants use distinct-symbol blocks
+  /// (Section 3.5).
+  Label seed;
+
+  int label_length() const noexcept { return l * m; }
+
+  /// Seed content of super-symbol `i` (0-based).
+  Label seed_block(int i) const;
+
+  /// The whole-label IP spec: nucleus generators embedded at the leftmost
+  /// block, super-generators expanded to move m-symbol blocks.
+  IPGraphSpec to_ip_spec() const;
+
+  /// IP spec of the nucleus graph alone, seeded with `block_seed`
+  /// (defaults to seed_block(0)).
+  IPGraphSpec nucleus_spec() const;
+  IPGraphSpec nucleus_spec(Label block_seed) const;
+
+  bool valid() const;
+};
+
+/// Builds the explicit graph of a super-IP spec.
+IPGraph build_super_ip_graph(const SuperIPSpec& spec,
+                             std::uint64_t max_nodes = 1u << 24);
+
+/// Module (cluster) assignment placing one nucleus per module (Section 5):
+/// two nodes share a module iff their labels agree outside the leftmost
+/// super-symbol. Returns module ids in [0, num_modules).
+struct ModuleAssignment {
+  std::vector<std::uint32_t> module_of;  ///< per node
+  std::uint32_t num_modules = 0;
+};
+
+ModuleAssignment nucleus_modules(const IPGraph& g, int m);
+
+/// Extracts the content of super-symbol `i` from a full label.
+Label block_of(const Label& x, int i, int m);
+
+/// Replaces super-symbol `i` of `x` with `content`.
+void set_block(Label& x, int i, int m, const Label& content);
+
+}  // namespace ipg

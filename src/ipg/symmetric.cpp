@@ -1,0 +1,43 @@
+#include "ipg/symmetric.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "ipg/schedule.hpp"
+
+namespace ipg {
+
+SuperIPSpec make_symmetric(const SuperIPSpec& base) {
+  SuperIPSpec out = base;
+  out.name = "sym-" + base.name;
+  const Label block = base.seed_block(0);
+  for (int i = 1; i < base.l; ++i) {
+    if (base.seed_block(i) != block) {
+      throw std::invalid_argument(
+          "make_symmetric requires identical seed blocks: " + base.name);
+    }
+  }
+  for (const std::uint8_t s : block) {
+    if (s < 1 || s > base.m) {
+      throw std::invalid_argument("seed symbols must lie in [1, m]: " + base.name);
+    }
+  }
+  if (base.l * base.m > 255) {
+    throw std::invalid_argument("symmetric seed symbols would overflow a byte");
+  }
+  for (int i = 0; i < base.l; ++i) {
+    for (int j = 0; j < base.m; ++j) {
+      out.seed[i * base.m + j] =
+          static_cast<std::uint8_t>(block[j] + i * base.m);
+    }
+  }
+  return out;
+}
+
+std::uint64_t symmetric_size(const SuperIPSpec& base, std::uint64_t nucleus_size) {
+  std::uint64_t n = num_reachable_arrangements(base);
+  for (int i = 0; i < base.l; ++i) n *= nucleus_size;
+  return n;
+}
+
+}  // namespace ipg

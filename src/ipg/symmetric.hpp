@@ -1,0 +1,24 @@
+#pragma once
+// Symmetric super-IP graphs (Section 3.5): replace the identical-block seed
+// S1 S1 ... S1 with distinct-symbol blocks S1 S2 ... Sl (block i's symbols
+// shifted into the range (i*m, (i+1)*m]). The result is a Cayley graph —
+// vertex-symmetric and regular — that shares the generator set (and hence
+// many algorithms) with the original network.
+
+#include <cstdint>
+
+#include "ipg/super.hpp"
+
+namespace ipg {
+
+/// Symmetric variant of `base`: same generators, seed block i shifted by
+/// i*m. Requires the base seed blocks to be identical with symbols in
+/// [1, m] (true for every nucleus in families.hpp) and l*m <= 255.
+SuperIPSpec make_symmetric(const SuperIPSpec& base);
+
+/// Node count of the symmetric variant predicted by Section 3.5:
+/// (number of reachable block arrangements) * M^l, where M is the nucleus
+/// size — l! * M^l for HSN/super-flip, l * M^l for cyclic-shift networks.
+std::uint64_t symmetric_size(const SuperIPSpec& base, std::uint64_t nucleus_size);
+
+}  // namespace ipg

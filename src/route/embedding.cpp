@@ -1,0 +1,69 @@
+#include "route/embedding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "graph/bfs.hpp"
+
+namespace ipg {
+
+EmbeddingStats evaluate_embedding(const Graph& guest, const Graph& host,
+                                  std::span<const Node> phi) {
+  assert(phi.size() == guest.num_nodes());
+  EmbeddingStats out;
+  out.expansion = guest.num_nodes() == 0
+                      ? 0.0
+                      : static_cast<double>(host.num_nodes()) /
+                            static_cast<double>(guest.num_nodes());
+  std::unordered_set<Node> images(phi.begin(), phi.end());
+  out.injective = images.size() == phi.size();
+
+  BfsScratch scratch(host.num_nodes());
+  std::uint64_t edge_count = 0;
+  std::uint64_t dist_sum = 0;
+  for (Node u = 0; u < guest.num_nodes(); ++u) {
+    if (guest.neighbors(u).empty()) continue;
+    const auto dist = scratch.run(host, phi[u]);
+    for (const Node v : guest.neighbors(u)) {
+      const Dist d = dist[phi[v]];
+      assert(d != kUnreachable);
+      out.dilation = std::max(out.dilation, d);
+      dist_sum += d;
+      ++edge_count;
+    }
+  }
+  out.avg_dilation = edge_count == 0 ? 0.0
+                                     : static_cast<double>(dist_sum) /
+                                           static_cast<double>(edge_count);
+  return out;
+}
+
+std::vector<Node> hsn_hypercube_embedding(const IPGraph& hsn, int l, int n) {
+  const int m = 2 * n;
+  assert(hsn.spec.label_length() == l * m);
+  const std::uint64_t guests = std::uint64_t{1} << (l * n);
+  assert(guests == hsn.num_nodes());
+
+  std::vector<Node> phi(guests);
+  Label label(static_cast<std::size_t>(l) * m);
+  for (std::uint64_t g = 0; g < guests; ++g) {
+    for (int block = 0; block < l; ++block) {
+      for (int j = 0; j < n; ++j) {
+        const bool bit = (g >> (block * n + j)) & 1u;
+        // Pair j of the nucleus holds symbols {2j+1, 2j+2}; descending
+        // order encodes a 1 (matching topo::decode_pair_bits).
+        const std::uint8_t a = static_cast<std::uint8_t>(2 * j + 1);
+        const std::uint8_t b = static_cast<std::uint8_t>(2 * j + 2);
+        label[block * m + 2 * j] = bit ? b : a;
+        label[block * m + 2 * j + 1] = bit ? a : b;
+      }
+    }
+    const Node host = hsn.node_of(label);
+    assert(host != kInvalidIPNode);
+    phi[g] = host;
+  }
+  return phi;
+}
+
+}  // namespace ipg

@@ -1,0 +1,36 @@
+#pragma once
+// Graph embeddings: evaluate the dilation/expansion of a guest-to-host node
+// map, plus the natural embedding of the hypercube Q_{l*n} into HSN(l, Q_n)
+// whose dilation-3 property the paper cites (Sections 1 and 3.2, after
+// [26, 33]).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ipg/build.hpp"
+
+namespace ipg {
+
+struct EmbeddingStats {
+  Dist dilation = 0;          ///< max host distance over guest edges
+  double avg_dilation = 0.0;  ///< mean host distance over guest edges
+  double expansion = 0.0;     ///< host nodes / guest nodes
+  bool injective = true;
+};
+
+/// Evaluates `phi` (guest node -> host node) by measuring host distances
+/// across every guest edge (one host BFS per guest node with edges).
+EmbeddingStats evaluate_embedding(const Graph& guest, const Graph& host,
+                                  std::span<const Node> phi);
+
+/// The natural bit-block embedding of Q_{l*n} into HSN(l, Q_n) built by
+/// `hsn = build_super_ip_graph(make_hsn(l, hypercube_nucleus(n)))`:
+/// hypercube address bits [i*n, (i+1)*n) select the orientation of the n
+/// pairs of super-symbol i. Guest dimension-j links inside block 0 map to
+/// single HSN links; links in block i > 0 dilate to swap-flip-swap paths
+/// of length <= 3.
+std::vector<Node> hsn_hypercube_embedding(const IPGraph& hsn, int l, int n);
+
+}  // namespace ipg

@@ -1,0 +1,25 @@
+#include "route/hypercube_routing.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace ipg {
+
+std::vector<Node> route_hypercube(int n, Node src, Node dst) {
+  assert(n >= 1 && n < 31);
+  assert(src < (Node{1} << n) && dst < (Node{1} << n));
+  std::vector<Node> path{src};
+  Node current = src;
+  for (int d = 0; d < n; ++d) {
+    const Node bit = Node{1} << d;
+    if ((current ^ dst) & bit) {
+      current ^= bit;
+      path.push_back(current);
+    }
+  }
+  return path;
+}
+
+int hypercube_distance(Node a, Node b) { return std::popcount(a ^ b); }
+
+}  // namespace ipg

@@ -1,0 +1,18 @@
+#pragma once
+// Dimension-ordered (e-cube) routing on the bit-coded hypercube: the
+// baseline router used by the simulator and the comparison benches.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// Node sequence from src to dst in Q_n, correcting differing bits from
+/// the lowest dimension up. Length = Hamming distance + 1, shortest path.
+std::vector<Node> route_hypercube(int n, Node src, Node dst);
+
+/// Hamming distance (the exact hypercube distance).
+int hypercube_distance(Node a, Node b);
+
+}  // namespace ipg

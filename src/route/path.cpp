@@ -1,0 +1,63 @@
+#include "route/path.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ipg {
+
+Label apply_path(const IPGraphSpec& spec, Label start, std::span<const int> gens) {
+  Label scratch;
+  for (const int g : gens) {
+    assert(g >= 0 && g < static_cast<int>(spec.generators.size()));
+    spec.generators[g].perm.apply_into(start, scratch);
+    start.swap(scratch);
+  }
+  return start;
+}
+
+bool verify_path(const IPGraphSpec& spec, const Label& src, const Label& dst,
+                 std::span<const int> gens) {
+  Label current = src;
+  Label next;
+  for (const int g : gens) {
+    if (g < 0 || g >= static_cast<int>(spec.generators.size())) return false;
+    spec.generators[g].perm.apply_into(current, next);
+    if (next == current) return false;  // a fixed label is not an edge
+    current.swap(next);
+  }
+  return current == dst;
+}
+
+GenPath bfs_route(const IPGraphSpec& spec, const Label& src, const Label& dst) {
+  if (src == dst) return {};
+  std::unordered_map<Label, std::pair<Label, int>, LabelHash> parent;
+  std::vector<Label> queue{src};
+  parent.emplace(src, std::make_pair(Label{}, -1));
+  Label next;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Label current = queue[head];  // copy: queue may reallocate
+    for (int g = 0; g < static_cast<int>(spec.generators.size()); ++g) {
+      spec.generators[g].perm.apply_into(current, next);
+      if (next == current) continue;
+      if (parent.emplace(next, std::make_pair(current, g)).second) {
+        if (next == dst) {
+          GenPath out;
+          Label walk = dst;
+          while (walk != src) {
+            const auto& [prev, gen] = parent.at(walk);
+            out.gens.push_back(gen);
+            walk = prev;
+          }
+          std::reverse(out.gens.begin(), out.gens.end());
+          return out;
+        }
+        queue.push_back(next);
+      }
+    }
+  }
+  throw std::invalid_argument("bfs_route: destination not reachable");
+}
+
+}  // namespace ipg

@@ -1,0 +1,35 @@
+#pragma once
+// Generator paths: routes through IP graphs expressed as sequences of
+// generator indices, plus validity checking. Keeping routes at the label
+// level means routing never needs the explicit graph, so routers scale to
+// instances far beyond enumeration.
+
+#include <span>
+#include <vector>
+
+#include "ipg/label.hpp"
+#include "ipg/spec.hpp"
+
+namespace ipg {
+
+/// A route: generator indices (into an IPGraphSpec's generator list)
+/// applied left to right.
+struct GenPath {
+  std::vector<int> gens;
+
+  int length() const noexcept { return static_cast<int>(gens.size()); }
+};
+
+/// Applies the path to `start` and returns the endpoint label.
+Label apply_path(const IPGraphSpec& spec, Label start, std::span<const int> gens);
+
+/// True iff every step is a real move (no generator fixes the current
+/// label — a fixed label would be a non-edge) and the path ends at `dst`.
+bool verify_path(const IPGraphSpec& spec, const Label& src, const Label& dst,
+                 std::span<const int> gens);
+
+/// Shortest generator path between two labels, found by BFS over the label
+/// space (exponential in general — intended for tests and small nuclei).
+GenPath bfs_route(const IPGraphSpec& spec, const Label& src, const Label& dst);
+
+}  // namespace ipg

@@ -1,0 +1,81 @@
+#include "route/star_routing.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace ipg {
+
+namespace {
+
+/// pos_perm[p] = destination position of the symbol currently at position
+/// p. Routing src -> dst is sorting pos_perm to the identity with moves
+/// "swap position 0 with position i".
+std::vector<int> to_position_perm(const Label& src, const Label& dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("route_star: label length mismatch");
+  }
+  std::vector<int> pos_of_symbol(256, -1);
+  for (std::size_t p = 0; p < dst.size(); ++p) {
+    if (pos_of_symbol[dst[p]] != -1) {
+      throw std::invalid_argument("route_star: repeated symbols in dst");
+    }
+    pos_of_symbol[dst[p]] = static_cast<int>(p);
+  }
+  std::vector<int> perm(src.size());
+  for (std::size_t p = 0; p < src.size(); ++p) {
+    const int target = pos_of_symbol[src[p]];
+    if (target < 0) {
+      throw std::invalid_argument("route_star: src symbol missing from dst");
+    }
+    perm[p] = target;
+  }
+  return perm;
+}
+
+}  // namespace
+
+GenPath route_star(const Label& src, const Label& dst) {
+  std::vector<int> perm = to_position_perm(src, dst);
+  const int n = static_cast<int>(perm.size());
+  GenPath out;
+  // Classic greedy: if the front symbol is not home, send it home; if it is
+  // home but the permutation is unsorted, pull in any misplaced symbol.
+  int scan = 1;  // positions below `scan` other than 0 are known sorted
+  while (true) {
+    if (perm[0] != 0) {
+      const int target = perm[0];
+      std::swap(perm[0], perm[target]);
+      out.gens.push_back(target - 1);  // generator (1, target+1)
+      continue;
+    }
+    while (scan < n && perm[scan] == scan) ++scan;
+    if (scan == n) break;
+    std::swap(perm[0], perm[scan]);
+    out.gens.push_back(scan - 1);
+  }
+  return out;
+}
+
+int star_distance(const Label& src, const Label& dst) {
+  const std::vector<int> perm = to_position_perm(src, dst);
+  const int n = static_cast<int>(perm.size());
+  std::vector<bool> seen(n, false);
+  int moves = 0;
+  for (int start = 0; start < n; ++start) {
+    if (seen[start] || perm[start] == start) continue;
+    int len = 0;
+    bool contains_front = false;
+    int p = start;
+    while (!seen[p]) {
+      seen[p] = true;
+      if (p == 0) contains_front = true;
+      p = perm[p];
+      ++len;
+    }
+    moves += contains_front ? len - 1 : len + 1;
+  }
+  return moves;
+}
+
+}  // namespace ipg

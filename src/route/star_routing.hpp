@@ -1,0 +1,21 @@
+#pragma once
+// Optimal routing on the star graph (Akers, Harel & Krishnamurthy): the
+// classic cycle-structure sort the paper recalls at the start of Section 4
+// ("routing ... can be viewed as sorting the symbols in the label").
+
+#include "ipg/label.hpp"
+#include "route/path.hpp"
+
+namespace ipg {
+
+/// Routes between two permutation labels of a star graph S_n whose
+/// generators are (1, i), i = 2..n (generator index i-2 in star_nucleus).
+/// The route is distance-optimal: length c + r where r is the number of
+/// out-of-place symbols and c the number of nontrivial cycles not
+/// containing position 1 of dst^-1 . src.
+GenPath route_star(const Label& src, const Label& dst);
+
+/// Exact star-graph distance via the cycle-structure formula (no search).
+int star_distance(const Label& src, const Label& dst);
+
+}  // namespace ipg

@@ -1,0 +1,131 @@
+#include "route/super_ip_routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ipg {
+
+namespace {
+
+Label sorted_copy(Label x) {
+  std::sort(x.begin(), x.end());
+  return x;
+}
+
+/// Appends a nucleus-generator route sorting the front block of `current`
+/// to `target_content`, applying it to `current` as it goes.
+void sort_front_block(const SuperIPSpec& spec, const IPGraphSpec& nucleus_proto,
+                      Label& current, const Label& target_content,
+                      std::vector<int>& out_gens) {
+  const Label front = block_of(current, 0, spec.m);
+  if (front == target_content) return;
+  IPGraphSpec nucleus = nucleus_proto;
+  nucleus.seed = front;
+  // Each BFS step changes the block content, hence the full label: every
+  // emitted step is a genuine edge of the lifted graph.
+  const GenPath inner = bfs_route(nucleus, front, target_content);
+  out_gens.insert(out_gens.end(), inner.gens.begin(), inner.gens.end());
+  set_block(current, 0, spec.m, target_content);
+}
+
+}  // namespace
+
+GenPath route_super_ip(const SuperIPSpec& spec, const Label& src, const Label& dst) {
+  if (static_cast<int>(src.size()) != spec.label_length() ||
+      static_cast<int>(dst.size()) != spec.label_length()) {
+    throw std::invalid_argument("route_super_ip: label length mismatch");
+  }
+  GenPath out;
+  if (src == dst) return out;
+
+  const int l = spec.l;
+  const int m = spec.m;
+  const int nucleus_count = static_cast<int>(spec.nucleus_gens.size());
+
+  // Decide plain vs symmetric mode from the block multisets of src.
+  std::vector<Label> src_multisets(l), dst_multisets(l);
+  for (int i = 0; i < l; ++i) {
+    src_multisets[i] = sorted_copy(block_of(src, i, m));
+    dst_multisets[i] = sorted_copy(block_of(dst, i, m));
+  }
+  const bool plain = std::all_of(src_multisets.begin(), src_multisets.end(),
+                                 [&](const Label& s) { return s == src_multisets[0]; });
+
+  // d[i] = destination position of the block at src position i.
+  std::vector<int> d(l, -1);
+  std::optional<Schedule> schedule;
+  if (plain) {
+    schedule = min_visit_all_schedule(spec);
+    if (!schedule) throw std::invalid_argument("super-generators cannot visit all blocks");
+    for (int q = 0; q < l; ++q) d[schedule->final_arrangement[q]] = q;
+  } else {
+    // Symmetric mode: match disjoint block symbol sets.
+    Arrangement target(l, 0);
+    std::vector<bool> used(l, false);
+    for (int i = 0; i < l; ++i) {
+      int match = -1;
+      for (int q = 0; q < l; ++q) {
+        if (!used[q] && dst_multisets[q] == src_multisets[i]) {
+          match = q;
+          break;
+        }
+      }
+      if (match < 0) {
+        throw std::invalid_argument("route_super_ip: dst blocks do not match src");
+      }
+      used[match] = true;
+      d[i] = match;
+      target[match] = static_cast<std::uint8_t>(i);
+    }
+    schedule = schedule_to_arrangement(spec, target);
+    if (!schedule) {
+      throw std::invalid_argument("route_super_ip: required arrangement unreachable");
+    }
+  }
+
+  const IPGraphSpec nucleus_proto = spec.nucleus_spec();
+  Label current = src;
+  Arrangement arr(l);
+  for (int i = 0; i < l; ++i) arr[i] = static_cast<std::uint8_t>(i);
+  std::vector<bool> visited(l, false);
+
+  // Block 0 starts at the front: sort it to its destination content.
+  visited[0] = true;
+  sort_front_block(spec, nucleus_proto, current, block_of(dst, d[0], m), out.gens);
+
+  Arrangement next_arr(l);
+  Label next_label;
+  for (const int g : schedule->gens) {
+    const Permutation& beta = spec.super_gens[g].perm;
+    const Permutation lifted = beta.expand_blocks(m);
+    lifted.apply_into(current, next_label);
+    if (next_label != current) {
+      out.gens.push_back(nucleus_count + g);  // super gens follow nucleus gens
+      current.swap(next_label);
+    }
+    for (int p = 0; p < l; ++p) next_arr[p] = arr[beta[p]];
+    arr.swap(next_arr);
+    const int front_block = arr[0];
+    if (!visited[front_block]) {
+      visited[front_block] = true;
+      sort_front_block(spec, nucleus_proto, current, block_of(dst, d[front_block], m),
+                       out.gens);
+    }
+  }
+
+  if (current != dst) {
+    throw std::invalid_argument("route_super_ip: destination is not a node of " +
+                                spec.name);
+  }
+  return out;
+}
+
+int route_length_bound(const SuperIPSpec& spec, int nucleus_diameter,
+                       bool symmetric_seed) {
+  const int t = symmetric_seed ? compute_t_symmetric(spec) : compute_t(spec);
+  if (t < 0) return -1;
+  return spec.l * nucleus_diameter + t;
+}
+
+}  // namespace ipg

@@ -1,0 +1,35 @@
+#pragma once
+// The paper's routing algorithm for (symmetric) super-IP graphs
+// (Theorem 4.1 / 4.3): fix a super-generator schedule that brings every
+// super-symbol to the leftmost position at least once; whenever a
+// super-symbol arrives at the front for the first time, sort it (with
+// nucleus generators) to the content the destination holds at that
+// super-symbol's *final* position under the schedule.
+//
+// The route length is at most l * D_G + t (resp. t_S), which Theorems
+// 4.1/4.3 show is exactly the diameter. Routing operates purely on labels:
+// it never materializes the network, so it works at any scale.
+
+#include <span>
+
+#include "ipg/schedule.hpp"
+#include "ipg/super.hpp"
+#include "route/path.hpp"
+
+namespace ipg {
+
+/// Routes `src` -> `dst` in the super-IP graph described by `spec`.
+/// Returned generator indices refer to spec.to_ip_spec()'s ordering
+/// (nucleus generators first, then super-generators). Handles both plain
+/// seeds (identical blocks, Theorem 4.1) and symmetric seeds (distinct
+/// block symbol sets, Theorem 4.3). Throws std::invalid_argument if `dst`
+/// is not a node of the graph (block contents outside the nucleus orbits).
+GenPath route_super_ip(const SuperIPSpec& spec, const Label& src, const Label& dst);
+
+/// Upper bound on route length guaranteed by Theorem 4.1/4.3:
+/// l * D_G + t (plain) or l * D_G + t_S (symmetric). `nucleus_diameter`
+/// is D_G.
+int route_length_bound(const SuperIPSpec& spec, int nucleus_diameter,
+                       bool symmetric_seed);
+
+}  // namespace ipg

@@ -1,0 +1,100 @@
+#include "route/tuple_routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "ipg/schedule.hpp"
+
+namespace ipg {
+
+namespace {
+
+/// Shortest nucleus path from s to t (node sequence, s first).
+std::vector<Node> nucleus_path(const Graph& nucleus, Node s, Node t) {
+  if (s == t) return {s};
+  std::vector<Node> parent(nucleus.num_nodes(), kUnreachable);
+  std::vector<Node> queue{s};
+  parent[s] = s;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const Node v : nucleus.neighbors(queue[head])) {
+      if (parent[v] == kUnreachable) {
+        parent[v] = queue[head];
+        if (v == t) {
+          std::vector<Node> path{t};
+          while (path.back() != s) path.push_back(parent[path.back()]);
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        queue.push_back(v);
+      }
+    }
+  }
+  throw std::invalid_argument("tuple routing: nucleus target unreachable");
+}
+
+}  // namespace
+
+std::vector<TupleHop> route_tuple_network(const TupleNetwork& net,
+                                          const Graph& nucleus,
+                                          std::span<const Generator> super_gens,
+                                          Node src, Node dst) {
+  std::vector<TupleHop> out;
+  if (src == dst) return out;
+
+  // The schedule machinery only needs l and the super-generator set.
+  SuperIPSpec sched_spec;
+  sched_spec.l = net.l;
+  sched_spec.super_gens.assign(super_gens.begin(), super_gens.end());
+  const auto schedule = min_visit_all_schedule(sched_spec);
+  if (!schedule) {
+    throw std::invalid_argument("tuple routing: blocks cannot reach the front");
+  }
+  std::vector<int> d(net.l);
+  for (int q = 0; q < net.l; ++q) d[schedule->final_arrangement[q]] = q;
+
+  std::vector<Node> current = net.decode(src);
+  const std::vector<Node> target = net.decode(dst);
+
+  const auto sort_front = [&](int original_block) {
+    const auto path = nucleus_path(nucleus, current[0], target[d[original_block]]);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      current[0] = path[i];
+      out.push_back(TupleHop{false, 0, net.encode(current)});
+    }
+  };
+
+  Arrangement arr(net.l);
+  for (int i = 0; i < net.l; ++i) arr[i] = static_cast<std::uint8_t>(i);
+  std::vector<bool> visited(net.l, false);
+  visited[0] = true;
+  sort_front(0);
+
+  std::vector<Node> moved(net.l);
+  Arrangement next_arr(net.l);
+  for (const int g : schedule->gens) {
+    const Permutation& beta = super_gens[g].perm;
+    for (int p = 0; p < net.l; ++p) moved[p] = current[beta[p]];
+    if (moved != current) {
+      current = moved;
+      out.push_back(TupleHop{true, g, net.encode(current)});
+    } else {
+      current = moved;
+    }
+    for (int p = 0; p < net.l; ++p) next_arr[p] = arr[beta[p]];
+    arr = next_arr;
+    const int front = arr[0];
+    if (!visited[front]) {
+      visited[front] = true;
+      sort_front(front);
+    }
+  }
+
+  if (net.encode(current) != dst) {
+    throw std::invalid_argument("tuple routing: destination mismatch");
+  }
+  return out;
+}
+
+}  // namespace ipg

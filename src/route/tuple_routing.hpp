@@ -1,0 +1,32 @@
+#pragma once
+// Theorem 4.1 routing in tuple space: the same schedule-then-sort
+// algorithm as route_super_ip, but over an explicit nucleus graph instead
+// of an IP nucleus spec — so it covers super networks whose nucleus has no
+// convenient IP representation (e.g. ring-CN(l, Petersen)).
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ipg/families.hpp"
+
+namespace ipg {
+
+/// One hop of a tuple-space route.
+struct TupleHop {
+  bool is_super = false;  ///< super-generator move vs nucleus move
+  int generator = 0;      ///< index into super_gens, or unused for nucleus
+  Node node = 0;          ///< tuple id after the hop
+};
+
+/// Routes src -> dst (tuple ids of `net`) with the Theorem 4.1 algorithm:
+/// sort the leading coordinate along shortest nucleus paths whenever a
+/// coordinate first reaches the front of the visit-all schedule. The
+/// returned hop sequence is a valid walk in net.graph of length at most
+/// l * D_G + t.
+std::vector<TupleHop> route_tuple_network(const TupleNetwork& net,
+                                          const Graph& nucleus,
+                                          std::span<const Generator> super_gens,
+                                          Node src, Node dst);
+
+}  // namespace ipg

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace ipg::sim {
+
+void EventQueue::push(Event e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  const Event top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    std::size_t smallest = i;
+    if (left < heap_.size() && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < heap_.size() && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+  return top;
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal discrete-event calendar: a binary min-heap of (time, packet,
+// node) events with deterministic tie-breaking so simulations are exactly
+// reproducible across runs.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ipg::sim {
+
+struct Event {
+  double time = 0.0;
+  std::uint32_t packet = 0;
+  Node node = 0;
+};
+
+class EventQueue {
+ public:
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  void push(Event e);
+
+  /// Removes and returns the earliest event (ties broken by packet id).
+  Event pop();
+
+ private:
+  static bool later(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.packet > b.packet;
+  }
+  std::vector<Event> heap_;
+};
+
+}  // namespace ipg::sim

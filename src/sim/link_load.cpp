@@ -1,0 +1,56 @@
+#include "sim/link_load.hpp"
+
+#include <algorithm>
+
+namespace ipg::sim {
+
+LinkLoadStats all_pairs_link_loads(const SimNetwork& net) {
+  LinkLoadStats out;
+  const Graph& g = net.graph();
+  out.load.assign(g.num_arcs(), 0);
+
+  for (Node dst = 0; dst < g.num_nodes(); ++dst) {
+    for (Node src = 0; src < g.num_nodes(); ++src) {
+      if (src == dst) continue;
+      Node at = src;
+      while (at != dst) {
+        const Node next = net.next_hop(at, dst);
+        const std::uint64_t arc = net.arc_index(at, next);
+        out.load[arc]++;
+        out.total_hops++;
+        at = next;
+      }
+    }
+  }
+
+  std::uint64_t on_sum = 0, off_sum = 0, on_count = 0, off_count = 0;
+  for (std::uint64_t arc = 0; arc < g.num_arcs(); ++arc) {
+    if (net.crosses_modules(arc)) {
+      out.max_off_module = std::max(out.max_off_module, out.load[arc]);
+      off_sum += out.load[arc];
+      ++off_count;
+    } else {
+      out.max_on_module = std::max(out.max_on_module, out.load[arc]);
+      on_sum += out.load[arc];
+      ++on_count;
+    }
+  }
+  if (on_count > 0) {
+    out.avg_on_module = static_cast<double>(on_sum) / static_cast<double>(on_count);
+  }
+  if (off_count > 0) {
+    out.avg_off_module =
+        static_cast<double>(off_sum) / static_cast<double>(off_count);
+  }
+  return out;
+}
+
+double saturation_injection_bound(const LinkLoadStats& loads, Node num_nodes,
+                                  double bottleneck_service) {
+  const std::uint32_t max_load = std::max(loads.max_on_module, loads.max_off_module);
+  if (max_load == 0 || bottleneck_service <= 0.0) return 0.0;
+  return (num_nodes - 1.0) /
+         (static_cast<double>(max_load) * bottleneck_service);
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic link-load profile: how many (src, dst) pairs of a uniform
+// all-pairs workload traverse each arc under the simulator's shortest-path
+// next-hop routing.
+//
+// Section 5.2 conditions its throughput claim on off-module links being
+// "uniformly utilized"; this module measures that premise — and the
+// saturation bottleneck — without running the event simulation.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace ipg::sim {
+
+struct LinkLoadStats {
+  std::vector<std::uint32_t> load;  ///< per arc (CSR order), pair count
+  std::uint32_t max_on_module = 0;
+  std::uint32_t max_off_module = 0;
+  double avg_on_module = 0.0;   ///< over on-module arcs
+  double avg_off_module = 0.0;  ///< over off-module arcs
+  std::uint64_t total_hops = 0; ///< = sum of pair distances
+
+  /// Off-module utilization imbalance: max / avg (1.0 = perfectly uniform).
+  double off_module_imbalance() const {
+    return avg_off_module > 0.0 ? max_off_module / avg_off_module : 0.0;
+  }
+};
+
+/// Walks the next-hop route of every ordered (src, dst) pair and counts
+/// traversals per arc. O(N^2 * diameter); meant for the simulator-scale
+/// instances (N up to a few thousand).
+LinkLoadStats all_pairs_link_loads(const SimNetwork& net);
+
+/// Saturation bound on the per-node injection rate under uniform traffic:
+/// the busiest arc receives lambda * N * max_load / (N * (N-1)) packets
+/// per unit time and serves one per `bottleneck_service`, so the network
+/// is stable only below (N-1) / (max_load * bottleneck_service). This is
+/// the quantitative form of Section 5.2's "maximum throughput ...
+/// inversely proportional to average inter-cluster distance" (max_load
+/// scales with total hop demand / link count).
+double saturation_injection_bound(const LinkLoadStats& loads, Node num_nodes,
+                                  double bottleneck_service);
+
+}  // namespace ipg::sim

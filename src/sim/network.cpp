@@ -1,0 +1,75 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+
+namespace ipg::sim {
+
+SimNetwork::SimNetwork(const Graph& g, LinkTiming timing,
+                       std::optional<Clustering> clustering)
+    : graph_(&g) {
+  const Node n = g.num_nodes();
+  if (static_cast<std::uint64_t>(n) * n > (1ull << 26)) {
+    throw std::length_error("SimNetwork: next-hop table would exceed 2^26 entries");
+  }
+
+  // Arc attributes.
+  service_.resize(g.num_arcs());
+  off_module_.assign(g.num_arcs(), 0);
+  std::uint64_t arc = 0;
+  for (Node u = 0; u < n; ++u) {
+    for (const Node v : g.neighbors(u)) {
+      const bool off = clustering && clustering->module_of[u] != clustering->module_of[v];
+      off_module_[arc] = off ? 1 : 0;
+      service_[arc] = off ? timing.off_module_time : timing.on_module_time;
+      ++arc;
+    }
+  }
+
+  // Distances to each destination via BFS on the reverse graph, then greedy
+  // next hops.
+  GraphBuilder rb(n);
+  rb.reserve(g.num_arcs());
+  for (Node u = 0; u < n; ++u) {
+    for (const Node v : g.neighbors(u)) rb.add_arc(v, u);
+  }
+  const Graph reverse = std::move(rb).build();
+
+  next_hop_.assign(static_cast<std::size_t>(n) * n, kUnreachable);
+  BfsScratch scratch(n);
+  for (Node dst = 0; dst < n; ++dst) {
+    const auto dist = scratch.run(reverse, dst);  // dist[u] = d(u -> dst) in g
+    Node* row = next_hop_.data() + static_cast<std::size_t>(dst) * n;
+    for (Node u = 0; u < n; ++u) {
+      if (u == dst || dist[u] == kUnreachable) continue;
+      for (const Node v : g.neighbors(u)) {
+        if (dist[v] + 1 == dist[u]) {
+          row[u] = v;
+          break;  // neighbors are sorted: deterministic smallest-id tie-break
+        }
+      }
+      assert(row[u] != kUnreachable);
+    }
+  }
+}
+
+std::uint64_t SimNetwork::arc_index(Node u, Node v) const {
+  const auto nb = graph_->neighbors(u);
+  // Binary search over the sorted adjacency list.
+  std::size_t lo = 0, hi = nb.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (nb[mid] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  assert(lo < nb.size() && nb[lo] == v);
+  return static_cast<std::uint64_t>(nb.data() + lo - graph_->neighbors(0).data());
+}
+
+}  // namespace ipg::sim

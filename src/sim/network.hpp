@@ -1,0 +1,56 @@
+#pragma once
+// Simulation view of a network: per-arc service times (on-module links may
+// be faster than off-module links, Section 5.4's regime) and precomputed
+// shortest-path next-hop tables.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "graph/graph.hpp"
+
+namespace ipg::sim {
+
+/// Link timing model. With equal speeds, light-load latency tracks
+/// DD-cost; with slow off-module links it tracks II-cost (Section 5).
+struct LinkTiming {
+  double on_module_time = 1.0;   ///< service time of an intra-module hop
+  double off_module_time = 1.0;  ///< service time of an inter-module hop
+};
+
+class SimNetwork {
+ public:
+  /// Builds routing tables (one BFS per destination — O(N*E), intended for
+  /// instances up to a few thousand nodes). Without a clustering, every
+  /// arc uses on_module_time.
+  SimNetwork(const Graph& g, LinkTiming timing,
+             std::optional<Clustering> clustering = std::nullopt);
+
+  Node num_nodes() const noexcept { return graph_->num_nodes(); }
+  const Graph& graph() const noexcept { return *graph_; }
+
+  /// Next hop on a shortest path from `u` toward `dst` (kUnreachable if
+  /// disconnected). Shortest paths are min-hop; ties resolved toward the
+  /// smallest-id neighbor, deterministically.
+  Node next_hop(Node u, Node dst) const {
+    return next_hop_[static_cast<std::size_t>(dst) * graph_->num_nodes() + u];
+  }
+
+  /// Index of arc u->v in the arc-parallel arrays.
+  std::uint64_t arc_index(Node u, Node v) const;
+
+  /// Service time of arc u->v under the timing model.
+  double service_time(std::uint64_t arc) const { return service_[arc]; }
+
+  /// True iff the given arc crosses modules.
+  bool crosses_modules(std::uint64_t arc) const { return off_module_[arc]; }
+
+ private:
+  const Graph* graph_;
+  std::vector<Node> next_hop_;        // [dst * N + u]
+  std::vector<double> service_;       // per arc
+  std::vector<std::uint8_t> off_module_;  // per arc
+};
+
+}  // namespace ipg::sim

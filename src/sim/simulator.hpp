@@ -1,0 +1,47 @@
+#pragma once
+// Store-and-forward packet simulator. Each link is a FIFO single-server
+// queue; a packet traversing arc (u, v) waits for the link to free, holds
+// it for the arc's service time, then arrives at v. This is the
+// packet-switching model under which Section 5 relates light-load latency
+// to DD-cost (uniform link speeds) and to II-cost (slow off-module links).
+
+#include <span>
+
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+#include "sim/traffic.hpp"
+
+namespace ipg::sim {
+
+/// Switching technique (Section 5 discusses both regimes).
+enum class SwitchingMode {
+  kStoreAndForward,  ///< a hop completes only after the whole message lands
+  kCutThrough        ///< the header advances after one flit time; the link
+                     ///< stays busy for the full message (ideal virtual
+                     ///< cut-through: infinite buffers, no backpressure)
+};
+
+/// Message shape: `flits` flit times per link traversal.
+struct MessageModel {
+  int flits = 1;
+  SwitchingMode mode = SwitchingMode::kStoreAndForward;
+};
+
+struct SimResult {
+  LatencyStats latency;
+  std::uint64_t delivered = 0;
+  std::uint64_t injected = 0;
+  double makespan = 0.0;  ///< time of the last delivery
+
+  /// Delivered packets per unit time (a throughput estimate).
+  double throughput() const {
+    return makespan > 0.0 ? static_cast<double>(delivered) / makespan : 0.0;
+  }
+};
+
+/// Runs the simulation to completion (every packet delivered; the event
+/// set is finite so termination is guaranteed on connected topologies).
+SimResult simulate(const SimNetwork& net, std::span<const Packet> packets,
+                   MessageModel model = {});
+
+}  // namespace ipg::sim

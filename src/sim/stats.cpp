@@ -1,0 +1,51 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ipg::sim {
+
+void LatencyStats::record(double latency, int hops, int off_module_hops) {
+  samples_.push_back(latency);
+  hop_sum_ += static_cast<std::uint64_t>(hops);
+  off_hop_sum_ += static_cast<std::uint64_t>(off_module_hops);
+}
+
+double LatencyStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyStats::max() const {
+  double m = 0.0;
+  for (const double s : samples_) m = std::max(m, s);
+  return m;
+}
+
+double LatencyStats::percentile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<double>(std::floor(q * static_cast<double>(sorted.size())),
+                       static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+double LatencyStats::mean_hops() const {
+  return samples_.empty() ? 0.0
+                          : static_cast<double>(hop_sum_) /
+                                static_cast<double>(samples_.size());
+}
+
+double LatencyStats::mean_off_module_hops() const {
+  return samples_.empty() ? 0.0
+                          : static_cast<double>(off_hop_sum_) /
+                                static_cast<double>(samples_.size());
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,29 @@
+#pragma once
+// Accumulators for simulation results.
+
+#include <cstdint>
+#include <vector>
+
+namespace ipg::sim {
+
+/// Streaming summary of per-packet latencies (keeps raw samples so the
+/// benches can report percentiles).
+class LatencyStats {
+ public:
+  void record(double latency, int hops, int off_module_hops);
+
+  std::uint64_t count() const noexcept { return samples_.size(); }
+  double mean() const;
+  double max() const;
+  /// q in [0, 1], e.g. 0.99 (sorts a copy; call once per run).
+  double percentile(double q) const;
+  double mean_hops() const;
+  double mean_off_module_hops() const;
+
+ private:
+  std::vector<double> samples_;
+  std::uint64_t hop_sum_ = 0;
+  std::uint64_t off_hop_sum_ = 0;
+};
+
+}  // namespace ipg::sim

@@ -1,0 +1,49 @@
+#include "sim/traffic.hpp"
+
+namespace ipg::sim {
+
+std::vector<Packet> uniform_traffic(Node num_nodes, double packets_per_time,
+                                    double horizon, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Packet> out;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(packets_per_time);
+    if (t >= horizon) break;
+    Packet p;
+    p.inject_time = t;
+    p.src = static_cast<Node>(rng.below(num_nodes));
+    p.dst = static_cast<Node>(rng.below(num_nodes - 1));
+    if (p.dst >= p.src) ++p.dst;  // uniform over dst != src
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Packet> burst_traffic(Node num_nodes, Node src, int count,
+                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Packet> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Packet p;
+    p.src = src;
+    p.dst = static_cast<Node>(rng.below(num_nodes - 1));
+    if (p.dst >= p.src) ++p.dst;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Packet> all_to_all_traffic(Node num_nodes) {
+  std::vector<Packet> out;
+  out.reserve(static_cast<std::size_t>(num_nodes) * (num_nodes - 1));
+  for (Node s = 0; s < num_nodes; ++s) {
+    for (Node d = 0; d < num_nodes; ++d) {
+      if (s != d) out.push_back(Packet{s, d, 0.0});
+    }
+  }
+  return out;
+}
+
+}  // namespace ipg::sim

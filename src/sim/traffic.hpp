@@ -1,0 +1,38 @@
+#pragma once
+// Synthetic workloads for the simulator. The paper's Section 5 arguments
+// assume "a random routing problem with uniformly distributed sources and
+// destinations"; UniformTraffic reproduces exactly that with Poisson
+// arrivals.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace ipg::sim {
+
+struct Packet {
+  Node src = 0;
+  Node dst = 0;
+  double inject_time = 0.0;
+};
+
+/// Uniform random pairs (dst != src), Poisson process with aggregate rate
+/// `packets_per_time` over the horizon [0, horizon).
+std::vector<Packet> uniform_traffic(Node num_nodes, double packets_per_time,
+                                    double horizon, std::uint64_t seed);
+
+/// A single-source burst: `count` packets from src to uniform destinations
+/// at time 0 (used to stress one module's off-chip links).
+std::vector<Packet> burst_traffic(Node num_nodes, Node src, int count,
+                                  std::uint64_t seed);
+
+/// All-to-all personalized exchange: one packet from every node to every
+/// other node, all injected at time 0 — the total-exchange workload whose
+/// makespan exposes the bandwidth bottleneck (Section 5.2: throughput is
+/// inversely proportional to average I-distance when off-module links
+/// saturate).
+std::vector<Packet> all_to_all_traffic(Node num_nodes);
+
+}  // namespace ipg::sim

@@ -1,0 +1,26 @@
+#include "topo/ccc.hpp"
+
+#include <cassert>
+
+#include "graph/builder.hpp"
+
+namespace ipg::topo {
+
+Graph cube_connected_cycles(int n) {
+  assert(n >= 3 && n < 28);
+  const Node cubes = Node{1} << n;
+  const Node size = cubes * static_cast<Node>(n);
+  GraphBuilder b(size);
+  b.reserve(static_cast<std::uint64_t>(size) * 3);
+  for (Node x = 0; x < cubes; ++x) {
+    for (int p = 0; p < n; ++p) {
+      const Node u = x * static_cast<Node>(n) + static_cast<Node>(p);
+      b.add_arc(u, x * static_cast<Node>(n) + static_cast<Node>((p + 1) % n));
+      b.add_arc(u, x * static_cast<Node>(n) + static_cast<Node>((p + n - 1) % n));
+      b.add_arc(u, (x ^ (Node{1} << p)) * static_cast<Node>(n) + static_cast<Node>(p));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topo

@@ -1,0 +1,13 @@
+#pragma once
+// Cube-connected cycles (Preparata & Vuillemin): each hypercube node
+// expands into an n-cycle; a fixed-degree-3 classic cited throughout the
+// paper as a Cayley-graph example.
+
+#include "graph/graph.hpp"
+
+namespace ipg::topo {
+
+/// CCC(n): n * 2^n nodes, node id = cube_address * n + cycle_position.
+Graph cube_connected_cycles(int n);
+
+}  // namespace ipg::topo

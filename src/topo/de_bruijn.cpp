@@ -1,0 +1,50 @@
+#include "topo/de_bruijn.hpp"
+
+#include <cassert>
+#include <cstdint>
+
+#include "graph/builder.hpp"
+
+namespace ipg::topo {
+
+namespace {
+
+std::uint64_t ipow(int d, int n) {
+  std::uint64_t v = 1;
+  for (int i = 0; i < n; ++i) v *= static_cast<std::uint64_t>(d);
+  return v;
+}
+
+}  // namespace
+
+Graph de_bruijn_directed(int d, int n) {
+  assert(d >= 2 && n >= 1);
+  const std::uint64_t size = ipow(d, n);
+  assert(size < (1ull << 31));
+  GraphBuilder b(static_cast<Node>(size));
+  b.reserve(size * d);
+  for (Node u = 0; u < size; ++u) {
+    for (int a = 0; a < d; ++a) {
+      b.add_arc(u, static_cast<Node>(
+                       (static_cast<std::uint64_t>(u) * d + a) % size));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph de_bruijn_undirected(int d, int n) {
+  assert(d >= 2 && n >= 1);
+  const std::uint64_t size = ipow(d, n);
+  assert(size < (1ull << 31));
+  GraphBuilder b(static_cast<Node>(size));
+  b.reserve(size * d * 2);
+  for (Node u = 0; u < size; ++u) {
+    for (int a = 0; a < d; ++a) {
+      b.add_edge(u, static_cast<Node>(
+                        (static_cast<std::uint64_t>(u) * d + a) % size));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topo

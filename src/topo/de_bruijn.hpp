@@ -1,0 +1,15 @@
+#pragma once
+// De Bruijn graphs — "one of the densest known graphs" (Section 2), where
+// the paper demonstrates an IP representation with repeated symbols.
+
+#include "graph/graph.hpp"
+
+namespace ipg::topo {
+
+/// Directed de Bruijn B(d, n): d^n nodes, arcs u -> (u*d + a) mod d^n.
+Graph de_bruijn_directed(int d, int n);
+
+/// Undirected version (arcs symmetrized, loops/parallels removed).
+Graph de_bruijn_undirected(int d, int n);
+
+}  // namespace ipg::topo

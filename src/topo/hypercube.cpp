@@ -1,0 +1,62 @@
+#include "topo/hypercube.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace ipg::topo {
+
+Graph hypercube(int n) {
+  assert(n >= 1 && n < 31);
+  const Node size = Node{1} << n;
+  GraphBuilder b(size);
+  b.reserve(static_cast<std::uint64_t>(size) * n);
+  for (Node u = 0; u < size; ++u) {
+    for (int d = 0; d < n; ++d) b.add_arc(u, u ^ (Node{1} << d));
+  }
+  return std::move(b).build();
+}
+
+Graph folded_hypercube(int n) {
+  assert(n >= 2 && n < 31);
+  const Node size = Node{1} << n;
+  const Node mask = size - 1;
+  GraphBuilder b(size);
+  b.reserve(static_cast<std::uint64_t>(size) * (n + 1));
+  for (Node u = 0; u < size; ++u) {
+    for (int d = 0; d < n; ++d) b.add_arc(u, u ^ (Node{1} << d));
+    b.add_arc(u, u ^ mask);
+  }
+  return std::move(b).build();
+}
+
+Graph generalized_hypercube(std::span<const int> radices) {
+  std::uint64_t size = 1;
+  for (const int r : radices) {
+    assert(r >= 2);
+    size *= static_cast<std::uint64_t>(r);
+  }
+  assert(size < (1ull << 31));
+  GraphBuilder b(static_cast<Node>(size));
+  std::vector<Node> digit(radices.size());
+  for (Node u = 0; u < size; ++u) {
+    // Decode mixed-radix digits, least significant = dimension 0.
+    Node rem = u;
+    Node stride = 1;
+    for (std::size_t d = 0; d < radices.size(); ++d) {
+      digit[d] = rem % radices[d];
+      rem /= radices[d];
+      // Connect to every other value of this digit.
+      for (int v = 0; v < radices[d]; ++v) {
+        if (static_cast<Node>(v) == digit[d]) continue;
+        const Node w = u + (static_cast<Node>(v) - digit[d]) * stride;
+        b.add_arc(u, w);
+      }
+      stride *= static_cast<Node>(radices[d]);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topo

@@ -1,0 +1,22 @@
+#pragma once
+// Explicit (bit-coded) hypercube family constructors. These are the
+// baseline networks of Figures 2-5 and double as ground truth for the
+// IP-graph encodings in ipg/families.hpp.
+
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace ipg::topo {
+
+/// Binary n-cube Q_n: 2^n nodes, node u adjacent to u ^ (1 << d).
+Graph hypercube(int n);
+
+/// Folded hypercube FQ_n: Q_n plus the complement link u -- ~u.
+Graph folded_hypercube(int n);
+
+/// Generalized hypercube GH(radices) (Bhuyan & Agrawal): mixed-radix
+/// coordinates, complete connections along each dimension.
+Graph generalized_hypercube(std::span<const int> radices);
+
+}  // namespace ipg::topo

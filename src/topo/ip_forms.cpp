@@ -1,0 +1,63 @@
+#include "topo/ip_forms.hpp"
+
+#include <cassert>
+
+namespace ipg::topo {
+
+namespace {
+
+Label pair_seed(int n) {
+  // n pairs "1 2", i.e. all bits 0.
+  Label seed;
+  seed.reserve(2 * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    seed.push_back(1);
+    seed.push_back(2);
+  }
+  return seed;
+}
+
+}  // namespace
+
+IPGraphSpec de_bruijn_ip_spec(int n) {
+  assert(n >= 2);
+  const int k = 2 * n;
+  IPGraphSpec out;
+  out.name = "DB(2," + std::to_string(n) + ")-IP";
+  out.seed = pair_seed(n);
+  const Permutation shift = Permutation::rotate_left(k, 2);
+  out.generators.push_back(Generator{"L", shift, false});
+  out.generators.push_back(Generator{
+      "L'", shift.then(Permutation::transposition(k, k - 2, k - 1)), false});
+  return out;
+}
+
+IPGraphSpec shuffle_exchange_ip_spec(int n) {
+  assert(n >= 2);
+  const int k = 2 * n;
+  IPGraphSpec out;
+  out.name = "SE(" + std::to_string(n) + ")-IP";
+  out.seed = pair_seed(n);
+  out.generators.push_back(Generator{"SH", Permutation::rotate_left(k, 2), false});
+  out.generators.push_back(Generator{"USH", Permutation::rotate_right(k, 2), false});
+  out.generators.push_back(
+      Generator{"EX", Permutation::transposition(k, k - 2, k - 1), false});
+  return out;
+}
+
+std::uint32_t decode_pair_bits(const Label& label, bool msb_first) {
+  assert(label.size() % 2 == 0);
+  const int n = static_cast<int>(label.size()) / 2;
+  std::uint32_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t bit = label[2 * i] > label[2 * i + 1] ? 1u : 0u;
+    if (msb_first) {
+      v = (v << 1) | bit;
+    } else {
+      v |= bit << i;
+    }
+  }
+  return v;
+}
+
+}  // namespace ipg::topo

@@ -1,0 +1,32 @@
+#pragma once
+// IP-graph representations of classical networks, exactly as Section 2
+// presents them, plus decoders that map IP labels back to the networks'
+// native addresses. The decoders are what make cross-validation *exact*:
+// tests check that the arc set of the generated IP graph, decoded, equals
+// the arc set of the explicit construction.
+
+#include <cstdint>
+
+#include "ipg/label.hpp"
+#include "ipg/spec.hpp"
+
+namespace ipg::topo {
+
+/// Directed binary de Bruijn B(2, n) as an IP graph (Section 2): 2n-symbol
+/// seed of n "12" pairs; generator L shifts the label left by one pair,
+/// generator L' additionally swaps the incoming pair — together they shift
+/// in bit b1 or its complement, i.e. both de Bruijn successors.
+IPGraphSpec de_bruijn_ip_spec(int n);
+
+/// Shuffle-exchange SE(n) as an IP graph: pair-encoded bits with shuffle
+/// (rotate by one pair, both directions) and exchange (swap the last pair).
+IPGraphSpec shuffle_exchange_ip_spec(int n);
+
+/// Decodes a pair-encoded label into its bit value: bit i of the result is
+/// 1 iff pair i (symbols 2i, 2i+1) is in descending order. Works for the
+/// hypercube/folded-hypercube nuclei and the de Bruijn / shuffle-exchange
+/// specs above. `msb_first` selects whether pair 0 is the most significant
+/// bit (de Bruijn convention) or the least (hypercube convention).
+std::uint32_t decode_pair_bits(const Label& label, bool msb_first);
+
+}  // namespace ipg::topo

@@ -1,0 +1,45 @@
+#include "topo/misc.hpp"
+
+#include <cassert>
+
+#include "graph/builder.hpp"
+
+namespace ipg::topo {
+
+Graph petersen() {
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  GraphBuilder b(10);
+  for (Node i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5);            // outer cycle
+    b.add_edge(5 + i, 5 + (i + 2) % 5);    // pentagram (step 2)
+    b.add_edge(i, 5 + i);                  // spoke
+  }
+  return std::move(b).build();
+}
+
+Graph complete(int n) {
+  assert(n >= 2);
+  GraphBuilder b(static_cast<Node>(n));
+  for (Node u = 0; u < static_cast<Node>(n); ++u) {
+    for (Node v = u + 1; v < static_cast<Node>(n); ++v) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph cycle(int n) {
+  assert(n >= 3);
+  GraphBuilder b(static_cast<Node>(n));
+  for (Node u = 0; u < static_cast<Node>(n); ++u) {
+    b.add_edge(u, (u + 1) % static_cast<Node>(n));
+  }
+  return std::move(b).build();
+}
+
+Graph path(int n) {
+  assert(n >= 1);
+  GraphBuilder b(static_cast<Node>(n));
+  for (Node u = 0; u + 1 < static_cast<Node>(n); ++u) b.add_edge(u, u + 1);
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topo

@@ -1,0 +1,23 @@
+#pragma once
+// Small fixed topologies: Petersen graph (a nucleus choice in Fig. 2),
+// complete graphs, cycles and paths.
+
+#include "graph/graph.hpp"
+
+namespace ipg::topo {
+
+/// The Petersen graph: 10 nodes, 3-regular, diameter 2, girth 5 — the
+/// densest possible (degree 3, diameter 2) Moore graph, used by the paper
+/// as a nucleus ("P" in Fig. 2; see also cyclic Petersen networks [32]).
+Graph petersen();
+
+/// Complete graph K_n.
+Graph complete(int n);
+
+/// Cycle C_n.
+Graph cycle(int n);
+
+/// Path P_n.
+Graph path(int n);
+
+}  // namespace ipg::topo

@@ -1,0 +1,27 @@
+#include "topo/pancake.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/builder.hpp"
+#include "topo/perm_rank.hpp"
+
+namespace ipg::topo {
+
+Graph pancake_graph(int n) {
+  assert(n >= 2 && n <= 10);
+  const std::uint64_t size = kFactorials[n];
+  GraphBuilder b(static_cast<Node>(size));
+  b.reserve(size * (n - 1));
+  for (std::uint64_t u = 0; u < size; ++u) {
+    const auto p = perm_unrank(u, n);
+    for (int i = 2; i <= n; ++i) {
+      auto q = p;
+      std::reverse(q.begin(), q.begin() + i);
+      b.add_arc(static_cast<Node>(u), static_cast<Node>(perm_rank(q)));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topo

@@ -1,0 +1,13 @@
+#pragma once
+// Explicit pancake graph: permutations connected by prefix reversals.
+// Included both as a comparator and because the super-flip construction of
+// Section 3.4 degenerates to the pancake graph for m = 1.
+
+#include "graph/graph.hpp"
+
+namespace ipg::topo {
+
+/// Pancake graph on the n! permutations (prefix reversals of length 2..n).
+Graph pancake_graph(int n);
+
+}  // namespace ipg::topo

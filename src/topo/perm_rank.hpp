@@ -1,0 +1,43 @@
+#pragma once
+// Lehmer-code ranking of permutations, shared by the explicit star and
+// pancake constructions (node id <-> permutation bijection).
+
+#include <cstdint>
+#include <vector>
+
+namespace ipg::topo {
+
+inline constexpr std::uint64_t kFactorials[13] = {
+    1,    1,     2,      6,       24,       120,       720,
+    5040, 40320, 362880, 3628800, 39916800, 479001600};
+
+/// Rank of a permutation of 0..n-1 in lexicographic order.
+inline std::uint64_t perm_rank(const std::vector<std::uint8_t>& p) {
+  const int n = static_cast<int>(p.size());
+  std::uint64_t r = 0;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t smaller = 0;
+    for (int j = i + 1; j < n; ++j) {
+      if (p[j] < p[i]) ++smaller;
+    }
+    r += smaller * kFactorials[n - 1 - i];
+  }
+  return r;
+}
+
+/// Inverse of perm_rank.
+inline std::vector<std::uint8_t> perm_unrank(std::uint64_t r, int n) {
+  std::vector<std::uint8_t> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> out(n);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t f = kFactorials[n - 1 - i];
+    const std::uint64_t idx = r / f;
+    r %= f;
+    out[i] = pool[idx];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return out;
+}
+
+}  // namespace ipg::topo

@@ -1,0 +1,22 @@
+#include "topo/shuffle.hpp"
+
+#include <cassert>
+
+#include "graph/builder.hpp"
+
+namespace ipg::topo {
+
+Graph shuffle_exchange(int n) {
+  assert(n >= 2 && n < 31);
+  const Node size = Node{1} << n;
+  const Node mask = size - 1;
+  GraphBuilder b(size);
+  b.reserve(static_cast<std::uint64_t>(size) * 4);
+  for (Node u = 0; u < size; ++u) {
+    b.add_edge(u, u ^ 1u);                                     // exchange
+    b.add_edge(u, ((u << 1) | (u >> (n - 1))) & mask);         // shuffle
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topo

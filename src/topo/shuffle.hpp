@@ -1,0 +1,13 @@
+#pragma once
+// Shuffle-exchange network (Stone; Leighton): 2^n nodes, exchange flips the
+// last address bit, shuffle rotates the address. One of the super-IP-
+// expressible networks listed in Section 1.
+
+#include "graph/graph.hpp"
+
+namespace ipg::topo {
+
+/// Undirected SE(n): u -- u^1 (exchange), u -- rotate_left(u) (shuffle).
+Graph shuffle_exchange(int n);
+
+}  // namespace ipg::topo

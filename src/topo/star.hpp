@@ -1,0 +1,13 @@
+#pragma once
+// Explicit star graph S_n (Akers, Harel & Krishnamurthy): nodes are the n!
+// permutations of n symbols; generator i swaps positions 1 and i. The
+// paper's flagship Cayley-graph comparator.
+
+#include "graph/graph.hpp"
+
+namespace ipg::topo {
+
+/// S_n with nodes identified by lexicographic permutation rank.
+Graph star_graph(int n);
+
+}  // namespace ipg::topo

@@ -1,0 +1,63 @@
+#include "topo/torus.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace ipg::topo {
+
+Graph kary_ncube(int k, int n) {
+  assert(k >= 2 && n >= 1);
+  std::uint64_t size = 1;
+  for (int d = 0; d < n; ++d) size *= static_cast<std::uint64_t>(k);
+  assert(size < (1ull << 31));
+  GraphBuilder b(static_cast<Node>(size));
+  for (Node u = 0; u < size; ++u) {
+    Node rem = u;
+    Node stride = 1;
+    for (int d = 0; d < n; ++d) {
+      const Node digit = rem % k;
+      rem /= k;
+      const Node up = u - digit * stride + ((digit + 1) % k) * stride;
+      const Node down = u - digit * stride + ((digit + k - 1) % k) * stride;
+      b.add_arc(u, up);
+      b.add_arc(u, down);  // builder merges the duplicate when k == 2
+      stride *= static_cast<Node>(k);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph torus2d(int rows, int cols) {
+  assert(rows >= 2 && cols >= 2);
+  const Node size = static_cast<Node>(rows) * static_cast<Node>(cols);
+  GraphBuilder b(size);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const Node u = static_cast<Node>(r) * cols + c;
+      b.add_arc(u, static_cast<Node>(r) * cols + (c + 1) % cols);
+      b.add_arc(u, static_cast<Node>(r) * cols + (c + cols - 1) % cols);
+      b.add_arc(u, static_cast<Node>((r + 1) % rows) * cols + c);
+      b.add_arc(u, static_cast<Node>((r + rows - 1) % rows) * cols + c);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph mesh2d(int rows, int cols) {
+  assert(rows >= 1 && cols >= 1);
+  const Node size = static_cast<Node>(rows) * static_cast<Node>(cols);
+  GraphBuilder b(size);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const Node u = static_cast<Node>(r) * cols + c;
+      if (c + 1 < cols) b.add_edge(u, u + 1);
+      if (r + 1 < rows) b.add_edge(u, u + static_cast<Node>(cols));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topo

@@ -1,0 +1,21 @@
+#pragma once
+// Tori and meshes (k-ary n-cubes), the low-dimensional baselines of
+// Section 5's comparisons.
+
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace ipg::topo {
+
+/// k-ary n-cube: n dimensions of size k with wraparound; k = 2 degenerates
+/// to the hypercube (single link per dimension, not doubled).
+Graph kary_ncube(int k, int n);
+
+/// 2-D torus with the given side lengths.
+Graph torus2d(int rows, int cols);
+
+/// 2-D mesh (no wraparound).
+Graph mesh2d(int rows, int cols);
+
+}  // namespace ipg::topo

@@ -1,0 +1,44 @@
+#pragma once
+// Small, fast, reproducible pseudo-random number generation.
+//
+// All stochastic components of the library (traffic generators, sampled
+// metrics, property tests) take an explicit seed so every experiment is
+// exactly reproducible; none of them touch global random state.
+
+#include <cstdint>
+
+namespace ipg {
+
+/// SplitMix64: used to expand a user seed into generator state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256**: the library-wide PRNG. Satisfies the
+/// UniformRandomBitGenerator concept so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ipg

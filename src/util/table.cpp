@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace ipg {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        for (std::size_t pad = row[c].size(); pad < width[c] + 2; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace ipg

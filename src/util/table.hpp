@@ -1,0 +1,36 @@
+#pragma once
+// Plain-text table printing shared by the bench harnesses so every
+// reproduced figure/table is emitted in one consistent format.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// Accumulates rows of string cells and prints them as an aligned
+/// fixed-width table with a header rule. Intentionally minimal: the bench
+/// binaries are the paper's tables, and their output doubles as the
+/// machine-readable record in EXPERIMENTS.md.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+  static std::string fixed(double v, int digits = 2);
+
+  /// Renders the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ipg

@@ -1,0 +1,118 @@
+// Tests for the broadcast algorithms: coverage, the tree invariant
+// (N - 1 messages), the off-module reduction the paper's algorithm story
+// relies on, and round lower bounds.
+#include <gtest/gtest.h>
+
+#include "algo/broadcast.hpp"
+#include "cluster/partitions.hpp"
+#include "graph/bfs.hpp"
+#include "ipg/families.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/star.hpp"
+#include "topo/torus.hpp"
+
+namespace ipg {
+namespace {
+
+using algo::flat_broadcast;
+using algo::staged_broadcast;
+
+TEST(Broadcast, FlatCoversAndUsesTreeEdges) {
+  const Graph g = topo::hypercube(6);
+  const auto r = flat_broadcast(g, 0);
+  EXPECT_TRUE(r.covered);
+  EXPECT_EQ(r.messages, g.num_nodes() - 1);
+  EXPECT_EQ(r.rounds, 6);  // eccentricity of any hypercube node
+}
+
+TEST(Broadcast, FlatCountsOffModuleEdges) {
+  const Graph g = topo::hypercube(6);
+  const Clustering c = cluster_hypercube(6, 3);
+  const auto r = flat_broadcast(g, 0, &c);
+  EXPECT_TRUE(r.covered);
+  // The BFS tree fixes low dimensions first (sorted neighbors), but a
+  // majority of tree edges still cross 8-node modules.
+  EXPECT_GT(r.off_module_messages, c.num_modules - 1);
+}
+
+TEST(Broadcast, StagedCoversWithMinimalOffModuleTraffic) {
+  struct Case {
+    Graph g;
+    Clustering c;
+  };
+  std::vector<Case> cases;
+  {
+    const SuperIPSpec s = make_hsn(3, hypercube_nucleus(2));
+    const IPGraph g = build_super_ip_graph(s);
+    cases.push_back({g.graph, cluster_by_nucleus(g, s.m)});
+  }
+  {
+    const SuperIPSpec s = make_ring_cn(3, hypercube_nucleus(3));
+    const IPGraph g = build_super_ip_graph(s);
+    cases.push_back({g.graph, cluster_by_nucleus(g, s.m)});
+  }
+  cases.push_back({topo::hypercube(8), cluster_hypercube(8, 4)});
+  cases.push_back({topo::torus2d(8, 8), cluster_torus2d(8, 8, 4, 4)});
+
+  for (const auto& [g, c] : cases) {
+    const auto r = staged_broadcast(g, c, 0);
+    EXPECT_TRUE(r.covered);
+    EXPECT_EQ(r.messages, g.num_nodes() - 1);  // still a spanning tree
+    EXPECT_EQ(r.off_module_messages, c.num_modules - 1);  // the minimum
+    const auto flat = flat_broadcast(g, 0, &c);
+    EXPECT_LE(r.off_module_messages, flat.off_module_messages);
+    EXPECT_GE(r.rounds, flat.rounds);  // rounds trade against locality
+  }
+}
+
+TEST(Broadcast, StagedRoundsBoundedByStructure) {
+  // Rounds <= (module-tree depth + 1) * (max intra-module ecc + 1); for
+  // HSN(2, Q3) with nucleus modules: I-diameter 1, nucleus diameter 3.
+  const SuperIPSpec s = make_hsn(2, hypercube_nucleus(3));
+  const IPGraph g = build_super_ip_graph(s);
+  const Clustering c = cluster_by_nucleus(g, s.m);
+  const auto r = staged_broadcast(g.graph, c, 0);
+  EXPECT_TRUE(r.covered);
+  EXPECT_LE(r.rounds, 2 * 3 + 1);
+  // Lower bound: cannot beat the graph eccentricity of the root.
+  const auto sstats = source_stats(bfs_distances(g.graph, 0));
+  EXPECT_GE(r.rounds, static_cast<int>(sstats.eccentricity));
+}
+
+TEST(Broadcast, SingleModuleDegeneratesToFlatten) {
+  const Graph g = topo::star_graph(4);
+  Clustering whole;
+  whole.num_modules = 1;
+  whole.module_of.assign(g.num_nodes(), 0);
+  const auto r = staged_broadcast(g, whole, 0);
+  EXPECT_TRUE(r.covered);
+  EXPECT_EQ(r.off_module_messages, 0u);
+  const auto flat = flat_broadcast(g, 0, &whole);
+  EXPECT_EQ(r.rounds, flat.rounds);
+}
+
+TEST(Reduce, MirrorsStagedBroadcastAccounting) {
+  const SuperIPSpec s = make_hsn(3, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(s);
+  const Clustering c = cluster_by_nucleus(g, s.m);
+  const auto bcast = staged_broadcast(g.graph, c, 5);
+  const auto reduce = algo::staged_reduce(g.graph, c, 5);
+  EXPECT_TRUE(reduce.covered);
+  EXPECT_EQ(reduce.messages, bcast.messages);
+  EXPECT_EQ(reduce.off_module_messages, bcast.off_module_messages);
+  EXPECT_EQ(reduce.rounds, bcast.rounds);
+}
+
+TEST(Broadcast, RootChoiceDoesNotBreakCoverage) {
+  const SuperIPSpec s = make_super_flip(3, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(s);
+  const Clustering c = cluster_by_nucleus(g, s.m);
+  for (Node root = 0; root < g.num_nodes(); root += 7) {
+    const auto r = staged_broadcast(g.graph, c, root);
+    EXPECT_TRUE(r.covered) << "root " << root;
+    EXPECT_EQ(r.off_module_messages, c.num_modules - 1);
+  }
+}
+
+}  // namespace
+}  // namespace ipg

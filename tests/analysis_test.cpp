@@ -1,0 +1,147 @@
+// Tests for the analysis layer: every closed form is checked against BFS
+// measurement on enumerable instances, the Moore bound behaves, and cost
+// points assemble correctly.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "analysis/cost_model.hpp"
+#include "analysis/formulas.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Formulas, SuperFamilyFormulasMatchMeasurement) {
+  // The Fig. 2/4 curves rest on these: validate degree/diameter/N for all
+  // four families over Q_2 and Q_3 nuclei.
+  for (const int n : {2, 3}) {
+    const IPGraphSpec nucleus = hypercube_nucleus(n);
+    const TopoNums nums = hypercube_nums(n);
+    for (const int l : {2, 3}) {
+      const struct {
+        SuperNums predicted;
+        SuperIPSpec spec;
+      } cases[] = {
+          {hsn_nums(l, nums), make_hsn(l, nucleus)},
+          {ring_cn_nums(l, nums), make_ring_cn(l, nucleus)},
+          {complete_cn_nums(l, nums), make_complete_cn(l, nucleus)},
+          {super_flip_nums(l, nums), make_super_flip(l, nucleus)},
+      };
+      for (const auto& c : cases) {
+        const IPGraph g = build_super_ip_graph(c.spec);
+        const auto p = profile(g.graph);
+        EXPECT_EQ(p.nodes, c.predicted.nodes) << c.predicted.name;
+        EXPECT_EQ(p.degree, c.predicted.degree) << c.predicted.name;
+        EXPECT_EQ(p.diameter, c.predicted.diameter) << c.predicted.name;
+      }
+    }
+  }
+}
+
+TEST(Formulas, PetersenNucleusCnFormula) {
+  const SuperNums predicted = ring_cn_nums(3, petersen_nums());
+  const TupleNetwork net = build_super_network_direct(
+      topo::petersen(), 3, ring_shift_super_gens(3));
+  const auto p = profile(net.graph);
+  EXPECT_EQ(p.nodes, predicted.nodes);
+  EXPECT_EQ(p.degree, predicted.degree);
+  EXPECT_EQ(p.diameter, predicted.diameter);
+}
+
+TEST(Formulas, CompleteNucleusCnFormula) {
+  const SuperNums predicted = ring_cn_nums(3, complete_nums(4));
+  const IPGraph g = build_super_ip_graph(make_ring_cn(3, complete_nucleus(4)));
+  const auto p = profile(g.graph);
+  EXPECT_EQ(p.nodes, predicted.nodes);
+  EXPECT_EQ(p.degree, predicted.degree);
+  EXPECT_EQ(p.diameter, predicted.diameter);
+}
+
+TEST(Bounds, MooreBoundSmallCases) {
+  // K_{d+1} meets the bound with diameter 1.
+  EXPECT_EQ(moore_diameter_lower_bound(4, 3), 1u);
+  // Petersen is a Moore graph: 10 nodes, degree 3, diameter exactly 2.
+  EXPECT_EQ(moore_diameter_lower_bound(10, 3), 2u);
+  // One more node forces diameter 3 at degree 3... 1+3+6 = 10 < 11.
+  EXPECT_EQ(moore_diameter_lower_bound(11, 3), 3u);
+  EXPECT_EQ(moore_diameter_lower_bound(1, 5), 0u);
+  // Degree 2: a cycle; diameter >= ceil((N-1)/2).
+  EXPECT_EQ(moore_diameter_lower_bound(9, 2), 4u);
+}
+
+TEST(Bounds, OptimalityFactorOrdersFamiliesSensibly) {
+  // Hypercubes are far from degree/diameter optimal; Petersen is optimal.
+  EXPECT_DOUBLE_EQ(
+      diameter_optimality_factor(10, 3, 2), 1.0);
+  const auto q10 = hypercube_nums(10);
+  EXPECT_GT(diameter_optimality_factor(q10.nodes, q10.degree, q10.diameter),
+            2.0);
+}
+
+TEST(Bounds, Theorem44SuperIpGraphsApproachTheBound) {
+  // GH-nucleus cyclic networks should sit within a small constant of the
+  // Moore bound, and the factor should not blow up with scale.
+  const std::vector<int> radices{4, 4, 4};
+  const TopoNums gh = generalized_hypercube_nums(radices);  // 64 nodes, deg 9, D 3
+  for (const int l : {2, 4, 6, 8}) {
+    const SuperNums s = complete_cn_nums(l, gh);
+    const double factor =
+        diameter_optimality_factor(s.nodes, s.degree, s.diameter);
+    EXPECT_LT(factor, 4.0) << "l=" << l;
+  }
+}
+
+TEST(CostModel, CostPointArithmetic) {
+  CostPoint p;
+  p.nodes = 1024;
+  p.degree = 5;
+  p.diameter = 9;
+  p.i_degree = 2;
+  p.i_diameter = 3;
+  EXPECT_DOUBLE_EQ(p.log2_nodes(), 10.0);
+  EXPECT_DOUBLE_EQ(p.dd_cost(), 45.0);
+  EXPECT_DOUBLE_EQ(p.id_cost(), 18.0);
+  EXPECT_DOUBLE_EQ(p.ii_cost(), 6.0);
+}
+
+TEST(CostModel, SweepsCoverRequestedRange) {
+  const auto hc = sweep_hypercube(4, 10, 4);
+  ASSERT_EQ(hc.size(), 7u);
+  EXPECT_EQ(hc.front().nodes, 16u);
+  EXPECT_EQ(hc.back().nodes, 1024u);
+  EXPECT_DOUBLE_EQ(hc.back().i_degree, 6.0);
+
+  const auto hsn = sweep_hsn(2, 5, hypercube_nums(4));
+  ASSERT_EQ(hsn.size(), 4u);
+  for (std::size_t i = 0; i < hsn.size(); ++i) {
+    const int l = 2 + static_cast<int>(i);
+    EXPECT_DOUBLE_EQ(hsn[i].i_degree, l - 1.0);
+    EXPECT_EQ(hsn[i].diameter, static_cast<Dist>(4 * l + l - 1));
+  }
+
+  const auto ring = sweep_ring_cn(3, 6, hypercube_nums(4));
+  for (const auto& p : ring) EXPECT_DOUBLE_EQ(p.i_degree, 2.0);
+}
+
+TEST(CostModel, TorusSweepUsesTileGeometry) {
+  const auto pts = sweep_torus2d({8, 16}, 4, 4);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].i_degree, 1.0);
+  EXPECT_EQ(pts[0].i_diameter, 2u);  // 2x2 tile torus
+  EXPECT_EQ(pts[1].i_diameter, 4u);  // 4x4 tile torus
+}
+
+TEST(CostModel, DeBruijnAndCccSweeps) {
+  const auto db = sweep_de_bruijn(6, 8, 4);
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_DOUBLE_EQ(db[0].i_degree, 4.0);
+  const auto ccc = sweep_ccc(3, 5);
+  EXPECT_EQ(ccc.size(), 3u);
+  EXPECT_DOUBLE_EQ(ccc[0].i_degree, 1.0);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,70 @@
+// Validates every closed-form average distance against all-pairs BFS.
+#include <gtest/gtest.h>
+
+#include "analysis/avg_distance.hpp"
+#include "graph/metrics.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+#include "topo/star.hpp"
+#include "topo/torus.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(AvgDistance, Hypercube) {
+  for (int n = 2; n <= 8; ++n) {
+    EXPECT_NEAR(profile(topo::hypercube(n)).average_distance,
+                hypercube_avg_distance(n), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(AvgDistance, Cycle) {
+  for (int k = 3; k <= 12; ++k) {
+    EXPECT_NEAR(profile(topo::cycle(k)).average_distance,
+                cycle_avg_distance(k), 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(AvgDistance, KaryNcube) {
+  for (const auto& [k, n] : {std::pair{3, 2}, {4, 3}, {5, 2}, {8, 2}}) {
+    EXPECT_NEAR(profile(topo::kary_ncube(k, n)).average_distance,
+                kary_ncube_avg_distance(k, n), 1e-9)
+        << k << "," << n;
+  }
+}
+
+TEST(AvgDistance, Torus2d) {
+  for (const auto& [r, c] : {std::pair{4, 4}, {6, 8}, {5, 7}, {16, 16}}) {
+    EXPECT_NEAR(profile(topo::torus2d(r, c)).average_distance,
+                torus2d_avg_distance(r, c), 1e-9)
+        << r << "x" << c;
+  }
+}
+
+TEST(AvgDistance, HammingViaGeneralizedHypercube) {
+  // GH with equal radices is the Hamming graph H(d, q).
+  for (const auto& [d, q] : {std::pair{2, 3}, {3, 3}, {2, 5}, {4, 2}}) {
+    std::vector<int> radices(d, q);
+    EXPECT_NEAR(profile(topo::generalized_hypercube(radices)).average_distance,
+                hamming_avg_distance(d, q), 1e-9)
+        << "H(" << d << "," << q << ")";
+  }
+}
+
+TEST(AvgDistance, Complete) {
+  EXPECT_NEAR(profile(topo::complete(9)).average_distance,
+              complete_avg_distance(9), 1e-12);
+}
+
+TEST(AvgDistance, StarGraphCycleFormula) {
+  for (int n = 3; n <= 7; ++n) {
+    EXPECT_NEAR(profile(topo::star_graph(n)).average_distance,
+                star_avg_distance(n), 1e-9)
+        << "S" << n;
+  }
+}
+
+}  // namespace
+}  // namespace ipg

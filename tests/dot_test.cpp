@@ -1,0 +1,57 @@
+// Tests for DOT export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/partitions.hpp"
+#include "graph/builder.hpp"
+#include "graph/dot.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Dot, UndirectedGraphUsesEdgeSyntaxOnce) {
+  std::ostringstream os;
+  write_dot(os, topo::cycle(3));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph ipg {"), std::string::npos);
+  EXPECT_EQ(out.find("->"), std::string::npos);
+  // 3 links, each written once.
+  std::size_t count = 0;
+  for (std::size_t p = out.find(" -- "); p != std::string::npos;
+       p = out.find(" -- ", p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Dot, DirectedGraphUsesArrows) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1);
+  std::ostringstream os;
+  write_dot(os, std::move(b).build());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  EXPECT_NE(out.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, CustomLabelsAndClusters) {
+  const Graph g = topo::hypercube(3);
+  const Clustering c = cluster_hypercube(3, 1);
+  DotOptions options;
+  options.label = [](Node u) { return "node-" + std::to_string(u); };
+  options.modules = &c;
+  options.graph_name = "q3";
+  std::ostringstream os;
+  write_dot(os, g, options);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph q3 {"), std::string::npos);
+  EXPECT_NE(out.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(out.find("subgraph cluster_3"), std::string::npos);
+  EXPECT_NE(out.find("node-7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,66 @@
+// Tests for embeddings: the dilation-3 hypercube-into-HSN embedding the
+// paper cites, and the generic evaluator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ipg/families.hpp"
+#include "route/embedding.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Embedding, IdentityEmbeddingHasDilationOne) {
+  const Graph g = topo::hypercube(4);
+  std::vector<Node> phi(g.num_nodes());
+  std::iota(phi.begin(), phi.end(), Node{0});
+  const auto s = evaluate_embedding(g, g, phi);
+  EXPECT_EQ(s.dilation, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_dilation, 1.0);
+  EXPECT_DOUBLE_EQ(s.expansion, 1.0);
+  EXPECT_TRUE(s.injective);
+}
+
+TEST(Embedding, NonInjectiveMapDetected) {
+  const Graph g = topo::hypercube(3);
+  std::vector<Node> phi(g.num_nodes(), 0);
+  phi[1] = 1;
+  const auto s = evaluate_embedding(g, g, phi);
+  EXPECT_FALSE(s.injective);
+}
+
+struct HsnEmbedCase {
+  int l, n;
+};
+
+class HsnEmbedding : public ::testing::TestWithParam<HsnEmbedCase> {};
+
+TEST_P(HsnEmbedding, HypercubeEmbedsWithDilationAtMost3) {
+  // Sections 1/3.2: "an HSN can embed corresponding homogeneous product
+  // networks such as hypercubes ... with dilation 3."
+  const auto [l, n] = GetParam();
+  const IPGraph hsn = build_super_ip_graph(make_hsn(l, hypercube_nucleus(n)));
+  const Graph guest = topo::hypercube(l * n);
+  const auto phi = hsn_hypercube_embedding(hsn, l, n);
+  const auto s = evaluate_embedding(guest, hsn.graph, phi);
+  EXPECT_TRUE(s.injective);
+  EXPECT_DOUBLE_EQ(s.expansion, 1.0);
+  EXPECT_LE(s.dilation, 3u);
+  // Block-0 dimensions embed with dilation 1, so the average is strictly
+  // below the worst case.
+  EXPECT_LT(s.avg_dilation, 3.0);
+  EXPECT_GE(s.dilation, l > 1 ? 3u : 1u);  // swap-flip-swap is really needed
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HsnEmbedding,
+                         ::testing::Values(HsnEmbedCase{2, 2}, HsnEmbedCase{2, 3},
+                                           HsnEmbedCase{3, 2}, HsnEmbedCase{2, 4},
+                                           HsnEmbedCase{3, 3}),
+                         [](const auto& info) {
+                           return "l" + std::to_string(info.param.l) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+}  // namespace
+}  // namespace ipg

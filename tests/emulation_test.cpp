@@ -1,0 +1,56 @@
+// Tests for hypercube emulation on HSNs: constant dilation and congestion
+// per dimension round, hence constant slowdown (the Section 1 claim).
+#include <gtest/gtest.h>
+
+#include "algo/emulation.hpp"
+#include "ipg/families.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg {
+namespace {
+
+struct EmuCase {
+  int l, n;
+};
+
+class HsnEmulation : public ::testing::TestWithParam<EmuCase> {};
+
+TEST_P(HsnEmulation, DimensionRoundsHaveConstantCost) {
+  const auto [l, n] = GetParam();
+  const IPGraph hsn = build_super_ip_graph(make_hsn(l, hypercube_nucleus(n)));
+  const auto stats = algo::emulate_hypercube_rounds(hsn, l, n);
+  ASSERT_EQ(stats.per_dimension.size(), static_cast<std::size_t>(l * n));
+
+  // Block-0 dimensions are native HSN links: dilation 1.
+  for (int j = 0; j < n; ++j) {
+    EXPECT_EQ(stats.per_dimension[j].dilation, 1u) << "dim " << j;
+  }
+  // Every other dimension routes via swap-flip-swap: dilation <= 3.
+  EXPECT_LE(stats.max_dilation, 3u);
+  // Congestion stays constant (independent of l and n).
+  EXPECT_LE(stats.max_congestion, 4u);
+  EXPECT_LE(stats.slowdown_bound(), 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HsnEmulation,
+                         ::testing::Values(EmuCase{2, 2}, EmuCase{2, 3},
+                                           EmuCase{3, 2}),
+                         [](const auto& info) {
+                           return "l" + std::to_string(info.param.l) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(HsnEmulation, CongestionCountsSharedArcs) {
+  // Sanity on the smallest case: every dimension reports at least one use
+  // per arc it touches, and native dimensions congest at most 2 (the two
+  // directions of an exchange on one link).
+  const IPGraph hsn = build_super_ip_graph(make_hsn(2, hypercube_nucleus(2)));
+  const auto stats = algo::emulate_hypercube_rounds(hsn, 2, 2);
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_LE(stats.per_dimension[j].congestion, 2u);
+    EXPECT_GE(stats.per_dimension[j].congestion, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ipg

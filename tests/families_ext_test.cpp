@@ -1,0 +1,139 @@
+// Tests for the extended family constructors: the k-ary n-cube IP
+// encoding (cross-validated against the explicit torus) and recursive
+// hierarchical swapped networks (RHSN).
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "graph/symmetry.hpp"
+#include "ipg/build.hpp"
+#include "ipg/families.hpp"
+#include "ipg/schedule.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/perm_rank.hpp"
+#include "topo/torus.hpp"
+
+namespace ipg {
+namespace {
+
+/// Decodes coordinate d of a k-ary IP label: the block holding symbols
+/// dk+1..(d+1)k is some rotation s of its seed; s is the coordinate.
+Node decode_kary(const Label& x, int k, int d) {
+  return static_cast<Node>(x[d * k] - (d * k + 1));
+}
+
+TEST(KaryNucleus, MatchesExplicitTorusExactly) {
+  for (const auto& [k, n] : {std::pair{3, 2}, {4, 2}, {5, 2}, {3, 3}, {4, 3}}) {
+    const IPGraph ip = build_ip_graph(kary_ncube_nucleus(k, n));
+    const Graph torus = topo::kary_ncube(k, n);
+    ASSERT_EQ(ip.num_nodes(), torus.num_nodes()) << k << "," << n;
+    std::uint64_t arcs = 0;
+    for (Node u = 0; u < ip.num_nodes(); ++u) {
+      Node iu = 0;
+      for (int d = n - 1; d >= 0; --d) iu = iu * k + decode_kary(ip.labels[u], k, d);
+      for (const Node v : ip.graph.neighbors(u)) {
+        Node iv = 0;
+        for (int d = n - 1; d >= 0; --d) iv = iv * k + decode_kary(ip.labels[v], k, d);
+        EXPECT_TRUE(torus.has_arc(iu, iv)) << k << "," << n;
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, torus.num_arcs());
+  }
+}
+
+TEST(KaryNucleus, BinaryCaseDegeneratesToHypercube) {
+  const IPGraph ip = build_ip_graph(kary_ncube_nucleus(2, 4));
+  const auto p = profile(ip.graph);
+  EXPECT_EQ(p.nodes, 16u);
+  EXPECT_EQ(p.degree, 4u);
+  EXPECT_EQ(p.diameter, 4u);
+}
+
+TEST(KaryNucleus, WorksAsSuperIpNucleus) {
+  // HSN over a 3-ary 2-cube nucleus: N = 9^l, diameter l*2 + (l-1).
+  const SuperIPSpec s = make_hsn(2, kary_ncube_nucleus(3, 2));
+  const IPGraph g = build_super_ip_graph(s);
+  EXPECT_EQ(g.num_nodes(), 81u);
+  EXPECT_EQ(profile(g.graph).diameter, 5u);
+}
+
+TEST(Hfn, TwoLevelFoldedHypercubeProfile) {
+  // HFN(n,n) in its super-IP form: N = 4^n, degree n + 2 (n + 1 folded
+  // cube links + swap), diameter 2 * ceil(n/2) + 1 via Theorem 4.1.
+  for (int n = 2; n <= 4; ++n) {
+    const SuperIPSpec spec = make_hfn(n);
+    const IPGraph g = build_super_ip_graph(spec);
+    EXPECT_EQ(g.num_nodes(), std::uint64_t{1} << (2 * n)) << n;
+    const auto p = profile(g.graph);
+    EXPECT_EQ(p.degree, static_cast<Node>(n + 2)) << n;
+    EXPECT_EQ(p.diameter, static_cast<Dist>(2 * ((n + 1) / 2) + 1)) << n;
+  }
+}
+
+TEST(Rotator, KnownProfile) {
+  // Corbett: n! nodes, out-degree n-1, diameter n-1, strongly connected.
+  for (int n = 3; n <= 5; ++n) {
+    const IPGraph r = build_ip_graph(rotator_nucleus(n));
+    const auto p = profile(r.graph);
+    EXPECT_EQ(p.nodes, topo::kFactorials[n]) << n;
+    EXPECT_EQ(p.degree, static_cast<Node>(n - 1)) << n;
+    EXPECT_EQ(p.diameter, static_cast<Dist>(n - 1)) << n;
+    EXPECT_TRUE(p.connected) << n;
+  }
+}
+
+TEST(Rotator, WorksAsDirectedNucleus) {
+  // A directed nucleus inside a directed-CN: everything stays routable.
+  const SuperIPSpec spec = make_directed_cn(2, rotator_nucleus(3));
+  const IPGraph g = build_super_ip_graph(spec);
+  EXPECT_EQ(g.num_nodes(), 36u);
+  EXPECT_TRUE(profile(g.graph).connected);
+}
+
+TEST(Rhsn, DepthZeroIsTheNucleus) {
+  const IPGraphSpec g = make_rhsn(0, hypercube_nucleus(2));
+  EXPECT_EQ(g.name, "Q2");
+  EXPECT_EQ(build_ip_graph(g).num_nodes(), 4u);
+}
+
+TEST(Rhsn, SizesSquarePerLevel) {
+  // RHSN(d, G) has |G|^(2^d) nodes.
+  const IPGraphSpec base = hypercube_nucleus(1);  // 2 nodes
+  EXPECT_EQ(build_ip_graph(make_rhsn(1, base)).num_nodes(), 4u);
+  EXPECT_EQ(build_ip_graph(make_rhsn(2, base)).num_nodes(), 16u);
+  EXPECT_EQ(build_ip_graph(make_rhsn(3, base)).num_nodes(), 256u);
+}
+
+TEST(Rhsn, DiameterFollowsNestedTheorem41) {
+  // Each level doubles D and adds 1: D(d) = 2*D(d-1) + 1.
+  const IPGraphSpec base = hypercube_nucleus(1);
+  Dist expected = 1;  // D(Q1)
+  for (int depth = 1; depth <= 3; ++depth) {
+    expected = 2 * expected + 1;
+    const IPGraph g = build_ip_graph(make_rhsn(depth, base));
+    EXPECT_EQ(profile(g.graph).diameter, expected) << "depth " << depth;
+  }
+}
+
+TEST(Rhsn, DegreeGrowsByOnePerLevel) {
+  // Theorem 3.1: each level adds one swap generator.
+  const IPGraphSpec base = hypercube_nucleus(2);
+  for (int depth = 0; depth <= 2; ++depth) {
+    const IPGraph g = build_ip_graph(make_rhsn(depth, base));
+    EXPECT_EQ(degree_stats(g.graph).max_degree,
+              static_cast<Node>(2 + depth));
+  }
+}
+
+TEST(Rhsn, CorollaryFourTwoStillApplies) {
+  // RHSN is among the Corollary 4.2 families: an l=2 super-IP at every
+  // level, so diameter = prod over levels of the nested formula — checked
+  // against the outermost level's l * D_G + t with t = 1.
+  const IPGraphSpec inner = make_rhsn(1, hypercube_nucleus(2));  // 16 nodes
+  const Dist inner_diam = profile(build_ip_graph(inner).graph).diameter;
+  const IPGraph outer = build_ip_graph(make_rhsn(2, hypercube_nucleus(2)));
+  EXPECT_EQ(profile(outer.graph).diameter, 2 * inner_diam + 1);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,245 @@
+// Tests for the network families of Section 3: sizes (Theorem 3.2),
+// degrees (Theorem 3.1), diameters (Theorem 4.1 / Corollary 4.2),
+// HCN equivalence, diameter links, and the tuple-space construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/metrics.hpp"
+#include "graph/symmetry.hpp"
+#include "ipg/families.hpp"
+#include "ipg/ranking.hpp"
+#include "ipg/schedule.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+
+namespace ipg {
+namespace {
+
+std::uint64_t ipow(std::uint64_t b, int e) {
+  std::uint64_t v = 1;
+  for (int i = 0; i < e; ++i) v *= b;
+  return v;
+}
+
+struct FamilyCase {
+  std::string kind;
+  int l;
+  int nucleus_n;  // Q_n nucleus
+};
+
+class SuperFamilies : public ::testing::TestWithParam<FamilyCase> {
+ protected:
+  SuperIPSpec spec() const {
+    const auto& p = GetParam();
+    const IPGraphSpec nucleus = hypercube_nucleus(p.nucleus_n);
+    if (p.kind == "hsn") return make_hsn(p.l, nucleus);
+    if (p.kind == "ring") return make_ring_cn(p.l, nucleus);
+    if (p.kind == "complete") return make_complete_cn(p.l, nucleus);
+    if (p.kind == "flip") return make_super_flip(p.l, nucleus);
+    return make_directed_cn(p.l, nucleus);
+  }
+};
+
+TEST_P(SuperFamilies, SizeIsNucleusToThePowerL) {
+  // Theorem 3.2: N = M^l.
+  const SuperIPSpec s = spec();
+  const IPGraph g = build_super_ip_graph(s);
+  EXPECT_EQ(g.num_nodes(), ipow(ipow(2, GetParam().nucleus_n), s.l));
+}
+
+TEST_P(SuperFamilies, DegreeBoundedByGeneratorCount) {
+  // Theorem 3.1 for node degree.
+  const SuperIPSpec s = spec();
+  const IPGraph g = build_super_ip_graph(s);
+  EXPECT_LE(degree_stats(g.graph).max_degree,
+            s.nucleus_gens.size() + s.super_gens.size());
+}
+
+TEST_P(SuperFamilies, DiameterMatchesTheorem41) {
+  // diameter = l * D_G + t, with D_G = n for the Q_n nucleus.
+  const auto& p = GetParam();
+  const SuperIPSpec s = spec();
+  const IPGraph g = build_super_ip_graph(s);
+  const auto prof = profile(g.graph);
+  EXPECT_TRUE(prof.connected);
+  EXPECT_EQ(prof.diameter, p.l * p.nucleus_n + compute_t(s));
+}
+
+TEST_P(SuperFamilies, Corollary42DiameterFormula) {
+  // diameter = (D_G + 1) * log_M(N) - 1 with log_M(N) = l.
+  const auto& p = GetParam();
+  const IPGraph g = build_super_ip_graph(spec());
+  const double log_m_n = std::log2(static_cast<double>(g.num_nodes())) /
+                         static_cast<double>(p.nucleus_n);
+  EXPECT_NEAR(log_m_n, p.l, 1e-9);
+  EXPECT_EQ(profile(g.graph).diameter,
+            static_cast<Dist>((p.nucleus_n + 1) * p.l - 1));
+}
+
+TEST_P(SuperFamilies, StronglyConnected) {
+  const IPGraph g = build_super_ip_graph(spec());
+  EXPECT_TRUE(is_strongly_connected(g.graph));
+}
+
+TEST_P(SuperFamilies, UndirectedFamiliesAreInverseClosed) {
+  const SuperIPSpec s = spec();
+  const IPGraphSpec lifted = s.to_ip_spec();
+  if (GetParam().kind != "directed") {
+    EXPECT_TRUE(lifted.inverse_closed());
+    EXPECT_TRUE(build_super_ip_graph(s).graph.is_symmetric());
+  } else if (s.l > 2) {
+    EXPECT_FALSE(build_super_ip_graph(s).graph.is_symmetric());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SuperFamilies,
+    ::testing::Values(FamilyCase{"hsn", 2, 2}, FamilyCase{"hsn", 3, 2},
+                      FamilyCase{"hsn", 4, 2}, FamilyCase{"hsn", 2, 3},
+                      FamilyCase{"hsn", 3, 3}, FamilyCase{"ring", 2, 2},
+                      FamilyCase{"ring", 3, 2}, FamilyCase{"ring", 4, 2},
+                      FamilyCase{"ring", 3, 3}, FamilyCase{"complete", 3, 2},
+                      FamilyCase{"complete", 4, 2}, FamilyCase{"flip", 3, 2},
+                      FamilyCase{"flip", 4, 2}, FamilyCase{"directed", 3, 2},
+                      FamilyCase{"directed", 4, 2}),
+    [](const auto& info) {
+      return info.param.kind + "_l" + std::to_string(info.param.l) + "_Q" +
+             std::to_string(info.param.nucleus_n);
+    });
+
+TEST(Families, HcnIsHsn2OverQn) {
+  // "HCN(n,n) without diameter links is equivalent to HSN(2, Q_n)".
+  for (int n = 2; n <= 4; ++n) {
+    const IPGraph hcn = build_super_ip_graph(make_hcn(n));
+    EXPECT_EQ(hcn.num_nodes(), ipow(4, n));
+    const auto p = profile(hcn.graph);
+    EXPECT_EQ(p.degree, static_cast<Node>(n + 1));
+    EXPECT_EQ(p.diameter, static_cast<Dist>(2 * n + 1));
+  }
+}
+
+TEST(Families, HcnFig1aStructure) {
+  // Fig. 1a: HCN(2,2) has 16 nodes; swap links pair clusters; each node
+  // has the two cube links plus at most one swap link.
+  const IPGraph hcn = build_super_ip_graph(make_hcn(2));
+  ASSERT_EQ(hcn.num_nodes(), 16u);
+  const auto stats = degree_stats(hcn.graph);
+  EXPECT_EQ(stats.max_degree, 3u);
+  EXPECT_EQ(stats.min_degree, 2u);  // the four (x,x) nodes lose their swap
+  EXPECT_FALSE(looks_vertex_transitive(hcn.graph));
+}
+
+TEST(Families, DiameterLinksRestoreRegularity) {
+  // Ghose-Desai diameter links attach exactly to the (x,x) nodes, making
+  // HCN(n,n) regular of degree n + 1.
+  for (int n = 2; n <= 3; ++n) {
+    const IPGraph hcn = build_super_ip_graph(make_hcn(n));
+    const Graph full = add_hcn_diameter_links(hcn, n);
+    EXPECT_TRUE(full.is_symmetric());
+    const auto stats = degree_stats(full);
+    EXPECT_TRUE(stats.regular) << "n=" << n;
+    EXPECT_EQ(stats.max_degree, static_cast<Node>(n + 1));
+    // Diameter cannot grow by adding links.
+    EXPECT_LE(profile(full).diameter, profile(hcn.graph).diameter);
+  }
+}
+
+TEST(Families, TupleConstructionIsomorphicToIpConstruction) {
+  // Building HSN(l, Q_n) in tuple space and via the IP engine must give
+  // the same graph; the SuperRanking digits are the explicit isomorphism.
+  for (const int l : {2, 3}) {
+    const SuperIPSpec s = make_hsn(l, hypercube_nucleus(2));
+    const IPGraph ip = build_super_ip_graph(s);
+    const IPGraph nucleus = build_ip_graph(s.nucleus_spec());
+    const TupleNetwork tuple = build_super_network_direct(
+        nucleus.graph, l, transposition_super_gens(l));
+    ASSERT_EQ(tuple.graph.num_nodes(), ip.num_nodes());
+
+    const SuperRanking ranking(s);
+    std::uint64_t arcs = 0;
+    for (Node u = 0; u < ip.num_nodes(); ++u) {
+      const Node tu = static_cast<Node>(ranking.rank(ip.labels[u]));
+      for (const Node v : ip.graph.neighbors(u)) {
+        const Node tv = static_cast<Node>(ranking.rank(ip.labels[v]));
+        EXPECT_TRUE(tuple.graph.has_arc(tu, tv));
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, tuple.graph.num_arcs());
+  }
+}
+
+TEST(Families, PetersenNucleusSatisfiesTheorem41) {
+  // Theorem 4.1 applies to any nucleus: ring-CN(3, Petersen) has diameter
+  // l * D_G + t = 3 * 2 + 2 = 8 with 10^3 nodes.
+  const TupleNetwork net = build_super_network_direct(
+      topo::petersen(), 3, ring_shift_super_gens(3));
+  EXPECT_EQ(net.graph.num_nodes(), 1000u);
+  const auto p = profile(net.graph);
+  EXPECT_EQ(p.degree, 5u);  // 3 (Petersen) + 2 shifts
+  EXPECT_EQ(p.diameter, 8u);
+}
+
+TEST(Families, TupleEncodeDecodeRoundTrip) {
+  const TupleNetwork net = build_super_network_direct(
+      topo::petersen(), 3, ring_shift_super_gens(3));
+  for (const Node id : {0u, 1u, 999u, 123u, 470u}) {
+    EXPECT_EQ(net.encode(net.decode(id)), id);
+  }
+  EXPECT_EQ(net.num_modules(), 100u);
+  EXPECT_EQ(net.module_of(999), 99u);
+}
+
+TEST(Families, GeneralizedHypercubeNucleusProfile) {
+  // GH(3,3): 9 nodes, degree 4, diameter 2 — the diameter-optimal nucleus
+  // recommendation at the end of Section 4.
+  const std::vector<int> radices{3, 3};
+  const IPGraph g = build_ip_graph(generalized_hypercube_nucleus(radices));
+  const auto p = profile(g.graph);
+  EXPECT_EQ(p.nodes, 9u);
+  EXPECT_EQ(p.degree, 4u);
+  EXPECT_EQ(p.diameter, 2u);
+  EXPECT_TRUE(looks_vertex_transitive(g.graph));
+}
+
+TEST(Families, CompleteNucleusIsCompleteGraph) {
+  for (int r = 3; r <= 6; ++r) {
+    const IPGraph g = build_ip_graph(complete_nucleus(r));
+    const auto p = profile(g.graph);
+    EXPECT_EQ(p.nodes, static_cast<std::uint64_t>(r));
+    EXPECT_EQ(p.degree, static_cast<Node>(r - 1));
+    EXPECT_EQ(p.diameter, 1u);
+  }
+}
+
+TEST(Families, CycleNucleusIsCycle) {
+  const IPGraph g = build_ip_graph(cycle_nucleus(7));
+  const auto p = profile(g.graph);
+  EXPECT_EQ(p.nodes, 7u);
+  EXPECT_EQ(p.degree, 2u);
+  EXPECT_EQ(p.diameter, 3u);
+}
+
+TEST(Families, RecursiveHsnComposes) {
+  // RHSN: an HSN whose nucleus is itself an HSN — nesting works because a
+  // super-IP spec lifts to a plain IP spec.
+  const SuperIPSpec inner = make_hsn(2, hypercube_nucleus(1));  // 4 nodes
+  const SuperIPSpec outer = make_hsn(2, inner.to_ip_spec());
+  const IPGraph g = build_super_ip_graph(outer);
+  EXPECT_EQ(g.num_nodes(), 16u);  // (2^1)^2 squared
+  const auto inner_g = build_super_ip_graph(inner);
+  const auto inner_p = profile(inner_g.graph);
+  // Theorem 4.1 with the inner HSN as nucleus: 2 * D_inner + 1.
+  EXPECT_EQ(profile(g.graph).diameter, 2 * inner_p.diameter + 1);
+}
+
+TEST(Families, StarNucleusHsnMatchesPaperExample) {
+  const IPGraph g = build_super_ip_graph(make_hsn(2, star_nucleus(3)));
+  EXPECT_EQ(g.num_nodes(), 36u);
+  EXPECT_EQ(profile(g.graph).diameter, 7u);  // 2 * D(S3) + 1 = 2*3+1
+}
+
+}  // namespace
+}  // namespace ipg

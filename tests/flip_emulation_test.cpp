@@ -1,0 +1,100 @@
+// Section 3.4: "super-flip networks can emulate cyclic-shift networks
+// efficiently since flip super-generators can emulate transposition and
+// cyclic-shift super-generators efficiently, while the latter cannot
+// emulate the former as efficiently." Verified at the permutation level:
+// every shift is a composition of <= 3 flips and every transposition of
+// <= 4 (constants independent of l),
+// while expressing a flip with shifts needs Omega(l) of them.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ipg/families.hpp"
+
+namespace ipg {
+namespace {
+
+/// BFS over compositions: fewest generators from `gens` whose left-to-
+/// right composition equals `target` (-1 if not within `max_depth`).
+int composition_distance(const std::vector<Permutation>& gens,
+                         const Permutation& target, int max_depth) {
+  const Permutation id = Permutation::identity(target.size());
+  if (target == id) return 0;
+  // Key permutations by their one-line form.
+  const auto key = [](const Permutation& p) {
+    std::string k;
+    for (int i = 0; i < p.size(); ++i) k += static_cast<char>('a' + p[i]);
+    return k;
+  };
+  std::map<std::string, int> seen;
+  std::vector<Permutation> frontier{id};
+  seen[key(id)] = 0;
+  for (int depth = 1; depth <= max_depth; ++depth) {
+    std::vector<Permutation> next;
+    for (const auto& p : frontier) {
+      for (const auto& g : gens) {
+        const Permutation q = p.then(g);
+        if (seen.emplace(key(q), depth).second) {
+          if (q == target) return depth;
+          next.push_back(q);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return -1;
+}
+
+std::vector<Permutation> perms_of(const std::vector<Generator>& gens) {
+  std::vector<Permutation> out;
+  for (const auto& g : gens) out.push_back(g.perm);
+  return out;
+}
+
+TEST(FlipEmulation, ShiftIsTwoFlips) {
+  // L = F_l o F_(l-1): one cyclic shift costs exactly two flips.
+  for (int l = 3; l <= 7; ++l) {
+    const Permutation composed =
+        Permutation::flip_prefix(l, l).then(Permutation::flip_prefix(l, l - 1));
+    EXPECT_EQ(composed, Permutation::rotate_left(l, 1)) << "l=" << l;
+  }
+}
+
+TEST(FlipEmulation, EveryShiftWithinThreeFlips) {
+  for (int l = 3; l <= 6; ++l) {
+    const auto flips = perms_of(flip_super_gens(l));
+    for (int s = 1; s < l; ++s) {
+      const int d = composition_distance(flips, Permutation::rotate_left(l, s), 4);
+      ASSERT_GE(d, 1) << "l=" << l << " s=" << s;
+      EXPECT_LE(d, 3) << "l=" << l << " s=" << s;
+    }
+  }
+}
+
+TEST(FlipEmulation, EveryTranspositionWithinFourFlips) {
+  for (int l = 3; l <= 6; ++l) {
+    const auto flips = perms_of(flip_super_gens(l));
+    for (int i = 1; i < l; ++i) {
+      const int d = composition_distance(
+          flips, Permutation::transposition(l, 0, i), 5);
+      ASSERT_GE(d, 1) << "l=" << l << " i=" << i;
+      EXPECT_LE(d, 4) << "l=" << l << " i=" << i;
+    }
+  }
+}
+
+TEST(FlipEmulation, ShiftsCannotEmulateFlipsCheaply) {
+  // The reverse direction degrades with l: expressing F_l with ring
+  // shifts takes at least l-1 moves (it is not a power of the rotation
+  // for l >= 3, and the rotation subgroup has only l elements).
+  for (int l = 4; l <= 6; ++l) {
+    const auto shifts = perms_of(ring_shift_super_gens(l));
+    const int d = composition_distance(shifts, Permutation::flip_prefix(l, l),
+                                       /*max_depth=*/l);
+    EXPECT_EQ(d, -1) << "l=" << l;  // flips aren't rotations at all
+  }
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,102 @@
+// Tests for vertex-disjoint paths and vertex connectivity — the paper's
+// fault-tolerance angle. Known connectivities: kappa(Q_n) = n,
+// kappa(S_n) = n-1, kappa(Petersen) = 3, kappa(K_n) = n-1, kappa(C_n) = 2.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/flow.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "ipg/symmetric.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+#include "topo/star.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Flow, DisjointPathsOnSmallGraphs) {
+  // Path graph: exactly one path end to end.
+  EXPECT_EQ(max_vertex_disjoint_paths(topo::path(5), 0, 4), 1);
+  // Cycle: two ways around.
+  EXPECT_EQ(max_vertex_disjoint_paths(topo::cycle(6), 0, 3), 2);
+  // Complete graph: the direct edge plus one through each other node.
+  EXPECT_EQ(max_vertex_disjoint_paths(topo::complete(5), 0, 1), 4);
+}
+
+TEST(Flow, DisjointPathsMatchDegreeInHypercube) {
+  const Graph q = topo::hypercube(4);
+  // Antipodal pair: n disjoint paths (Saad-Schultz).
+  EXPECT_EQ(max_vertex_disjoint_paths(q, 0, 15), 4);
+  EXPECT_EQ(max_vertex_disjoint_paths(q, 0, 1), 4);
+}
+
+TEST(Flow, VertexConnectivityKnownValues) {
+  EXPECT_EQ(vertex_connectivity(topo::path(4)), 1);
+  EXPECT_EQ(vertex_connectivity(topo::cycle(7)), 2);
+  EXPECT_EQ(vertex_connectivity(topo::complete(6)), 5);
+  EXPECT_EQ(vertex_connectivity(topo::petersen()), 3);
+  for (int n = 2; n <= 6; ++n) {
+    EXPECT_EQ(vertex_connectivity(topo::hypercube(n)), n) << "Q" << n;
+  }
+  for (int n = 3; n <= 5; ++n) {
+    EXPECT_EQ(vertex_connectivity(topo::star_graph(n)), n - 1) << "S" << n;
+  }
+}
+
+TEST(Flow, DisconnectedGraphHasZeroConnectivity) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_EQ(vertex_connectivity(std::move(b).build()), 0);
+}
+
+TEST(Flow, CutVertexDetected) {
+  // Two triangles sharing one vertex: connectivity 1.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 2);
+  EXPECT_EQ(vertex_connectivity(std::move(b).build()), 1);
+}
+
+TEST(Flow, HcnConnectivityLimitedByXXNodes) {
+  // HCN(n,n) without diameter links: the (x,x) nodes have degree n, so
+  // kappa <= n; it is exactly n (fault tolerance motivates the original
+  // HCN's diameter links, which restore degree n+1).
+  for (int n = 2; n <= 3; ++n) {
+    const IPGraph hcn = build_super_ip_graph(make_hcn(n));
+    EXPECT_EQ(vertex_connectivity(hcn.graph), n) << "HCN(" << n << ")";
+    const Graph full = add_hcn_diameter_links(hcn, n);
+    EXPECT_GE(vertex_connectivity(full), n);
+  }
+}
+
+TEST(Flow, SymmetricVariantsAreMaximallyConnected) {
+  // Cayley graphs from connected generator sets achieve connectivity equal
+  // to their degree here (checked, not assumed).
+  const IPGraph sym = build_super_ip_graph(
+      make_symmetric(make_hsn(2, hypercube_nucleus(2))));
+  const auto deg = degree_stats(sym.graph);
+  ASSERT_TRUE(deg.regular);
+  EXPECT_EQ(vertex_connectivity(sym.graph), static_cast<int>(deg.max_degree));
+}
+
+class ConnectivityBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConnectivityBound, AtMostMinDegreeOnSuperIpGraphs) {
+  const int l = GetParam();
+  const IPGraph g = build_super_ip_graph(make_ring_cn(l, hypercube_nucleus(2)));
+  const auto deg = degree_stats(g.graph);
+  const int kappa = vertex_connectivity(g.graph);
+  EXPECT_LE(kappa, static_cast<int>(deg.min_degree));
+  EXPECT_GE(kappa, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConnectivityBound, ::testing::Values(2, 3));
+
+}  // namespace
+}  // namespace ipg

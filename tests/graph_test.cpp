@@ -1,0 +1,212 @@
+// Unit tests for the graph substrate: builder semantics, BFS, 0/1 BFS,
+// distance summaries, quotients, connectivity and symmetry checks.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+#include "graph/quotient.hpp"
+#include "graph/symmetry.hpp"
+#include "topo/misc.hpp"
+#include "topo/torus.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(GraphBuilder, DropsSelfLoopsByDefault) {
+  GraphBuilder b(3);
+  b.add_arc(0, 0);
+  b.add_arc(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_FALSE(g.has_arc(0, 0));
+}
+
+TEST(GraphBuilder, KeepsSelfLoopsOnRequest) {
+  GraphBuilder b(2);
+  b.add_arc(0, 0);
+  const Graph g = std::move(b).build(/*keep_self_loops=*/true);
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_TRUE(g.has_arc(0, 0));
+}
+
+TEST(GraphBuilder, MergesParallelArcs) {
+  GraphBuilder b(2, /*tagged=*/true);
+  b.add_arc(0, 1, 3);
+  b.add_arc(0, 1, 1);
+  b.add_arc(0, 1, 2);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_arcs(), 1u);
+  ASSERT_TRUE(g.has_tags());
+  EXPECT_EQ(g.tags(0)[0], 1);  // merged arc keeps the smallest tag
+}
+
+TEST(GraphBuilder, AddEdgeCreatesBothArcs) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Graph, NeighborsSortedAndDegreesMatch) {
+  GraphBuilder b(4);
+  b.add_arc(0, 3);
+  b.add_arc(0, 1);
+  b.add_arc(0, 2);
+  const Graph g = std::move(b).build();
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(g.out_degree(0), 3u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+}
+
+TEST(Graph, AsymmetricDigraphDetected) {
+  GraphBuilder b(2);
+  b.add_arc(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_FALSE(g.is_symmetric());
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = topo::path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (Node u = 0; u < 5; ++u) EXPECT_EQ(dist[u], u);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Bfs, ScratchReusableAcrossSources) {
+  const Graph g = topo::cycle(6);
+  BfsScratch scratch(6);
+  EXPECT_EQ(scratch.run(g, 0)[3], 3u);
+  EXPECT_EQ(scratch.run(g, 2)[5], 3u);
+  EXPECT_EQ(scratch.run(g, 2)[2], 0u);
+}
+
+TEST(Bfs, ZeroOneWeightsCountOnlyCrossModuleHops) {
+  // Path 0-1-2-3 with modules {0,1} and {2,3}: crossing once costs 1.
+  const Graph g = topo::path(4);
+  const std::vector<std::uint32_t> module_of{0, 0, 1, 1};
+  const auto dist = bfs_distances_01(g, 0, module_of);
+  EXPECT_EQ(dist[1], 0u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 1u);
+}
+
+TEST(Bfs, SourceStatsSummarize) {
+  const Graph g = topo::path(4);
+  const auto s = source_stats(bfs_distances(g, 0));
+  EXPECT_EQ(s.eccentricity, 3u);
+  EXPECT_EQ(s.reachable, 4u);
+  EXPECT_EQ(s.distance_sum, 0u + 1 + 2 + 3);
+}
+
+TEST(Bfs, AllPairsSummaryOnCycle) {
+  const Graph g = topo::cycle(6);
+  const auto d = all_pairs_distance_summary(g);
+  EXPECT_EQ(d.diameter, 3u);
+  EXPECT_TRUE(d.strongly_connected);
+  // Each node sees distances {0,1,1,2,2,3}: average over ordered pairs 9/5.
+  EXPECT_DOUBLE_EQ(d.average_distance, 9.0 / 5.0);
+  ASSERT_EQ(d.histogram.size(), 4u);
+  EXPECT_EQ(d.histogram[0], 6u);
+  EXPECT_EQ(d.histogram[3], 6u);
+}
+
+TEST(Bfs, MultiSourceSummaryMatchesSubset) {
+  const Graph g = topo::cycle(8);
+  const std::vector<Node> sources{0, 4};
+  const auto d = multi_source_distance_summary(g, sources);
+  EXPECT_EQ(d.diameter, 4u);
+}
+
+TEST(Metrics, DegreeStatsOnIrregularGraph) {
+  const Graph g = topo::path(3);
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_FALSE(s.regular);
+  EXPECT_NEAR(s.avg_degree, 4.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, ProfileOfTorus) {
+  const Graph g = topo::torus2d(4, 4);
+  const auto p = profile(g);
+  EXPECT_EQ(p.nodes, 16u);
+  EXPECT_EQ(p.links, 32u);
+  EXPECT_EQ(p.degree, 4u);
+  EXPECT_EQ(p.diameter, 4u);
+  EXPECT_TRUE(p.connected);
+  EXPECT_TRUE(p.symmetric_digraph);
+  EXPECT_EQ(dd_cost(p), 16u);
+}
+
+TEST(Quotient, ContractsColorsAndDropsInternalEdges) {
+  // 4-cycle with opposite pairs colored together -> 2 colors, 1 link.
+  const Graph g = topo::cycle(4);
+  const std::vector<std::uint32_t> color{0, 1, 0, 1};
+  const Graph q = quotient_graph(g, color, 2);
+  EXPECT_EQ(q.num_nodes(), 2u);
+  EXPECT_TRUE(q.has_arc(0, 1));
+  EXPECT_TRUE(q.has_arc(1, 0));
+  EXPECT_EQ(q.num_arcs(), 2u);  // parallel arcs merged
+}
+
+TEST(Quotient, CountsCrossColorArcs) {
+  const Graph g = topo::cycle(4);
+  const std::vector<std::uint32_t> color{0, 1, 0, 1};
+  EXPECT_EQ(count_cross_color_arcs(g, color), 8u);  // every arc crosses
+}
+
+TEST(Connectivity, DirectedCycleIsStronglyConnected) {
+  GraphBuilder b(4);
+  for (Node u = 0; u < 4; ++u) b.add_arc(u, (u + 1) % 4);
+  const Graph g = std::move(b).build();
+  EXPECT_TRUE(is_connected_from(g));
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Connectivity, OneWayChainIsNotStronglyConnected) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1);
+  b.add_arc(1, 2);
+  const Graph g = std::move(b).build();
+  EXPECT_TRUE(is_connected_from(g, 0));
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Symmetry, CycleLooksVertexTransitive) {
+  EXPECT_TRUE(looks_vertex_transitive(topo::cycle(7)));
+}
+
+TEST(Symmetry, PathDoesNot) {
+  EXPECT_FALSE(looks_vertex_transitive(topo::path(4)));
+}
+
+TEST(Symmetry, RegularButNotTransitiveCaught) {
+  // Two disjoint triangles joined by... simpler: K4 minus a perfect
+  // matching is a 4-cycle (transitive); instead use the 3-regular prism vs
+  // K_3,3: both regular. Use a graph regular but with differing distance
+  // profiles: the "bull" won't work (not regular). Take two components of
+  // different sizes, both cycles: regular degree 2, but profiles differ.
+  GraphBuilder b(7);
+  for (Node u = 0; u < 3; ++u) b.add_edge(u, (u + 1) % 3);
+  for (Node u = 0; u < 4; ++u) b.add_edge(3 + u, 3 + (u + 1) % 4);
+  const Graph g = std::move(b).build();
+  EXPECT_TRUE(is_regular(g));
+  EXPECT_FALSE(looks_vertex_transitive(g));
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,150 @@
+// End-to-end integration tests tying the layers together around the
+// paper's own artifacts: Fig. 1's structures, the Section 5 cost ordering,
+// and a routed-simulation consistency check.
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.hpp"
+#include "cluster/imetrics.hpp"
+#include "cluster/partitions.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "ipg/ranking.hpp"
+#include "ipg/schedule.hpp"
+#include "ipg/symmetric.hpp"
+#include "route/super_ip_routing.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Integration, Fig1aHcn22Structure) {
+  // Fig. 1a: HSN(2, Q2) = HCN(2,2) without diameter links, 16 nodes in 4
+  // clusters of 4; each cluster is a Q2; swap links join clusters i and j
+  // at the nodes ranked (i,j) and (j,i).
+  const SuperIPSpec spec = make_hcn(2);
+  const IPGraph g = build_super_ip_graph(spec);
+  const SuperRanking ranking(spec);
+  ASSERT_EQ(g.num_nodes(), 16u);
+
+  const Clustering c = cluster_by_nucleus(g, spec.m);
+  EXPECT_EQ(c.num_modules, 4u);
+  EXPECT_EQ(c.max_module_size(), 4u);
+
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const std::uint64_t ru = ranking.rank(g.labels[u]);
+    const std::uint64_t hi = ru / 4, lo = ru % 4;
+    for (const Node v : g.graph.neighbors(u)) {
+      const std::uint64_t rv = ranking.rank(g.labels[v]);
+      const std::uint64_t vhi = rv / 4, vlo = rv % 4;
+      if (vlo == lo && vhi == hi) FAIL() << "self loop survived";
+      if (vlo == hi && vhi == lo && hi != lo) continue;          // swap link
+      EXPECT_EQ(vlo, lo);                                        // cube link
+      // Q2 digits differ in exactly one encoded bit; both digits in the
+      // same cluster.
+      EXPECT_NE(vhi, hi);
+    }
+  }
+}
+
+TEST(Integration, Fig1bHsn3Q2Structure) {
+  // Fig. 1b: HSN(3, Q2) with 64 radix-4 ranked nodes; generators T2/T3
+  // permute the digits, the nucleus flips the leading digit's bits.
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(spec);
+  const SuperRanking ranking(spec);
+  ASSERT_EQ(g.num_nodes(), 64u);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const auto& label = g.labels[u];
+    const std::uint64_t d0 = ranking.digit(label, 0);
+    const std::uint64_t d1 = ranking.digit(label, 1);
+    const std::uint64_t d2 = ranking.digit(label, 2);
+    const auto tags = g.graph.tags(u);
+    const auto nb = g.graph.neighbors(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const auto& nl = g.labels[nb[i]];
+      const std::string gen = spec.to_ip_spec().generators[tags[i]].name;
+      if (gen == "T2") {
+        EXPECT_EQ(ranking.digit(nl, 0), d1);
+        EXPECT_EQ(ranking.digit(nl, 1), d0);
+        EXPECT_EQ(ranking.digit(nl, 2), d2);
+      } else if (gen == "T3") {
+        EXPECT_EQ(ranking.digit(nl, 0), d2);
+        EXPECT_EQ(ranking.digit(nl, 2), d0);
+        EXPECT_EQ(ranking.digit(nl, 1), d1);
+      } else {
+        EXPECT_EQ(ranking.digit(nl, 1), d1);
+        EXPECT_EQ(ranking.digit(nl, 2), d2);
+      }
+    }
+  }
+}
+
+TEST(Integration, Section5CostOrderingHoldsAtScale) {
+  // The headline comparison: at comparable sizes, cyclic-shift networks
+  // beat hypercubes on ID- and II-cost, and DD-cost stays comparable to
+  // the star graph's.
+  const TopoNums q4 = hypercube_nums(4);
+  const auto cn = sweep_ring_cn(5, 5, q4).front();     // 16^5 = 2^20 nodes
+  const auto hc = sweep_hypercube(20, 20, 4).front();  // 2^20 nodes
+  ASSERT_EQ(cn.nodes, hc.nodes);
+  EXPECT_LT(cn.id_cost(), hc.id_cost());
+  EXPECT_LT(cn.ii_cost(), hc.ii_cost());
+  EXPECT_LT(cn.dd_cost(), hc.dd_cost());
+}
+
+TEST(Integration, RoutedPathsDriveTheSimulatorConsistently) {
+  // Route with the Theorem 4.1 router, then check the simulator's
+  // latency of an unloaded network along the same pair is bounded by the
+  // route length (the simulator uses true shortest paths).
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(spec);
+  const sim::SimNetwork net(g.graph, sim::LinkTiming{1.0, 1.0});
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      if (u == v) continue;
+      const GenPath route = route_super_ip(spec, g.labels[u], g.labels[v]);
+      const std::vector<sim::Packet> one{{u, v, 0.0}};
+      const auto r = simulate(net, one);
+      EXPECT_LE(r.latency.mean(), route.length());
+    }
+  }
+}
+
+TEST(Integration, ModuleBudgetRespectedAcrossFig3Configs) {
+  // Every Fig. 3 configuration must fit <= 24 nodes per module.
+  {
+    const IPGraph g = build_super_ip_graph(make_hsn(2, hypercube_nucleus(4)));
+    EXPECT_LE(cluster_by_nucleus(g, 8).max_module_size(), 24u);
+  }
+  {
+    const Clustering c = cluster_hypercube(10, 4);
+    EXPECT_LE(c.max_module_size(), 24u);
+  }
+  {
+    const TupleNetwork cn = build_super_network_direct(
+        topo::hypercube(4), 3, ring_shift_super_gens(3));
+    EXPECT_LE(cluster_tuple(cn).max_module_size(), 24u);
+  }
+}
+
+TEST(Integration, SymmetricVariantKeepsAlgorithms) {
+  // Section 3.5's selling point: the symmetric variant shares the
+  // generator set, so the same router runs on both.
+  const SuperIPSpec base = make_ring_cn(3, hypercube_nucleus(2));
+  const SuperIPSpec sym = make_symmetric(base);
+  const IPGraph g = build_super_ip_graph(sym);
+  const IPGraphSpec lifted = sym.to_ip_spec();
+  int checked = 0;
+  for (Node v = 0; v < g.num_nodes(); v += 11) {
+    const GenPath p = route_super_ip(sym, g.labels[0], g.labels[v]);
+    EXPECT_TRUE(verify_path(lifted, g.labels[0], g.labels[v], p.gens));
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+}  // namespace
+}  // namespace ipg

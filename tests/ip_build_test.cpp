@@ -1,0 +1,214 @@
+// Tests for the IP-graph generation engine (Section 2): closure sizes,
+// exact cross-validation of IP encodings against explicit constructions,
+// and the paper's worked examples.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/metrics.hpp"
+#include "ipg/build.hpp"
+#include "ipg/families.hpp"
+#include "topo/de_bruijn.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/ip_forms.hpp"
+#include "topo/perm_rank.hpp"
+#include "topo/shuffle.hpp"
+#include "topo/star.hpp"
+
+namespace ipg {
+namespace {
+
+using topo::decode_pair_bits;
+
+TEST(IpBuild, StarGraphClosureHasFactorialSize) {
+  for (int n = 3; n <= 6; ++n) {
+    const IPGraph g = build_ip_graph(star_nucleus(n));
+    EXPECT_EQ(g.num_nodes(), topo::kFactorials[n]) << "n=" << n;
+  }
+}
+
+TEST(IpBuild, StarGraphMatchesExplicitConstruction) {
+  // The IP labels are permutations (symbols 1..n); mapping each to its
+  // Lehmer rank must carry the IP arc set exactly onto topo::star_graph.
+  for (int n = 3; n <= 5; ++n) {
+    const IPGraph ip = build_ip_graph(star_nucleus(n));
+    const Graph explicit_star = topo::star_graph(n);
+    ASSERT_EQ(ip.num_nodes(), explicit_star.num_nodes());
+    std::vector<Node> to_rank(ip.num_nodes());
+    for (Node u = 0; u < ip.num_nodes(); ++u) {
+      std::vector<std::uint8_t> p(ip.labels[u].begin(), ip.labels[u].end());
+      for (auto& s : p) s -= 1;  // symbols 1..n -> 0..n-1
+      to_rank[u] = static_cast<Node>(topo::perm_rank(p));
+    }
+    std::uint64_t arcs = 0;
+    for (Node u = 0; u < ip.num_nodes(); ++u) {
+      for (const Node v : ip.graph.neighbors(u)) {
+        EXPECT_TRUE(explicit_star.has_arc(to_rank[u], to_rank[v]));
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, explicit_star.num_arcs());
+  }
+}
+
+TEST(IpBuild, HypercubePairEncodingMatchesExplicitCube) {
+  for (int n = 1; n <= 6; ++n) {
+    const IPGraph ip = build_ip_graph(hypercube_nucleus(n));
+    const Graph q = topo::hypercube(n);
+    ASSERT_EQ(ip.num_nodes(), q.num_nodes()) << "n=" << n;
+    std::uint64_t arcs = 0;
+    for (Node u = 0; u < ip.num_nodes(); ++u) {
+      const Node bu = decode_pair_bits(ip.labels[u], /*msb_first=*/false);
+      for (const Node v : ip.graph.neighbors(u)) {
+        const Node bv = decode_pair_bits(ip.labels[v], false);
+        EXPECT_TRUE(q.has_arc(bu, bv));
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, q.num_arcs());
+  }
+}
+
+TEST(IpBuild, FoldedHypercubeEncodingMatchesExplicit) {
+  for (int n = 2; n <= 6; ++n) {
+    const IPGraph ip = build_ip_graph(folded_hypercube_nucleus(n));
+    const Graph fq = topo::folded_hypercube(n);
+    ASSERT_EQ(ip.num_nodes(), fq.num_nodes());
+    std::uint64_t arcs = 0;
+    for (Node u = 0; u < ip.num_nodes(); ++u) {
+      const Node bu = decode_pair_bits(ip.labels[u], false);
+      for (const Node v : ip.graph.neighbors(u)) {
+        EXPECT_TRUE(fq.has_arc(bu, decode_pair_bits(ip.labels[v], false)));
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, fq.num_arcs());
+  }
+}
+
+TEST(IpBuild, DeBruijnIpFormMatchesExplicitDirected) {
+  // Section 2's repeated-symbol showcase: the 2-generator IP graph is the
+  // directed binary de Bruijn graph (self-loops at 00..0 / 11..1 drop out).
+  for (int n = 2; n <= 8; ++n) {
+    const IPGraph ip = build_ip_graph(topo::de_bruijn_ip_spec(n));
+    const Graph db = topo::de_bruijn_directed(2, n);
+    ASSERT_EQ(ip.num_nodes(), db.num_nodes()) << "n=" << n;
+    std::uint64_t arcs = 0;
+    for (Node u = 0; u < ip.num_nodes(); ++u) {
+      const Node bu = decode_pair_bits(ip.labels[u], /*msb_first=*/true);
+      for (const Node v : ip.graph.neighbors(u)) {
+        EXPECT_TRUE(db.has_arc(bu, decode_pair_bits(ip.labels[v], true)));
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, db.num_arcs());
+  }
+}
+
+TEST(IpBuild, ShuffleExchangeIpFormMatchesExplicit) {
+  for (int n = 2; n <= 8; ++n) {
+    const IPGraph ip = build_ip_graph(topo::shuffle_exchange_ip_spec(n));
+    const Graph se = topo::shuffle_exchange(n);
+    ASSERT_EQ(ip.num_nodes(), se.num_nodes()) << "n=" << n;
+    std::uint64_t arcs = 0;
+    for (Node u = 0; u < ip.num_nodes(); ++u) {
+      const Node bu = decode_pair_bits(ip.labels[u], /*msb_first=*/true);
+      for (const Node v : ip.graph.neighbors(u)) {
+        EXPECT_TRUE(se.has_arc(bu, decode_pair_bits(ip.labels[v], true)));
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, se.num_arcs());
+  }
+}
+
+TEST(IpBuild, PaperSection2IpExampleHas36Nodes) {
+  // "Repeatedly applying the 3 generators ... will result in 36 distinct
+  // nodes": generators pi1 = (1,2), pi2 = (1,3), pi6 = 456123 on a
+  // 6-symbol seed with two identical halves — i.e. HSN(2, S3).
+  IPGraphSpec spec;
+  spec.name = "paper-example";
+  spec.seed = make_label({1, 2, 3, 1, 2, 3});
+  spec.generators = {
+      {"pi1", Permutation::transposition(6, 0, 1), false},
+      {"pi2", Permutation::transposition(6, 0, 2), false},
+      {"pi6", Permutation::rotate_left(6, 3), true},
+  };
+  const IPGraph g = build_ip_graph(spec);
+  EXPECT_EQ(g.num_nodes(), 36u);
+  // Same closure as the library's HSN(2, S3).
+  const IPGraph hsn = build_super_ip_graph(make_hsn(2, star_nucleus(3)));
+  EXPECT_EQ(hsn.num_nodes(), 36u);
+  EXPECT_EQ(profile(g.graph).diameter, profile(hsn.graph).diameter);
+}
+
+TEST(IpBuild, SeedChoiceInsideOrbitDoesNotChangeTheGraph) {
+  // "using the label of any of the 16 nodes as the initial seed will
+  // eventually generate exactly the same graph" (Section 2).
+  const SuperIPSpec hcn = make_hcn(2);
+  const IPGraph g = build_super_ip_graph(hcn);
+  IPGraphSpec alt = hcn.to_ip_spec();
+  alt.seed = g.labels[g.num_nodes() - 1];
+  const IPGraph g2 = build_ip_graph(alt);
+  ASSERT_EQ(g2.num_nodes(), g.num_nodes());
+  // Same node set (labels) and same arcs under the label identification.
+  for (Node u = 0; u < g2.num_nodes(); ++u) {
+    const Node original = g.node_of(g2.labels[u]);
+    ASSERT_NE(original, kInvalidIPNode);
+    for (const Node v : g2.graph.neighbors(u)) {
+      EXPECT_TRUE(g.graph.has_arc(original, g.node_of(g2.labels[v])));
+    }
+  }
+}
+
+TEST(IpBuild, NodeOfAndApplyGeneratorAgreeWithArcs) {
+  const IPGraph g = build_ip_graph(star_nucleus(4));
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (int gen = 0; gen < static_cast<int>(g.spec.generators.size()); ++gen) {
+      const Node v = g.apply_generator(u, gen);
+      EXPECT_TRUE(v == u || g.graph.has_arc(u, v));
+    }
+  }
+  EXPECT_EQ(g.node_of(make_label({9, 9, 9, 9})), kInvalidIPNode);
+}
+
+TEST(IpBuild, ArcTagsRecordGenerators) {
+  const IPGraph g = build_ip_graph(star_nucleus(4));
+  ASSERT_TRUE(g.graph.has_tags());
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const auto nb = g.graph.neighbors(u);
+    const auto tags = g.graph.tags(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_EQ(g.apply_generator(u, tags[i]), nb[i]);
+    }
+  }
+}
+
+TEST(IpBuild, MaxNodesGuardThrows) {
+  EXPECT_THROW(build_ip_graph(star_nucleus(7), /*max_nodes=*/100),
+               std::length_error);
+}
+
+TEST(IpBuild, InvalidSpecRejected) {
+  IPGraphSpec bad;
+  bad.name = "bad";
+  bad.seed = make_label({1, 2});
+  bad.generators = {{"id", Permutation::identity(2), false}};
+  EXPECT_THROW(build_ip_graph(bad), std::invalid_argument);
+}
+
+TEST(IpBuild, GeneratorCountBoundsDegree) {
+  // Theorem 3.1: degree <= number of generators.
+  const IPGraph g = build_super_ip_graph(make_hsn(3, hypercube_nucleus(2)));
+  const auto stats = degree_stats(g.graph);
+  EXPECT_LE(stats.max_degree, g.spec.generators.size());
+}
+
+TEST(IpBuild, BfsOrderSeedIsNodeZero) {
+  const IPGraph g = build_ip_graph(star_nucleus(4));
+  EXPECT_EQ(g.labels[0], g.spec.seed);
+  EXPECT_EQ(g.node_of(g.spec.seed), 0u);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,103 @@
+// The paper's unification claim (Sections 1-2): classical networks
+// "belong to the class of super-IP graphs or symmetric super-IP graphs".
+// These tests realize the strongest instances:
+//   * shuffle-exchange SE(n)  ==  ring-CN(n, Q1)        (plain super-IP)
+//   * cube-connected cycles CCC(n) == symmetric ring-CN(n, Q1)
+// The first is checked by exact arc-set comparison through the pair-bit
+// decoder; the second by the full battery of isomorphism invariants the
+// library computes (order, degree sequence, diameter, distance histogram,
+// vertex-transitivity).
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "graph/symmetry.hpp"
+#include "ipg/families.hpp"
+#include "ipg/schedule.hpp"
+#include "ipg/symmetric.hpp"
+#include "topo/ccc.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/ip_forms.hpp"
+#include "topo/shuffle.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(IpEquivalence, ShuffleExchangeIsRingCnOverQ1) {
+  // ring-CN(l, Q1): l one-bit super-symbols, nucleus generator flips the
+  // front bit (exchange), L/R rotate the bit string (shuffle/unshuffle).
+  for (int l = 3; l <= 9; ++l) {
+    const SuperIPSpec spec = make_ring_cn(l, hypercube_nucleus(1));
+    const IPGraph cn = build_super_ip_graph(spec);
+    const Graph se = topo::shuffle_exchange(l);
+    ASSERT_EQ(cn.num_nodes(), se.num_nodes()) << "l=" << l;
+
+    // Pair-decode: bit i of the address is super-symbol i's orientation.
+    // SE's exchange flips the LAST bit while the CN nucleus flips the
+    // FRONT one; reading the label msb-first aligns the two conventions
+    // up to string reversal, which the shuffle generators absorb.
+    std::uint64_t arcs = 0;
+    for (Node u = 0; u < cn.num_nodes(); ++u) {
+      const Node bu = topo::decode_pair_bits(cn.labels[u], /*msb_first=*/false);
+      for (const Node v : cn.graph.neighbors(u)) {
+        const Node bv = topo::decode_pair_bits(cn.labels[v], false);
+        EXPECT_TRUE(se.has_arc(bu, bv)) << "l=" << l << " " << bu << "->" << bv;
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, se.num_arcs()) << "l=" << l;
+  }
+}
+
+TEST(IpEquivalence, CccIsSymmetricRingCnOverQ1) {
+  // CCC(n) = Cayley graph of Z_2^n x| Z_n: exactly the symmetric variant
+  // of ring-CN(n, Q1) (l = n one-bit blocks with distinct symbols, so the
+  // cyclic block arrangement becomes the cycle position).
+  for (int n = 3; n <= 6; ++n) {
+    const SuperIPSpec base = make_ring_cn(n, hypercube_nucleus(1));
+    const IPGraph sym = build_super_ip_graph(make_symmetric(base));
+    const Graph ccc = topo::cube_connected_cycles(n);
+
+    ASSERT_EQ(sym.num_nodes(), ccc.num_nodes()) << "n=" << n;
+    const auto ps = profile(sym.graph);
+    const auto pc = profile(ccc);
+    EXPECT_EQ(ps.links, pc.links) << "n=" << n;
+    EXPECT_EQ(ps.degree, pc.degree) << "n=" << n;
+    EXPECT_EQ(ps.diameter, pc.diameter) << "n=" << n;
+    EXPECT_NEAR(ps.average_distance, pc.average_distance, 1e-9) << "n=" << n;
+    // Full distance histograms coincide (a strong isomorphism invariant
+    // for vertex-transitive graphs).
+    EXPECT_EQ(all_pairs_distance_summary(sym.graph).histogram,
+              all_pairs_distance_summary(ccc).histogram)
+        << "n=" << n;
+    EXPECT_TRUE(looks_vertex_transitive(sym.graph));
+    EXPECT_TRUE(looks_vertex_transitive(ccc));
+  }
+}
+
+TEST(IpEquivalence, CccDiameterMatchesTheorem43) {
+  // Theorem 4.3 applied to CCC: diameter = l * D_G + t_S with D_G = 1.
+  for (int n = 3; n <= 6; ++n) {
+    const SuperIPSpec base = make_ring_cn(n, hypercube_nucleus(1));
+    const int t_s = compute_t_symmetric(base);
+    ASSERT_GT(t_s, 0);
+    EXPECT_EQ(profile(topo::cube_connected_cycles(n)).diameter,
+              static_cast<Dist>(n + t_s))
+        << "n=" << n;
+  }
+}
+
+TEST(IpEquivalence, DirectedDeBruijnGeneratorsAreShiftLike) {
+  // Section 2 builds the de Bruijn graph from two pair-shift generators —
+  // structurally the directed cyclic-shift idea with an orientation twist.
+  const IPGraphSpec db = topo::de_bruijn_ip_spec(5);
+  ASSERT_EQ(db.generators.size(), 2u);
+  // Both generators move whole 2-symbol blocks one position left.
+  const Permutation pure_shift = Permutation::rotate_left(10, 2);
+  EXPECT_EQ(db.generators[0].perm, pure_shift);
+  EXPECT_EQ(db.generators[1].perm,
+            pure_shift.then(Permutation::transposition(10, 8, 9)));
+}
+
+}  // namespace
+}  // namespace ipg

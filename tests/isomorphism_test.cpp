@@ -1,0 +1,120 @@
+// Tests for the exact isomorphism checker, capped by upgrading the
+// CCC = symmetric ring-CN(n, Q1) equivalence from invariants to a proof.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/isomorphism.hpp"
+#include "ipg/families.hpp"
+#include "ipg/symmetric.hpp"
+#include "topo/ccc.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/ip_forms.hpp"
+#include "topo/misc.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Isomorphism, IdenticalGraphsMatch) {
+  const Graph g = topo::petersen();
+  const auto phi = find_isomorphism(g, g);
+  ASSERT_TRUE(phi.has_value());
+  // The mapping is a bijection preserving all arcs.
+  std::vector<bool> seen(10, false);
+  for (const Node v : *phi) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (Node u = 0; u < 10; ++u) {
+    for (const Node v : g.neighbors(u)) {
+      EXPECT_TRUE(g.has_arc((*phi)[u], (*phi)[v]));
+    }
+  }
+}
+
+TEST(Isomorphism, RelabeledCycleMatches) {
+  const Graph a = topo::cycle(7);
+  GraphBuilder b(7);
+  for (Node u = 0; u < 7; ++u) b.add_edge((u * 3) % 7, ((u + 1) * 3) % 7);
+  EXPECT_TRUE(are_isomorphic(a, std::move(b).build()));
+}
+
+TEST(Isomorphism, DifferentGraphsRejected) {
+  // Same order/size/degree sequence: C6 vs two triangles.
+  const Graph c6 = topo::cycle(6);
+  GraphBuilder b(6);
+  for (Node u = 0; u < 3; ++u) b.add_edge(u, (u + 1) % 3);
+  for (Node u = 0; u < 3; ++u) b.add_edge(3 + u, 3 + (u + 1) % 3);
+  EXPECT_FALSE(are_isomorphic(c6, std::move(b).build()));
+  // Different sizes rejected immediately.
+  EXPECT_FALSE(are_isomorphic(topo::cycle(5), c6));
+}
+
+TEST(Isomorphism, DirectedOrientationMatters) {
+  GraphBuilder a(3), b(3);
+  a.add_arc(0, 1);
+  a.add_arc(1, 2);
+  a.add_arc(2, 0);
+  b.add_arc(1, 0);
+  b.add_arc(2, 1);
+  b.add_arc(0, 2);
+  // Directed 3-cycles of opposite orientation are still isomorphic (swap
+  // two nodes), but a 3-cycle and a 3-path are not.
+  EXPECT_TRUE(are_isomorphic(std::move(a).build(), std::move(b).build()));
+  GraphBuilder c(3), d(3);
+  c.add_arc(0, 1);
+  c.add_arc(1, 2);
+  c.add_arc(2, 0);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(0, 2);
+  EXPECT_FALSE(are_isomorphic(std::move(c).build(), std::move(d).build()));
+}
+
+TEST(Isomorphism, IpHypercubeIsTheHypercube) {
+  for (int n = 2; n <= 4; ++n) {
+    const IPGraph ip = build_ip_graph(hypercube_nucleus(n));
+    EXPECT_TRUE(are_isomorphic(ip.graph, topo::hypercube(n))) << n;
+  }
+}
+
+TEST(Isomorphism, CccIsExactlySymmetricRingCn) {
+  // The full proof of the Section 1 unification claim for CCC.
+  for (int n = 3; n <= 4; ++n) {
+    const IPGraph sym = build_super_ip_graph(
+        make_symmetric(make_ring_cn(n, hypercube_nucleus(1))));
+    EXPECT_TRUE(are_isomorphic(sym.graph, topo::cube_connected_cycles(n)))
+        << "n=" << n;
+  }
+}
+
+TEST(Isomorphism, PetersenIsKneserK52) {
+  // Construct K(5,2) directly: 2-subsets of {0..4}, adjacent iff disjoint.
+  std::vector<std::pair<int, int>> subsets;
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) subsets.push_back({a, b});
+  }
+  GraphBuilder b(10);
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    for (std::size_t j = i + 1; j < subsets.size(); ++j) {
+      const auto [a1, b1] = subsets[i];
+      const auto [a2, b2] = subsets[j];
+      if (a1 != a2 && a1 != b2 && b1 != a2 && b1 != b2) {
+        b.add_edge(static_cast<Node>(i), static_cast<Node>(j));
+      }
+    }
+  }
+  EXPECT_TRUE(are_isomorphic(topo::petersen(), std::move(b).build()));
+}
+
+TEST(Isomorphism, RotatorGraphBasics) {
+  const IPGraph r4 = build_ip_graph(rotator_nucleus(4));
+  EXPECT_EQ(r4.num_nodes(), 24u);
+  EXPECT_FALSE(r4.graph.is_symmetric());  // rotators are directed
+  // Rotator graphs of different n are never isomorphic to their star
+  // cousins (different arc counts already).
+  const IPGraph s4 = build_ip_graph(star_nucleus(4));
+  EXPECT_FALSE(are_isomorphic(r4.graph, s4.graph));
+}
+
+}  // namespace
+}  // namespace ipg

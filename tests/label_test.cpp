@@ -1,0 +1,41 @@
+// Unit tests for labels: hashing, rendering, construction helpers.
+#include <gtest/gtest.h>
+
+#include "ipg/label.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Label, HashEqualForEqualLabels) {
+  const Label a = make_label({1, 2, 2, 3});
+  const Label b = make_label({1, 2, 2, 3});
+  EXPECT_EQ(LabelHash{}(a), LabelHash{}(b));
+}
+
+TEST(Label, HashSensitiveToOrderAndContent) {
+  const LabelHash h;
+  EXPECT_NE(h(make_label({1, 2})), h(make_label({2, 1})));
+  EXPECT_NE(h(make_label({1, 2})), h(make_label({1, 3})));
+  EXPECT_NE(h(make_label({1})), h(make_label({1, 1})));
+}
+
+TEST(Label, ToStringSpacesSymbols) {
+  EXPECT_EQ(label_to_string(make_label({1, 12, 3})), "1 12 3");
+  EXPECT_EQ(label_to_string(Label{}), "");
+}
+
+TEST(Label, GroupedRenderingMatchesPaperStyle) {
+  // "12 34 12 34" — the paper's super-symbol visualization.
+  const Label x = make_label({1, 2, 3, 4, 1, 2, 3, 4});
+  EXPECT_EQ(label_to_string_grouped(x, 4), "1234 1234");
+  EXPECT_EQ(label_to_string_grouped(x, 2), "12 34 12 34");
+}
+
+TEST(Label, RepeatConcatenatesCopies) {
+  const Label block = make_label({1, 2});
+  EXPECT_EQ(repeat_label(block, 3), make_label({1, 2, 1, 2, 1, 2}));
+  EXPECT_EQ(repeat_label(block, 1), block);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,108 @@
+// Tests for the deterministic link-load profile.
+#include <gtest/gtest.h>
+
+#include "cluster/partitions.hpp"
+#include "graph/bfs.hpp"
+#include "ipg/families.hpp"
+#include "sim/link_load.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+
+namespace ipg {
+namespace {
+
+using sim::all_pairs_link_loads;
+using sim::LinkTiming;
+using sim::SimNetwork;
+
+TEST(LinkLoad, TotalHopsEqualsSumOfDistances) {
+  const Graph g = topo::hypercube(5);
+  const SimNetwork net(g, LinkTiming{});
+  const auto loads = all_pairs_link_loads(net);
+  const auto d = all_pairs_distance_summary(g);
+  std::uint64_t expected = 0;
+  for (std::size_t dist = 0; dist < d.histogram.size(); ++dist) {
+    expected += dist * d.histogram[dist];
+  }
+  EXPECT_EQ(loads.total_hops, expected);
+}
+
+TEST(LinkLoad, CycleLoadsAreUniform) {
+  // Every arc of an odd cycle carries the same traffic by symmetry (odd
+  // length avoids the tie-breaking asymmetry of antipodal pairs).
+  const Graph g = topo::cycle(7);
+  const SimNetwork net(g, LinkTiming{});
+  const auto loads = all_pairs_link_loads(net);
+  const std::uint32_t first = loads.load[0];
+  for (const std::uint32_t l : loads.load) EXPECT_EQ(l, first);
+}
+
+TEST(LinkLoad, SplitsOnAndOffModuleTraffic) {
+  const Graph g = topo::hypercube(6);
+  const Clustering c = cluster_hypercube(6, 3);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0}, c);
+  const auto loads = all_pairs_link_loads(net);
+  EXPECT_GT(loads.max_off_module, 0u);
+  EXPECT_GT(loads.max_on_module, 0u);
+  EXPECT_GE(loads.off_module_imbalance(), 1.0);
+  // Dimension-ordered-ish shortest paths on a hypercube keep loads close
+  // to uniform within each class.
+  EXPECT_LT(loads.off_module_imbalance(), 2.5);
+}
+
+TEST(LinkLoad, SuperIpOffModuleLinksCarryConcentratedTraffic) {
+  // HSN(2, Q4): one swap link per node pair of modules, so off-module
+  // arcs each carry far more pairs than on-module ones — the premise for
+  // making off-chip links wider (Section 5.3).
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(4));
+  const IPGraph g = build_super_ip_graph(spec);
+  const Clustering c = cluster_by_nucleus(g, spec.m);
+  const SimNetwork net(g.graph, LinkTiming{1.0, 1.0}, c);
+  const auto loads = all_pairs_link_loads(net);
+  EXPECT_GT(loads.avg_off_module, loads.avg_on_module);
+}
+
+TEST(LinkLoad, SaturationBoundSeparatesStableFromUnstable) {
+  // Below the bound, latency stays near the unloaded value; above it, the
+  // queues blow up within the horizon.
+  const Graph g = topo::hypercube(6);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const auto loads = all_pairs_link_loads(net);
+  const double bound =
+      sim::saturation_injection_bound(loads, g.num_nodes(), 1.0);
+  ASSERT_GT(bound, 0.0);
+
+  const double horizon = 400.0;
+  const auto low = sim::uniform_traffic(
+      g.num_nodes(), 0.5 * bound * g.num_nodes(), horizon, 17);
+  const auto high = sim::uniform_traffic(
+      g.num_nodes(), 2.0 * bound * g.num_nodes(), horizon, 18);
+  const auto r_low = simulate(net, low);
+  const auto r_high = simulate(net, high);
+  // Stable regime: mean latency within a small multiple of mean distance.
+  EXPECT_LT(r_low.latency.mean(), 3.5 * r_low.latency.mean_hops());
+  // Overloaded regime: queueing delay dominates.
+  EXPECT_GT(r_high.latency.mean(), 3.0 * r_low.latency.mean());
+}
+
+TEST(LinkLoad, SaturationBoundEdgeCases) {
+  sim::LinkLoadStats empty;
+  EXPECT_DOUBLE_EQ(sim::saturation_injection_bound(empty, 8, 1.0), 0.0);
+  sim::LinkLoadStats loads;
+  loads.max_on_module = 10;
+  EXPECT_DOUBLE_EQ(sim::saturation_injection_bound(loads, 11, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(sim::saturation_injection_bound(loads, 11, 0.0), 0.0);
+}
+
+TEST(LinkLoad, PathGraphMiddleLinkDominates) {
+  const Graph g = topo::path(5);
+  const SimNetwork net(g, LinkTiming{});
+  const auto loads = all_pairs_link_loads(net);
+  // The middle link (2-3 or 1-2) carries 6 pairs each direction.
+  EXPECT_EQ(loads.max_on_module, 6u);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,108 @@
+// Unit tests for the permutation algebra, including the paper's worked
+// generator examples from Section 2.
+#include <gtest/gtest.h>
+
+#include "ipg/label.hpp"
+#include "ipg/permutation.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Permutation, IdentityFixesLabels) {
+  const auto id = Permutation::identity(5);
+  EXPECT_TRUE(id.is_identity());
+  const Label x = make_label({3, 1, 4, 1, 5});
+  EXPECT_EQ(id.apply(x), x);
+}
+
+TEST(Permutation, TranspositionMatchesPaperStarExample) {
+  // Section 2: pi_1 = (1,2) maps x1 x2 x3 x4 x5 x6 to x2 x1 x3 x4 x5 x6.
+  const auto pi1 = Permutation::transposition(6, 0, 1);
+  const Label x = make_label({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(pi1.apply(x), make_label({2, 1, 3, 4, 5, 6}));
+  // pi_2 = (1,3): x3 x2 x1 x4 x5 x6.
+  const auto pi2 = Permutation::transposition(6, 0, 2);
+  EXPECT_EQ(pi2.apply(x), make_label({3, 2, 1, 4, 5, 6}));
+}
+
+TEST(Permutation, RotationMatchesPaperPi6Example) {
+  // Section 2: pi_6 = 456123 maps y1..y6 to y4 y5 y6 y1 y2 y3.
+  const auto pi6 = Permutation::rotate_left(6, 3);
+  const Label y = make_label({11, 12, 13, 14, 15, 16});
+  EXPECT_EQ(pi6.apply(y), make_label({14, 15, 16, 11, 12, 13}));
+}
+
+TEST(Permutation, RotateRightInvertsRotateLeft) {
+  const auto l = Permutation::rotate_left(7, 2);
+  const auto r = Permutation::rotate_right(7, 2);
+  EXPECT_TRUE(l.then(r).is_identity());
+  EXPECT_EQ(l.inverse(), r);
+}
+
+TEST(Permutation, RotationByFullLengthIsIdentity) {
+  EXPECT_TRUE(Permutation::rotate_left(5, 5).is_identity());
+  EXPECT_TRUE(Permutation::rotate_left(5, 0).is_identity());
+}
+
+TEST(Permutation, FlipPrefixReversesFront) {
+  const auto f3 = Permutation::flip_prefix(5, 3);
+  const Label x = make_label({1, 2, 3, 4, 5});
+  EXPECT_EQ(f3.apply(x), make_label({3, 2, 1, 4, 5}));
+  EXPECT_TRUE(f3.then(f3).is_identity());  // flips are involutions
+}
+
+TEST(Permutation, FromCyclesMovesAlongTheCycle) {
+  // (0 1 2): symbol at 0 moves to 1, 1 to 2, 2 to 0.
+  const auto c = Permutation::from_cycles(4, {{0, 1, 2}});
+  const Label x = make_label({7, 8, 9, 5});
+  EXPECT_EQ(c.apply(x), make_label({9, 7, 8, 5}));
+}
+
+TEST(Permutation, ThenComposesLeftToRight) {
+  const auto a = Permutation::transposition(3, 0, 1);
+  const auto b = Permutation::transposition(3, 1, 2);
+  const Label x = make_label({1, 2, 3});
+  EXPECT_EQ(a.then(b).apply(x), b.apply(a.apply(x)));
+}
+
+TEST(Permutation, InverseRoundTrips) {
+  const auto p = Permutation::from_cycles(6, {{0, 3, 1}, {2, 5}});
+  EXPECT_TRUE(p.then(p.inverse()).is_identity());
+  EXPECT_TRUE(p.inverse().then(p).is_identity());
+}
+
+TEST(Permutation, ExpandBlocksMovesWholeBlocks) {
+  // Block transposition (0,1) over 2 blocks of 3 symbols.
+  const auto beta = Permutation::transposition(2, 0, 1).expand_blocks(3);
+  const Label x = make_label({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(beta.apply(x), make_label({4, 5, 6, 1, 2, 3}));
+}
+
+TEST(Permutation, ExpandBlocksPreservesIntraBlockOrder) {
+  const auto beta = Permutation::rotate_left(3, 1).expand_blocks(2);
+  const Label x = make_label({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(beta.apply(x), make_label({3, 4, 5, 6, 1, 2}));
+}
+
+TEST(Permutation, EmbedActsLocally) {
+  const auto p = Permutation::transposition(2, 0, 1).embed(5, 2);
+  const Label x = make_label({1, 2, 3, 4, 5});
+  EXPECT_EQ(p.apply(x), make_label({1, 2, 4, 3, 5}));
+}
+
+TEST(Permutation, CycleStringShowsSupportOnly) {
+  EXPECT_EQ(Permutation::identity(4).to_cycle_string(), "()");
+  const auto t = Permutation::transposition(4, 1, 3);
+  EXPECT_EQ(t.to_cycle_string(), "(1 3)");
+}
+
+TEST(Permutation, ApplyIntoMatchesApply) {
+  const auto p = Permutation::rotate_left(6, 2);
+  const Label x = make_label({9, 8, 7, 6, 5, 4});
+  Label out;
+  p.apply_into(x, out);
+  EXPECT_EQ(out, p.apply(x));
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,219 @@
+// Property-based tests: randomized super-IP specifications (random
+// nucleus generators over random multiset seeds, random super-generator
+// sets) must satisfy the paper's structural theorems — size (Thm 3.2),
+// degree bound (Thm 3.1), routing validity and the diameter bound
+// (Thm 4.1) — for every spec the model admits.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/build.hpp"
+#include "graph/symmetry.hpp"
+#include "ipg/schedule.hpp"
+#include "ipg/symmetric.hpp"
+#include "ipg/super.hpp"
+#include "route/path.hpp"
+#include "route/super_ip_routing.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+/// Draws a random non-identity permutation over k positions.
+Permutation random_perm(Xoshiro256& rng, int k) {
+  std::vector<std::uint8_t> p(k);
+  for (int i = 0; i < k; ++i) p[i] = static_cast<std::uint8_t>(i);
+  do {
+    for (int i = k - 1; i > 0; --i) {
+      const int j = static_cast<int>(rng.below(i + 1));
+      std::swap(p[i], p[j]);
+    }
+  } while (std::is_sorted(p.begin(), p.end()));
+  return Permutation(p);
+}
+
+/// Random super-IP spec: l in [2,4], m in [2,4], 1-3 nucleus generators
+/// (closed under inverses so the nucleus is undirected), 1-2 super
+/// generators plus their inverses, seed symbols drawn from [1, m] with
+/// repetition allowed — or a random permutation of 1..m when
+/// `distinct_block` (the Cayley regime of Section 3.5).
+std::optional<SuperIPSpec> random_spec(std::uint64_t seed,
+                                       bool distinct_block = false) {
+  Xoshiro256 rng(seed);
+  SuperIPSpec s;
+  s.l = 2 + static_cast<int>(rng.below(3));
+  s.m = 2 + static_cast<int>(rng.below(3));
+  s.name = "random-" + std::to_string(seed);
+
+  const int nucleus_count = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < nucleus_count; ++i) {
+    const Permutation p = random_perm(rng, s.m);
+    s.nucleus_gens.push_back({"n" + std::to_string(2 * i), p, false});
+    const Permutation inv = p.inverse();
+    if (!(inv == p)) {
+      s.nucleus_gens.push_back({"n" + std::to_string(2 * i + 1), inv, false});
+    }
+  }
+  const int super_count = 1 + static_cast<int>(rng.below(2));
+  for (int i = 0; i < super_count; ++i) {
+    const Permutation p = random_perm(rng, s.l);
+    s.super_gens.push_back({"s" + std::to_string(2 * i), p, true});
+    const Permutation inv = p.inverse();
+    if (!(inv == p)) {
+      s.super_gens.push_back({"s" + std::to_string(2 * i + 1), inv, true});
+    }
+  }
+
+  Label block(s.m);
+  for (int i = 0; i < s.m; ++i) {
+    block[i] = static_cast<std::uint8_t>(distinct_block ? i + 1
+                                                        : 1 + rng.below(s.m));
+  }
+  if (distinct_block) {
+    for (int i = s.m - 1; i > 0; --i) {
+      std::swap(block[i], block[rng.below(i + 1)]);
+    }
+  }
+  s.seed = repeat_label(block, s.l);
+  if (!s.valid()) return std::nullopt;
+  // The super-IP definition requires every block to be able to reach the
+  // front (Section 3.1); skip generator sets that cannot.
+  if (compute_t(s) < 0) return std::nullopt;
+  return s;
+}
+
+class RandomSuperIp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSuperIp, StructuralTheoremsHold) {
+  const auto maybe = random_spec(GetParam());
+  if (!maybe) GTEST_SKIP() << "spec rejected by the super-IP definition";
+  const SuperIPSpec& spec = *maybe;
+
+  const IPGraph nucleus = build_ip_graph(spec.nucleus_spec());
+  const IPGraph g = build_super_ip_graph(spec);
+
+  // Theorem 3.2: N = M^l.
+  std::uint64_t expected = 1;
+  for (int i = 0; i < spec.l; ++i) expected *= nucleus.num_nodes();
+  EXPECT_EQ(g.num_nodes(), expected) << spec.name;
+
+  // Theorem 3.1: degree bounded by the generator count; inter-cluster
+  // degree by the super-generator count.
+  const auto deg = degree_stats(g.graph);
+  EXPECT_LE(deg.max_degree, spec.nucleus_gens.size() + spec.super_gens.size());
+
+  // Undirected by construction (inverse-closed generator sets).
+  EXPECT_TRUE(g.graph.is_symmetric()) << spec.name;
+
+  // Theorem 4.1 upper bound, via the router, on sampled pairs.
+  const IPGraphSpec lifted = spec.to_ip_spec();
+  const Dist nucleus_diam = profile(nucleus.graph).diameter;
+  const int bound = route_length_bound(spec, static_cast<int>(nucleus_diam),
+                                       /*symmetric_seed=*/false);
+  ASSERT_GT(bound, 0);
+  Xoshiro256 rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 32; ++trial) {
+    const Node u = static_cast<Node>(rng.below(g.num_nodes()));
+    const Node v = static_cast<Node>(rng.below(g.num_nodes()));
+    const GenPath path = route_super_ip(spec, g.labels[u], g.labels[v]);
+    EXPECT_TRUE(verify_path(lifted, g.labels[u], g.labels[v], path.gens))
+        << spec.name;
+    EXPECT_LE(path.length(), bound) << spec.name;
+  }
+
+  // The exact diameter never exceeds the Theorem 4.1 bound either
+  // (all-pairs BFS only where enumeration stays cheap).
+  if (g.num_nodes() <= 5000) {
+    EXPECT_LE(profile(g.graph).diameter, static_cast<Dist>(bound)) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomSuperIp,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+class RandomSymmetricVariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSymmetricVariant, CayleyPropertiesHold) {
+  // Section 3.5 on arbitrary specs: the symmetric variant of a plain
+  // super-IP graph with distinct-symbol blocks is a Cayley graph —
+  // regular, vertex-symmetric — with (#reachable arrangements) * M^l
+  // nodes.
+  const auto maybe = random_spec(GetParam(), /*distinct_block=*/true);
+  if (!maybe) GTEST_SKIP() << "spec rejected by the super-IP definition";
+  const SuperIPSpec& spec = *maybe;
+  if (spec.l * spec.m > 255) GTEST_SKIP() << "symbol range too small";
+
+  const IPGraph nucleus = build_ip_graph(spec.nucleus_spec());
+  std::uint64_t m_to_l = 1;
+  for (int i = 0; i < spec.l; ++i) m_to_l *= nucleus.num_nodes();
+  const std::uint64_t predicted = num_reachable_arrangements(spec) * m_to_l;
+  if (predicted > 40000) GTEST_SKIP() << "instance too large for exact checks";
+
+  const IPGraph sym = build_super_ip_graph(make_symmetric(spec));
+  EXPECT_EQ(sym.num_nodes(), predicted) << spec.name;
+  EXPECT_TRUE(degree_stats(sym.graph).regular) << spec.name;
+  if (sym.num_nodes() <= 4000) {
+    EXPECT_TRUE(looks_vertex_transitive(sym.graph)) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomSymmetricVariant,
+                         ::testing::Range<std::uint64_t>(100, 125));
+
+class RandomDirectedSuperIp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDirectedSuperIp, DirectedSpecsStayRoutable) {
+  // Drop the inverse generators: the digraph is no longer symmetric, but
+  // as long as the nucleus orbit stays strongly connected and every block
+  // can reach the front, Theorem 4.1 routing still succeeds and N = M^l.
+  Xoshiro256 rng(GetParam());
+  SuperIPSpec s;
+  s.l = 2 + static_cast<int>(rng.below(3));
+  s.m = 3 + static_cast<int>(rng.below(2));
+  s.name = "directed-random-" + std::to_string(GetParam());
+  // A single full-cycle nucleus generator: the orbit is a directed cycle,
+  // strongly connected by construction.
+  std::vector<std::uint8_t> cycle_perm(s.m);
+  for (int i = 0; i < s.m; ++i) cycle_perm[i] = static_cast<std::uint8_t>((i + 1) % s.m);
+  s.nucleus_gens.push_back({"rot", Permutation(cycle_perm), false});
+  // A single directed shift super-generator.
+  s.super_gens.push_back({"L", Permutation::rotate_left(s.l, 1), true});
+  Label block(s.m);
+  for (int i = 0; i < s.m; ++i) {
+    block[i] = static_cast<std::uint8_t>(1 + rng.below(s.m));
+  }
+  s.seed = repeat_label(block, s.l);
+  ASSERT_TRUE(s.valid());
+  ASSERT_GE(compute_t(s), 0);
+
+  const IPGraph nucleus = build_ip_graph(s.nucleus_spec());
+  const IPGraph g = build_super_ip_graph(s);
+  std::uint64_t expected = 1;
+  for (int i = 0; i < s.l; ++i) expected *= nucleus.num_nodes();
+  EXPECT_EQ(g.num_nodes(), expected) << s.name;
+
+  const IPGraphSpec lifted = s.to_ip_spec();
+  for (int trial = 0; trial < 16; ++trial) {
+    const Node u = static_cast<Node>(rng.below(g.num_nodes()));
+    const Node v = static_cast<Node>(rng.below(g.num_nodes()));
+    const GenPath path = route_super_ip(s, g.labels[u], g.labels[v]);
+    EXPECT_TRUE(verify_path(lifted, g.labels[u], g.labels[v], path.gens))
+        << s.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomDirectedSuperIp,
+                         ::testing::Range<std::uint64_t>(200, 215));
+
+TEST(RandomSuperIp, GeneratorProducesBothAcceptedAndRejectedSpecs) {
+  int accepted = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    accepted += random_spec(seed).has_value();
+  }
+  EXPECT_GT(accepted, 20);  // the sweep above mostly exercises real specs
+}
+
+}  // namespace
+}  // namespace ipg

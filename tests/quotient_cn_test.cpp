@@ -1,0 +1,105 @@
+// Tests for quotient super networks (QCN, Fig. 3): physical sizes, module
+// budgets, and the invariance of I-distances under nucleus merging.
+#include <gtest/gtest.h>
+
+#include "cluster/imetrics.hpp"
+#include "cluster/partitions.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "ipg/quotient_cn.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg {
+namespace {
+
+TupleNetwork cn_over_cube(int l, int n) {
+  return build_super_network_direct(topo::hypercube(n), l,
+                                    ring_shift_super_gens(l));
+}
+
+TEST(QuotientCn, PhysicalSizeAndModuleBudget) {
+  // QCN(2; Q5/Q2): CN(2, Q5) has 1024 nodes; merging Q2 subcubes leaves
+  // 8 * 32 = 256 physical nodes, 8 per module.
+  const TupleNetwork cn = cn_over_cube(2, 5);
+  const QuotientNetwork q = make_quotient_cn(cn, 5, 2);
+  EXPECT_EQ(q.graph.num_nodes(), 256u);
+  EXPECT_EQ(q.num_modules, 32u);
+  EXPECT_EQ(q.nodes_per_module, 8u);
+  EXPECT_TRUE(is_connected_from(q.graph));
+  EXPECT_TRUE(q.graph.is_symmetric());
+}
+
+TEST(QuotientCn, ModulesInternallyConnected) {
+  const TupleNetwork cn = cn_over_cube(2, 5);
+  const QuotientNetwork q = make_quotient_cn(cn, 5, 2);
+  const Clustering c{q.module_of, q.num_modules};
+  ASSERT_TRUE(c.valid(q.graph.num_nodes()));
+  EXPECT_TRUE(modules_internally_connected(q.graph, c));
+  for (const auto s : c.module_sizes()) EXPECT_EQ(s, q.nodes_per_module);
+}
+
+TEST(QuotientCn, IDistancesMatchTheUnmergedNetwork) {
+  // Merging subcubes of the leading coordinate leaves the module graph —
+  // and hence I-diameter and average I-distance — unchanged. This is why
+  // the paper can plot QCN(l; Q7/Q3) as a module-size-respecting stand-in
+  // for CN(l, Q7).
+  const int l = 2, n = 5, b = 2;
+  const TupleNetwork cn = cn_over_cube(l, n);
+  const Clustering full_c = cluster_tuple(cn);
+  const QuotientNetwork q = make_quotient_cn(cn, n, b);
+  const Clustering q_c{q.module_of, q.num_modules};
+
+  const Graph full_mg = module_graph(cn.graph, full_c);
+  const Graph q_mg = module_graph(q.graph, q_c);
+  // The module graphs themselves are identical (merging only acts inside
+  // modules)...
+  const auto full_p = profile(full_mg);
+  const auto q_p = profile(q_mg);
+  EXPECT_EQ(full_p.nodes, q_p.nodes);
+  EXPECT_EQ(full_p.links, q_p.links);
+  EXPECT_EQ(full_p.diameter, q_p.diameter);
+  EXPECT_NEAR(full_p.average_distance, q_p.average_distance, 1e-9);
+  // ...so I-diameters agree exactly; average I-distance differs only in
+  // the weight of the (distance-0) within-module pairs.
+  const auto full_stats = i_distance_stats(full_mg, full_c.module_sizes());
+  const auto q_stats = i_distance_stats(q_mg, q_c.module_sizes());
+  EXPECT_EQ(full_stats.i_diameter, q_stats.i_diameter);
+  EXPECT_NEAR(full_stats.avg_i_distance, q_stats.avg_i_distance, 0.05);
+}
+
+TEST(QuotientCn, MergingRaisesPerNodeOffModuleLinks) {
+  // Each physical node bundles the off-module links of its merged
+  // constituents, so I-degree grows by about the merge factor.
+  const TupleNetwork cn = cn_over_cube(2, 5);
+  const Clustering full_c = cluster_tuple(cn);
+  const QuotientNetwork q = make_quotient_cn(cn, 5, 2);
+  const Clustering q_c{q.module_of, q.num_modules};
+  EXPECT_GT(i_degree(q.graph, q_c), i_degree(cn.graph, full_c));
+}
+
+TEST(QuotientCn, AlsoWorksOverHsnTupleNetworks) {
+  // The merge is generic over hypercube-nucleus tuple networks: quotient
+  // an HSN(2, Q4) into Q2-merged physical nodes.
+  const TupleNetwork hsn = build_super_network_direct(
+      topo::hypercube(4), 2, transposition_super_gens(2));
+  const QuotientNetwork q = make_quotient_cn(hsn, 4, 2);
+  EXPECT_EQ(q.graph.num_nodes(), 64u);  // 4 * 16
+  EXPECT_EQ(q.nodes_per_module, 4u);
+  EXPECT_TRUE(is_connected_from(q.graph));
+  const Clustering c{q.module_of, q.num_modules};
+  EXPECT_TRUE(modules_internally_connected(q.graph, c));
+}
+
+TEST(QuotientCn, DegenerateMergeRejected) {
+  const TupleNetwork cn = cn_over_cube(2, 4);
+#ifndef NDEBUG
+  EXPECT_DEATH(make_quotient_cn(cn, 4, 0), "");
+  EXPECT_DEATH(make_quotient_cn(cn, 4, 4), "");
+#else
+  GTEST_SKIP() << "assertions disabled in release";
+#endif
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,65 @@
+// Tests for radix-M node ranking (Fig. 1's node labels).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ipg/families.hpp"
+#include "ipg/ranking.hpp"
+#include "ipg/symmetric.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Ranking, BijectionOnHcn22) {
+  // Fig. 1a ranks the 16 nodes of HSN(2, Q2) with 2-digit radix-4 labels.
+  const SuperIPSpec spec = make_hcn(2);
+  const IPGraph g = build_super_ip_graph(spec);
+  const SuperRanking ranking(spec);
+  EXPECT_EQ(ranking.nucleus_size(), 4u);
+  std::set<std::uint64_t> ranks;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const std::uint64_t r = ranking.rank(g.labels[u]);
+    EXPECT_LT(r, 16u);
+    ranks.insert(r);
+  }
+  EXPECT_EQ(ranks.size(), 16u);
+}
+
+TEST(Ranking, SeedRanksToZero) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const SuperRanking ranking(spec);
+  EXPECT_EQ(ranking.rank(spec.seed), 0u);
+  EXPECT_EQ(ranking.radix_string(spec.seed), "000");
+}
+
+TEST(Ranking, DigitsIdentifyBlockContents) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(spec);
+  const SuperRanking ranking(spec);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    // Swapping the two blocks swaps the two digits.
+    Label swapped = g.labels[u];
+    const Label b0 = block_of(swapped, 0, spec.m);
+    const Label b1 = block_of(swapped, 1, spec.m);
+    set_block(swapped, 0, spec.m, b1);
+    set_block(swapped, 1, spec.m, b0);
+    EXPECT_EQ(ranking.digit(g.labels[u], 0), ranking.digit(swapped, 1));
+    EXPECT_EQ(ranking.digit(g.labels[u], 1), ranking.digit(swapped, 0));
+  }
+}
+
+TEST(Ranking, WideNucleusUsesDotSeparators) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(4));  // M = 16
+  const SuperRanking ranking(spec);
+  const std::string s = ranking.radix_string(spec.seed);
+  EXPECT_NE(s.find('.'), std::string::npos);
+}
+
+TEST(Ranking, RejectsSymmetricSeeds) {
+  const SuperIPSpec sym = make_symmetric(make_hsn(2, hypercube_nucleus(2)));
+  EXPECT_THROW(SuperRanking{sym}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,172 @@
+// Tests for the routing library: the Theorem 4.1/4.3 super-IP router
+// (validity, length bound, worst-case tightness), optimal star routing,
+// and hypercube e-cube routing.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "ipg/schedule.hpp"
+#include "ipg/symmetric.hpp"
+#include "route/hypercube_routing.hpp"
+#include "route/path.hpp"
+#include "route/star_routing.hpp"
+#include "route/super_ip_routing.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg {
+namespace {
+
+struct RouteCase {
+  std::string kind;
+  int l;
+  int nucleus_n;
+  bool symmetric;
+};
+
+SuperIPSpec route_spec(const RouteCase& c) {
+  const IPGraphSpec nucleus = hypercube_nucleus(c.nucleus_n);
+  SuperIPSpec s = c.kind == "hsn"    ? make_hsn(c.l, nucleus)
+                  : c.kind == "ring" ? make_ring_cn(c.l, nucleus)
+                  : c.kind == "flip" ? make_super_flip(c.l, nucleus)
+                  : c.kind == "directed"
+                      ? make_directed_cn(c.l, nucleus)
+                      : make_complete_cn(c.l, nucleus);
+  return c.symmetric ? make_symmetric(s) : s;
+}
+
+class SuperRouting : public ::testing::TestWithParam<RouteCase> {};
+
+TEST_P(SuperRouting, AllPairsValidWithinBoundAndTight) {
+  const RouteCase& c = GetParam();
+  const SuperIPSpec spec = route_spec(c);
+  const IPGraph g = build_super_ip_graph(spec);
+  const IPGraphSpec lifted = spec.to_ip_spec();
+  const int bound = route_length_bound(spec, c.nucleus_n, c.symmetric);
+  ASSERT_GT(bound, 0);
+
+  // BFS distances for optimality comparison.
+  BfsScratch scratch(g.num_nodes());
+  int max_len = 0;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = scratch.run(g.graph, u);
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      const GenPath path = route_super_ip(spec, g.labels[u], g.labels[v]);
+      ASSERT_TRUE(verify_path(lifted, g.labels[u], g.labels[v], path.gens))
+          << spec.name << " " << u << "->" << v;
+      EXPECT_LE(path.length(), bound);
+      EXPECT_GE(path.length(), static_cast<int>(dist[v]));
+      max_len = std::max(max_len, path.length());
+    }
+  }
+  // Theorems 4.1/4.3: the bound equals the diameter, and the router
+  // realizes it in the worst case, so max route length == diameter == bound.
+  EXPECT_EQ(profile(g.graph).diameter, static_cast<Dist>(bound));
+  EXPECT_EQ(max_len, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SuperRouting,
+    ::testing::Values(RouteCase{"hsn", 2, 2, false}, RouteCase{"hsn", 3, 2, false},
+                      RouteCase{"hsn", 2, 3, false}, RouteCase{"ring", 3, 2, false},
+                      RouteCase{"ring", 4, 2, false}, RouteCase{"flip", 3, 2, false},
+                      RouteCase{"complete", 3, 2, false},
+                      RouteCase{"directed", 3, 2, false},
+                      RouteCase{"hsn", 2, 2, true}, RouteCase{"ring", 3, 2, true},
+                      RouteCase{"flip", 3, 2, true}),
+    [](const auto& info) {
+      return info.param.kind + "_l" + std::to_string(info.param.l) + "_Q" +
+             std::to_string(info.param.nucleus_n) +
+             (info.param.symmetric ? "_sym" : "");
+    });
+
+TEST(SuperRouting, RejectsForeignDestinations) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const Label bogus = make_label({9, 9, 9, 9, 9, 9, 9, 9});
+  EXPECT_THROW(route_super_ip(spec, spec.seed, bogus), std::invalid_argument);
+  EXPECT_THROW(route_super_ip(spec, spec.seed, make_label({1, 2})),
+               std::invalid_argument);
+}
+
+TEST(SuperRouting, TrivialRouteIsEmpty) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  EXPECT_EQ(route_super_ip(spec, spec.seed, spec.seed).length(), 0);
+}
+
+TEST(StarRouting, AllPairsOptimal) {
+  // route_star length must equal both the cycle-structure formula and the
+  // true BFS distance in the explicit star graph.
+  const int n = 5;
+  const IPGraph g = build_ip_graph(star_nucleus(n));
+  BfsScratch scratch(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); u += 7) {
+    const auto dist = scratch.run(g.graph, u);
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      const GenPath path = route_star(g.labels[u], g.labels[v]);
+      ASSERT_TRUE(verify_path(g.spec, g.labels[u], g.labels[v], path.gens));
+      EXPECT_EQ(path.length(), static_cast<int>(dist[v]));
+      EXPECT_EQ(star_distance(g.labels[u], g.labels[v]),
+                static_cast<int>(dist[v]));
+    }
+  }
+}
+
+TEST(StarRouting, RejectsMismatchedLabels) {
+  EXPECT_THROW(route_star(make_label({1, 2, 3}), make_label({1, 2})),
+               std::invalid_argument);
+  EXPECT_THROW(route_star(make_label({1, 2, 3}), make_label({1, 2, 4})),
+               std::invalid_argument);
+  EXPECT_THROW(route_star(make_label({1, 2, 3}), make_label({1, 2, 2})),
+               std::invalid_argument);
+}
+
+TEST(HypercubeRouting, PathsAreShortestAndValid) {
+  const int n = 6;
+  const Graph q = topo::hypercube(n);
+  for (Node src = 0; src < q.num_nodes(); src += 5) {
+    for (Node dst = 0; dst < q.num_nodes(); dst += 3) {
+      const auto path = route_hypercube(n, src, dst);
+      ASSERT_EQ(path.front(), src);
+      ASSERT_EQ(path.back(), dst);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(q.has_arc(path[i], path[i + 1]));
+      }
+      EXPECT_EQ(static_cast<int>(path.size()) - 1, hypercube_distance(src, dst));
+    }
+  }
+}
+
+TEST(HypercubeRouting, DistanceIsHammingWeight) {
+  EXPECT_EQ(hypercube_distance(0b1010, 0b0110), 2);
+  EXPECT_EQ(hypercube_distance(7, 7), 0);
+}
+
+TEST(BfsRoute, FindsShortestGeneratorPaths) {
+  const IPGraphSpec spec = star_nucleus(4);
+  const IPGraph g = build_ip_graph(spec);
+  const auto dist = bfs_distances(g.graph, 0);
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    const GenPath p = bfs_route(spec, g.labels[0], g.labels[v]);
+    EXPECT_EQ(p.length(), static_cast<int>(dist[v]));
+    EXPECT_TRUE(verify_path(spec, g.labels[0], g.labels[v], p.gens));
+  }
+}
+
+TEST(BfsRoute, ThrowsOnUnreachable) {
+  const IPGraphSpec spec = star_nucleus(3);
+  EXPECT_THROW(bfs_route(spec, make_label({1, 2, 3}), make_label({1, 1, 1})),
+               std::invalid_argument);
+}
+
+TEST(VerifyPath, RejectsFixedLabelSteps) {
+  // A generator that fixes the label is not an edge: verify_path must
+  // reject it. T2 on identical blocks is such a step.
+  const SuperIPSpec spec = make_hcn(2);
+  const IPGraphSpec lifted = spec.to_ip_spec();
+  const int t2 = static_cast<int>(spec.nucleus_gens.size());
+  const std::vector<int> gens{t2};
+  EXPECT_FALSE(verify_path(lifted, spec.seed, spec.seed, gens));
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,224 @@
+// Tests for the discrete-event packet simulator: event ordering, queueing
+// semantics, latency lower bounds, traffic generation, and determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/partitions.hpp"
+#include "graph/bfs.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+
+namespace ipg {
+namespace {
+
+using sim::Event;
+using sim::EventQueue;
+using sim::LinkTiming;
+using sim::Packet;
+using sim::SimNetwork;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push({3.0, 1, 0});
+  q.push({1.0, 2, 0});
+  q.push({2.0, 3, 0});
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBrokenByPacketId) {
+  EventQueue q;
+  q.push({1.0, 7, 0});
+  q.push({1.0, 3, 0});
+  EXPECT_EQ(q.pop().packet, 3u);
+  EXPECT_EQ(q.pop().packet, 7u);
+}
+
+TEST(SimNetwork, NextHopsFollowShortestPaths) {
+  const Graph g = topo::hypercube(4);
+  const SimNetwork net(g, LinkTiming{});
+  for (Node dst = 0; dst < g.num_nodes(); ++dst) {
+    const auto dist = bfs_distances(g, dst);  // symmetric: d(x, dst)
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      if (u == dst) continue;
+      const Node hop = net.next_hop(u, dst);
+      ASSERT_NE(hop, kUnreachable);
+      EXPECT_EQ(dist[u], dist[hop] + 1) << u << "->" << dst;
+    }
+  }
+}
+
+TEST(Simulator, SinglePacketLatencyEqualsDistance) {
+  const Graph g = topo::hypercube(5);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const std::vector<Packet> packets{{0, 31, 0.0}};
+  const auto r = simulate(net, packets);
+  EXPECT_EQ(r.delivered, 1u);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 5.0);  // Hamming distance * unit time
+  EXPECT_DOUBLE_EQ(r.latency.mean_hops(), 5.0);
+}
+
+TEST(Simulator, SharedLinkSerializes) {
+  // Two packets over the single link of a 2-node path: the second waits.
+  const Graph g = topo::path(2);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const std::vector<Packet> packets{{0, 1, 0.0}, {0, 1, 0.0}};
+  const auto r = simulate(net, packets);
+  EXPECT_EQ(r.delivered, 2u);
+  EXPECT_DOUBLE_EQ(r.latency.max(), 2.0);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 1.5);
+}
+
+TEST(Simulator, LatencyNeverBelowDistanceTimesService) {
+  const Graph g = topo::hypercube(6);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const auto packets = sim::uniform_traffic(g.num_nodes(), 3.0, 50.0, 99);
+  const auto r = simulate(net, packets);
+  EXPECT_EQ(r.delivered, packets.size());
+  EXPECT_GE(r.latency.mean(), r.latency.mean_hops());  // waiting only adds
+  EXPECT_GT(r.throughput(), 0.0);
+}
+
+TEST(Simulator, SlowOffModuleLinksRaiseLatency) {
+  const Graph g = topo::hypercube(6);
+  const Clustering c = cluster_hypercube(6, 3);
+  const SimNetwork uniform(g, LinkTiming{1.0, 1.0}, c);
+  const SimNetwork skewed(g, LinkTiming{1.0, 4.0}, c);
+  const auto packets = sim::uniform_traffic(g.num_nodes(), 1.0, 100.0, 7);
+  const auto ru = simulate(uniform, packets);
+  const auto rs = simulate(skewed, packets);
+  EXPECT_GT(rs.latency.mean(), ru.latency.mean());
+  // Off-module hop counts are a routing property, identical in both runs.
+  EXPECT_DOUBLE_EQ(rs.latency.mean_off_module_hops(),
+                   ru.latency.mean_off_module_hops());
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  const Graph g = topo::hypercube(5);
+  const SimNetwork net(g, LinkTiming{});
+  const auto a = sim::uniform_traffic(g.num_nodes(), 2.0, 30.0, 42);
+  const auto b = sim::uniform_traffic(g.num_nodes(), 2.0, 30.0, 42);
+  ASSERT_EQ(a.size(), b.size());
+  const auto ra = simulate(net, a);
+  const auto rb = simulate(net, b);
+  EXPECT_DOUBLE_EQ(ra.latency.mean(), rb.latency.mean());
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+}
+
+TEST(Traffic, UniformAvoidsSelfTraffic) {
+  const auto packets = sim::uniform_traffic(16, 5.0, 100.0, 3);
+  EXPECT_GT(packets.size(), 300u);  // ~500 expected
+  for (const auto& p : packets) {
+    EXPECT_NE(p.src, p.dst);
+    EXPECT_LT(p.src, 16u);
+    EXPECT_LT(p.dst, 16u);
+    EXPECT_GE(p.inject_time, 0.0);
+    EXPECT_LT(p.inject_time, 100.0);
+  }
+}
+
+TEST(Traffic, InjectTimesAreSorted) {
+  const auto packets = sim::uniform_traffic(8, 2.0, 50.0, 5);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_LE(packets[i - 1].inject_time, packets[i].inject_time);
+  }
+}
+
+TEST(Traffic, AllToAllCoversEveryOrderedPair) {
+  const auto packets = sim::all_to_all_traffic(12);
+  EXPECT_EQ(packets.size(), 12u * 11u);
+  std::set<std::pair<Node, Node>> pairs;
+  for (const auto& p : packets) {
+    EXPECT_NE(p.src, p.dst);
+    EXPECT_DOUBLE_EQ(p.inject_time, 0.0);
+    pairs.emplace(p.src, p.dst);
+  }
+  EXPECT_EQ(pairs.size(), packets.size());
+}
+
+TEST(Simulator, AllToAllMakespanBoundedBelowByLoad) {
+  // Total exchange through one bisection-ish link: the path graph funnels
+  // everything over its middle link, so makespan >= crossing traffic.
+  const Graph g = topo::path(4);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const auto r = simulate(net, sim::all_to_all_traffic(4));
+  EXPECT_EQ(r.delivered, 12u);
+  EXPECT_GE(r.makespan, 4.0);  // 4 packets cross the middle link each way
+}
+
+TEST(Traffic, BurstTargetsOthers) {
+  const auto packets = sim::burst_traffic(10, 4, 50, 9);
+  ASSERT_EQ(packets.size(), 50u);
+  for (const auto& p : packets) {
+    EXPECT_EQ(p.src, 4u);
+    EXPECT_NE(p.dst, 4u);
+    EXPECT_DOUBLE_EQ(p.inject_time, 0.0);
+  }
+}
+
+TEST(Stats, PercentilesAndMeans) {
+  sim::LatencyStats s;
+  for (int i = 1; i <= 100; ++i) s.record(i, 1, 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 51.0);
+  EXPECT_EQ(s.count(), 100u);
+}
+
+TEST(Simulator, StoreAndForwardScalesWithMessageLength) {
+  // A 5-hop path with L-flit messages: latency = hops * L.
+  const Graph g = topo::path(6);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const std::vector<Packet> one{{0, 5, 0.0}};
+  for (const int flits : {1, 4, 16}) {
+    const auto r = simulate(net, one, {flits, sim::SwitchingMode::kStoreAndForward});
+    EXPECT_DOUBLE_EQ(r.latency.mean(), 5.0 * flits);
+  }
+}
+
+TEST(Simulator, CutThroughPipelinesTheMessage) {
+  // Classic cut-through latency: (hops - 1) header times + L flit times.
+  const Graph g = topo::path(6);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const std::vector<Packet> one{{0, 5, 0.0}};
+  for (const int flits : {1, 4, 16}) {
+    const auto r = simulate(net, one, {flits, sim::SwitchingMode::kCutThrough});
+    EXPECT_DOUBLE_EQ(r.latency.mean(), 4.0 + flits);
+  }
+}
+
+TEST(Simulator, CutThroughNeverSlowerThanStoreAndForward) {
+  const Graph g = topo::hypercube(6);
+  const SimNetwork net(g, LinkTiming{1.0, 2.0}, cluster_hypercube(6, 3));
+  const auto packets = sim::uniform_traffic(g.num_nodes(), 5.0, 40.0, 13);
+  const auto sf = simulate(net, packets, {8, sim::SwitchingMode::kStoreAndForward});
+  const auto ct = simulate(net, packets, {8, sim::SwitchingMode::kCutThrough});
+  EXPECT_EQ(sf.delivered, ct.delivered);
+  EXPECT_LE(ct.latency.mean(), sf.latency.mean());
+}
+
+TEST(Simulator, LongMessagesKeepLinksBusyUnderCutThrough) {
+  // Two packets share a link: the second header waits for the first tail.
+  const Graph g = topo::path(2);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const std::vector<Packet> packets{{0, 1, 0.0}, {0, 1, 0.0}};
+  const auto r = simulate(net, packets, {10, sim::SwitchingMode::kCutThrough});
+  EXPECT_DOUBLE_EQ(r.latency.max(), 20.0);
+}
+
+TEST(SimNetwork, RejectsOversizedInstances) {
+  // 2^13 nodes -> 2^26 table entries: right at the guard.
+  EXPECT_THROW(SimNetwork(topo::hypercube(14), LinkTiming{}), std::length_error);
+}
+
+}  // namespace
+}  // namespace ipg

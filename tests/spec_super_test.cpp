@@ -1,0 +1,115 @@
+// Unit coverage for IPGraphSpec and SuperIPSpec plumbing: inverse
+// closure, generator classification, block accessors, spec lifting and
+// validation.
+#include <gtest/gtest.h>
+
+#include "ipg/families.hpp"
+#include "ipg/spec.hpp"
+#include "ipg/super.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Spec, InverseClosureDetected) {
+  IPGraphSpec closed;
+  closed.name = "closed";
+  closed.seed = make_label({1, 2, 3});
+  closed.generators = {
+      {"t", Permutation::transposition(3, 0, 1), false},
+      {"r", Permutation::rotate_left(3, 1), false},
+      {"r'", Permutation::rotate_right(3, 1), false},
+  };
+  EXPECT_TRUE(closed.inverse_closed());
+
+  IPGraphSpec open = closed;
+  open.generators.pop_back();  // drop r'
+  EXPECT_FALSE(open.inverse_closed());
+}
+
+TEST(Spec, GeneratorClassification) {
+  const SuperIPSpec hsn = make_hsn(3, hypercube_nucleus(2));
+  const IPGraphSpec lifted = hsn.to_ip_spec();
+  EXPECT_EQ(lifted.nucleus_generator_indices().size(), 2u);
+  EXPECT_EQ(lifted.super_generator_indices().size(), 2u);
+  // Nucleus generators come first in the lifted ordering.
+  EXPECT_EQ(lifted.nucleus_generator_indices().front(), 0);
+  EXPECT_EQ(lifted.super_generator_indices().front(), 2);
+}
+
+TEST(Spec, ValidationCatchesDefects) {
+  IPGraphSpec s;
+  s.name = "s";
+  s.seed = make_label({1, 2});
+  s.generators = {{"a", Permutation::transposition(2, 0, 1), false}};
+  EXPECT_TRUE(s.valid());
+
+  IPGraphSpec empty_seed = s;
+  empty_seed.seed.clear();
+  EXPECT_FALSE(empty_seed.valid());
+
+  IPGraphSpec wrong_size = s;
+  wrong_size.generators[0].perm = Permutation::transposition(3, 0, 1);
+  EXPECT_FALSE(wrong_size.valid());
+
+  IPGraphSpec duplicate_names = s;
+  duplicate_names.generators.push_back(
+      {"a", Permutation::rotate_left(2, 1), false});
+  EXPECT_FALSE(duplicate_names.valid());
+
+  IPGraphSpec identity_gen = s;
+  identity_gen.generators[0].perm = Permutation::identity(2);
+  EXPECT_FALSE(identity_gen.valid());
+}
+
+TEST(Super, BlockAccessors) {
+  Label x = make_label({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(block_of(x, 0, 2), make_label({1, 2}));
+  EXPECT_EQ(block_of(x, 2, 2), make_label({5, 6}));
+  set_block(x, 1, 2, make_label({9, 8}));
+  EXPECT_EQ(x, make_label({1, 2, 9, 8, 5, 6}));
+}
+
+TEST(Super, SeedBlocksAndNucleusSpec) {
+  const SuperIPSpec hsn = make_hsn(2, hypercube_nucleus(2));
+  EXPECT_EQ(hsn.seed_block(0), make_label({1, 2, 3, 4}));
+  EXPECT_EQ(hsn.seed_block(1), hsn.seed_block(0));
+  const IPGraphSpec nucleus = hsn.nucleus_spec();
+  EXPECT_EQ(nucleus.seed, hsn.seed_block(0));
+  EXPECT_EQ(nucleus.generators.size(), hsn.nucleus_gens.size());
+  // Custom block seed is honored.
+  const IPGraphSpec alt = hsn.nucleus_spec(make_label({2, 1, 3, 4}));
+  EXPECT_EQ(alt.seed, make_label({2, 1, 3, 4}));
+}
+
+TEST(Super, ValidityRules) {
+  SuperIPSpec s = make_hsn(2, hypercube_nucleus(2));
+  EXPECT_TRUE(s.valid());
+  SuperIPSpec no_super = s;
+  no_super.super_gens.clear();
+  EXPECT_FALSE(no_super.valid());
+  SuperIPSpec bad_l = s;
+  bad_l.l = 1;
+  EXPECT_FALSE(bad_l.valid());
+  SuperIPSpec short_seed = s;
+  short_seed.seed.pop_back();
+  EXPECT_FALSE(short_seed.valid());
+}
+
+TEST(Super, NucleusModulesGroupBySuffix) {
+  const SuperIPSpec s = make_hsn(2, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(s);
+  const ModuleAssignment a = nucleus_modules(g, s.m);
+  EXPECT_EQ(a.num_modules, 4u);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      const bool same_suffix =
+          std::equal(g.labels[u].begin() + s.m, g.labels[u].end(),
+                     g.labels[v].begin() + s.m);
+      EXPECT_EQ(a.module_of[u] == a.module_of[v], same_suffix);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipg

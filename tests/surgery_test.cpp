@@ -1,0 +1,105 @@
+// Fault-injection tests: structural surgery plus the Menger-style
+// survivability property — a k-connected network stays connected under any
+// k-1 node failures, and the right k failures disconnect it.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/flow.hpp"
+#include "graph/surgery.hpp"
+#include "ipg/families.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+#include "topo/star.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Surgery, RemoveNodesRelabelsConsistently) {
+  const Graph g = topo::cycle(6);
+  const std::vector<Node> failed{2};
+  const FaultedGraph f = remove_nodes(g, failed);
+  EXPECT_EQ(f.graph.num_nodes(), 5u);
+  EXPECT_EQ(f.new_id[2], kUnreachable);
+  // Survivors keep their adjacency: 1 and 3 lost their link through 2.
+  const Node n1 = f.new_id[1], n3 = f.new_id[3];
+  EXPECT_FALSE(f.graph.has_arc(n1, n3));
+  EXPECT_TRUE(f.graph.has_arc(f.new_id[0], n1));
+  for (Node u = 0; u < f.graph.num_nodes(); ++u) {
+    EXPECT_EQ(f.new_id[f.original_id[u]], u);
+  }
+}
+
+TEST(Surgery, RemoveLinksKeepsNodes) {
+  const Graph g = topo::cycle(5);
+  const std::vector<std::pair<Node, Node>> failed{{0, 1}};
+  const Graph cut = remove_links(g, failed);
+  EXPECT_EQ(cut.num_nodes(), 5u);
+  EXPECT_FALSE(cut.has_arc(0, 1));
+  EXPECT_FALSE(cut.has_arc(1, 0));
+  EXPECT_TRUE(cut.has_arc(1, 2));
+  EXPECT_TRUE(is_connected_from(cut));  // still a path
+}
+
+struct SurvivabilityCase {
+  std::string name;
+  Graph g;
+};
+
+class Survivability : public ::testing::TestWithParam<int> {};
+
+TEST_P(Survivability, KappaMinusOneRandomFaultsNeverDisconnect) {
+  // Networks under test and their known connectivity.
+  std::vector<SurvivabilityCase> cases;
+  cases.push_back({"Q4", topo::hypercube(4)});
+  cases.push_back({"S4", topo::star_graph(4)});
+  cases.push_back({"Petersen", topo::petersen()});
+  {
+    const IPGraph hcn = build_super_ip_graph(make_hcn(2));
+    cases.push_back({"HCN(2,2)+links", add_hcn_diameter_links(hcn, 2)});
+  }
+
+  Xoshiro256 rng(1000 + GetParam());
+  for (const auto& c : cases) {
+    const int kappa = vertex_connectivity(c.g);
+    ASSERT_GE(kappa, 2) << c.name;
+    // Draw kappa-1 distinct random failures.
+    std::vector<Node> failed;
+    while (static_cast<int>(failed.size()) < kappa - 1) {
+      const Node f = static_cast<Node>(rng.below(c.g.num_nodes()));
+      if (std::find(failed.begin(), failed.end(), f) == failed.end()) {
+        failed.push_back(f);
+      }
+    }
+    const FaultedGraph survivor = remove_nodes(c.g, failed);
+    EXPECT_TRUE(is_strongly_connected(survivor.graph))
+        << c.name << " with " << kappa - 1 << " faults";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, Survivability, ::testing::Range(0, 10));
+
+TEST(Survivability, MinimumCutActuallyDisconnects) {
+  // Removing all neighbors of a node isolates it: kappa faults suffice.
+  const Graph g = topo::hypercube(3);
+  const auto nb = g.neighbors(0);
+  const std::vector<Node> cut(nb.begin(), nb.end());
+  const FaultedGraph survivor = remove_nodes(g, cut);
+  EXPECT_FALSE(is_strongly_connected(survivor.graph));
+}
+
+TEST(Survivability, RoutingDegradesGracefullyUnderLinkFaults) {
+  // Any single link failure leaves a 2-connected network connected with
+  // diameter growth bounded by rerouting around the failed link.
+  const IPGraph g = build_super_ip_graph(make_hsn(2, hypercube_nucleus(2)));
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.graph.neighbors(u)) {
+      if (v < u) continue;
+      const std::vector<std::pair<Node, Node>> failed{{u, v}};
+      EXPECT_TRUE(is_strongly_connected(remove_links(g.graph, failed)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipg

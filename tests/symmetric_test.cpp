@@ -1,0 +1,124 @@
+// Tests for symmetric super-IP graphs (Section 3.5): node counts,
+// vertex-symmetry, regularity, and the Theorem 4.3 diameter.
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "graph/symmetry.hpp"
+#include "ipg/families.hpp"
+#include "ipg/schedule.hpp"
+#include "ipg/symmetric.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg {
+namespace {
+
+std::uint64_t ipow(std::uint64_t b, int e) {
+  std::uint64_t v = 1;
+  for (int i = 0; i < e; ++i) v *= b;
+  return v;
+}
+
+struct SymCase {
+  std::string kind;
+  int l;
+  int nucleus_n;
+};
+
+SuperIPSpec base_spec(const SymCase& c) {
+  const IPGraphSpec nucleus = hypercube_nucleus(c.nucleus_n);
+  if (c.kind == "hsn") return make_hsn(c.l, nucleus);
+  if (c.kind == "ring") return make_ring_cn(c.l, nucleus);
+  if (c.kind == "flip") return make_super_flip(c.l, nucleus);
+  return make_complete_cn(c.l, nucleus);
+}
+
+class SymmetricVariants : public ::testing::TestWithParam<SymCase> {};
+
+TEST_P(SymmetricVariants, SizeIsArrangementsTimesMToTheL) {
+  // Section 3.5: symmetric HSN has l! * M^l nodes, symmetric CN l * M^l.
+  const SuperIPSpec base = base_spec(GetParam());
+  const std::uint64_t m_nodes = ipow(2, GetParam().nucleus_n);
+  const IPGraph sym = build_super_ip_graph(make_symmetric(base));
+  EXPECT_EQ(sym.num_nodes(), symmetric_size(base, m_nodes));
+  EXPECT_EQ(sym.num_nodes(),
+            num_reachable_arrangements(base) * ipow(m_nodes, base.l));
+}
+
+TEST_P(SymmetricVariants, VertexSymmetricAndRegular) {
+  // Symmetric super-IP graphs are Cayley graphs: vertex-symmetric, regular.
+  const IPGraph sym = build_super_ip_graph(make_symmetric(base_spec(GetParam())));
+  EXPECT_TRUE(is_regular(sym.graph));
+  EXPECT_TRUE(looks_vertex_transitive(sym.graph));
+}
+
+TEST_P(SymmetricVariants, DiameterMatchesTheorem43) {
+  // diameter = l * D_G + t_S.
+  const auto& p = GetParam();
+  const SuperIPSpec base = base_spec(p);
+  const IPGraph sym = build_super_ip_graph(make_symmetric(base));
+  EXPECT_EQ(profile(sym.graph).diameter,
+            static_cast<Dist>(p.l * p.nucleus_n + compute_t_symmetric(base)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SymmetricVariants,
+    ::testing::Values(SymCase{"hsn", 2, 2}, SymCase{"hsn", 3, 2},
+                      SymCase{"hsn", 2, 3}, SymCase{"ring", 3, 2},
+                      SymCase{"ring", 4, 2}, SymCase{"flip", 3, 2},
+                      SymCase{"complete", 3, 2}),
+    [](const auto& info) {
+      return info.param.kind + "_l" + std::to_string(info.param.l) + "_Q" +
+             std::to_string(info.param.nucleus_n);
+    });
+
+TEST(Symmetric, PlainVariantsAreNotVertexTransitive) {
+  // The contrast motivating Section 3.5: plain HSN/CN fail the distance-
+  // profile test that their symmetric variants pass.
+  const IPGraph hsn = build_super_ip_graph(make_hsn(3, hypercube_nucleus(2)));
+  EXPECT_FALSE(looks_vertex_transitive(hsn.graph));
+  const IPGraph cn = build_super_ip_graph(make_ring_cn(3, hypercube_nucleus(2)));
+  EXPECT_FALSE(looks_vertex_transitive(cn.graph));
+}
+
+TEST(Symmetric, SeedBlocksGetDisjointSymbolRanges) {
+  const SuperIPSpec sym = make_symmetric(make_hsn(3, hypercube_nucleus(2)));
+  // Block i holds symbols (i*m, (i+1)*m].
+  for (int i = 0; i < 3; ++i) {
+    const Label block = sym.seed_block(i);
+    for (const auto s : block) {
+      EXPECT_GT(s, i * sym.m);
+      EXPECT_LE(s, (i + 1) * sym.m);
+    }
+  }
+}
+
+TEST(Symmetric, RejectsNonIdenticalBlocks) {
+  SuperIPSpec s = make_hsn(2, hypercube_nucleus(2));
+  s.seed[0] = 4;
+  s.seed[1] = 3;
+  s.seed[2] = 2;
+  s.seed[3] = 1;
+  EXPECT_THROW(make_symmetric(s), std::invalid_argument);
+}
+
+TEST(Symmetric, RejectsSymbolOverflow) {
+  // l * m > 255 would overflow byte symbols.
+  SuperIPSpec s = make_hsn(8, hypercube_nucleus(8));  // m = 16, l = 8: ok
+  EXPECT_NO_THROW(make_symmetric(s));
+  // Manufacture an overflow: l = 8, m = 32 -> 256 > 255.
+  SuperIPSpec big = make_hsn(8, hypercube_nucleus(16));
+  EXPECT_THROW(make_symmetric(big), std::invalid_argument);
+}
+
+TEST(Symmetric, SharesGeneratorSetWithBase) {
+  const SuperIPSpec base = make_hsn(3, hypercube_nucleus(2));
+  const SuperIPSpec sym = make_symmetric(base);
+  ASSERT_EQ(sym.nucleus_gens.size(), base.nucleus_gens.size());
+  ASSERT_EQ(sym.super_gens.size(), base.super_gens.size());
+  for (std::size_t i = 0; i < base.super_gens.size(); ++i) {
+    EXPECT_EQ(sym.super_gens[i].perm, base.super_gens[i].perm);
+  }
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,197 @@
+// Tests for the explicit comparator topologies: sizes, degrees, diameters
+// against the closed forms, plus structural spot checks.
+#include <gtest/gtest.h>
+
+#include "analysis/formulas.hpp"
+#include "ipg/families.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/metrics.hpp"
+#include "graph/symmetry.hpp"
+#include "topo/ccc.hpp"
+#include "topo/de_bruijn.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+#include "topo/pancake.hpp"
+#include "topo/perm_rank.hpp"
+#include "topo/shuffle.hpp"
+#include "topo/star.hpp"
+#include "topo/torus.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Topo, HypercubeProfiles) {
+  for (int n = 1; n <= 8; ++n) {
+    const auto p = profile(topo::hypercube(n));
+    const auto f = hypercube_nums(n);
+    EXPECT_EQ(p.nodes, f.nodes);
+    EXPECT_EQ(p.degree, f.degree);
+    EXPECT_EQ(p.diameter, f.diameter);
+    EXPECT_TRUE(p.connected);
+  }
+}
+
+TEST(Topo, HypercubeAverageDistanceIsHalfDimensionScaled) {
+  // E[Hamming distance] over ordered pairs = n/2 * N/(N-1).
+  const int n = 6;
+  const auto p = profile(topo::hypercube(n));
+  EXPECT_NEAR(p.average_distance, (n / 2.0) * 64.0 / 63.0, 1e-9);
+}
+
+TEST(Topo, FoldedHypercubeProfiles) {
+  for (int n = 2; n <= 8; ++n) {
+    const auto p = profile(topo::folded_hypercube(n));
+    const auto f = folded_hypercube_nums(n);
+    EXPECT_EQ(p.nodes, f.nodes);
+    EXPECT_EQ(p.degree, f.degree) << n;
+    EXPECT_EQ(p.diameter, f.diameter) << n;
+  }
+}
+
+TEST(Topo, GeneralizedHypercubeProfile) {
+  const std::vector<int> radices{4, 3, 2};
+  const auto p = profile(topo::generalized_hypercube(radices));
+  const auto f = generalized_hypercube_nums(radices);
+  EXPECT_EQ(p.nodes, f.nodes);       // 24
+  EXPECT_EQ(p.degree, f.degree);     // 3+2+1 = 6
+  EXPECT_EQ(p.diameter, f.diameter); // 3
+  EXPECT_TRUE(looks_vertex_transitive(topo::generalized_hypercube(radices)));
+}
+
+TEST(Topo, KaryNcubeProfiles) {
+  const auto p = profile(topo::kary_ncube(4, 3));
+  const auto f = kary_ncube_nums(4, 3);
+  EXPECT_EQ(p.nodes, f.nodes);
+  EXPECT_EQ(p.degree, f.degree);
+  EXPECT_EQ(p.diameter, f.diameter);
+  // k = 2 degenerates to the hypercube.
+  const auto q = profile(topo::kary_ncube(2, 5));
+  EXPECT_EQ(q.degree, 5u);
+  EXPECT_EQ(q.diameter, 5u);
+}
+
+TEST(Topo, Torus2dProfile) {
+  const auto p = profile(topo::torus2d(6, 8));
+  const auto f = torus2d_nums(6, 8);
+  EXPECT_EQ(p.nodes, f.nodes);
+  EXPECT_EQ(p.degree, f.degree);
+  EXPECT_EQ(p.diameter, f.diameter);  // 3 + 4
+}
+
+TEST(Topo, Mesh2dIsNotRegularButConnected) {
+  const auto g = topo::mesh2d(3, 5);
+  EXPECT_TRUE(is_connected_from(g));
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 2u);
+  EXPECT_EQ(s.max_degree, 4u);
+}
+
+TEST(Topo, StarGraphProfiles) {
+  for (int n = 3; n <= 7; ++n) {
+    const auto p = profile(topo::star_graph(n));
+    const auto f = star_nums(n);
+    EXPECT_EQ(p.nodes, f.nodes);
+    EXPECT_EQ(p.degree, f.degree);
+    EXPECT_EQ(p.diameter, f.diameter) << "n=" << n;
+  }
+  EXPECT_TRUE(looks_vertex_transitive(topo::star_graph(5)));
+}
+
+TEST(Topo, PancakeGraphKnownDiameters) {
+  // Pancake diameters: 1, 3, 4, 5, 7 for n = 2..6 (known values).
+  const int expected[] = {1, 3, 4, 5, 7};
+  for (int n = 2; n <= 6; ++n) {
+    const auto p = profile(topo::pancake_graph(n));
+    EXPECT_EQ(p.nodes, topo::kFactorials[n]);
+    EXPECT_EQ(p.degree, static_cast<Node>(n - 1));
+    EXPECT_EQ(p.diameter, static_cast<Dist>(expected[n - 2])) << "n=" << n;
+  }
+}
+
+TEST(Topo, BubbleSortGraphProfile) {
+  // Bubble-sort (adjacent transposition) Cayley graph: n! nodes, degree
+  // n-1, diameter = max inversions = n(n-1)/2, vertex-transitive.
+  for (int n = 3; n <= 6; ++n) {
+    const IPGraph g = build_ip_graph(bubble_sort_nucleus(n));
+    const auto p = profile(g.graph);
+    EXPECT_EQ(p.nodes, topo::kFactorials[n]) << n;
+    EXPECT_EQ(p.degree, static_cast<Node>(n - 1)) << n;
+    EXPECT_EQ(p.diameter, static_cast<Dist>(n * (n - 1) / 2)) << n;
+  }
+  EXPECT_TRUE(looks_vertex_transitive(
+      build_ip_graph(bubble_sort_nucleus(4)).graph));
+}
+
+TEST(Topo, CccProfiles) {
+  for (int n = 3; n <= 6; ++n) {
+    const auto p = profile(topo::cube_connected_cycles(n));
+    const auto f = ccc_nums(n);
+    EXPECT_EQ(p.nodes, f.nodes);
+    EXPECT_EQ(p.degree, f.degree);
+    EXPECT_EQ(p.diameter, f.diameter) << "n=" << n;
+  }
+}
+
+TEST(Topo, ShuffleExchangeConnectedDegreeAtMost3) {
+  for (int n = 2; n <= 8; ++n) {
+    const auto g = topo::shuffle_exchange(n);
+    EXPECT_TRUE(is_connected_from(g));
+    EXPECT_LE(degree_stats(g).max_degree, 3u);
+  }
+}
+
+TEST(Topo, DeBruijnDirectedProfile) {
+  for (int n = 2; n <= 8; ++n) {
+    const auto g = topo::de_bruijn_directed(2, n);
+    EXPECT_EQ(g.num_nodes(), Node{1} << n);
+    EXPECT_TRUE(is_strongly_connected(g));
+    // Every node has 2 successors except the two with self-loops removed.
+    EXPECT_EQ(g.num_arcs(), (std::uint64_t{2} << n) - 2);
+    const auto p = profile(g);
+    EXPECT_EQ(p.diameter, static_cast<Dist>(n));
+  }
+}
+
+TEST(Topo, DeBruijnUndirectedMatchesFormula) {
+  const auto p = profile(topo::de_bruijn_undirected(2, 6));
+  const auto f = de_bruijn_nums(6);
+  EXPECT_EQ(p.nodes, f.nodes);
+  EXPECT_EQ(p.degree, f.degree);
+  EXPECT_EQ(p.diameter, f.diameter);
+}
+
+TEST(Topo, PetersenIsTheMooreGraph) {
+  const auto g = topo::petersen();
+  const auto p = profile(g);
+  EXPECT_EQ(p.nodes, 10u);
+  EXPECT_EQ(p.links, 15u);
+  EXPECT_EQ(p.degree, 3u);
+  EXPECT_EQ(p.diameter, 2u);
+  EXPECT_TRUE(looks_vertex_transitive(g));
+  // Girth 5: no node pair shares two common neighbors.
+  for (Node u = 0; u < 10; ++u) {
+    for (Node v = u + 1; v < 10; ++v) {
+      int common = 0;
+      for (const Node w : g.neighbors(u)) common += g.has_arc(v, w);
+      EXPECT_LE(common, 1) << u << "," << v;
+    }
+  }
+}
+
+TEST(Topo, CompleteCyclePathBasics) {
+  EXPECT_EQ(profile(topo::complete(6)).diameter, 1u);
+  EXPECT_EQ(profile(topo::cycle(9)).diameter, 4u);
+  EXPECT_EQ(profile(topo::path(9)).diameter, 8u);
+}
+
+TEST(Topo, PermRankRoundTrip) {
+  for (int n = 1; n <= 7; ++n) {
+    for (std::uint64_t r = 0; r < topo::kFactorials[n];
+         r += std::max<std::uint64_t>(1, topo::kFactorials[n] / 97)) {
+      EXPECT_EQ(topo::perm_rank(topo::perm_unrank(r, n)), r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,75 @@
+// Tests for tuple-space Theorem 4.1 routing over nuclei with no IP form
+// (Petersen) and over explicit hypercubes.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "ipg/schedule.hpp"
+#include "route/tuple_routing.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/misc.hpp"
+
+namespace ipg {
+namespace {
+
+void check_all_pairs(const Graph& nucleus, int l,
+                     const std::vector<Generator>& gens, int nucleus_diam,
+                     int t) {
+  const TupleNetwork net = build_super_network_direct(nucleus, l, gens);
+  const int bound = l * nucleus_diam + t;
+  BfsScratch scratch(net.graph.num_nodes());
+  int max_len = 0;
+  for (Node u = 0; u < net.graph.num_nodes(); u += 3) {
+    const auto dist = scratch.run(net.graph, u);
+    for (Node v = 0; v < net.graph.num_nodes(); v += 5) {
+      const auto hops = route_tuple_network(net, nucleus, gens, u, v);
+      // Walk validity: consecutive hops are arcs of the network.
+      Node at = u;
+      for (const auto& h : hops) {
+        ASSERT_TRUE(net.graph.has_arc(at, h.node)) << u << "->" << v;
+        at = h.node;
+      }
+      EXPECT_EQ(at, v);
+      EXPECT_LE(static_cast<int>(hops.size()), bound);
+      EXPECT_GE(static_cast<int>(hops.size()), static_cast<int>(dist[v]));
+      max_len = std::max(max_len, static_cast<int>(hops.size()));
+    }
+  }
+  EXPECT_LE(max_len, bound);
+}
+
+TEST(TupleRouting, PetersenNucleusRingCn) {
+  check_all_pairs(topo::petersen(), 3, ring_shift_super_gens(3),
+                  /*nucleus_diam=*/2, /*t=*/2);
+}
+
+TEST(TupleRouting, PetersenNucleusHsn) {
+  check_all_pairs(topo::petersen(), 2, transposition_super_gens(2), 2, 1);
+}
+
+TEST(TupleRouting, HypercubeNucleusMatchesIpRouterBound) {
+  check_all_pairs(topo::hypercube(3), 2, transposition_super_gens(2), 3, 1);
+}
+
+TEST(TupleRouting, CompleteNucleusFlip) {
+  check_all_pairs(topo::complete(5), 3, flip_super_gens(3), 1, 2);
+}
+
+TEST(TupleRouting, WorstCaseRealizesTheDiameter) {
+  // Theorem 4.1 is tight: some pair needs the full bound.
+  const Graph nucleus = topo::petersen();
+  const auto gens = ring_shift_super_gens(3);
+  const TupleNetwork net = build_super_network_direct(nucleus, 3, gens);
+  EXPECT_EQ(profile(net.graph).diameter, 3u * 2u + 2u);
+}
+
+TEST(TupleRouting, TrivialAndErrorCases) {
+  const Graph nucleus = topo::petersen();
+  const auto gens = ring_shift_super_gens(2);
+  const TupleNetwork net = build_super_network_direct(nucleus, 2, gens);
+  EXPECT_TRUE(route_tuple_network(net, nucleus, gens, 7, 7).empty());
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,89 @@
+// Unit tests for util/: PRNG determinism and distribution sanity, table
+// rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(Prng, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Prng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) counts[rng.below(kBuckets)]++;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(5);
+  const double rate = 4.0;
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / 20000.0, 1.0 / rate, 0.02);
+}
+
+TEST(Prng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "N"});
+  t.add_row({"Q4", "16"});
+  t.add_row({"star", "120"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("120"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::num(std::int64_t{-5}), "-5");
+  EXPECT_EQ(Table::num(std::uint64_t{7}), "7");
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace ipg
