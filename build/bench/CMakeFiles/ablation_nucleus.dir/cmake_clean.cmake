@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nucleus.dir/ablation_nucleus.cpp.o"
+  "CMakeFiles/ablation_nucleus.dir/ablation_nucleus.cpp.o.d"
+  "ablation_nucleus"
+  "ablation_nucleus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nucleus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

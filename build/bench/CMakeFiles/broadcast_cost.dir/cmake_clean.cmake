@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_cost.dir/broadcast_cost.cpp.o"
+  "CMakeFiles/broadcast_cost.dir/broadcast_cost.cpp.o.d"
+  "broadcast_cost"
+  "broadcast_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

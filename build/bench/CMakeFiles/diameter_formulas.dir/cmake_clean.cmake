@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diameter_formulas.dir/diameter_formulas.cpp.o"
+  "CMakeFiles/diameter_formulas.dir/diameter_formulas.cpp.o.d"
+  "diameter_formulas"
+  "diameter_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diameter_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulation_slowdown.dir/emulation_slowdown.cpp.o"
+  "CMakeFiles/emulation_slowdown.dir/emulation_slowdown.cpp.o.d"
+  "emulation_slowdown"
+  "emulation_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulation_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

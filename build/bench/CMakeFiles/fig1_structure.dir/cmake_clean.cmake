@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_structure.dir/fig1_structure.cpp.o"
+  "CMakeFiles/fig1_structure.dir/fig1_structure.cpp.o.d"
+  "fig1_structure"
+  "fig1_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

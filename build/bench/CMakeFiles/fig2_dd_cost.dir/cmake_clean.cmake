@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dd_cost.dir/fig2_dd_cost.cpp.o"
+  "CMakeFiles/fig2_dd_cost.dir/fig2_dd_cost.cpp.o.d"
+  "fig2_dd_cost"
+  "fig2_dd_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dd_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_idistance.dir/fig3_idistance.cpp.o"
+  "CMakeFiles/fig3_idistance.dir/fig3_idistance.cpp.o.d"
+  "fig3_idistance"
+  "fig3_idistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_idistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimality.dir/optimality.cpp.o"
+  "CMakeFiles/optimality.dir/optimality.cpp.o.d"
+  "optimality"
+  "optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

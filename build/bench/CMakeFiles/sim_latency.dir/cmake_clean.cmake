@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_latency.dir/sim_latency.cpp.o"
+  "CMakeFiles/sim_latency.dir/sim_latency.cpp.o.d"
+  "sim_latency"
+  "sim_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_idegree.dir/table_idegree.cpp.o"
+  "CMakeFiles/table_idegree.dir/table_idegree.cpp.o.d"
+  "table_idegree"
+  "table_idegree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_idegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

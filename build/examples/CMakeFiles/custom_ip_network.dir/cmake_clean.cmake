@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_ip_network.dir/custom_ip_network.cpp.o"
+  "CMakeFiles/custom_ip_network.dir/custom_ip_network.cpp.o.d"
+  "custom_ip_network"
+  "custom_ip_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_ip_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

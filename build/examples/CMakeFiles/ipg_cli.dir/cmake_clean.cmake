@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipg_cli.dir/ipg_cli.cpp.o"
+  "CMakeFiles/ipg_cli.dir/ipg_cli.cpp.o.d"
+  "ipg_cli"
+  "ipg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

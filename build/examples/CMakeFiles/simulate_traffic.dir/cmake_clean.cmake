@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_traffic.dir/simulate_traffic.cpp.o"
+  "CMakeFiles/simulate_traffic.dir/simulate_traffic.cpp.o.d"
+  "simulate_traffic"
+  "simulate_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/broadcast.cpp" "src/CMakeFiles/ipg.dir/algo/broadcast.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/algo/broadcast.cpp.o.d"
+  "/root/repo/src/algo/emulation.cpp" "src/CMakeFiles/ipg.dir/algo/emulation.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/algo/emulation.cpp.o.d"
+  "/root/repo/src/analysis/avg_distance.cpp" "src/CMakeFiles/ipg.dir/analysis/avg_distance.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/analysis/avg_distance.cpp.o.d"
+  "/root/repo/src/analysis/bounds.cpp" "src/CMakeFiles/ipg.dir/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/cost_model.cpp" "src/CMakeFiles/ipg.dir/analysis/cost_model.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/analysis/cost_model.cpp.o.d"
+  "/root/repo/src/analysis/formulas.cpp" "src/CMakeFiles/ipg.dir/analysis/formulas.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/analysis/formulas.cpp.o.d"
+  "/root/repo/src/cluster/clustering.cpp" "src/CMakeFiles/ipg.dir/cluster/clustering.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/cluster/clustering.cpp.o.d"
+  "/root/repo/src/cluster/imetrics.cpp" "src/CMakeFiles/ipg.dir/cluster/imetrics.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/cluster/imetrics.cpp.o.d"
+  "/root/repo/src/cluster/partitions.cpp" "src/CMakeFiles/ipg.dir/cluster/partitions.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/cluster/partitions.cpp.o.d"
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/ipg.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/ipg.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/ipg.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/ipg.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/flow.cpp" "src/CMakeFiles/ipg.dir/graph/flow.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/flow.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ipg.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/CMakeFiles/ipg.dir/graph/isomorphism.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/ipg.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/quotient.cpp" "src/CMakeFiles/ipg.dir/graph/quotient.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/quotient.cpp.o.d"
+  "/root/repo/src/graph/surgery.cpp" "src/CMakeFiles/ipg.dir/graph/surgery.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/surgery.cpp.o.d"
+  "/root/repo/src/graph/symmetry.cpp" "src/CMakeFiles/ipg.dir/graph/symmetry.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/graph/symmetry.cpp.o.d"
+  "/root/repo/src/ipg/build.cpp" "src/CMakeFiles/ipg.dir/ipg/build.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/build.cpp.o.d"
+  "/root/repo/src/ipg/families.cpp" "src/CMakeFiles/ipg.dir/ipg/families.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/families.cpp.o.d"
+  "/root/repo/src/ipg/label.cpp" "src/CMakeFiles/ipg.dir/ipg/label.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/label.cpp.o.d"
+  "/root/repo/src/ipg/permutation.cpp" "src/CMakeFiles/ipg.dir/ipg/permutation.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/permutation.cpp.o.d"
+  "/root/repo/src/ipg/quotient_cn.cpp" "src/CMakeFiles/ipg.dir/ipg/quotient_cn.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/quotient_cn.cpp.o.d"
+  "/root/repo/src/ipg/ranking.cpp" "src/CMakeFiles/ipg.dir/ipg/ranking.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/ranking.cpp.o.d"
+  "/root/repo/src/ipg/schedule.cpp" "src/CMakeFiles/ipg.dir/ipg/schedule.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/schedule.cpp.o.d"
+  "/root/repo/src/ipg/spec.cpp" "src/CMakeFiles/ipg.dir/ipg/spec.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/spec.cpp.o.d"
+  "/root/repo/src/ipg/super.cpp" "src/CMakeFiles/ipg.dir/ipg/super.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/super.cpp.o.d"
+  "/root/repo/src/ipg/symmetric.cpp" "src/CMakeFiles/ipg.dir/ipg/symmetric.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/ipg/symmetric.cpp.o.d"
+  "/root/repo/src/route/embedding.cpp" "src/CMakeFiles/ipg.dir/route/embedding.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/route/embedding.cpp.o.d"
+  "/root/repo/src/route/hypercube_routing.cpp" "src/CMakeFiles/ipg.dir/route/hypercube_routing.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/route/hypercube_routing.cpp.o.d"
+  "/root/repo/src/route/path.cpp" "src/CMakeFiles/ipg.dir/route/path.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/route/path.cpp.o.d"
+  "/root/repo/src/route/star_routing.cpp" "src/CMakeFiles/ipg.dir/route/star_routing.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/route/star_routing.cpp.o.d"
+  "/root/repo/src/route/super_ip_routing.cpp" "src/CMakeFiles/ipg.dir/route/super_ip_routing.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/route/super_ip_routing.cpp.o.d"
+  "/root/repo/src/route/tuple_routing.cpp" "src/CMakeFiles/ipg.dir/route/tuple_routing.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/route/tuple_routing.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/ipg.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/link_load.cpp" "src/CMakeFiles/ipg.dir/sim/link_load.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/sim/link_load.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/ipg.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/ipg.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/ipg.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/CMakeFiles/ipg.dir/sim/traffic.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/sim/traffic.cpp.o.d"
+  "/root/repo/src/topo/ccc.cpp" "src/CMakeFiles/ipg.dir/topo/ccc.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/ccc.cpp.o.d"
+  "/root/repo/src/topo/de_bruijn.cpp" "src/CMakeFiles/ipg.dir/topo/de_bruijn.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/de_bruijn.cpp.o.d"
+  "/root/repo/src/topo/hypercube.cpp" "src/CMakeFiles/ipg.dir/topo/hypercube.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/hypercube.cpp.o.d"
+  "/root/repo/src/topo/ip_forms.cpp" "src/CMakeFiles/ipg.dir/topo/ip_forms.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/ip_forms.cpp.o.d"
+  "/root/repo/src/topo/misc.cpp" "src/CMakeFiles/ipg.dir/topo/misc.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/misc.cpp.o.d"
+  "/root/repo/src/topo/pancake.cpp" "src/CMakeFiles/ipg.dir/topo/pancake.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/pancake.cpp.o.d"
+  "/root/repo/src/topo/shuffle.cpp" "src/CMakeFiles/ipg.dir/topo/shuffle.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/shuffle.cpp.o.d"
+  "/root/repo/src/topo/star.cpp" "src/CMakeFiles/ipg.dir/topo/star.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/star.cpp.o.d"
+  "/root/repo/src/topo/torus.cpp" "src/CMakeFiles/ipg.dir/topo/torus.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/topo/torus.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/ipg.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ipg.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ipg.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

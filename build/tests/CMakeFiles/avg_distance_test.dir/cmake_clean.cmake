@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avg_distance_test.dir/avg_distance_test.cpp.o"
+  "CMakeFiles/avg_distance_test.dir/avg_distance_test.cpp.o.d"
+  "CMakeFiles/avg_distance_test.dir/dot_test.cpp.o"
+  "CMakeFiles/avg_distance_test.dir/dot_test.cpp.o.d"
+  "avg_distance_test"
+  "avg_distance_test.pdb"
+  "avg_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avg_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

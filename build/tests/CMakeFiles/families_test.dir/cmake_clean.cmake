@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/families_test.dir/families_ext_test.cpp.o"
+  "CMakeFiles/families_test.dir/families_ext_test.cpp.o.d"
+  "CMakeFiles/families_test.dir/families_test.cpp.o"
+  "CMakeFiles/families_test.dir/families_test.cpp.o.d"
+  "CMakeFiles/families_test.dir/ranking_test.cpp.o"
+  "CMakeFiles/families_test.dir/ranking_test.cpp.o.d"
+  "CMakeFiles/families_test.dir/symmetric_test.cpp.o"
+  "CMakeFiles/families_test.dir/symmetric_test.cpp.o.d"
+  "families_test"
+  "families_test.pdb"
+  "families_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/families_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_build_test.dir/ip_build_test.cpp.o"
+  "CMakeFiles/ip_build_test.dir/ip_build_test.cpp.o.d"
+  "CMakeFiles/ip_build_test.dir/spec_super_test.cpp.o"
+  "CMakeFiles/ip_build_test.dir/spec_super_test.cpp.o.d"
+  "ip_build_test"
+  "ip_build_test.pdb"
+  "ip_build_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

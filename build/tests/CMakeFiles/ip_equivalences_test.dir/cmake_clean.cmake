@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_equivalences_test.dir/ip_equivalences_test.cpp.o"
+  "CMakeFiles/ip_equivalences_test.dir/ip_equivalences_test.cpp.o.d"
+  "CMakeFiles/ip_equivalences_test.dir/isomorphism_test.cpp.o"
+  "CMakeFiles/ip_equivalences_test.dir/isomorphism_test.cpp.o.d"
+  "ip_equivalences_test"
+  "ip_equivalences_test.pdb"
+  "ip_equivalences_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_equivalences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
