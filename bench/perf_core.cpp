@@ -56,6 +56,92 @@ void BM_BfsSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_BfsSweep)->Arg(12)->Arg(16)->Arg(20);
 
+// Threaded variants: state.range(0) is the ExecPolicy thread count, with 0
+// meaning the serial legacy path (not auto!) so the speedup baseline and
+// the determinism claim are both measured, not asserted. The diameter and
+// average-distance counters must be identical across every row.
+
+void BM_AllPairsSummaryThreads(benchmark::State& state) {
+  const Graph g = topo::hypercube(13);
+  const int threads = static_cast<int>(state.range(0));
+  Dist diameter = 0;
+  double avg = 0.0;
+  for (auto _ : state) {
+    const DistanceSummary d =
+        threads == 0 ? all_pairs_distance_summary(g)
+                     : all_pairs_distance_summary(g, ExecPolicy{threads});
+    diameter = d.diameter;
+    avg = d.average_distance;
+    benchmark::DoNotOptimize(d.histogram.data());
+  }
+  state.counters["diameter"] = static_cast<double>(diameter);
+  state.counters["avg_dist"] = avg;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_AllPairsSummaryThreads)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildIpGraphHsnThreads(benchmark::State& state) {
+  const SuperIPSpec spec = make_hsn(4, hypercube_nucleus(3));
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const IPGraph g =
+        threads == 0
+            ? build_super_ip_graph(spec)
+            : build_super_ip_graph(spec, 1u << 24, ExecPolicy{threads});
+    nodes = g.num_nodes();
+    benchmark::DoNotOptimize(g.graph.num_arcs());
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_BuildIpGraphHsnThreads)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IDistanceSweepThreads(benchmark::State& state) {
+  // All-pairs weighted sweep on a mid-size module graph.
+  const Graph mg = topo::hypercube(12);
+  const std::vector<std::uint32_t> sizes(mg.num_nodes(), 8);
+  const int threads = static_cast<int>(state.range(0));
+  double avg = 0.0;
+  for (auto _ : state) {
+    const IDistanceStats s =
+        threads == 0
+            ? i_distance_stats(mg, sizes)
+            : i_distance_stats(mg, sizes, ExecPolicy{threads});
+    avg = s.avg_i_distance;
+    // Not DoNotOptimize(avg): GCC miscompiles its "+m,r" constraint for
+    // doubles (google/benchmark#1340), clobbering the value itself.
+    benchmark::ClobberMemory();
+  }
+  state.counters["avg_i_dist"] = avg;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mg.num_nodes()));
+}
+BENCHMARK(BM_IDistanceSweepThreads)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RouteSuperIp(benchmark::State& state) {
   // Label-level routing never touches the explicit graph: route in a
   // million-node HSN(5, Q4) directly.

@@ -115,7 +115,11 @@ int main(int argc, char** argv) {
     const SuperIPSpec base = spec;
     if (symmetric) spec = make_symmetric(spec);
 
-    const IPGraph net = build_super_ip_graph(spec, /*max_nodes=*/1u << 22);
+    // Auto policy: IPG_THREADS env override, hardware_concurrency default;
+    // results are identical to serial at any thread count.
+    const ExecPolicy exec{};
+    const IPGraph net =
+        build_super_ip_graph(spec, /*max_nodes=*/1u << 22, exec);
 
     if (dot) {
       DotOptions options;
@@ -129,7 +133,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const TopologyProfile p = profile(net.graph);
+    const TopologyProfile p = profile(net.graph, exec);
     const IPGraph nucleus_graph = build_ip_graph(spec.nucleus_spec());
     const Dist nucleus_diam = profile(nucleus_graph.graph).diameter;
     const int t = compute_t(base);
@@ -153,7 +157,7 @@ int main(int argc, char** argv) {
               << (looks_vertex_transitive(net.graph) ? "yes" : "no") << "\n";
 
     const Clustering modules = cluster_by_nucleus(net, spec.m);
-    const IMetrics im = i_metrics(net.graph, modules);
+    const IMetrics im = i_metrics(net.graph, modules, exec);
     std::cout << "modules        " << modules.num_modules << " x "
               << modules.max_module_size() << " nodes\n"
               << "I-degree       " << Table::fixed(im.i_degree) << "\n"

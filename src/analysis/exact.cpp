@@ -1,0 +1,19 @@
+#include "analysis/exact.hpp"
+
+namespace ipg {
+
+ExactAnalysis exact_analysis(const Graph& g, const ExecPolicy& exec) {
+  ExactAnalysis out;
+  out.distances = all_pairs_distance_summary(g, exec);
+  out.profile.nodes = g.num_nodes();
+  out.profile.symmetric_digraph = g.is_symmetric();
+  out.profile.links =
+      out.profile.symmetric_digraph ? g.num_arcs() / 2 : g.num_arcs();
+  out.profile.degree = degree_stats(g).max_degree;
+  out.profile.diameter = out.distances.diameter;
+  out.profile.average_distance = out.distances.average_distance;
+  out.profile.connected = out.distances.strongly_connected;
+  return out;
+}
+
+}  // namespace ipg

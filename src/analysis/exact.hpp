@@ -1,0 +1,27 @@
+#pragma once
+// Exact whole-graph analysis: the paper's headline numbers (degree,
+// diameter, average distance, DD-cost, distance histogram, connectivity)
+// from one all-pairs BFS sweep. profile() + all_pairs_distance_summary()
+// each run their own sweep; this entry point shares a single pass —
+// threaded under the given ExecPolicy — and is what the figure harnesses
+// and scaling studies should call when they need more than one headline
+// number from the same instance.
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg {
+
+struct ExactAnalysis {
+  TopologyProfile profile;     ///< degree/diameter/average-distance view
+  DistanceSummary distances;   ///< full histogram + connectivity
+};
+
+/// One all-pairs sweep under `exec`; both views are filled from the same
+/// summary, so they are mutually consistent and bit-identical to the
+/// serial single-purpose routines at every thread count.
+ExactAnalysis exact_analysis(const Graph& g,
+                             const ExecPolicy& exec = ExecPolicy::serial_policy());
+
+}  // namespace ipg

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <vector>
 
 #include "graph/bfs.hpp"
@@ -34,46 +35,109 @@ Graph module_graph(const Graph& g, const Clustering& c) {
 
 namespace {
 
-IDistanceStats stats_from_sources(const Graph& mod_graph,
-                                  std::span<const std::uint32_t> module_sizes,
-                                  std::span<const Node> sources) {
-  assert(module_sizes.size() == mod_graph.num_nodes());
-  IDistanceStats out;
-  BfsScratch scratch(mod_graph.num_nodes());
+/// Per-chunk partial of the weighted I-distance sweep. The long-double
+/// sums only ever hold integer-valued terms (module sizes times integer
+/// distances), which an 80/64-bit mantissa represents exactly at this
+/// library's scales — so chunk-order merging is bit-identical to the
+/// serial left-to-right accumulation.
+struct IDistancePartial {
+  Dist i_diameter = 0;
+  bool disconnected = false;
   long double weighted_sum = 0.0L;
   long double weighted_pairs = 0.0L;
+};
+
+void accumulate_idistance_source(const Graph& mod_graph,
+                                 std::span<const std::uint32_t> module_sizes,
+                                 std::uint64_t total_nodes, BfsScratch& scratch,
+                                 Node src, IDistancePartial& p) {
+  const auto dist = scratch.run(mod_graph, src);
+  const long double src_size = module_sizes[src];
+  for (Node m = 0; m < mod_graph.num_nodes(); ++m) {
+    if (dist[m] == kUnreachable) {
+      p.disconnected = true;
+      continue;
+    }
+    p.i_diameter = std::max(p.i_diameter, dist[m]);
+    p.weighted_sum += src_size * static_cast<long double>(module_sizes[m]) *
+                      static_cast<long double>(dist[m]);
+  }
+  // Ordered pairs with a distinct partner, src module as source.
+  p.weighted_pairs += src_size * static_cast<long double>(total_nodes - 1);
+}
+
+IDistanceStats finish_idistance(const IDistancePartial& p) {
+  IDistanceStats out;
+  out.i_diameter = p.i_diameter;
+  out.connected = !p.disconnected;
+  out.avg_i_distance =
+      p.weighted_pairs == 0.0L
+          ? 0.0
+          : static_cast<double>(p.weighted_sum / p.weighted_pairs);
+  return out;
+}
+
+IDistanceStats stats_from_sources(const Graph& mod_graph,
+                                  std::span<const std::uint32_t> module_sizes,
+                                  std::span<const Node> sources,
+                                  const ExecPolicy& exec = ExecPolicy::serial_policy()) {
+  assert(module_sizes.size() == mod_graph.num_nodes());
   std::uint64_t total_nodes = 0;
   for (const std::uint32_t s : module_sizes) total_nodes += s;
 
-  for (const Node src : sources) {
-    const auto dist = scratch.run(mod_graph, src);
-    const long double src_size = module_sizes[src];
-    for (Node m = 0; m < mod_graph.num_nodes(); ++m) {
-      if (dist[m] == kUnreachable) {
-        out.connected = false;
-        continue;
-      }
-      out.i_diameter = std::max(out.i_diameter, dist[m]);
-      weighted_sum += src_size * static_cast<long double>(module_sizes[m]) *
-                      static_cast<long double>(dist[m]);
+  const int threads = exec.resolved_threads();
+  if (threads == 1) {
+    IDistancePartial p;
+    BfsScratch scratch(mod_graph.num_nodes());
+    for (const Node src : sources) {
+      accumulate_idistance_source(mod_graph, module_sizes, total_nodes,
+                                  scratch, src, p);
     }
-    // Ordered pairs with a distinct partner, src module as source.
-    weighted_pairs += src_size * static_cast<long double>(total_nodes - 1);
+    return finish_idistance(p);
   }
-  out.avg_i_distance =
-      weighted_pairs == 0.0L
-          ? 0.0
-          : static_cast<double>(weighted_sum / weighted_pairs);
-  return out;
+
+  ThreadPool pool(threads);
+  const std::uint64_t num_chunks =
+      std::min<std::uint64_t>(sources.size(),
+                              static_cast<std::uint64_t>(threads) * 4);
+  std::vector<IDistancePartial> partials(num_chunks);
+  std::vector<std::unique_ptr<BfsScratch>> scratch(threads);
+  pool.parallel_for(
+      sources.size(), num_chunks,
+      [&](int worker, std::uint64_t chunk, std::uint64_t begin,
+          std::uint64_t end) {
+        if (!scratch[worker]) {
+          scratch[worker] = std::make_unique<BfsScratch>(mod_graph.num_nodes());
+        }
+        for (std::uint64_t i = begin; i < end; ++i) {
+          accumulate_idistance_source(mod_graph, module_sizes, total_nodes,
+                                      *scratch[worker], sources[i],
+                                      partials[chunk]);
+        }
+      });
+  IDistancePartial merged;
+  for (const IDistancePartial& p : partials) {
+    merged.i_diameter = std::max(merged.i_diameter, p.i_diameter);
+    merged.disconnected = merged.disconnected || p.disconnected;
+    merged.weighted_sum += p.weighted_sum;
+    merged.weighted_pairs += p.weighted_pairs;
+  }
+  return finish_idistance(merged);
 }
 
 }  // namespace
 
 IDistanceStats i_distance_stats(const Graph& mod_graph,
                                 std::span<const std::uint32_t> module_sizes) {
+  return i_distance_stats(mod_graph, module_sizes, ExecPolicy::serial_policy());
+}
+
+IDistanceStats i_distance_stats(const Graph& mod_graph,
+                                std::span<const std::uint32_t> module_sizes,
+                                const ExecPolicy& exec) {
   std::vector<Node> all(mod_graph.num_nodes());
   for (Node m = 0; m < mod_graph.num_nodes(); ++m) all[m] = m;
-  return stats_from_sources(mod_graph, module_sizes, all);
+  return stats_from_sources(mod_graph, module_sizes, all, exec);
 }
 
 IDistanceStats i_distance_stats_sampled(const Graph& mod_graph,
@@ -91,11 +155,16 @@ IDistanceStats i_distance_stats_sampled(const Graph& mod_graph,
 }
 
 IMetrics i_metrics(const Graph& g, const Clustering& c) {
+  return i_metrics(g, c, ExecPolicy::serial_policy());
+}
+
+IMetrics i_metrics(const Graph& g, const Clustering& c,
+                   const ExecPolicy& exec) {
   IMetrics out;
   out.i_degree = i_degree(g, c);
   const Graph mg = module_graph(g, c);
   const auto sizes = c.module_sizes();
-  const IDistanceStats s = i_distance_stats(mg, sizes);
+  const IDistanceStats s = i_distance_stats(mg, sizes, exec);
   out.i_diameter = s.i_diameter;
   out.avg_i_distance = s.avg_i_distance;
   return out;

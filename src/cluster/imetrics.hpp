@@ -17,6 +17,7 @@
 
 #include "cluster/clustering.hpp"
 #include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ipg {
 
@@ -39,6 +40,14 @@ struct IDistanceStats {
 IDistanceStats i_distance_stats(const Graph& mod_graph,
                                 std::span<const std::uint32_t> module_sizes);
 
+/// Parallel variant: source modules are swept in chunks with per-thread
+/// BFS scratch and the long-double partial sums merged in chunk order.
+/// All summands are integer-valued, so results are bit-identical to the
+/// serial path at every thread count.
+IDistanceStats i_distance_stats(const Graph& mod_graph,
+                                std::span<const std::uint32_t> module_sizes,
+                                const ExecPolicy& exec);
+
 /// Same, but sampling `samples` source modules (for module graphs too big
 /// for all-pairs). avg is unbiased over the sampled sources; i_diameter is
 /// the max sampled eccentricity (a lower bound that is tight for the
@@ -55,5 +64,11 @@ struct IMetrics {
 };
 
 IMetrics i_metrics(const Graph& g, const Clustering& c);
+
+/// Parallel variant: the module-graph all-pairs sweep (the cost that
+/// dominates on large instances) honors `exec`; results are bit-identical
+/// to the serial overload.
+IMetrics i_metrics(const Graph& g, const Clustering& c,
+                   const ExecPolicy& exec);
 
 }  // namespace ipg

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <memory>
 
 namespace ipg {
 
@@ -74,42 +75,121 @@ SourceStats source_stats(std::span<const Dist> dist) {
 
 namespace {
 
-DistanceSummary summarize(const Graph& g, std::span<const Node> sources) {
-  DistanceSummary out;
-  BfsScratch scratch(g.num_nodes());
+/// Per-chunk partial of a distance summary. Every field is integral, so
+/// merging partials in chunk order reproduces the serial accumulation
+/// bit for bit.
+struct SummaryPartial {
+  Dist diameter = 0;
   std::uint64_t total = 0;
-  for (const Node src : sources) {
-    const auto dist = scratch.run(g, src);
-    for (const Dist d : dist) {
-      if (d == kUnreachable) {
-        out.strongly_connected = false;
-        continue;
-      }
-      if (d >= out.histogram.size()) out.histogram.resize(d + 1, 0);
-      out.histogram[d]++;
-      out.diameter = std::max(out.diameter, d);
-      total += d;
+  bool disconnected = false;
+  std::vector<std::uint64_t> histogram;
+};
+
+void accumulate_source(const std::span<const Dist> dist, SummaryPartial& p) {
+  for (const Dist d : dist) {
+    if (d == kUnreachable) {
+      p.disconnected = true;
+      continue;
     }
+    if (d >= p.histogram.size()) p.histogram.resize(d + 1, 0);
+    p.histogram[d]++;
+    p.diameter = std::max(p.diameter, d);
+    p.total += d;
   }
+}
+
+DistanceSummary finish_summary(SummaryPartial&& p, std::uint64_t num_sources,
+                               Node num_nodes) {
+  DistanceSummary out;
+  out.diameter = p.diameter;
+  out.strongly_connected = !p.disconnected;
+  out.histogram = std::move(p.histogram);
   const std::uint64_t pairs =
-      static_cast<std::uint64_t>(sources.size()) * (g.num_nodes() - 1);
+      num_nodes == 0 ? 0 : num_sources * (num_nodes - 1);
   out.average_distance = pairs == 0 ? 0.0
-                                    : static_cast<double>(total) /
+                                    : static_cast<double>(p.total) /
                                           static_cast<double>(pairs);
   return out;
+}
+
+DistanceSummary summarize(const Graph& g, std::span<const Node> sources) {
+  SummaryPartial p;
+  BfsScratch scratch(g.num_nodes());
+  for (const Node src : sources) accumulate_source(scratch.run(g, src), p);
+  return finish_summary(std::move(p), sources.size(), g.num_nodes());
+}
+
+DistanceSummary summarize_parallel(const Graph& g,
+                                   std::span<const Node> sources,
+                                   int threads) {
+  ThreadPool pool(threads);
+  // A few chunks per thread so a slow chunk (e.g. the high-degree sources)
+  // does not straggle the whole sweep.
+  const std::uint64_t num_chunks =
+      std::min<std::uint64_t>(sources.size(),
+                              static_cast<std::uint64_t>(threads) * 4);
+  std::vector<SummaryPartial> partials(num_chunks);
+  std::vector<std::unique_ptr<BfsScratch>> scratch(threads);
+  pool.parallel_for(
+      sources.size(), num_chunks,
+      [&](int worker, std::uint64_t chunk, std::uint64_t begin,
+          std::uint64_t end) {
+        if (!scratch[worker]) {
+          scratch[worker] = std::make_unique<BfsScratch>(g.num_nodes());
+        }
+        SummaryPartial& p = partials[chunk];
+        for (std::uint64_t i = begin; i < end; ++i) {
+          accumulate_source(scratch[worker]->run(g, sources[i]), p);
+        }
+      });
+  SummaryPartial merged;
+  for (SummaryPartial& p : partials) {
+    merged.diameter = std::max(merged.diameter, p.diameter);
+    merged.total += p.total;
+    merged.disconnected = merged.disconnected || p.disconnected;
+    if (p.histogram.size() > merged.histogram.size()) {
+      merged.histogram.resize(p.histogram.size(), 0);
+    }
+    for (std::size_t d = 0; d < p.histogram.size(); ++d) {
+      merged.histogram[d] += p.histogram[d];
+    }
+  }
+  return finish_summary(std::move(merged), sources.size(), g.num_nodes());
+}
+
+DistanceSummary summarize_policy(const Graph& g, std::span<const Node> sources,
+                                 const ExecPolicy& exec) {
+  const int threads = exec.resolved_threads();
+  if (threads == 1) return summarize(g, sources);
+  return summarize_parallel(g, sources, threads);
+}
+
+std::vector<Node> all_nodes(const Graph& g) {
+  std::vector<Node> sources(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) sources[u] = u;
+  return sources;
 }
 
 }  // namespace
 
 DistanceSummary all_pairs_distance_summary(const Graph& g) {
-  std::vector<Node> sources(g.num_nodes());
-  for (Node u = 0; u < g.num_nodes(); ++u) sources[u] = u;
-  return summarize(g, sources);
+  return summarize(g, all_nodes(g));
+}
+
+DistanceSummary all_pairs_distance_summary(const Graph& g,
+                                           const ExecPolicy& exec) {
+  return summarize_policy(g, all_nodes(g), exec);
 }
 
 DistanceSummary multi_source_distance_summary(const Graph& g,
                                               std::span<const Node> sources) {
   return summarize(g, sources);
+}
+
+DistanceSummary multi_source_distance_summary(const Graph& g,
+                                              std::span<const Node> sources,
+                                              const ExecPolicy& exec) {
+  return summarize_policy(g, sources, exec);
 }
 
 }  // namespace ipg

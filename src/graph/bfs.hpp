@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ipg {
 
@@ -52,10 +53,23 @@ struct DistanceSummary {
 
 DistanceSummary all_pairs_distance_summary(const Graph& g);
 
+/// Parallel all-pairs summary: sources are split into chunks, each chunk
+/// runs BFS with a per-thread scratch and accumulates a partial summary,
+/// and partials are merged in chunk order. All accumulators are integral,
+/// so the result is bit-identical to the serial path at every thread
+/// count; `exec.resolved_threads() == 1` runs the legacy serial loop.
+DistanceSummary all_pairs_distance_summary(const Graph& g,
+                                           const ExecPolicy& exec);
+
 /// Distance summary computed from the given sources only (exact for
 /// vertex-transitive graphs with a single source; a cheap estimate
 /// otherwise). `average_distance` averages over the supplied sources.
 DistanceSummary multi_source_distance_summary(const Graph& g,
                                               std::span<const Node> sources);
+
+/// Parallel variant; same determinism guarantee as the all-pairs overload.
+DistanceSummary multi_source_distance_summary(const Graph& g,
+                                              std::span<const Node> sources,
+                                              const ExecPolicy& exec);
 
 }  // namespace ipg

@@ -25,12 +25,16 @@ DegreeStats degree_stats(const Graph& g) {
 }
 
 TopologyProfile profile(const Graph& g) {
+  return profile(g, ExecPolicy::serial_policy());
+}
+
+TopologyProfile profile(const Graph& g, const ExecPolicy& exec) {
   TopologyProfile p;
   p.nodes = g.num_nodes();
   p.symmetric_digraph = g.is_symmetric();
   p.links = p.symmetric_digraph ? g.num_arcs() / 2 : g.num_arcs();
   p.degree = degree_stats(g).max_degree;
-  const DistanceSummary d = all_pairs_distance_summary(g);
+  const DistanceSummary d = all_pairs_distance_summary(g, exec);
   p.diameter = d.diameter;
   p.average_distance = d.average_distance;
   p.connected = d.strongly_connected;

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ipg {
 
@@ -34,6 +35,11 @@ struct TopologyProfile {
 /// instances small enough to enumerate (the analysis layer supplies closed
 /// forms beyond that).
 TopologyProfile profile(const Graph& g);
+
+/// Parallel profile: the all-pairs sweep runs on `exec.resolved_threads()`
+/// threads with deterministic chunk-order merging, so the result is
+/// bit-identical to the serial overload at every thread count.
+TopologyProfile profile(const Graph& g, const ExecPolicy& exec);
 
 /// DD-cost: degree times diameter, the composite figure of merit of
 /// Section 5.1 (after Bhuyan & Agrawal).

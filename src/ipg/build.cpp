@@ -1,7 +1,10 @@
 #include "ipg/build.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "graph/builder.hpp"
 
@@ -58,6 +61,165 @@ IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes) {
   out.graph = std::move(b).build();
   out.spec = std::move(spec);
   return out;
+}
+
+namespace {
+
+/// Frontier-parallel closure. Level L is expanded product-parallel (one
+/// product = one (node, generator) pair, ordered exactly as the serial
+/// loop visits them); labels not yet in the global index are funneled into
+/// a seen-set sharded by hash, each shard recording the smallest product
+/// key at which its label was discovered. Sorting the unique new labels by
+/// that key reproduces the serial discovery order, so node ids — and with
+/// them the label table, index and arc list — come out byte-identical to
+/// build_ip_graph's serial BFS.
+IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
+                                int threads) {
+  if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
+
+  ThreadPool pool(threads);
+  IPGraph out;
+  out.labels.push_back(spec.seed);
+  out.index.emplace(spec.seed, Node{0});
+
+  const std::uint64_t num_gens = spec.generators.size();
+
+  struct Arc {
+    Node u, v;
+    EdgeTag tag;
+  };
+  std::vector<Arc> arcs;
+
+  // Shard count: a few per thread, power of two for cheap hash masking.
+  std::uint64_t num_shards = 1;
+  while (num_shards < static_cast<std::uint64_t>(threads) * 4) num_shards <<= 1;
+  num_shards = std::min<std::uint64_t>(num_shards, 256);
+
+  struct Candidate {
+    Label label;
+    std::uint64_t key;  ///< product index within the level (serial order)
+  };
+  using ShardMap = std::unordered_map<Label, std::uint64_t, LabelHash>;
+
+  Node level_begin = 0;
+  while (level_begin < out.labels.size()) {
+    const Node level_end = static_cast<Node>(out.labels.size());
+    const std::uint64_t products =
+        static_cast<std::uint64_t>(level_end - level_begin) * num_gens;
+    const std::uint64_t num_chunks = std::min<std::uint64_t>(
+        products, static_cast<std::uint64_t>(threads) * 4);
+
+    // targets[p] = node id reached by product p, or kInvalidIPNode while
+    // the label is pending id assignment.
+    std::vector<Node> targets(products, kInvalidIPNode);
+    // buckets[chunk][shard]: candidates discovered by `chunk` that hash
+    // into `shard`. Only the chunk's executor writes its row.
+    std::vector<std::vector<std::vector<Candidate>>> buckets(
+        num_chunks, std::vector<std::vector<Candidate>>(num_shards));
+
+    pool.parallel_for(
+        products, num_chunks,
+        [&](int, std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
+          Label scratch;
+          for (std::uint64_t p = begin; p < end; ++p) {
+            const Node u = level_begin + static_cast<Node>(p / num_gens);
+            const std::size_t gen = static_cast<std::size_t>(p % num_gens);
+            spec.generators[gen].perm.apply_into(out.labels[u], scratch);
+            const auto it = out.index.find(scratch);
+            if (it != out.index.end()) {
+              targets[p] = it->second;
+            } else {
+              const std::size_t h = LabelHash{}(scratch);
+              buckets[chunk][h & (num_shards - 1)].push_back(
+                  Candidate{scratch, p});
+            }
+          }
+        });
+
+    // Shard-parallel dedup: one owner per shard, chunks scanned in order.
+    std::vector<ShardMap> shard_min(num_shards);
+    pool.parallel_for(num_shards, num_shards,
+                      [&](int, std::uint64_t, std::uint64_t begin,
+                          std::uint64_t end) {
+                        for (std::uint64_t s = begin; s < end; ++s) {
+                          for (std::uint64_t c = 0; c < num_chunks; ++c) {
+                            for (Candidate& cand : buckets[c][s]) {
+                              const auto [it, inserted] =
+                                  shard_min[s].try_emplace(cand.label,
+                                                           cand.key);
+                              if (!inserted) {
+                                it->second = std::min(it->second, cand.key);
+                              }
+                            }
+                          }
+                        }
+                      });
+
+    // Serial id assignment in discovery-key order — byte-identical to the
+    // serial builder's first-occurrence numbering.
+    struct Unique {
+      std::uint64_t key;
+      const Label* label;
+      std::uint64_t shard;
+    };
+    std::vector<Unique> uniques;
+    for (std::uint64_t s = 0; s < num_shards; ++s) {
+      for (const auto& [label, key] : shard_min[s]) {
+        uniques.push_back(Unique{key, &label, s});
+      }
+    }
+    std::sort(uniques.begin(), uniques.end(),
+              [](const Unique& a, const Unique& b) { return a.key < b.key; });
+    for (const Unique& uq : uniques) {
+      if (out.labels.size() >= max_nodes) {
+        throw std::length_error("IP graph closure for " + spec.name +
+                                " exceeds max_nodes");
+      }
+      const Node id = static_cast<Node>(out.labels.size());
+      out.labels.push_back(*uq.label);
+      out.index.emplace(*uq.label, id);
+      // Re-point the shard entry at the final id for arc resolution below.
+      shard_min[uq.shard].find(*uq.label)->second = id;
+    }
+
+    // Resolve the pending arc targets (chunk rows are disjoint; shard maps
+    // are now read-only).
+    pool.parallel_for(
+        num_chunks, num_chunks,
+        [&](int, std::uint64_t, std::uint64_t begin, std::uint64_t end) {
+          for (std::uint64_t c = begin; c < end; ++c) {
+            for (std::uint64_t s = 0; s < num_shards; ++s) {
+              for (const Candidate& cand : buckets[c][s]) {
+                targets[cand.key] =
+                    static_cast<Node>(shard_min[s].find(cand.label)->second);
+              }
+            }
+          }
+        });
+
+    for (std::uint64_t p = 0; p < products; ++p) {
+      assert(targets[p] != kInvalidIPNode && "generated set must be closed");
+      arcs.push_back(Arc{level_begin + static_cast<Node>(p / num_gens),
+                         targets[p], static_cast<EdgeTag>(p % num_gens)});
+    }
+    level_begin = level_end;
+  }
+
+  GraphBuilder b(static_cast<Node>(out.labels.size()), /*tagged=*/true);
+  b.reserve(arcs.size());
+  for (const Arc& a : arcs) b.add_arc(a.u, a.v, a.tag);
+  out.graph = std::move(b).build();
+  out.spec = std::move(spec);
+  return out;
+}
+
+}  // namespace
+
+IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes,
+                       const ExecPolicy& exec) {
+  const int threads = exec.resolved_threads();
+  if (threads == 1) return build_ip_graph(std::move(spec), max_nodes);
+  return build_ip_graph_parallel(std::move(spec), max_nodes, threads);
 }
 
 }  // namespace ipg

@@ -11,6 +11,7 @@
 #include "graph/graph.hpp"
 #include "ipg/label.hpp"
 #include "ipg/spec.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ipg {
 
@@ -40,5 +41,15 @@ inline constexpr Node kInvalidIPNode = 0xffffffffu;
 /// enumeration far beyond laptop scale (the analysis layer's closed forms
 /// take over there).
 IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes = 1u << 24);
+
+/// Parallel closure: each BFS frontier is expanded in parallel (label
+/// application + existing-node lookup), new labels are deduplicated in a
+/// seen-set sharded by label hash, and node ids are assigned after sorting
+/// the frontier's new labels by their serial discovery order — so the
+/// node numbering, label table, index and arc list are byte-identical to
+/// the serial builder at every thread count. A resolved thread count of 1
+/// runs the legacy serial code path unchanged.
+IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes,
+                       const ExecPolicy& exec);
 
 }  // namespace ipg

@@ -48,6 +48,11 @@ IPGraph build_super_ip_graph(const SuperIPSpec& spec, std::uint64_t max_nodes) {
   return build_ip_graph(spec.to_ip_spec(), max_nodes);
 }
 
+IPGraph build_super_ip_graph(const SuperIPSpec& spec, std::uint64_t max_nodes,
+                             const ExecPolicy& exec) {
+  return build_ip_graph(spec.to_ip_spec(), max_nodes, exec);
+}
+
 ModuleAssignment nucleus_modules(const IPGraph& g, int m) {
   ModuleAssignment out;
   out.module_of.resize(g.num_nodes());

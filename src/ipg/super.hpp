@@ -50,6 +50,11 @@ struct SuperIPSpec {
 IPGraph build_super_ip_graph(const SuperIPSpec& spec,
                              std::uint64_t max_nodes = 1u << 24);
 
+/// Parallel variant; see build_ip_graph(spec, max_nodes, exec) for the
+/// determinism guarantee (byte-identical to the serial builder).
+IPGraph build_super_ip_graph(const SuperIPSpec& spec, std::uint64_t max_nodes,
+                             const ExecPolicy& exec);
+
 /// Module (cluster) assignment placing one nucleus per module (Section 5):
 /// two nodes share a module iff their labels agree outside the leftmost
 /// super-symbol. Returns module ids in [0, num_modules).

@@ -1,0 +1,145 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace ipg {
+
+namespace {
+
+int auto_threads() {
+  if (const char* env = std::getenv("IPG_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+int ExecPolicy::resolved_threads() const {
+  if (num_threads >= 1) return num_threads;
+  return auto_threads();
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(int worker) {
+  // Job fields are stable for the whole generation: the caller only
+  // installs a new job after every participating worker has left this
+  // function (the active_workers_ barrier in parallel_for).
+  const std::uint64_t n = job_.n;
+  const std::uint64_t num_chunks = job_.num_chunks;
+  const auto* body = job_.body;
+  // Near-equal contiguous split: the first `n % num_chunks` chunks get one
+  // extra element. Chunk boundaries depend only on (n, num_chunks), never
+  // on scheduling.
+  const std::uint64_t base = n / num_chunks;
+  const std::uint64_t extra = n % num_chunks;
+  std::exception_ptr error;
+  for (;;) {
+    const std::uint64_t c =
+        job_.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks) break;
+    const std::uint64_t begin = c * base + (c < extra ? c : extra);
+    const std::uint64_t end = begin + base + (c < extra ? 1 : 0);
+    if (!error) {
+      try {
+        (*body)(worker, c, begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+  }
+  if (error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = error;
+  }
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      // A job can complete (all chunks claimed and finished by the other
+      // participants) before this worker ever wakes; the caller then closes
+      // it. Joining a closed job would race with the next install, so late
+      // wakers go back to sleep.
+      if (!job_open_) continue;
+      ++active_workers_;
+    }
+    run_chunks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t n, std::uint64_t num_chunks,
+    const std::function<void(int, std::uint64_t, std::uint64_t,
+                             std::uint64_t)>& body) {
+  if (n == 0 || num_chunks == 0) return;
+  if (num_chunks > n) num_chunks = n;
+  if (threads_ == 1) {
+    // Serial degenerate case: same chunk boundaries, no synchronization.
+    const std::uint64_t base = n / num_chunks;
+    const std::uint64_t extra = n % num_chunks;
+    for (std::uint64_t c = 0; c < num_chunks; ++c) {
+      const std::uint64_t begin = c * base + (c < extra ? c : extra);
+      body(0, c, begin, begin + base + (c < extra ? 1 : 0));
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.n = n;
+    job_.num_chunks = num_chunks;
+    job_.body = &body;
+    job_.next_chunk.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    job_open_ = true;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_chunks(/*worker=*/0);  // the caller is worker 0
+  std::exception_ptr error;
+  {
+    // Wait until every woken worker has left run_chunks: afterwards all
+    // chunk bodies have completed (happens-before via mu_) and the job slot
+    // is free for the next call.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_open_ = false;  // closed under the same lock hold as the last check
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ipg

@@ -1,0 +1,115 @@
+#pragma once
+// Fixed-size thread pool and deterministic parallel-for / parallel-reduce,
+// the execution substrate of the exact-analysis engine. Design goals, in
+// order: (1) results bit-identical to the serial code path at any thread
+// count, (2) zero threading machinery when one thread is requested (the
+// caller runs the legacy serial loop itself), (3) no allocation on the
+// dispatch hot path beyond the per-chunk partials the caller asks for.
+//
+// Determinism is achieved structurally: work is split into chunks by
+// *index*, each chunk accumulates into its own partial, and partials are
+// merged in chunk order after the barrier. Thread scheduling decides only
+// *when* a chunk runs, never what it computes or the merge order.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipg {
+
+/// Thread-count policy plumbed through the analysis layer.
+///
+/// `num_threads == 0` means "auto": the IPG_THREADS environment variable
+/// if set to a positive integer, otherwise std::thread::hardware_concurrency().
+/// A resolved count of 1 selects the exact legacy serial code path in every
+/// routine that accepts a policy (no pool, no partials, no merge).
+struct ExecPolicy {
+  int num_threads = 0;
+
+  /// The effective thread count, always >= 1.
+  int resolved_threads() const;
+
+  bool serial() const { return resolved_threads() == 1; }
+
+  static ExecPolicy serial_policy() { return ExecPolicy{1}; }
+};
+
+/// Fixed-size pool of `threads - 1` workers; the calling thread is the
+/// remaining worker, so `ThreadPool(1)` spawns nothing and parallel_for
+/// degenerates to a plain loop on the caller.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const noexcept { return threads_; }
+
+  /// Runs `body(worker, chunk, begin, end)` for every chunk of [0, n)
+  /// split into `num_chunks` near-equal contiguous ranges; blocks until all
+  /// chunks finish. `worker` is a stable id in [0, num_threads()) usable to
+  /// index per-thread scratch. Chunks are claimed dynamically (an atomic
+  /// counter), so the chunk -> worker mapping is nondeterministic — callers
+  /// must keep per-chunk state per *chunk*, not per worker, whenever merge
+  /// order matters. The first exception thrown by any chunk is rethrown on
+  /// the calling thread after the barrier.
+  void parallel_for(
+      std::uint64_t n, std::uint64_t num_chunks,
+      const std::function<void(int worker, std::uint64_t chunk,
+                               std::uint64_t begin, std::uint64_t end)>& body);
+
+ private:
+  void worker_loop(int worker);
+  void run_chunks(int worker);
+
+  struct Job {
+    std::uint64_t n = 0;
+    std::uint64_t num_chunks = 0;
+    const std::function<void(int, std::uint64_t, std::uint64_t,
+                             std::uint64_t)>* body = nullptr;
+    std::atomic<std::uint64_t> next_chunk{0};
+  };
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a job / shutdown
+  std::condition_variable done_cv_;   // caller waits for workers to retire
+  Job job_;
+  std::uint64_t generation_ = 0;      // bumped per parallel_for call
+  int active_workers_ = 0;            // workers currently inside run_chunks
+  bool job_open_ = false;             // late wakers must not join a done job
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Deterministic chunked reduction: splits [0, n) into `num_chunks`
+/// contiguous chunks, runs `work(worker, partial, begin, end)` on a
+/// default-constructed Partial per chunk, then folds the chunk partials
+/// into `init` *in chunk order* with `merge(init, partial)`. With
+/// associative merges over exact values this is bit-identical to the
+/// serial left-to-right loop at every thread count.
+template <typename Partial, typename Work, typename Merge>
+Partial parallel_reduce(ThreadPool& pool, std::uint64_t n,
+                        std::uint64_t num_chunks, Partial init,
+                        const Work& work, const Merge& merge) {
+  if (num_chunks == 0 || n == 0) return init;
+  std::vector<Partial> partials(num_chunks);
+  pool.parallel_for(n, num_chunks,
+                    [&](int worker, std::uint64_t chunk, std::uint64_t begin,
+                        std::uint64_t end) {
+                      work(worker, partials[chunk], begin, end);
+                    });
+  for (Partial& p : partials) merge(init, p);
+  return init;
+}
+
+}  // namespace ipg

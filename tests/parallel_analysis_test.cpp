@@ -1,0 +1,326 @@
+// Differential tests for the parallel exact-analysis engine: the
+// thread-pooled all-pairs BFS summaries, the frontier-parallel IP-graph
+// closure and the parallel I-metrics sweep must produce results identical
+// to the serial legacy path at every thread count (the library's
+// determinism guarantee — see docs/MODEL.md). Also pins down the BFS edge
+// cases the parallel merge has to preserve: disconnected graphs,
+// single-node graphs and degenerate module assignments.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/exact.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/imetrics.hpp"
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "ipg/super.hpp"
+#include "ipg/symmetric.hpp"
+#include "topo/misc.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+void expect_graphs_identical(const Graph& a, const Graph& b,
+                             const std::string& what) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes()) << what;
+  ASSERT_EQ(a.num_arcs(), b.num_arcs()) << what;
+  ASSERT_EQ(a.has_tags(), b.has_tags()) << what;
+  for (Node u = 0; u < a.num_nodes(); ++u) {
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    ASSERT_EQ(std::vector<Node>(na.begin(), na.end()),
+              std::vector<Node>(nb.begin(), nb.end()))
+        << what << " at node " << u;
+    const auto ta = a.tags(u);
+    const auto tb = b.tags(u);
+    ASSERT_EQ(std::vector<EdgeTag>(ta.begin(), ta.end()),
+              std::vector<EdgeTag>(tb.begin(), tb.end()))
+        << what << " tags at node " << u;
+  }
+}
+
+void expect_summaries_identical(const DistanceSummary& serial,
+                                const DistanceSummary& parallel,
+                                const std::string& what) {
+  EXPECT_EQ(serial.diameter, parallel.diameter) << what;
+  EXPECT_EQ(serial.strongly_connected, parallel.strongly_connected) << what;
+  EXPECT_EQ(serial.histogram, parallel.histogram) << what;
+  // The parallel merge is over integral partials, so even the floating
+  // average must match bit for bit.
+  EXPECT_EQ(serial.average_distance, parallel.average_distance) << what;
+}
+
+void check_graph_analysis(const Graph& g, const std::string& what) {
+  const DistanceSummary serial = all_pairs_distance_summary(g);
+  const TopologyProfile serial_profile = profile(g);
+  std::vector<Node> some_sources;
+  for (Node u = 0; u < g.num_nodes(); u += 3) some_sources.push_back(u);
+  const DistanceSummary serial_multi =
+      multi_source_distance_summary(g, some_sources);
+  for (const int threads : kThreadCounts) {
+    const ExecPolicy exec{threads};
+    const std::string tag = what + " @" + std::to_string(threads) + "t";
+    expect_summaries_identical(serial, all_pairs_distance_summary(g, exec),
+                               tag);
+    expect_summaries_identical(
+        serial_multi, multi_source_distance_summary(g, some_sources, exec),
+        tag + " multi-source");
+    const TopologyProfile p = profile(g, exec);
+    EXPECT_EQ(serial_profile.diameter, p.diameter) << tag;
+    EXPECT_EQ(serial_profile.average_distance, p.average_distance) << tag;
+    EXPECT_EQ(serial_profile.connected, p.connected) << tag;
+    EXPECT_EQ(serial_profile.degree, p.degree) << tag;
+    // The single-sweep combined entry point must agree with both views.
+    const ExactAnalysis ea = exact_analysis(g, exec);
+    expect_summaries_identical(serial, ea.distances, tag + " exact_analysis");
+    EXPECT_EQ(serial_profile.diameter, ea.profile.diameter) << tag;
+    EXPECT_EQ(serial_profile.nodes, ea.profile.nodes) << tag;
+    EXPECT_EQ(serial_profile.links, ea.profile.links) << tag;
+  }
+}
+
+void check_super_ip_family(const SuperIPSpec& spec) {
+  const IPGraph serial = build_super_ip_graph(spec);
+  for (const int threads : kThreadCounts) {
+    const ExecPolicy exec{threads};
+    const IPGraph parallel = build_super_ip_graph(spec, 1u << 24, exec);
+    const std::string tag = spec.name + " @" + std::to_string(threads) + "t";
+    ASSERT_EQ(serial.labels, parallel.labels) << tag;  // ids AND order
+    ASSERT_EQ(serial.index.size(), parallel.index.size()) << tag;
+    expect_graphs_identical(serial.graph, parallel.graph, tag);
+  }
+  check_graph_analysis(serial.graph, spec.name);
+
+  // I-metrics over the one-nucleus-per-module packaging.
+  const ModuleAssignment ma = nucleus_modules(serial, spec.m);
+  const Clustering c{ma.module_of, ma.num_modules};
+  const IMetrics serial_metrics = i_metrics(serial.graph, c);
+  for (const int threads : kThreadCounts) {
+    const IMetrics m = i_metrics(serial.graph, c, ExecPolicy{threads});
+    const std::string tag = spec.name + " i-metrics @" +
+                            std::to_string(threads) + "t";
+    EXPECT_EQ(serial_metrics.i_degree, m.i_degree) << tag;
+    EXPECT_EQ(serial_metrics.i_diameter, m.i_diameter) << tag;
+    EXPECT_EQ(serial_metrics.avg_i_distance, m.avg_i_distance) << tag;
+  }
+}
+
+TEST(ParallelClosure, HsnMatchesSerial) {
+  check_super_ip_family(make_hsn(2, hypercube_nucleus(3)));
+  check_super_ip_family(make_hsn(3, hypercube_nucleus(2)));
+  check_super_ip_family(make_hsn(3, star_nucleus(3)));
+}
+
+TEST(ParallelClosure, RingCnMatchesSerial) {
+  check_super_ip_family(make_ring_cn(3, complete_nucleus(4)));
+  check_super_ip_family(make_ring_cn(4, cycle_nucleus(4)));
+}
+
+TEST(ParallelClosure, CompleteCnMatchesSerial) {
+  check_super_ip_family(make_complete_cn(3, cycle_nucleus(5)));
+  check_super_ip_family(make_complete_cn(4, complete_nucleus(3)));
+}
+
+TEST(ParallelClosure, DirectedCnMatchesSerial) {
+  // Genuinely directed network: exercises the asymmetric-digraph paths.
+  check_super_ip_family(make_directed_cn(3, complete_nucleus(4)));
+}
+
+TEST(ParallelClosure, SuperFlipMatchesSerial) {
+  check_super_ip_family(make_super_flip(3, hypercube_nucleus(2)));
+  check_super_ip_family(make_super_flip(3, pancake_nucleus(3)));
+}
+
+TEST(ParallelClosure, SymmetricVariantsMatchSerial) {
+  check_super_ip_family(make_symmetric(make_hsn(2, hypercube_nucleus(3))));
+  check_super_ip_family(make_symmetric(make_ring_cn(3, complete_nucleus(3))));
+  check_super_ip_family(make_symmetric(make_super_flip(3, cycle_nucleus(3))));
+}
+
+TEST(ParallelClosure, PlainIpSpecMatchesSerial) {
+  const IPGraphSpec nucleus = star_nucleus(4);
+  const IPGraph serial = build_ip_graph(nucleus);
+  for (const int threads : kThreadCounts) {
+    const IPGraph parallel = build_ip_graph(nucleus, 1u << 24,
+                                            ExecPolicy{threads});
+    ASSERT_EQ(serial.labels, parallel.labels);
+    expect_graphs_identical(serial.graph, parallel.graph,
+                            "S4 @" + std::to_string(threads) + "t");
+  }
+}
+
+TEST(ParallelClosure, MaxNodesOverflowThrowsLikeSerial) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(3));
+  EXPECT_THROW(build_super_ip_graph(spec, 10), std::length_error);
+  for (const int threads : kThreadCounts) {
+    EXPECT_THROW(build_super_ip_graph(spec, 10, ExecPolicy{threads}),
+                 std::length_error)
+        << threads;
+  }
+}
+
+Graph random_graph(Node n, std::uint64_t arcs, std::uint64_t seed,
+                   bool undirected) {
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n);
+  for (std::uint64_t i = 0; i < arcs; ++i) {
+    const Node u = static_cast<Node>(rng.below(n));
+    const Node v = static_cast<Node>(rng.below(n));
+    if (undirected) {
+      b.add_edge(u, v);
+    } else {
+      b.add_arc(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+TEST(ParallelSummary, RandomTopologiesMatchSerial) {
+  // Sparse instances are usually disconnected — exactly the merge paths
+  // (kUnreachable, strongly_connected) that must survive parallelization.
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    check_graph_analysis(random_graph(97, 150, seed, /*undirected=*/true),
+                         "rand-undirected-" + std::to_string(seed));
+    check_graph_analysis(random_graph(97, 300, seed, /*undirected=*/false),
+                         "rand-directed-" + std::to_string(seed));
+    check_graph_analysis(random_graph(64, 64, seed, /*undirected=*/true),
+                         "rand-sparse-" + std::to_string(seed));
+  }
+}
+
+TEST(ParallelSummary, ClassicTopologiesMatchSerial) {
+  check_graph_analysis(topo::petersen(), "petersen");
+  check_graph_analysis(topo::complete(9), "K9");
+  check_graph_analysis(topo::cycle(17), "C17");
+  check_graph_analysis(topo::path(23), "P23");
+}
+
+TEST(ParallelSummary, ThreadCountBeyondSourcesIsSafe) {
+  const Graph g = topo::cycle(3);
+  const DistanceSummary serial = all_pairs_distance_summary(g);
+  expect_summaries_identical(serial,
+                             all_pairs_distance_summary(g, ExecPolicy{16}),
+                             "C3 @16t");
+}
+
+TEST(ParallelSummary, AutoPolicyMatchesSerial) {
+  const Graph g = topo::petersen();
+  // ExecPolicy{} resolves IPG_THREADS / hardware_concurrency; whatever it
+  // picks, the result must be the serial one.
+  expect_summaries_identical(all_pairs_distance_summary(g),
+                             all_pairs_distance_summary(g, ExecPolicy{}),
+                             "petersen @auto");
+}
+
+// ---------------------------------------------------------------------------
+// BFS edge cases the parallel merge must preserve.
+
+TEST(BfsEdgeCases, DisconnectedGraphStats) {
+  // Two components: a triangle and an isolated edge plus a lone node.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  const Graph g = std::move(b).build();
+
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(dist[5], kUnreachable);
+  const SourceStats s = source_stats(dist);
+  EXPECT_EQ(s.reachable, 3u);  // unreachable nodes excluded
+  EXPECT_EQ(s.eccentricity, 1u);
+  EXPECT_EQ(s.distance_sum, 2u);
+
+  const DistanceSummary serial = all_pairs_distance_summary(g);
+  EXPECT_FALSE(serial.strongly_connected);
+  // Finite pairs only: 6 within the triangle, 2 within the edge.
+  EXPECT_EQ(serial.histogram[1], 8u);
+  check_graph_analysis(g, "disconnected");
+}
+
+TEST(BfsEdgeCases, SingleNodeGraph) {
+  GraphBuilder b(1);
+  const Graph g = std::move(b).build();
+  const SourceStats s = source_stats(bfs_distances(g, 0));
+  EXPECT_EQ(s.reachable, 1u);
+  EXPECT_EQ(s.eccentricity, 0u);
+  EXPECT_EQ(s.distance_sum, 0u);
+
+  const DistanceSummary serial = all_pairs_distance_summary(g);
+  EXPECT_EQ(serial.diameter, 0u);
+  EXPECT_TRUE(serial.strongly_connected);
+  EXPECT_EQ(serial.average_distance, 0.0);  // zero ordered pairs
+  check_graph_analysis(g, "single-node");
+}
+
+TEST(BfsEdgeCases, ZeroOneBfsAllNodesOneModule) {
+  // Every hop is intra-module: all distances collapse to 0.
+  const Graph g = topo::cycle(8);
+  const std::vector<std::uint32_t> one_module(8, 0);
+  const auto dist = bfs_distances_01(g, 3, one_module);
+  for (Node u = 0; u < 8; ++u) EXPECT_EQ(dist[u], 0u) << u;
+}
+
+TEST(BfsEdgeCases, ZeroOneBfsAllDistinctModules) {
+  // Every hop crosses modules: 0/1 BFS degenerates to plain BFS.
+  const Graph g = topo::cycle(8);
+  std::vector<std::uint32_t> distinct(8);
+  for (Node u = 0; u < 8; ++u) distinct[u] = u;
+  const auto dist01 = bfs_distances_01(g, 3, distinct);
+  const auto dist = bfs_distances(g, 3);
+  for (Node u = 0; u < 8; ++u) EXPECT_EQ(dist01[u], dist[u]) << u;
+}
+
+// ---------------------------------------------------------------------------
+// Pool-level behavior.
+
+TEST(ThreadPool, ReusableAcrossCallsAndExceptionSafe) {
+  ThreadPool pool(4);
+  std::vector<int> hits(100, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(hits.size(), 16,
+                      [&](int, std::uint64_t, std::uint64_t begin,
+                          std::uint64_t end) {
+                        for (std::uint64_t i = begin; i < end; ++i) hits[i]++;
+                      });
+  }
+  for (const int h : hits) EXPECT_EQ(h, 50);
+
+  EXPECT_THROW(
+      pool.parallel_for(8, 8,
+                        [&](int, std::uint64_t chunk, std::uint64_t,
+                            std::uint64_t) {
+                          if (chunk == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+
+  // The pool must stay usable after a throwing job.
+  std::atomic<int> count{0};
+  pool.parallel_for(32, 8,
+                    [&](int, std::uint64_t, std::uint64_t begin,
+                        std::uint64_t end) {
+                      count += static_cast<int>(end - begin);
+                    });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ExecPolicyResolution) {
+  EXPECT_EQ(ExecPolicy{1}.resolved_threads(), 1);
+  EXPECT_EQ(ExecPolicy{7}.resolved_threads(), 7);
+  EXPECT_TRUE(ExecPolicy::serial_policy().serial());
+  EXPECT_GE(ExecPolicy{}.resolved_threads(), 1);  // auto resolves to >= 1
+}
+
+}  // namespace
+}  // namespace ipg
