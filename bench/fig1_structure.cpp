@@ -38,7 +38,7 @@ void describe(const SuperIPSpec& spec) {
   // Adjacency by radix-M rank, sorted by rank as in the figure.
   std::vector<Node> by_rank(g.num_nodes());
   for (Node u = 0; u < g.num_nodes(); ++u) {
-    by_rank[ranking.rank(g.labels[u])] = u;
+    by_rank[ranking.rank(g.labels()[u])] = u;
   }
   Table t({"rank", "label", "neighbors (by rank)"});
   for (std::uint64_t r = 0; r < g.num_nodes(); ++r) {
@@ -46,10 +46,10 @@ void describe(const SuperIPSpec& spec) {
     std::string nbs;
     for (const Node v : g.graph.neighbors(u)) {
       if (!nbs.empty()) nbs += ' ';
-      nbs += ranking.radix_string(g.labels[v]);
+      nbs += ranking.radix_string(g.labels()[v]);
     }
-    t.add_row({ranking.radix_string(g.labels[u]),
-               label_to_string_grouped(g.labels[u], spec.m), nbs});
+    t.add_row({ranking.radix_string(g.labels()[u]),
+               label_to_string_grouped(g.labels()[u], spec.m), nbs});
   }
   t.print(std::cout);
   std::cout << '\n';

@@ -61,7 +61,7 @@ std::vector<Config> configs_1024() {
     c.clustering.module_of.resize(g.num_nodes());
     for (Node u = 0; u < g.num_nodes(); ++u) {
       // Use the orientation of the lead block's last pair as the extra bit.
-      const Label& x = g.labels[u];
+      const Label& x = g.labels()[u];
       const int bit = x[spec.m - 2] > x[spec.m - 1] ? 1 : 0;
       c.clustering.module_of[u] = base.module_of[u] * 2 + bit;
     }

@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
       DotOptions options;
       options.graph_name = "net";
       options.label = [&](Node u) {
-        return label_to_string_grouped(net.labels[u], spec.m);
+        return label_to_string_grouped(net.labels()[u], spec.m);
       };
       const Clustering modules = cluster_by_nucleus(net, spec.m);
       options.modules = &modules;

@@ -34,8 +34,8 @@ int main() {
   // 3. Route between two nodes with the paper's sorting algorithm. The
   //    router works on labels, so it would scale far past what we can
   //    enumerate.
-  const Label src = net.labels[3];
-  const Label dst = net.labels[200 % net.num_nodes()];
+  const Label src = net.labels()[3];
+  const Label dst = net.labels()[200 % net.num_nodes()];
   const GenPath path = route_super_ip(spec, src, dst);
   std::cout << "route " << label_to_string_grouped(src, spec.m) << "  ->  "
             << label_to_string_grouped(dst, spec.m) << "  in "

@@ -21,8 +21,8 @@ int main() {
   const SuperRanking ranking(spec);
   const IPGraphSpec lifted = spec.to_ip_spec();
 
-  const Label src = net.labels[5];
-  const Label dst = net.labels[47];
+  const Label src = net.labels()[5];
+  const Label dst = net.labels()[47];
   const GenPath path = route_super_ip(spec, src, dst);
   std::cout << "from " << label_to_string_grouped(src, spec.m) << " (rank "
             << ranking.radix_string(src) << ") to "

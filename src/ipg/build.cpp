@@ -10,60 +10,274 @@
 
 namespace ipg {
 
+namespace {
+
+/// Rough heap footprint of one std::vector<uint8_t> label: the inline
+/// header plus a malloc block (16-byte quantum, ~16 bytes of allocator
+/// bookkeeping). Used only for the memory counters reported by benches.
+std::uint64_t label_heap_estimate(std::size_t len) {
+  if (len == 0) return sizeof(Label);
+  const std::uint64_t block = ((len + 15) / 16) * 16 + 16;
+  return sizeof(Label) + block;
+}
+
+}  // namespace
+
 Node IPGraph::node_of(const Label& x) const {
-  const auto it = index.find(x);
-  return it == index.end() ? kInvalidIPNode : it->second;
+  if (packed()) {
+    PackedLabel key;
+    if (!codec_.try_pack(x, key)) return kInvalidIPNode;
+    const std::uint64_t* v = packed_index_.find(key);
+    return v == nullptr ? kInvalidIPNode : static_cast<Node>(*v);
+  }
+  const auto it = vec_index_.find(x);
+  return it == vec_index_.end() ? kInvalidIPNode : it->second;
 }
 
 Node IPGraph::apply_generator(Node u, int gen) const {
   assert(u < num_nodes());
   assert(gen >= 0 && gen < static_cast<int>(spec.generators.size()));
-  const Node v = node_of(spec.generators[gen].perm.apply(labels[u]));
-  assert(v != kInvalidIPNode && "generated set must be closed");
-  return v;
+  if (packed()) {
+    const std::uint64_t* v =
+        packed_index_.find(packed_gens_[gen].apply(packed_labels_[u]));
+    assert(v != nullptr && "generated set must be closed");
+    return static_cast<Node>(*v);
+  }
+  Label scratch;
+  return apply_generator(u, gen, scratch);
 }
 
-IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes) {
-  if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
+Node IPGraph::apply_generator(Node u, int gen, Label& scratch) const {
+  assert(u < num_nodes());
+  assert(gen >= 0 && gen < static_cast<int>(spec.generators.size()));
+  if (packed()) return apply_generator(u, gen);
+  spec.generators[gen].perm.apply_into(vec_labels_[u], scratch);
+  const auto it = vec_index_.find(scratch);
+  assert(it != vec_index_.end() && "generated set must be closed");
+  return it->second;
+}
 
+Label IPGraph::label(Node u) const {
+  assert(u < num_nodes());
+  return packed() ? codec_.unpack(packed_labels_[u]) : vec_labels_[u];
+}
+
+void IPGraph::label_into(Node u, Label& out) const {
+  assert(u < num_nodes());
+  if (packed()) {
+    codec_.unpack(packed_labels_[u], out);
+  } else {
+    out = vec_labels_[u];
+  }
+}
+
+const std::vector<Label>& IPGraph::labels() const {
+  if (!packed()) return vec_labels_;
+  if (labels_view_.size() != num_nodes()) {
+    labels_view_.resize(num_nodes());
+    for (Node u = 0; u < num_nodes(); ++u) {
+      codec_.unpack(packed_labels_[u], labels_view_[u]);
+    }
+  }
+  return labels_view_;
+}
+
+std::uint64_t IPGraph::index_size() const noexcept {
+  return packed() ? packed_index_.size() : vec_index_.size();
+}
+
+std::uint64_t IPGraph::label_bytes() const noexcept {
+  if (packed()) return packed_labels_.memory_bytes();
+  std::uint64_t total = 0;
+  for (const Label& x : vec_labels_) total += label_heap_estimate(x.size());
+  return total + sizeof(Label) * (vec_labels_.capacity() - vec_labels_.size());
+}
+
+std::uint64_t IPGraph::index_bytes() const noexcept {
+  if (packed()) return packed_index_.memory_bytes();
+  // libstdc++ node layout: next pointer + cached hash + pair<Label, Node>,
+  // plus the bucket array and each key's own heap block.
+  std::uint64_t total = vec_index_.bucket_count() * sizeof(void*);
+  for (const auto& [key, value] : vec_index_) {
+    (void)value;
+    total += 2 * sizeof(void*) + sizeof(std::pair<Label, Node>) +
+             label_heap_estimate(key.size()) - sizeof(Label) + 16;
+  }
+  return total;
+}
+
+namespace {
+
+struct PendingArc {
+  Node u, v;
+  EdgeTag tag;
+};
+
+Graph arcs_to_graph(Node num_nodes, std::vector<PendingArc>& arcs) {
+  GraphBuilder b(num_nodes, /*tagged=*/true);
+  b.reserve(arcs.size());
+  for (const PendingArc& a : arcs) b.add_arc(a.u, a.v, a.tag);
+  return std::move(b).build();
+}
+
+[[noreturn]] void throw_too_large(const IPGraphSpec& spec) {
+  throw std::length_error("IP graph closure for " + spec.name +
+                          " exceeds max_nodes");
+}
+
+/// Serial BFS closure on packed labels: the whole loop runs on one or two
+/// machine words per label, with zero heap traffic beyond the growing
+/// tables themselves.
+IPGraph build_serial_packed(IPGraphSpec spec, std::uint64_t max_nodes,
+                            const LabelCodec& codec) {
   IPGraph out;
-  out.labels.push_back(spec.seed);
-  out.index.emplace(spec.seed, Node{0});
+  out.codec_ = codec;
+  out.packed_gens_.reserve(spec.generators.size());
+  for (const Generator& g : spec.generators) {
+    out.packed_gens_.emplace_back(codec, g.perm);
+  }
+  out.packed_labels_ = PackedLabelStore(codec.words());
+  out.packed_labels_.push_back(codec.pack(spec.seed));
+  out.packed_index_.try_emplace(out.packed_labels_[0], 0);
 
-  struct Arc {
-    Node u, v;
-    EdgeTag tag;
-  };
-  std::vector<Arc> arcs;
-  Label scratch;
-
-  // BFS over labels; out.labels doubles as the queue.
-  for (Node u = 0; u < out.labels.size(); ++u) {
-    for (std::size_t gen = 0; gen < spec.generators.size(); ++gen) {
-      // Careful: out.labels may reallocate when a new node is appended, so
-      // apply the generator before taking any reference that must survive.
-      spec.generators[gen].perm.apply_into(out.labels[u], scratch);
-      auto [it, inserted] = out.index.try_emplace(scratch, static_cast<Node>(out.labels.size()));
+  std::vector<PendingArc> arcs;
+  for (Node u = 0; u < out.packed_labels_.size(); ++u) {
+    const PackedLabel current = out.packed_labels_[u];
+    for (std::size_t gen = 0; gen < out.packed_gens_.size(); ++gen) {
+      const PackedLabel next = out.packed_gens_[gen].apply(current);
+      const auto [slot, inserted] =
+          out.packed_index_.try_emplace(next, out.packed_labels_.size());
       if (inserted) {
-        if (out.labels.size() >= max_nodes) {
-          throw std::length_error("IP graph closure for " + spec.name +
-                                  " exceeds max_nodes");
-        }
-        out.labels.push_back(scratch);
+        if (out.packed_labels_.size() >= max_nodes) throw_too_large(spec);
+        out.packed_labels_.push_back(next);
       }
-      arcs.push_back(Arc{u, it->second, static_cast<EdgeTag>(gen)});
+      arcs.push_back(PendingArc{u, static_cast<Node>(*slot),
+                                static_cast<EdgeTag>(gen)});
     }
   }
 
-  GraphBuilder b(static_cast<Node>(out.labels.size()), /*tagged=*/true);
-  b.reserve(arcs.size());
-  for (const Arc& a : arcs) b.add_arc(a.u, a.v, a.tag);
-  out.graph = std::move(b).build();
+  out.graph = arcs_to_graph(static_cast<Node>(out.packed_labels_.size()), arcs);
   out.spec = std::move(spec);
   return out;
 }
 
-namespace {
+/// Serial BFS closure on byte-vector labels (the pre-codec representation,
+/// still used when labels exceed 128 packed bits).
+IPGraph build_serial_vector(IPGraphSpec spec, std::uint64_t max_nodes) {
+  IPGraph out;
+  out.vec_labels_.push_back(spec.seed);
+  out.vec_index_.emplace(spec.seed, Node{0});
+
+  std::vector<PendingArc> arcs;
+  Label scratch;
+
+  // BFS over labels; vec_labels_ doubles as the queue.
+  for (Node u = 0; u < out.vec_labels_.size(); ++u) {
+    for (std::size_t gen = 0; gen < spec.generators.size(); ++gen) {
+      // Careful: vec_labels_ may reallocate when a new node is appended, so
+      // apply the generator before taking any reference that must survive.
+      spec.generators[gen].perm.apply_into(out.vec_labels_[u], scratch);
+      auto [it, inserted] = out.vec_index_.try_emplace(
+          scratch, static_cast<Node>(out.vec_labels_.size()));
+      if (inserted) {
+        if (out.vec_labels_.size() >= max_nodes) throw_too_large(spec);
+        out.vec_labels_.push_back(scratch);
+      }
+      arcs.push_back(PendingArc{u, it->second, static_cast<EdgeTag>(gen)});
+    }
+  }
+
+  out.graph = arcs_to_graph(static_cast<Node>(out.vec_labels_.size()), arcs);
+  out.spec = std::move(spec);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel closure, shared between the packed and vector representations
+// via a small "label space" adapter: element type, generator application,
+// hashing, and a map with try_emplace / find / for_each.
+
+/// Packed-label space: elements are PackedLabels, the seen-set shards and
+/// the global index are flat open-addressing tables.
+struct PackedSpace {
+  using Elem = PackedLabel;
+  using Map = PackedLabelMap;
+
+  LabelCodec codec;
+  std::vector<PackedPerm> gens;
+  Elem seed;
+
+  PackedSpace(const IPGraphSpec& spec, const LabelCodec& c) : codec(c) {
+    gens.reserve(spec.generators.size());
+    for (const Generator& g : spec.generators) gens.emplace_back(c, g.perm);
+    seed = c.pack(spec.seed);
+  }
+
+  void apply(std::size_t gen, const Elem& in, Elem& out) const {
+    out = gens[gen].apply(in);
+  }
+  static std::size_t hash(const Elem& x) noexcept {
+    return PackedLabelHash{}(x);
+  }
+};
+
+/// Byte-vector space: the legacy representation, with unordered_map shards
+/// behind the same map interface.
+struct VectorSpace {
+  using Elem = Label;
+
+  struct Map {
+    std::unordered_map<Label, std::uint64_t, LabelHash> m;
+
+    std::pair<std::uint64_t*, bool> try_emplace(const Label& k,
+                                                std::uint64_t v) {
+      const auto [it, inserted] = m.try_emplace(k, v);
+      return {&it->second, inserted};
+    }
+    const std::uint64_t* find(const Label& k) const {
+      const auto it = m.find(k);
+      return it == m.end() ? nullptr : &it->second;
+    }
+    std::uint64_t* find(const Label& k) {
+      const auto it = m.find(k);
+      return it == m.end() ? nullptr : &it->second;
+    }
+    std::uint64_t size() const { return m.size(); }
+    template <typename F>
+    void for_each(F&& f) const {
+      for (const auto& [k, v] : m) f(k, v);
+    }
+  };
+
+  const IPGraphSpec* spec;
+  Elem seed;
+
+  explicit VectorSpace(const IPGraphSpec& s) : spec(&s), seed(s.seed) {}
+
+  void apply(std::size_t gen, const Elem& in, Elem& out) const {
+    spec->generators[gen].perm.apply_into(in, out);
+  }
+  static std::size_t hash(const Elem& x) noexcept { return LabelHash{}(x); }
+};
+
+void export_storage(IPGraph& out, PackedSpace& space,
+                    std::vector<PackedLabel>&& elems, PackedLabelMap&& index) {
+  out.codec_ = space.codec;
+  out.packed_gens_ = std::move(space.gens);
+  out.packed_labels_ = PackedLabelStore(space.codec.words());
+  out.packed_labels_.reserve(elems.size());
+  for (const PackedLabel& e : elems) out.packed_labels_.push_back(e);
+  out.packed_index_ = std::move(index);
+}
+
+void export_storage(IPGraph& out, VectorSpace&, std::vector<Label>&& elems,
+                    VectorSpace::Map&& index) {
+  out.vec_labels_ = std::move(elems);
+  out.vec_index_.reserve(index.m.size());
+  for (const auto& [k, v] : index.m) {
+    out.vec_index_.emplace(k, static_cast<Node>(v));
+  }
+}
 
 /// Frontier-parallel closure. Level L is expanded product-parallel (one
 /// product = one (node, generator) pair, ordered exactly as the serial
@@ -72,23 +286,24 @@ namespace {
 /// key at which its label was discovered. Sorting the unique new labels by
 /// that key reproduces the serial discovery order, so node ids — and with
 /// them the label table, index and arc list — come out byte-identical to
-/// build_ip_graph's serial BFS.
+/// the serial builder.
+template <typename Space, typename... SpaceArgs>
 IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
-                                int threads) {
-  if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
+                                int threads, const SpaceArgs&... space_args) {
+  using Elem = typename Space::Elem;
+  using Map = typename Space::Map;
 
+  // The space may keep a pointer to `spec`, so it is built against this
+  // function's own copy (moved into the result only after the last use).
+  Space space(spec, space_args...);
   ThreadPool pool(threads);
-  IPGraph out;
-  out.labels.push_back(spec.seed);
-  out.index.emplace(spec.seed, Node{0});
+  std::vector<Elem> elems;  // node id -> element, BFS order; also the queue
+  Map index;                // element -> node id
+  elems.push_back(space.seed);
+  index.try_emplace(elems[0], 0);
 
   const std::uint64_t num_gens = spec.generators.size();
-
-  struct Arc {
-    Node u, v;
-    EdgeTag tag;
-  };
-  std::vector<Arc> arcs;
+  std::vector<PendingArc> arcs;
 
   // Shard count: a few per thread, power of two for cheap hash masking.
   std::uint64_t num_shards = 1;
@@ -96,14 +311,13 @@ IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
   num_shards = std::min<std::uint64_t>(num_shards, 256);
 
   struct Candidate {
-    Label label;
+    Elem elem;
     std::uint64_t key;  ///< product index within the level (serial order)
   };
-  using ShardMap = std::unordered_map<Label, std::uint64_t, LabelHash>;
 
   Node level_begin = 0;
-  while (level_begin < out.labels.size()) {
-    const Node level_end = static_cast<Node>(out.labels.size());
+  while (level_begin < elems.size()) {
+    const Node level_end = static_cast<Node>(elems.size());
     const std::uint64_t products =
         static_cast<std::uint64_t>(level_end - level_begin) * num_gens;
     const std::uint64_t num_chunks = std::min<std::uint64_t>(
@@ -120,16 +334,15 @@ IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
     pool.parallel_for(
         products, num_chunks,
         [&](int, std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
-          Label scratch;
+          Elem scratch;
           for (std::uint64_t p = begin; p < end; ++p) {
             const Node u = level_begin + static_cast<Node>(p / num_gens);
             const std::size_t gen = static_cast<std::size_t>(p % num_gens);
-            spec.generators[gen].perm.apply_into(out.labels[u], scratch);
-            const auto it = out.index.find(scratch);
-            if (it != out.index.end()) {
-              targets[p] = it->second;
+            space.apply(gen, elems[u], scratch);
+            if (const std::uint64_t* v = index.find(scratch)) {
+              targets[p] = static_cast<Node>(*v);
             } else {
-              const std::size_t h = LabelHash{}(scratch);
+              const std::size_t h = Space::hash(scratch);
               buckets[chunk][h & (num_shards - 1)].push_back(
                   Candidate{scratch, p});
             }
@@ -137,18 +350,18 @@ IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
         });
 
     // Shard-parallel dedup: one owner per shard, chunks scanned in order.
-    std::vector<ShardMap> shard_min(num_shards);
+    std::vector<Map> shard_min(num_shards);
     pool.parallel_for(num_shards, num_shards,
                       [&](int, std::uint64_t, std::uint64_t begin,
                           std::uint64_t end) {
                         for (std::uint64_t s = begin; s < end; ++s) {
                           for (std::uint64_t c = 0; c < num_chunks; ++c) {
                             for (Candidate& cand : buckets[c][s]) {
-                              const auto [it, inserted] =
-                                  shard_min[s].try_emplace(cand.label,
+                              const auto [slot, inserted] =
+                                  shard_min[s].try_emplace(cand.elem,
                                                            cand.key);
                               if (!inserted) {
-                                it->second = std::min(it->second, cand.key);
+                                *slot = std::min(*slot, cand.key);
                               }
                             }
                           }
@@ -156,30 +369,28 @@ IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
                       });
 
     // Serial id assignment in discovery-key order — byte-identical to the
-    // serial builder's first-occurrence numbering.
+    // serial builder's first-occurrence numbering. Map entries are stable
+    // from here on (no further inserts), so keeping pointers is safe.
     struct Unique {
       std::uint64_t key;
-      const Label* label;
+      const Elem* elem;
       std::uint64_t shard;
     };
     std::vector<Unique> uniques;
     for (std::uint64_t s = 0; s < num_shards; ++s) {
-      for (const auto& [label, key] : shard_min[s]) {
-        uniques.push_back(Unique{key, &label, s});
-      }
+      shard_min[s].for_each([&](const Elem& elem, std::uint64_t key) {
+        uniques.push_back(Unique{key, &elem, s});
+      });
     }
     std::sort(uniques.begin(), uniques.end(),
               [](const Unique& a, const Unique& b) { return a.key < b.key; });
     for (const Unique& uq : uniques) {
-      if (out.labels.size() >= max_nodes) {
-        throw std::length_error("IP graph closure for " + spec.name +
-                                " exceeds max_nodes");
-      }
-      const Node id = static_cast<Node>(out.labels.size());
-      out.labels.push_back(*uq.label);
-      out.index.emplace(*uq.label, id);
+      if (elems.size() >= max_nodes) throw_too_large(spec);
+      const Node id = static_cast<Node>(elems.size());
+      elems.push_back(*uq.elem);
+      index.try_emplace(*uq.elem, id);
       // Re-point the shard entry at the final id for arc resolution below.
-      shard_min[uq.shard].find(*uq.label)->second = id;
+      *shard_min[uq.shard].find(*uq.elem) = id;
     }
 
     // Resolve the pending arc targets (chunk rows are disjoint; shard maps
@@ -191,7 +402,7 @@ IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
             for (std::uint64_t s = 0; s < num_shards; ++s) {
               for (const Candidate& cand : buckets[c][s]) {
                 targets[cand.key] =
-                    static_cast<Node>(shard_min[s].find(cand.label)->second);
+                    static_cast<Node>(*shard_min[s].find(cand.elem));
               }
             }
           }
@@ -199,27 +410,46 @@ IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
 
     for (std::uint64_t p = 0; p < products; ++p) {
       assert(targets[p] != kInvalidIPNode && "generated set must be closed");
-      arcs.push_back(Arc{level_begin + static_cast<Node>(p / num_gens),
-                         targets[p], static_cast<EdgeTag>(p % num_gens)});
+      arcs.push_back(PendingArc{level_begin + static_cast<Node>(p / num_gens),
+                                targets[p], static_cast<EdgeTag>(p % num_gens)});
     }
     level_begin = level_end;
   }
 
-  GraphBuilder b(static_cast<Node>(out.labels.size()), /*tagged=*/true);
-  b.reserve(arcs.size());
-  for (const Arc& a : arcs) b.add_arc(a.u, a.v, a.tag);
-  out.graph = std::move(b).build();
+  const Node num_nodes = static_cast<Node>(elems.size());
+  IPGraph out;
+  export_storage(out, space, std::move(elems), std::move(index));
+  out.graph = arcs_to_graph(num_nodes, arcs);
   out.spec = std::move(spec);
   return out;
 }
 
 }  // namespace
 
+IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes) {
+  if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
+  const LabelCodec codec = LabelCodec::for_label(spec.seed);
+  if (codec.valid()) return build_serial_packed(std::move(spec), max_nodes, codec);
+  return build_serial_vector(std::move(spec), max_nodes);
+}
+
+IPGraph build_ip_graph_unpacked(IPGraphSpec spec, std::uint64_t max_nodes) {
+  if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
+  return build_serial_vector(std::move(spec), max_nodes);
+}
+
 IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes,
                        const ExecPolicy& exec) {
   const int threads = exec.resolved_threads();
   if (threads == 1) return build_ip_graph(std::move(spec), max_nodes);
-  return build_ip_graph_parallel(std::move(spec), max_nodes, threads);
+  if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
+  const LabelCodec codec = LabelCodec::for_label(spec.seed);
+  if (codec.valid()) {
+    return build_ip_graph_parallel<PackedSpace>(std::move(spec), max_nodes,
+                                                threads, codec);
+  }
+  return build_ip_graph_parallel<VectorSpace>(std::move(spec), max_nodes,
+                                              threads);
 }
 
 }  // namespace ipg

@@ -3,6 +3,15 @@
 // breadth-first exploration of the ball-arrangement game's state space
 // (Section 2). This is the executable heart of the model — every network
 // family in src/ipg/families.hpp is produced through this one function.
+//
+// Storage: when the seed's shape fits the packed-label codec (which it
+// does for every family the paper enumerates explicitly), node labels are
+// held in a contiguous PackedLabelStore (8 or 16 bytes per node) and the
+// label -> node index in a flat open-addressing PackedLabelMap — roughly
+// 3x less memory than the former vector-of-vectors plus unordered_map,
+// with no per-node heap blocks. Oversized labels transparently fall back
+// to the legacy representation. Use the accessors (label(), label_into(),
+// labels(), node_of(), index_size()); the storage members are internal.
 
 #include <cstdint>
 #include <unordered_map>
@@ -10,10 +19,13 @@
 
 #include "graph/graph.hpp"
 #include "ipg/label.hpp"
+#include "ipg/packed_label.hpp"
 #include "ipg/spec.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ipg {
+
+inline constexpr Node kInvalidIPNode = 0xffffffffu;
 
 /// A realized IP graph: the CSR digraph (arc tags = generator indices),
 /// the node -> label table in discovery (BFS) order with the seed as node
@@ -21,26 +33,73 @@ namespace ipg {
 struct IPGraph {
   IPGraphSpec spec;
   Graph graph;
-  std::vector<Label> labels;
-  std::unordered_map<Label, Node, LabelHash> index;
 
   Node num_nodes() const noexcept { return graph.num_nodes(); }
+
+  /// True when labels are stored packed (the common case).
+  bool packed() const noexcept { return codec_.valid(); }
 
   /// Node id of `x`, or kInvalidIPNode when `x` is not a generated element.
   Node node_of(const Label& x) const;
 
   /// Neighbor reached from `u` by generator `gen` (label-level application;
-  /// may be `u` itself when the generator fixes the label).
+  /// may be `u` itself when the generator fixes the label). Allocation-free
+  /// in packed mode; the legacy representation allocates a temporary —
+  /// hot callers on the fallback path should use the scratch overload.
   Node apply_generator(Node u, int gen) const;
-};
 
-inline constexpr Node kInvalidIPNode = 0xffffffffu;
+  /// Same, with caller-provided scratch so the fallback path also stays
+  /// allocation-free after warmup.
+  Node apply_generator(Node u, int gen, Label& scratch) const;
+
+  /// Label of node `u`, by value (packed storage cannot hand out a
+  /// reference). Prefer label_into() in loops.
+  Label label(Node u) const;
+
+  /// Unpacks the label of `u` into `out` (resized as needed).
+  void label_into(Node u, Label& out) const;
+
+  /// Compatibility view: the full node -> label table as a
+  /// std::vector<Label>, materialized on first call in packed mode (and
+  /// cached; not thread-safe against concurrent first calls). Figure
+  /// harnesses, tests and examples use this; scale-sensitive code should
+  /// stick to label()/label_into().
+  const std::vector<Label>& labels() const;
+
+  /// Number of indexed labels (== num_nodes()).
+  std::uint64_t index_size() const noexcept;
+
+  /// Heap bytes held by the label table / the label -> node index (exact
+  /// for packed storage, a close estimate for the legacy containers).
+  /// Reported by bench/perf_core's bytes-per-node counters.
+  std::uint64_t label_bytes() const noexcept;
+  std::uint64_t index_bytes() const noexcept;
+
+  // --- internal storage (builders write these; layout may change) ---
+  LabelCodec codec_;                 // invalid <=> legacy representation
+  PackedLabelStore packed_labels_;   // packed mode
+  PackedLabelMap packed_index_;      // packed mode: label -> node
+  std::vector<PackedPerm> packed_gens_;  // packed mode: compiled generators
+  std::vector<Label> vec_labels_;    // legacy mode
+  std::unordered_map<Label, Node, LabelHash> vec_index_;  // legacy mode
+
+ private:
+  mutable std::vector<Label> labels_view_;  // packed-mode compat cache
+};
 
 /// Builds the IP graph for `spec`. Throws std::length_error if the closure
 /// exceeds `max_nodes` — a guard against accidentally requesting an
 /// enumeration far beyond laptop scale (the analysis layer's closed forms
-/// take over there).
+/// take over there, and net::ImplicitSuperIPTopology navigates super-IP
+/// instances without materializing them at all).
 IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes = 1u << 24);
+
+/// Reference builder that forces the legacy vector-of-vectors label
+/// storage regardless of packability. Kept for differential tests and for
+/// bench/perf_core's packed-vs-vector closure rows; produces a graph,
+/// node numbering and label table identical to build_ip_graph.
+IPGraph build_ip_graph_unpacked(IPGraphSpec spec,
+                                std::uint64_t max_nodes = 1u << 24);
 
 /// Parallel closure: each BFS frontier is expanded in parallel (label
 /// application + existing-node lookup), new labels are deduplicated in a
@@ -48,7 +107,7 @@ IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes = 1u << 24);
 /// the frontier's new labels by their serial discovery order — so the
 /// node numbering, label table, index and arc list are byte-identical to
 /// the serial builder at every thread count. A resolved thread count of 1
-/// runs the legacy serial code path unchanged.
+/// runs the serial code path unchanged.
 IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes,
                        const ExecPolicy& exec);
 

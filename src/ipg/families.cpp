@@ -302,8 +302,9 @@ Graph add_hcn_diameter_links(const IPGraph& hcn, int n) {
   for (Node u = 0; u < hcn.num_nodes(); ++u) {
     for (const Node v : hcn.graph.neighbors(u)) b.add_arc(u, v);
   }
+  Label x;
   for (Node u = 0; u < hcn.num_nodes(); ++u) {
-    const Label& x = hcn.labels[u];
+    hcn.label_into(u, x);
     if (!std::equal(x.begin(), x.begin() + m, x.begin() + m)) continue;
     // Complement both halves: swap the two symbols of every pair.
     Label y(x);

@@ -1,0 +1,75 @@
+#include "ipg/packed_label.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipg {
+
+LabelCodec LabelCodec::for_shape(int length, int max_symbol) noexcept {
+  LabelCodec out;
+  if (length <= 0 || max_symbol < 0 || max_symbol > 255) return out;
+  const int bits = max_symbol < 16 ? 4 : 8;
+  if (length * bits > 128) return out;
+  out.length_ = length;
+  out.bits_ = bits;
+  out.mask_ = (1ull << bits) - 1;
+  return out;
+}
+
+LabelCodec LabelCodec::for_label(const Label& seed) noexcept {
+  if (seed.empty()) return {};
+  const int max_symbol = *std::max_element(seed.begin(), seed.end());
+  return for_shape(static_cast<int>(seed.size()), max_symbol);
+}
+
+PackedLabel LabelCodec::pack(const Label& x) const {
+  PackedLabel out;
+  [[maybe_unused]] const bool ok = try_pack(x, out);
+  assert(ok && "label does not match the codec shape");
+  return out;
+}
+
+bool LabelCodec::try_pack(const Label& x, PackedLabel& out) const {
+  if (!valid() || static_cast<int>(x.size()) != length_) return false;
+  PackedLabel packed;
+  for (int i = 0; i < length_; ++i) {
+    if (x[i] > mask_) return false;
+    const int bit = i * bits_;
+    packed.w[bit >> 6] |= static_cast<std::uint64_t>(x[i]) << (bit & 63);
+  }
+  out = packed;
+  return true;
+}
+
+void LabelCodec::unpack(const PackedLabel& x, Label& out) const {
+  assert(valid());
+  out.resize(static_cast<std::size_t>(length_));
+  for (int i = 0; i < length_; ++i) out[i] = symbol(x, i);
+}
+
+Label LabelCodec::unpack(const PackedLabel& x) const {
+  Label out;
+  unpack(x, out);
+  return out;
+}
+
+PackedPerm::PackedPerm(const LabelCodec& codec, const Permutation& p) {
+  assert(codec.valid() && p.size() == codec.length());
+  const int bits = codec.bits();
+  mask_ = (1ull << bits) - 1;
+  keep_[0] = keep_[1] = 0;
+  for (int i = 0; i < p.size(); ++i) {
+    const int dst_bit = i * bits;
+    if (p[i] == i) {
+      keep_[dst_bit >> 6] |= mask_ << (dst_bit & 63);
+      continue;
+    }
+    const int src_bit = p[i] * bits;
+    moves_.push_back(Move{static_cast<std::uint8_t>(src_bit >> 6),
+                          static_cast<std::uint8_t>(src_bit & 63),
+                          static_cast<std::uint8_t>(dst_bit >> 6),
+                          static_cast<std::uint8_t>(dst_bit & 63)});
+  }
+}
+
+}  // namespace ipg

@@ -1,32 +1,185 @@
 #include "ipg/ranking.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace ipg {
 
+namespace {
+
+/// All block arrangements reachable from the identity under the spec's
+/// super-generators (next[p] = arr[beta[p]]), sorted lexicographically so
+/// an arrangement's index is recoverable by binary search.
+std::vector<Arrangement> reachable_arrangements(const SuperIPSpec& spec) {
+  Arrangement start(spec.l);
+  for (int i = 0; i < spec.l; ++i) start[i] = static_cast<std::uint8_t>(i);
+  std::vector<Arrangement> queue{start};
+  Arrangement next(spec.l);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Arrangement arr = queue[head];  // copy: queue may reallocate
+    for (const Generator& g : spec.super_gens) {
+      for (int p = 0; p < spec.l; ++p) next[p] = arr[g.perm[p]];
+      if (std::find(queue.begin(), queue.end(), next) == queue.end()) {
+        queue.push_back(next);
+      }
+    }
+  }
+  std::sort(queue.begin(), queue.end());
+  return queue;
+}
+
+}  // namespace
+
 SuperRanking::SuperRanking(const SuperIPSpec& spec)
     : l_(spec.l), m_(spec.m), nucleus_(build_ip_graph(spec.nucleus_spec())) {
-  // Ranking presumes every super-symbol's content lies in the nucleus
-  // orbit, which holds exactly when all seed blocks are identical.
-  for (int i = 1; i < l_; ++i) {
-    if (spec.seed_block(i) != spec.seed_block(0)) {
-      throw std::invalid_argument(
-          "SuperRanking requires a plain super-IP seed (identical blocks)");
+  // Classify the seed shape. Plain: every block equals block 0. Symmetric:
+  // block i is block 0 with all symbols shifted by i*m (make_symmetric's
+  // output), which keeps the blocks' symbol ranges disjoint so the owner
+  // block of any content is recoverable from a single symbol.
+  const Label base = spec.seed_block(0);
+  base_lo_ = *std::min_element(base.begin(), base.end());
+  base_hi_ = *std::max_element(base.begin(), base.end());
+  bool plain = true, symmetric = true;
+  for (int i = 1; i < l_ && (plain || symmetric); ++i) {
+    const Label block = spec.seed_block(i);
+    for (int j = 0; j < m_; ++j) {
+      if (block[j] != base[j]) plain = false;
+      if (block[j] != base[j] + i * m_) symmetric = false;
     }
+  }
+  if (plain) {
+    symmetric_ = false;
+  } else if (symmetric && base_hi_ - base_lo_ < m_) {
+    symmetric_ = true;
+    arrangements_ = reachable_arrangements(spec);
+  } else {
+    throw std::invalid_argument(
+        "SuperRanking requires a plain super-IP seed (identical blocks) or "
+        "a symmetric one (blocks shifted by i*m)");
+  }
+  for (int i = 0; i < l_; ++i) ml_ *= nucleus_.num_nodes();
+
+  // Hash-free digit lookup: nucleus labels packed and sorted once.
+  block_codec_ = LabelCodec::for_shape(m_, base_hi_);
+  if (block_codec_.valid()) {
+    sorted_blocks_.reserve(nucleus_.num_nodes());
+    Label x;
+    for (Node v = 0; v < nucleus_.num_nodes(); ++v) {
+      nucleus_.label_into(v, x);
+      sorted_blocks_.emplace_back(block_codec_.pack(x), v);
+    }
+    std::sort(sorted_blocks_.begin(), sorted_blocks_.end());
   }
 }
 
+int SuperRanking::owner_block(const Label& full, int i) const noexcept {
+  if (!symmetric_) return 0;
+  return (full[i * m_] - base_lo_) / m_;
+}
+
+Node SuperRanking::digit_lookup(const Label& full, int i, int shift) const {
+  // Reject symbols outside the base block's range up front: the packed key
+  // below writes exactly bits() bits per symbol and must not overflow, and
+  // the fallback map would just miss anyway.
+  for (int j = 0; j < m_; ++j) {
+    const int s = full[i * m_ + j];
+    if (s < shift + base_lo_ || s > shift + base_hi_) return kInvalidIPNode;
+  }
+  if (!sorted_blocks_.empty()) {
+    // Pack the (unshifted) content straight off the full label — no
+    // temporary Label on this path, it is the implicit topology's inner
+    // loop.
+    PackedLabel key;
+    const int bits = block_codec_.bits();
+    for (int j = 0; j < m_; ++j) {
+      const auto sym = static_cast<std::uint64_t>(full[i * m_ + j] - shift);
+      key.w[(j * bits) >> 6] |= sym << ((j * bits) & 63);
+    }
+    const auto it = std::lower_bound(
+        sorted_blocks_.begin(), sorted_blocks_.end(), key,
+        [](const std::pair<PackedLabel, Node>& a, const PackedLabel& k) {
+          return a.first < k;
+        });
+    if (it == sorted_blocks_.end() || !(it->first == key)) return kInvalidIPNode;
+    return it->second;
+  }
+  Label content(full.begin() + i * m_, full.begin() + (i + 1) * m_);
+  for (std::uint8_t& s : content) s = static_cast<std::uint8_t>(s - shift);
+  return nucleus_.node_of(content);
+}
+
 std::uint32_t SuperRanking::digit(const Label& full, int i) const {
-  const Node v = nucleus_.node_of(block_of(full, i, m_));
+  const Node v = digit_lookup(full, i, owner_block(full, i) * m_);
   assert(v != kInvalidIPNode && "block content outside the nucleus orbit");
   return v;
 }
 
 std::uint64_t SuperRanking::rank(const Label& full) const {
   std::uint64_t r = 0;
+  if (symmetric_) {
+    Arrangement arr(l_);
+    for (int p = 0; p < l_; ++p) {
+      arr[p] = static_cast<std::uint8_t>(owner_block(full, p));
+    }
+    const auto it =
+        std::lower_bound(arrangements_.begin(), arrangements_.end(), arr);
+    assert(it != arrangements_.end() && *it == arr &&
+           "block arrangement not reachable from the seed");
+    r = static_cast<std::uint64_t>(it - arrangements_.begin());
+  }
   for (int i = 0; i < l_; ++i) r = r * nucleus_.num_nodes() + digit(full, i);
   return r;
+}
+
+std::uint64_t SuperRanking::try_rank(const Label& full) const {
+  if (static_cast<int>(full.size()) != l_ * m_) return kInvalidRank;
+  std::uint64_t r = 0;
+  if (symmetric_) {
+    Arrangement arr(l_);
+    for (int p = 0; p < l_; ++p) {
+      const int sym = full[p * m_];
+      if (sym < base_lo_) return kInvalidRank;
+      const int b = (sym - base_lo_) / m_;
+      if (b >= l_) return kInvalidRank;
+      arr[p] = static_cast<std::uint8_t>(b);
+    }
+    const auto it =
+        std::lower_bound(arrangements_.begin(), arrangements_.end(), arr);
+    if (it == arrangements_.end() || *it != arr) return kInvalidRank;
+    r = static_cast<std::uint64_t>(it - arrangements_.begin());
+  }
+  for (int i = 0; i < l_; ++i) {
+    const Node d = digit_lookup(full, i, owner_block(full, i) * m_);
+    if (d == kInvalidIPNode) return kInvalidRank;
+    r = r * nucleus_.num_nodes() + d;
+  }
+  return r;
+}
+
+Label SuperRanking::unrank(std::uint64_t r) const {
+  Label out;
+  unrank_into(r, out);
+  return out;
+}
+
+void SuperRanking::unrank_into(std::uint64_t r, Label& out) const {
+  assert(r < size());
+  out.resize(static_cast<std::size_t>(l_) * m_);
+  const std::uint64_t arr_idx = r / ml_;
+  std::uint64_t digits = r % ml_;
+  const std::uint64_t M = nucleus_.num_nodes();
+  Label block;
+  for (int i = l_ - 1; i >= 0; --i) {
+    const Node d = static_cast<Node>(digits % M);
+    digits /= M;
+    nucleus_.label_into(d, block);
+    const int shift =
+        symmetric_ ? arrangements_[arr_idx][i] * m_ : 0;
+    for (int j = 0; j < m_; ++j) {
+      out[i * m_ + j] = static_cast<std::uint8_t>(block[j] + shift);
+    }
+  }
 }
 
 std::string SuperRanking::radix_string(const Label& full) const {

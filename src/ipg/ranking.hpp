@@ -2,37 +2,103 @@
 // Node ranking for super-IP graphs: maps each node to a radix-M numeral
 // with one digit per super-symbol (M = nucleus size), the labeling used in
 // Fig. 1 of the paper ("radix-4 node labels" for HSN(l, Q2)).
+//
+// The rank is a *perfect index* of the node set: plain seeds biject onto
+// [0, M^l) (Theorem 3.2), and symmetric seeds (Section 3.5) onto
+// [0, A * M^l) where A is the number of reachable block arrangements —
+// the node id space net::ImplicitSuperIPTopology navigates without ever
+// materializing the graph. The digit lookup uses a sorted packed-label
+// table (binary search), not a hash map, so ranking adds no per-node heap
+// blocks on top of the nucleus graph.
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ipg/build.hpp"
+#include "ipg/packed_label.hpp"
+#include "ipg/schedule.hpp"
 #include "ipg/super.hpp"
 
 namespace ipg {
 
-/// Ranks nodes of a *plain* super-IP graph (identical seed blocks): digit i
-/// is the nucleus-graph node id of super-symbol i's content, and the rank
-/// is the base-M value of the digit string. Rank is a bijection onto
-/// [0, M^l) by Theorem 3.2.
+/// Ranks nodes of a super-IP graph. For a *plain* seed (identical blocks):
+/// digit i is the nucleus-graph node id of super-symbol i's content, and
+/// the rank is the base-M value of the digit string — a bijection onto
+/// [0, M^l) by Theorem 3.2. For a *symmetric* seed (block i = block 0
+/// with every symbol shifted by i*m, as produced by make_symmetric): the
+/// rank prepends the index of the current block arrangement among the
+/// reachable arrangements, a bijection onto [0, A * M^l). Any other seed
+/// shape throws std::invalid_argument.
 class SuperRanking {
  public:
   explicit SuperRanking(const SuperIPSpec& spec);
 
   std::uint64_t nucleus_size() const noexcept { return nucleus_.num_nodes(); }
 
-  /// Digit of super-symbol `i` in `full` (its content's nucleus node id).
+  /// True when the spec has a symmetric (shifted-block) seed.
+  bool symmetric_seed() const noexcept { return symmetric_; }
+
+  /// Number of reachable block arrangements A (1 for plain seeds).
+  std::uint64_t num_arrangements() const noexcept {
+    return symmetric_ ? arrangements_.size() : 1;
+  }
+
+  /// Total number of nodes = A * M^l — the size of the rank's codomain.
+  std::uint64_t size() const noexcept { return num_arrangements() * ml_; }
+
+  /// Digit of super-symbol position `i` in `full` (the nucleus node id of
+  /// its content; for symmetric seeds the content is shifted back to the
+  /// base symbol range first). `full` must be an orbit element.
   std::uint32_t digit(const Label& full, int i) const;
 
-  /// Base-M rank of the whole label.
+  /// Rank of the whole label: base-M digit value, prefixed by the
+  /// arrangement index for symmetric seeds.
   std::uint64_t rank(const Label& full) const;
+
+  /// Sentinel returned by try_rank for labels outside the orbit.
+  static constexpr std::uint64_t kInvalidRank = ~0ull;
+
+  /// rank() with validation instead of a precondition: kInvalidRank when
+  /// `full` has the wrong length, a block content outside the nucleus
+  /// orbit, or (symmetric seeds) an unreachable block arrangement.
+  std::uint64_t try_rank(const Label& full) const;
+
+  /// Inverse of rank(): the node label with the given rank (< size()).
+  Label unrank(std::uint64_t r) const;
+  void unrank_into(std::uint64_t r, Label& out) const;
 
   /// Digit string, e.g. "231" (digits < 10) or "2.3.1" otherwise.
   std::string radix_string(const Label& full) const;
 
+  /// The nucleus IP graph the digits index into.
+  const IPGraph& nucleus() const noexcept { return nucleus_; }
+
  private:
-  int l_, m_;
+  /// Seed-block index whose symbols currently sit at position `i`
+  /// (0 for plain seeds; symbol-range lookup for symmetric seeds).
+  int owner_block(const Label& full, int i) const noexcept;
+
+  /// Nucleus node of position `i`'s content after shifting symbols down by
+  /// `shift`; kInvalidIPNode when the content is not an orbit element.
+  Node digit_lookup(const Label& full, int i, int shift) const;
+
+  int l_ = 0, m_ = 0;
+  bool symmetric_ = false;
+  int base_lo_ = 0;     ///< smallest symbol of the base (leftmost) block
+  int base_hi_ = 0;     ///< largest symbol of the base (leftmost) block
+  std::uint64_t ml_ = 1;  ///< M^l
   IPGraph nucleus_;
+  LabelCodec block_codec_;  ///< packs one base-range block
+  /// Sorted (packed nucleus label, nucleus node) pairs: the hash-free
+  /// content -> digit lookup. Empty when the block shape doesn't pack
+  /// (then nucleus_.node_of serves lookups).
+  std::vector<std::pair<PackedLabel, Node>> sorted_blocks_;
+  /// Reachable block arrangements, sorted lexicographically; the
+  /// arrangement index is the leading digit of the symmetric rank. Empty
+  /// for plain seeds.
+  std::vector<Arrangement> arrangements_;
 };
 
 }  // namespace ipg

@@ -1,7 +1,10 @@
 #include "ipg/super.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
+
+#include "ipg/packed_label.hpp"
 
 namespace ipg {
 
@@ -56,12 +59,37 @@ IPGraph build_super_ip_graph(const SuperIPSpec& spec, std::uint64_t max_nodes,
 ModuleAssignment nucleus_modules(const IPGraph& g, int m) {
   ModuleAssignment out;
   out.module_of.resize(g.num_nodes());
+  Label x, suffix;
+  // Key the modules on the packed suffix when it fits; the flat table
+  // avoids one heap allocation per node and the unordered_map overhead.
+  // The orbit's symbol multiset is the seed's, so its max symbol bounds
+  // every suffix symbol.
+  LabelCodec codec;
+  if (g.num_nodes() > 0) {
+    const Label seed_label = g.label(0);
+    const int max_symbol = *std::max_element(seed_label.begin(), seed_label.end());
+    codec = LabelCodec::for_shape(static_cast<int>(seed_label.size()) - m,
+                                  max_symbol);
+  }
+  if (codec.valid()) {
+    PackedLabelMap ids;
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      g.label_into(u, x);
+      assert(static_cast<int>(x.size()) > m);
+      suffix.assign(x.begin() + m, x.end());
+      const auto [slot, inserted] =
+          ids.try_emplace(codec.pack(suffix), out.num_modules);
+      if (inserted) ++out.num_modules;
+      out.module_of[u] = static_cast<std::uint32_t>(*slot);
+    }
+    return out;
+  }
   std::unordered_map<Label, std::uint32_t, LabelHash> ids;
   for (Node u = 0; u < g.num_nodes(); ++u) {
-    const Label& x = g.labels[u];
+    g.label_into(u, x);
     assert(static_cast<int>(x.size()) > m);
-    Label suffix(x.begin() + m, x.end());
-    const auto [it, inserted] = ids.try_emplace(std::move(suffix), out.num_modules);
+    suffix.assign(x.begin() + m, x.end());
+    const auto [it, inserted] = ids.try_emplace(suffix, out.num_modules);
     if (inserted) ++out.num_modules;
     out.module_of[u] = it->second;
   }

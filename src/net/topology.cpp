@@ -1,0 +1,70 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipg::net {
+
+void MaterializedTopology::neighbors(NodeId u, std::vector<TopoArc>& out) const {
+  out.clear();
+  const Node n = static_cast<Node>(u);
+  const auto nb = g_->graph.neighbors(n);
+  const auto tags = g_->graph.tags(n);
+  out.reserve(nb.size());
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    out.push_back(TopoArc{nb[i], tags.empty() ? kNoTag : tags[i]});
+  }
+}
+
+void MaterializedTopology::label_into(NodeId u, Label& out) const {
+  g_->label_into(static_cast<Node>(u), out);
+}
+
+NodeId MaterializedTopology::node_of(const Label& x) const {
+  const Node v = g_->node_of(x);
+  return v == kInvalidIPNode ? kInvalidNodeId : v;
+}
+
+ImplicitSuperIPTopology::ImplicitSuperIPTopology(SuperIPSpec spec)
+    : spec_(std::move(spec)),
+      ip_spec_(spec_.to_ip_spec()),
+      ranking_(spec_),
+      nucleus_count_(static_cast<int>(spec_.nucleus_gens.size())) {}
+
+void ImplicitSuperIPTopology::neighbors(NodeId u, std::vector<TopoArc>& out) const {
+  out.clear();
+  Label x, y;
+  ranking_.unrank_into(u, x);
+  for (int g = 0; g < num_generators(); ++g) {
+    ip_spec_.generators[g].perm.apply_into(x, y);
+    if (y == x) continue;  // fixed label: self-loop, not an arc
+    out.push_back(TopoArc{ranking_.rank(y), static_cast<EdgeTag>(g)});
+  }
+  // Match GraphBuilder::build: sort by (to, tag), merge parallel arcs
+  // keeping the smallest tag (the first of each run after sorting).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const TopoArc& a, const TopoArc& b) {
+                          return a.to == b.to;
+                        }),
+            out.end());
+}
+
+void ImplicitSuperIPTopology::label_into(NodeId u, Label& out) const {
+  ranking_.unrank_into(u, out);
+}
+
+NodeId ImplicitSuperIPTopology::node_of(const Label& x) const {
+  const std::uint64_t r = ranking_.try_rank(x);
+  return r == SuperRanking::kInvalidRank ? kInvalidNodeId : r;
+}
+
+NodeId ImplicitSuperIPTopology::neighbor_via(NodeId u, int gen) const {
+  assert(gen >= 0 && gen < num_generators());
+  Label x, y;
+  ranking_.unrank_into(u, x);
+  ip_spec_.generators[gen].perm.apply_into(x, y);
+  return ranking_.rank(y);
+}
+
+}  // namespace ipg::net

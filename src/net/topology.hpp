@@ -1,0 +1,134 @@
+#pragma once
+// The topology abstraction: a uniform adjacency view over networks that
+// may or may not exist in memory.
+//
+// Everything below the analysis/routing/simulation layers used to require
+// a materialized CSR Graph, which caps experiments at enumeration scale
+// (~2^24 nodes). But the IP-graph model is *generative*: a node is a
+// label, an arc is a generator application, and for super-IP seeds
+// Theorem 3.2 supplies a perfect node numbering (SuperRanking). This
+// header splits the two concerns:
+//
+//   - MaterializedTopology wraps an explicitly built IPGraph (exact
+//     analysis, small instances);
+//   - ImplicitSuperIPTopology computes neighbors on the fly from a
+//     SuperIPSpec — O(nucleus) memory for networks of 10^7+ nodes.
+//
+// Both present identical adjacency semantics (see Topology::neighbors),
+// verified arc-for-arc by tests/net_topology_test.cpp, so consumers can
+// switch representations without changing results.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ipg/build.hpp"
+#include "ipg/label.hpp"
+#include "ipg/ranking.hpp"
+#include "ipg/super.hpp"
+
+namespace ipg::net {
+
+/// Node identifier in a topology. 64 bits: implicit super-IP instances
+/// outgrow the 32-bit ids of the materialized layer.
+using NodeId = std::uint64_t;
+inline constexpr NodeId kInvalidNodeId = ~0ull;
+
+/// One out-arc: target node and the tag of the generator that produced it
+/// (kNoTag for untagged materialized graphs).
+struct TopoArc {
+  NodeId to = kInvalidNodeId;
+  EdgeTag tag = kNoTag;
+
+  friend bool operator==(const TopoArc&, const TopoArc&) = default;
+  friend bool operator<(const TopoArc& a, const TopoArc& b) {
+    return a.to != b.to ? a.to < b.to : a.tag < b.tag;
+  }
+};
+
+/// Uniform adjacency view. neighbors() must follow GraphBuilder::build's
+/// conventions so both implementations agree arc-for-arc: out-arcs sorted
+/// by (to, tag), self-loops dropped, parallel arcs merged keeping the
+/// smallest tag.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual NodeId num_nodes() const = 0;
+
+  /// Out-arcs of `u`, written into `out` (cleared first; reuse the vector
+  /// across calls to stay allocation-free after warmup).
+  virtual void neighbors(NodeId u, std::vector<TopoArc>& out) const = 0;
+
+  /// Label of node `u`, written into `out`.
+  virtual void label_into(NodeId u, Label& out) const = 0;
+
+  /// Node id of label `x`, or kInvalidNodeId when `x` is not a node.
+  virtual NodeId node_of(const Label& x) const = 0;
+
+  Label label_of(NodeId u) const {
+    Label out;
+    label_into(u, out);
+    return out;
+  }
+};
+
+/// Topology view of an explicitly built IP graph (non-owning; the IPGraph
+/// must outlive the view). Node ids are the graph's BFS discovery ids.
+class MaterializedTopology final : public Topology {
+ public:
+  explicit MaterializedTopology(const IPGraph& g) : g_(&g) {}
+
+  NodeId num_nodes() const override { return g_->num_nodes(); }
+  void neighbors(NodeId u, std::vector<TopoArc>& out) const override;
+  void label_into(NodeId u, Label& out) const override;
+  NodeId node_of(const Label& x) const override;
+
+  const IPGraph& ip_graph() const noexcept { return *g_; }
+
+ private:
+  const IPGraph* g_;
+};
+
+/// Never-materialized super-IP topology: nodes are SuperRanking ranks
+/// (node 0 = rank 0, *not* BFS discovery order), arcs are generator
+/// applications computed per call. Memory is O(nucleus + generators)
+/// regardless of instance size, so a 10^7-node HSN costs kilobytes.
+/// Requires a plain or symmetric super-IP seed (SuperRanking's domain);
+/// other seeds throw std::invalid_argument from the constructor.
+class ImplicitSuperIPTopology final : public Topology {
+ public:
+  explicit ImplicitSuperIPTopology(SuperIPSpec spec);
+
+  NodeId num_nodes() const override { return ranking_.size(); }
+  void neighbors(NodeId u, std::vector<TopoArc>& out) const override;
+  void label_into(NodeId u, Label& out) const override;
+  NodeId node_of(const Label& x) const override;
+
+  const SuperIPSpec& spec() const noexcept { return spec_; }
+  /// The lifted whole-label spec; arc tags index its generator list
+  /// (nucleus generators first, then expanded super-generators — the same
+  /// ordering as SuperIPSpec::to_ip_spec and route_super_ip).
+  const IPGraphSpec& ip_spec() const noexcept { return ip_spec_; }
+  const SuperRanking& ranking() const noexcept { return ranking_; }
+
+  int num_generators() const noexcept {
+    return static_cast<int>(ip_spec_.generators.size());
+  }
+  /// True when generator `g` (tag value) is an expanded super-generator —
+  /// i.e. traversing it crosses nucleus modules (Section 5's II-cost hop).
+  bool gen_is_super(int g) const noexcept { return g >= nucleus_count_; }
+  int nucleus_generator_count() const noexcept { return nucleus_count_; }
+
+  /// Target of applying generator `gen` at `u`; equals `u` when the
+  /// generator fixes the label (such self-loops are not arcs).
+  NodeId neighbor_via(NodeId u, int gen) const;
+
+ private:
+  SuperIPSpec spec_;
+  IPGraphSpec ip_spec_;
+  SuperRanking ranking_;
+  int nucleus_count_ = 0;
+};
+
+}  // namespace ipg::net

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
+
+#include "ipg/packed_label.hpp"
 
 namespace ipg {
 
@@ -30,8 +34,61 @@ bool verify_path(const IPGraphSpec& spec, const Label& src, const Label& dst,
   return current == dst;
 }
 
+namespace {
+
+[[noreturn]] void throw_unreachable() {
+  throw std::invalid_argument("bfs_route: destination not reachable");
+}
+
+/// BFS over packed labels: same search order as the fallback below (labels
+/// expand in discovery order, generators in index order), so both paths
+/// return the same route. No per-label heap blocks.
+GenPath bfs_route_packed(const IPGraphSpec& spec, const LabelCodec& codec,
+                         const PackedLabel& src, const PackedLabel& dst) {
+  std::vector<PackedPerm> gens;
+  gens.reserve(spec.generators.size());
+  for (const Generator& g : spec.generators) gens.emplace_back(codec, g.perm);
+
+  struct Entry {
+    PackedLabel x;
+    std::uint32_t parent;
+    std::int32_t gen;
+  };
+  std::vector<Entry> order{{src, 0, -1}};
+  PackedLabelMap seen;
+  seen.try_emplace(src, 0);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const PackedLabel current = order[head].x;  // copy: order may reallocate
+    for (int g = 0; g < static_cast<int>(gens.size()); ++g) {
+      const PackedLabel next = gens[g].apply(current);
+      if (next == current) continue;
+      if (!seen.try_emplace(next, order.size()).second) continue;
+      order.push_back(Entry{next, static_cast<std::uint32_t>(head), g});
+      if (next == dst) {
+        GenPath out;
+        for (std::size_t i = order.size() - 1; i != 0; i = order[i].parent) {
+          out.gens.push_back(order[i].gen);
+        }
+        std::reverse(out.gens.begin(), out.gens.end());
+        return out;
+      }
+    }
+  }
+  throw_unreachable();
+}
+
+}  // namespace
+
 GenPath bfs_route(const IPGraphSpec& spec, const Label& src, const Label& dst) {
   if (src == dst) return {};
+  const LabelCodec codec = LabelCodec::for_label(src);
+  if (codec.valid()) {
+    PackedLabel pdst;
+    // A destination that does not even pack under the source's codec has a
+    // different shape, hence cannot lie in the source's orbit.
+    if (!codec.try_pack(dst, pdst)) throw_unreachable();
+    return bfs_route_packed(spec, codec, codec.pack(src), pdst);
+  }
   std::unordered_map<Label, std::pair<Label, int>, LabelHash> parent;
   std::vector<Label> queue{src};
   parent.emplace(src, std::make_pair(Label{}, -1));
@@ -57,7 +114,7 @@ GenPath bfs_route(const IPGraphSpec& spec, const Label& src, const Label& dst) {
       }
     }
   }
-  throw std::invalid_argument("bfs_route: destination not reachable");
+  throw_unreachable();
 }
 
 }  // namespace ipg

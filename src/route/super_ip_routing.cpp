@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+
 namespace ipg {
 
 namespace {
@@ -126,6 +129,202 @@ int route_length_bound(const SuperIPSpec& spec, int nucleus_diameter,
   const int t = symmetric_seed ? compute_t_symmetric(spec) : compute_t(spec);
   if (t < 0) return -1;
   return spec.l * nucleus_diameter + t;
+}
+
+namespace {
+
+constexpr std::uint16_t kNoFirstGen = 0xffff;
+
+}  // namespace
+
+SuperIPRouter::SuperIPRouter(SuperIPSpec spec)
+    : spec_(std::move(spec)),
+      nucleus_count_(static_cast<int>(spec_.nucleus_gens.size())),
+      nucleus_(build_ip_graph(spec_.nucleus_spec())) {
+  const Label base = spec_.seed_block(0);
+  base_lo_ = *std::min_element(base.begin(), base.end());
+  for (int i = 1; i < spec_.l && plain_; ++i) {
+    if (spec_.seed_block(i) != base) plain_ = false;
+  }
+
+  lifted_super_.reserve(spec_.super_gens.size());
+  for (const Generator& g : spec_.super_gens) {
+    lifted_super_.push_back(g.perm.expand_blocks(spec_.m));
+  }
+
+  std::optional<Schedule> s = min_visit_all_schedule(spec_);
+  if (!s) {
+    throw std::invalid_argument(
+        "SuperIPRouter: super-generators cannot visit all blocks: " +
+        spec_.name);
+  }
+  plain_schedule_ = std::move(*s);
+
+  // First-generator table: one reverse-graph BFS per nucleus node gives
+  // distances-to-dst; the first (smallest-target) distance-decreasing arc's
+  // tag is the step to take. O(M^2) space, O(M * E) time — the nucleus is
+  // the *small* factor of a super-IP graph, that is the whole point.
+  const Node M = nucleus_.num_nodes();
+  const Graph& ng = nucleus_.graph;
+  GraphBuilder rb(M);
+  rb.reserve(ng.num_arcs());
+  for (Node u = 0; u < M; ++u) {
+    for (const Node v : ng.neighbors(u)) rb.add_arc(v, u);
+  }
+  const Graph reverse = std::move(rb).build();
+  first_gen_table_.assign(static_cast<std::size_t>(M) * M, kNoFirstGen);
+  BfsScratch scratch(M);
+  for (Node dst = 0; dst < M; ++dst) {
+    const auto dist = scratch.run(reverse, dst);  // dist[u] = d(u -> dst)
+    std::uint16_t* row = first_gen_table_.data() + static_cast<std::size_t>(dst) * M;
+    for (Node u = 0; u < M; ++u) {
+      if (u == dst || dist[u] == kUnreachable) continue;
+      const auto nb = ng.neighbors(u);
+      const auto tags = ng.tags(u);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (dist[nb[i]] + 1 == dist[u]) {
+          row[u] = tags[i];
+          break;
+        }
+      }
+      assert(row[u] != kNoFirstGen);
+    }
+  }
+}
+
+Node SuperIPRouter::nucleus_node(const Label& block) const {
+  if (plain_) return nucleus_.node_of(block);
+  // Symmetric seed: shift the content back into the base block's symbol
+  // range before the lookup (block b holds base symbols + b*m).
+  if (block[0] < base_lo_) return kInvalidIPNode;
+  const int owner = (block[0] - base_lo_) / spec_.m;
+  if (owner >= spec_.l) return kInvalidIPNode;
+  const int shift = owner * spec_.m;
+  Label shifted = block;
+  for (std::uint8_t& s : shifted) {
+    if (s < shift + base_lo_) return kInvalidIPNode;
+    s = static_cast<std::uint8_t>(s - shift);
+  }
+  return nucleus_.node_of(shifted);
+}
+
+void SuperIPRouter::sort_front_block(Label& current, const Label& target_content,
+                                     std::vector<int>& out_gens) const {
+  const int m = spec_.m;
+  if (std::equal(current.begin(), current.begin() + m, target_content.begin())) {
+    return;
+  }
+  const Label front = block_of(current, 0, m);
+  const Node src = nucleus_node(front);
+  const Node dst = nucleus_node(target_content);
+  if (src == kInvalidIPNode || dst == kInvalidIPNode) {
+    throw std::invalid_argument(
+        "SuperIPRouter: block content outside the nucleus orbit");
+  }
+  const Node M = nucleus_.num_nodes();
+  Node cur = src;
+  while (cur != dst) {
+    const std::uint16_t g =
+        first_gen_table_[static_cast<std::size_t>(dst) * M + cur];
+    if (g == kNoFirstGen) {
+      throw std::invalid_argument(
+          "SuperIPRouter: target content unreachable within the nucleus");
+    }
+    out_gens.push_back(g);
+    cur = nucleus_.apply_generator(cur, g);
+  }
+  set_block(current, 0, m, target_content);
+}
+
+GenPath SuperIPRouter::route(const Label& src, const Label& dst) const {
+  const int l = spec_.l;
+  const int m = spec_.m;
+  if (static_cast<int>(src.size()) != spec_.label_length() ||
+      static_cast<int>(dst.size()) != spec_.label_length()) {
+    throw std::invalid_argument("SuperIPRouter: label length mismatch");
+  }
+  GenPath out;
+  if (src == dst) return out;
+
+  std::vector<int> d(l, -1);
+  const Schedule* schedule = nullptr;
+  if (plain_) {
+    schedule = &plain_schedule_;
+    for (int q = 0; q < l; ++q) d[plain_schedule_.final_arrangement[q]] = q;
+  } else {
+    // Symmetric mode: match the disjoint block symbol sets of src to dst
+    // to find the forced destination position of every block, then fetch
+    // (or lazily build) the schedule realizing that arrangement.
+    std::vector<Label> src_multisets(l), dst_multisets(l);
+    for (int i = 0; i < l; ++i) {
+      src_multisets[i] = sorted_copy(block_of(src, i, m));
+      dst_multisets[i] = sorted_copy(block_of(dst, i, m));
+    }
+    Arrangement target(l, 0);
+    std::vector<bool> used(l, false);
+    for (int i = 0; i < l; ++i) {
+      int match = -1;
+      for (int q = 0; q < l; ++q) {
+        if (!used[q] && dst_multisets[q] == src_multisets[i]) {
+          match = q;
+          break;
+        }
+      }
+      if (match < 0) {
+        throw std::invalid_argument("SuperIPRouter: dst blocks do not match src");
+      }
+      used[match] = true;
+      d[i] = match;
+      target[match] = static_cast<std::uint8_t>(i);
+    }
+    auto it = sym_schedules_.find(target);
+    if (it == sym_schedules_.end()) {
+      std::optional<Schedule> s = schedule_to_arrangement(spec_, target);
+      if (!s) {
+        throw std::invalid_argument(
+            "SuperIPRouter: required arrangement unreachable");
+      }
+      it = sym_schedules_.emplace(target, std::move(*s)).first;
+    }
+    schedule = &it->second;
+  }
+
+  Label current = src;
+  Arrangement arr(l);
+  for (int i = 0; i < l; ++i) arr[i] = static_cast<std::uint8_t>(i);
+  std::vector<bool> visited(l, false);
+
+  visited[0] = true;
+  sort_front_block(current, block_of(dst, d[0], m), out.gens);
+
+  Arrangement next_arr(l);
+  Label next_label;
+  for (const int g : schedule->gens) {
+    lifted_super_[g].apply_into(current, next_label);
+    if (next_label != current) {
+      out.gens.push_back(nucleus_count_ + g);
+      current.swap(next_label);
+    }
+    const Permutation& beta = spec_.super_gens[g].perm;
+    for (int p = 0; p < l; ++p) next_arr[p] = arr[beta[p]];
+    arr.swap(next_arr);
+    const int front_block = arr[0];
+    if (!visited[front_block]) {
+      visited[front_block] = true;
+      sort_front_block(current, block_of(dst, d[front_block], m), out.gens);
+    }
+  }
+
+  if (current != dst) {
+    throw std::invalid_argument("SuperIPRouter: destination is not a node of " +
+                                spec_.name);
+  }
+  return out;
+}
+
+int SuperIPRouter::first_gen(const Label& src, const Label& dst) const {
+  const GenPath path = route(src, dst);
+  return path.gens.empty() ? -1 : path.gens.front();
 }
 
 }  // namespace ipg

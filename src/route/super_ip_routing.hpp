@@ -10,8 +10,12 @@
 // 4.1/4.3 show is exactly the diameter. Routing operates purely on labels:
 // it never materializes the network, so it works at any scale.
 
+#include <cstdint>
+#include <map>
 #include <span>
+#include <vector>
 
+#include "ipg/build.hpp"
 #include "ipg/schedule.hpp"
 #include "ipg/super.hpp"
 #include "route/path.hpp"
@@ -31,5 +35,57 @@ GenPath route_super_ip(const SuperIPSpec& spec, const Label& src, const Label& d
 /// is D_G.
 int route_length_bound(const SuperIPSpec& spec, int nucleus_diameter,
                        bool symmetric_seed);
+
+/// Reusable router for one super-IP spec: everything route_super_ip
+/// recomputes per call — the super-generator schedule, the lifted block
+/// permutations, and shortest nucleus sorting routes — is built once at
+/// construction (the nucleus routes as a first-generator table from one
+/// BFS per nucleus node), so route() performs no search at all. This is
+/// what lets sim::SimNetwork's label-routing policy derive a source route
+/// per simulated packet on instances that are never materialized.
+///
+/// Routes have exactly the same lengths as route_super_ip's (both compose
+/// shortest nucleus sorts with a minimum schedule) and use the same
+/// generator numbering (spec.to_ip_spec(): nucleus generators first).
+class SuperIPRouter {
+ public:
+  /// Throws std::invalid_argument if the spec's super-generators cannot
+  /// bring every block to the front (not a super-IP graph, Section 3.1).
+  explicit SuperIPRouter(SuperIPSpec spec);
+
+  const SuperIPSpec& spec() const noexcept { return spec_; }
+  bool plain_seed() const noexcept { return plain_; }
+  const IPGraph& nucleus() const noexcept { return nucleus_; }
+
+  /// Routes src -> dst; same contract as route_super_ip. Not thread-safe
+  /// for symmetric seeds (lazily caches one schedule per destination
+  /// arrangement).
+  GenPath route(const Label& src, const Label& dst) const;
+
+  /// First generator on route(src, dst), or -1 when src == dst. Note:
+  /// chaining first_gen() hop by hop does NOT follow route()'s path —
+  /// the schedule phase is route state, and a fresh route from an
+  /// intermediate label restarts it. Follow route().gens instead.
+  int first_gen(const Label& src, const Label& dst) const;
+
+ private:
+  /// Emits the shortest nucleus route sorting `current`'s front block to
+  /// `target_content`, updating `current`; pure table walk.
+  void sort_front_block(Label& current, const Label& target_content,
+                        std::vector<int>& out_gens) const;
+  Node nucleus_node(const Label& block) const;
+
+  SuperIPSpec spec_;
+  bool plain_ = true;
+  int base_lo_ = 0;       ///< smallest seed symbol (owner-block decoding)
+  int nucleus_count_ = 0;
+  IPGraph nucleus_;
+  std::vector<Permutation> lifted_super_;  ///< super gens over l*m positions
+  /// first_gen_table_[dst * M + u]: smallest-target first arc tag on a
+  /// shortest nucleus path u -> dst (0xffff = unreachable/u == dst).
+  std::vector<std::uint16_t> first_gen_table_;
+  Schedule plain_schedule_;  ///< min visit-all schedule (plain seeds)
+  mutable std::map<Arrangement, Schedule> sym_schedules_;  ///< symmetric cache
+};
 
 }  // namespace ipg

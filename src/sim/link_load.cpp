@@ -1,10 +1,16 @@
 #include "sim/link_load.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace ipg::sim {
 
 LinkLoadStats all_pairs_link_loads(const SimNetwork& net) {
+  if (net.policy() != RoutingPolicy::kPrecomputedTable) {
+    throw std::invalid_argument(
+        "all_pairs_link_loads: requires the precomputed-table policy (the "
+        "all-pairs walk is O(N^2) and addresses dense arc indices)");
+  }
   LinkLoadStats out;
   const Graph& g = net.graph();
   out.load.assign(g.num_arcs(), 0);

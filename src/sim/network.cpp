@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "graph/bfs.hpp"
 #include "graph/builder.hpp"
@@ -10,10 +11,16 @@ namespace ipg::sim {
 
 SimNetwork::SimNetwork(const Graph& g, LinkTiming timing,
                        std::optional<Clustering> clustering)
-    : graph_(&g) {
+    : graph_(&g), timing_(timing) {
   const Node n = g.num_nodes();
-  if (static_cast<std::uint64_t>(n) * n > (1ull << 26)) {
-    throw std::length_error("SimNetwork: next-hop table would exceed 2^26 entries");
+  if (static_cast<std::uint64_t>(n) * n > kMaxNextHopEntries) {
+    throw std::length_error(
+        "SimNetwork: " + std::to_string(n) + " nodes need " +
+        std::to_string(static_cast<std::uint64_t>(n) * n) +
+        " next-hop entries, above the 2^26 precomputed-table cap; for "
+        "super-IP instances, use the label-routing policy "
+        "(SimNetwork(net::ImplicitSuperIPTopology&, timing)) which needs no "
+        "tables");
   }
 
   // Arc attributes.
@@ -54,6 +61,60 @@ SimNetwork::SimNetwork(const Graph& g, LinkTiming timing,
       assert(row[u] != kUnreachable);
     }
   }
+}
+
+SimNetwork::SimNetwork(const net::ImplicitSuperIPTopology& topo,
+                       LinkTiming timing)
+    : policy_(RoutingPolicy::kLabelRoute),
+      topo_(&topo),
+      timing_(timing),
+      router_(std::make_unique<SuperIPRouter>(topo.spec())) {
+  // Packets address nodes with 32-bit ids; the rank space must fit.
+  if (topo.num_nodes() >= kUnreachable) {
+    throw std::length_error(
+        "SimNetwork: implicit topology exceeds the 32-bit simulator node id "
+        "space (" +
+        std::to_string(topo.num_nodes()) + " nodes)");
+  }
+}
+
+SimNetwork::Hop SimNetwork::hop(Node u, Node dst) const {
+  assert(u != dst);
+  assert(policy_ == RoutingPolicy::kPrecomputedTable);
+  Hop h;
+  h.to = next_hop(u, dst);
+  if (h.to == kUnreachable) return h;
+  h.link = arc_index(u, h.to);
+  h.service_time = service_[h.link];
+  h.off_module = off_module_[h.link] != 0;
+  return h;
+}
+
+std::vector<int> SimNetwork::route_gens(Node src, Node dst) const {
+  assert(policy_ == RoutingPolicy::kLabelRoute);
+  Label x, d;
+  topo_->label_into(src, x);
+  topo_->label_into(dst, d);
+  return router_->route(x, d).gens;
+}
+
+SimNetwork::Hop SimNetwork::hop_via(Node u, int gen) const {
+  assert(policy_ == RoutingPolicy::kLabelRoute);
+  Hop h;
+  h.to = static_cast<Node>(topo_->neighbor_via(u, gen));
+  assert(h.to != u && "route generators always move the label");
+  h.link = static_cast<std::uint64_t>(u) * topo_->num_generators() +
+           static_cast<std::uint64_t>(gen);
+  h.off_module = topo_->gen_is_super(gen);
+  h.service_time =
+      h.off_module ? timing_.off_module_time : timing_.on_module_time;
+  return h;
+}
+
+std::uint64_t SimNetwork::num_links() const noexcept {
+  if (policy_ == RoutingPolicy::kPrecomputedTable) return graph_->num_arcs();
+  return topo_->num_nodes() *
+         static_cast<std::uint64_t>(topo_->num_generators());
 }
 
 std::uint64_t SimNetwork::arc_index(Node u, Node v) const {

@@ -1,14 +1,26 @@
 #pragma once
 // Simulation view of a network: per-arc service times (on-module links may
-// be faster than off-module links, Section 5.4's regime) and precomputed
-// shortest-path next-hop tables.
+// be faster than off-module links, Section 5.4's regime) and a routing
+// policy answering "next hop toward dst" per simulated packet.
+//
+// Two policies:
+//   - kPrecomputedTable: O(N^2) next-hop tables from one BFS per
+//     destination — exact shortest-path routing for materialized graphs up
+//     to a few thousand nodes.
+//   - kLabelRoute: the paper's Theorem 4.1/4.3 label-sorting router
+//     (SuperIPRouter) over a net::ImplicitSuperIPTopology — O(nucleus)
+//     state, so the simulator estimates latency on super-IP instances of
+//     10^7+ nodes that are never materialized.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "cluster/clustering.hpp"
 #include "graph/graph.hpp"
+#include "net/topology.hpp"
+#include "route/super_ip_routing.hpp"
 
 namespace ipg::sim {
 
@@ -19,16 +31,84 @@ struct LinkTiming {
   double off_module_time = 1.0;  ///< service time of an inter-module hop
 };
 
+/// How the network answers next-hop queries.
+enum class RoutingPolicy {
+  kPrecomputedTable,  ///< O(N^2) tables, exact shortest paths
+  kLabelRoute,        ///< on-the-fly Theorem 4.1/4.3 label routing
+};
+
 class SimNetwork {
  public:
-  /// Builds routing tables (one BFS per destination — O(N*E), intended for
-  /// instances up to a few thousand nodes). Without a clustering, every
-  /// arc uses on_module_time.
+  /// Hard cap on the precomputed next-hop table (N^2 entries). Larger
+  /// instances must use the label-routing constructor instead.
+  static constexpr std::uint64_t kMaxNextHopEntries = 1ull << 26;
+
+  /// Precomputed-table policy. Builds routing tables (one BFS per
+  /// destination — O(N*E), intended for instances up to a few thousand
+  /// nodes; throws std::length_error beyond kMaxNextHopEntries). Without a
+  /// clustering, every arc uses on_module_time.
   SimNetwork(const Graph& g, LinkTiming timing,
              std::optional<Clustering> clustering = std::nullopt);
 
-  Node num_nodes() const noexcept { return graph_->num_nodes(); }
+  /// Label-routing policy over an implicit super-IP topology (non-owning;
+  /// `topo` must outlive the network). Hops follow SuperIPRouter routes —
+  /// Theorem 4.1/4.3 length-optimal sorting routes, not BFS-shortest
+  /// paths. An arc is off-module iff its generator is a super-generator,
+  /// which matches cluster_by_nucleus on the materialized graph. Throws
+  /// std::length_error if the instance exceeds the 32-bit packet id space.
+  SimNetwork(const net::ImplicitSuperIPTopology& topo, LinkTiming timing);
+
+  RoutingPolicy policy() const noexcept { return policy_; }
+
+  Node num_nodes() const noexcept {
+    return policy_ == RoutingPolicy::kPrecomputedTable
+               ? graph_->num_nodes()
+               : static_cast<Node>(topo_->num_nodes());
+  }
+
+  /// The materialized graph (kPrecomputedTable policy only).
   const Graph& graph() const noexcept { return *graph_; }
+
+  /// The implicit topology (kLabelRoute policy only).
+  const net::ImplicitSuperIPTopology& topology() const noexcept {
+    return *topo_;
+  }
+
+  /// One routing step: target node, FIFO link id, service time, module
+  /// crossing. Link ids are dense arc indices under kPrecomputedTable and
+  /// sparse (u * num_generators + generator) under kLabelRoute — see
+  /// num_links().
+  struct Hop {
+    Node to = kUnreachable;
+    std::uint64_t link = 0;
+    double service_time = 0.0;
+    bool off_module = false;
+  };
+
+  /// Next hop toward `dst` (kPrecomputedTable only; `u != dst` required).
+  /// Table routes are memoryless — each node's shortest-path choice
+  /// composes into a shortest path, so the simulator can re-query per hop.
+  Hop hop(Node u, Node dst) const;
+
+  /// Full Theorem 4.1/4.3 generator route src -> dst (kLabelRoute only).
+  /// Label routes are source routes: the schedule phase is part of the
+  /// route state, so re-deriving a fresh route at an intermediate node
+  /// does NOT continue the original one (and need not make progress).
+  /// Compute once at injection and follow it with hop_via().
+  std::vector<int> route_gens(Node src, Node dst) const;
+
+  /// The hop obtained by applying generator `gen` at node `u`
+  /// (kLabelRoute only). `gen` must move `u`'s label, which every
+  /// generator on a route_gens() route does.
+  Hop hop_via(Node u, int gen) const;
+
+  /// Size of the link-id space. Dense (== num_arcs) for tables; an upper
+  /// bound (num_nodes * num_generators, sparsely used) for label routing —
+  /// the simulator keeps per-link state in a hash map in that case.
+  std::uint64_t num_links() const noexcept;
+
+  // --- kPrecomputedTable-only accessors (asserted; link_load and the
+  // table-policy tests use these directly) ---
 
   /// Next hop on a shortest path from `u` toward `dst` (kUnreachable if
   /// disconnected). Shortest paths are min-hop; ties resolved toward the
@@ -47,10 +127,14 @@ class SimNetwork {
   bool crosses_modules(std::uint64_t arc) const { return off_module_[arc]; }
 
  private:
-  const Graph* graph_;
-  std::vector<Node> next_hop_;        // [dst * N + u]
-  std::vector<double> service_;       // per arc
-  std::vector<std::uint8_t> off_module_;  // per arc
+  RoutingPolicy policy_ = RoutingPolicy::kPrecomputedTable;
+  const Graph* graph_ = nullptr;
+  const net::ImplicitSuperIPTopology* topo_ = nullptr;
+  LinkTiming timing_{};
+  std::unique_ptr<SuperIPRouter> router_;  // kLabelRoute
+  std::vector<Node> next_hop_;             // [dst * N + u]
+  std::vector<double> service_;            // per arc
+  std::vector<std::uint8_t> off_module_;   // per arc
 };
 
 }  // namespace ipg::sim

@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 
 namespace ipg::sim {
+
+namespace {
+
+/// Per-link busy-until times. Dense vector for the precomputed-table
+/// policy (link ids are contiguous arc indices — same layout, and hence
+/// bit-identical results, as before the policy seam existed); hash map for
+/// label routing, whose link-id space is num_nodes * num_generators and
+/// only the links actually traversed matter.
+class LinkState {
+ public:
+  LinkState(RoutingPolicy policy, std::uint64_t num_links) {
+    if (policy == RoutingPolicy::kPrecomputedTable) {
+      dense_.assign(num_links, 0.0);
+    }
+  }
+
+  double& operator[](std::uint64_t link) {
+    return dense_.empty() ? sparse_[link] : dense_[link];
+  }
+
+ private:
+  std::vector<double> dense_;
+  std::unordered_map<std::uint64_t, double> sparse_;
+};
+
+}  // namespace
 
 SimResult simulate(const SimNetwork& net, std::span<const Packet> packets,
                    MessageModel model) {
@@ -19,7 +46,15 @@ SimResult simulate(const SimNetwork& net, std::span<const Packet> packets,
     int off_hops = 0;
   };
   std::vector<Flight> flight(packets.size());
-  std::vector<double> link_free(net.graph().num_arcs(), 0.0);
+  LinkState link_free(net.policy(), net.num_links());
+
+  // Label routing is source routing: Theorem 4.1/4.3 routes depend on the
+  // schedule phase, so the route is fixed at injection and followed hop by
+  // hop (re-deriving it mid-flight would restart the schedule). Computed
+  // lazily on the packet's first event; hops counts the steps taken.
+  const bool label_routed = net.policy() == RoutingPolicy::kLabelRoute;
+  std::vector<std::vector<int>> route;
+  if (label_routed) route.resize(packets.size());
 
   EventQueue queue;
   for (std::uint32_t i = 0; i < packets.size(); ++i) {
@@ -34,23 +69,31 @@ SimResult simulate(const SimNetwork& net, std::span<const Packet> packets,
                             flight[e.packet].off_hops);
       result.delivered++;
       result.makespan = std::max(result.makespan, e.time);
+      if (label_routed) std::vector<int>().swap(route[e.packet]);
       continue;
     }
-    const Node next = net.next_hop(e.node, p.dst);
-    assert(next != kUnreachable && "simulate() requires a connected topology");
-    const std::uint64_t arc = net.arc_index(e.node, next);
-    const double start = std::max(e.time, link_free[arc]);
-    const double full = start + net.service_time(arc) * model.flits;
-    link_free[arc] = full;  // the link carries every flit either way
+    SimNetwork::Hop h;
+    if (label_routed) {
+      auto& gens = route[e.packet];
+      if (flight[e.packet].hops == 0) gens = net.route_gens(p.src, p.dst);
+      h = net.hop_via(e.node, gens[static_cast<std::size_t>(flight[e.packet].hops)]);
+    } else {
+      h = net.hop(e.node, p.dst);
+    }
+    assert(h.to != kUnreachable && "simulate() requires a connected topology");
+    double& free_at = link_free[h.link];
+    const double start = std::max(e.time, free_at);
+    const double full = start + h.service_time * model.flits;
+    free_at = full;  // the link carries every flit either way
     // Store-and-forward waits for the whole message; cut-through forwards
     // the header after a single flit time. Delivery at the destination
     // always waits for the tail flit.
     const bool header_only =
-        model.mode == SwitchingMode::kCutThrough && next != p.dst;
-    const double arrive = header_only ? start + net.service_time(arc) : full;
+        model.mode == SwitchingMode::kCutThrough && h.to != p.dst;
+    const double arrive = header_only ? start + h.service_time : full;
     flight[e.packet].hops++;
-    if (net.crosses_modules(arc)) flight[e.packet].off_hops++;
-    queue.push(Event{arrive, e.packet, next});
+    if (h.off_module) flight[e.packet].off_hops++;
+    queue.push(Event{arrive, e.packet, h.to});
   }
   return result;
 }

@@ -164,8 +164,8 @@ TEST(Cluster, HcnSubcubeModuleGraphMatchesExplicit) {
   c.num_modules = (Node{1} << (n - b)) * (Node{1} << n);
   c.module_of.resize(g.num_nodes());
   for (Node u = 0; u < g.num_nodes(); ++u) {
-    const Node v1 = decode_block(g.labels[u], 0);
-    const Node v2 = decode_block(g.labels[u], 1);
+    const Node v1 = decode_block(g.labels()[u], 0);
+    const Node v2 = decode_block(g.labels()[u], 1);
     c.module_of[u] = (v1 >> b) * (Node{1} << n) + v2;
   }
   ASSERT_TRUE(modules_internally_connected(g.graph, c));

@@ -29,10 +29,10 @@ TEST(KaryNucleus, MatchesExplicitTorusExactly) {
     std::uint64_t arcs = 0;
     for (Node u = 0; u < ip.num_nodes(); ++u) {
       Node iu = 0;
-      for (int d = n - 1; d >= 0; --d) iu = iu * k + decode_kary(ip.labels[u], k, d);
+      for (int d = n - 1; d >= 0; --d) iu = iu * k + decode_kary(ip.labels()[u], k, d);
       for (const Node v : ip.graph.neighbors(u)) {
         Node iv = 0;
-        for (int d = n - 1; d >= 0; --d) iv = iv * k + decode_kary(ip.labels[v], k, d);
+        for (int d = n - 1; d >= 0; --d) iv = iv * k + decode_kary(ip.labels()[v], k, d);
         EXPECT_TRUE(torus.has_arc(iu, iv)) << k << "," << n;
         ++arcs;
       }

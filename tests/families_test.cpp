@@ -160,9 +160,9 @@ TEST(Families, TupleConstructionIsomorphicToIpConstruction) {
     const SuperRanking ranking(s);
     std::uint64_t arcs = 0;
     for (Node u = 0; u < ip.num_nodes(); ++u) {
-      const Node tu = static_cast<Node>(ranking.rank(ip.labels[u]));
+      const Node tu = static_cast<Node>(ranking.rank(ip.labels()[u]));
       for (const Node v : ip.graph.neighbors(u)) {
-        const Node tv = static_cast<Node>(ranking.rank(ip.labels[v]));
+        const Node tv = static_cast<Node>(ranking.rank(ip.labels()[v]));
         EXPECT_TRUE(tuple.graph.has_arc(tu, tv));
         ++arcs;
       }

@@ -34,10 +34,10 @@ TEST(Integration, Fig1aHcn22Structure) {
   EXPECT_EQ(c.max_module_size(), 4u);
 
   for (Node u = 0; u < g.num_nodes(); ++u) {
-    const std::uint64_t ru = ranking.rank(g.labels[u]);
+    const std::uint64_t ru = ranking.rank(g.labels()[u]);
     const std::uint64_t hi = ru / 4, lo = ru % 4;
     for (const Node v : g.graph.neighbors(u)) {
-      const std::uint64_t rv = ranking.rank(g.labels[v]);
+      const std::uint64_t rv = ranking.rank(g.labels()[v]);
       const std::uint64_t vhi = rv / 4, vlo = rv % 4;
       if (vlo == lo && vhi == hi) FAIL() << "self loop survived";
       if (vlo == hi && vhi == lo && hi != lo) continue;          // swap link
@@ -57,14 +57,14 @@ TEST(Integration, Fig1bHsn3Q2Structure) {
   const SuperRanking ranking(spec);
   ASSERT_EQ(g.num_nodes(), 64u);
   for (Node u = 0; u < g.num_nodes(); ++u) {
-    const auto& label = g.labels[u];
+    const auto& label = g.labels()[u];
     const std::uint64_t d0 = ranking.digit(label, 0);
     const std::uint64_t d1 = ranking.digit(label, 1);
     const std::uint64_t d2 = ranking.digit(label, 2);
     const auto tags = g.graph.tags(u);
     const auto nb = g.graph.neighbors(u);
     for (std::size_t i = 0; i < nb.size(); ++i) {
-      const auto& nl = g.labels[nb[i]];
+      const auto& nl = g.labels()[nb[i]];
       const std::string gen = spec.to_ip_spec().generators[tags[i]].name;
       if (gen == "T2") {
         EXPECT_EQ(ranking.digit(nl, 0), d1);
@@ -105,7 +105,7 @@ TEST(Integration, RoutedPathsDriveTheSimulatorConsistently) {
   for (Node u = 0; u < g.num_nodes(); ++u) {
     for (Node v = 0; v < g.num_nodes(); ++v) {
       if (u == v) continue;
-      const GenPath route = route_super_ip(spec, g.labels[u], g.labels[v]);
+      const GenPath route = route_super_ip(spec, g.labels()[u], g.labels()[v]);
       const std::vector<sim::Packet> one{{u, v, 0.0}};
       const auto r = simulate(net, one);
       EXPECT_LE(r.latency.mean(), route.length());
@@ -139,8 +139,8 @@ TEST(Integration, SymmetricVariantKeepsAlgorithms) {
   const IPGraphSpec lifted = sym.to_ip_spec();
   int checked = 0;
   for (Node v = 0; v < g.num_nodes(); v += 11) {
-    const GenPath p = route_super_ip(sym, g.labels[0], g.labels[v]);
-    EXPECT_TRUE(verify_path(lifted, g.labels[0], g.labels[v], p.gens));
+    const GenPath p = route_super_ip(sym, g.labels()[0], g.labels()[v]);
+    EXPECT_TRUE(verify_path(lifted, g.labels()[0], g.labels()[v], p.gens));
     ++checked;
   }
   EXPECT_GT(checked, 10);

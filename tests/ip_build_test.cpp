@@ -3,7 +3,9 @@
 // and the paper's worked examples.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "graph/metrics.hpp"
 #include "ipg/build.hpp"
@@ -36,7 +38,7 @@ TEST(IpBuild, StarGraphMatchesExplicitConstruction) {
     ASSERT_EQ(ip.num_nodes(), explicit_star.num_nodes());
     std::vector<Node> to_rank(ip.num_nodes());
     for (Node u = 0; u < ip.num_nodes(); ++u) {
-      std::vector<std::uint8_t> p(ip.labels[u].begin(), ip.labels[u].end());
+      std::vector<std::uint8_t> p(ip.labels()[u].begin(), ip.labels()[u].end());
       for (auto& s : p) s -= 1;  // symbols 1..n -> 0..n-1
       to_rank[u] = static_cast<Node>(topo::perm_rank(p));
     }
@@ -58,9 +60,9 @@ TEST(IpBuild, HypercubePairEncodingMatchesExplicitCube) {
     ASSERT_EQ(ip.num_nodes(), q.num_nodes()) << "n=" << n;
     std::uint64_t arcs = 0;
     for (Node u = 0; u < ip.num_nodes(); ++u) {
-      const Node bu = decode_pair_bits(ip.labels[u], /*msb_first=*/false);
+      const Node bu = decode_pair_bits(ip.labels()[u], /*msb_first=*/false);
       for (const Node v : ip.graph.neighbors(u)) {
-        const Node bv = decode_pair_bits(ip.labels[v], false);
+        const Node bv = decode_pair_bits(ip.labels()[v], false);
         EXPECT_TRUE(q.has_arc(bu, bv));
         ++arcs;
       }
@@ -76,9 +78,9 @@ TEST(IpBuild, FoldedHypercubeEncodingMatchesExplicit) {
     ASSERT_EQ(ip.num_nodes(), fq.num_nodes());
     std::uint64_t arcs = 0;
     for (Node u = 0; u < ip.num_nodes(); ++u) {
-      const Node bu = decode_pair_bits(ip.labels[u], false);
+      const Node bu = decode_pair_bits(ip.labels()[u], false);
       for (const Node v : ip.graph.neighbors(u)) {
-        EXPECT_TRUE(fq.has_arc(bu, decode_pair_bits(ip.labels[v], false)));
+        EXPECT_TRUE(fq.has_arc(bu, decode_pair_bits(ip.labels()[v], false)));
         ++arcs;
       }
     }
@@ -95,9 +97,9 @@ TEST(IpBuild, DeBruijnIpFormMatchesExplicitDirected) {
     ASSERT_EQ(ip.num_nodes(), db.num_nodes()) << "n=" << n;
     std::uint64_t arcs = 0;
     for (Node u = 0; u < ip.num_nodes(); ++u) {
-      const Node bu = decode_pair_bits(ip.labels[u], /*msb_first=*/true);
+      const Node bu = decode_pair_bits(ip.labels()[u], /*msb_first=*/true);
       for (const Node v : ip.graph.neighbors(u)) {
-        EXPECT_TRUE(db.has_arc(bu, decode_pair_bits(ip.labels[v], true)));
+        EXPECT_TRUE(db.has_arc(bu, decode_pair_bits(ip.labels()[v], true)));
         ++arcs;
       }
     }
@@ -112,9 +114,9 @@ TEST(IpBuild, ShuffleExchangeIpFormMatchesExplicit) {
     ASSERT_EQ(ip.num_nodes(), se.num_nodes()) << "n=" << n;
     std::uint64_t arcs = 0;
     for (Node u = 0; u < ip.num_nodes(); ++u) {
-      const Node bu = decode_pair_bits(ip.labels[u], /*msb_first=*/true);
+      const Node bu = decode_pair_bits(ip.labels()[u], /*msb_first=*/true);
       for (const Node v : ip.graph.neighbors(u)) {
-        EXPECT_TRUE(se.has_arc(bu, decode_pair_bits(ip.labels[v], true)));
+        EXPECT_TRUE(se.has_arc(bu, decode_pair_bits(ip.labels()[v], true)));
         ++arcs;
       }
     }
@@ -148,15 +150,15 @@ TEST(IpBuild, SeedChoiceInsideOrbitDoesNotChangeTheGraph) {
   const SuperIPSpec hcn = make_hcn(2);
   const IPGraph g = build_super_ip_graph(hcn);
   IPGraphSpec alt = hcn.to_ip_spec();
-  alt.seed = g.labels[g.num_nodes() - 1];
+  alt.seed = g.labels()[g.num_nodes() - 1];
   const IPGraph g2 = build_ip_graph(alt);
   ASSERT_EQ(g2.num_nodes(), g.num_nodes());
   // Same node set (labels) and same arcs under the label identification.
   for (Node u = 0; u < g2.num_nodes(); ++u) {
-    const Node original = g.node_of(g2.labels[u]);
+    const Node original = g.node_of(g2.labels()[u]);
     ASSERT_NE(original, kInvalidIPNode);
     for (const Node v : g2.graph.neighbors(u)) {
-      EXPECT_TRUE(g.graph.has_arc(original, g.node_of(g2.labels[v])));
+      EXPECT_TRUE(g.graph.has_arc(original, g.node_of(g2.labels()[v])));
     }
   }
 }
@@ -206,8 +208,66 @@ TEST(IpBuild, GeneratorCountBoundsDegree) {
 
 TEST(IpBuild, BfsOrderSeedIsNodeZero) {
   const IPGraph g = build_ip_graph(star_nucleus(4));
-  EXPECT_EQ(g.labels[0], g.spec.seed);
+  EXPECT_EQ(g.labels()[0], g.spec.seed);
   EXPECT_EQ(g.node_of(g.spec.seed), 0u);
+}
+
+TEST(IpBuild, PackedAndUnpackedBuildersAgreeExactly) {
+  // The packed-label builder must be a pure storage change: same node
+  // numbering, same label table, same arcs and tags as the legacy
+  // vector-of-vectors reference builder.
+  const std::vector<IPGraphSpec> specs = {
+      star_nucleus(5), hypercube_nucleus(4), pancake_nucleus(4),
+      make_hsn(3, hypercube_nucleus(2)).to_ip_spec()};
+  for (const IPGraphSpec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    const IPGraph packed = build_ip_graph(spec);
+    const IPGraph legacy = build_ip_graph_unpacked(spec);
+    EXPECT_TRUE(packed.packed());
+    EXPECT_FALSE(legacy.packed());
+    ASSERT_EQ(packed.num_nodes(), legacy.num_nodes());
+    ASSERT_EQ(packed.labels(), legacy.labels());
+    for (Node u = 0; u < packed.num_nodes(); ++u) {
+      ASSERT_EQ(packed.node_of(legacy.labels()[u]), u);
+      ASSERT_TRUE(std::ranges::equal(packed.graph.neighbors(u),
+                                     legacy.graph.neighbors(u)));
+      ASSERT_TRUE(std::ranges::equal(packed.graph.tags(u),
+                                     legacy.graph.tags(u)));
+    }
+  }
+}
+
+TEST(IpBuild, ApplyGeneratorScratchOverloadMatches) {
+  // Both storage modes; the scratch overload must agree with the plain one.
+  for (const bool force_legacy : {false, true}) {
+    const IPGraphSpec spec = star_nucleus(4);
+    const IPGraph g =
+        force_legacy ? build_ip_graph_unpacked(spec) : build_ip_graph(spec);
+    Label scratch;
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      for (int gen = 0; gen < static_cast<int>(g.spec.generators.size());
+           ++gen) {
+        EXPECT_EQ(g.apply_generator(u, gen, scratch),
+                  g.apply_generator(u, gen));
+      }
+    }
+  }
+}
+
+TEST(IpBuild, MemoryAccountingIsPopulated) {
+  const IPGraph packed = build_ip_graph(star_nucleus(5));
+  ASSERT_TRUE(packed.packed());
+  EXPECT_EQ(packed.index_size(), packed.num_nodes());
+  // Packed storage: at most 16 label bytes per node plus the flat index.
+  EXPECT_GE(packed.label_bytes(), 8u * packed.num_nodes());
+  EXPECT_LE(packed.label_bytes(), 16u * packed.num_nodes());
+  EXPECT_GT(packed.index_bytes(), 0u);
+
+  const IPGraph legacy = build_ip_graph_unpacked(star_nucleus(5));
+  EXPECT_GT(legacy.label_bytes(), 0u);
+  EXPECT_GT(legacy.index_bytes(), 0u);
+  // The headline claim: packed labels cut label-table bytes by >= 2x.
+  EXPECT_GE(legacy.label_bytes(), 2u * packed.label_bytes());
 }
 
 }  // namespace

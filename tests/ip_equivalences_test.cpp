@@ -38,9 +38,9 @@ TEST(IpEquivalence, ShuffleExchangeIsRingCnOverQ1) {
     // up to string reversal, which the shuffle generators absorb.
     std::uint64_t arcs = 0;
     for (Node u = 0; u < cn.num_nodes(); ++u) {
-      const Node bu = topo::decode_pair_bits(cn.labels[u], /*msb_first=*/false);
+      const Node bu = topo::decode_pair_bits(cn.labels()[u], /*msb_first=*/false);
       for (const Node v : cn.graph.neighbors(u)) {
-        const Node bv = topo::decode_pair_bits(cn.labels[v], false);
+        const Node bv = topo::decode_pair_bits(cn.labels()[v], false);
         EXPECT_TRUE(se.has_arc(bu, bv)) << "l=" << l << " " << bu << "->" << bv;
         ++arcs;
       }

@@ -1,0 +1,120 @@
+// Differential tests for the topology abstraction: the implicit super-IP
+// topology must agree with the materialized graph arc-for-arc (targets AND
+// generator tags) on every family, plain and symmetric — the guarantee
+// that lets routing/simulation/analysis swap representations freely.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ipg/families.hpp"
+#include "ipg/symmetric.hpp"
+#include "net/topology.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg::net {
+namespace {
+
+std::vector<SuperIPSpec> all_family_specs() {
+  std::vector<SuperIPSpec> specs = {
+      make_hcn(2),
+      make_hsn(3, hypercube_nucleus(2)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_complete_cn(3, hypercube_nucleus(2)),
+      make_directed_cn(3, star_nucleus(3)),
+      make_super_flip(3, hypercube_nucleus(2)),
+  };
+  // Symmetric variants of every family shape (Section 3.5).
+  const std::size_t plain_count = specs.size();
+  for (std::size_t i = 0; i < plain_count; ++i) {
+    specs.push_back(make_symmetric(specs[i]));
+  }
+  return specs;
+}
+
+TEST(ImplicitTopology, NeighborsMatchMaterializedArcForArc) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    const IPGraph g = build_super_ip_graph(spec);
+    const MaterializedTopology mat(g);
+    const ImplicitSuperIPTopology imp(spec);
+    ASSERT_EQ(imp.num_nodes(), g.num_nodes());
+
+    // Materialized ids are BFS discovery order, implicit ids are ranks;
+    // translate through the labels (a bijection by Theorem 3.2 / §3.5).
+    std::vector<NodeId> rank_of(g.num_nodes());
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      const NodeId r = imp.node_of(g.labels()[u]);
+      ASSERT_NE(r, kInvalidNodeId);
+      rank_of[u] = r;
+    }
+
+    std::vector<TopoArc> expected, actual;
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      mat.neighbors(u, expected);
+      for (TopoArc& a : expected) a.to = rank_of[a.to];
+      std::sort(expected.begin(), expected.end());
+      imp.neighbors(rank_of[u], actual);
+      ASSERT_EQ(actual, expected) << "node " << u;
+    }
+  }
+}
+
+TEST(ImplicitTopology, LabelNodeRoundTrip) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(3));
+  const ImplicitSuperIPTopology topo(spec);
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    EXPECT_EQ(topo.node_of(topo.label_of(u)), u);
+  }
+  EXPECT_EQ(topo.node_of(Label{1, 2, 3}), kInvalidNodeId);
+}
+
+TEST(ImplicitTopology, NeighborViaAgreesWithNeighborList) {
+  const SuperIPSpec spec = make_ring_cn(3, hypercube_nucleus(2));
+  const ImplicitSuperIPTopology topo(spec);
+  std::vector<TopoArc> arcs;
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    topo.neighbors(u, arcs);
+    for (const TopoArc& a : arcs) {
+      EXPECT_EQ(topo.neighbor_via(u, a.tag), a.to);
+    }
+  }
+}
+
+TEST(ImplicitTopology, GenIsSuperSplitsGeneratorList) {
+  const SuperIPSpec spec = make_hcn(2);
+  const ImplicitSuperIPTopology topo(spec);
+  const int nucleus = topo.nucleus_generator_count();
+  ASSERT_EQ(nucleus, static_cast<int>(spec.nucleus_gens.size()));
+  for (int gen = 0; gen < topo.num_generators(); ++gen) {
+    EXPECT_EQ(topo.gen_is_super(gen), gen >= nucleus);
+  }
+}
+
+TEST(ImplicitTopology, TenMillionNodeInstanceNeverMaterialized) {
+  // HSN(6, Q4): 16^6 = 16,777,216 nodes. Construction plus adjacency
+  // queries touch O(nucleus) memory only.
+  const SuperIPSpec spec = make_hsn(6, hypercube_nucleus(4));
+  const ImplicitSuperIPTopology topo(spec);
+  ASSERT_EQ(topo.num_nodes(), 16'777'216u);
+
+  std::vector<TopoArc> arcs;
+  Label x;
+  for (const NodeId u : {NodeId{0}, NodeId{1'234'567}, topo.num_nodes() - 1}) {
+    topo.label_into(u, x);
+    EXPECT_EQ(topo.node_of(x), u);
+    topo.neighbors(u, arcs);
+    // Theorem 3.1: degree bounded by the generator count; HSN degree is
+    // exactly nucleus degree + 2 super links when all generators move.
+    EXPECT_GT(arcs.size(), 0u);
+    EXPECT_LE(static_cast<int>(arcs.size()), topo.num_generators());
+    for (const TopoArc& a : arcs) {
+      EXPECT_LT(a.to, topo.num_nodes());
+      EXPECT_NE(a.to, u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipg::net

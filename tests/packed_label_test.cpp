@@ -1,0 +1,153 @@
+// Tests for the packed-label codec: pack/unpack round trips, compiled
+// permutation application, and the flat open-addressing label map.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "ipg/families.hpp"
+#include "ipg/packed_label.hpp"
+#include "ipg/permutation.hpp"
+#include "ipg/symmetric.hpp"
+#include "topo/hypercube.hpp"
+
+namespace ipg {
+namespace {
+
+TEST(LabelCodec, ShapeSelection) {
+  EXPECT_EQ(LabelCodec::for_shape(8, 15).bits(), 4);
+  EXPECT_EQ(LabelCodec::for_shape(8, 16).bits(), 8);
+  EXPECT_EQ(LabelCodec::for_shape(32, 15).words(), 2);
+  EXPECT_EQ(LabelCodec::for_shape(16, 15).words(), 1);
+  EXPECT_FALSE(LabelCodec::for_shape(33, 15).valid());  // > 128 bits
+  EXPECT_FALSE(LabelCodec::for_shape(17, 200).valid());
+  EXPECT_FALSE(LabelCodec().valid());
+}
+
+TEST(LabelCodec, RoundTripBothWidths) {
+  for (const Label& seed :
+       {Label{0, 1, 2, 3, 14, 15}, Label{0, 100, 200, 255}}) {
+    const LabelCodec codec = LabelCodec::for_label(seed);
+    ASSERT_TRUE(codec.valid());
+    const PackedLabel p = codec.pack(seed);
+    EXPECT_EQ(codec.unpack(p), seed);
+    for (int i = 0; i < static_cast<int>(seed.size()); ++i) {
+      EXPECT_EQ(codec.symbol(p, i), seed[i]);
+    }
+  }
+}
+
+TEST(LabelCodec, TwoWordRoundTrip) {
+  Label seed(31);
+  for (int i = 0; i < 31; ++i) seed[i] = static_cast<std::uint8_t>(i % 16);
+  const LabelCodec codec = LabelCodec::for_label(seed);
+  ASSERT_EQ(codec.words(), 2);
+  EXPECT_EQ(codec.unpack(codec.pack(seed)), seed);
+}
+
+TEST(LabelCodec, TryPackRejectsBadShapes) {
+  const LabelCodec codec = LabelCodec::for_shape(4, 15);
+  PackedLabel out;
+  EXPECT_FALSE(codec.try_pack(Label{1, 2, 3}, out));       // wrong length
+  EXPECT_FALSE(codec.try_pack(Label{1, 2, 3, 16}, out));   // symbol overflow
+  EXPECT_TRUE(codec.try_pack(Label{1, 2, 3, 15}, out));
+}
+
+TEST(PackedPerm, MatchesVectorApplication) {
+  std::mt19937 rng(7);
+  for (int len : {4, 8, 16, 24, 31}) {
+    Label x(len);
+    std::vector<std::uint8_t> one_line(len);
+    for (int i = 0; i < len; ++i) {
+      x[i] = static_cast<std::uint8_t>(rng() % 16);
+      one_line[i] = static_cast<std::uint8_t>(i);
+    }
+    const LabelCodec codec = LabelCodec::for_label(x);
+    ASSERT_TRUE(codec.valid());
+    for (int trial = 0; trial < 20; ++trial) {
+      std::shuffle(one_line.begin(), one_line.end(), rng);
+      const Permutation perm{one_line};
+      const PackedPerm packed(codec, perm);
+      EXPECT_EQ(codec.unpack(packed.apply(codec.pack(x))), perm.apply(x));
+    }
+  }
+}
+
+TEST(PackedLabelStore, StoresAndReports) {
+  const LabelCodec codec = LabelCodec::for_shape(20, 9);  // 2 words
+  PackedLabelStore store(codec.words());
+  Label x(20);
+  for (int n = 0; n < 100; ++n) {
+    for (int i = 0; i < 20; ++i) x[i] = static_cast<std::uint8_t>((n + i) % 10);
+    store.push_back(codec.pack(x));
+  }
+  EXPECT_EQ(store.size(), 100u);
+  for (int i = 0; i < 20; ++i) x[i] = static_cast<std::uint8_t>((42 + i) % 10);
+  EXPECT_EQ(codec.unpack(store[42]), x);
+  EXPECT_GE(store.memory_bytes(), 100u * 16u);
+}
+
+TEST(PackedLabelMap, MatchesUnorderedMap) {
+  const LabelCodec codec = LabelCodec::for_shape(8, 15);
+  std::mt19937_64 rng(11);
+  PackedLabelMap map;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  Label x(8);
+  for (int n = 0; n < 5000; ++n) {
+    std::uint64_t key_bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      x[i] = static_cast<std::uint8_t>(rng() % 16);
+      key_bits = key_bits << 4 | x[i];
+    }
+    const auto [slot, inserted] = map.try_emplace(codec.pack(x), n);
+    const auto [it, ref_inserted] = reference.try_emplace(key_bits, n);
+    ASSERT_EQ(inserted, ref_inserted);
+    ASSERT_EQ(*slot, it->second);
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  std::uint64_t visited = 0;
+  map.for_each([&](const PackedLabel&, std::uint64_t) { ++visited; });
+  EXPECT_EQ(visited, map.size());
+  PackedLabelMap empty;
+  EXPECT_EQ(empty.find(codec.pack(x)), nullptr);
+}
+
+TEST(PackedLabelMap, FindAfterGrowth) {
+  const LabelCodec codec = LabelCodec::for_shape(6, 9);
+  PackedLabelMap map;
+  Label x(6);
+  for (int n = 0; n < 1000; ++n) {
+    for (int i = 0; i < 6; ++i) x[i] = static_cast<std::uint8_t>((n >> i) % 10);
+    map.try_emplace(codec.pack(x), n);
+  }
+  for (int n = 0; n < 1000; ++n) {
+    for (int i = 0; i < 6; ++i) x[i] = static_cast<std::uint8_t>((n >> i) % 10);
+    const std::uint64_t* v = map.find(codec.pack(x));
+    ASSERT_NE(v, nullptr);
+    // Duplicate (n >> i) % 10 patterns keep the first inserted value.
+    ASSERT_LE(*v, static_cast<std::uint64_t>(n));
+  }
+}
+
+TEST(PackedStorage, EveryPaperSeedPacks) {
+  // The families the paper enumerates explicitly all fit the codec — this
+  // is what makes packed storage the common case in build_ip_graph.
+  const std::vector<SuperIPSpec> specs = {
+      make_hcn(3),
+      make_hsn(3, hypercube_nucleus(4)),
+      make_ring_cn(4, star_nucleus(3)),
+      make_complete_cn(3, pancake_nucleus(3)),
+      make_directed_cn(3, hypercube_nucleus(2)),
+      make_super_flip(3, star_nucleus(3)),
+      make_symmetric(make_hcn(2)),
+  };
+  for (const SuperIPSpec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    EXPECT_TRUE(LabelCodec::for_label(spec.seed).valid());
+  }
+}
+
+}  // namespace
+}  // namespace ipg

@@ -95,8 +95,8 @@ void check_super_ip_family(const SuperIPSpec& spec) {
     const ExecPolicy exec{threads};
     const IPGraph parallel = build_super_ip_graph(spec, 1u << 24, exec);
     const std::string tag = spec.name + " @" + std::to_string(threads) + "t";
-    ASSERT_EQ(serial.labels, parallel.labels) << tag;  // ids AND order
-    ASSERT_EQ(serial.index.size(), parallel.index.size()) << tag;
+    ASSERT_EQ(serial.labels(), parallel.labels()) << tag;  // ids AND order
+    ASSERT_EQ(serial.index_size(), parallel.index_size()) << tag;
     expect_graphs_identical(serial.graph, parallel.graph, tag);
   }
   check_graph_analysis(serial.graph, spec.name);
@@ -153,7 +153,7 @@ TEST(ParallelClosure, PlainIpSpecMatchesSerial) {
   for (const int threads : kThreadCounts) {
     const IPGraph parallel = build_ip_graph(nucleus, 1u << 24,
                                             ExecPolicy{threads});
-    ASSERT_EQ(serial.labels, parallel.labels);
+    ASSERT_EQ(serial.labels(), parallel.labels());
     expect_graphs_identical(serial.graph, parallel.graph,
                             "S4 @" + std::to_string(threads) + "t");
   }

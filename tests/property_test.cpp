@@ -117,8 +117,8 @@ TEST_P(RandomSuperIp, StructuralTheoremsHold) {
   for (int trial = 0; trial < 32; ++trial) {
     const Node u = static_cast<Node>(rng.below(g.num_nodes()));
     const Node v = static_cast<Node>(rng.below(g.num_nodes()));
-    const GenPath path = route_super_ip(spec, g.labels[u], g.labels[v]);
-    EXPECT_TRUE(verify_path(lifted, g.labels[u], g.labels[v], path.gens))
+    const GenPath path = route_super_ip(spec, g.labels()[u], g.labels()[v]);
+    EXPECT_TRUE(verify_path(lifted, g.labels()[u], g.labels()[v], path.gens))
         << spec.name;
     EXPECT_LE(path.length(), bound) << spec.name;
   }
@@ -198,8 +198,8 @@ TEST_P(RandomDirectedSuperIp, DirectedSpecsStayRoutable) {
   for (int trial = 0; trial < 16; ++trial) {
     const Node u = static_cast<Node>(rng.below(g.num_nodes()));
     const Node v = static_cast<Node>(rng.below(g.num_nodes()));
-    const GenPath path = route_super_ip(s, g.labels[u], g.labels[v]);
-    EXPECT_TRUE(verify_path(lifted, g.labels[u], g.labels[v], path.gens))
+    const GenPath path = route_super_ip(s, g.labels()[u], g.labels()[v]);
+    EXPECT_TRUE(verify_path(lifted, g.labels()[u], g.labels()[v], path.gens))
         << s.name;
   }
 }

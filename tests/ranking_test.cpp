@@ -19,7 +19,7 @@ TEST(Ranking, BijectionOnHcn22) {
   EXPECT_EQ(ranking.nucleus_size(), 4u);
   std::set<std::uint64_t> ranks;
   for (Node u = 0; u < g.num_nodes(); ++u) {
-    const std::uint64_t r = ranking.rank(g.labels[u]);
+    const std::uint64_t r = ranking.rank(g.labels()[u]);
     EXPECT_LT(r, 16u);
     ranks.insert(r);
   }
@@ -39,13 +39,13 @@ TEST(Ranking, DigitsIdentifyBlockContents) {
   const SuperRanking ranking(spec);
   for (Node u = 0; u < g.num_nodes(); ++u) {
     // Swapping the two blocks swaps the two digits.
-    Label swapped = g.labels[u];
+    Label swapped = g.labels()[u];
     const Label b0 = block_of(swapped, 0, spec.m);
     const Label b1 = block_of(swapped, 1, spec.m);
     set_block(swapped, 0, spec.m, b1);
     set_block(swapped, 1, spec.m, b0);
-    EXPECT_EQ(ranking.digit(g.labels[u], 0), ranking.digit(swapped, 1));
-    EXPECT_EQ(ranking.digit(g.labels[u], 1), ranking.digit(swapped, 0));
+    EXPECT_EQ(ranking.digit(g.labels()[u], 0), ranking.digit(swapped, 1));
+    EXPECT_EQ(ranking.digit(g.labels()[u], 1), ranking.digit(swapped, 0));
   }
 }
 
@@ -56,9 +56,61 @@ TEST(Ranking, WideNucleusUsesDotSeparators) {
   EXPECT_NE(s.find('.'), std::string::npos);
 }
 
-TEST(Ranking, RejectsSymmetricSeeds) {
+TEST(Ranking, SymmetricSeedBijection) {
+  // Section 3.5: the symmetric variant has A * M^l nodes; the rank maps
+  // them bijectively onto [0, A * M^l).
   const SuperIPSpec sym = make_symmetric(make_hsn(2, hypercube_nucleus(2)));
-  EXPECT_THROW(SuperRanking{sym}, std::invalid_argument);
+  const IPGraph g = build_super_ip_graph(sym);
+  const SuperRanking ranking(sym);
+  EXPECT_TRUE(ranking.symmetric_seed());
+  EXPECT_EQ(ranking.size(), symmetric_size(sym, ranking.nucleus_size()));
+  ASSERT_EQ(ranking.size(), g.num_nodes());
+  std::set<std::uint64_t> ranks;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const std::uint64_t r = ranking.rank(g.labels()[u]);
+    EXPECT_LT(r, ranking.size());
+    ranks.insert(r);
+  }
+  EXPECT_EQ(ranks.size(), g.num_nodes());
+}
+
+TEST(Ranking, UnrankInvertsRankOnEveryFamily) {
+  const std::vector<SuperIPSpec> specs = {
+      make_hcn(3),
+      make_hsn(2, hypercube_nucleus(3)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_symmetric(make_hcn(2)),
+      make_symmetric(make_ring_cn(3, star_nucleus(3))),
+  };
+  for (const SuperIPSpec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    const SuperRanking ranking(spec);
+    const IPGraph g = build_super_ip_graph(spec);
+    ASSERT_EQ(ranking.size(), g.num_nodes());
+    Label x;
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      const std::uint64_t r = ranking.rank(g.labels()[u]);
+      ranking.unrank_into(r, x);
+      ASSERT_EQ(x, g.labels()[u]);
+      ASSERT_EQ(ranking.try_rank(x), r);
+    }
+  }
+}
+
+TEST(Ranking, TryRankRejectsNonNodes) {
+  const SuperIPSpec spec = make_hcn(2);
+  const SuperRanking ranking(spec);
+  EXPECT_EQ(ranking.try_rank(Label{1, 2}), SuperRanking::kInvalidRank);
+  Label bogus = spec.seed;
+  bogus[0] = static_cast<std::uint8_t>(bogus[0] + 100);
+  EXPECT_EQ(ranking.try_rank(bogus), SuperRanking::kInvalidRank);
+}
+
+TEST(Ranking, RejectsIrregularSeeds) {
+  // Neither identical blocks nor make_symmetric's uniform shift.
+  SuperIPSpec spec = make_hcn(2);
+  spec.seed = {1, 2, 2, 1};
+  EXPECT_THROW(SuperRanking{spec}, std::invalid_argument);
 }
 
 }  // namespace

@@ -51,8 +51,8 @@ TEST_P(SuperRouting, AllPairsValidWithinBoundAndTight) {
   for (Node u = 0; u < g.num_nodes(); ++u) {
     const auto dist = scratch.run(g.graph, u);
     for (Node v = 0; v < g.num_nodes(); ++v) {
-      const GenPath path = route_super_ip(spec, g.labels[u], g.labels[v]);
-      ASSERT_TRUE(verify_path(lifted, g.labels[u], g.labels[v], path.gens))
+      const GenPath path = route_super_ip(spec, g.labels()[u], g.labels()[v]);
+      ASSERT_TRUE(verify_path(lifted, g.labels()[u], g.labels()[v], path.gens))
           << spec.name << " " << u << "->" << v;
       EXPECT_LE(path.length(), bound);
       EXPECT_GE(path.length(), static_cast<int>(dist[v]));
@@ -80,6 +80,44 @@ INSTANTIATE_TEST_SUITE_P(
              (info.param.symmetric ? "_sym" : "");
     });
 
+TEST_P(SuperRouting, CachedRouterMatchesPerCallRouter) {
+  // SuperIPRouter precomputes schedules and nucleus first-generator
+  // tables; its routes must be valid and exactly as long as
+  // route_super_ip's, and first_gen() must name the first hop.
+  const RouteCase& c = GetParam();
+  const SuperIPSpec spec = route_spec(c);
+  const IPGraph g = build_super_ip_graph(spec);
+  const IPGraphSpec lifted = spec.to_ip_spec();
+  const SuperIPRouter router(spec);
+  EXPECT_EQ(router.plain_seed(), !c.symmetric);
+  for (Node u = 0; u < g.num_nodes(); u += 3) {
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      const Label& src = g.labels()[u];
+      const Label& dst = g.labels()[v];
+      const GenPath path = router.route(src, dst);
+      ASSERT_TRUE(verify_path(lifted, src, dst, path.gens))
+          << spec.name << " " << u << "->" << v;
+      ASSERT_EQ(path.length(), route_super_ip(spec, src, dst).length())
+          << spec.name << " " << u << "->" << v;
+      if (u == v) {
+        EXPECT_EQ(router.first_gen(src, dst), -1);
+      } else {
+        ASSERT_FALSE(path.gens.empty());
+        EXPECT_EQ(router.first_gen(src, dst), path.gens.front());
+      }
+    }
+  }
+}
+
+TEST(SuperRouting, CachedRouterRejectsForeignDestinations) {
+  const SuperIPRouter router(make_hsn(2, hypercube_nucleus(2)));
+  EXPECT_THROW(router.route(router.spec().seed,
+                            make_label({9, 9, 9, 9, 9, 9, 9, 9})),
+               std::invalid_argument);
+  EXPECT_THROW(router.route(router.spec().seed, make_label({1, 2})),
+               std::invalid_argument);
+}
+
 TEST(SuperRouting, RejectsForeignDestinations) {
   const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
   const Label bogus = make_label({9, 9, 9, 9, 9, 9, 9, 9});
@@ -102,10 +140,10 @@ TEST(StarRouting, AllPairsOptimal) {
   for (Node u = 0; u < g.num_nodes(); u += 7) {
     const auto dist = scratch.run(g.graph, u);
     for (Node v = 0; v < g.num_nodes(); ++v) {
-      const GenPath path = route_star(g.labels[u], g.labels[v]);
-      ASSERT_TRUE(verify_path(g.spec, g.labels[u], g.labels[v], path.gens));
+      const GenPath path = route_star(g.labels()[u], g.labels()[v]);
+      ASSERT_TRUE(verify_path(g.spec, g.labels()[u], g.labels()[v], path.gens));
       EXPECT_EQ(path.length(), static_cast<int>(dist[v]));
-      EXPECT_EQ(star_distance(g.labels[u], g.labels[v]),
+      EXPECT_EQ(star_distance(g.labels()[u], g.labels()[v]),
                 static_cast<int>(dist[v]));
     }
   }
@@ -146,9 +184,9 @@ TEST(BfsRoute, FindsShortestGeneratorPaths) {
   const IPGraph g = build_ip_graph(spec);
   const auto dist = bfs_distances(g.graph, 0);
   for (Node v = 0; v < g.num_nodes(); ++v) {
-    const GenPath p = bfs_route(spec, g.labels[0], g.labels[v]);
+    const GenPath p = bfs_route(spec, g.labels()[0], g.labels()[v]);
     EXPECT_EQ(p.length(), static_cast<int>(dist[v]));
-    EXPECT_TRUE(verify_path(spec, g.labels[0], g.labels[v], p.gens));
+    EXPECT_TRUE(verify_path(spec, g.labels()[0], g.labels()[v], p.gens));
   }
 }
 

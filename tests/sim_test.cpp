@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "cluster/partitions.hpp"
 #include "graph/bfs.hpp"
+#include "ipg/families.hpp"
+#include "net/topology.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -218,6 +222,77 @@ TEST(Simulator, LongMessagesKeepLinksBusyUnderCutThrough) {
 TEST(SimNetwork, RejectsOversizedInstances) {
   // 2^13 nodes -> 2^26 table entries: right at the guard.
   EXPECT_THROW(SimNetwork(topo::hypercube(14), LinkTiming{}), std::length_error);
+}
+
+TEST(SimNetwork, OversizedErrorPointsToLabelRouting) {
+  try {
+    const SimNetwork net(topo::hypercube(14), LinkTiming{});
+    FAIL() << "expected std::length_error";
+  } catch (const std::length_error& e) {
+    EXPECT_NE(std::string(e.what()).find("label-routing"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SimNetwork, LabelSourceRoutesReachDestinationWithinBound) {
+  // route_gens + hop_via is the label policy's contract: the source route
+  // walks generator arcs of the implicit topology, carries the right
+  // off-module flag / service time per hop, and ends at dst within the
+  // Theorem 4.1 route-length bound.
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const SimNetwork net(topo, LinkTiming{1.0, 4.0});
+  EXPECT_EQ(net.policy(), sim::RoutingPolicy::kLabelRoute);
+  ASSERT_EQ(net.num_nodes(), topo.num_nodes());
+  EXPECT_EQ(net.num_links(),
+            topo.num_nodes() * static_cast<std::uint64_t>(topo.num_generators()));
+  const int bound = route_length_bound(spec, /*nucleus_diameter=*/2, false);
+  for (Node u = 0; u < net.num_nodes(); ++u) {
+    for (Node dst = 0; dst < net.num_nodes(); ++dst) {
+      const std::vector<int> gens = net.route_gens(u, dst);
+      if (u == dst) EXPECT_TRUE(gens.empty());
+      ASSERT_LE(static_cast<int>(gens.size()), bound) << u << "->" << dst;
+      Node cur = u;
+      for (const int gen : gens) {
+        const SimNetwork::Hop h = net.hop_via(cur, gen);
+        ASSERT_LT(h.to, net.num_nodes());
+        ASSERT_NE(h.to, cur);
+        EXPECT_EQ(h.to, topo.neighbor_via(cur, gen));
+        EXPECT_EQ(h.off_module, topo.gen_is_super(gen));
+        EXPECT_DOUBLE_EQ(h.service_time, h.off_module ? 4.0 : 1.0);
+        cur = h.to;
+      }
+      ASSERT_EQ(cur, dst) << u << "->" << dst;
+    }
+  }
+}
+
+TEST(Simulator, LabelPolicyDeliversSameTrafficAsTables) {
+  // Same instance, both policies: everything is delivered under both, and
+  // label routes (Theorem 4.1 sorting routes) are never shorter than the
+  // table policy's BFS-shortest paths.
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(spec);
+  const net::ImplicitSuperIPTopology topo(spec);
+  // Remap table-policy traffic through the label bijection so both runs
+  // move the same logical packets.
+  const auto packets = sim::uniform_traffic(g.num_nodes(), 2.0, 60.0, 21);
+  std::vector<Packet> ranked = packets;
+  for (auto& p : ranked) {
+    p.src = static_cast<Node>(topo.node_of(g.labels()[p.src]));
+    p.dst = static_cast<Node>(topo.node_of(g.labels()[p.dst]));
+  }
+  const auto rt = simulate(SimNetwork(g.graph, LinkTiming{}), packets);
+  const auto rl = simulate(SimNetwork(topo, LinkTiming{}), ranked);
+  EXPECT_EQ(rt.delivered, packets.size());
+  EXPECT_EQ(rl.delivered, packets.size());
+  EXPECT_GE(rl.latency.mean_hops(), rt.latency.mean_hops());
+}
+
+TEST(SimNetwork, LabelPolicyRejectsInstancesBeyondNodeIdSpace) {
+  // HSN(8, Q4) has 16^8 = 2^32 nodes — one past the 32-bit packet space.
+  const net::ImplicitSuperIPTopology topo(make_hsn(8, hypercube_nucleus(4)));
+  EXPECT_THROW(SimNetwork(topo, LinkTiming{}), std::length_error);
 }
 
 }  // namespace

@@ -104,8 +104,8 @@ TEST(Super, NucleusModulesGroupBySuffix) {
   for (Node u = 0; u < g.num_nodes(); ++u) {
     for (Node v = 0; v < g.num_nodes(); ++v) {
       const bool same_suffix =
-          std::equal(g.labels[u].begin() + s.m, g.labels[u].end(),
-                     g.labels[v].begin() + s.m);
+          std::equal(g.labels()[u].begin() + s.m, g.labels()[u].end(),
+                     g.labels()[v].begin() + s.m);
       EXPECT_EQ(a.module_of[u] == a.module_of[v], same_suffix);
     }
   }
