@@ -1,15 +1,21 @@
 // Fault tolerance: measure vertex connectivity (how many simultaneous node
 // failures a network provably survives) and vertex-disjoint path counts —
 // the property the paper's introduction credits star graphs and their
-// hierarchical relatives with.
+// hierarchical relatives with. Then exercise the guarantee live: inject a
+// seeded FaultPlan and watch the adaptive router deliver every surviving
+// pair anyway.
 //
 //   $ ./fault_tolerance
 #include <iostream>
+#include <vector>
 
 #include "graph/flow.hpp"
 #include "graph/metrics.hpp"
 #include "ipg/families.hpp"
 #include "ipg/symmetric.hpp"
+#include "net/topology.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
 #include "topo/hypercube.hpp"
 #include "topo/misc.hpp"
 #include "topo/star.hpp"
@@ -52,5 +58,35 @@ int main() {
             << max_vertex_disjoint_paths(hcn.graph, 0, hcn.num_nodes() - 1)
             << ", with links = "
             << max_vertex_disjoint_paths(full, 0, hcn.num_nodes() - 1) << "\n";
+
+  // Now the guarantee in motion: HSN(2,Q3) is maximally connected (kappa
+  // equals its minimum degree, 3 — diagonal nodes drop the self-loop super
+  // generator), so any kappa - 1 node failures leave the survivors
+  // connected — and the adaptive router (sim/faults.hpp) must deliver
+  // all-pairs traffic between them.
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(3));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const sim::SimNetwork net(topo, sim::LinkTiming{1.0, 1.0});
+  const int kappa =
+      vertex_connectivity(build_super_ip_graph(spec).graph);
+  const sim::FaultPlan plan =
+      sim::FaultPlan::random_node_faults(topo.num_nodes(), kappa - 1, /*seed=*/1);
+  const net::FaultSet at0 = plan.snapshot(0.0);
+
+  std::vector<sim::Packet> packets;
+  double when = 0.0;
+  for (net::NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (net::NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d || !at0.node_up(s) || !at0.node_up(d)) continue;
+      packets.push_back({static_cast<Node>(s), static_cast<Node>(d), when});
+      when += 100.0;  // idle network: isolate routing from queueing
+    }
+  }
+  const sim::FaultSimResult r = simulate_with_faults(net, packets, plan);
+  std::cout << "\nAdaptive routing on HSN(2,Q3) with " << kappa - 1
+            << " random node faults (kappa = " << kappa << "):\n"
+            << "  surviving pairs " << r.injected << ", delivered "
+            << r.delivered << " (rate " << r.delivery_rate() << "), detours "
+            << r.detours << ", hop inflation " << r.hop_inflation() << "\n";
   return 0;
 }

@@ -1,0 +1,93 @@
+#include "analysis/fault_tolerance.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/flow.hpp"
+#include "graph/metrics.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+
+namespace {
+
+/// Forward reachability from `root` restricted to up nodes; returns the
+/// number of up nodes reached.
+Node count_reached(const Graph& g, const std::vector<std::uint8_t>& down,
+                   Node root) {
+  std::vector<std::uint8_t> seen(g.num_nodes(), 0);
+  std::vector<Node> queue{root};
+  seen[root] = 1;
+  Node reached = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const Node v : g.neighbors(queue[head])) {
+      if (seen[v] || down[v]) continue;
+      seen[v] = 1;
+      ++reached;
+      queue.push_back(v);
+    }
+  }
+  return reached;
+}
+
+}  // namespace
+
+bool survivors_connected(const Graph& g, std::span<const Node> failed) {
+  std::vector<std::uint8_t> down(g.num_nodes(), 0);
+  for (const Node u : failed) down[u] = 1;
+  Node up_count = 0;
+  Node root = kUnreachable;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (down[u]) continue;
+    ++up_count;
+    if (root == kUnreachable) root = u;
+  }
+  if (up_count <= 1) return true;
+  if (count_reached(g, down, root) != up_count) return false;
+  if (g.is_symmetric()) return true;  // one direction suffices
+  // Directed: also require every survivor to reach `root` (reverse BFS).
+  GraphBuilder rb(g.num_nodes());
+  rb.reserve(g.num_arcs());
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (const Node v : g.neighbors(u)) rb.add_arc(v, u);
+  }
+  const Graph reverse = std::move(rb).build();
+  return count_reached(reverse, down, root) == up_count;
+}
+
+FaultToleranceReport fault_tolerance_report(const Graph& g, int max_faults,
+                                            int trials_per_level,
+                                            std::uint64_t seed) {
+  assert(max_faults >= 0 &&
+         static_cast<Node>(max_faults) < g.num_nodes());
+  FaultToleranceReport report;
+  report.min_degree = degree_stats(g).min_degree;
+  report.connectivity = vertex_connectivity(g);
+  report.max_faults_tested = max_faults;
+  report.trials_per_level = trials_per_level;
+
+  Xoshiro256 rng(seed);
+  std::vector<Node> failed;
+  std::vector<std::uint8_t> chosen(g.num_nodes(), 0);
+  for (int k = 1; k <= max_faults; ++k) {
+    for (int trial = 0; trial < trials_per_level; ++trial) {
+      failed.clear();
+      while (failed.size() < static_cast<std::size_t>(k)) {
+        const Node u = static_cast<Node>(rng.below(g.num_nodes()));
+        if (chosen[u]) continue;
+        chosen[u] = 1;
+        failed.push_back(u);
+      }
+      const bool ok = survivors_connected(g, failed);
+      for (const Node u : failed) chosen[u] = 0;
+      if (!ok) {
+        report.measured_disconnect_threshold = k;
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ipg

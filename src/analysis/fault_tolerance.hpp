@@ -1,0 +1,43 @@
+#pragma once
+// Empirical vs theoretical fault tolerance. Cayley-graph regularity is the
+// paper's fault-tolerance argument: a k-connected network survives any
+// k - 1 node failures (Menger), and for the families here the exact
+// vertex connectivity (graph/flow) typically meets the min-degree upper
+// bound. This module measures the other side: how many RANDOM failures a
+// given instance actually absorbs before some trial disconnects the
+// survivors, so tests and benches can pin "measured threshold >= kappa"
+// against the theory.
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace ipg {
+
+/// True iff the nodes outside `failed` are still mutually connected —
+/// strongly, so the check is also meaningful for directed families.
+/// Vacuously true when fewer than two nodes survive.
+bool survivors_connected(const Graph& g, std::span<const Node> failed);
+
+/// Outcome of the random-fault disconnection experiment.
+struct FaultToleranceReport {
+  std::uint32_t min_degree = 0;  ///< upper bound on vertex connectivity
+  int connectivity = 0;          ///< exact kappa (max-flow; Menger)
+  int max_faults_tested = 0;
+  int trials_per_level = 0;
+  /// Smallest fault count at which some random trial disconnected the
+  /// survivors; 0 when no tested level ever disconnected. Always > kappa-1
+  /// when nonzero: below connectivity, disconnection is impossible.
+  int measured_disconnect_threshold = 0;
+};
+
+/// For k = 1..max_faults, draws `trials_per_level` seeded random k-subsets
+/// of nodes, fails them, and tests the survivors' connectivity; stops at
+/// the first disconnecting level. Requires a symmetric (undirected) graph
+/// for the kappa computation; intended for enumerable instances.
+FaultToleranceReport fault_tolerance_report(const Graph& g, int max_faults,
+                                            int trials_per_level,
+                                            std::uint64_t seed);
+
+}  // namespace ipg

@@ -33,6 +33,10 @@ std::vector<Arrangement> reachable_arrangements(const SuperIPSpec& spec) {
 
 SuperRanking::SuperRanking(const SuperIPSpec& spec)
     : l_(spec.l), m_(spec.m), nucleus_(build_ip_graph(spec.nucleus_spec())) {
+  if (static_cast<int>(spec.seed.size()) != l_ * m_) {
+    throw std::invalid_argument(
+        "SuperRanking: seed length must equal l*m blocks");
+  }
   // Classify the seed shape. Plain: every block equals block 0. Symmetric:
   // block i is block 0 with all symbols shifted by i*m (make_symmetric's
   // output), which keeps the blocks' symbol ranges disjoint so the owner

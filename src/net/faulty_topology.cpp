@@ -1,0 +1,42 @@
+#include "net/faulty_topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipg::net {
+
+void FaultSet::repair_node(NodeId u) {
+  const auto it = node_down_.find(u);
+  assert(it != node_down_.end() && "repair_node without a matching failure");
+  if (it == node_down_.end()) return;
+  if (--it->second == 0) node_down_.erase(it);
+}
+
+void FaultSet::repair_link(NodeId u, NodeId v) {
+  const auto it = link_down_.find(link_key(u, v));
+  assert(it != link_down_.end() && "repair_link without a matching failure");
+  if (it == link_down_.end()) return;
+  if (--it->second == 0) link_down_.erase(it);
+}
+
+std::vector<NodeId> FaultSet::failed_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(node_down_.size());
+  for (const auto& [u, count] : node_down_) out.push_back(u);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FaultyTopology::neighbors(NodeId u, std::vector<TopoArc>& out) const {
+  if (!faults_->node_up(u)) {
+    out.clear();
+    return;
+  }
+  base_->neighbors(u, out);
+  if (faults_->empty()) return;
+  std::erase_if(out, [&](const TopoArc& a) {
+    return !faults_->node_up(a.to) || !faults_->link_up(u, a.to);
+  });
+}
+
+}  // namespace ipg::net

@@ -1,0 +1,102 @@
+#pragma once
+// Fault masking at the topology layer: a FaultSet names the nodes and
+// links that are currently down, and FaultyTopology presents the surviving
+// subnetwork through the ordinary Topology interface — so routing,
+// analysis and simulation code that speaks Topology handles failures
+// without knowing they exist.
+//
+// Node ids and labels are NOT remapped: a failed node keeps its id and its
+// label<->id mapping (Theorem 3.2's numbering stays bijective); it merely
+// loses all of its arcs and disappears from every neighbor list. This is
+// what lets the simulator keep addressing packets while the network decays
+// underneath them, and what the fault property tests pin down.
+//
+// FaultSet counts overlapping failures (two transient windows covering the
+// same node must both end before it comes back), which is what
+// sim::FaultState relies on when replaying a FaultPlan's timeline.
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace ipg::net {
+
+/// The set of nodes and links down at one instant. Link failures are
+/// undirected — failing (u, v) removes both arcs of the channel, which for
+/// genuinely directed networks removes whichever of the two arcs exist.
+class FaultSet {
+ public:
+  void fail_node(NodeId u) { ++node_down_[u]; }
+  void repair_node(NodeId u);
+  void fail_link(NodeId u, NodeId v) { ++link_down_[link_key(u, v)]; }
+  void repair_link(NodeId u, NodeId v);
+
+  bool node_up(NodeId u) const { return !node_down_.contains(u); }
+  /// Channel state only; does not look at the endpoints' node state.
+  bool link_up(NodeId u, NodeId v) const {
+    return !link_down_.contains(link_key(u, v));
+  }
+  /// True iff the arc u -> v is usable: both endpoints and the channel up.
+  bool arc_up(NodeId u, NodeId v) const {
+    return node_up(u) && node_up(v) && link_up(u, v);
+  }
+
+  std::size_t failed_node_count() const noexcept { return node_down_.size(); }
+  std::size_t failed_link_count() const noexcept { return link_down_.size(); }
+  bool empty() const noexcept {
+    return node_down_.empty() && link_down_.empty();
+  }
+
+  /// The currently-failed nodes, sorted ascending (for reports and tests).
+  std::vector<NodeId> failed_nodes() const;
+
+ private:
+  static std::pair<NodeId, NodeId> link_key(NodeId u, NodeId v) {
+    return u <= v ? std::pair{u, v} : std::pair{v, u};
+  }
+  struct PairHash {
+    std::size_t operator()(const std::pair<NodeId, NodeId>& p) const noexcept {
+      std::uint64_t h = p.first * 0x9e3779b97f4a7c15ull;
+      h ^= p.second + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ull);
+    }
+  };
+  // Values are active-failure counts; a key is erased when its count hits 0.
+  std::unordered_map<NodeId, int> node_down_;
+  std::unordered_map<std::pair<NodeId, NodeId>, int, PairHash> link_down_;
+};
+
+/// Topology decorator masking the faults in a FaultSet (both referents are
+/// non-owning and must outlive the view; the FaultSet may mutate between
+/// calls — sim::FaultState advances it in place as simulated time passes).
+class FaultyTopology final : public Topology {
+ public:
+  FaultyTopology(const Topology& base, const FaultSet& faults)
+      : base_(&base), faults_(&faults) {}
+
+  NodeId num_nodes() const override { return base_->num_nodes(); }
+
+  /// Out-arcs surviving the fault set: empty when `u` itself is down,
+  /// otherwise the base arcs minus those with a down target or channel.
+  void neighbors(NodeId u, std::vector<TopoArc>& out) const override;
+
+  // Labels and ids are untouched by faults (see the header comment).
+  void label_into(NodeId u, Label& out) const override {
+    base_->label_into(u, out);
+  }
+  NodeId node_of(const Label& x) const override { return base_->node_of(x); }
+
+  bool node_up(NodeId u) const { return faults_->node_up(u); }
+
+  const Topology& base() const noexcept { return *base_; }
+  const FaultSet& faults() const noexcept { return *faults_; }
+
+ private:
+  const Topology* base_;
+  const FaultSet* faults_;
+};
+
+}  // namespace ipg::net

@@ -1,0 +1,34 @@
+#pragma once
+// Internal: per-link busy-until times shared by simulate() and
+// simulate_with_faults(). Dense vector for the precomputed-table policy
+// (link ids are contiguous arc indices — same layout, and hence
+// bit-identical results, as before the policy seam existed); hash map for
+// label routing, whose link-id space is num_nodes * num_generators and
+// only the links actually traversed matter.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace ipg::sim::detail {
+
+class LinkState {
+ public:
+  LinkState(RoutingPolicy policy, std::uint64_t num_links) {
+    if (policy == RoutingPolicy::kPrecomputedTable) {
+      dense_.assign(num_links, 0.0);
+    }
+  }
+
+  double& operator[](std::uint64_t link) {
+    return dense_.empty() ? sparse_[link] : dense_[link];
+  }
+
+ private:
+  std::vector<double> dense_;
+  std::unordered_map<std::uint64_t, double> sparse_;
+};
+
+}  // namespace ipg::sim::detail

@@ -111,6 +111,49 @@ SimNetwork::Hop SimNetwork::hop_via(Node u, int gen) const {
   return h;
 }
 
+SimNetwork::Hop SimNetwork::hop_to(Node u, Node v) const {
+  assert(policy_ == RoutingPolicy::kPrecomputedTable);
+  Hop h;
+  h.to = v;
+  h.link = arc_index(u, v);
+  h.service_time = service_[h.link];
+  h.off_module = off_module_[h.link] != 0;
+  return h;
+}
+
+std::optional<SimNetwork::AdaptiveStep> SimNetwork::adaptive_step(
+    Node u, Node dst, int planned_gen, const net::FaultSet& faults) const {
+  if (policy_ == RoutingPolicy::kPrecomputedTable) {
+    const Node v = next_hop(u, dst);
+    if (v == kUnreachable || !faults.arc_up(u, v)) return std::nullopt;
+    return AdaptiveStep{hop_to(u, v), false, {}};
+  }
+  const Hop planned = hop_via(u, planned_gen);
+  if (faults.arc_up(u, planned.to)) return AdaptiveStep{planned, false, {}};
+
+  // Planned hop is down: detour via the live arc whose re-derived route to
+  // dst is shortest. Vertex symmetry guarantees every live neighbor has a
+  // route; the schedule restarts there, which only costs length, never
+  // correctness.
+  std::vector<net::TopoArc> arcs;
+  topo_->neighbors(u, arcs);
+  Label cand_label, dst_label;
+  topo_->label_into(dst, dst_label);
+  std::optional<AdaptiveStep> best;
+  std::size_t best_len = 0;
+  for (const net::TopoArc& a : arcs) {  // sorted by (to, tag): deterministic
+    if (!faults.arc_up(u, a.to)) continue;
+    topo_->label_into(a.to, cand_label);
+    GenPath route = router_->route(cand_label, dst_label);
+    const std::size_t len = route.gens.size();
+    if (!best || len < best_len) {
+      best = AdaptiveStep{hop_via(u, a.tag), true, std::move(route.gens)};
+      best_len = len;
+    }
+  }
+  return best;
+}
+
 std::uint64_t SimNetwork::num_links() const noexcept {
   if (policy_ == RoutingPolicy::kPrecomputedTable) return graph_->num_arcs();
   return topo_->num_nodes() *

@@ -19,6 +19,7 @@
 
 #include "cluster/clustering.hpp"
 #include "graph/graph.hpp"
+#include "net/faulty_topology.hpp"
 #include "net/topology.hpp"
 #include "route/super_ip_routing.hpp"
 
@@ -101,6 +102,33 @@ class SimNetwork {
   /// (kLabelRoute only). `gen` must move `u`'s label, which every
   /// generator on a route_gens() route does.
   Hop hop_via(Node u, int gen) const;
+
+  /// The hop along the explicit arc u -> v (kPrecomputedTable only; v must
+  /// be one of u's out-neighbors). Lets the fault-aware simulator follow a
+  /// detour path that the next-hop tables know nothing about.
+  Hop hop_to(Node u, Node v) const;
+
+  /// One step of the fault-aware adaptive policy (sim/faults.hpp).
+  struct AdaptiveStep {
+    Hop hop;
+    bool detoured = false;
+    /// kLabelRoute + detoured: the re-derived route hop.to -> dst that the
+    /// packet must follow from the detour target onward.
+    std::vector<int> fresh_gens;
+  };
+
+  /// Returns the planned next hop toward `dst` when it is alive in
+  /// `faults` — gens[planned] of the packet's source route under
+  /// kLabelRoute (`planned_gen`), the next-hop table under
+  /// kPrecomputedTable (`planned_gen` ignored). When the planned hop is
+  /// down, kLabelRoute detours: among u's live arcs it picks the one whose
+  /// re-derived Theorem 4.1/4.3 route to `dst` is shortest (ties toward the
+  /// smallest (target, tag) arc) and returns it with the fresh route.
+  /// kPrecomputedTable has no label to re-route by, so a dead planned hop
+  /// returns nullopt and the caller falls back to bounded BFS. nullopt also
+  /// means every arc out of `u` is down.
+  std::optional<AdaptiveStep> adaptive_step(Node u, Node dst, int planned_gen,
+                                            const net::FaultSet& faults) const;
 
   /// Size of the link-id space. Dense (== num_arcs) for tables; an upper
   /// bound (num_nodes * num_generators, sparsely used) for label routing —

@@ -2,38 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/link_state.hpp"
 
 namespace ipg::sim {
 
-namespace {
-
-/// Per-link busy-until times. Dense vector for the precomputed-table
-/// policy (link ids are contiguous arc indices — same layout, and hence
-/// bit-identical results, as before the policy seam existed); hash map for
-/// label routing, whose link-id space is num_nodes * num_generators and
-/// only the links actually traversed matter.
-class LinkState {
- public:
-  LinkState(RoutingPolicy policy, std::uint64_t num_links) {
-    if (policy == RoutingPolicy::kPrecomputedTable) {
-      dense_.assign(num_links, 0.0);
-    }
-  }
-
-  double& operator[](std::uint64_t link) {
-    return dense_.empty() ? sparse_[link] : dense_[link];
-  }
-
- private:
-  std::vector<double> dense_;
-  std::unordered_map<std::uint64_t, double> sparse_;
-};
-
-}  // namespace
+using detail::LinkState;
 
 SimResult simulate(const SimNetwork& net, std::span<const Packet> packets,
                    MessageModel model) {

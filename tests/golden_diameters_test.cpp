@@ -1,0 +1,136 @@
+// Golden-file regression for the distance structure of every family
+// variant the net layer enumerates (the 12 specs of
+// tests/net_topology_test.cpp): nodes, max degree, BFS diameter and the
+// integral all-pairs distance sum are pinned to values measured from the
+// seed implementation. Any routing/construction change that silently
+// perturbs the topology trips these before it can skew the paper figures.
+// Where Theorem 4.1 / Corollary 4.2 give closed forms, the pinned values
+// are cross-checked against the formula layer too, so the constants can't
+// drift away from the theory they reproduce.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/exact.hpp"
+#include "analysis/formulas.hpp"
+#include "ipg/families.hpp"
+#include "ipg/super.hpp"
+#include "ipg/symmetric.hpp"
+
+namespace ipg {
+namespace {
+
+struct Golden {
+  std::string name;
+  std::uint64_t nodes;
+  Node degree;
+  Dist diameter;
+  std::uint64_t distance_sum;  ///< sum of d(u,v) over ordered pairs
+};
+
+/// Measured once from the seed implementation (all-pairs BFS); integral so
+/// the comparison is exact on every platform.
+const std::vector<Golden>& golden_table() {
+  static const std::vector<Golden> table = {
+      {"HCN(2,2)", 16u, 3u, 5u, 616ull},
+      {"HSN(3,Q2)", 64u, 4u, 8u, 14640ull},
+      {"ring-CN(3,S3)", 216u, 4u, 11u, 230736ull},
+      {"complete-CN(3,Q2)", 64u, 4u, 8u, 14744ull},
+      {"directed-CN(3,S3)", 216u, 3u, 11u, 255198ull},
+      {"SFN(3,Q2)", 64u, 4u, 8u, 14640ull},
+      {"sym-HCN(2,2)", 32u, 3u, 6u, 3328ull},
+      {"sym-HSN(3,Q2)", 384u, 4u, 10u, 811008ull},
+      {"sym-ring-CN(3,S3)", 648u, 4u, 12u, 2772144ull},
+      {"sym-complete-CN(3,Q2)", 192u, 4u, 9u, 183552ull},
+      {"sym-directed-CN(3,S3)", 648u, 3u, 13u, 3067632ull},
+      {"sym-SFN(3,Q2)", 384u, 4u, 10u, 811008ull},
+  };
+  return table;
+}
+
+std::vector<SuperIPSpec> all_family_specs() {
+  std::vector<SuperIPSpec> specs = {
+      make_hcn(2),
+      make_hsn(3, hypercube_nucleus(2)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_complete_cn(3, hypercube_nucleus(2)),
+      make_directed_cn(3, star_nucleus(3)),
+      make_super_flip(3, hypercube_nucleus(2)),
+  };
+  const std::size_t plain_count = specs.size();
+  for (std::size_t i = 0; i < plain_count; ++i) {
+    specs.push_back(make_symmetric(specs[i]));
+  }
+  return specs;
+}
+
+std::uint64_t distance_sum(const DistanceSummary& d) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < d.histogram.size(); ++i) {
+    sum += i * d.histogram[i];
+  }
+  return sum;
+}
+
+TEST(GoldenDiameters, AllFamilyVariantsMatchPinnedValues) {
+  const std::vector<SuperIPSpec> specs = all_family_specs();
+  const std::vector<Golden>& golds = golden_table();
+  ASSERT_EQ(specs.size(), golds.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    ASSERT_EQ(specs[i].name, golds[i].name)
+        << "spec list drifted from the golden table";
+    const IPGraph g = build_super_ip_graph(specs[i]);
+    const ExactAnalysis a = exact_analysis(g.graph);
+    EXPECT_TRUE(a.distances.strongly_connected);
+    EXPECT_EQ(a.profile.nodes, golds[i].nodes);
+    EXPECT_EQ(a.profile.degree, golds[i].degree);
+    EXPECT_EQ(a.profile.diameter, golds[i].diameter);
+    EXPECT_EQ(distance_sum(a.distances), golds[i].distance_sum);
+    // The average distance the figure harnesses report is exactly
+    // distance_sum / ordered pairs; pin that identity too.
+    std::uint64_t pairs = 0;
+    for (std::size_t d = 1; d < a.distances.histogram.size(); ++d) {
+      pairs += a.distances.histogram[d];
+    }
+    ASSERT_GT(pairs, 0u);
+    EXPECT_DOUBLE_EQ(a.profile.average_distance,
+                     static_cast<double>(golds[i].distance_sum) /
+                         static_cast<double>(pairs));
+  }
+}
+
+TEST(GoldenDiameters, PinnedValuesAgreeWithTheorem41Formulas) {
+  // The four plain families with closed forms in analysis/formulas.hpp:
+  // diameter = l * D_nucleus + (l - 1) (Theorem 4.1 sorting routes are
+  // tight on these instances).
+  const TopoNums q2 = hypercube_nums(2);
+  const TopoNums s3 = star_nums(3);
+  const struct {
+    SuperNums predicted;
+    const char* golden_name;
+  } cases[] = {
+      {hsn_nums(3, q2), "HSN(3,Q2)"},
+      {ring_cn_nums(3, s3), "ring-CN(3,S3)"},
+      {complete_cn_nums(3, q2), "complete-CN(3,Q2)"},
+      {super_flip_nums(3, q2), "SFN(3,Q2)"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.golden_name);
+    bool found = false;
+    for (const Golden& gold : golden_table()) {
+      if (gold.name != c.golden_name) continue;
+      found = true;
+      EXPECT_EQ(gold.nodes, c.predicted.nodes);
+      EXPECT_EQ(static_cast<std::uint32_t>(gold.degree), c.predicted.degree);
+      EXPECT_EQ(static_cast<std::uint32_t>(gold.diameter),
+                c.predicted.diameter);
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,196 @@
+// Property-based tests of the fault subsystem over random SuperIPSpec
+// draws (tests/random_spec.hpp): fault masking must never disturb the
+// Theorem 3.2 label<->id bijection, the adaptive router must degenerate to
+// the paper's router when nothing is broken, and packets between surviving
+// mutually-reachable nodes must keep being delivered under faults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "net/faulty_topology.hpp"
+#include "net/topology.hpp"
+#include "random_spec.hpp"
+#include "route/super_ip_routing.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+using sim::FaultPlan;
+using sim::Packet;
+using sim::SimNetwork;
+
+/// Reachability over the fault-masked view (BFS with a hash visited set,
+/// independent of the simulator's fallback implementation).
+bool reachable(const net::Topology& topo, net::NodeId src, net::NodeId dst) {
+  if (src == dst) return true;
+  std::unordered_set<net::NodeId> seen{src};
+  std::vector<net::NodeId> queue{src};
+  std::vector<net::TopoArc> arcs;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    topo.neighbors(queue[head], arcs);
+    for (const net::TopoArc& a : arcs) {
+      if (!seen.insert(a.to).second) continue;
+      if (a.to == dst) return true;
+      queue.push_back(a.to);
+    }
+  }
+  return false;
+}
+
+TEST(PropertyFault, RankUnrankStaysBijectiveUnderFaultyTopology) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Xoshiro256 rng(seed);
+    const SuperIPSpec spec = testing::random_super_ip_spec(rng);
+    SCOPED_TRACE(spec.name + " seed=" + std::to_string(seed));
+    const net::ImplicitSuperIPTopology topo(spec);
+    const net::NodeId n = topo.num_nodes();
+
+    FaultPlan plan = FaultPlan::random_node_faults(
+        n, static_cast<int>(std::min<net::NodeId>(5, n / 4)), seed);
+    const FaultPlan link_plan =
+        FaultPlan::random_link_faults(topo, 3, seed ^ 0xabcd);
+    for (const sim::FaultWindow& w : link_plan.windows()) {
+      plan.fail_link(w.a, w.b);
+    }
+    const net::FaultSet faults = plan.snapshot(0.0);
+    const net::FaultyTopology faulty(topo, faults);
+    ASSERT_EQ(faulty.num_nodes(), n);
+
+    std::vector<net::TopoArc> base_arcs, masked_arcs;
+    const net::NodeId stride = std::max<net::NodeId>(1, n / 256);
+    for (net::NodeId u = 0; u < n; u += stride) {
+      // Labels and ids are fault-oblivious: the bijection survives intact.
+      const Label x = faulty.label_of(u);
+      EXPECT_EQ(faulty.node_of(x), u);
+      EXPECT_EQ(topo.node_of(x), u);
+
+      faulty.neighbors(u, masked_arcs);
+      if (!faults.node_up(u)) {
+        EXPECT_TRUE(masked_arcs.empty()) << "down node " << u << " kept arcs";
+        continue;
+      }
+      topo.neighbors(u, base_arcs);
+      // Masked arcs are exactly the base arcs whose target and channel
+      // survive — same order, nothing invented.
+      std::erase_if(base_arcs, [&](const net::TopoArc& a) {
+        return !faults.node_up(a.to) || !faults.link_up(u, a.to);
+      });
+      EXPECT_EQ(masked_arcs, base_arcs) << "node " << u;
+    }
+  }
+}
+
+TEST(PropertyFault, ZeroFaultAdaptiveRoutingMatchesRouteSuperIP) {
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    Xoshiro256 rng(seed);
+    const SuperIPSpec spec = testing::random_super_ip_spec(rng);
+    SCOPED_TRACE(spec.name + " seed=" + std::to_string(seed));
+    const net::ImplicitSuperIPTopology topo(spec);
+    const SimNetwork net(topo, sim::LinkTiming{1.0, 1.0});
+    const FaultPlan empty_plan;
+
+    for (int pair = 0; pair < 25; ++pair) {
+      const Node src = static_cast<Node>(rng.below(topo.num_nodes()));
+      const Node dst = static_cast<Node>(rng.below(topo.num_nodes()));
+      if (src == dst) continue;
+      const std::vector<Packet> one{{src, dst, 0.0}};
+      const auto r = simulate_with_faults(net, one, empty_plan);
+      ASSERT_EQ(r.delivered, 1u);
+      EXPECT_EQ(r.dropped, 0u);
+      EXPECT_EQ(r.detours, 0u);
+      EXPECT_EQ(r.bfs_fallbacks, 0u);
+      // The simulator delivers on first arrival at dst, so the hops walked
+      // are the paper route truncated at its first pass through dst —
+      // never more than the full Theorem 4.1 route, and exactly what the
+      // fault-oblivious simulator walks for the same pair.
+      const GenPath paper_route =
+          route_super_ip(spec, topo.label_of(src), topo.label_of(dst));
+      EXPECT_LE(r.actual_hop_sum,
+                static_cast<std::uint64_t>(paper_route.length()))
+          << src << "->" << dst;
+      const auto plain = simulate(net, one);
+      EXPECT_EQ(static_cast<double>(r.actual_hop_sum),
+                plain.latency.mean_hops())
+          << src << "->" << dst;
+      EXPECT_EQ(r.planned_hop_sum, r.actual_hop_sum);
+    }
+  }
+}
+
+TEST(PropertyFault, SurvivingReachablePairsAreDelivered) {
+  for (std::uint64_t seed = 40; seed < 46; ++seed) {
+    Xoshiro256 rng(seed);
+    const SuperIPSpec spec = testing::random_super_ip_spec(rng);
+    SCOPED_TRACE(spec.name + " seed=" + std::to_string(seed));
+    const net::ImplicitSuperIPTopology topo(spec);
+    const net::NodeId n = topo.num_nodes();
+
+    // Fewer faults than the minimum degree (the Menger budget).
+    std::vector<net::TopoArc> arcs;
+    std::size_t min_degree = ~0ull;
+    const net::NodeId deg_stride = std::max<net::NodeId>(1, n / 128);
+    for (net::NodeId u = 0; u < n; u += deg_stride) {
+      topo.neighbors(u, arcs);
+      min_degree = std::min(min_degree, arcs.size());
+    }
+    ASSERT_GE(min_degree, 1u);
+    const int f = static_cast<int>(
+        std::min<std::size_t>(min_degree - 1, n > 8 ? n / 8 : 1));
+    const FaultPlan plan = FaultPlan::random_node_faults(n, f, seed ^ 0x77);
+    const net::FaultSet faults = plan.snapshot(0.0);
+    const net::FaultyTopology faulty(topo, faults);
+    const SimNetwork net(topo, sim::LinkTiming{1.0, 1.0});
+
+    int checked = 0;
+    std::uint64_t delivered = 0, expected_deliveries = 0;
+    while (checked < 20) {
+      const Node src = static_cast<Node>(rng.below(n));
+      const Node dst = static_cast<Node>(rng.below(n));
+      if (src == dst || !faults.node_up(src) || !faults.node_up(dst)) continue;
+      ++checked;
+      const bool connected = reachable(faulty, src, dst);
+      if (connected) ++expected_deliveries;
+      const std::vector<Packet> one{{src, dst, 0.0}};
+      const auto r = simulate_with_faults(net, one, plan);
+      EXPECT_EQ(r.delivered + r.dropped, 1u);
+      EXPECT_EQ(r.delivered, connected ? 1u : 0u)
+          << src << "->" << dst << " with " << f << " faults";
+      delivered += r.delivered;
+    }
+    // The experiment must actually exercise deliveries, not just drops.
+    EXPECT_GT(expected_deliveries, 0u);
+    EXPECT_EQ(delivered, expected_deliveries);
+  }
+}
+
+TEST(PropertyFault, EmptyPlanIsBitIdenticalToPlainSimulator) {
+  for (std::uint64_t seed = 60; seed < 64; ++seed) {
+    Xoshiro256 rng(seed);
+    const SuperIPSpec spec = testing::random_super_ip_spec(rng);
+    SCOPED_TRACE(spec.name + " seed=" + std::to_string(seed));
+    const net::ImplicitSuperIPTopology topo(spec);
+    const SimNetwork net(topo, sim::LinkTiming{1.0, 3.0});
+    const auto packets = sim::uniform_traffic(
+        static_cast<Node>(topo.num_nodes()), 3.0, 40.0, seed);
+    const auto plain = simulate(net, packets);
+    const auto faulty = simulate_with_faults(net, packets, FaultPlan{});
+    ASSERT_EQ(faulty.delivered, plain.delivered);
+    EXPECT_EQ(faulty.dropped, 0u);
+    EXPECT_EQ(faulty.detours, 0u);
+    EXPECT_EQ(faulty.bfs_fallbacks, 0u);
+    EXPECT_EQ(faulty.latency.mean(), plain.latency.mean());
+    EXPECT_EQ(faulty.latency.max(), plain.latency.max());
+    EXPECT_EQ(faulty.latency.mean_hops(), plain.latency.mean_hops());
+    EXPECT_EQ(faulty.makespan, plain.makespan);
+  }
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,64 @@
+#pragma once
+// Reusable random SuperIPSpec generator for property-based tests: draws a
+// nucleus, a level count, a family shape and (when the label fits) the
+// symmetric variant from a caller-owned PRNG, keeping instance sizes small
+// enough to materialize and sweep (a few thousand nodes at most). Every
+// draw is a valid super-IP seed, so properties quantify over the whole
+// family x nucleus design space rather than a hand-picked list.
+
+#include <cstdint>
+
+#include "ipg/families.hpp"
+#include "ipg/spec.hpp"
+#include "ipg/super.hpp"
+#include "ipg/symmetric.hpp"
+#include "util/prng.hpp"
+
+namespace ipg::testing {
+
+inline SuperIPSpec random_super_ip_spec(Xoshiro256& rng) {
+  IPGraphSpec nucleus;
+  switch (rng.below(5)) {
+    case 0:
+      nucleus = hypercube_nucleus(2 + static_cast<int>(rng.below(2)));
+      break;
+    case 1:
+      nucleus = star_nucleus(3);
+      break;
+    case 2:
+      nucleus = cycle_nucleus(3 + static_cast<int>(rng.below(3)));
+      break;
+    case 3:
+      nucleus = complete_nucleus(3);
+      break;
+    default:
+      nucleus = bubble_sort_nucleus(3);
+      break;
+  }
+  const int l = 2 + static_cast<int>(rng.below(2));
+  SuperIPSpec spec;
+  switch (rng.below(5)) {
+    case 0:
+      spec = make_hsn(l, nucleus);
+      break;
+    case 1:
+      spec = make_ring_cn(l, nucleus);
+      break;
+    case 2:
+      spec = make_complete_cn(l, nucleus);
+      break;
+    case 3:
+      spec = make_directed_cn(l, nucleus);
+      break;
+    default:
+      spec = make_super_flip(l, nucleus);
+      break;
+  }
+  // Half the draws exercise the Cayley (symmetric, Section 3.5) variant.
+  if (rng.below(2) == 0 && spec.label_length() <= 255) {
+    spec = make_symmetric(spec);
+  }
+  return spec;
+}
+
+}  // namespace ipg::testing
