@@ -1,0 +1,243 @@
+// PERF — APSP engine scaling: scalar one-BFS-per-source vs the
+// bit-parallel batched engine (64 sources per pass), serial and threaded,
+// across the 12 family variants of the golden table plus (with --large) a
+// >= 64k-node instance, HSN(2, Q8). Every comparison runs both engines on
+// the *same* source set at the same thread count, checks the summaries are
+// bit-identical, and reports wall-clock ns per source.
+//
+// Machine-readable output: --json=PATH (default BENCH_apsp.json) writes
+// one record per (instance, threads, engine) with the stable schema
+//   {family, nodes, arcs, threads, engine, ns_per_source, bytes_per_node,
+//    sources, speedup_vs_scalar}
+// where bytes_per_node counts the CSR + transpose + per-thread scratch
+// footprint and speedup_vs_scalar is scalar ns / batched ns at the same
+// thread count (present on batched rows only).
+//
+// Usage: apsp_scaling [--large] [--threads=1,2,8] [--sample=N]
+//                     [--json=PATH]
+//   --large     add HSN(2, Q8) (65,536 nodes); its engine comparison runs
+//               over --sample sources (default 4096) so the scalar
+//               baseline stays tractable, and the batched engine
+//               additionally runs the full all-pairs sweep.
+//   --threads   comma list of thread counts (default "1,auto").
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/exact.hpp"
+#include "graph/bfs.hpp"
+#include "graph/bfs_batch.hpp"
+#include "ipg/families.hpp"
+#include "ipg/super.hpp"
+#include "ipg/symmetric.hpp"
+
+namespace {
+
+using namespace ipg;
+
+double elapsed_ns(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Record {
+  std::string family;
+  std::uint64_t nodes = 0;
+  std::uint64_t arcs = 0;
+  int threads = 1;
+  std::string engine;  // "scalar" | "batch"
+  double ns_per_source = 0.0;
+  double bytes_per_node = 0.0;
+  std::uint64_t sources = 0;
+  double speedup_vs_scalar = 0.0;  // batched rows only
+};
+
+bool summaries_identical(const DistanceSummary& a, const DistanceSummary& b) {
+  return a.diameter == b.diameter &&
+         a.strongly_connected == b.strongly_connected &&
+         a.histogram == b.histogram &&
+         a.average_distance == b.average_distance;
+}
+
+std::vector<SuperIPSpec> golden_specs() {
+  std::vector<SuperIPSpec> specs = {
+      make_hcn(2),
+      make_hsn(3, hypercube_nucleus(2)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_complete_cn(3, hypercube_nucleus(2)),
+      make_directed_cn(3, star_nucleus(3)),
+      make_super_flip(3, hypercube_nucleus(2)),
+  };
+  const std::size_t plain = specs.size();
+  for (std::size_t i = 0; i < plain; ++i) {
+    specs.push_back(make_symmetric(specs[i]));
+  }
+  return specs;
+}
+
+/// Engine footprint per node: CSR + transpose + the batch scratch one
+/// worker thread holds (the scalar engine's dist/queue arrays are smaller,
+/// so this is the honest upper bound either way).
+double bytes_per_node(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  const std::uint64_t scratch = 3ull * sizeof(std::uint64_t) * g.num_nodes();
+  return static_cast<double>(g.memory_bytes() + g.transpose().memory_bytes() +
+                             scratch) /
+         static_cast<double>(g.num_nodes());
+}
+
+/// Runs both engines on `sources` at `threads`, verifies bit-identity, and
+/// appends one scalar + one batched record. Returns false on mismatch.
+bool compare_engines(const std::string& family, const Graph& g,
+                     const std::vector<Node>& sources, int threads,
+                     std::vector<Record>& records) {
+  const ExecPolicy exec{threads};
+  const double node_bytes = bytes_per_node(g);
+
+  auto t0 = std::chrono::steady_clock::now();
+  const DistanceSummary scalar =
+      multi_source_distance_summary_scalar(g, sources, exec);
+  const double scalar_ns = elapsed_ns(t0) / static_cast<double>(sources.size());
+
+  t0 = std::chrono::steady_clock::now();
+  const DistanceSummary batched =
+      multi_source_distance_summary(g, sources, exec);
+  const double batch_ns = elapsed_ns(t0) / static_cast<double>(sources.size());
+
+  const bool ok = summaries_identical(scalar, batched);
+  records.push_back({family, g.num_nodes(), g.num_arcs(), threads, "scalar",
+                     scalar_ns, node_bytes, sources.size(), 0.0});
+  records.push_back({family, g.num_nodes(), g.num_arcs(), threads, "batch",
+                     batch_ns, node_bytes, sources.size(),
+                     batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0});
+  std::printf("%-24s n=%-7llu %dt  scalar %10.0f ns/src  batch %9.0f ns/src"
+              "  speedup %5.1fx  %s\n",
+              family.c_str(),
+              static_cast<unsigned long long>(g.num_nodes()), threads,
+              scalar_ns, batch_ns, batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0,
+              ok ? "identical" : "MISMATCH");
+  return ok;
+}
+
+void write_json(const char* path, const std::vector<Record>& records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(
+        f,
+        "  {\"family\": \"%s\", \"nodes\": %llu, \"arcs\": %llu, "
+        "\"threads\": %d, \"engine\": \"%s\", \"ns_per_source\": %.1f, "
+        "\"bytes_per_node\": %.1f, \"sources\": %llu",
+        r.family.c_str(), static_cast<unsigned long long>(r.nodes),
+        static_cast<unsigned long long>(r.arcs), r.threads, r.engine.c_str(),
+        r.ns_per_source, r.bytes_per_node,
+        static_cast<unsigned long long>(r.sources));
+    if (r.engine == "batch") {
+      std::fprintf(f, ", \"speedup_vs_scalar\": %.2f", r.speedup_vs_scalar);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu records to %s\n", records.size(), path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool large = false;
+  std::string json_path = "BENCH_apsp.json";
+  std::vector<int> thread_counts = {1, ExecPolicy{}.resolved_threads()};
+  std::uint64_t sample = 4096;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--large") {
+      large = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--sample=", 0) == 0) {
+      sample = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_counts.clear();
+      const char* p = arg.c_str() + 10;
+      while (*p) {
+        thread_counts.push_back(static_cast<int>(std::strtol(p, nullptr, 10)));
+        while (*p && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--large] [--threads=1,2,8] [--sample=N] "
+                   "[--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  // Dedup adjacent equal counts (1,auto collapses on a 1-core box).
+  std::vector<int> threads_unique;
+  for (const int t : thread_counts) {
+    bool seen = false;
+    for (const int u : threads_unique) seen = seen || u == t;
+    if (!seen && t >= 1) threads_unique.push_back(t);
+  }
+
+  std::vector<Record> records;
+  bool all_ok = true;
+
+  for (const SuperIPSpec& spec : golden_specs()) {
+    const IPGraph g = build_super_ip_graph(spec);
+    std::vector<Node> all(g.num_nodes());
+    for (Node u = 0; u < g.num_nodes(); ++u) all[u] = u;
+    for (const int t : threads_unique) {
+      all_ok &= compare_engines(spec.name, g.graph, all, t, records);
+    }
+  }
+
+  if (large) {
+    const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(8));
+    std::printf("building %s ...\n", spec.name.c_str());
+    const IPGraph g = build_super_ip_graph(spec, 1u << 24, ExecPolicy{});
+    // Equal-work engine comparison over an evenly spaced source sample.
+    const std::uint64_t n = g.num_nodes();
+    const std::uint64_t k = sample == 0 || sample > n ? n : sample;
+    std::vector<Node> sources(k);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      sources[i] = static_cast<Node>(i * n / k);
+    }
+    for (const int t : threads_unique) {
+      all_ok &= compare_engines(spec.name, g.graph, sources, t, records);
+    }
+    // Headline: the full all-pairs sweep, batched only (the scalar sweep
+    // is what the sampled rows extrapolate).
+    for (const int t : threads_unique) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const DistanceSummary full =
+          all_pairs_distance_summary(g.graph, ExecPolicy{t});
+      const double ns =
+          elapsed_ns(t0) / static_cast<double>(g.num_nodes());
+      records.push_back({spec.name + "-full", g.num_nodes(),
+                         g.graph.num_arcs(), t, "batch", ns,
+                         bytes_per_node(g.graph), g.num_nodes(), 0.0});
+      std::printf("%-24s n=%-7llu %dt  full batched sweep %8.0f ns/src  "
+                  "diameter %u\n",
+                  (spec.name + "-full").c_str(),
+                  static_cast<unsigned long long>(g.num_nodes()), t, ns,
+                  full.diameter);
+    }
+  }
+
+  write_json(json_path.c_str(), records);
+  std::printf("%s\n", all_ok ? "PASS: engines bit-identical on every row"
+                             : "FAIL: engine mismatch");
+  return all_ok ? 0 : 1;
+}

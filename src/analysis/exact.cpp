@@ -1,10 +1,70 @@
 #include "analysis/exact.hpp"
 
+#include <cassert>
+
 namespace ipg {
 
-ExactAnalysis exact_analysis(const Graph& g, const ExecPolicy& exec) {
+namespace {
+
+/// Derives the all-pairs summary of a vertex-transitive graph from the
+/// distance distribution of node 0: histogram and distance sum scale by N,
+/// so the resulting integral totals — and hence the final division — are
+/// bit-identical to the full sweep.
+DistanceSummary vertex_transitive_summary(const Graph& g,
+                                          const ExecPolicy& exec) {
+  const Node n = g.num_nodes();
+  const Node source0 = 0;
+  DistanceSummary one =
+      multi_source_distance_summary(g, std::span<const Node>(&source0, 1),
+                                    exec);
+  DistanceSummary out;
+  out.diameter = one.diameter;
+  // Reachable-from-one-source + transitivity implies reachable from every
+  // source, so single-source connectivity is whole-graph strong
+  // connectivity.
+  out.strongly_connected = one.strongly_connected;
+  out.histogram.resize(one.histogram.size());
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d < one.histogram.size(); ++d) {
+    out.histogram[d] = one.histogram[d] * n;
+    total += static_cast<std::uint64_t>(d) * out.histogram[d];
+  }
+  const std::uint64_t pairs =
+      n == 0 ? 0 : static_cast<std::uint64_t>(n) * (n - 1);
+  out.average_distance = pairs == 0 ? 0.0
+                                    : static_cast<double>(total) /
+                                          static_cast<double>(pairs);
+  return out;
+}
+
+#ifndef NDEBUG
+bool summaries_identical(const DistanceSummary& a, const DistanceSummary& b) {
+  return a.diameter == b.diameter &&
+         a.strongly_connected == b.strongly_connected &&
+         a.histogram == b.histogram &&
+         a.average_distance == b.average_distance;
+}
+#endif
+
+}  // namespace
+
+ExactAnalysis exact_analysis(const Graph& g, const ExecPolicy& exec,
+                             const ExactOptions& opts) {
   ExactAnalysis out;
-  out.distances = all_pairs_distance_summary(g, exec);
+  const bool fast_path = opts.assume_vertex_transitive &&
+                         opts.use_symmetry_fast_path && g.num_nodes() > 0;
+  if (fast_path) {
+    out.distances = vertex_transitive_summary(g, exec);
+    // Differential guard: in Debug builds the asserted symmetry is checked
+    // against the full sweep, so a wrong assumption fails loudly instead
+    // of skewing figures.
+    assert(summaries_identical(out.distances,
+                               all_pairs_distance_summary(g, exec)) &&
+           "vertex-transitive fast path diverged: the graph is not "
+           "vertex-transitive");
+  } else {
+    out.distances = all_pairs_distance_summary(g, exec);
+  }
   out.profile.nodes = g.num_nodes();
   out.profile.symmetric_digraph = g.is_symmetric();
   out.profile.links =

@@ -1,11 +1,11 @@
 #pragma once
 // Exact whole-graph analysis: the paper's headline numbers (degree,
 // diameter, average distance, DD-cost, distance histogram, connectivity)
-// from one all-pairs BFS sweep. profile() + all_pairs_distance_summary()
-// each run their own sweep; this entry point shares a single pass —
-// threaded under the given ExecPolicy — and is what the figure harnesses
-// and scaling studies should call when they need more than one headline
-// number from the same instance.
+// from one all-pairs sweep of the batched BFS engine. profile() +
+// all_pairs_distance_summary() each run their own sweep; this entry point
+// shares a single pass — threaded under the given ExecPolicy — and is what
+// the figure harnesses and scaling studies should call when they need more
+// than one headline number from the same instance.
 
 #include "graph/bfs.hpp"
 #include "graph/metrics.hpp"
@@ -18,10 +18,29 @@ struct ExactAnalysis {
   DistanceSummary distances;   ///< full histogram + connectivity
 };
 
+/// Tuning knobs for exact_analysis.
+struct ExactOptions {
+  /// Caller-asserted vertex-transitivity. Symmetric super-IP families are
+  /// Cayley graphs (Section 3.5; `is_cayley(spec)` checks the seed), so
+  /// every node sees the same distance distribution and the all-pairs
+  /// summary is one source's histogram scaled by N — an O(N/64)-fold
+  /// saving. Asserting it on a non-transitive graph yields wrong numbers;
+  /// Debug builds cross-check against the full sweep.
+  bool assume_vertex_transitive = false;
+
+  /// Opt-out: force the full all-pairs sweep even when vertex-transitivity
+  /// is asserted (e.g. to measure the engine itself).
+  bool use_symmetry_fast_path = true;
+};
+
 /// One all-pairs sweep under `exec`; both views are filled from the same
 /// summary, so they are mutually consistent and bit-identical to the
-/// serial single-purpose routines at every thread count.
+/// serial single-purpose routines at every thread count. With the
+/// vertex-transitive fast path engaged the summary is derived from a
+/// single source, bit-identical to the full sweep whenever the assertion
+/// holds.
 ExactAnalysis exact_analysis(const Graph& g,
-                             const ExecPolicy& exec = ExecPolicy::serial_policy());
+                             const ExecPolicy& exec = ExecPolicy::serial_policy(),
+                             const ExactOptions& opts = {});
 
 }  // namespace ipg

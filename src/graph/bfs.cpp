@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 #include <memory>
+
+#include "graph/bfs_batch.hpp"
 
 namespace ipg {
 
@@ -36,30 +37,77 @@ std::span<const Dist> BfsScratch::run(const Graph& g, Node src) {
   return dist_;
 }
 
-std::vector<Dist> bfs_distances_01(const Graph& g, Node src,
-                                   std::span<const std::uint32_t> module_of) {
+Bfs01Scratch::Bfs01Scratch(Node num_nodes) : dist_(num_nodes) {
+  // A node re-enters the ring each time its distance improves, so the
+  // steady-state occupancy can exceed num_nodes; start at the next power
+  // of two and double on overflow (rare after warm-up).
+  std::size_t cap = 64;
+  while (cap < num_nodes + std::size_t{1}) cap *= 2;
+  ring_.resize(cap);
+}
+
+void Bfs01Scratch::grow() {
+  const std::size_t old_cap = ring_.size();
+  std::vector<Node> bigger(old_cap * 2);
+  for (std::size_t i = 0; i < count_; ++i) {
+    bigger[i] = ring_[(head_ + i) & (old_cap - 1)];
+  }
+  ring_ = std::move(bigger);
+  head_ = 0;
+}
+
+void Bfs01Scratch::push_front(Node v) {
+  if (count_ == ring_.size()) grow();
+  head_ = (head_ - 1) & (ring_.size() - 1);
+  ring_[head_] = v;
+  ++count_;
+}
+
+void Bfs01Scratch::push_back(Node v) {
+  if (count_ == ring_.size()) grow();
+  ring_[(head_ + count_) & (ring_.size() - 1)] = v;
+  ++count_;
+}
+
+Node Bfs01Scratch::pop_front() {
+  const Node v = ring_[head_];
+  head_ = (head_ + 1) & (ring_.size() - 1);
+  --count_;
+  return v;
+}
+
+std::span<const Dist> Bfs01Scratch::run(
+    const Graph& g, Node src, std::span<const std::uint32_t> module_of) {
+  assert(g.num_nodes() == dist_.size());
   assert(module_of.size() == g.num_nodes());
-  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
-  std::deque<Node> dq;
-  dist[src] = 0;
-  dq.push_back(src);
-  while (!dq.empty()) {
-    const Node u = dq.front();
-    dq.pop_front();
-    const Dist du = dist[u];
+  std::fill(dist_.begin(), dist_.end(), kUnreachable);
+  head_ = 0;
+  count_ = 0;
+  dist_[src] = 0;
+  push_back(src);
+  while (count_ != 0) {
+    const Node u = pop_front();
+    const Dist du = dist_[u];
     for (const Node v : g.neighbors(u)) {
       const Dist w = module_of[u] == module_of[v] ? 0 : 1;
-      if (du + w < dist[v]) {
-        dist[v] = du + w;
+      if (du + w < dist_[v]) {
+        dist_[v] = du + w;
         if (w == 0) {
-          dq.push_front(v);
+          push_front(v);
         } else {
-          dq.push_back(v);
+          push_back(v);
         }
       }
     }
   }
-  return dist;
+  return dist_;
+}
+
+std::vector<Dist> bfs_distances_01(const Graph& g, Node src,
+                                   std::span<const std::uint32_t> module_of) {
+  Bfs01Scratch scratch(g.num_nodes());
+  const auto span = scratch.run(g, src, module_of);
+  return {span.begin(), span.end()};
 }
 
 SourceStats source_stats(std::span<const Dist> dist) {
@@ -75,60 +123,25 @@ SourceStats source_stats(std::span<const Dist> dist) {
 
 namespace {
 
-/// Per-chunk partial of a distance summary. Every field is integral, so
-/// merging partials in chunk order reproduces the serial accumulation
-/// bit for bit.
-struct SummaryPartial {
-  Dist diameter = 0;
-  std::uint64_t total = 0;
-  bool disconnected = false;
-  std::vector<std::uint64_t> histogram;
-};
-
-void accumulate_source(const std::span<const Dist> dist, SummaryPartial& p) {
-  for (const Dist d : dist) {
-    if (d == kUnreachable) {
-      p.disconnected = true;
-      continue;
-    }
-    if (d >= p.histogram.size()) p.histogram.resize(d + 1, 0);
-    p.histogram[d]++;
-    p.diameter = std::max(p.diameter, d);
-    p.total += d;
-  }
-}
-
-DistanceSummary finish_summary(SummaryPartial&& p, std::uint64_t num_sources,
-                               Node num_nodes) {
-  DistanceSummary out;
-  out.diameter = p.diameter;
-  out.strongly_connected = !p.disconnected;
-  out.histogram = std::move(p.histogram);
-  const std::uint64_t pairs =
-      num_nodes == 0 ? 0 : num_sources * (num_nodes - 1);
-  out.average_distance = pairs == 0 ? 0.0
-                                    : static_cast<double>(p.total) /
-                                          static_cast<double>(pairs);
-  return out;
-}
-
-DistanceSummary summarize(const Graph& g, std::span<const Node> sources) {
-  SummaryPartial p;
+DistanceSummary summarize_scalar(const Graph& g,
+                                 std::span<const Node> sources) {
+  DistanceAccumulator acc;
   BfsScratch scratch(g.num_nodes());
-  for (const Node src : sources) accumulate_source(scratch.run(g, src), p);
-  return finish_summary(std::move(p), sources.size(), g.num_nodes());
+  for (const Node src : sources) acc.add(scratch.run(g, src));
+  return finish_distance_summary(std::move(acc), sources.size(),
+                                 g.num_nodes());
 }
 
-DistanceSummary summarize_parallel(const Graph& g,
-                                   std::span<const Node> sources,
-                                   int threads) {
+DistanceSummary summarize_scalar_parallel(const Graph& g,
+                                          std::span<const Node> sources,
+                                          int threads) {
   ThreadPool pool(threads);
   // A few chunks per thread so a slow chunk (e.g. the high-degree sources)
   // does not straggle the whole sweep.
   const std::uint64_t num_chunks =
       std::min<std::uint64_t>(sources.size(),
                               static_cast<std::uint64_t>(threads) * 4);
-  std::vector<SummaryPartial> partials(num_chunks);
+  std::vector<DistanceAccumulator> partials(num_chunks);
   std::vector<std::unique_ptr<BfsScratch>> scratch(threads);
   pool.parallel_for(
       sources.size(), num_chunks,
@@ -137,31 +150,23 @@ DistanceSummary summarize_parallel(const Graph& g,
         if (!scratch[worker]) {
           scratch[worker] = std::make_unique<BfsScratch>(g.num_nodes());
         }
-        SummaryPartial& p = partials[chunk];
+        DistanceAccumulator& p = partials[chunk];
         for (std::uint64_t i = begin; i < end; ++i) {
-          accumulate_source(scratch[worker]->run(g, sources[i]), p);
+          p.add(scratch[worker]->run(g, sources[i]));
         }
       });
-  SummaryPartial merged;
-  for (SummaryPartial& p : partials) {
-    merged.diameter = std::max(merged.diameter, p.diameter);
-    merged.total += p.total;
-    merged.disconnected = merged.disconnected || p.disconnected;
-    if (p.histogram.size() > merged.histogram.size()) {
-      merged.histogram.resize(p.histogram.size(), 0);
-    }
-    for (std::size_t d = 0; d < p.histogram.size(); ++d) {
-      merged.histogram[d] += p.histogram[d];
-    }
-  }
-  return finish_summary(std::move(merged), sources.size(), g.num_nodes());
+  DistanceAccumulator merged;
+  for (const DistanceAccumulator& p : partials) merged.merge(p);
+  return finish_distance_summary(std::move(merged), sources.size(),
+                                 g.num_nodes());
 }
 
-DistanceSummary summarize_policy(const Graph& g, std::span<const Node> sources,
-                                 const ExecPolicy& exec) {
+DistanceSummary summarize_scalar_policy(const Graph& g,
+                                        std::span<const Node> sources,
+                                        const ExecPolicy& exec) {
   const int threads = exec.resolved_threads();
-  if (threads == 1) return summarize(g, sources);
-  return summarize_parallel(g, sources, threads);
+  if (threads == 1) return summarize_scalar(g, sources);
+  return summarize_scalar_parallel(g, sources, threads);
 }
 
 std::vector<Node> all_nodes(const Graph& g) {
@@ -173,23 +178,34 @@ std::vector<Node> all_nodes(const Graph& g) {
 }  // namespace
 
 DistanceSummary all_pairs_distance_summary(const Graph& g) {
-  return summarize(g, all_nodes(g));
+  return batched_distance_summary(g, all_nodes(g),
+                                  ExecPolicy::serial_policy());
 }
 
 DistanceSummary all_pairs_distance_summary(const Graph& g,
                                            const ExecPolicy& exec) {
-  return summarize_policy(g, all_nodes(g), exec);
+  return batched_distance_summary(g, all_nodes(g), exec);
 }
 
 DistanceSummary multi_source_distance_summary(const Graph& g,
                                               std::span<const Node> sources) {
-  return summarize(g, sources);
+  return batched_distance_summary(g, sources, ExecPolicy::serial_policy());
 }
 
 DistanceSummary multi_source_distance_summary(const Graph& g,
                                               std::span<const Node> sources,
                                               const ExecPolicy& exec) {
-  return summarize_policy(g, sources, exec);
+  return batched_distance_summary(g, sources, exec);
+}
+
+DistanceSummary all_pairs_distance_summary_scalar(const Graph& g,
+                                                  const ExecPolicy& exec) {
+  return summarize_scalar_policy(g, all_nodes(g), exec);
+}
+
+DistanceSummary multi_source_distance_summary_scalar(
+    const Graph& g, std::span<const Node> sources, const ExecPolicy& exec) {
+  return summarize_scalar_policy(g, sources, exec);
 }
 
 }  // namespace ipg

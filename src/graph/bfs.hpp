@@ -1,6 +1,12 @@
 #pragma once
 // Breadth-first search primitives: plain BFS, 0/1-weighted BFS (for
 // inter-module distances), eccentricities and distance histograms.
+//
+// The all-pairs / multi-source summaries run on the bit-parallel batched
+// engine (graph/bfs_batch.hpp): 64 sources share each graph pass, with a
+// top-down/bottom-up hybrid per level. The scalar one-BFS-per-source
+// engine survives as the `*_scalar` reference functions; both engines are
+// bit-identical to each other at every thread count.
 
 #include <cstdint>
 #include <span>
@@ -34,6 +40,31 @@ class BfsScratch {
 std::vector<Dist> bfs_distances_01(const Graph& g, Node src,
                                    std::span<const std::uint32_t> module_of);
 
+/// Reusable 0/1-BFS workspace: the working deque is a power-of-two ring
+/// buffer that persists across runs, so per-source sweeps (the I-metrics
+/// loops) do no allocator work after warm-up — unlike the former
+/// per-call std::deque, which allocated a block chain on every source.
+class Bfs01Scratch {
+ public:
+  explicit Bfs01Scratch(Node num_nodes);
+
+  /// Runs 0/1 BFS from `src`; the returned span is valid until the next
+  /// run.
+  std::span<const Dist> run(const Graph& g, Node src,
+                            std::span<const std::uint32_t> module_of);
+
+ private:
+  void push_front(Node v);
+  void push_back(Node v);
+  Node pop_front();
+  void grow();
+
+  std::vector<Dist> dist_;
+  std::vector<Node> ring_;  // capacity always a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 /// Summary of the distance distribution from one source.
 struct SourceStats {
   Dist eccentricity = 0;            ///< max finite distance
@@ -43,7 +74,7 @@ struct SourceStats {
 
 SourceStats source_stats(std::span<const Dist> dist);
 
-/// Exact all-pairs distance summary (runs one BFS per node).
+/// Exact all-pairs distance summary.
 struct DistanceSummary {
   Dist diameter = 0;
   double average_distance = 0.0;  ///< over ordered pairs of distinct nodes
@@ -51,13 +82,14 @@ struct DistanceSummary {
   std::vector<std::uint64_t> histogram;  ///< histogram[d] = #ordered pairs at distance d
 };
 
+/// Batched-engine all-pairs summary (serial over batches).
 DistanceSummary all_pairs_distance_summary(const Graph& g);
 
-/// Parallel all-pairs summary: sources are split into chunks, each chunk
-/// runs BFS with a per-thread scratch and accumulates a partial summary,
-/// and partials are merged in chunk order. All accumulators are integral,
-/// so the result is bit-identical to the serial path at every thread
-/// count; `exec.resolved_threads() == 1` runs the legacy serial loop.
+/// Parallel all-pairs summary: 64-source batches are split into chunks,
+/// each chunk accumulates a partial with a per-thread scratch, and
+/// partials merge in chunk order. All accumulators are integral, so the
+/// result is bit-identical to the serial path — and to the scalar
+/// reference engine — at every thread count.
 DistanceSummary all_pairs_distance_summary(const Graph& g,
                                            const ExecPolicy& exec);
 
@@ -71,5 +103,15 @@ DistanceSummary multi_source_distance_summary(const Graph& g,
 DistanceSummary multi_source_distance_summary(const Graph& g,
                                               std::span<const Node> sources,
                                               const ExecPolicy& exec);
+
+/// Scalar reference engine: one BFS per source, exactly the pre-batching
+/// code path. Kept for differential tests and the apsp_scaling bench
+/// baseline; results are bit-identical to the batched engine.
+DistanceSummary all_pairs_distance_summary_scalar(
+    const Graph& g, const ExecPolicy& exec = ExecPolicy::serial_policy());
+
+DistanceSummary multi_source_distance_summary_scalar(
+    const Graph& g, std::span<const Node> sources,
+    const ExecPolicy& exec = ExecPolicy::serial_policy());
 
 }  // namespace ipg

@@ -1,0 +1,201 @@
+#include "graph/bfs_batch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <memory>
+
+namespace ipg {
+
+namespace {
+
+/// Direction heuristic (after Beamer's direction-optimizing BFS): pull
+/// bottom-up once the frontier's out-arc mass exceeds this fraction of the
+/// whole arc set — at that density a full in-neighbor scan with early exit
+/// is cheaper than pushing every frontier arc. Stateless and computed from
+/// deterministic per-level aggregates, so the level schedule (and hence
+/// every memory access pattern) is identical at every thread count.
+constexpr std::uint64_t kBottomUpDenominator = 14;
+
+}  // namespace
+
+void DistanceAccumulator::add(std::span<const Dist> dist) {
+  for (const Dist d : dist) {
+    if (d == kUnreachable) {
+      disconnected = true;
+      continue;
+    }
+    if (d >= histogram.size()) histogram.resize(d + 1, 0);
+    histogram[d]++;
+    diameter = std::max(diameter, d);
+    total += d;
+  }
+}
+
+void DistanceAccumulator::merge(const DistanceAccumulator& other) {
+  diameter = std::max(diameter, other.diameter);
+  total += other.total;
+  disconnected = disconnected || other.disconnected;
+  if (other.histogram.size() > histogram.size()) {
+    histogram.resize(other.histogram.size(), 0);
+  }
+  for (std::size_t d = 0; d < other.histogram.size(); ++d) {
+    histogram[d] += other.histogram[d];
+  }
+}
+
+DistanceSummary finish_distance_summary(DistanceAccumulator&& acc,
+                                        std::uint64_t num_sources,
+                                        Node num_nodes) {
+  DistanceSummary out;
+  out.diameter = acc.diameter;
+  out.strongly_connected = !acc.disconnected;
+  out.histogram = std::move(acc.histogram);
+  const std::uint64_t pairs =
+      num_nodes == 0 ? 0 : num_sources * (num_nodes - 1);
+  out.average_distance = pairs == 0 ? 0.0
+                                    : static_cast<double>(acc.total) /
+                                          static_cast<double>(pairs);
+  return out;
+}
+
+BfsBatchScratch::BfsBatchScratch(Node num_nodes)
+    : visit_(num_nodes, 0), front_(num_nodes, 0), next_(num_nodes, 0) {}
+
+void BfsBatchScratch::run(const Graph& g, const TransposeCsr& transpose,
+                          std::span<const Node> sources,
+                          DistanceAccumulator& acc) {
+  const Node n = g.num_nodes();
+  assert(visit_.size() == n);
+  assert(sources.size() <= kBfsBatchWidth);
+  const std::uint32_t k = static_cast<std::uint32_t>(sources.size());
+  if (k == 0 || n == 0) return;
+  const std::uint64_t full =
+      k == kBfsBatchWidth ? ~0ull : ((1ull << k) - 1);
+
+  std::fill(visit_.begin(), visit_.end(), 0);
+  std::fill(front_.begin(), front_.end(), 0);
+  // next_ is an invariant zero between runs (the update pass below clears
+  // every slot it reads).
+
+  std::uint64_t frontier_arcs = 0;  // out-arc mass of the current frontier
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const Node s = sources[i];
+    if (front_[s] == 0) frontier_arcs += g.out_degree(s);
+    front_[s] |= 1ull << i;
+    visit_[s] |= 1ull << i;
+  }
+
+  // Level 0: every source sees itself at distance 0 (duplicates included,
+  // matching the scalar engine which counts per source, not per node).
+  if (acc.histogram.empty()) acc.histogram.resize(1, 0);
+  acc.histogram[0] += k;
+
+  const std::uint64_t m = g.num_arcs();
+  Dist level = 0;
+  for (;;) {
+    ++level;
+    const bool bottom_up =
+        m > 0 && frontier_arcs > m / kBottomUpDenominator;
+    if (bottom_up) {
+      for (Node v = 0; v < n; ++v) {
+        const std::uint64_t missing = full & ~visit_[v];
+        if (missing == 0) continue;
+        std::uint64_t pulled = 0;
+        for (const Node u : transpose.in_neighbors(v)) {
+          pulled |= front_[u];
+          if ((pulled & missing) == missing) break;  // all lanes arrived
+        }
+        next_[v] = pulled;
+      }
+    } else {
+      for (Node u = 0; u < n; ++u) {
+        const std::uint64_t f = front_[u];
+        if (f == 0) continue;
+        for (const Node v : g.neighbors(u)) next_[v] |= f;
+      }
+    }
+
+    // Update pass: commit newly reached lanes, rotate next -> front, and
+    // gather the aggregates the heuristic and the accumulator need.
+    std::uint64_t new_count = 0;
+    frontier_arcs = 0;
+    for (Node v = 0; v < n; ++v) {
+      const std::uint64_t fresh = next_[v] & ~visit_[v];
+      next_[v] = 0;
+      front_[v] = fresh;
+      if (fresh != 0) {
+        visit_[v] |= fresh;
+        new_count += static_cast<std::uint64_t>(std::popcount(fresh));
+        frontier_arcs += g.out_degree(v);
+      }
+    }
+    if (new_count == 0) break;
+    if (level >= acc.histogram.size()) acc.histogram.resize(level + 1, 0);
+    acc.histogram[level] += new_count;
+    acc.total += static_cast<std::uint64_t>(level) * new_count;
+    acc.diameter = std::max(acc.diameter, level);
+  }
+
+  for (Node v = 0; v < n; ++v) {
+    if ((visit_[v] & full) != full) {
+      acc.disconnected = true;
+      break;
+    }
+  }
+}
+
+DistanceSummary batched_distance_summary(const Graph& g,
+                                         std::span<const Node> sources,
+                                         const ExecPolicy& exec) {
+  const Node n = g.num_nodes();
+  const std::uint64_t num_batches =
+      (sources.size() + kBfsBatchWidth - 1) / kBfsBatchWidth;
+  const auto batch_span = [&](std::uint64_t b) {
+    const std::size_t begin = b * kBfsBatchWidth;
+    return sources.subspan(begin,
+                           std::min<std::size_t>(kBfsBatchWidth,
+                                                 sources.size() - begin));
+  };
+  if (num_batches == 0) {
+    return finish_distance_summary(DistanceAccumulator{}, 0, n);
+  }
+  // Built once here (and cached on the graph), so worker threads never
+  // contend on the transpose lock.
+  const TransposeCsr& transpose = g.transpose();
+
+  const int threads = exec.resolved_threads();
+  if (threads == 1 || num_batches == 1) {
+    DistanceAccumulator acc;
+    BfsBatchScratch scratch(n);
+    for (std::uint64_t b = 0; b < num_batches; ++b) {
+      scratch.run(g, transpose, batch_span(b), acc);
+    }
+    return finish_distance_summary(std::move(acc), sources.size(), n);
+  }
+
+  ThreadPool pool(threads);
+  // A few chunks per thread so a straggling chunk cannot serialize the
+  // sweep; batch -> chunk assignment depends only on the counts.
+  const std::uint64_t num_chunks =
+      std::min<std::uint64_t>(num_batches,
+                              static_cast<std::uint64_t>(threads) * 4);
+  std::vector<DistanceAccumulator> partials(num_chunks);
+  std::vector<std::unique_ptr<BfsBatchScratch>> scratch(threads);
+  pool.parallel_for(
+      num_batches, num_chunks,
+      [&](int worker, std::uint64_t chunk, std::uint64_t begin,
+          std::uint64_t end) {
+        if (!scratch[worker]) {
+          scratch[worker] = std::make_unique<BfsBatchScratch>(n);
+        }
+        for (std::uint64_t b = begin; b < end; ++b) {
+          scratch[worker]->run(g, transpose, batch_span(b), partials[chunk]);
+        }
+      });
+  DistanceAccumulator merged;
+  for (const DistanceAccumulator& p : partials) merged.merge(p);
+  return finish_distance_summary(std::move(merged), sources.size(), n);
+}
+
+}  // namespace ipg

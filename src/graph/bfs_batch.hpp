@@ -1,0 +1,86 @@
+#pragma once
+// Bit-parallel multi-source BFS: up to 64 sources traverse the graph in a
+// single level-synchronous pass, one bit per source packed into a
+// `uint64_t` per node. Each level runs either top-down (scan the frontier,
+// push masks along out-arcs) or bottom-up (every incompletely-visited node
+// pulls frontier masks from its in-neighbors via the cached transpose
+// CSR), picked by a deterministic frontier-density heuristic. This is the
+// engine under `all_pairs_distance_summary` / `multi_source_distance_summary`
+// / `exact_analysis`; the scalar one-BFS-per-source path survives as the
+// `*_scalar` reference functions in graph/bfs.hpp.
+//
+// Determinism: every accumulated quantity (histogram counts, distance sum,
+// diameter, reachability) is integral, and the per-batch accumulation is a
+// sum/max/or over per-level popcounts — commutative and exact — so the
+// batched engine is bit-identical to the scalar engine, and chunk-order
+// merging keeps it bit-identical at every thread count (the PR 1
+// contract). The direction heuristic depends only on per-level aggregates
+// of the batch itself, never on scheduling.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg {
+
+/// Sources per batch: one bit lane per source in a machine word.
+inline constexpr std::uint32_t kBfsBatchWidth = 64;
+
+/// Running totals of a distance-summary sweep. All fields are integral, so
+/// partials accumulated per chunk and merged in chunk order reproduce the
+/// serial accumulation bit for bit (shared by the scalar and batched
+/// engines).
+struct DistanceAccumulator {
+  Dist diameter = 0;
+  std::uint64_t total = 0;      ///< sum of finite distances over ordered pairs
+  bool disconnected = false;
+  std::vector<std::uint64_t> histogram;  ///< histogram[d] = #pairs at distance d
+
+  /// Scalar accumulation of one source's distance array.
+  void add(std::span<const Dist> dist);
+
+  /// Folds `other` into this accumulator (call in chunk order).
+  void merge(const DistanceAccumulator& other);
+};
+
+/// Final division step shared by both engines: `num_sources * (n - 1)`
+/// ordered pairs, computed from the exact integral totals.
+DistanceSummary finish_distance_summary(DistanceAccumulator&& acc,
+                                        std::uint64_t num_sources,
+                                        Node num_nodes);
+
+/// Reusable workspace for batched runs: three `uint64_t` masks per node
+/// (visited / current frontier / next frontier).
+class BfsBatchScratch {
+ public:
+  explicit BfsBatchScratch(Node num_nodes);
+
+  /// One bit-parallel BFS over `sources` (at most kBfsBatchWidth entries,
+  /// duplicates allowed); accumulates the batch's distance counts into
+  /// `acc`. `transpose` must be the transpose of `g` (see
+  /// Graph::transpose()).
+  void run(const Graph& g, const TransposeCsr& transpose,
+           std::span<const Node> sources, DistanceAccumulator& acc);
+
+  /// Scratch footprint in bytes (for the bench bytes/node counters).
+  std::uint64_t memory_bytes() const noexcept {
+    return (visit_.size() + front_.size() + next_.size()) *
+           sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> visit_, front_, next_;
+};
+
+/// Distance summary over `sources` via the batched engine, threaded over
+/// batches under `exec`; bit-identical to the scalar reference at every
+/// thread count.
+DistanceSummary batched_distance_summary(const Graph& g,
+                                         std::span<const Node> sources,
+                                         const ExecPolicy& exec);
+
+}  // namespace ipg

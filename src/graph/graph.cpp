@@ -24,4 +24,25 @@ std::uint64_t Graph::memory_bytes() const noexcept {
          targets_.size() * sizeof(Node) + tags_.size() * sizeof(EdgeTag);
 }
 
+const TransposeCsr& Graph::transpose() const {
+  std::lock_guard<std::mutex> lock(transpose_cache_.mu);
+  if (!transpose_cache_.csr) {
+    const Node n = num_nodes();
+    auto t = std::make_shared<TransposeCsr>();
+    t->offsets.assign(n + 1, 0);
+    for (const Node v : targets_) t->offsets[v + 1]++;
+    for (Node v = 0; v < n; ++v) t->offsets[v + 1] += t->offsets[v];
+    t->targets.resize(targets_.size());
+    std::vector<std::uint64_t> cursor(t->offsets.begin(),
+                                      t->offsets.end() - 1);
+    // Scanning sources in ascending order leaves every in-neighbor list
+    // sorted, matching the forward adjacency convention.
+    for (Node u = 0; u < n; ++u) {
+      for (const Node v : neighbors(u)) t->targets[cursor[v]++] = u;
+    }
+    transpose_cache_.csr = std::move(t);
+  }
+  return *transpose_cache_.csr;
+}
+
 }  // namespace ipg

@@ -13,6 +13,8 @@
 // rely on.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -32,6 +34,28 @@ using Dist = std::uint32_t;
 inline constexpr Dist kUnreachable = 0xffffffffu;
 
 class GraphBuilder;
+
+/// Transpose adjacency in CSR form: in_neighbors(v) lists every u with an
+/// arc u -> v, sorted ascending. For symmetric digraphs this equals the
+/// forward adjacency; the batched BFS engine pulls through it in its
+/// bottom-up levels on genuinely directed networks.
+struct TransposeCsr {
+  std::vector<std::uint64_t> offsets;  // size num_nodes()+1
+  std::vector<Node> targets;
+
+  std::span<const Node> in_neighbors(Node v) const noexcept {
+    return {targets.data() + offsets[v], targets.data() + offsets[v + 1]};
+  }
+
+  Node in_degree(Node v) const noexcept {
+    return static_cast<Node>(offsets[v + 1] - offsets[v]);
+  }
+
+  std::uint64_t memory_bytes() const noexcept {
+    return offsets.size() * sizeof(std::uint64_t) +
+           targets.size() * sizeof(Node);
+  }
+};
 
 /// Immutable CSR digraph.
 class Graph {
@@ -72,11 +96,41 @@ class Graph {
   /// Approximate heap footprint in bytes (used by perf benches).
   std::uint64_t memory_bytes() const noexcept;
 
+  /// Transpose CSR (in-neighbor lists), built on first call and cached for
+  /// the lifetime of the graph; thread-safe. The returned reference stays
+  /// valid until the graph is destroyed or assigned over.
+  const TransposeCsr& transpose() const;
+
  private:
   friend class GraphBuilder;
+
+  /// Lazily built transpose. The cache is an identity-like member: copies
+  /// and moves of a Graph start with an empty cache (rebuilt on demand),
+  /// and assignment clears the target's cache so it can never go stale
+  /// against new adjacency.
+  struct TransposeCache {
+    mutable std::mutex mu;
+    mutable std::shared_ptr<const TransposeCsr> csr;
+
+    TransposeCache() = default;
+    TransposeCache(const TransposeCache&) noexcept {}
+    TransposeCache(TransposeCache&&) noexcept {}
+    TransposeCache& operator=(const TransposeCache&) noexcept {
+      std::lock_guard<std::mutex> lock(mu);
+      csr.reset();
+      return *this;
+    }
+    TransposeCache& operator=(TransposeCache&&) noexcept {
+      std::lock_guard<std::mutex> lock(mu);
+      csr.reset();
+      return *this;
+    }
+  };
+
   std::vector<std::uint64_t> offsets_{0};  // size num_nodes()+1
   std::vector<Node> targets_;
   std::vector<EdgeTag> tags_;  // empty, or parallel to targets_
+  TransposeCache transpose_cache_;
 };
 
 }  // namespace ipg

@@ -34,6 +34,15 @@ SuperIPSpec make_symmetric(const SuperIPSpec& base) {
   return out;
 }
 
+bool is_cayley(const SuperIPSpec& spec) {
+  bool seen[256] = {};
+  for (const std::uint8_t s : spec.seed) {
+    if (seen[s]) return false;
+    seen[s] = true;
+  }
+  return !spec.seed.empty();
+}
+
 std::uint64_t symmetric_size(const SuperIPSpec& base, std::uint64_t nucleus_size) {
   std::uint64_t n = num_reachable_arrangements(base);
   for (int i = 0; i < base.l; ++i) n *= nucleus_size;

@@ -16,6 +16,14 @@ namespace ipg {
 /// [1, m] (true for every nucleus in families.hpp) and l*m <= 255.
 SuperIPSpec make_symmetric(const SuperIPSpec& base);
 
+/// True iff the spec's seed has no repeated symbol, which makes the
+/// resulting super-IP graph a Cayley graph (Section 2) and therefore
+/// vertex-transitive. Every make_symmetric() output qualifies; plain
+/// super-IP seeds (identical blocks) never do for l > 1. Callers use this
+/// to engage the single-source fast path of exact_analysis
+/// (ExactOptions::assume_vertex_transitive) without any graph-side check.
+bool is_cayley(const SuperIPSpec& spec);
+
 /// Node count of the symmetric variant predicted by Section 3.5:
 /// (number of reachable block arrangements) * M^l, where M is the nucleus
 /// size — l! * M^l for HSN/super-flip, l * M^l for cyclic-shift networks.
