@@ -77,7 +77,8 @@ int main() {
   }
   for (int s = 32; s <= 512; s *= 4) {
     da_row("torus " + std::to_string(s) + "x" + std::to_string(s),
-           static_cast<std::uint64_t>(s) * s, 4.0, torus2d_avg_distance(s, s),
+           static_cast<std::uint64_t>(s) * static_cast<std::uint64_t>(s), 4.0,
+           torus2d_avg_distance(s, s),
            "closed form");
   }
   for (int l = 2; l <= 3; ++l) {

@@ -78,7 +78,8 @@ int main() {
 
   const IPGraph nucleus = build_ip_graph(spec.nucleus_spec());
   const int bound =
-      route_length_bound(spec, profile(nucleus.graph).diameter, false);
+      route_length_bound(spec, static_cast<int>(profile(nucleus.graph).diameter),
+                         false);
   std::uint64_t max_route = 0;
   for (const auto& p : packets) {
     max_route = std::max<std::uint64_t>(max_route,

@@ -62,7 +62,10 @@ std::vector<Config> configs_1024() {
     for (Node u = 0; u < g.num_nodes(); ++u) {
       // Use the orientation of the lead block's last pair as the extra bit.
       const Label& x = g.labels()[u];
-      const int bit = x[spec.m - 2] > x[spec.m - 1] ? 1 : 0;
+      const std::uint32_t bit =
+          x[static_cast<std::size_t>(spec.m - 2)] > x[static_cast<std::size_t>(spec.m - 1)]
+              ? 1u
+              : 0u;
       c.clustering.module_of[u] = base.module_of[u] * 2 + bit;
     }
     out.push_back(std::move(c));

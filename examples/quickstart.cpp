@@ -41,7 +41,9 @@ int main() {
             << label_to_string_grouped(dst, spec.m) << "  in "
             << path.length() << " hops:";
   const IPGraphSpec lifted = spec.to_ip_spec();
-  for (const int g : path.gens) std::cout << ' ' << lifted.generators[g].name;
+  for (const int g : path.gens) {
+    std::cout << ' ' << lifted.generators[static_cast<std::size_t>(g)].name;
+  }
   std::cout << "\n";
 
   // 4. Packaging view: one 8-node nucleus per module.

@@ -31,7 +31,7 @@ int main() {
 
   Label current = src;
   for (const int g : path.gens) {
-    const auto& gen = lifted.generators[g];
+    const auto& gen = lifted.generators[static_cast<std::size_t>(g)];
     current = gen.perm.apply(current);
     std::cout << "  --" << gen.name << (gen.is_super ? " (super)" : "  ")
               << "->  " << label_to_string_grouped(current, spec.m)
@@ -49,8 +49,9 @@ int main() {
   const IPGraphSpec star = star_nucleus(5);
   Label walk = s;
   for (const int g : sp.gens) {
-    walk = star.generators[g].perm.apply(walk);
-    std::cout << "  --" << star.generators[g].name << "->  "
+    const auto& sg = star.generators[static_cast<std::size_t>(g)];
+    walk = sg.perm.apply(walk);
+    std::cout << "  --" << sg.name << "->  "
               << label_to_string(walk) << "\n";
   }
   std::cout << "took " << sp.length() << " hops; the cycle formula predicts "

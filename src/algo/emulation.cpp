@@ -58,6 +58,8 @@ EmulationStats emulate_hypercube_rounds(const IPGraph& hsn, int l, int n) {
         arc_use[(static_cast<std::uint64_t>(path[i + 1]) << 32) | path[i]]++;
       }
     }
+    // Max-reduction over all counters; visit order cannot change the
+    // result. ipg-lint: allow(unordered-iteration)
     for (const auto& [arc, uses] : arc_use) {
       cost.congestion = std::max(cost.congestion, uses);
     }

@@ -28,7 +28,9 @@ std::vector<CostPoint> sweep_hypercube(int n_min, int n_max, int module_bits) {
   std::vector<CostPoint> out;
   for (int n = n_min; n <= n_max; ++n) {
     const int off = n > module_bits ? n - module_bits : 0;
-    out.push_back(cost_point(hypercube_nums(n), off, off));
+    out.push_back(
+        cost_point(hypercube_nums(n), static_cast<std::uint32_t>(off),
+                   static_cast<std::uint32_t>(off)));
   }
   return out;
 }

@@ -44,7 +44,7 @@ TopoNums kary_ncube_nums(int k, int n) {
 
 TopoNums torus2d_nums(int rows, int cols) {
   return {"torus " + std::to_string(rows) + "x" + std::to_string(cols),
-          static_cast<std::uint64_t>(rows) * cols, 4,
+          static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols), 4,
           static_cast<std::uint32_t>(rows / 2 + cols / 2)};
 }
 

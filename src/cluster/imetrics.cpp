@@ -8,6 +8,7 @@
 #include "graph/bfs.hpp"
 #include "graph/quotient.hpp"
 #include "util/prng.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -101,17 +102,18 @@ IDistanceStats stats_from_sources(const Graph& mod_graph,
       std::min<std::uint64_t>(sources.size(),
                               static_cast<std::uint64_t>(threads) * 4);
   std::vector<IDistancePartial> partials(num_chunks);
-  std::vector<std::unique_ptr<BfsScratch>> scratch(threads);
+  std::vector<std::unique_ptr<BfsScratch>> scratch(as_size(threads));
   pool.parallel_for(
       sources.size(), num_chunks,
       [&](int worker, std::uint64_t chunk, std::uint64_t begin,
           std::uint64_t end) {
-        if (!scratch[worker]) {
-          scratch[worker] = std::make_unique<BfsScratch>(mod_graph.num_nodes());
+        if (!scratch[as_size(worker)]) {
+          scratch[as_size(worker)] =
+              std::make_unique<BfsScratch>(mod_graph.num_nodes());
         }
         for (std::uint64_t i = begin; i < end; ++i) {
           accumulate_idistance_source(mod_graph, module_sizes, total_nodes,
-                                      *scratch[worker], sources[i],
+                                      *scratch[as_size(worker)], sources[i],
                                       partials[chunk]);
         }
       });
@@ -147,7 +149,7 @@ IDistanceStats i_distance_stats_sampled(const Graph& mod_graph,
     return i_distance_stats(mod_graph, module_sizes);
   }
   Xoshiro256 rng(seed);
-  std::vector<Node> sources(samples);
+  std::vector<Node> sources(as_size(samples));
   for (Node& s : sources) {
     s = static_cast<Node>(rng.below(mod_graph.num_nodes()));
   }

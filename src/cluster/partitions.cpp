@@ -8,6 +8,7 @@
 #include "graph/builder.hpp"
 #include "ipg/super.hpp"
 #include "topo/perm_rank.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -50,7 +51,9 @@ Clustering cluster_star(int n, int substar) {
     const auto p = perm_unrank(u, n);
     // Pack the fixed suffix p[substar..n) into a key.
     std::uint64_t key = 0;
-    for (int i = substar; i < n; ++i) key = key * n + p[i];
+    for (int i = substar; i < n; ++i) {
+      key = key * static_cast<std::uint64_t>(n) + p[as_size(i)];
+    }
     const auto [it, inserted] = suffix_ids.try_emplace(key, c.num_modules);
     if (inserted) ++c.num_modules;
     c.module_of[u] = it->second;
@@ -77,10 +80,10 @@ Clustering cluster_torus2d(int rows, int cols, int tile_r, int tile_c) {
   Clustering c;
   const int tiles_per_row = cols / tile_c;
   c.num_modules = static_cast<std::uint32_t>((rows / tile_r) * tiles_per_row);
-  c.module_of.resize(static_cast<std::size_t>(rows) * cols);
+  c.module_of.resize(as_size(rows) * as_size(cols));
   for (int r = 0; r < rows; ++r) {
     for (int col = 0; col < cols; ++col) {
-      c.module_of[static_cast<std::size_t>(r) * cols + col] =
+      c.module_of[as_size(r) * as_size(cols) + as_size(col)] =
           static_cast<std::uint32_t>((r / tile_r) * tiles_per_row + col / tile_c);
     }
   }
@@ -91,9 +94,11 @@ Clustering cluster_ccc(int n) {
   Clustering c;
   const Node cubes = Node{1} << n;
   c.num_modules = cubes;
-  c.module_of.resize(static_cast<std::size_t>(cubes) * n);
+  c.module_of.resize(static_cast<std::size_t>(cubes) * as_size(n));
   for (Node x = 0; x < cubes; ++x) {
-    for (int p = 0; p < n; ++p) c.module_of[x * n + p] = x;
+    for (int p = 0; p < n; ++p) {
+      c.module_of[x * as_size(n) + as_size(p)] = x;
+    }
   }
   return c;
 }
@@ -140,7 +145,7 @@ Graph star_module_graph(int n, int substar) {
   std::unordered_map<std::uint64_t, Node> ids;
   std::vector<std::vector<std::uint8_t>> suffixes;
   std::vector<std::uint8_t> current;
-  std::vector<bool> used(n, false);
+  std::vector<bool> used(as_size(n), false);
   const std::function<void()> enumerate = [&] {
     if (static_cast<int>(current.size()) == suffix_len) {
       ids.emplace(pack(current), static_cast<Node>(suffixes.size()));
@@ -148,12 +153,12 @@ Graph star_module_graph(int n, int substar) {
       return;
     }
     for (int sym = 0; sym < n; ++sym) {
-      if (used[sym]) continue;
-      used[sym] = true;
+      if (used[as_size(sym)]) continue;
+      used[as_size(sym)] = true;
       current.push_back(static_cast<std::uint8_t>(sym));
       enumerate();
       current.pop_back();
-      used[sym] = false;
+      used[as_size(sym)] = false;
     }
   };
   enumerate();
@@ -162,16 +167,16 @@ Graph star_module_graph(int n, int substar) {
   for (Node m = 0; m < suffixes.size(); ++m) {
     const auto& suffix = suffixes[m];
     // Free symbols = those inside the module.
-    std::vector<bool> in_suffix(n, false);
+    std::vector<bool> in_suffix(as_size(n), false);
     for (const auto s : suffix) in_suffix[s] = true;
     for (int j = 0; j < suffix_len; ++j) {
       for (int f = 0; f < n; ++f) {
-        if (in_suffix[f]) continue;
+        if (in_suffix[as_size(f)]) continue;
         // Generator (1, substar + j + 1): the node holding f at the front
         // swaps it into suffix position j; f joins the suffix, suffix[j]
         // becomes free.
         auto neighbor = suffix;
-        neighbor[j] = static_cast<std::uint8_t>(f);
+        neighbor[as_size(j)] = static_cast<std::uint8_t>(f);
         b.add_arc(m, ids.at(pack(neighbor)));
       }
     }
@@ -187,20 +192,20 @@ Graph super_module_graph(Node nucleus_size, int l,
   assert(modules < (1ull << 31));
 
   GraphBuilder b(static_cast<Node>(modules));
-  std::vector<Node> v(l), w(l);
+  std::vector<Node> v(as_size(l)), w(as_size(l));
   for (Node suffix = 0; suffix < modules; ++suffix) {
     // Decode the suffix into v[1..l-1] (big-endian).
     Node rem = suffix;
     for (int i = l - 1; i >= 1; --i) {
-      v[i] = rem % nucleus_size;
+      v[as_size(i)] = rem % nucleus_size;
       rem /= nucleus_size;
     }
     for (const Generator& g : super_gens) {
       for (Node v1 = 0; v1 < nucleus_size; ++v1) {
         v[0] = v1;
-        for (int p = 0; p < l; ++p) w[p] = v[g.perm[p]];
+        for (int p = 0; p < l; ++p) w[as_size(p)] = v[g.perm[p]];
         Node target = 0;
-        for (int i = 1; i < l; ++i) target = target * nucleus_size + w[i];
+        for (int i = 1; i < l; ++i) target = target * nucleus_size + w[as_size(i)];
         if (target != suffix) b.add_arc(suffix, target);
       }
     }

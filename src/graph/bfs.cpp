@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "graph/bfs_batch.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -142,17 +143,17 @@ DistanceSummary summarize_scalar_parallel(const Graph& g,
       std::min<std::uint64_t>(sources.size(),
                               static_cast<std::uint64_t>(threads) * 4);
   std::vector<DistanceAccumulator> partials(num_chunks);
-  std::vector<std::unique_ptr<BfsScratch>> scratch(threads);
+  std::vector<std::unique_ptr<BfsScratch>> scratch(as_size(threads));
   pool.parallel_for(
       sources.size(), num_chunks,
       [&](int worker, std::uint64_t chunk, std::uint64_t begin,
           std::uint64_t end) {
-        if (!scratch[worker]) {
-          scratch[worker] = std::make_unique<BfsScratch>(g.num_nodes());
+        if (!scratch[as_size(worker)]) {
+          scratch[as_size(worker)] = std::make_unique<BfsScratch>(g.num_nodes());
         }
         DistanceAccumulator& p = partials[chunk];
         for (std::uint64_t i = begin; i < end; ++i) {
-          p.add(scratch[worker]->run(g, sources[i]));
+          p.add(scratch[as_size(worker)]->run(g, sources[i]));
         }
       });
   DistanceAccumulator merged;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <memory>
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -181,16 +182,17 @@ DistanceSummary batched_distance_summary(const Graph& g,
       std::min<std::uint64_t>(num_batches,
                               static_cast<std::uint64_t>(threads) * 4);
   std::vector<DistanceAccumulator> partials(num_chunks);
-  std::vector<std::unique_ptr<BfsBatchScratch>> scratch(threads);
+  std::vector<std::unique_ptr<BfsBatchScratch>> scratch(as_size(threads));
   pool.parallel_for(
       num_batches, num_chunks,
       [&](int worker, std::uint64_t chunk, std::uint64_t begin,
           std::uint64_t end) {
-        if (!scratch[worker]) {
-          scratch[worker] = std::make_unique<BfsBatchScratch>(n);
+        if (!scratch[as_size(worker)]) {
+          scratch[as_size(worker)] = std::make_unique<BfsBatchScratch>(n);
         }
         for (std::uint64_t b = begin; b < end; ++b) {
-          scratch[worker]->run(g, transpose, batch_span(b), partials[chunk]);
+          scratch[as_size(worker)]->run(g, transpose, batch_span(b),
+                                        partials[chunk]);
         }
       });
   DistanceAccumulator merged;

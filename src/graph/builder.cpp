@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ipg/static_check.hpp"
+
 namespace ipg {
 
 GraphBuilder::GraphBuilder(Node num_nodes, bool tagged)
@@ -42,6 +44,7 @@ Graph GraphBuilder::build(bool keep_self_loops) && {
     prev = &a;
   }
   for (Node u = 0; u < num_nodes_; ++u) g.offsets_[u + 1] += g.offsets_[u];
+  IPG_AUDIT(g.validate_csr());
   return g;
 }
 

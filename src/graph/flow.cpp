@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/narrow.hpp"
+
 namespace ipg {
 
 namespace {
@@ -12,13 +14,13 @@ namespace {
 /// Residual flow network with unit/infinite capacities.
 class FlowNet {
  public:
-  explicit FlowNet(int nodes) : head_(nodes, -1) {}
+  explicit FlowNet(int nodes) : head_(as_size(nodes), -1) {}
 
   void add_edge(int u, int v, int cap) {
-    edges_.push_back({v, head_[u], cap});
-    head_[u] = static_cast<int>(edges_.size()) - 1;
-    edges_.push_back({u, head_[v], 0});
-    head_[v] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({v, head_[as_size(u)], cap});
+    head_[as_size(u)] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({u, head_[as_size(v)], 0});
+    head_[as_size(v)] = static_cast<int>(edges_.size()) - 1;
   }
 
   /// Edmonds-Karp; capacities here are tiny (max flow <= max degree).
@@ -28,24 +30,25 @@ class FlowNet {
     while (true) {
       std::fill(parent_edge.begin(), parent_edge.end(), -1);
       std::vector<int> queue{s};
-      parent_edge[s] = -2;
-      for (std::size_t qi = 0; qi < queue.size() && parent_edge[t] == -1; ++qi) {
+      parent_edge[as_size(s)] = -2;
+      for (std::size_t qi = 0; qi < queue.size() && parent_edge[as_size(t)] == -1;
+           ++qi) {
         const int u = queue[qi];
-        for (int e = head_[u]; e != -1; e = edges_[e].next) {
-          const int v = edges_[e].to;
-          if (edges_[e].cap > 0 && parent_edge[v] == -1) {
-            parent_edge[v] = e;
+        for (int e = head_[as_size(u)]; e != -1; e = edges_[as_size(e)].next) {
+          const int v = edges_[as_size(e)].to;
+          if (edges_[as_size(e)].cap > 0 && parent_edge[as_size(v)] == -1) {
+            parent_edge[as_size(v)] = e;
             queue.push_back(v);
           }
         }
       }
-      if (parent_edge[t] == -1) return flow;
+      if (parent_edge[as_size(t)] == -1) return flow;
       // Unit capacities along split nodes: each augmentation adds 1.
       for (int v = t; v != s;) {
-        const int e = parent_edge[v];
-        edges_[e].cap -= 1;
-        edges_[e ^ 1].cap += 1;
-        v = edges_[e ^ 1].to;
+        const int e = parent_edge[as_size(v)];
+        edges_[as_size(e)].cap -= 1;
+        edges_[as_size(e ^ 1)].cap += 1;
+        v = edges_[as_size(e ^ 1)].to;
       }
       ++flow;
     }

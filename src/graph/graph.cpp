@@ -2,7 +2,36 @@
 
 #include <algorithm>
 
+#include "ipg/static_check.hpp"
+
 namespace ipg {
+
+#ifdef IPG_CONTRACTS_ACTIVE
+namespace {
+
+// Transpose-cache coherence audit: the freshly built transpose must list
+// exactly the reversed arcs, with every in-neighbor list sorted the way
+// the forward adjacency is.
+bool transpose_coherent(const Graph& g, const TransposeCsr& t) {
+  const Node n = g.num_nodes();
+  if (t.offsets.size() != static_cast<std::size_t>(n) + 1) return false;
+  if (t.offsets.front() != 0 || t.offsets.back() != g.num_arcs()) return false;
+  if (t.targets.size() != g.num_arcs()) return false;
+  for (Node v = 0; v < n; ++v) {
+    const auto in = t.in_neighbors(v);
+    if (!std::is_sorted(in.begin(), in.end())) return false;
+  }
+  for (Node u = 0; u < n; ++u) {
+    for (const Node v : g.neighbors(u)) {
+      const auto in = t.in_neighbors(v);
+      if (!std::binary_search(in.begin(), in.end(), u)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+#endif  // IPG_CONTRACTS_ACTIVE
 
 bool Graph::has_arc(Node u, Node v) const noexcept {
   const auto nb = neighbors(u);
@@ -14,6 +43,22 @@ bool Graph::is_symmetric() const {
   for (Node u = 0; u < n; ++u) {
     for (const Node v : neighbors(u)) {
       if (!has_arc(v, u)) return false;
+    }
+  }
+  return true;
+}
+
+bool Graph::validate_csr() const {
+  if (offsets_.empty() || offsets_.front() != 0) return false;
+  if (offsets_.back() != targets_.size()) return false;
+  if (!std::is_sorted(offsets_.begin(), offsets_.end())) return false;
+  if (!tags_.empty() && tags_.size() != targets_.size()) return false;
+  const Node n = num_nodes();
+  for (Node u = 0; u < n; ++u) {
+    const auto nb = neighbors(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i] >= n) return false;
+      if (i > 0 && nb[i - 1] >= nb[i]) return false;
     }
   }
   return true;
@@ -40,6 +85,7 @@ const TransposeCsr& Graph::transpose() const {
     for (Node u = 0; u < n; ++u) {
       for (const Node v : neighbors(u)) t->targets[cursor[v]++] = u;
     }
+    IPG_AUDIT(transpose_coherent(*this, *t));
     transpose_cache_.csr = std::move(t);
   }
   return *transpose_cache_.csr;

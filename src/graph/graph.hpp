@@ -93,6 +93,13 @@ class Graph {
   /// digraph represents an undirected network.
   bool is_symmetric() const;
 
+  /// Structural CSR audit: offsets start at 0, are monotone and end at the
+  /// arc count; every adjacency list is strictly increasing (sorted, no
+  /// parallel arcs) with in-range targets; tags are absent or parallel to
+  /// the targets. The builders run this under IPG_AUDIT; tests may call it
+  /// directly.
+  bool validate_csr() const;
+
   /// Approximate heap footprint in bytes (used by perf benches).
   std::uint64_t memory_bytes() const noexcept;
 

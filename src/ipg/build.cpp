@@ -7,10 +7,40 @@
 #include <utility>
 
 #include "graph/builder.hpp"
+#include "ipg/static_check.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
 namespace {
+
+#ifdef IPG_CONTRACTS_ACTIVE
+/// Codec round-trip audit: every stored label must unpack/pack losslessly
+/// and resolve back to its own node id through the label -> node index —
+/// i.e. the Theorem 3.2-style numbering the builders hand out really is a
+/// bijection over the closure.
+bool labels_round_trip(const IPGraph& g) {
+  if (g.index_size() != g.num_nodes()) return false;
+  Label tmp;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    g.label_into(u, tmp);
+    if (g.packed()) {
+      PackedLabel key;
+      if (!g.codec_.try_pack(tmp, key)) return false;
+      if (!(g.packed_labels_[u] == key)) return false;
+    }
+    if (g.node_of(tmp) != u) return false;
+  }
+  return true;
+}
+#endif  // IPG_CONTRACTS_ACTIVE
+
+/// Post-build audit gate shared by every builder variant.
+IPGraph audited(IPGraph g) {
+  IPG_AUDIT(g.graph.validate_csr());
+  IPG_AUDIT(labels_round_trip(g));
+  return g;
+}
 
 /// Rough heap footprint of one std::vector<uint8_t> label: the inline
 /// header plus a malloc block (16-byte quantum, ~16 bytes of allocator
@@ -39,7 +69,7 @@ Node IPGraph::apply_generator(Node u, int gen) const {
   assert(gen >= 0 && gen < static_cast<int>(spec.generators.size()));
   if (packed()) {
     const std::uint64_t* v =
-        packed_index_.find(packed_gens_[gen].apply(packed_labels_[u]));
+        packed_index_.find(packed_gens_[as_size(gen)].apply(packed_labels_[u]));
     assert(v != nullptr && "generated set must be closed");
     return static_cast<Node>(*v);
   }
@@ -51,7 +81,7 @@ Node IPGraph::apply_generator(Node u, int gen, Label& scratch) const {
   assert(u < num_nodes());
   assert(gen >= 0 && gen < static_cast<int>(spec.generators.size()));
   if (packed()) return apply_generator(u, gen);
-  spec.generators[gen].perm.apply_into(vec_labels_[u], scratch);
+  spec.generators[as_size(gen)].perm.apply_into(vec_labels_[u], scratch);
   const auto it = vec_index_.find(scratch);
   assert(it != vec_index_.end() && "generated set must be closed");
   return it->second;
@@ -98,6 +128,8 @@ std::uint64_t IPGraph::index_bytes() const noexcept {
   // libstdc++ node layout: next pointer + cached hash + pair<Label, Node>,
   // plus the bucket array and each key's own heap block.
   std::uint64_t total = vec_index_.bucket_count() * sizeof(void*);
+  // Sum-reduction over all entries; order-independent.
+  // ipg-lint: allow(unordered-iteration)
   for (const auto& [key, value] : vec_index_) {
     (void)value;
     total += 2 * sizeof(void*) + sizeof(std::pair<Label, Node>) +
@@ -245,6 +277,10 @@ struct VectorSpace {
     std::uint64_t size() const { return m.size(); }
     template <typename F>
     void for_each(F&& f) const {
+      // The only caller drains every shard into one vector and sorts it by
+      // discovery key before ids are assigned (see the parallel closure),
+      // so the visit order here never reaches a result.
+      // ipg-lint: allow(unordered-iteration)
       for (const auto& [k, v] : m) f(k, v);
     }
   };
@@ -274,6 +310,8 @@ void export_storage(IPGraph& out, VectorSpace&, std::vector<Label>&& elems,
                     VectorSpace::Map&& index) {
   out.vec_labels_ = std::move(elems);
   out.vec_index_.reserve(index.m.size());
+  // Rebuilds one hash map from another; the content, not the order, is the
+  // result. ipg-lint: allow(unordered-iteration)
   for (const auto& [k, v] : index.m) {
     out.vec_index_.emplace(k, static_cast<Node>(v));
   }
@@ -429,13 +467,15 @@ IPGraph build_ip_graph_parallel(IPGraphSpec spec, std::uint64_t max_nodes,
 IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes) {
   if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
   const LabelCodec codec = LabelCodec::for_label(spec.seed);
-  if (codec.valid()) return build_serial_packed(std::move(spec), max_nodes, codec);
-  return build_serial_vector(std::move(spec), max_nodes);
+  if (codec.valid()) {
+    return audited(build_serial_packed(std::move(spec), max_nodes, codec));
+  }
+  return audited(build_serial_vector(std::move(spec), max_nodes));
 }
 
 IPGraph build_ip_graph_unpacked(IPGraphSpec spec, std::uint64_t max_nodes) {
   if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
-  return build_serial_vector(std::move(spec), max_nodes);
+  return audited(build_serial_vector(std::move(spec), max_nodes));
 }
 
 IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes,
@@ -445,11 +485,12 @@ IPGraph build_ip_graph(IPGraphSpec spec, std::uint64_t max_nodes,
   if (!spec.valid()) throw std::invalid_argument("invalid IPGraphSpec: " + spec.name);
   const LabelCodec codec = LabelCodec::for_label(spec.seed);
   if (codec.valid()) {
-    return build_ip_graph_parallel<PackedSpace>(std::move(spec), max_nodes,
-                                                threads, codec);
+    return audited(build_ip_graph_parallel<PackedSpace>(std::move(spec),
+                                                        max_nodes, threads,
+                                                        codec));
   }
-  return build_ip_graph_parallel<VectorSpace>(std::move(spec), max_nodes,
-                                              threads);
+  return audited(build_ip_graph_parallel<VectorSpace>(std::move(spec),
+                                                      max_nodes, threads));
 }
 
 }  // namespace ipg

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "graph/builder.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -62,8 +63,8 @@ std::vector<Generator> flip_super_gens(int l) {
 namespace {
 
 Label iota_label(int m) {
-  std::vector<int> symbols(m);
-  for (int i = 0; i < m; ++i) symbols[i] = i + 1;
+  std::vector<int> symbols(as_size(m));
+  for (int i = 0; i < m; ++i) symbols[as_size(i)] = i + 1;
   return make_label(symbols);
 }
 
@@ -308,7 +309,7 @@ Graph add_hcn_diameter_links(const IPGraph& hcn, int n) {
     if (!std::equal(x.begin(), x.begin() + m, x.begin() + m)) continue;
     // Complement both halves: swap the two symbols of every pair.
     Label y(x);
-    for (int p = 0; p + 1 < 2 * m; p += 2) std::swap(y[p], y[p + 1]);
+    for (int p = 0; p + 1 < 2 * m; p += 2) std::swap(y[as_size(p)], y[as_size(p + 1)]);
     const Node v = hcn.node_of(y);
     assert(v != kInvalidIPNode);
     b.add_arc(u, v);  // the complement node also satisfies x==y, adding v->u
@@ -330,9 +331,9 @@ Node TupleNetwork::encode(std::span<const Node> tuple) const {
 }
 
 std::vector<Node> TupleNetwork::decode(Node id) const {
-  std::vector<Node> tuple(l);
+  std::vector<Node> tuple(as_size(l));
   for (int i = l - 1; i >= 0; --i) {
-    tuple[i] = id % nucleus_size;
+    tuple[as_size(i)] = id % nucleus_size;
     id /= nucleus_size;
   }
   return tuple;
@@ -342,7 +343,7 @@ std::uint32_t TupleNetwork::module_of(Node id) const {
   // Module = the suffix (v_2 .. v_l): drop the leading coordinate.
   Node suffix = 0;
   const auto tuple = decode(id);
-  for (int i = 1; i < l; ++i) suffix = suffix * nucleus_size + tuple[i];
+  for (int i = 1; i < l; ++i) suffix = suffix * nucleus_size + tuple[as_size(i)];
   return suffix;
 }
 
@@ -367,12 +368,12 @@ TupleNetwork build_super_network_direct(const Graph& nucleus, int l,
 
   GraphBuilder b(static_cast<Node>(n));
   const std::int64_t stride = static_cast<std::int64_t>(n / nucleus.num_nodes());
-  std::vector<Node> tuple(l), moved(l);
+  std::vector<Node> tuple(as_size(l)), moved(as_size(l));
   for (Node u = 0; u < n; ++u) {
     // Decode inline (avoid per-node allocation).
     Node id = u;
     for (int i = l - 1; i >= 0; --i) {
-      tuple[i] = id % nucleus.num_nodes();
+      tuple[as_size(i)] = id % nucleus.num_nodes();
       id /= nucleus.num_nodes();
     }
     // Nucleus arcs on the leading coordinate (most significant digit).
@@ -385,7 +386,7 @@ TupleNetwork build_super_network_direct(const Graph& nucleus, int l,
     }
     // Super-generator arcs permute coordinates.
     for (const Generator& g : super_gens) {
-      for (int p = 0; p < l; ++p) moved[p] = tuple[g.perm[p]];
+      for (int p = 0; p < l; ++p) moved[as_size(p)] = tuple[g.perm[p]];
       b.add_arc(u, out.encode(moved));
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -33,9 +34,9 @@ bool LabelCodec::try_pack(const Label& x, PackedLabel& out) const {
   if (!valid() || static_cast<int>(x.size()) != length_) return false;
   PackedLabel packed;
   for (int i = 0; i < length_; ++i) {
-    if (x[i] > mask_) return false;
+    if (x[as_size(i)] > mask_) return false;
     const int bit = i * bits_;
-    packed.w[bit >> 6] |= static_cast<std::uint64_t>(x[i]) << (bit & 63);
+    packed.w[bit >> 6] |= static_cast<std::uint64_t>(x[as_size(i)]) << (bit & 63);
   }
   out = packed;
   return true;
@@ -44,7 +45,7 @@ bool LabelCodec::try_pack(const Label& x, PackedLabel& out) const {
 void LabelCodec::unpack(const PackedLabel& x, Label& out) const {
   assert(valid());
   out.resize(static_cast<std::size_t>(length_));
-  for (int i = 0; i < length_; ++i) out[i] = symbol(x, i);
+  for (int i = 0; i < length_; ++i) out[as_size(i)] = symbol(x, i);
 }
 
 Label LabelCodec::unpack(const PackedLabel& x) const {

@@ -130,7 +130,9 @@ class PackedLabelStore {
   std::uint64_t size() const noexcept {
     return words_ == 0 ? 0 : data_.size() / static_cast<std::uint64_t>(words_);
   }
-  void reserve(std::uint64_t labels) { data_.reserve(labels * words_); }
+  void reserve(std::uint64_t labels) {
+    data_.reserve(labels * static_cast<std::uint64_t>(words_));
+  }
 
   void push_back(const PackedLabel& x) {
     data_.push_back(x.w[0]);
@@ -139,8 +141,9 @@ class PackedLabelStore {
 
   PackedLabel operator[](std::uint64_t i) const noexcept {
     PackedLabel out;
-    out.w[0] = data_[i * words_];
-    if (words_ == 2) out.w[1] = data_[i * words_ + 1];
+    const std::uint64_t base = i * static_cast<std::uint64_t>(words_);
+    out.w[0] = data_[base];
+    if (words_ == 2) out.w[1] = data_[base + 1];
     return out;
   }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "util/narrow.hpp"
+
 namespace ipg {
 
 Permutation::Permutation(std::vector<std::uint8_t> one_line) : p_(std::move(one_line)) {
@@ -16,7 +18,7 @@ Permutation::Permutation(std::vector<std::uint8_t> one_line) : p_(std::move(one_
 }
 
 Permutation Permutation::identity(int k) {
-  std::vector<std::uint8_t> p(k);
+  std::vector<std::uint8_t> p(as_size(k));
   std::iota(p.begin(), p.end(), std::uint8_t{0});
   return Permutation(std::move(p));
 }
@@ -24,15 +26,15 @@ Permutation Permutation::identity(int k) {
 Permutation Permutation::transposition(int k, int i, int j) {
   assert(i >= 0 && j >= 0 && i < k && j < k && i != j);
   Permutation out = identity(k);
-  std::swap(out.p_[i], out.p_[j]);
+  std::swap(out.p_[as_size(i)], out.p_[as_size(j)]);
   return out;
 }
 
 Permutation Permutation::rotate_left(int k, int s) {
   assert(k > 0);
   s = ((s % k) + k) % k;
-  std::vector<std::uint8_t> p(k);
-  for (int i = 0; i < k; ++i) p[i] = static_cast<std::uint8_t>((i + s) % k);
+  std::vector<std::uint8_t> p(as_size(k));
+  for (int i = 0; i < k; ++i) p[as_size(i)] = static_cast<std::uint8_t>((i + s) % k);
   return Permutation(std::move(p));
 }
 
@@ -42,7 +44,7 @@ Permutation Permutation::flip_prefix(int k, int prefix) {
   assert(prefix >= 1 && prefix <= k);
   Permutation out = identity(k);
   for (int i = 0; i < prefix; ++i) {
-    out.p_[i] = static_cast<std::uint8_t>(prefix - 1 - i);
+    out.p_[as_size(i)] = static_cast<std::uint8_t>(prefix - 1 - i);
   }
   return out;
 }
@@ -58,10 +60,10 @@ Permutation Permutation::from_cycles(
     if (len < 2) continue;
     std::vector<int> c(cycle);
     for (int i = 0; i < len; ++i) {
-      const int from = c[i];
-      const int to = c[(i + 1) % len];
+      const int from = c[as_size(i)];
+      const int to = c[as_size((i + 1) % len)];
       assert(from >= 0 && from < k && to >= 0 && to < k);
-      out.p_[to] = static_cast<std::uint8_t>(from);
+      out.p_[as_size(to)] = static_cast<std::uint8_t>(from);
     }
   }
   return out;
@@ -69,7 +71,7 @@ Permutation Permutation::from_cycles(
 
 bool Permutation::is_identity() const noexcept {
   for (int i = 0; i < size(); ++i) {
-    if (p_[i] != i) return false;
+    if (p_[as_size(i)] != i) return false;
   }
   return true;
 }
@@ -83,28 +85,28 @@ Label Permutation::apply(const Label& x) const {
 void Permutation::apply_into(const Label& x, Label& out) const {
   assert(static_cast<int>(x.size()) == size());
   out.resize(x.size());
-  for (int i = 0; i < size(); ++i) out[i] = x[p_[i]];
+  for (int i = 0; i < size(); ++i) out[as_size(i)] = x[p_[as_size(i)]];
 }
 
 Permutation Permutation::then(const Permutation& next) const {
   // next.apply(this->apply(x))[i] = this->apply(x)[next.p_[i]] = x[p_[next.p_[i]]].
   assert(size() == next.size());
   std::vector<std::uint8_t> q(p_.size());
-  for (int i = 0; i < size(); ++i) q[i] = p_[next.p_[i]];
+  for (int i = 0; i < size(); ++i) q[as_size(i)] = p_[next.p_[as_size(i)]];
   return Permutation(std::move(q));
 }
 
 Permutation Permutation::inverse() const {
   std::vector<std::uint8_t> q(p_.size());
-  for (int i = 0; i < size(); ++i) q[p_[i]] = static_cast<std::uint8_t>(i);
+  for (int i = 0; i < size(); ++i) q[p_[as_size(i)]] = static_cast<std::uint8_t>(i);
   return Permutation(std::move(q));
 }
 
 Permutation Permutation::expand_blocks(int m) const {
-  std::vector<std::uint8_t> q(p_.size() * m);
+  std::vector<std::uint8_t> q(p_.size() * as_size(m));
   for (int block = 0; block < size(); ++block) {
     for (int j = 0; j < m; ++j) {
-      q[block * m + j] = static_cast<std::uint8_t>(p_[block] * m + j);
+      q[as_size(block * m + j)] = static_cast<std::uint8_t>(p_[as_size(block)] * m + j);
     }
   }
   return Permutation(std::move(q));
@@ -114,7 +116,7 @@ Permutation Permutation::embed(int total, int at) const {
   assert(at >= 0 && at + size() <= total);
   Permutation out = identity(total);
   for (int i = 0; i < size(); ++i) {
-    out.p_[at + i] = static_cast<std::uint8_t>(at + p_[i]);
+    out.p_[as_size(at + i)] = static_cast<std::uint8_t>(at + p_[as_size(i)]);
   }
   return out;
 }
@@ -123,7 +125,7 @@ std::string Permutation::to_cycle_string() const {
   std::string out;
   std::vector<bool> seen(p_.size(), false);
   for (int start = 0; start < size(); ++start) {
-    if (seen[start] || p_[start] == start) continue;
+    if (seen[as_size(start)] || p_[as_size(start)] == start) continue;
     out += '(';
     int i = start;
     bool first = true;
@@ -131,8 +133,8 @@ std::string Permutation::to_cycle_string() const {
     do {
       if (!first) out += ' ';
       out += std::to_string(i);
-      seen[i] = true;
-      i = p_[i];
+      seen[as_size(i)] = true;
+      i = p_[as_size(i)];
       first = false;
     } while (i != start);
     out += ')';

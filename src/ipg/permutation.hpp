@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ipg/label.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -45,7 +46,7 @@ class Permutation {
                                  std::initializer_list<std::initializer_list<int>> cycles);
 
   int size() const noexcept { return static_cast<int>(p_.size()); }
-  std::uint8_t operator[](int i) const noexcept { return p_[i]; }
+  std::uint8_t operator[](int i) const noexcept { return p_[as_size(i)]; }
 
   bool is_identity() const noexcept;
 

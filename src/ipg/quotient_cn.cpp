@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "graph/quotient.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -22,7 +23,7 @@ QuotientNetwork make_quotient_cn(const TupleNetwork& net,
   for (Node u = 0; u < n; ++u) {
     const auto tuple = net.decode(u);
     std::uint32_t c = tuple[0] >> merged_bits;
-    for (int i = 1; i < net.l; ++i) c = c * net.nucleus_size + tuple[i];
+    for (int i = 1; i < net.l; ++i) c = c * net.nucleus_size + tuple[as_size(i)];
     color[u] = c;
   }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/narrow.hpp"
+
 namespace ipg {
 
 namespace {
@@ -12,14 +14,14 @@ namespace {
 /// super-generators (next[p] = arr[beta[p]]), sorted lexicographically so
 /// an arrangement's index is recoverable by binary search.
 std::vector<Arrangement> reachable_arrangements(const SuperIPSpec& spec) {
-  Arrangement start(spec.l);
-  for (int i = 0; i < spec.l; ++i) start[i] = static_cast<std::uint8_t>(i);
+  Arrangement start(as_size(spec.l));
+  for (int i = 0; i < spec.l; ++i) start[as_size(i)] = static_cast<std::uint8_t>(i);
   std::vector<Arrangement> queue{start};
-  Arrangement next(spec.l);
+  Arrangement next(as_size(spec.l));
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const Arrangement arr = queue[head];  // copy: queue may reallocate
     for (const Generator& g : spec.super_gens) {
-      for (int p = 0; p < spec.l; ++p) next[p] = arr[g.perm[p]];
+      for (int p = 0; p < spec.l; ++p) next[as_size(p)] = arr[g.perm[p]];
       if (std::find(queue.begin(), queue.end(), next) == queue.end()) {
         queue.push_back(next);
       }
@@ -48,8 +50,8 @@ SuperRanking::SuperRanking(const SuperIPSpec& spec)
   for (int i = 1; i < l_ && (plain || symmetric); ++i) {
     const Label block = spec.seed_block(i);
     for (int j = 0; j < m_; ++j) {
-      if (block[j] != base[j]) plain = false;
-      if (block[j] != base[j] + i * m_) symmetric = false;
+      if (block[as_size(j)] != base[as_size(j)]) plain = false;
+      if (block[as_size(j)] != base[as_size(j)] + i * m_) symmetric = false;
     }
   }
   if (plain) {
@@ -79,7 +81,7 @@ SuperRanking::SuperRanking(const SuperIPSpec& spec)
 
 int SuperRanking::owner_block(const Label& full, int i) const noexcept {
   if (!symmetric_) return 0;
-  return (full[i * m_] - base_lo_) / m_;
+  return (full[as_size(i * m_)] - base_lo_) / m_;
 }
 
 Node SuperRanking::digit_lookup(const Label& full, int i, int shift) const {
@@ -87,7 +89,7 @@ Node SuperRanking::digit_lookup(const Label& full, int i, int shift) const {
   // below writes exactly bits() bits per symbol and must not overflow, and
   // the fallback map would just miss anyway.
   for (int j = 0; j < m_; ++j) {
-    const int s = full[i * m_ + j];
+    const int s = full[as_size(i * m_ + j)];
     if (s < shift + base_lo_ || s > shift + base_hi_) return kInvalidIPNode;
   }
   if (!sorted_blocks_.empty()) {
@@ -97,7 +99,7 @@ Node SuperRanking::digit_lookup(const Label& full, int i, int shift) const {
     PackedLabel key;
     const int bits = block_codec_.bits();
     for (int j = 0; j < m_; ++j) {
-      const auto sym = static_cast<std::uint64_t>(full[i * m_ + j] - shift);
+      const auto sym = static_cast<std::uint64_t>(full[as_size(i * m_ + j)] - shift);
       key.w[(j * bits) >> 6] |= sym << ((j * bits) & 63);
     }
     const auto it = std::lower_bound(
@@ -122,9 +124,9 @@ std::uint32_t SuperRanking::digit(const Label& full, int i) const {
 std::uint64_t SuperRanking::rank(const Label& full) const {
   std::uint64_t r = 0;
   if (symmetric_) {
-    Arrangement arr(l_);
+    Arrangement arr(as_size(l_));
     for (int p = 0; p < l_; ++p) {
-      arr[p] = static_cast<std::uint8_t>(owner_block(full, p));
+      arr[as_size(p)] = static_cast<std::uint8_t>(owner_block(full, p));
     }
     const auto it =
         std::lower_bound(arrangements_.begin(), arrangements_.end(), arr);
@@ -140,13 +142,13 @@ std::uint64_t SuperRanking::try_rank(const Label& full) const {
   if (static_cast<int>(full.size()) != l_ * m_) return kInvalidRank;
   std::uint64_t r = 0;
   if (symmetric_) {
-    Arrangement arr(l_);
+    Arrangement arr(as_size(l_));
     for (int p = 0; p < l_; ++p) {
-      const int sym = full[p * m_];
+      const int sym = full[as_size(p * m_)];
       if (sym < base_lo_) return kInvalidRank;
       const int b = (sym - base_lo_) / m_;
       if (b >= l_) return kInvalidRank;
-      arr[p] = static_cast<std::uint8_t>(b);
+      arr[as_size(p)] = static_cast<std::uint8_t>(b);
     }
     const auto it =
         std::lower_bound(arrangements_.begin(), arrangements_.end(), arr);
@@ -169,7 +171,7 @@ Label SuperRanking::unrank(std::uint64_t r) const {
 
 void SuperRanking::unrank_into(std::uint64_t r, Label& out) const {
   assert(r < size());
-  out.resize(static_cast<std::size_t>(l_) * m_);
+  out.resize(as_size(l_) * as_size(m_));
   const std::uint64_t arr_idx = r / ml_;
   std::uint64_t digits = r % ml_;
   const std::uint64_t M = nucleus_.num_nodes();
@@ -179,9 +181,9 @@ void SuperRanking::unrank_into(std::uint64_t r, Label& out) const {
     digits /= M;
     nucleus_.label_into(d, block);
     const int shift =
-        symmetric_ ? arrangements_[arr_idx][i] * m_ : 0;
+        symmetric_ ? arrangements_[arr_idx][as_size(i)] * m_ : 0;
     for (int j = 0; j < m_; ++j) {
-      out[i * m_ + j] = static_cast<std::uint8_t>(block[j] + shift);
+      out[as_size(i * m_ + j)] = static_cast<std::uint8_t>(block[as_size(j)] + shift);
     }
   }
 }

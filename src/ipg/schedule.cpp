@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -17,7 +18,7 @@ std::uint32_t rank_arrangement(const Arrangement& a) {
   for (int i = 0; i < l; ++i) {
     std::uint32_t smaller = 0;
     for (int j = i + 1; j < l; ++j) {
-      if (a[j] < a[i]) ++smaller;
+      if (a[as_size(j)] < a[as_size(i)]) ++smaller;
     }
     r += smaller * kFactorial[l - 1 - i];
   }
@@ -26,14 +27,14 @@ std::uint32_t rank_arrangement(const Arrangement& a) {
 
 /// Inverse of rank_arrangement (factorial number system decode).
 Arrangement unrank_arrangement(std::uint32_t r, int l) {
-  Arrangement pool(l);
-  for (int i = 0; i < l; ++i) pool[i] = static_cast<std::uint8_t>(i);
-  Arrangement out(l);
+  Arrangement pool(as_size(l));
+  for (int i = 0; i < l; ++i) pool[as_size(i)] = static_cast<std::uint8_t>(i);
+  Arrangement out(as_size(l));
   for (int i = 0; i < l; ++i) {
     const std::uint32_t f = kFactorial[l - 1 - i];
     const std::uint32_t idx = r / f;
     r %= f;
-    out[i] = pool[idx];
+    out[as_size(i)] = pool[idx];
     pool.erase(pool.begin() + idx);
   }
   return out;
@@ -67,20 +68,20 @@ Explored explore(const SuperIPSpec& spec) {
   e.parent_state.assign(states, -1);
   e.parent_gen.assign(states, -1);
 
-  Arrangement start(spec.l);
-  for (int i = 0; i < spec.l; ++i) start[i] = static_cast<std::uint8_t>(i);
+  Arrangement start(as_size(spec.l));
+  for (int i = 0; i < spec.l; ++i) start[as_size(i)] = static_cast<std::uint8_t>(i);
   const std::uint32_t s0 = e.state_id(start, 1u);  // block 0 begins at front
   e.dist[s0] = 0;
   e.queue.push_back(s0);
 
-  Arrangement next(spec.l);
+  Arrangement next(as_size(spec.l));
   for (std::size_t head = 0; head < e.queue.size(); ++head) {
     const std::uint32_t s = e.queue[head];
     const Arrangement arr = e.arrangement_of(s);
     const std::uint32_t mask = s & ((1u << spec.l) - 1);
     for (int g = 0; g < static_cast<int>(spec.super_gens.size()); ++g) {
-      const Permutation& beta = spec.super_gens[g].perm;
-      for (int p = 0; p < spec.l; ++p) next[p] = arr[beta[p]];
+      const Permutation& beta = spec.super_gens[as_size(g)].perm;
+      for (int p = 0; p < spec.l; ++p) next[as_size(p)] = arr[beta[p]];
       const std::uint32_t nmask = mask | (1u << next[0]);
       const std::uint32_t ns = e.state_id(next, nmask);
       if (e.dist[ns] < 0) {

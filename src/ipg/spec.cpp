@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -19,7 +20,7 @@ bool IPGraphSpec::inverse_closed() const {
 std::vector<int> IPGraphSpec::super_generator_indices() const {
   std::vector<int> out;
   for (int i = 0; i < static_cast<int>(generators.size()); ++i) {
-    if (generators[i].is_super) out.push_back(i);
+    if (generators[as_size(i)].is_super) out.push_back(i);
   }
   return out;
 }
@@ -27,7 +28,7 @@ std::vector<int> IPGraphSpec::super_generator_indices() const {
 std::vector<int> IPGraphSpec::nucleus_generator_indices() const {
   std::vector<int> out;
   for (int i = 0; i < static_cast<int>(generators.size()); ++i) {
-    if (!generators[i].is_super) out.push_back(i);
+    if (!generators[as_size(i)].is_super) out.push_back(i);
   }
   return out;
 }

@@ -1,0 +1,342 @@
+#pragma once
+// Compile-time paper contracts and runtime audit macros (layer 3 of the
+// static-analysis pass; docs/MODEL.md §10).
+//
+// Two parts:
+//
+//  * constexpr permutation kernels mirroring ipg::Permutation, plus a
+//    static_assert suite proving the generator algebra the routing layer
+//    assumes — the paper's T(i) transpositions and F(i) flips are
+//    involutions, L∘R = id on every group count, nucleus and
+//    super-generators acting on disjoint index sets commute, and the
+//    Theorem 4.1 schedule length t equals l - 1 for the transposition,
+//    cyclic-shift and flip super-generator sets. The asserts fire at
+//    compile time in every build configuration, so a generator-algebra
+//    regression cannot even produce a binary.
+//
+//  * IPG_CONTRACT / IPG_AUDIT macros — active in Debug builds and under
+//    -DIPG_AUDIT=ON — backing Graph::validate_csr(), the label/codec
+//    round-trip audit in the IP-graph builders, the transpose-cache
+//    coherence audit and the FaultSet consistency audit in
+//    simulate_with_faults.
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+// IPG_CONTRACT(cond): cheap O(1) precondition/invariant.
+// IPG_AUDIT(cond): structural audit, linear (or worse) in the audited
+// object — the argument expression is dropped entirely when contracts are
+// off, so audit helpers may be defined under #ifdef IPG_CONTRACTS_ACTIVE.
+#if defined(IPG_AUDIT_ENABLED) || !defined(NDEBUG)
+#define IPG_CONTRACTS_ACTIVE 1
+#define IPG_CONTRACT(cond)                                            \
+  ((cond) ? static_cast<void>(0)                                      \
+          : ::ipg::contract::fail("contract", #cond, __FILE__, __LINE__))
+#define IPG_AUDIT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                      \
+          : ::ipg::contract::fail("audit", #cond, __FILE__, __LINE__))
+#else
+#define IPG_CONTRACT(cond) static_cast<void>(0)
+#define IPG_AUDIT(cond) static_cast<void>(0)
+#endif
+
+namespace ipg::contract {
+
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line) {
+  std::fprintf(stderr, "ipg %s violated at %s:%d: %s\n", kind, file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace ipg::contract
+
+namespace ipg::static_check {
+
+// ---------------------------------------------------------------------------
+// constexpr permutation kernels. One-line notation with the library's
+// convention (permutation.hpp): applying p to a label X gives
+// (Xp)[i] = X[p[i]].
+
+template <int K>
+using CPerm = std::array<std::uint8_t, static_cast<std::size_t>(K)>;
+
+constexpr int factorial(int n) {
+  int f = 1;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+template <int K>
+constexpr CPerm<K> identity() {
+  CPerm<K> p{};
+  for (int i = 0; i < K; ++i) p[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  return p;
+}
+
+/// Transposition (i j) — the paper's T generators are (1, i+1).
+template <int K>
+constexpr CPerm<K> transposition(int i, int j) {
+  CPerm<K> p = identity<K>();
+  const std::uint8_t t = p[static_cast<std::size_t>(i)];
+  p[static_cast<std::size_t>(i)] = p[static_cast<std::size_t>(j)];
+  p[static_cast<std::size_t>(j)] = t;
+  return p;
+}
+
+/// Cyclic left rotation by s (the paper's L generator for s = 1).
+template <int K>
+constexpr CPerm<K> rotate_left(int s) {
+  s = ((s % K) + K) % K;
+  CPerm<K> p{};
+  for (int i = 0; i < K; ++i) {
+    p[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((i + s) % K);
+  }
+  return p;
+}
+
+/// Cyclic right rotation by s (the paper's R generator, L's inverse).
+template <int K>
+constexpr CPerm<K> rotate_right(int s) {
+  return rotate_left<K>(-s);
+}
+
+/// Reversal of the first `prefix` positions (the paper's F generators).
+template <int K>
+constexpr CPerm<K> flip_prefix(int prefix) {
+  CPerm<K> p = identity<K>();
+  for (int i = 0; i < prefix; ++i) {
+    p[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(prefix - 1 - i);
+  }
+  return p;
+}
+
+/// Composition matching Permutation::then: applying the result equals
+/// applying `a` first, then `b`.
+template <int K>
+constexpr CPerm<K> then(const CPerm<K>& a, const CPerm<K>& b) {
+  CPerm<K> q{};
+  for (int i = 0; i < K; ++i) {
+    q[static_cast<std::size_t>(i)] = a[b[static_cast<std::size_t>(i)]];
+  }
+  return q;
+}
+
+template <int K>
+constexpr bool is_identity(const CPerm<K>& a) {
+  for (int i = 0; i < K; ++i) {
+    if (a[static_cast<std::size_t>(i)] != i) return false;
+  }
+  return true;
+}
+
+/// Block expansion matching Permutation::expand_blocks: an l-block
+/// permutation lifted to l*m positions moving whole m-symbol blocks.
+template <int L, int M>
+constexpr CPerm<L * M> expand_blocks(const CPerm<L>& a) {
+  CPerm<L * M> q{};
+  for (int block = 0; block < L; ++block) {
+    for (int j = 0; j < M; ++j) {
+      q[static_cast<std::size_t>(block * M + j)] =
+          static_cast<std::uint8_t>(a[static_cast<std::size_t>(block)] * M + j);
+    }
+  }
+  return q;
+}
+
+/// Embedding matching Permutation::embed: a k-permutation placed at offset
+/// `at` inside `Total` positions, identity elsewhere.
+template <int Total, int K>
+constexpr CPerm<Total> embed(const CPerm<K>& a, int at) {
+  CPerm<Total> q = identity<Total>();
+  for (int i = 0; i < K; ++i) {
+    q[static_cast<std::size_t>(at + i)] =
+        static_cast<std::uint8_t>(at + a[static_cast<std::size_t>(i)]);
+  }
+  return q;
+}
+
+/// Lexicographic rank of a permutation of 0..K-1 (Lehmer code); bijective
+/// onto [0, K!).
+template <int K>
+constexpr int rank_of(const CPerm<K>& a) {
+  int r = 0;
+  for (int i = 0; i < K; ++i) {
+    int smaller = 0;
+    for (int j = i + 1; j < K; ++j) {
+      if (a[static_cast<std::size_t>(j)] < a[static_cast<std::size_t>(i)]) ++smaller;
+    }
+    r = r * (K - i) + smaller;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1 kernel: exact BFS over (block arrangement, visited set)
+// computing t — the minimum number of super-generator applications that
+// brings every super-symbol to the leftmost position at least once. This
+// mirrors ipg::compute_t (schedule.cpp) but runs in constexpr evaluation,
+// so the closed form t = l - 1 is checked by the compiler.
+
+template <int L, int NG>
+constexpr int min_visit_all_length(
+    const std::array<CPerm<L>, static_cast<std::size_t>(NG)>& gens,
+                                   int num_gens) {
+  constexpr int kFact = factorial(L);
+  constexpr int kStates = kFact << L;
+  struct State {
+    CPerm<L> arr{};
+    std::uint16_t visited = 0;
+    std::int16_t dist = 0;
+  };
+  std::array<State, static_cast<std::size_t>(kStates)> queue{};
+  std::array<bool, static_cast<std::size_t>(kStates)> seen{};
+  const std::uint16_t full = static_cast<std::uint16_t>((1u << L) - 1u);
+
+  int head = 0;
+  int tail = 0;
+  queue[static_cast<std::size_t>(tail++)] =
+      State{identity<L>(), std::uint16_t{1}, std::int16_t{0}};
+  seen[static_cast<std::size_t>(rank_of<L>(identity<L>()) * (1 << L) + 1)] = true;
+
+  while (head < tail) {
+    const State s = queue[static_cast<std::size_t>(head++)];
+    if (s.visited == full) return s.dist;
+    for (int g = 0; g < num_gens; ++g) {
+      CPerm<L> nxt{};
+      for (int i = 0; i < L; ++i) {
+        nxt[static_cast<std::size_t>(i)] =
+            s.arr[gens[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)]];
+      }
+      const std::uint16_t nv = static_cast<std::uint16_t>(
+          s.visited | (1u << nxt[0]));
+      const int idx = rank_of<L>(nxt) * (1 << L) + nv;
+      if (!seen[static_cast<std::size_t>(idx)]) {
+        seen[static_cast<std::size_t>(idx)] = true;
+        queue[static_cast<std::size_t>(tail++)] =
+            State{nxt, nv, static_cast<std::int16_t>(s.dist + 1)};
+      }
+    }
+  }
+  return -1;  // some block can never reach the front: not a super-IP spec
+}
+
+/// HSN super-generators: transpositions (1, i)_m, i = 2..l.
+template <int L>
+constexpr int t_transpositions() {
+  std::array<CPerm<L>, static_cast<std::size_t>(L)> gens{};
+  for (int i = 1; i < L; ++i) {
+    gens[static_cast<std::size_t>(i - 1)] = transposition<L>(0, i);
+  }
+  return min_visit_all_length<L, L>(gens, L - 1);
+}
+
+/// Ring cyclic-shift super-generators {L, R}.
+template <int L>
+constexpr int t_ring_shifts() {
+  const std::array<CPerm<L>, 2> gens{rotate_left<L>(1), rotate_right<L>(1)};
+  return min_visit_all_length<L, 2>(gens, 2);
+}
+
+/// Super-flip generators F2..Fl.
+template <int L>
+constexpr int t_flips() {
+  std::array<CPerm<L>, static_cast<std::size_t>(L)> gens{};
+  for (int i = 2; i <= L; ++i) {
+    gens[static_cast<std::size_t>(i - 2)] = flip_prefix<L>(i);
+  }
+  return min_visit_all_length<L, L>(gens, L - 1);
+}
+
+// ---------------------------------------------------------------------------
+// The static_assert suite.
+
+namespace detail {
+
+/// Every transposition (0 i) composed with itself is the identity.
+template <int K>
+constexpr bool transpositions_are_involutions() {
+  for (int i = 1; i < K; ++i) {
+    const CPerm<K> t = transposition<K>(0, i);
+    if (!is_identity<K>(then<K>(t, t))) return false;
+  }
+  return true;
+}
+
+/// Every prefix flip F2..FK composed with itself is the identity.
+template <int K>
+constexpr bool flips_are_involutions() {
+  for (int i = 2; i <= K; ++i) {
+    const CPerm<K> f = flip_prefix<K>(i);
+    if (!is_identity<K>(then<K>(f, f))) return false;
+  }
+  return true;
+}
+
+/// L∘R = R∘L = id for every shift amount on K groups.
+template <int K>
+constexpr bool shifts_invert() {
+  for (int s = 0; s < K; ++s) {
+    if (!is_identity<K>(then<K>(rotate_left<K>(s), rotate_right<K>(s)))) {
+      return false;
+    }
+    if (!is_identity<K>(then<K>(rotate_right<K>(s), rotate_left<K>(s)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Generators acting on disjoint index sets commute: a nucleus generator
+/// embedded at block 0 against super-generators that only move blocks
+/// 1..L-1, and nucleus generators embedded at distinct blocks.
+template <int L, int M>
+constexpr bool disjoint_generators_commute() {
+  constexpr int N = L * M;
+  const CPerm<N> nucleus0 = embed<N, M>(transposition<M>(0, 1), 0);
+  const CPerm<N> nucleus1 = embed<N, M>(rotate_left<M>(1), M);
+  const CPerm<N> super12 = expand_blocks<L, M>(transposition<L>(1, 2));
+  if (then<N>(nucleus0, super12) != then<N>(super12, nucleus0)) return false;
+  if (then<N>(nucleus0, nucleus1) != then<N>(nucleus1, nucleus0)) return false;
+  return true;
+}
+
+}  // namespace detail
+
+static_assert(detail::transpositions_are_involutions<3>() &&
+                  detail::transpositions_are_involutions<5>() &&
+                  detail::transpositions_are_involutions<8>(),
+              "paper Section 3.2: T generators must be involutions");
+
+static_assert(detail::flips_are_involutions<3>() &&
+                  detail::flips_are_involutions<5>() &&
+                  detail::flips_are_involutions<8>(),
+              "paper Section 3.4: F generators must be involutions");
+
+static_assert(detail::shifts_invert<2>() && detail::shifts_invert<3>() &&
+                  detail::shifts_invert<4>() && detail::shifts_invert<5>() &&
+                  detail::shifts_invert<6>() && detail::shifts_invert<7>() &&
+                  detail::shifts_invert<8>(),
+              "paper Section 3.3: L and R must be mutual inverses on every "
+              "group count");
+
+static_assert(detail::disjoint_generators_commute<3, 2>() &&
+                  detail::disjoint_generators_commute<3, 4>() &&
+                  detail::disjoint_generators_commute<4, 3>(),
+              "generators on disjoint index sets must commute");
+
+static_assert(t_transpositions<2>() == 1 && t_transpositions<3>() == 2 &&
+                  t_transpositions<4>() == 3 && t_transpositions<5>() == 4,
+              "Theorem 4.1: t = l - 1 for HSN transposition super-generators");
+
+static_assert(t_ring_shifts<2>() == 1 && t_ring_shifts<3>() == 2 &&
+                  t_ring_shifts<4>() == 3 && t_ring_shifts<5>() == 4,
+              "Theorem 4.1: t = l - 1 for ring cyclic-shift super-generators");
+
+static_assert(t_flips<2>() == 1 && t_flips<3>() == 2 && t_flips<4>() == 3 &&
+                  t_flips<5>() == 4,
+              "Theorem 4.1: t = l - 1 for super-flip generators");
+
+}  // namespace ipg::static_check

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ipg/schedule.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -27,8 +28,8 @@ SuperIPSpec make_symmetric(const SuperIPSpec& base) {
   }
   for (int i = 0; i < base.l; ++i) {
     for (int j = 0; j < base.m; ++j) {
-      out.seed[i * base.m + j] =
-          static_cast<std::uint8_t>(block[j] + i * base.m);
+      out.seed[as_size(i * base.m + j)] =
+          static_cast<std::uint8_t>(block[as_size(j)] + i * base.m);
     }
   }
   return out;

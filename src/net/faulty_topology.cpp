@@ -27,6 +27,21 @@ std::vector<NodeId> FaultSet::failed_nodes() const {
   return out;
 }
 
+bool FaultSet::consistent() const {
+  // Note: iteration order does not affect the result — this is a pure
+  // all-of check over the maps. ipg-lint: allow(unordered-iteration)
+  for (const auto& [u, count] : node_down_) {
+    (void)u;
+    if (count <= 0) return false;
+  }
+  // Same pure all-of check as above. ipg-lint: allow(unordered-iteration)
+  for (const auto& [key, count] : link_down_) {
+    if (count <= 0) return false;
+    if (key.first > key.second) return false;
+  }
+  return true;
+}
+
 void FaultyTopology::neighbors(NodeId u, std::vector<TopoArc>& out) const {
   if (!faults_->node_up(u)) {
     out.clear();

@@ -53,6 +53,13 @@ class FaultSet {
   /// The currently-failed nodes, sorted ascending (for reports and tests).
   std::vector<NodeId> failed_nodes() const;
 
+  /// Structural audit: every recorded failure carries a positive count
+  /// (keys must be erased the moment their count reaches zero — node_up()
+  /// and link_up() test membership, not counts) and every link key is
+  /// normalized endpoint-first. simulate_with_faults runs this under
+  /// IPG_AUDIT while replaying a FaultPlan timeline.
+  bool consistent() const;
+
  private:
   static std::pair<NodeId, NodeId> link_key(NodeId u, NodeId v) {
     return u <= v ? std::pair{u, v} : std::pair{v, u};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include "util/narrow.hpp"
 
 namespace ipg::net {
 
@@ -36,7 +37,7 @@ void ImplicitSuperIPTopology::neighbors(NodeId u, std::vector<TopoArc>& out) con
   Label x, y;
   ranking_.unrank_into(u, x);
   for (int g = 0; g < num_generators(); ++g) {
-    ip_spec_.generators[g].perm.apply_into(x, y);
+    ip_spec_.generators[as_size(g)].perm.apply_into(x, y);
     if (y == x) continue;  // fixed label: self-loop, not an arc
     out.push_back(TopoArc{ranking_.rank(y), static_cast<EdgeTag>(g)});
   }
@@ -63,7 +64,7 @@ NodeId ImplicitSuperIPTopology::neighbor_via(NodeId u, int gen) const {
   assert(gen >= 0 && gen < num_generators());
   Label x, y;
   ranking_.unrank_into(u, x);
-  ip_spec_.generators[gen].perm.apply_into(x, y);
+  ip_spec_.generators[as_size(gen)].perm.apply_into(x, y);
   return ranking_.rank(y);
 }
 

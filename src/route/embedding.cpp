@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "graph/bfs.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -46,7 +47,7 @@ std::vector<Node> hsn_hypercube_embedding(const IPGraph& hsn, int l, int n) {
   assert(guests == hsn.num_nodes());
 
   std::vector<Node> phi(guests);
-  Label label(static_cast<std::size_t>(l) * m);
+  Label label(as_size(l) * as_size(m));
   for (std::uint64_t g = 0; g < guests; ++g) {
     for (int block = 0; block < l; ++block) {
       for (int j = 0; j < n; ++j) {
@@ -55,8 +56,8 @@ std::vector<Node> hsn_hypercube_embedding(const IPGraph& hsn, int l, int n) {
         // order encodes a 1 (matching topo::decode_pair_bits).
         const std::uint8_t a = static_cast<std::uint8_t>(2 * j + 1);
         const std::uint8_t b = static_cast<std::uint8_t>(2 * j + 2);
-        label[block * m + 2 * j] = bit ? b : a;
-        label[block * m + 2 * j + 1] = bit ? a : b;
+        label[as_size(block * m + 2 * j)] = bit ? b : a;
+        label[as_size(block * m + 2 * j + 1)] = bit ? a : b;
       }
     }
     const Node host = hsn.node_of(label);

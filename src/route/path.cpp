@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ipg/packed_label.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -15,7 +16,7 @@ Label apply_path(const IPGraphSpec& spec, Label start, std::span<const int> gens
   Label scratch;
   for (const int g : gens) {
     assert(g >= 0 && g < static_cast<int>(spec.generators.size()));
-    spec.generators[g].perm.apply_into(start, scratch);
+    spec.generators[as_size(g)].perm.apply_into(start, scratch);
     start.swap(scratch);
   }
   return start;
@@ -27,7 +28,7 @@ bool verify_path(const IPGraphSpec& spec, const Label& src, const Label& dst,
   Label next;
   for (const int g : gens) {
     if (g < 0 || g >= static_cast<int>(spec.generators.size())) return false;
-    spec.generators[g].perm.apply_into(current, next);
+    spec.generators[as_size(g)].perm.apply_into(current, next);
     if (next == current) return false;  // a fixed label is not an edge
     current.swap(next);
   }
@@ -60,7 +61,7 @@ GenPath bfs_route_packed(const IPGraphSpec& spec, const LabelCodec& codec,
   for (std::size_t head = 0; head < order.size(); ++head) {
     const PackedLabel current = order[head].x;  // copy: order may reallocate
     for (int g = 0; g < static_cast<int>(gens.size()); ++g) {
-      const PackedLabel next = gens[g].apply(current);
+      const PackedLabel next = gens[as_size(g)].apply(current);
       if (next == current) continue;
       if (!seen.try_emplace(next, order.size()).second) continue;
       order.push_back(Entry{next, static_cast<std::uint32_t>(head), g});
@@ -96,7 +97,7 @@ GenPath bfs_route(const IPGraphSpec& spec, const Label& src, const Label& dst) {
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const Label current = queue[head];  // copy: queue may reallocate
     for (int g = 0; g < static_cast<int>(spec.generators.size()); ++g) {
-      spec.generators[g].perm.apply_into(current, next);
+      spec.generators[as_size(g)].perm.apply_into(current, next);
       if (next == current) continue;
       if (parent.emplace(next, std::make_pair(current, g)).second) {
         if (next == dst) {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 #include <vector>
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -45,13 +46,13 @@ GenPath route_star(const Label& src, const Label& dst) {
   while (true) {
     if (perm[0] != 0) {
       const int target = perm[0];
-      std::swap(perm[0], perm[target]);
+      std::swap(perm[0], perm[as_size(target)]);
       out.gens.push_back(target - 1);  // generator (1, target+1)
       continue;
     }
-    while (scan < n && perm[scan] == scan) ++scan;
+    while (scan < n && perm[as_size(scan)] == scan) ++scan;
     if (scan == n) break;
-    std::swap(perm[0], perm[scan]);
+    std::swap(perm[0], perm[as_size(scan)]);
     out.gens.push_back(scan - 1);
   }
   return out;
@@ -60,17 +61,17 @@ GenPath route_star(const Label& src, const Label& dst) {
 int star_distance(const Label& src, const Label& dst) {
   const std::vector<int> perm = to_position_perm(src, dst);
   const int n = static_cast<int>(perm.size());
-  std::vector<bool> seen(n, false);
+  std::vector<bool> seen(as_size(n), false);
   int moves = 0;
   for (int start = 0; start < n; ++start) {
-    if (seen[start] || perm[start] == start) continue;
+    if (seen[as_size(start)] || perm[as_size(start)] == start) continue;
     int len = 0;
     bool contains_front = false;
     int p = start;
-    while (!seen[p]) {
-      seen[p] = true;
+    while (!seen[as_size(p)]) {
+      seen[as_size(p)] = true;
       if (p == 0) contains_front = true;
-      p = perm[p];
+      p = perm[as_size(p)];
       ++len;
     }
     moves += contains_front ? len - 1 : len + 1;

@@ -6,6 +6,7 @@
 
 #include "graph/bfs.hpp"
 #include "graph/builder.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -47,29 +48,29 @@ GenPath route_super_ip(const SuperIPSpec& spec, const Label& src, const Label& d
   const int nucleus_count = static_cast<int>(spec.nucleus_gens.size());
 
   // Decide plain vs symmetric mode from the block multisets of src.
-  std::vector<Label> src_multisets(l), dst_multisets(l);
+  std::vector<Label> src_multisets(as_size(l)), dst_multisets(as_size(l));
   for (int i = 0; i < l; ++i) {
-    src_multisets[i] = sorted_copy(block_of(src, i, m));
-    dst_multisets[i] = sorted_copy(block_of(dst, i, m));
+    src_multisets[as_size(i)] = sorted_copy(block_of(src, i, m));
+    dst_multisets[as_size(i)] = sorted_copy(block_of(dst, i, m));
   }
   const bool plain = std::all_of(src_multisets.begin(), src_multisets.end(),
                                  [&](const Label& s) { return s == src_multisets[0]; });
 
   // d[i] = destination position of the block at src position i.
-  std::vector<int> d(l, -1);
+  std::vector<int> d(as_size(l), -1);
   std::optional<Schedule> schedule;
   if (plain) {
     schedule = min_visit_all_schedule(spec);
     if (!schedule) throw std::invalid_argument("super-generators cannot visit all blocks");
-    for (int q = 0; q < l; ++q) d[schedule->final_arrangement[q]] = q;
+    for (int q = 0; q < l; ++q) d[schedule->final_arrangement[as_size(q)]] = q;
   } else {
     // Symmetric mode: match disjoint block symbol sets.
-    Arrangement target(l, 0);
-    std::vector<bool> used(l, false);
+    Arrangement target(as_size(l), 0);
+    std::vector<bool> used(as_size(l), false);
     for (int i = 0; i < l; ++i) {
       int match = -1;
       for (int q = 0; q < l; ++q) {
-        if (!used[q] && dst_multisets[q] == src_multisets[i]) {
+        if (!used[as_size(q)] && dst_multisets[as_size(q)] == src_multisets[as_size(i)]) {
           match = q;
           break;
         }
@@ -77,9 +78,9 @@ GenPath route_super_ip(const SuperIPSpec& spec, const Label& src, const Label& d
       if (match < 0) {
         throw std::invalid_argument("route_super_ip: dst blocks do not match src");
       }
-      used[match] = true;
-      d[i] = match;
-      target[match] = static_cast<std::uint8_t>(i);
+      used[as_size(match)] = true;
+      d[as_size(i)] = match;
+      target[as_size(match)] = static_cast<std::uint8_t>(i);
     }
     schedule = schedule_to_arrangement(spec, target);
     if (!schedule) {
@@ -89,30 +90,30 @@ GenPath route_super_ip(const SuperIPSpec& spec, const Label& src, const Label& d
 
   const IPGraphSpec nucleus_proto = spec.nucleus_spec();
   Label current = src;
-  Arrangement arr(l);
-  for (int i = 0; i < l; ++i) arr[i] = static_cast<std::uint8_t>(i);
-  std::vector<bool> visited(l, false);
+  Arrangement arr(as_size(l));
+  for (int i = 0; i < l; ++i) arr[as_size(i)] = static_cast<std::uint8_t>(i);
+  std::vector<bool> visited(as_size(l), false);
 
   // Block 0 starts at the front: sort it to its destination content.
   visited[0] = true;
   sort_front_block(spec, nucleus_proto, current, block_of(dst, d[0], m), out.gens);
 
-  Arrangement next_arr(l);
+  Arrangement next_arr(as_size(l));
   Label next_label;
   for (const int g : schedule->gens) {
-    const Permutation& beta = spec.super_gens[g].perm;
+    const Permutation& beta = spec.super_gens[as_size(g)].perm;
     const Permutation lifted = beta.expand_blocks(m);
     lifted.apply_into(current, next_label);
     if (next_label != current) {
       out.gens.push_back(nucleus_count + g);  // super gens follow nucleus gens
       current.swap(next_label);
     }
-    for (int p = 0; p < l; ++p) next_arr[p] = arr[beta[p]];
+    for (int p = 0; p < l; ++p) next_arr[as_size(p)] = arr[beta[p]];
     arr.swap(next_arr);
     const int front_block = arr[0];
-    if (!visited[front_block]) {
-      visited[front_block] = true;
-      sort_front_block(spec, nucleus_proto, current, block_of(dst, d[front_block], m),
+    if (!visited[as_size(front_block)]) {
+      visited[as_size(front_block)] = true;
+      sort_front_block(spec, nucleus_proto, current, block_of(dst, d[as_size(front_block)], m),
                        out.gens);
     }
   }
@@ -246,26 +247,26 @@ GenPath SuperIPRouter::route(const Label& src, const Label& dst) const {
   GenPath out;
   if (src == dst) return out;
 
-  std::vector<int> d(l, -1);
+  std::vector<int> d(as_size(l), -1);
   const Schedule* schedule = nullptr;
   if (plain_) {
     schedule = &plain_schedule_;
-    for (int q = 0; q < l; ++q) d[plain_schedule_.final_arrangement[q]] = q;
+    for (int q = 0; q < l; ++q) d[plain_schedule_.final_arrangement[as_size(q)]] = q;
   } else {
     // Symmetric mode: match the disjoint block symbol sets of src to dst
     // to find the forced destination position of every block, then fetch
     // (or lazily build) the schedule realizing that arrangement.
-    std::vector<Label> src_multisets(l), dst_multisets(l);
+    std::vector<Label> src_multisets(as_size(l)), dst_multisets(as_size(l));
     for (int i = 0; i < l; ++i) {
-      src_multisets[i] = sorted_copy(block_of(src, i, m));
-      dst_multisets[i] = sorted_copy(block_of(dst, i, m));
+      src_multisets[as_size(i)] = sorted_copy(block_of(src, i, m));
+      dst_multisets[as_size(i)] = sorted_copy(block_of(dst, i, m));
     }
-    Arrangement target(l, 0);
-    std::vector<bool> used(l, false);
+    Arrangement target(as_size(l), 0);
+    std::vector<bool> used(as_size(l), false);
     for (int i = 0; i < l; ++i) {
       int match = -1;
       for (int q = 0; q < l; ++q) {
-        if (!used[q] && dst_multisets[q] == src_multisets[i]) {
+        if (!used[as_size(q)] && dst_multisets[as_size(q)] == src_multisets[as_size(i)]) {
           match = q;
           break;
         }
@@ -273,9 +274,9 @@ GenPath SuperIPRouter::route(const Label& src, const Label& dst) const {
       if (match < 0) {
         throw std::invalid_argument("SuperIPRouter: dst blocks do not match src");
       }
-      used[match] = true;
-      d[i] = match;
-      target[match] = static_cast<std::uint8_t>(i);
+      used[as_size(match)] = true;
+      d[as_size(i)] = match;
+      target[as_size(match)] = static_cast<std::uint8_t>(i);
     }
     auto it = sym_schedules_.find(target);
     if (it == sym_schedules_.end()) {
@@ -290,28 +291,28 @@ GenPath SuperIPRouter::route(const Label& src, const Label& dst) const {
   }
 
   Label current = src;
-  Arrangement arr(l);
-  for (int i = 0; i < l; ++i) arr[i] = static_cast<std::uint8_t>(i);
-  std::vector<bool> visited(l, false);
+  Arrangement arr(as_size(l));
+  for (int i = 0; i < l; ++i) arr[as_size(i)] = static_cast<std::uint8_t>(i);
+  std::vector<bool> visited(as_size(l), false);
 
   visited[0] = true;
   sort_front_block(current, block_of(dst, d[0], m), out.gens);
 
-  Arrangement next_arr(l);
+  Arrangement next_arr(as_size(l));
   Label next_label;
   for (const int g : schedule->gens) {
-    lifted_super_[g].apply_into(current, next_label);
+    lifted_super_[as_size(g)].apply_into(current, next_label);
     if (next_label != current) {
       out.gens.push_back(nucleus_count_ + g);
       current.swap(next_label);
     }
-    const Permutation& beta = spec_.super_gens[g].perm;
-    for (int p = 0; p < l; ++p) next_arr[p] = arr[beta[p]];
+    const Permutation& beta = spec_.super_gens[as_size(g)].perm;
+    for (int p = 0; p < l; ++p) next_arr[as_size(p)] = arr[beta[p]];
     arr.swap(next_arr);
     const int front_block = arr[0];
-    if (!visited[front_block]) {
-      visited[front_block] = true;
-      sort_front_block(current, block_of(dst, d[front_block], m), out.gens);
+    if (!visited[as_size(front_block)]) {
+      visited[as_size(front_block)] = true;
+      sort_front_block(current, block_of(dst, d[as_size(front_block)], m), out.gens);
     }
   }
 

@@ -6,6 +6,7 @@
 
 #include "graph/bfs.hpp"
 #include "ipg/schedule.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -51,42 +52,43 @@ std::vector<TupleHop> route_tuple_network(const TupleNetwork& net,
   if (!schedule) {
     throw std::invalid_argument("tuple routing: blocks cannot reach the front");
   }
-  std::vector<int> d(net.l);
-  for (int q = 0; q < net.l; ++q) d[schedule->final_arrangement[q]] = q;
+  std::vector<int> d(as_size(net.l));
+  for (int q = 0; q < net.l; ++q) d[schedule->final_arrangement[as_size(q)]] = q;
 
   std::vector<Node> current = net.decode(src);
   const std::vector<Node> target = net.decode(dst);
 
   const auto sort_front = [&](int original_block) {
-    const auto path = nucleus_path(nucleus, current[0], target[d[original_block]]);
+    const auto path =
+        nucleus_path(nucleus, current[0], target[as_size(d[as_size(original_block)])]);
     for (std::size_t i = 1; i < path.size(); ++i) {
       current[0] = path[i];
       out.push_back(TupleHop{false, 0, net.encode(current)});
     }
   };
 
-  Arrangement arr(net.l);
-  for (int i = 0; i < net.l; ++i) arr[i] = static_cast<std::uint8_t>(i);
-  std::vector<bool> visited(net.l, false);
+  Arrangement arr(as_size(net.l));
+  for (int i = 0; i < net.l; ++i) arr[as_size(i)] = static_cast<std::uint8_t>(i);
+  std::vector<bool> visited(as_size(net.l), false);
   visited[0] = true;
   sort_front(0);
 
-  std::vector<Node> moved(net.l);
-  Arrangement next_arr(net.l);
+  std::vector<Node> moved(as_size(net.l));
+  Arrangement next_arr(as_size(net.l));
   for (const int g : schedule->gens) {
-    const Permutation& beta = super_gens[g].perm;
-    for (int p = 0; p < net.l; ++p) moved[p] = current[beta[p]];
+    const Permutation& beta = super_gens[as_size(g)].perm;
+    for (int p = 0; p < net.l; ++p) moved[as_size(p)] = current[beta[p]];
     if (moved != current) {
       current = moved;
       out.push_back(TupleHop{true, g, net.encode(current)});
     } else {
       current = moved;
     }
-    for (int p = 0; p < net.l; ++p) next_arr[p] = arr[beta[p]];
+    for (int p = 0; p < net.l; ++p) next_arr[as_size(p)] = arr[beta[p]];
     arr = next_arr;
     const int front = arr[0];
-    if (!visited[front]) {
-      visited[front] = true;
+    if (!visited[as_size(front)]) {
+      visited[as_size(front)] = true;
       sort_front(front);
     }
   }

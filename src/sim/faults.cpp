@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "ipg/static_check.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link_state.hpp"
 #include "util/prng.hpp"
@@ -61,7 +62,7 @@ FaultPlan FaultPlan::random_link_faults(const net::Topology& topo, int count,
   // Rejection sampling over (node, arc) with a bounded attempt budget so
   // degenerate graphs (few links) cannot loop forever.
   for (std::uint64_t attempt = 0;
-       attempt < 64ull * static_cast<std::uint64_t>(count) + 64 &&
+       attempt < std::uint64_t{64} * static_cast<std::uint64_t>(count) + 64 &&
        plan.size() < static_cast<std::size_t>(count);
        ++attempt) {
     const net::NodeId u = rng.below(topo.num_nodes());
@@ -121,6 +122,7 @@ FaultState::FaultState(const FaultPlan& plan) {
 }
 
 void FaultState::advance_to(double time) {
+  const bool applied = next_ < edits_.size() && edits_[next_].time <= time;
   while (next_ < edits_.size() && edits_[next_].time <= time) {
     const Edit& e = edits_[next_++];
     if (e.link) {
@@ -129,6 +131,9 @@ void FaultState::advance_to(double time) {
       e.fail ? set_.fail_node(e.a) : set_.repair_node(e.a);
     }
   }
+  // Only audit when the set actually changed; advance_to runs before every
+  // packet event, and the audit is linear in the number of live faults.
+  if (applied) IPG_AUDIT(set_.consistent());
 }
 
 // ---------------------------------------------------------------------------
@@ -217,6 +222,9 @@ FaultSimResult simulate_with_faults(const SimNetwork& net,
                                     const FaultPlan& plan, MessageModel model,
                                     AdaptiveOptions opts) {
   assert(model.flits >= 1);
+  for ([[maybe_unused]] const FaultWindow& w : plan.windows()) {
+    IPG_CONTRACT(w.fail_time <= w.repair_time);
+  }
   FaultSimResult result;
   result.injected = packets.size();
 

@@ -135,7 +135,8 @@ struct FaultSimResult {
   double makespan = 0.0;           ///< time of the last delivery
 
   double delivery_rate() const {
-    return injected ? static_cast<double>(delivered) / injected : 1.0;
+    return injected ? static_cast<double>(delivered) / static_cast<double>(injected)
+                    : 1.0;
   }
   /// Mean hops walked / mean fault-free hops over delivered packets
   /// (1.0 when no packet was delivered or no hop was planned).

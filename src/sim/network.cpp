@@ -103,7 +103,8 @@ SimNetwork::Hop SimNetwork::hop_via(Node u, int gen) const {
   Hop h;
   h.to = static_cast<Node>(topo_->neighbor_via(u, gen));
   assert(h.to != u && "route generators always move the label");
-  h.link = static_cast<std::uint64_t>(u) * topo_->num_generators() +
+  h.link = static_cast<std::uint64_t>(u) *
+               static_cast<std::uint64_t>(topo_->num_generators()) +
            static_cast<std::uint64_t>(gen);
   h.off_module = topo_->gen_is_super(gen);
   h.service_time =

@@ -1,4 +1,5 @@
 #include "sim/traffic.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg::sim {
 
@@ -24,7 +25,7 @@ std::vector<Packet> burst_traffic(Node num_nodes, Node src, int count,
                                   std::uint64_t seed) {
   Xoshiro256 rng(seed);
   std::vector<Packet> out;
-  out.reserve(count);
+  out.reserve(as_size(count));
   for (int i = 0; i < count; ++i) {
     Packet p;
     p.src = src;

@@ -22,11 +22,13 @@ Graph de_bruijn_directed(int d, int n) {
   const std::uint64_t size = ipow(d, n);
   assert(size < (1ull << 31));
   GraphBuilder b(static_cast<Node>(size));
-  b.reserve(size * d);
+  b.reserve(size * static_cast<std::uint64_t>(d));
   for (Node u = 0; u < size; ++u) {
     for (int a = 0; a < d; ++a) {
       b.add_arc(u, static_cast<Node>(
-                       (static_cast<std::uint64_t>(u) * d + a) % size));
+                       (static_cast<std::uint64_t>(u) * static_cast<std::uint64_t>(d) +
+                        static_cast<std::uint64_t>(a)) %
+                           size));
     }
   }
   return std::move(b).build();
@@ -37,11 +39,13 @@ Graph de_bruijn_undirected(int d, int n) {
   const std::uint64_t size = ipow(d, n);
   assert(size < (1ull << 31));
   GraphBuilder b(static_cast<Node>(size));
-  b.reserve(size * d * 2);
+  b.reserve(size * static_cast<std::uint64_t>(d) * 2);
   for (Node u = 0; u < size; ++u) {
     for (int a = 0; a < d; ++a) {
       b.add_edge(u, static_cast<Node>(
-                        (static_cast<std::uint64_t>(u) * d + a) % size));
+                        (static_cast<std::uint64_t>(u) * static_cast<std::uint64_t>(d) +
+                         static_cast<std::uint64_t>(a)) %
+                            size));
     }
   }
   return std::move(b).build();

@@ -11,7 +11,7 @@ Graph hypercube(int n) {
   assert(n >= 1 && n < 31);
   const Node size = Node{1} << n;
   GraphBuilder b(size);
-  b.reserve(static_cast<std::uint64_t>(size) * n);
+  b.reserve(static_cast<std::uint64_t>(size) * static_cast<std::uint64_t>(n));
   for (Node u = 0; u < size; ++u) {
     for (int d = 0; d < n; ++d) b.add_arc(u, u ^ (Node{1} << d));
   }
@@ -23,7 +23,7 @@ Graph folded_hypercube(int n) {
   const Node size = Node{1} << n;
   const Node mask = size - 1;
   GraphBuilder b(size);
-  b.reserve(static_cast<std::uint64_t>(size) * (n + 1));
+  b.reserve(static_cast<std::uint64_t>(size) * static_cast<std::uint64_t>(n + 1));
   for (Node u = 0; u < size; ++u) {
     for (int d = 0; d < n; ++d) b.add_arc(u, u ^ (Node{1} << d));
     b.add_arc(u, u ^ mask);
@@ -45,8 +45,9 @@ Graph generalized_hypercube(std::span<const int> radices) {
     Node rem = u;
     Node stride = 1;
     for (std::size_t d = 0; d < radices.size(); ++d) {
-      digit[d] = rem % radices[d];
-      rem /= radices[d];
+      const Node radix = static_cast<Node>(radices[d]);
+      digit[d] = rem % radix;
+      rem /= radix;
       // Connect to every other value of this digit.
       for (int v = 0; v < radices[d]; ++v) {
         if (static_cast<Node>(v) == digit[d]) continue;

@@ -1,6 +1,7 @@
 #include "topo/ip_forms.hpp"
 
 #include <cassert>
+#include "util/narrow.hpp"
 
 namespace ipg::topo {
 
@@ -50,7 +51,7 @@ std::uint32_t decode_pair_bits(const Label& label, bool msb_first) {
   const int n = static_cast<int>(label.size()) / 2;
   std::uint32_t v = 0;
   for (int i = 0; i < n; ++i) {
-    const std::uint32_t bit = label[2 * i] > label[2 * i + 1] ? 1u : 0u;
+    const std::uint32_t bit = label[as_size(2 * i)] > label[as_size(2 * i + 1)] ? 1u : 0u;
     if (msb_first) {
       v = (v << 1) | bit;
     } else {

@@ -12,7 +12,7 @@ Graph pancake_graph(int n) {
   assert(n >= 2 && n <= 10);
   const std::uint64_t size = kFactorials[n];
   GraphBuilder b(static_cast<Node>(size));
-  b.reserve(size * (n - 1));
+  b.reserve(size * static_cast<std::uint64_t>(n - 1));
   for (std::uint64_t u = 0; u < size; ++u) {
     const auto p = perm_unrank(u, n);
     for (int i = 2; i <= n; ++i) {

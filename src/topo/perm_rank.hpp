@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/narrow.hpp"
+
 namespace ipg::topo {
 
 inline constexpr std::uint64_t kFactorials[13] = {
@@ -18,7 +20,7 @@ inline std::uint64_t perm_rank(const std::vector<std::uint8_t>& p) {
   for (int i = 0; i < n; ++i) {
     std::uint64_t smaller = 0;
     for (int j = i + 1; j < n; ++j) {
-      if (p[j] < p[i]) ++smaller;
+      if (p[as_size(j)] < p[as_size(i)]) ++smaller;
     }
     r += smaller * kFactorials[n - 1 - i];
   }
@@ -27,14 +29,14 @@ inline std::uint64_t perm_rank(const std::vector<std::uint8_t>& p) {
 
 /// Inverse of perm_rank.
 inline std::vector<std::uint8_t> perm_unrank(std::uint64_t r, int n) {
-  std::vector<std::uint8_t> pool(n);
-  for (int i = 0; i < n; ++i) pool[i] = static_cast<std::uint8_t>(i);
-  std::vector<std::uint8_t> out(n);
+  std::vector<std::uint8_t> pool(as_size(n));
+  for (int i = 0; i < n; ++i) pool[as_size(i)] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> out(as_size(n));
   for (int i = 0; i < n; ++i) {
     const std::uint64_t f = kFactorials[n - 1 - i];
     const std::uint64_t idx = r / f;
     r %= f;
-    out[i] = pool[idx];
+    out[as_size(i)] = pool[idx];
     pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
   }
   return out;

@@ -5,6 +5,7 @@
 
 #include "graph/builder.hpp"
 #include "topo/perm_rank.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg::topo {
 
@@ -12,13 +13,13 @@ Graph star_graph(int n) {
   assert(n >= 2 && n <= 10);
   const std::uint64_t size = kFactorials[n];
   GraphBuilder b(static_cast<Node>(size));
-  b.reserve(size * (n - 1));
+  b.reserve(size * static_cast<std::uint64_t>(n - 1));
   for (std::uint64_t u = 0; u < size; ++u) {
     auto p = perm_unrank(u, n);
     for (int i = 1; i < n; ++i) {
-      std::swap(p[0], p[i]);
+      std::swap(p[0], p[as_size(i)]);
       b.add_arc(static_cast<Node>(u), static_cast<Node>(perm_rank(p)));
-      std::swap(p[0], p[i]);
+      std::swap(p[0], p[as_size(i)]);
     }
   }
   return std::move(b).build();

@@ -18,10 +18,11 @@ Graph kary_ncube(int k, int n) {
     Node rem = u;
     Node stride = 1;
     for (int d = 0; d < n; ++d) {
-      const Node digit = rem % k;
-      rem /= k;
-      const Node up = u - digit * stride + ((digit + 1) % k) * stride;
-      const Node down = u - digit * stride + ((digit + k - 1) % k) * stride;
+      const Node K = static_cast<Node>(k);
+      const Node digit = rem % K;
+      rem /= K;
+      const Node up = u - digit * stride + ((digit + 1) % K) * stride;
+      const Node down = u - digit * stride + ((digit + K - 1) % K) * stride;
       b.add_arc(u, up);
       b.add_arc(u, down);  // builder merges the duplicate when k == 2
       stride *= static_cast<Node>(k);
@@ -36,11 +37,14 @@ Graph torus2d(int rows, int cols) {
   GraphBuilder b(size);
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
-      const Node u = static_cast<Node>(r) * cols + c;
-      b.add_arc(u, static_cast<Node>(r) * cols + (c + 1) % cols);
-      b.add_arc(u, static_cast<Node>(r) * cols + (c + cols - 1) % cols);
-      b.add_arc(u, static_cast<Node>((r + 1) % rows) * cols + c);
-      b.add_arc(u, static_cast<Node>((r + rows - 1) % rows) * cols + c);
+      const Node C = static_cast<Node>(cols);
+      const Node u = static_cast<Node>(r) * C + static_cast<Node>(c);
+      b.add_arc(u, static_cast<Node>(r) * C + static_cast<Node>((c + 1) % cols));
+      b.add_arc(u,
+                static_cast<Node>(r) * C + static_cast<Node>((c + cols - 1) % cols));
+      b.add_arc(u, static_cast<Node>((r + 1) % rows) * C + static_cast<Node>(c));
+      b.add_arc(u,
+                static_cast<Node>((r + rows - 1) % rows) * C + static_cast<Node>(c));
     }
   }
   return std::move(b).build();
@@ -52,7 +56,8 @@ Graph mesh2d(int rows, int cols) {
   GraphBuilder b(size);
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
-      const Node u = static_cast<Node>(r) * cols + c;
+      const Node u =
+          static_cast<Node>(r) * static_cast<Node>(cols) + static_cast<Node>(c);
       if (c + 1 < cols) b.add_edge(u, u + 1);
       if (r + 1 < rows) b.add_edge(u, u + static_cast<Node>(cols));
     }

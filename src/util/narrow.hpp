@@ -1,0 +1,43 @@
+#pragma once
+// Checked narrowing helpers backing the -Wconversion/-Wsign-conversion
+// warning wall. The public API of the library speaks `int` (labels are
+// short, counts fit easily), while containers index with std::size_t;
+// these helpers make every signed<->unsigned crossing explicit and, in
+// Debug builds, assert that the value survives the trip.
+
+#include <cassert>
+#include <concepts>
+#include <cstddef>
+#include <limits>
+
+namespace ipg {
+
+/// Documented-lossy cast (gsl::narrow_cast flavor): states that the
+/// truncation is intentional at the call site.
+template <class To, class From>
+  requires std::integral<To> && std::integral<From>
+constexpr To narrow_cast(From v) noexcept {
+  return static_cast<To>(v);
+}
+
+/// Container-index cast: the value is a non-negative count or index.
+constexpr std::size_t as_size(std::integral auto v) noexcept {
+  if constexpr (std::signed_integral<decltype(v)>) {
+    assert(v >= 0 && "as_size: negative index/count");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Inverse trip: a size known to fit the `int`-speaking API surface.
+constexpr int as_int(std::integral auto v) noexcept {
+  if constexpr (std::unsigned_integral<decltype(v)>) {
+    assert(v <= static_cast<decltype(v)>(std::numeric_limits<int>::max()) &&
+           "as_int: value exceeds int range");
+  } else {
+    assert(v >= std::numeric_limits<int>::min() &&
+           v <= std::numeric_limits<int>::max() && "as_int: out of int range");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace ipg

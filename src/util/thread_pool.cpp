@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <cstdlib>
+#include "util/narrow.hpp"
 
 namespace ipg {
 
@@ -26,7 +27,7 @@ int ExecPolicy::resolved_threads() const {
 }
 
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
-  workers_.reserve(threads_ - 1);
+  workers_.reserve(as_size(threads_ - 1));
   for (int w = 1; w < threads_; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
   }

@@ -7,6 +7,7 @@
 #include "topo/misc.hpp"
 #include "topo/star.hpp"
 #include "topo/torus.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 namespace {
@@ -46,7 +47,7 @@ TEST(AvgDistance, Torus2d) {
 TEST(AvgDistance, HammingViaGeneralizedHypercube) {
   // GH with equal radices is the Hamming graph H(d, q).
   for (const auto& [d, q] : {std::pair{2, 3}, {3, 3}, {2, 5}, {4, 2}}) {
-    std::vector<int> radices(d, q);
+    std::vector<int> radices(as_size(d), q);
     EXPECT_NEAR(profile(topo::generalized_hypercube(radices)).average_distance,
                 hamming_avg_distance(d, q), 1e-9)
         << "H(" << d << "," << q << ")";

@@ -15,6 +15,7 @@
 #include "topo/hypercube.hpp"
 #include "topo/star.hpp"
 #include "topo/torus.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 namespace {
@@ -102,7 +103,7 @@ TEST(Cluster, HsnModuleGraphIsHammingGraph) {
     const Graph mg = super_module_graph(M, l, gens);
     const auto p = profile(mg);
     EXPECT_EQ(p.nodes, static_cast<std::uint64_t>(std::pow(M, l - 1)));
-    EXPECT_EQ(p.degree, static_cast<Node>((M - 1) * (l - 1)));
+    EXPECT_EQ(p.degree, (M - 1) * static_cast<Node>(l - 1));
     EXPECT_EQ(p.diameter, static_cast<Dist>(l - 1));
     // Average Hamming distance = (l-1)(1 - 1/M) * N/(N-1) over ordered
     // pairs of distinct modules... computed through i_distance_stats with
@@ -156,7 +157,7 @@ TEST(Cluster, HcnSubcubeModuleGraphMatchesExplicit) {
     Node v = 0;
     for (int j = 0; j < n; ++j) {
       const int at = block * 2 * n + 2 * j;
-      v |= static_cast<Node>(x[at] > x[at + 1]) << j;
+      v |= static_cast<Node>(x[as_size(at)] > x[as_size(at + 1)]) << j;
     }
     return v;
   };

@@ -57,9 +57,9 @@ INSTANTIATE_TEST_SUITE_P(Sweep, HsnEmbedding,
                          ::testing::Values(HsnEmbedCase{2, 2}, HsnEmbedCase{2, 3},
                                            HsnEmbedCase{3, 2}, HsnEmbedCase{2, 4},
                                            HsnEmbedCase{3, 3}),
-                         [](const auto& info) {
-                           return "l" + std::to_string(info.param.l) + "_n" +
-                                  std::to_string(info.param.n);
+                         [](const auto& tpi) {
+                           return "l" + std::to_string(tpi.param.l) + "_n" +
+                                  std::to_string(tpi.param.n);
                          });
 
 }  // namespace

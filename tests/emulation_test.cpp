@@ -5,6 +5,7 @@
 #include "algo/emulation.hpp"
 #include "ipg/families.hpp"
 #include "topo/hypercube.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 namespace {
@@ -23,7 +24,7 @@ TEST_P(HsnEmulation, DimensionRoundsHaveConstantCost) {
 
   // Block-0 dimensions are native HSN links: dilation 1.
   for (int j = 0; j < n; ++j) {
-    EXPECT_EQ(stats.per_dimension[j].dilation, 1u) << "dim " << j;
+    EXPECT_EQ(stats.per_dimension[as_size(j)].dilation, 1u) << "dim " << j;
   }
   // Every other dimension routes via swap-flip-swap: dilation <= 3.
   EXPECT_LE(stats.max_dilation, 3u);
@@ -35,9 +36,9 @@ TEST_P(HsnEmulation, DimensionRoundsHaveConstantCost) {
 INSTANTIATE_TEST_SUITE_P(Sweep, HsnEmulation,
                          ::testing::Values(EmuCase{2, 2}, EmuCase{2, 3},
                                            EmuCase{3, 2}),
-                         [](const auto& info) {
-                           return "l" + std::to_string(info.param.l) + "_n" +
-                                  std::to_string(info.param.n);
+                         [](const auto& tpi) {
+                           return "l" + std::to_string(tpi.param.l) + "_n" +
+                                  std::to_string(tpi.param.n);
                          });
 
 TEST(HsnEmulation, CongestionCountsSharedArcs) {
@@ -47,8 +48,8 @@ TEST(HsnEmulation, CongestionCountsSharedArcs) {
   const IPGraph hsn = build_super_ip_graph(make_hsn(2, hypercube_nucleus(2)));
   const auto stats = algo::emulate_hypercube_rounds(hsn, 2, 2);
   for (int j = 0; j < 2; ++j) {
-    EXPECT_LE(stats.per_dimension[j].congestion, 2u);
-    EXPECT_GE(stats.per_dimension[j].congestion, 1u);
+    EXPECT_LE(stats.per_dimension[as_size(j)].congestion, 2u);
+    EXPECT_GE(stats.per_dimension[as_size(j)].congestion, 1u);
   }
 }
 

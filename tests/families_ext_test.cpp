@@ -11,6 +11,7 @@
 #include "topo/hypercube.hpp"
 #include "topo/perm_rank.hpp"
 #include "topo/torus.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 namespace {
@@ -18,7 +19,7 @@ namespace {
 /// Decodes coordinate d of a k-ary IP label: the block holding symbols
 /// dk+1..(d+1)k is some rotation s of its seed; s is the coordinate.
 Node decode_kary(const Label& x, int k, int d) {
-  return static_cast<Node>(x[d * k] - (d * k + 1));
+  return static_cast<Node>(x[as_size(d * k)] - (d * k + 1));
 }
 
 TEST(KaryNucleus, MatchesExplicitTorusExactly) {
@@ -29,10 +30,14 @@ TEST(KaryNucleus, MatchesExplicitTorusExactly) {
     std::uint64_t arcs = 0;
     for (Node u = 0; u < ip.num_nodes(); ++u) {
       Node iu = 0;
-      for (int d = n - 1; d >= 0; --d) iu = iu * k + decode_kary(ip.labels()[u], k, d);
+      for (int d = n - 1; d >= 0; --d) {
+        iu = iu * static_cast<Node>(k) + decode_kary(ip.labels()[u], k, d);
+      }
       for (const Node v : ip.graph.neighbors(u)) {
         Node iv = 0;
-        for (int d = n - 1; d >= 0; --d) iv = iv * k + decode_kary(ip.labels()[v], k, d);
+        for (int d = n - 1; d >= 0; --d) {
+          iv = iv * static_cast<Node>(k) + decode_kary(ip.labels()[v], k, d);
+        }
         EXPECT_TRUE(torus.has_arc(iu, iv)) << k << "," << n;
         ++arcs;
       }

@@ -104,9 +104,9 @@ INSTANTIATE_TEST_SUITE_P(
                       FamilyCase{"complete", 4, 2}, FamilyCase{"flip", 3, 2},
                       FamilyCase{"flip", 4, 2}, FamilyCase{"directed", 3, 2},
                       FamilyCase{"directed", 4, 2}),
-    [](const auto& info) {
-      return info.param.kind + "_l" + std::to_string(info.param.l) + "_Q" +
-             std::to_string(info.param.nucleus_n);
+    [](const auto& tpi) {
+      return tpi.param.kind + "_l" + std::to_string(tpi.param.l) + "_Q" +
+             std::to_string(tpi.param.nucleus_n);
     });
 
 TEST(Families, HcnIsHsn2OverQn) {

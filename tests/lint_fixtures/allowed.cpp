@@ -1,0 +1,30 @@
+// Fixture: every offending construct below carries an allow annotation, so
+// the file must produce zero diagnostics.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+// ipg-lint: allow-file(naked-new)
+
+int annotated_sum(const std::unordered_map<int, int>& weights_) {
+  int total = 0;
+  // Order-independent reduction. ipg-lint: allow(unordered-iteration)
+  for (const auto& [key, value] : weights_) {
+    total += value;
+  }
+  return total;
+}
+
+double annotated_clock() {
+  // Diagnostic-only timestamp. ipg-lint: allow(wall-clock)
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int annotated_random() {
+  return std::rand();  // ipg-lint: allow(banned-random)
+}
+
+int* annotated_new() {
+  return new int[4];  // covered by the allow-file above
+}

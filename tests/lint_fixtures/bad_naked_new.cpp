@@ -1,0 +1,10 @@
+// Fixture: raw allocation outside an arena/scratch type must fire
+// naked-new (three times).
+#include <cstdlib>
+
+int* allocate() {
+  int* a = new int[8];       // line 6: naked-new
+  void* b = malloc(64);      // line 7: naked-new
+  free(b);                   // line 8: naked-new
+  return a;
+}

@@ -1,0 +1,7 @@
+// Fixture: an include-guard header (no #pragma once) must fire pragma-once.
+#ifndef IPG_TESTS_LINT_FIXTURES_BAD_PRAGMA_HPP_
+#define IPG_TESTS_LINT_FIXTURES_BAD_PRAGMA_HPP_
+
+inline int fixture_value() { return 42; }
+
+#endif  // IPG_TESTS_LINT_FIXTURES_BAD_PRAGMA_HPP_

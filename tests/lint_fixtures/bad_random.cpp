@@ -1,0 +1,8 @@
+// Fixture: unseeded randomness must fire banned-random (twice).
+#include <cstdlib>
+#include <random>
+
+int unseeded() {
+  std::random_device rd;  // line 6: banned-random
+  return static_cast<int>(rd()) + std::rand();  // line 7: banned-random
+}

@@ -1,0 +1,11 @@
+// Fixture: iterating an unordered container with no sorted drain and no
+// allow annotation must fire unordered-iteration.
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& counts_) {
+  int total = 0;
+  for (const auto& [key, value] : counts_) {  // line 8: unordered-iteration
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: a using-namespace directive in a header must fire
+// using-namespace.
+#include <vector>
+
+using namespace std;  // line 6: using-namespace
+
+inline vector<int> fixture_vector() { return {1, 2, 3}; }

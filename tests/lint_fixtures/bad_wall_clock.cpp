@@ -1,0 +1,8 @@
+// Fixture: a wall-clock read outside bench/ and src/util/ must fire
+// wall-clock.
+#include <chrono>
+
+double now_seconds() {
+  const auto t = std::chrono::system_clock::now();  // line 6: wall-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Self-test for tools/ipg_lint.py: runs the linter on each fixture and
+asserts that every rule fires exactly at the expected (file, line) sites —
+and nowhere else. Registered as the `ipg_lint_fixtures` ctest.
+
+Usage: python3 fixture_test.py [--lint PATH] [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+# fixture file -> list of (line, rule) expected diagnostics.
+EXPECTED = {
+    "bad_random.cpp": [(6, "banned-random"), (7, "banned-random")],
+    "bad_unordered.cpp": [(7, "unordered-iteration")],
+    "bad_wall_clock.cpp": [(6, "wall-clock")],
+    "bad_naked_new.cpp": [(6, "naked-new"), (7, "naked-new"),
+                          (8, "naked-new")],
+    "bad_pragma.hpp": [(2, "pragma-once")],
+    "bad_using_namespace.hpp": [(6, "using-namespace")],
+    "sorted_drain.cpp": [],
+    "allowed.cpp": [],
+}
+
+DIAG_RE = re.compile(r"^(.*):(\d+): \[([a-z-]+)\]")
+
+
+def run_lint(lint: Path, root: Path, fixture: Path) -> list[tuple[int, str]]:
+    proc = subprocess.run(
+        [sys.executable, str(lint), "--root", str(root), str(fixture)],
+        capture_output=True, text=True, check=False)
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.append((int(m.group(2)), m.group(3)))
+    expected_exit = 1 if diags else 0
+    if proc.returncode != expected_exit:
+        raise SystemExit(
+            f"{fixture.name}: exit code {proc.returncode}, expected "
+            f"{expected_exit}\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    return sorted(diags)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--lint", default=str(HERE.parent.parent / "tools" /
+                                              "ipg_lint.py"))
+    parser.add_argument("--root", default=str(HERE.parent.parent))
+    args = parser.parse_args()
+
+    lint = Path(args.lint)
+    root = Path(args.root)
+    failures = 0
+    for name, expected in sorted(EXPECTED.items()):
+        fixture = HERE / name
+        if not fixture.is_file():
+            print(f"FAIL {name}: fixture missing")
+            failures += 1
+            continue
+        got = run_lint(lint, root, fixture)
+        if got != sorted(expected):
+            print(f"FAIL {name}: expected {sorted(expected)}, got {got}")
+            failures += 1
+        else:
+            print(f"ok   {name}: {len(got)} diagnostic(s) as expected")
+
+    # The fixtures must stay invisible to a directory scan, or the CI
+    # full-tree lint would trip over its own test inputs.
+    proc = subprocess.run(
+        [sys.executable, str(lint), "--root", str(root), str(HERE.parent)],
+        capture_output=True, text=True, check=False)
+    if "lint_fixtures" in proc.stdout:
+        print("FAIL directory scan descends into lint_fixtures/")
+        failures += 1
+    else:
+        print("ok   directory scan skips lint_fixtures/")
+
+    if failures:
+        print(f"{failures} fixture check(s) failed", file=sys.stderr)
+        return 1
+    print("all fixture checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+// Fixture: draining an unordered container into a vector that is sorted
+// immediately afterwards is the approved idiom — no diagnostic.
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+std::vector<int> sorted_members(const std::unordered_set<int>& members_) {
+  std::vector<int> out;
+  for (const int m : members_) {  // sorted drain: std::sort follows
+    out.push_back(m);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}

@@ -12,6 +12,7 @@
 #include "ipg/permutation.hpp"
 #include "ipg/symmetric.hpp"
 #include "topo/hypercube.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 namespace {
@@ -34,14 +35,14 @@ TEST(LabelCodec, RoundTripBothWidths) {
     const PackedLabel p = codec.pack(seed);
     EXPECT_EQ(codec.unpack(p), seed);
     for (int i = 0; i < static_cast<int>(seed.size()); ++i) {
-      EXPECT_EQ(codec.symbol(p, i), seed[i]);
+      EXPECT_EQ(codec.symbol(p, i), seed[as_size(i)]);
     }
   }
 }
 
 TEST(LabelCodec, TwoWordRoundTrip) {
   Label seed(31);
-  for (int i = 0; i < 31; ++i) seed[i] = static_cast<std::uint8_t>(i % 16);
+  for (int i = 0; i < 31; ++i) seed[as_size(i)] = static_cast<std::uint8_t>(i % 16);
   const LabelCodec codec = LabelCodec::for_label(seed);
   ASSERT_EQ(codec.words(), 2);
   EXPECT_EQ(codec.unpack(codec.pack(seed)), seed);
@@ -58,11 +59,11 @@ TEST(LabelCodec, TryPackRejectsBadShapes) {
 TEST(PackedPerm, MatchesVectorApplication) {
   std::mt19937 rng(7);
   for (int len : {4, 8, 16, 24, 31}) {
-    Label x(len);
-    std::vector<std::uint8_t> one_line(len);
+    Label x(as_size(len));
+    std::vector<std::uint8_t> one_line(as_size(len));
     for (int i = 0; i < len; ++i) {
-      x[i] = static_cast<std::uint8_t>(rng() % 16);
-      one_line[i] = static_cast<std::uint8_t>(i);
+      x[as_size(i)] = static_cast<std::uint8_t>(rng() % 16);
+      one_line[as_size(i)] = static_cast<std::uint8_t>(i);
     }
     const LabelCodec codec = LabelCodec::for_label(x);
     ASSERT_TRUE(codec.valid());
@@ -80,11 +81,11 @@ TEST(PackedLabelStore, StoresAndReports) {
   PackedLabelStore store(codec.words());
   Label x(20);
   for (int n = 0; n < 100; ++n) {
-    for (int i = 0; i < 20; ++i) x[i] = static_cast<std::uint8_t>((n + i) % 10);
+    for (int i = 0; i < 20; ++i) x[as_size(i)] = static_cast<std::uint8_t>((n + i) % 10);
     store.push_back(codec.pack(x));
   }
   EXPECT_EQ(store.size(), 100u);
-  for (int i = 0; i < 20; ++i) x[i] = static_cast<std::uint8_t>((42 + i) % 10);
+  for (int i = 0; i < 20; ++i) x[as_size(i)] = static_cast<std::uint8_t>((42 + i) % 10);
   EXPECT_EQ(codec.unpack(store[42]), x);
   EXPECT_GE(store.memory_bytes(), 100u * 16u);
 }
@@ -98,10 +99,11 @@ TEST(PackedLabelMap, MatchesUnorderedMap) {
   for (int n = 0; n < 5000; ++n) {
     std::uint64_t key_bits = 0;
     for (int i = 0; i < 8; ++i) {
-      x[i] = static_cast<std::uint8_t>(rng() % 16);
-      key_bits = key_bits << 4 | x[i];
+      x[as_size(i)] = static_cast<std::uint8_t>(rng() % 16);
+      key_bits = key_bits << 4 | x[as_size(i)];
     }
-    const auto [slot, inserted] = map.try_emplace(codec.pack(x), n);
+    const auto [slot, inserted] =
+        map.try_emplace(codec.pack(x), static_cast<std::uint64_t>(n));
     const auto [it, ref_inserted] = reference.try_emplace(key_bits, n);
     ASSERT_EQ(inserted, ref_inserted);
     ASSERT_EQ(*slot, it->second);
@@ -119,11 +121,11 @@ TEST(PackedLabelMap, FindAfterGrowth) {
   PackedLabelMap map;
   Label x(6);
   for (int n = 0; n < 1000; ++n) {
-    for (int i = 0; i < 6; ++i) x[i] = static_cast<std::uint8_t>((n >> i) % 10);
-    map.try_emplace(codec.pack(x), n);
+    for (int i = 0; i < 6; ++i) x[as_size(i)] = static_cast<std::uint8_t>((n >> i) % 10);
+    map.try_emplace(codec.pack(x), static_cast<std::uint64_t>(n));
   }
   for (int n = 0; n < 1000; ++n) {
-    for (int i = 0; i < 6; ++i) x[i] = static_cast<std::uint8_t>((n >> i) % 10);
+    for (int i = 0; i < 6; ++i) x[as_size(i)] = static_cast<std::uint8_t>((n >> i) % 10);
     const std::uint64_t* v = map.find(codec.pack(x));
     ASSERT_NE(v, nullptr);
     // Duplicate (n >> i) % 10 patterns keep the first inserted value.

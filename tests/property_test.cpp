@@ -17,18 +17,19 @@
 #include "route/path.hpp"
 #include "route/super_ip_routing.hpp"
 #include "util/prng.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 namespace {
 
 /// Draws a random non-identity permutation over k positions.
 Permutation random_perm(Xoshiro256& rng, int k) {
-  std::vector<std::uint8_t> p(k);
-  for (int i = 0; i < k; ++i) p[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> p(as_size(k));
+  for (int i = 0; i < k; ++i) p[as_size(i)] = static_cast<std::uint8_t>(i);
   do {
     for (int i = k - 1; i > 0; --i) {
-      const int j = static_cast<int>(rng.below(i + 1));
-      std::swap(p[i], p[j]);
+      const int j = static_cast<int>(rng.below(as_size(i + 1)));
+      std::swap(p[as_size(i)], p[as_size(j)]);
     }
   } while (std::is_sorted(p.begin(), p.end()));
   return Permutation(p);
@@ -66,14 +67,15 @@ std::optional<SuperIPSpec> random_spec(std::uint64_t seed,
     }
   }
 
-  Label block(s.m);
+  Label block(as_size(s.m));
   for (int i = 0; i < s.m; ++i) {
-    block[i] = static_cast<std::uint8_t>(distinct_block ? i + 1
-                                                        : 1 + rng.below(s.m));
+    block[as_size(i)] = static_cast<std::uint8_t>(
+        distinct_block ? static_cast<std::uint64_t>(i) + 1
+                       : 1 + rng.below(as_size(s.m)));
   }
   if (distinct_block) {
     for (int i = s.m - 1; i > 0; --i) {
-      std::swap(block[i], block[rng.below(i + 1)]);
+      std::swap(block[as_size(i)], block[rng.below(as_size(i + 1))]);
     }
   }
   s.seed = repeat_label(block, s.l);
@@ -175,14 +177,16 @@ TEST_P(RandomDirectedSuperIp, DirectedSpecsStayRoutable) {
   s.name = "directed-random-" + std::to_string(GetParam());
   // A single full-cycle nucleus generator: the orbit is a directed cycle,
   // strongly connected by construction.
-  std::vector<std::uint8_t> cycle_perm(s.m);
-  for (int i = 0; i < s.m; ++i) cycle_perm[i] = static_cast<std::uint8_t>((i + 1) % s.m);
+  std::vector<std::uint8_t> cycle_perm(as_size(s.m));
+  for (int i = 0; i < s.m; ++i) {
+    cycle_perm[as_size(i)] = static_cast<std::uint8_t>((i + 1) % s.m);
+  }
   s.nucleus_gens.push_back({"rot", Permutation(cycle_perm), false});
   // A single directed shift super-generator.
   s.super_gens.push_back({"L", Permutation::rotate_left(s.l, 1), true});
-  Label block(s.m);
+  Label block(as_size(s.m));
   for (int i = 0; i < s.m; ++i) {
-    block[i] = static_cast<std::uint8_t>(1 + rng.below(s.m));
+    block[as_size(i)] = static_cast<std::uint8_t>(1 + rng.below(as_size(s.m)));
   }
   s.seed = repeat_label(block, s.l);
   ASSERT_TRUE(s.valid());

@@ -74,10 +74,10 @@ INSTANTIATE_TEST_SUITE_P(
                       RouteCase{"directed", 3, 2, false},
                       RouteCase{"hsn", 2, 2, true}, RouteCase{"ring", 3, 2, true},
                       RouteCase{"flip", 3, 2, true}),
-    [](const auto& info) {
-      return info.param.kind + "_l" + std::to_string(info.param.l) + "_Q" +
-             std::to_string(info.param.nucleus_n) +
-             (info.param.symmetric ? "_sym" : "");
+    [](const auto& tpi) {
+      return tpi.param.kind + "_l" + std::to_string(tpi.param.l) + "_Q" +
+             std::to_string(tpi.param.nucleus_n) +
+             (tpi.param.symmetric ? "_sym" : "");
     });
 
 TEST_P(SuperRouting, CachedRouterMatchesPerCallRouter) {

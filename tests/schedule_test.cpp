@@ -5,6 +5,7 @@
 #include "ipg/families.hpp"
 #include "ipg/schedule.hpp"
 #include "topo/hypercube.hpp"
+#include "util/narrow.hpp"
 
 namespace ipg {
 namespace {
@@ -38,18 +39,18 @@ TEST_P(ScheduleAllFamilies, WitnessScheduleVisitsEveryBlock) {
   EXPECT_EQ(sched->length(), l - 1);
 
   // Replay the schedule and verify every block reaches position 0.
-  Arrangement arr(l);
-  for (int i = 0; i < l; ++i) arr[i] = static_cast<std::uint8_t>(i);
-  std::vector<bool> visited(l, false);
+  Arrangement arr(as_size(l));
+  for (int i = 0; i < l; ++i) arr[as_size(i)] = static_cast<std::uint8_t>(i);
+  std::vector<bool> visited(as_size(l), false);
   visited[arr[0]] = true;
-  Arrangement next(l);
+  Arrangement next(as_size(l));
   for (const int g : sched->gens) {
-    const Permutation& beta = spec.super_gens[g].perm;
-    for (int p = 0; p < l; ++p) next[p] = arr[beta[p]];
+    const Permutation& beta = spec.super_gens[as_size(g)].perm;
+    for (int p = 0; p < l; ++p) next[as_size(p)] = arr[beta[p]];
     arr = next;
     visited[arr[0]] = true;
   }
-  for (int i = 0; i < l; ++i) EXPECT_TRUE(visited[i]) << "block " << i;
+  for (int i = 0; i < l; ++i) EXPECT_TRUE(visited[as_size(i)]) << "block " << i;
   EXPECT_EQ(arr, sched->final_arrangement);
 }
 
@@ -64,9 +65,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("hsn", "ring", "complete", "directed",
                                          "flip"),
                        ::testing::Values(2, 3, 4, 5, 6)),
-    [](const auto& info) {
-      return std::get<0>(info.param) + "_l" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& tpi) {
+      return std::get<0>(tpi.param) + "_l" + std::to_string(std::get<1>(tpi.param));
     });
 
 TEST(Schedule, ReachableArrangementsMatchGroupOrders) {
@@ -109,13 +109,13 @@ TEST(Schedule, ScheduleToArrangementReachesExactTarget) {
   std::vector<bool> visited(4, false);
   visited[0] = true;
   for (const int g : sched->gens) {
-    const Permutation& beta = spec.super_gens[g].perm;
-    for (int p = 0; p < 4; ++p) next[p] = arr[beta[p]];
+    const Permutation& beta = spec.super_gens[as_size(g)].perm;
+    for (int p = 0; p < 4; ++p) next[as_size(p)] = arr[beta[p]];
     arr = next;
     visited[arr[0]] = true;
   }
   EXPECT_EQ(arr, target);
-  for (int i = 0; i < 4; ++i) EXPECT_TRUE(visited[i]);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(visited[as_size(i)]);
 }
 
 TEST(Schedule, UnreachableArrangementReported) {

@@ -250,7 +250,9 @@ TEST(SimNetwork, LabelSourceRoutesReachDestinationWithinBound) {
   for (Node u = 0; u < net.num_nodes(); ++u) {
     for (Node dst = 0; dst < net.num_nodes(); ++dst) {
       const std::vector<int> gens = net.route_gens(u, dst);
-      if (u == dst) EXPECT_TRUE(gens.empty());
+      if (u == dst) {
+        EXPECT_TRUE(gens.empty());
+      }
       ASSERT_LE(static_cast<int>(gens.size()), bound) << u << "->" << dst;
       Node cur = u;
       for (const int gen : gens) {

@@ -59,7 +59,7 @@ TEST_P(Survivability, KappaMinusOneRandomFaultsNeverDisconnect) {
     cases.push_back({"HCN(2,2)+links", add_hcn_diameter_links(hcn, 2)});
   }
 
-  Xoshiro256 rng(1000 + GetParam());
+  Xoshiro256 rng(1000u + static_cast<std::uint64_t>(GetParam()));
   for (const auto& c : cases) {
     const int kappa = vertex_connectivity(c.g);
     ASSERT_GE(kappa, 2) << c.name;

@@ -66,9 +66,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SymCase{"hsn", 2, 3}, SymCase{"ring", 3, 2},
                       SymCase{"ring", 4, 2}, SymCase{"flip", 3, 2},
                       SymCase{"complete", 3, 2}),
-    [](const auto& info) {
-      return info.param.kind + "_l" + std::to_string(info.param.l) + "_Q" +
-             std::to_string(info.param.nucleus_n);
+    [](const auto& tpi) {
+      return tpi.param.kind + "_l" + std::to_string(tpi.param.l) + "_Q" +
+             std::to_string(tpi.param.nucleus_n);
     });
 
 TEST(Symmetric, PlainVariantsAreNotVertexTransitive) {

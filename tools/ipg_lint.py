@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""Project-specific determinism linter for the IPG tree.
+
+Generic tools cannot know which constructs break this library's three
+result-critical guarantees (bit-identical parallel results, the Theorem 3.2
+rank<->label bijection, seed-driven fault determinism). This linter encodes
+those rules directly:
+
+  banned-random        std::rand / rand() / srand / std::random_device are
+                       forbidden everywhere except src/util/prng.* — all
+                       randomness must flow through the seeded PRNG.
+  unordered-iteration  iterating a std::unordered_{map,set} is
+                       order-nondeterministic; every iteration site must
+                       either drain into a sorted container (a std::sort of
+                       the drained values within the next few lines) or
+                       carry an explicit allow annotation arguing
+                       order-independence.
+  wall-clock           system_clock / high_resolution_clock / gettimeofday /
+                       std::time reads are forbidden outside bench/ and
+                       src/util/ — simulated time and seeds, never wall time.
+  naked-new            raw new / malloc / calloc / realloc / free are
+                       forbidden outside arena/scratch allocators; everything
+                       else uses containers or smart pointers.
+  pragma-once          every header's first directive must be #pragma once.
+  using-namespace      headers must not contain using-namespace directives
+                       (namespace scope pollution leaks into every includer).
+
+Suppressions: `// ipg-lint: allow(<rule>)` on the offending line or the line
+directly above suppresses one site; `// ipg-lint: allow-file(<rule>)`
+anywhere in a file suppresses the rule for that whole file.
+
+Usage: python3 tools/ipg_lint.py [--root DIR] [paths...]
+Scans src/ bench/ examples/ tests/ under the root when no paths are given.
+Exits 1 when any diagnostic fires. Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+EXTENSIONS = {".hpp", ".cpp"}
+# Intentionally-offending inputs for the fixture test; linted only when
+# passed explicitly, never during a directory scan.
+FIXTURE_DIR = "lint_fixtures"
+
+ALLOW_RE = re.compile(r"ipg-lint:\s*allow\(([a-z-]+)\)")
+ALLOW_FILE_RE = re.compile(r"ipg-lint:\s*allow-file\(([a-z-]+)\)")
+
+RANDOM_RE = re.compile(
+    r"\bstd::rand\b|\bstd::random_device\b|(?<!\w)(?<!_)rand\s*\(|\bsrand\s*\("
+)
+WALL_CLOCK_RE = re.compile(
+    r"\bsystem_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b"
+    r"|\bstd::time\s*\("
+)
+NAKED_NEW_RE = re.compile(
+    r"(?<!\w)new\s+[A-Za-z_]|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\("
+    r"|(?<!\w)(?<!_)free\s*\("
+)
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*[&*]?\s*"
+    r"(\w+)\s*[;,({=)]"
+)
+SORT_RE = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
+
+# How many lines after an unordered-container loop a std::sort of the
+# drained values still counts as a "sorted drain".
+SORTED_DRAIN_WINDOW = 4
+
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Returns the file's lines with comments and string/char literals
+    blanked out (same line count, so diagnostics keep real line numbers)."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    line: list[str] = []
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out.append("".join(line))
+            line = []
+            if state == "line-comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                line.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                line.append(" ")
+                i += 1
+                continue
+            line.append(c)
+            i += 1
+            continue
+        if state in ("string", "char"):
+            if c == "\\":
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (state == "char" and c == "'"):
+                state = "code"
+            i += 1
+            continue
+        if state == "block-comment" and c == "*" and nxt == "/":
+            state = "code"
+            i += 2
+            continue
+        i += 1
+    if line:
+        out.append("".join(line))
+    return out
+
+
+class Diagnostic:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class FileLint:
+    def __init__(self, path: Path, rel: str, unordered_names: set[str]):
+        self.path = path
+        self.rel = rel
+        self.raw = path.read_text(encoding="utf-8")
+        self.raw_lines = self.raw.splitlines()
+        self.code_lines = strip_comments_and_strings(self.raw)
+        self.unordered_names = unordered_names
+        self.file_allows = set(ALLOW_FILE_RE.findall(self.raw))
+        self.diags: list[Diagnostic] = []
+
+    def allowed(self, rule: str, lineno: int) -> bool:
+        """True when the 1-based line (or the one above) carries an allow."""
+        if rule in self.file_allows:
+            return True
+        for cand in (lineno, lineno - 1):
+            if 1 <= cand <= len(self.raw_lines):
+                for m in ALLOW_RE.finditer(self.raw_lines[cand - 1]):
+                    if m.group(1) == rule:
+                        return True
+        return False
+
+    def report(self, rule: str, lineno: int, message: str) -> None:
+        if not self.allowed(rule, lineno):
+            self.diags.append(Diagnostic(self.path, lineno, rule, message))
+
+    def in_dirs(self, *prefixes: str) -> bool:
+        return any(self.rel.startswith(p) for p in prefixes)
+
+    def run(self) -> list[Diagnostic]:
+        self.check_banned_random()
+        self.check_wall_clock()
+        self.check_naked_new()
+        self.check_unordered_iteration()
+        if self.path.suffix == ".hpp":
+            self.check_pragma_once()
+            self.check_using_namespace()
+        return self.diags
+
+    def check_banned_random(self) -> None:
+        if self.in_dirs("src/util/prng"):
+            return
+        for lineno, line in enumerate(self.code_lines, 1):
+            if RANDOM_RE.search(line):
+                self.report(
+                    "banned-random", lineno,
+                    "unseeded randomness; use util/prng (Xoshiro256) so "
+                    "results are reproducible from an explicit seed")
+
+    def check_wall_clock(self) -> None:
+        if self.in_dirs("bench/", "src/util/"):
+            return
+        for lineno, line in enumerate(self.code_lines, 1):
+            if WALL_CLOCK_RE.search(line):
+                self.report(
+                    "wall-clock", lineno,
+                    "wall-clock read outside bench/ and src/util/; "
+                    "simulation results must not depend on real time")
+
+    def check_naked_new(self) -> None:
+        for lineno, line in enumerate(self.code_lines, 1):
+            if NAKED_NEW_RE.search(line):
+                self.report(
+                    "naked-new", lineno,
+                    "raw allocation outside an arena/scratch type; use "
+                    "containers or smart pointers")
+
+    def check_unordered_iteration(self) -> None:
+        if not self.unordered_names:
+            return
+        names = "|".join(re.escape(n) for n in sorted(self.unordered_names))
+        loop_re = re.compile(
+            r"\bfor\s*\([^;)]*:\s*\(?\s*(?:\w+[.->]+)*(" + names + r")\s*\)"
+            r"|\b(" + names + r")\s*[.]\s*(?:begin|cbegin)\s*\(")
+        for lineno, line in enumerate(self.code_lines, 1):
+            m = loop_re.search(line)
+            if not m:
+                continue
+            window = self.code_lines[lineno:lineno + SORTED_DRAIN_WINDOW]
+            if any(SORT_RE.search(w) for w in window):
+                continue  # sorted drain: order nondeterminism is repaired
+            name = m.group(1) or m.group(2)
+            self.report(
+                "unordered-iteration", lineno,
+                f"iteration over unordered container '{name}' is "
+                "order-nondeterministic; drain into a sorted container or "
+                "annotate why order cannot affect results")
+
+    def check_pragma_once(self) -> None:
+        for lineno, line in enumerate(self.code_lines, 1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped != "#pragma once":
+                self.report(
+                    "pragma-once", lineno,
+                    "header must open with #pragma once before any other "
+                    "directive or declaration")
+            return
+        self.report("pragma-once", 1, "header is empty or lacks #pragma once")
+
+    def check_using_namespace(self) -> None:
+        for lineno, line in enumerate(self.code_lines, 1):
+            if USING_NAMESPACE_RE.search(line):
+                self.report(
+                    "using-namespace", lineno,
+                    "using-namespace in a header pollutes every includer")
+
+
+def collect_files(root: Path, args_paths: list[str]) -> list[Path]:
+    if args_paths:
+        files = []
+        for p in args_paths:
+            path = Path(p)
+            if path.is_dir():
+                files.extend(sorted(
+                    f for f in path.rglob("*")
+                    if f.suffix in EXTENSIONS and FIXTURE_DIR not in f.parts))
+            else:
+                files.append(path)
+        return files
+    files = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(sorted(
+                f for f in base.rglob("*")
+                if f.suffix in EXTENSIONS and FIXTURE_DIR not in f.parts))
+    return files
+
+
+def collect_unordered_names(files: list[Path]) -> set[str]:
+    """Pass 1: every identifier declared anywhere as an unordered container.
+    Member declarations live in headers while the iterating loops live in
+    .cpp files, so the name table is global to the scan."""
+    names: set[str] = set()
+    for f in files:
+        text = " ".join(strip_comments_and_strings(f.read_text(encoding="utf-8")))
+        for m in UNORDERED_DECL_RE.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    args = parser.parse_args()
+
+    root = Path(args.root)
+    files = collect_files(root, args.paths)
+    if not files:
+        print("ipg_lint: no input files", file=sys.stderr)
+        return 2
+
+    unordered_names = collect_unordered_names(files)
+    diags: list[Diagnostic] = []
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        diags.extend(FileLint(f, rel, unordered_names).run())
+
+    for d in sorted(diags, key=lambda d: (str(d.path), d.line)):
+        print(d)
+    if diags:
+        print(f"ipg_lint: {len(diags)} diagnostic(s)", file=sys.stderr)
+        return 1
+    print(f"ipg_lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
