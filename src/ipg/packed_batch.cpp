@@ -1,0 +1,136 @@
+#include "ipg/packed_batch.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/narrow.hpp"
+
+namespace ipg {
+
+void pack_batch(const LabelCodec& codec, std::span<const Label> labels,
+                std::span<PackedLabel> out) {
+  assert(labels.size() == out.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out[i] = codec.pack(labels[i]);
+  }
+}
+
+void unpack_batch(const LabelCodec& codec, std::span<const PackedLabel> packed,
+                  std::span<Label> out) {
+  assert(packed.size() == out.size());
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    codec.unpack(packed[i], out[i]);
+  }
+}
+
+void apply_perm_batch(const PackedPerm& p, std::span<const PackedLabel> in,
+                      std::span<PackedLabel> out) {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = p.apply(in[i]);
+  }
+}
+
+namespace {
+
+/// Direct block -> node tables above this shape would waste memory for no
+/// lookup win (2^16 Node slots = 256 KiB; larger blocks binary-search).
+constexpr int kMaxDirectBits = 16;
+
+}  // namespace
+
+PackedSuperCodec::PackedSuperCodec(const SuperIPSpec& spec,
+                                   const SuperRanking& ranking) {
+  if (ranking.symmetric_seed()) return;  // plain seeds only
+  codec_ = LabelCodec::for_label(spec.seed);
+  if (!codec_.valid()) return;
+  l_ = spec.l;
+  block_bits_ = spec.m * codec_.bits();
+  if (block_bits_ > 64) return;  // one block must fit a word
+  const IPGraph& nucleus = ranking.nucleus();
+  nucleus_size_ = nucleus.num_nodes();
+  size_ = ranking.size();
+
+  // Pack every nucleus label with the *full-label* codec's symbol width
+  // (which may be wider than the nucleus' own minimal codec) so extracted
+  // block windows compare bit-for-bit.
+  node_to_block_.reserve(nucleus_size_);
+  Label content;
+  const int bits = codec_.bits();
+  for (Node v = 0; v < nucleus.num_nodes(); ++v) {
+    nucleus.label_into(v, content);
+    std::uint64_t w = 0;
+    for (int j = 0; j < spec.m; ++j) {
+      w |= static_cast<std::uint64_t>(content[as_size(j)])
+           << (static_cast<unsigned>(j * bits));
+    }
+    node_to_block_.push_back(w);
+  }
+
+  if (block_bits_ <= kMaxDirectBits) {
+    direct_.assign(1ull << block_bits_, kInvalidIPNode);
+    for (Node v = 0; v < nucleus.num_nodes(); ++v) {
+      direct_[node_to_block_[v]] = v;
+    }
+  } else {
+    sorted_.reserve(nucleus_size_);
+    for (Node v = 0; v < nucleus.num_nodes(); ++v) {
+      sorted_.emplace_back(node_to_block_[v], v);
+    }
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  valid_ = true;
+}
+
+std::uint64_t PackedSuperCodec::rank(const PackedLabel& x) const {
+  std::uint64_t r = 0;
+  for (int i = 0; i < l_; ++i) {
+    const Node d = block_node(x, i);
+    assert(d != kInvalidIPNode && "block content outside the nucleus orbit");
+    r = r * nucleus_size_ + d;
+  }
+  return r;
+}
+
+std::uint64_t PackedSuperCodec::try_rank(const PackedLabel& x) const {
+  std::uint64_t r = 0;
+  for (int i = 0; i < l_; ++i) {
+    const Node d = block_node(x, i);
+    if (d == kInvalidIPNode) return SuperRanking::kInvalidRank;
+    r = r * nucleus_size_ + d;
+  }
+  return r;
+}
+
+PackedLabel PackedSuperCodec::unrank(std::uint64_t r) const {
+  assert(r < size_);
+  PackedLabel out;
+  for (int i = l_ - 1; i >= 0; --i) {
+    const std::uint64_t d = r % nucleus_size_;
+    r /= nucleus_size_;
+    // Blocks are deposited into zeroed words, so a plain shifted OR
+    // suffices (no read-modify-write mask as in deposit_bits).
+    const int start = i * block_bits_;
+    const std::uint64_t w = node_to_block_[d];
+    out.w[start >> 6] |= w << (start & 63);
+    if ((start & 63) != 0 && (start >> 6) == 0 &&
+        (start & 63) + block_bits_ > 64) {
+      out.w[1] |= w >> (64 - (start & 63));
+    }
+  }
+  return out;
+}
+
+void PackedSuperCodec::rank_batch(std::span<const PackedLabel> in,
+                                  std::span<std::uint64_t> out) const {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = rank(in[i]);
+}
+
+void PackedSuperCodec::unrank_batch(std::span<const std::uint64_t> in,
+                                    std::span<PackedLabel> out) const {
+  assert(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = unrank(in[i]);
+}
+
+}  // namespace ipg

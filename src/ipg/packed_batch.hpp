@@ -1,0 +1,165 @@
+#pragma once
+// Word-parallel batch kernels over packed labels — the label-crunching
+// layer of the batched routing engine (route::QueryEngine).
+//
+// packed_label.hpp packs a whole label into one or two 64-bit words and
+// compiles generators into register-only PackedPerm moves. This header
+// adds the operations a *batch* of route queries needs, all operating on
+// whole words with no per-label heap traffic:
+//
+//   - extract_bits / deposit_bits: read or replace one super-symbol block
+//     of a packed label (handles blocks straddling the word boundary);
+//   - pack_batch / unpack_batch / apply_perm_batch: the scalar codec and
+//     PackedPerm lifted over contiguous groups of labels;
+//   - PackedSuperCodec: Theorem 3.2 rank <-> label conversion computed
+//     entirely in the packed domain for plain super-IP seeds. Each rank
+//     digit is one masked block lookup and each unrank digit one table
+//     word OR'd into place, so a batch of queries converts ids to labels
+//     and back without materializing a single byte-vector Label.
+//
+// Every kernel is pinned element-wise to its scalar reference
+// (LabelCodec / Permutation::apply / SuperRanking) by
+// tests/packed_batch_test.cpp; the scalar path stays the differential
+// oracle, never a dead branch.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ipg/packed_label.hpp"
+#include "ipg/ranking.hpp"
+#include "ipg/super.hpp"
+
+namespace ipg {
+
+/// Bits [start, start + width) of the 128-bit packed value, little-endian
+/// (width <= 64; straddling the w[0]/w[1] boundary is handled).
+inline std::uint64_t extract_bits(const PackedLabel& x, int start,
+                                  int width) noexcept {
+  const std::uint64_t mask =
+      width >= 64 ? ~0ull : (1ull << width) - 1;
+  const int word = start >> 6;
+  const int shift = start & 63;
+  std::uint64_t v = x.w[word] >> shift;
+  if (shift != 0 && word == 0 && shift + width > 64) {
+    v |= x.w[1] << (64 - shift);
+  }
+  return v & mask;
+}
+
+/// Replaces bits [start, start + width) of `x` with `value` (which must
+/// fit `width` bits).
+inline void deposit_bits(PackedLabel& x, int start, int width,
+                         std::uint64_t value) noexcept {
+  const std::uint64_t mask =
+      width >= 64 ? ~0ull : (1ull << width) - 1;
+  const int word = start >> 6;
+  const int shift = start & 63;
+  x.w[word] = (x.w[word] & ~(mask << shift)) | ((value & mask) << shift);
+  if (shift != 0 && word == 0 && shift + width > 64) {
+    const int spill = shift + width - 64;
+    const std::uint64_t spill_mask = (1ull << spill) - 1;
+    x.w[1] = (x.w[1] & ~spill_mask) | ((value & mask) >> (64 - shift));
+  }
+}
+
+/// Packs labels[i] into out[i] for the whole batch. Sizes must match;
+/// every label must fit the codec (LabelCodec::pack's contract).
+void pack_batch(const LabelCodec& codec, std::span<const Label> labels,
+                std::span<PackedLabel> out);
+
+/// Unpacks packed[i] into out[i] (each resized to the codec length).
+void unpack_batch(const LabelCodec& codec, std::span<const PackedLabel> packed,
+                  std::span<Label> out);
+
+/// out[i] = p.apply(in[i]) for the whole batch — one compiled permutation
+/// swept over a contiguous group of labels (`in` and `out` may alias
+/// element-wise, i.e. be the same span).
+void apply_perm_batch(const PackedPerm& p, std::span<const PackedLabel> in,
+                      std::span<PackedLabel> out);
+
+/// Theorem 3.2 rank <-> packed label conversion for *plain* super-IP seeds
+/// (identical blocks), computed without unpacking: digit i of a rank is
+/// the nucleus node id of block i's content, looked up from the block's
+/// bit window directly. Symmetric seeds and shapes that do not pack fall
+/// outside this codec (valid() == false); callers keep using SuperRanking
+/// there — the scalar path this codec is differentially tested against.
+class PackedSuperCodec {
+ public:
+  PackedSuperCodec() = default;  ///< invalid (valid() == false)
+
+  /// Builds the codec for `spec` against `ranking` (which must have been
+  /// constructed from the same spec). Invalid when the seed is symmetric,
+  /// the full label does not fit 128 bits, or one block does not fit a
+  /// single word.
+  PackedSuperCodec(const SuperIPSpec& spec, const SuperRanking& ranking);
+
+  bool valid() const noexcept { return valid_; }
+  const LabelCodec& codec() const noexcept { return codec_; }
+  int block_bits() const noexcept { return block_bits_; }
+  std::uint64_t size() const noexcept { return size_; }
+
+  /// Nucleus node id of block `i`'s content, or kInvalidIPNode when the
+  /// content is not a nucleus orbit element.
+  Node block_node(const PackedLabel& x, int i) const noexcept {
+    return lookup(extract_bits(x, i * block_bits_, block_bits_));
+  }
+
+  /// Packed content of nucleus node `v` (the inverse of block_node).
+  std::uint64_t node_block(Node v) const noexcept {
+    return node_to_block_[v];
+  }
+
+  /// Rank of a packed label (must be an orbit element; Debug-asserted).
+  std::uint64_t rank(const PackedLabel& x) const;
+
+  /// Rank with validation: SuperRanking::kInvalidRank when some block's
+  /// content is outside the nucleus orbit.
+  std::uint64_t try_rank(const PackedLabel& x) const;
+
+  /// Packed label of rank `r` (< size()).
+  PackedLabel unrank(std::uint64_t r) const;
+
+  /// Batch variants: out[i] = rank(in[i]) / unrank(in[i]).
+  void rank_batch(std::span<const PackedLabel> in,
+                  std::span<std::uint64_t> out) const;
+  void unrank_batch(std::span<const std::uint64_t> in,
+                    std::span<PackedLabel> out) const;
+
+ private:
+  Node lookup(std::uint64_t block) const noexcept {
+    if (!direct_.empty()) {
+      return block < direct_.size() ? direct_[block] : kInvalidIPNode;
+    }
+    // Binary search over the sorted (block word, node) pairs.
+    std::size_t lo = 0, hi = sorted_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (sorted_[mid].first < block) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < sorted_.size() && sorted_[lo].first == block) {
+      return sorted_[lo].second;
+    }
+    return kInvalidIPNode;
+  }
+
+  bool valid_ = false;
+  int l_ = 0;
+  int block_bits_ = 0;
+  std::uint64_t nucleus_size_ = 0;
+  std::uint64_t size_ = 0;  ///< M^l
+  LabelCodec codec_;
+  /// block word -> node, direct-indexed when the block shape is small
+  /// (block_bits_ <= 16: at most 65,536 slots)...
+  std::vector<Node> direct_;
+  /// ...sorted pairs otherwise.
+  std::vector<std::pair<std::uint64_t, Node>> sorted_;
+  std::vector<std::uint64_t> node_to_block_;  ///< node -> block word
+};
+
+}  // namespace ipg

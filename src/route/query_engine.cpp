@@ -1,0 +1,284 @@
+#include "route/query_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/narrow.hpp"
+
+namespace ipg::route {
+
+QueryEngine::QueryEngine(const net::Topology& topo, QueryEngineOptions opts)
+    : topo_(&topo),
+      opts_(opts),
+      cache_({.capacity = opts.cache_capacity,
+              .shards = opts.cache_shards,
+              .admission = opts.cache_admission}) {}
+
+QueryEngine::QueryEngine(const net::ImplicitSuperIPTopology& topo,
+                         QueryEngineOptions opts)
+    : topo_(&topo),
+      implicit_(&topo),
+      opts_(opts),
+      router_(std::make_unique<SuperIPRouter>(topo.spec(),
+                                              opts.schedule_cache_capacity)),
+      cache_({.capacity = opts.cache_capacity,
+              .shards = opts.cache_shards,
+              .admission = opts.cache_admission}) {
+  if (opts_.use_packed_kernels) {
+    packed_ = PackedSuperCodec(topo.spec(), topo.ranking());
+  }
+  if (packed_.valid()) {
+    // Compile every lifted generator (ip_spec ordering: nucleus first,
+    // then expanded super) so next-hop application and the schedule walk
+    // run entirely on packed words.
+    const auto& gens = topo.ip_spec().generators;
+    packed_gens_.reserve(gens.size());
+    for (const Generator& g : gens) {
+      packed_gens_.emplace_back(packed_.codec(), g.perm);
+    }
+    // d[i]: destination position of block i under the plain schedule
+    // (mirrors SuperIPRouter::route's plain branch exactly).
+    const Schedule& sched = router_->plain_schedule();
+    plain_dest_.assign(as_size(topo.spec().l), -1);
+    for (int q = 0; q < topo.spec().l; ++q) {
+      plain_dest_[sched.final_arrangement[as_size(q)]] = q;
+    }
+  }
+}
+
+void QueryEngine::route_bfs(net::NodeId src, net::NodeId dst, CachedRoute& out,
+                            Scratch& s) const {
+  out.status = AnswerStatus::kUnreachable;
+  out.next_hop = net::kInvalidNodeId;
+  out.gens.clear();
+
+  s.parent.clear();
+  s.frontier.clear();
+  s.frontier.push_back(src);
+  s.parent.emplace(src, std::pair<net::NodeId, int>{src, -1});
+  bool found = false;
+  while (!found && !s.frontier.empty()) {
+    s.next_frontier.clear();
+    for (const net::NodeId u : s.frontier) {
+      topo_->neighbors(u, s.arcs);  // sorted by (to, tag): deterministic
+      for (const net::TopoArc& a : s.arcs) {
+        if (!s.parent.try_emplace(a.to, std::pair<net::NodeId, int>{u, a.tag})
+                 .second) {
+          continue;
+        }
+        if (a.to == dst) {
+          found = true;
+          break;
+        }
+        s.next_frontier.push_back(a.to);
+      }
+      if (found) break;
+    }
+    s.frontier.swap(s.next_frontier);
+  }
+  if (!found) return;
+
+  // Walk parents dst -> src; the node whose parent is src is the next hop.
+  net::NodeId cur = dst;
+  while (cur != src) {
+    const auto& [p, tag] = s.parent.at(cur);
+    out.gens.push_back(tag);
+    if (p == src) out.next_hop = cur;
+    cur = p;
+  }
+  std::reverse(out.gens.begin(), out.gens.end());
+  out.status = AnswerStatus::kOk;
+}
+
+void QueryEngine::route_scalar_label(net::NodeId src, net::NodeId dst,
+                                     CachedRoute& out, Scratch& s) const {
+  implicit_->label_into(src, s.a);
+  implicit_->label_into(dst, s.b);
+  out.gens = router_->route(s.a, s.b).gens;
+  out.status = AnswerStatus::kOk;
+  out.next_hop = out.gens.empty()
+                     ? net::kInvalidNodeId
+                     : implicit_->neighbor_via(src, out.gens.front());
+}
+
+void QueryEngine::route_packed(net::NodeId src, net::NodeId dst,
+                               CachedRoute& out, Scratch& s) const {
+  const PackedLabel sp = packed_.unrank(src);
+  const PackedLabel dp = packed_.unrank(dst);
+  out.gens.clear();
+  out.status = AnswerStatus::kOk;
+  out.next_hop = net::kInvalidNodeId;
+
+  const int l = implicit_->spec().l;
+  const int nc = implicit_->nucleus_generator_count();
+  const int bb = packed_.block_bits();
+  const IPGraph& nucleus = router_->nucleus();
+
+  s.dst_blocks.resize(as_size(l));
+  for (int i = 0; i < l; ++i) {
+    s.dst_blocks[as_size(i)] = packed_.block_node(dp, i);
+    assert(s.dst_blocks[as_size(i)] != kInvalidIPNode);
+  }
+
+  // Emits the first-gen-table walk sorting x's front block to nucleus
+  // node `target`, then deposits the target content — gen-for-gen what
+  // SuperIPRouter::sort_front_block does on byte vectors.
+  const auto sort_front = [&](PackedLabel& x, Node target) {
+    Node u = packed_.block_node(x, 0);
+    assert(u != kInvalidIPNode);
+    const std::span<const std::uint16_t> row = router_->first_gen_row(target);
+    while (u != target) {
+      const std::uint16_t g = row[u];
+      assert(g != SuperIPRouter::kNoFirstGen);
+      out.gens.push_back(g);
+      u = nucleus.apply_generator(u, g);
+    }
+    deposit_bits(x, 0, bb, packed_.node_block(target));
+  };
+
+  PackedLabel current = sp;
+  s.arr.resize(as_size(l));
+  for (int i = 0; i < l; ++i) s.arr[as_size(i)] = static_cast<std::uint8_t>(i);
+  s.visited.assign(as_size(l), 0);
+
+  s.visited[0] = 1;
+  sort_front(current, s.dst_blocks[as_size(plain_dest_[0])]);
+
+  s.next_arr.resize(as_size(l));
+  for (const int g : router_->plain_schedule().gens) {
+    const PackedLabel next = packed_gens_[as_size(nc + g)].apply(current);
+    if (!(next == current)) {
+      out.gens.push_back(nc + g);
+      current = next;
+    }
+    const Permutation& beta = implicit_->spec().super_gens[as_size(g)].perm;
+    for (int p = 0; p < l; ++p) s.next_arr[as_size(p)] = s.arr[beta[p]];
+    s.arr.swap(s.next_arr);
+    const int front_block = s.arr[0];
+    if (!s.visited[as_size(front_block)]) {
+      s.visited[as_size(front_block)] = 1;
+      sort_front(current, s.dst_blocks[as_size(plain_dest_[as_size(front_block)])]);
+    }
+  }
+  assert(current == dp && "packed route must land on the destination");
+
+  if (!out.gens.empty()) {
+    out.next_hop = packed_.rank(packed_gens_[as_size(out.gens.front())].apply(sp));
+  }
+}
+
+void QueryEngine::compute_route(net::NodeId src, net::NodeId dst,
+                                CachedRoute& out, Scratch& s,
+                                bool allow_packed) const {
+  if (implicit_ != nullptr) {
+    if (allow_packed && packed_.valid()) {
+      route_packed(src, dst, out, s);
+    } else {
+      route_scalar_label(src, dst, out, s);
+    }
+  } else {
+    route_bfs(src, dst, out, s);
+  }
+}
+
+void QueryEngine::answer_one(const RouteQuery& q, RouteAnswer& out, Scratch& s,
+                             bool use_cache, bool allow_packed) const {
+  out.gens.clear();
+  out.first_gen = -1;
+  out.next_hop = net::kInvalidNodeId;
+  const net::NodeId n = topo_->num_nodes();
+  if (q.src >= n || q.dst >= n) {
+    out.status = AnswerStatus::kInvalid;
+    out.distance = -1;
+    return;
+  }
+  if (q.src == q.dst) {
+    out.status = AnswerStatus::kOk;
+    out.distance = 0;
+    return;
+  }
+
+  if (use_cache && cache_.capacity() > 0) {
+    cache_.get_or_compute(
+        PairKey{q.src, q.dst},
+        [&](CachedRoute& v) { compute_route(q.src, q.dst, v, s, allow_packed); },
+        s.route);
+  } else {
+    compute_route(q.src, q.dst, s.route, s, allow_packed);
+  }
+
+  out.status = s.route.status;
+  if (out.status != AnswerStatus::kOk) {
+    out.distance = -1;
+    return;
+  }
+  out.distance = static_cast<std::int32_t>(s.route.gens.size());
+  out.first_gen = s.route.gens.empty() ? -1 : s.route.gens.front();
+  if (q.kind != QueryKind::kDistance) out.next_hop = s.route.next_hop;
+  if (q.kind == QueryKind::kFullRoute) out.gens = s.route.gens;
+}
+
+void QueryEngine::answer_batch(std::span<const RouteQuery> queries,
+                               std::span<RouteAnswer> answers) const {
+  assert(queries.size() == answers.size());
+  Scratch s;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    answer_one(queries[i], answers[i], s, /*use_cache=*/true,
+               opts_.use_packed_kernels);
+  }
+}
+
+void QueryEngine::answer_batch(std::span<const RouteQuery> queries,
+                               std::span<RouteAnswer> answers,
+                               ThreadPool& pool) const {
+  assert(queries.size() == answers.size());
+  if (pool.num_threads() <= 1 || queries.size() < 2) {
+    answer_batch(queries, answers);
+    return;
+  }
+  // Each answer is a pure function of its query: chunking only spreads
+  // independent work, so any thread count produces identical answers.
+  std::vector<Scratch> scratch(as_size(pool.num_threads()));
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(queries.size(),
+                              static_cast<std::uint64_t>(pool.num_threads()) * 4);
+  pool.parallel_for(queries.size(), chunks,
+                    [&](int worker, std::uint64_t /*chunk*/, std::uint64_t begin,
+                        std::uint64_t end) {
+                      Scratch& s = scratch[as_size(worker)];
+                      for (std::uint64_t i = begin; i < end; ++i) {
+                        answer_one(queries[i], answers[i], s,
+                                   /*use_cache=*/true, opts_.use_packed_kernels);
+                      }
+                    });
+}
+
+void QueryEngine::answer_batch(std::span<const RouteQuery> queries,
+                               std::span<RouteAnswer> answers,
+                               const ExecPolicy& policy) const {
+  if (policy.serial()) {
+    answer_batch(queries, answers);
+    return;
+  }
+  ThreadPool pool(policy.resolved_threads());
+  answer_batch(queries, answers, pool);
+}
+
+void QueryEngine::answer_batch_scalar(std::span<const RouteQuery> queries,
+                                      std::span<RouteAnswer> answers) const {
+  assert(queries.size() == answers.size());
+  Scratch s;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    answer_one(queries[i], answers[i], s, /*use_cache=*/false,
+               /*allow_packed=*/false);
+  }
+}
+
+RouteAnswer QueryEngine::answer(const RouteQuery& q) const {
+  RouteAnswer out;
+  Scratch s;
+  answer_one(q, out, s, /*use_cache=*/true, opts_.use_packed_kernels);
+  return out;
+}
+
+}  // namespace ipg::route

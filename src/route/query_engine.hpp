@@ -1,0 +1,200 @@
+#pragma once
+// The batched routing query engine — the system's serving tier. One object
+// answers distance / next-hop / full-route queries in batches against any
+// net::Topology, materialized or implicit:
+//
+//   - label backend (ImplicitSuperIPTopology): Theorem 4.1/4.3 label
+//     routing via SuperIPRouter. For plain packable seeds the whole
+//     query — rank -> packed label (Theorem 3.2, PackedSuperCodec), the
+//     schedule walk, nucleus sorting, next-hop application — runs in the
+//     packed domain with zero heap traffic per query; the scalar router is
+//     kept as the differential oracle (answer_batch_scalar) and as the
+//     fallback for symmetric or unpackable seeds.
+//   - BFS backend (any other Topology, faulty ones included): per-query
+//     BFS over the adjacency view, early exit at the destination.
+//     Deterministic because neighbors() is sorted by (to, tag).
+//
+// Answers are a pure function of (topology, query): queries in a batch
+// share no state except the route cache, and a cache hit returns a value
+// byte-identical to recomputation (routing is deterministic), so
+// answer_batch is bit-identical at every thread count — the differential
+// tests run the same batch at 1/2/8 threads and compare.
+//
+// The route cache (util/sharded_cache.hpp) memoizes full routes keyed by
+// (src, dst): bounded, sharded, instrumented, admission-controlled. All
+// three query kinds are derived views of the cached route, so one entry
+// serves them all. The cache assumes the topology is immutable; for a
+// FaultyTopology whose FaultSet mutates between calls, construct with
+// cache_capacity = 0 (stale routes are never served because nothing is
+// stored).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ipg/packed_batch.hpp"
+#include "ipg/packed_label.hpp"
+#include "net/topology.hpp"
+#include "route/super_ip_routing.hpp"
+#include "util/sharded_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::route {
+
+/// What the caller wants to know about the (src, dst) pair.
+enum class QueryKind : std::uint8_t {
+  kDistance,  ///< hop count of the engine's route
+  kNextHop,   ///< first node on the route
+  kFullRoute  ///< the whole generator/tag sequence
+};
+
+struct RouteQuery {
+  net::NodeId src = net::kInvalidNodeId;
+  net::NodeId dst = net::kInvalidNodeId;
+  QueryKind kind = QueryKind::kFullRoute;
+};
+
+enum class AnswerStatus : std::uint8_t {
+  kOk,
+  kUnreachable,  ///< no route in the (possibly faulty) topology
+  kInvalid       ///< src or dst is not a node id
+};
+
+/// The answer to one query. `distance` counts the hops of the route the
+/// engine produces: BFS-shortest under the BFS backend, the Theorem
+/// 4.1/4.3 sorting-route length under the label backend (identical to
+/// route_super_ip — that equality is what the differential tests pin).
+struct RouteAnswer {
+  AnswerStatus status = AnswerStatus::kInvalid;
+  std::int32_t distance = -1;
+  int first_gen = -1;  ///< first route step's generator/arc tag (-1: none)
+  net::NodeId next_hop = net::kInvalidNodeId;  ///< kNextHop / kFullRoute
+  std::vector<int> gens;                       ///< kFullRoute only
+
+  friend bool operator==(const RouteAnswer&, const RouteAnswer&) = default;
+};
+
+struct QueryEngineOptions {
+  /// Route-cache entry bound; 0 disables caching (required when the
+  /// topology can mutate underneath the engine, e.g. live FaultSets).
+  std::uint64_t cache_capacity = 1u << 16;
+  int cache_shards = 64;
+  bool cache_admission = true;
+  /// Label backend: use the packed-domain kernel when the seed packs
+  /// (plain seed, label <= 128 bits). Off = always scalar SuperIPRouter.
+  bool use_packed_kernels = true;
+  /// Bound on the symmetric-seed schedule cache of the owned router.
+  std::uint64_t schedule_cache_capacity =
+      SuperIPRouter::kDefaultScheduleCacheCapacity;
+};
+
+class QueryEngine {
+ public:
+  /// BFS backend over any adjacency view (materialized, faulty, ...).
+  explicit QueryEngine(const net::Topology& topo, QueryEngineOptions opts = {});
+
+  /// Label backend: Theorem 4.1/4.3 routing, packed fast path when the
+  /// seed allows. Non-owning; `topo` must outlive the engine.
+  explicit QueryEngine(const net::ImplicitSuperIPTopology& topo,
+                       QueryEngineOptions opts = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  const net::Topology& topology() const noexcept { return *topo_; }
+  bool label_backend() const noexcept { return implicit_ != nullptr; }
+  /// True when the packed-domain kernel serves this instance's queries.
+  bool packed_kernel_active() const noexcept { return packed_.valid(); }
+
+  /// The owned Theorem 4.1/4.3 router (label backend only).
+  const SuperIPRouter& router() const noexcept { return *router_; }
+
+  /// Answers queries[i] into answers[i] (spans must be equal length).
+  /// Serial; allocation-free per query after warmup on the packed path.
+  void answer_batch(std::span<const RouteQuery> queries,
+                    std::span<RouteAnswer> answers) const;
+
+  /// Parallel over the batch: queries are chunked across the pool, each
+  /// worker using its own scratch. Answers are bit-identical to the
+  /// serial overload at any thread count (see header).
+  void answer_batch(std::span<const RouteQuery> queries,
+                    std::span<RouteAnswer> answers, ThreadPool& pool) const;
+
+  /// Convenience: resolves the policy (serial when it says 1 thread).
+  void answer_batch(std::span<const RouteQuery> queries,
+                    std::span<RouteAnswer> answers,
+                    const ExecPolicy& policy) const;
+
+  /// The differential oracle and bench baseline: per-query scalar path —
+  /// no route cache, no packed kernels, byte-vector labels throughout.
+  /// Must agree bit-for-bit with answer_batch on every query.
+  void answer_batch_scalar(std::span<const RouteQuery> queries,
+                           std::span<RouteAnswer> answers) const;
+
+  RouteAnswer answer(const RouteQuery& q) const;
+
+  ShardedCacheStats cache_stats() const { return cache_.stats(); }
+  std::uint64_t cache_capacity() const noexcept { return cache_.capacity(); }
+
+ private:
+  /// One cached route; all three query kinds derive from it.
+  struct CachedRoute {
+    AnswerStatus status = AnswerStatus::kUnreachable;
+    net::NodeId next_hop = net::kInvalidNodeId;
+    std::vector<int> gens;
+  };
+
+  struct Scratch {
+    Label a, b;  // label scratch (scalar paths)
+    std::vector<net::TopoArc> arcs;
+    CachedRoute route;  // per-query result, reused for its gens capacity
+    // BFS backend state, reused across queries:
+    std::vector<net::NodeId> frontier, next_frontier;
+    std::unordered_map<net::NodeId, std::pair<net::NodeId, int>> parent;
+    // Packed label-backend state:
+    std::vector<std::uint8_t> arr, next_arr;
+    std::vector<std::uint8_t> visited;
+    std::vector<Node> dst_blocks;  // nucleus node of each dst block
+  };
+
+  struct PairKey {
+    net::NodeId src = 0, dst = 0;
+    friend bool operator==(const PairKey&, const PairKey&) = default;
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const noexcept {
+      std::uint64_t h = k.src + 0x9e3779b97f4a7c15ull * (k.dst + 1);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  void answer_one(const RouteQuery& q, RouteAnswer& out, Scratch& s,
+                  bool use_cache, bool allow_packed) const;
+  void compute_route(net::NodeId src, net::NodeId dst, CachedRoute& out,
+                     Scratch& s, bool allow_packed) const;
+  /// Packed-domain Theorem 4.1 route; fills out.gens/next_hop/status.
+  void route_packed(net::NodeId src, net::NodeId dst, CachedRoute& out,
+                    Scratch& s) const;
+  /// Scalar label route via the owned SuperIPRouter.
+  void route_scalar_label(net::NodeId src, net::NodeId dst, CachedRoute& out,
+                          Scratch& s) const;
+  /// BFS over the adjacency view, early exit at dst.
+  void route_bfs(net::NodeId src, net::NodeId dst, CachedRoute& out,
+                 Scratch& s) const;
+
+  const net::Topology* topo_ = nullptr;
+  const net::ImplicitSuperIPTopology* implicit_ = nullptr;  // label backend
+  QueryEngineOptions opts_;
+  std::unique_ptr<SuperIPRouter> router_;  // label backend
+  PackedSuperCodec packed_;                // valid => packed kernel active
+  std::vector<PackedPerm> packed_gens_;    // ip_spec generator perms, packed
+  std::vector<int> plain_dest_;            // d[i]: dst position of block i
+  mutable ShardedCache<PairKey, CachedRoute, PairKeyHash> cache_;
+};
+
+}  // namespace ipg::route

@@ -1,0 +1,102 @@
+#pragma once
+// Bounded multi-producer/multi-consumer request ring — the intake queue of
+// the routing service loop (route::RouteService). Producers block when the
+// ring is full (backpressure, not unbounded queueing), consumers block when
+// it is empty, and close() drains: producers fail fast, consumers keep
+// popping until the ring is empty and only then see "closed".
+//
+// A mutex + two condition variables over a fixed circular buffer. The lock
+// is held only to move one element, and the routing engine's unit of work
+// is a whole *batch* of queries, so the ring is never the bottleneck — the
+// simplicity buys straightforward TSan-clean blocking semantics (no lost
+// wakeups, no ABA) which a lock-free ring would have to re-derive.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ipg::route {
+
+template <typename T>
+class RequestRing {
+ public:
+  explicit RequestRing(std::size_t capacity)
+      : buf_(capacity < 1 ? 1 : capacity) {}
+
+  RequestRing(const RequestRing&) = delete;
+  RequestRing& operator=(const RequestRing&) = delete;
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Blocks while full. Returns false (dropping `v`) when the ring has
+  /// been closed.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || size_ < buf_.size(); });
+    if (closed_) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(v);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed.
+  bool try_push(T v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ >= buf_.size()) return false;
+      buf_[(head_ + size_) % buf_.size()] = std::move(v);
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns false only once the ring is closed AND
+  /// drained — elements pushed before close() are always delivered.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return false;  // closed and drained
+    out = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wakes every waiter; subsequent pushes fail, pops drain then fail.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  ///< index of the oldest element
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ipg::route

@@ -1,0 +1,93 @@
+#pragma once
+// Routing-as-a-service loop: producers submit whole batches of queries
+// through the bounded multi-producer RequestRing and get a future for the
+// answers; a fixed set of worker threads drains the ring, answering each
+// batch with QueryEngine::answer_batch. Parallelism is *pipeline*-shaped —
+// one worker owns one batch end to end (per-worker scratch, no cross-batch
+// coordination), so W workers overlap W batches, and answers stay
+// bit-identical to a serial engine call because each batch is answered by
+// the same single-threaded fast path.
+//
+// The ring bounds in-flight work: when every worker is busy and the ring
+// is full, submit() blocks (backpressure) instead of queueing unboundedly.
+// bench/route_qps.cpp drives this loop for its p50/p99 latency rows.
+
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "route/query_engine.hpp"
+#include "route/request_ring.hpp"
+#include "util/narrow.hpp"
+
+namespace ipg::route {
+
+class RouteService {
+ public:
+  struct Options {
+    int workers = 1;               ///< service threads draining the ring
+    std::size_t ring_capacity = 64;  ///< max batches in flight
+  };
+
+  /// Non-owning: `engine` must outlive the service.
+  explicit RouteService(const QueryEngine& engine, Options opts)
+      : engine_(&engine), ring_(opts.ring_capacity) {
+    const int workers = opts.workers < 1 ? 1 : opts.workers;
+    threads_.reserve(as_size(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  RouteService(const RouteService&) = delete;
+  RouteService& operator=(const RouteService&) = delete;
+
+  ~RouteService() { shutdown(); }
+
+  /// Enqueues one batch; the future resolves when a worker has answered
+  /// it. Blocks while the ring is full. After shutdown() the future holds
+  /// a broken_promise error.
+  std::future<std::vector<RouteAnswer>> submit(std::vector<RouteQuery> queries) {
+    Request req;
+    req.queries = std::move(queries);
+    std::future<std::vector<RouteAnswer>> fut = req.promise.get_future();
+    ring_.push(std::move(req));  // a dropped (closed-ring) push breaks the promise
+    return fut;
+  }
+
+  /// Closes the ring and joins the workers; pending batches are drained
+  /// first (pop() keeps delivering until empty).
+  void shutdown() {
+    ring_.close();
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  struct Request {
+    std::vector<RouteQuery> queries;
+    std::promise<std::vector<RouteAnswer>> promise;
+  };
+
+  void worker_loop() {
+    Request req;
+    while (ring_.pop(req)) {
+      try {
+        std::vector<RouteAnswer> answers(req.queries.size());
+        engine_->answer_batch(req.queries, answers);
+        req.promise.set_value(std::move(answers));
+      } catch (...) {
+        req.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+
+  const QueryEngine* engine_;
+  RequestRing<Request> ring_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ipg::route

@@ -132,16 +132,13 @@ int route_length_bound(const SuperIPSpec& spec, int nucleus_diameter,
   return spec.l * nucleus_diameter + t;
 }
 
-namespace {
-
-constexpr std::uint16_t kNoFirstGen = 0xffff;
-
-}  // namespace
-
-SuperIPRouter::SuperIPRouter(SuperIPSpec spec)
+SuperIPRouter::SuperIPRouter(SuperIPSpec spec,
+                             std::uint64_t schedule_cache_capacity)
     : spec_(std::move(spec)),
       nucleus_count_(static_cast<int>(spec_.nucleus_gens.size())),
-      nucleus_(build_ip_graph(spec_.nucleus_spec())) {
+      nucleus_(build_ip_graph(spec_.nucleus_spec())),
+      sym_schedules_(
+          {.capacity = schedule_cache_capacity, .shards = 8, .admission = false}) {
   const Label base = spec_.seed_block(0);
   base_lo_ = *std::min_element(base.begin(), base.end());
   for (int i = 1; i < spec_.l && plain_; ++i) {
@@ -248,6 +245,7 @@ GenPath SuperIPRouter::route(const Label& src, const Label& dst) const {
   if (src == dst) return out;
 
   std::vector<int> d(as_size(l), -1);
+  Schedule sym_schedule;  // copy held outside the cache lock (evictable)
   const Schedule* schedule = nullptr;
   if (plain_) {
     schedule = &plain_schedule_;
@@ -278,16 +276,18 @@ GenPath SuperIPRouter::route(const Label& src, const Label& dst) const {
       d[as_size(i)] = match;
       target[as_size(match)] = static_cast<std::uint8_t>(i);
     }
-    auto it = sym_schedules_.find(target);
-    if (it == sym_schedules_.end()) {
-      std::optional<Schedule> s = schedule_to_arrangement(spec_, target);
-      if (!s) {
-        throw std::invalid_argument(
-            "SuperIPRouter: required arrangement unreachable");
-      }
-      it = sym_schedules_.emplace(target, std::move(*s)).first;
-    }
-    schedule = &it->second;
+    sym_schedules_.get_or_compute(
+        target,
+        [&](Schedule& value) {
+          std::optional<Schedule> s = schedule_to_arrangement(spec_, target);
+          if (!s) {
+            throw std::invalid_argument(
+                "SuperIPRouter: required arrangement unreachable");
+          }
+          value = std::move(*s);
+        },
+        sym_schedule);
+    schedule = &sym_schedule;
   }
 
   Label current = src;

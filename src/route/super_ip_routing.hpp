@@ -11,7 +11,6 @@
 // it never materializes the network, so it works at any scale.
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "ipg/schedule.hpp"
 #include "ipg/super.hpp"
 #include "route/path.hpp"
+#include "util/sharded_cache.hpp"
 
 namespace ipg {
 
@@ -49,17 +49,29 @@ int route_length_bound(const SuperIPSpec& spec, int nucleus_diameter,
 /// generator numbering (spec.to_ip_spec(): nucleus generators first).
 class SuperIPRouter {
  public:
+  /// Sentinel in first_gen_row(): unreachable, or u == dst.
+  static constexpr std::uint16_t kNoFirstGen = 0xffff;
+
+  /// Bound on the symmetric-seed schedule cache (schedules per router).
+  /// The reachable-arrangement space is at most l!, but symmetric routing
+  /// must stay memory-bounded even for specs whose arrangement group is
+  /// large — an adversarial all-distinct-arrangements query stream churns
+  /// the FIFO instead of growing the map (see util/sharded_cache.hpp).
+  static constexpr std::uint64_t kDefaultScheduleCacheCapacity = 1024;
+
   /// Throws std::invalid_argument if the spec's super-generators cannot
   /// bring every block to the front (not a super-IP graph, Section 3.1).
-  explicit SuperIPRouter(SuperIPSpec spec);
+  explicit SuperIPRouter(
+      SuperIPSpec spec,
+      std::uint64_t schedule_cache_capacity = kDefaultScheduleCacheCapacity);
 
   const SuperIPSpec& spec() const noexcept { return spec_; }
   bool plain_seed() const noexcept { return plain_; }
   const IPGraph& nucleus() const noexcept { return nucleus_; }
 
-  /// Routes src -> dst; same contract as route_super_ip. Not thread-safe
-  /// for symmetric seeds (lazily caches one schedule per destination
-  /// arrangement).
+  /// Routes src -> dst; same contract as route_super_ip. Thread-safe: the
+  /// symmetric-seed schedule cache is bounded and sharded-locked, every
+  /// other table is immutable after construction.
   GenPath route(const Label& src, const Label& dst) const;
 
   /// First generator on route(src, dst), or -1 when src == dst. Note:
@@ -68,12 +80,42 @@ class SuperIPRouter {
   /// intermediate label restarts it. Follow route().gens instead.
   int first_gen(const Label& src, const Label& dst) const;
 
+  // --- read-only internals shared with route::QueryEngine's packed
+  // fast-path kernel, which must reproduce route() bit-for-bit ---
+
+  /// The minimum visit-all schedule used for every plain-seed route.
+  const Schedule& plain_schedule() const noexcept { return plain_schedule_; }
+
+  /// Row of the nucleus first-generator table for destination `dst`:
+  /// row[u] = smallest-target first arc tag on a shortest nucleus path
+  /// u -> dst (kNoFirstGen when unreachable or u == dst).
+  std::span<const std::uint16_t> first_gen_row(Node dst) const noexcept {
+    const Node M = nucleus_.num_nodes();
+    return {first_gen_table_.data() + static_cast<std::size_t>(dst) * M, M};
+  }
+
+  /// Nucleus node holding `block`'s content (symmetric seeds shift the
+  /// content back into the base symbol range first); kInvalidIPNode when
+  /// the content is outside the nucleus orbit.
+  Node nucleus_node(const Label& block) const;
+
+  /// Counters of the bounded symmetric-schedule cache (all zero for plain
+  /// seeds, which never touch it).
+  ShardedCacheStats schedule_cache_stats() const {
+    return sym_schedules_.stats();
+  }
+
+  /// Hard bound implied by the cache configuration; memory regression
+  /// tests assert the cache never outgrows it.
+  std::uint64_t schedule_cache_capacity() const noexcept {
+    return sym_schedules_.capacity();
+  }
+
  private:
   /// Emits the shortest nucleus route sorting `current`'s front block to
   /// `target_content`, updating `current`; pure table walk.
   void sort_front_block(Label& current, const Label& target_content,
                         std::vector<int>& out_gens) const;
-  Node nucleus_node(const Label& block) const;
 
   SuperIPSpec spec_;
   bool plain_ = true;
@@ -85,7 +127,11 @@ class SuperIPRouter {
   /// shortest nucleus path u -> dst (0xffff = unreachable/u == dst).
   std::vector<std::uint16_t> first_gen_table_;
   Schedule plain_schedule_;  ///< min visit-all schedule (plain seeds)
-  mutable std::map<Arrangement, Schedule> sym_schedules_;  ///< symmetric cache
+  /// Bounded symmetric-seed schedule cache, keyed by destination
+  /// arrangement (Arrangement and Label share the byte-vector layout, so
+  /// the packed-label hash applies). Admission is off: one miss per
+  /// distinct arrangement, then hits — deterministic counters.
+  mutable ShardedCache<Arrangement, Schedule, LabelHash> sym_schedules_;
 };
 
 }  // namespace ipg

@@ -68,7 +68,7 @@ SimNetwork::SimNetwork(const net::ImplicitSuperIPTopology& topo,
     : policy_(RoutingPolicy::kLabelRoute),
       topo_(&topo),
       timing_(timing),
-      router_(std::make_unique<SuperIPRouter>(topo.spec())) {
+      engine_(std::make_unique<route::QueryEngine>(topo)) {
   // Packets address nodes with 32-bit ids; the rank space must fit.
   if (topo.num_nodes() >= kUnreachable) {
     throw std::length_error(
@@ -92,10 +92,10 @@ SimNetwork::Hop SimNetwork::hop(Node u, Node dst) const {
 
 std::vector<int> SimNetwork::route_gens(Node src, Node dst) const {
   assert(policy_ == RoutingPolicy::kLabelRoute);
-  Label x, d;
-  topo_->label_into(src, x);
-  topo_->label_into(dst, d);
-  return router_->route(x, d).gens;
+  route::RouteAnswer a = engine_->answer(
+      {src, dst, route::QueryKind::kFullRoute});
+  assert(a.status == route::AnswerStatus::kOk);
+  return std::move(a.gens);
 }
 
 SimNetwork::Hop SimNetwork::hop_via(Node u, int gen) const {
@@ -138,17 +138,16 @@ std::optional<SimNetwork::AdaptiveStep> SimNetwork::adaptive_step(
   // correctness.
   std::vector<net::TopoArc> arcs;
   topo_->neighbors(u, arcs);
-  Label cand_label, dst_label;
-  topo_->label_into(dst, dst_label);
   std::optional<AdaptiveStep> best;
   std::size_t best_len = 0;
   for (const net::TopoArc& a : arcs) {  // sorted by (to, tag): deterministic
     if (!faults.arc_up(u, a.to)) continue;
-    topo_->label_into(a.to, cand_label);
-    GenPath route = router_->route(cand_label, dst_label);
-    const std::size_t len = route.gens.size();
+    route::RouteAnswer fresh = engine_->answer(
+        {a.to, dst, route::QueryKind::kFullRoute});
+    assert(fresh.status == route::AnswerStatus::kOk);
+    const std::size_t len = fresh.gens.size();
     if (!best || len < best_len) {
-      best = AdaptiveStep{hop_via(u, a.tag), true, std::move(route.gens)};
+      best = AdaptiveStep{hop_via(u, a.tag), true, std::move(fresh.gens)};
       best_len = len;
     }
   }

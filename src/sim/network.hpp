@@ -7,10 +7,11 @@
 //   - kPrecomputedTable: O(N^2) next-hop tables from one BFS per
 //     destination — exact shortest-path routing for materialized graphs up
 //     to a few thousand nodes.
-//   - kLabelRoute: the paper's Theorem 4.1/4.3 label-sorting router
-//     (SuperIPRouter) over a net::ImplicitSuperIPTopology — O(nucleus)
-//     state, so the simulator estimates latency on super-IP instances of
-//     10^7+ nodes that are never materialized.
+//   - kLabelRoute: the paper's Theorem 4.1/4.3 label-sorting routes,
+//     served by the shared batched query engine (route::QueryEngine) over
+//     a net::ImplicitSuperIPTopology — O(nucleus) state, so the simulator
+//     estimates latency on super-IP instances of 10^7+ nodes that are
+//     never materialized.
 
 #include <cstdint>
 #include <memory>
@@ -21,7 +22,7 @@
 #include "graph/graph.hpp"
 #include "net/faulty_topology.hpp"
 #include "net/topology.hpp"
-#include "route/super_ip_routing.hpp"
+#include "route/query_engine.hpp"
 
 namespace ipg::sim {
 
@@ -52,7 +53,8 @@ class SimNetwork {
              std::optional<Clustering> clustering = std::nullopt);
 
   /// Label-routing policy over an implicit super-IP topology (non-owning;
-  /// `topo` must outlive the network). Hops follow SuperIPRouter routes —
+  /// `topo` must outlive the network). Hops follow the query engine's
+  /// Theorem 4.1/4.3 routes —
   /// Theorem 4.1/4.3 length-optimal sorting routes, not BFS-shortest
   /// paths. An arc is off-module iff its generator is a super-generator,
   /// which matches cluster_by_nucleus on the materialized graph. Throws
@@ -159,7 +161,10 @@ class SimNetwork {
   const Graph* graph_ = nullptr;
   const net::ImplicitSuperIPTopology* topo_ = nullptr;
   LinkTiming timing_{};
-  std::unique_ptr<SuperIPRouter> router_;  // kLabelRoute
+  /// kLabelRoute: all route queries go through the shared batched engine
+  /// (route::QueryEngine), the same fast path the benches and the service
+  /// loop use — per-packet routes benefit from its route cache.
+  std::unique_ptr<route::QueryEngine> engine_;
   std::vector<Node> next_hop_;             // [dst * N + u]
   std::vector<double> service_;            // per arc
   std::vector<std::uint8_t> off_module_;   // per arc

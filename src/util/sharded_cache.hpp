@@ -1,0 +1,194 @@
+#pragma once
+// Bounded, sharded, instrumented result cache — the caching substrate of
+// the routing serving tier (route::QueryEngine's route cache and
+// SuperIPRouter's schedule cache both instantiate it).
+//
+// Design constraints, in order:
+//   1. Hard memory bound: entries never exceed capacity(), whatever the
+//      query stream does — an adversarial all-distinct-keys stream churns
+//      the FIFO (or bounces off admission) but cannot grow the cache.
+//   2. Determinism under any thread interleaving: get_or_compute holds the
+//      owning shard's lock across lookup + compute + insert, so for every
+//      key the *first* access is a miss and — as long as no eviction
+//      removes the key in between — every later access is a hit,
+//      regardless of which thread got there first. With an eviction-free
+//      working set the final hit/miss/admission counters are therefore a
+//      pure function of the query multiset, not of scheduling; the route
+//      cache concurrency tests pin exactly this.
+//   3. Values are copied out under the lock, never referenced: eviction by
+//      another thread can't invalidate what a caller is holding.
+//
+// Admission control (optional): a key is only *stored* on its second
+// distinct miss. A per-shard doorkeeper — a fixed-size fingerprint table,
+// bounded memory, deterministic in operation order — remembers recent
+// first touches. This is what keeps a scan of never-repeated keys from
+// evicting the hot working set (the classic admission argument; compare
+// the unbounded SuperIPRouter schedule map this layer replaced).
+//
+// Eviction is per-shard FIFO: deterministic in operation order and free of
+// per-hit bookkeeping (an LRU would dirty a list node on the hot hit
+// path). Shard count is a power of two; keys map to shards by hash.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ipg {
+
+/// Aggregated cache counters (sums over shards). `lookups == hits +
+/// misses` always; `admitted + rejected == misses` when admission is on.
+struct ShardedCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t admitted = 0;  ///< misses whose value was stored
+  std::uint64_t rejected = 0;  ///< misses rejected by the doorkeeper
+  std::uint64_t entries = 0;   ///< currently resident values
+
+  std::uint64_t lookups() const noexcept { return hits + misses; }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedCache {
+ public:
+  struct Options {
+    /// Total entry bound across shards; 0 disables storage entirely
+    /// (every lookup computes, counters still tick).
+    std::uint64_t capacity = 1u << 16;
+    /// Power of two. More shards = less lock contention; counters and
+    /// entry bounds are aggregated over all of them.
+    int shards = 64;
+    /// Store a value only on its second distinct miss (see header).
+    bool admission = true;
+  };
+
+  explicit ShardedCache(Options opts) : opts_(opts) {
+    if (opts_.shards < 1) opts_.shards = 1;
+    while (opts_.shards & (opts_.shards - 1)) ++opts_.shards;  // next pow2
+    per_shard_cap_ = opts_.capacity / static_cast<std::uint64_t>(opts_.shards);
+    if (opts_.capacity > 0 && per_shard_cap_ == 0) per_shard_cap_ = 1;
+    shards_ = std::vector<Shard>(static_cast<std::size_t>(opts_.shards));
+    if (opts_.admission && per_shard_cap_ > 0) {
+      // Doorkeeper sized at 2x the shard's entry bound: enough slots that
+      // a hot working set's fingerprints survive a concurrent cold scan.
+      std::size_t slots = 16;
+      while (slots < 2 * per_shard_cap_) slots <<= 1;
+      for (Shard& s : shards_) s.doorkeeper.assign(slots, 0);
+    }
+  }
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// Entry bound actually enforced (capacity rounded to the sharding).
+  std::uint64_t capacity() const noexcept {
+    return per_shard_cap_ * static_cast<std::uint64_t>(opts_.shards);
+  }
+
+  /// Looks `key` up; on a miss runs `compute(out)` to produce the value.
+  /// Either way `out` holds the result on return. Atomic per shard: the
+  /// shard lock is held across lookup + compute + insert, so concurrent
+  /// callers of the same key never compute it twice (the second blocks,
+  /// then hits). Returns true on a hit.
+  template <typename Compute>
+  bool get_or_compute(const Key& key, const Compute& compute, Value& out) {
+    const std::uint64_t h = Hash{}(key);
+    Shard& s = shards_[h & (static_cast<std::uint64_t>(opts_.shards) - 1)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (per_shard_cap_ > 0) {
+      const auto it = s.map.find(key);
+      if (it != s.map.end()) {
+        ++s.hits;
+        out = it->second;
+        return true;
+      }
+    }
+    ++s.misses;
+    compute(out);
+    if (per_shard_cap_ == 0) return false;
+    if (opts_.admission && !doorkeeper_passes(s, h)) {
+      ++s.rejected;
+      return false;
+    }
+    ++s.admitted;
+    if (s.fifo.size() >= per_shard_cap_) {
+      s.map.erase(s.fifo.front());
+      s.fifo.pop_front();
+      ++s.evictions;
+    }
+    s.fifo.push_back(key);
+    s.map.emplace(key, out);
+    return false;
+  }
+
+  ShardedCacheStats stats() const {
+    ShardedCacheStats total;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.admitted += s.admitted;
+      total.rejected += s.rejected;
+      total.entries += s.map.size();
+    }
+    return total;
+  }
+
+  /// Drops every entry and doorkeeper fingerprint; counters are kept.
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.map.clear();
+      s.fifo.clear();
+      for (std::uint64_t& f : s.doorkeeper) f = 0;
+    }
+  }
+
+  /// Approximate heap bound implied by the configuration: resident
+  /// entries + FIFO keys + doorkeeper slots. What the bounded-memory
+  /// regression test asserts stays flat under adversarial streams.
+  std::uint64_t memory_bound_bytes() const noexcept {
+    const std::uint64_t per_entry = sizeof(Key) + sizeof(Value) +
+                                    sizeof(void*) * 4;  // map node overhead
+    std::uint64_t door = 0;
+    for (const Shard& s : shards_) {
+      door += s.doorkeeper.size() * sizeof(std::uint64_t);
+    }
+    return capacity() * (per_entry + sizeof(Key)) + door;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;  // never iterated: lookups only
+    std::deque<Key> fifo;                      // insertion order, for eviction
+    std::vector<std::uint64_t> doorkeeper;     // fingerprint slots (0 = empty)
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+    std::uint64_t admitted = 0, rejected = 0;
+  };
+
+  /// True when the fingerprint was already present (second distinct
+  /// touch). Records it otherwise. Collisions can only *over*-admit,
+  /// never lose a legitimate second touch of a still-resident fingerprint.
+  static bool doorkeeper_passes(Shard& s, std::uint64_t h) {
+    if (s.doorkeeper.empty()) return true;
+    // Second hash round so shard-selection bits don't alias slot bits.
+    std::uint64_t f = h * 0x9e3779b97f4a7c15ull;
+    f ^= f >> 29;
+    if (f == 0) f = 1;  // 0 marks an empty slot
+    const std::size_t slot = f & (s.doorkeeper.size() - 1);
+    if (s.doorkeeper[slot] == f) return true;
+    s.doorkeeper[slot] = f;
+    return false;
+  }
+
+  Options opts_;
+  std::uint64_t per_shard_cap_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ipg

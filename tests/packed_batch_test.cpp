@@ -1,0 +1,191 @@
+// Property tests pinning the word-parallel packed-label batch kernels to
+// their scalar references: extract/deposit round-trips across the word
+// boundary, pack/unpack/apply batches element-wise equal to LabelCodec and
+// Permutation::apply, and PackedSuperCodec's Theorem 3.2 rank <-> label
+// conversion bit-identical to SuperRanking on every plain family variant
+// (rank -> unrank -> rank closes; symmetric seeds are rejected).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ipg/families.hpp"
+#include "ipg/packed_batch.hpp"
+#include "ipg/packed_label.hpp"
+#include "ipg/permutation.hpp"
+#include "ipg/ranking.hpp"
+#include "ipg/super.hpp"
+#include "ipg/symmetric.hpp"
+#include "random_spec.hpp"
+#include "util/narrow.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+std::vector<SuperIPSpec> plain_family_specs() {
+  return {
+      make_hcn(2),
+      make_hsn(3, hypercube_nucleus(2)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_complete_cn(3, hypercube_nucleus(2)),
+      make_directed_cn(3, star_nucleus(3)),
+      make_super_flip(3, hypercube_nucleus(2)),
+  };
+}
+
+TEST(PackedBatch, ExtractDepositRoundTripAcrossWordBoundary) {
+  Xoshiro256 rng(0xb17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    PackedLabel x{{rng(), rng()}};
+    const int width = 1 + static_cast<int>(rng.below(64));
+    const int start =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(128 - width + 1)));
+    const std::uint64_t mask =
+        width >= 64 ? ~0ull : (1ull << width) - 1;
+    const std::uint64_t value = rng() & mask;
+
+    const PackedLabel before = x;
+    deposit_bits(x, start, width, value);
+    ASSERT_EQ(extract_bits(x, start, width), value)
+        << "start=" << start << " width=" << width;
+
+    // Bits outside [start, start+width) are untouched: deposit the old
+    // window back and the whole 128-bit value must round-trip.
+    deposit_bits(x, start, width, extract_bits(before, start, width));
+    ASSERT_EQ(x, before) << "start=" << start << " width=" << width;
+  }
+}
+
+TEST(PackedBatch, PackUnpackBatchesMatchScalarCodec) {
+  Xoshiro256 rng(0x9a6);
+  const LabelCodec codec = LabelCodec::for_shape(12, 14);
+  ASSERT_TRUE(codec.valid());
+
+  std::vector<Label> labels(64, Label(12));
+  for (Label& x : labels) {
+    for (std::uint8_t& s : x) s = static_cast<std::uint8_t>(rng.below(15));
+  }
+  std::vector<PackedLabel> packed(labels.size());
+  pack_batch(codec, labels, packed);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ASSERT_EQ(packed[i], codec.pack(labels[i])) << i;
+  }
+  std::vector<Label> back(labels.size());
+  unpack_batch(codec, packed, back);
+  ASSERT_EQ(back, labels);
+}
+
+TEST(PackedBatch, ApplyPermBatchMatchesScalarPermutation) {
+  Xoshiro256 rng(0xfeed);
+  const int k = 20;  // two-word shape at 4 bits
+  const LabelCodec codec = LabelCodec::for_shape(k, 9);
+  ASSERT_TRUE(codec.valid());
+
+  for (int round = 0; round < 20; ++round) {
+    // Random permutation via seeded Fisher-Yates.
+    std::vector<std::uint8_t> perm(as_size(k));
+    for (int i = 0; i < k; ++i) {
+      perm[as_size(i)] = static_cast<std::uint8_t>(i);
+    }
+    for (int i = k - 1; i > 0; --i) {
+      const auto j = as_size(rng.below(static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[as_size(i)], perm[j]);
+    }
+    const Permutation p(perm);
+    const PackedPerm pp(codec, p);
+
+    std::vector<Label> labels(32, Label(as_size(k)));
+    for (Label& x : labels) {
+      for (std::uint8_t& s : x) s = static_cast<std::uint8_t>(rng.below(10));
+    }
+    std::vector<PackedLabel> in(labels.size()), out(labels.size());
+    pack_batch(codec, labels, in);
+    apply_perm_batch(pp, in, out);
+    Label expect;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      p.apply_into(labels[i], expect);
+      ASSERT_EQ(codec.unpack(out[i]), expect) << "round " << round;
+    }
+    // Aliasing contract: in == out spans.
+    apply_perm_batch(pp, in, in);
+    ASSERT_EQ(in, out);
+  }
+}
+
+TEST(PackedBatch, SuperCodecMatchesSuperRankingOnPlainVariants) {
+  for (const SuperIPSpec& spec : plain_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    const SuperRanking ranking(spec);
+    const PackedSuperCodec codec(spec, ranking);
+    ASSERT_TRUE(codec.valid());
+    ASSERT_EQ(codec.size(), ranking.size());
+
+    Xoshiro256 rng(0x400 + ranking.size());
+    std::vector<std::uint64_t> ranks(128);
+    for (std::uint64_t& r : ranks) r = rng.below(ranking.size());
+
+    std::vector<PackedLabel> packed(ranks.size());
+    codec.unrank_batch(ranks, packed);
+    std::vector<std::uint64_t> back(ranks.size());
+    codec.rank_batch(packed, back);
+    ASSERT_EQ(back, ranks);  // rank -> unrank -> rank closes
+
+    Label scalar_label;
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      // Element-wise agreement with the scalar Theorem 3.2 codec.
+      ranking.unrank_into(ranks[i], scalar_label);
+      ASSERT_EQ(codec.codec().unpack(packed[i]), scalar_label) << i;
+      ASSERT_EQ(codec.rank(codec.codec().pack(scalar_label)), ranks[i]) << i;
+      ASSERT_EQ(codec.try_rank(packed[i]), ranks[i]) << i;
+    }
+  }
+}
+
+TEST(PackedBatch, SuperCodecMatchesSuperRankingOnRandomPlainSpecs) {
+  Xoshiro256 rng(0x123877);
+  int checked = 0;
+  while (checked < 5) {
+    const SuperIPSpec spec = testing::random_super_ip_spec(rng);
+    const SuperRanking ranking(spec);
+    if (ranking.symmetric_seed()) continue;
+    const PackedSuperCodec codec(spec, ranking);
+    if (!codec.valid()) continue;  // label too wide to pack
+    SCOPED_TRACE(spec.name);
+    ++checked;
+
+    Label scalar_label;
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::uint64_t r = rng.below(ranking.size());
+      const PackedLabel x = codec.unrank(r);
+      ranking.unrank_into(r, scalar_label);
+      ASSERT_EQ(codec.codec().unpack(x), scalar_label);
+      ASSERT_EQ(codec.rank(x), ranking.rank(scalar_label));
+    }
+  }
+}
+
+TEST(PackedBatch, SuperCodecRejectsSymmetricSeeds) {
+  const SuperIPSpec spec = make_symmetric(make_hsn(3, hypercube_nucleus(2)));
+  const SuperRanking ranking(spec);
+  ASSERT_TRUE(ranking.symmetric_seed());
+  const PackedSuperCodec codec(spec, ranking);
+  EXPECT_FALSE(codec.valid());
+  EXPECT_FALSE(PackedSuperCodec().valid());  // default-constructed
+}
+
+TEST(PackedBatch, SuperCodecTryRankRejectsNonOrbitBlocks) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const SuperRanking ranking(spec);
+  const PackedSuperCodec codec(spec, ranking);
+  ASSERT_TRUE(codec.valid());
+
+  PackedLabel x = codec.unrank(7);
+  // Corrupt block 0 to a content outside the nucleus orbit (duplicate
+  // symbol): Q2's blocks are permutations of {0, 1}.
+  deposit_bits(x, 0, codec.block_bits(), 0);
+  EXPECT_EQ(codec.try_rank(x), SuperRanking::kInvalidRank);
+}
+
+}  // namespace
+}  // namespace ipg

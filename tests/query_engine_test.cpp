@@ -1,0 +1,314 @@
+// Differential harness for the batched routing query engine: every fast
+// path (packed kernels, route cache, thread-parallel batches, the service
+// loop) is pinned to a scalar reference —
+//   - label backend vs route_super_ip (the paper's Theorem 4.1/4.3
+//     reference implementation), bit-identical gens/distances/next-hops;
+//   - BFS backend vs BfsScratch distances on the materialized graph, plus
+//     hop-by-hop route validity (every step an arc of the topology),
+//     faulty topologies included;
+//   - answer_batch at 1/2/8 threads vs the serial path, bit-identical.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "ipg/build.hpp"
+#include "ipg/families.hpp"
+#include "ipg/super.hpp"
+#include "ipg/symmetric.hpp"
+#include "net/faulty_topology.hpp"
+#include "net/topology.hpp"
+#include "route/query_engine.hpp"
+#include "route/service.hpp"
+#include "route/super_ip_routing.hpp"
+#include "random_spec.hpp"
+#include "util/narrow.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+using net::NodeId;
+using route::AnswerStatus;
+using route::QueryEngine;
+using route::QueryEngineOptions;
+using route::QueryKind;
+using route::RouteAnswer;
+using route::RouteQuery;
+
+std::vector<SuperIPSpec> all_family_specs() {
+  std::vector<SuperIPSpec> specs = {
+      make_hcn(2),
+      make_hsn(3, hypercube_nucleus(2)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_complete_cn(3, hypercube_nucleus(2)),
+      make_directed_cn(3, star_nucleus(3)),
+      make_super_flip(3, hypercube_nucleus(2)),
+  };
+  const std::size_t plain_count = specs.size();
+  for (std::size_t i = 0; i < plain_count; ++i) {
+    specs.push_back(make_symmetric(specs[i]));
+  }
+  return specs;
+}
+
+/// Random (src, dst) query batch over [0, n), all three kinds.
+std::vector<RouteQuery> random_queries(Xoshiro256& rng, NodeId n,
+                                       std::size_t count) {
+  std::vector<RouteQuery> qs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    qs[i].src = rng.below(n);
+    qs[i].dst = rng.below(n);
+    qs[i].kind = static_cast<QueryKind>(rng.below(3));
+  }
+  return qs;
+}
+
+/// Walks `gens` from `src` through the topology, asserting every step is a
+/// real arc (matching tag, target != current) and returning the endpoint.
+NodeId walk_route(const net::Topology& topo, NodeId src,
+                  const std::vector<int>& gens) {
+  std::vector<net::TopoArc> arcs;
+  NodeId u = src;
+  for (const int g : gens) {
+    topo.neighbors(u, arcs);
+    NodeId next = net::kInvalidNodeId;
+    for (const net::TopoArc& a : arcs) {
+      if (a.tag == g) {
+        next = a.to;
+        break;
+      }
+    }
+    EXPECT_NE(next, net::kInvalidNodeId)
+        << "route step " << g << " is not an arc at node " << u;
+    if (next == net::kInvalidNodeId) return net::kInvalidNodeId;
+    u = next;
+  }
+  return u;
+}
+
+/// Pins the label backend's fast path to its scalar references on sampled
+/// pairs: gens bit-identical to SuperIPRouter::route (the byte-vector
+/// reference the packed kernel reimplements), lengths identical to
+/// route_super_ip (the paper's standalone Theorem 4.1/4.3 implementation —
+/// its nucleus-sort tie-breaks differ, its lengths may not), every hop a
+/// real arc, and next-hop consistent with the first generator.
+void check_label_backend_differential(const SuperIPSpec& spec,
+                                      std::uint64_t seed) {
+  const net::ImplicitSuperIPTopology topo(spec);
+  const QueryEngine engine(topo);
+  const SuperIPRouter reference(spec);
+  Xoshiro256 rng(seed);
+  const NodeId n = topo.num_nodes();
+
+  std::vector<RouteQuery> queries(120);
+  for (RouteQuery& q : queries) {
+    q.src = rng.below(n);
+    q.dst = rng.below(n);
+    q.kind = QueryKind::kFullRoute;
+  }
+  std::vector<RouteAnswer> fast(queries.size()), scalar(queries.size());
+  engine.answer_batch(queries, fast);
+  engine.answer_batch_scalar(queries, scalar);
+
+  Label src_label, dst_label;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(fast[i], scalar[i]) << spec.name << " query " << i;
+    ASSERT_EQ(fast[i].status, AnswerStatus::kOk);
+
+    topo.label_into(queries[i].src, src_label);
+    topo.label_into(queries[i].dst, dst_label);
+    const GenPath ref = reference.route(src_label, dst_label);
+    ASSERT_EQ(fast[i].gens, ref.gens) << spec.name << " query " << i;
+    ASSERT_EQ(fast[i].distance, static_cast<std::int32_t>(ref.gens.size()));
+
+    const GenPath paper = route_super_ip(spec, src_label, dst_label);
+    ASSERT_EQ(fast[i].distance, static_cast<std::int32_t>(paper.gens.size()))
+        << spec.name << " query " << i;
+
+    if (!ref.gens.empty()) {
+      ASSERT_EQ(fast[i].first_gen, ref.gens.front());
+      ASSERT_EQ(fast[i].next_hop,
+                topo.neighbor_via(queries[i].src, ref.gens.front()));
+      ASSERT_EQ(walk_route(topo, queries[i].src, fast[i].gens),
+                queries[i].dst);
+    }
+  }
+}
+
+TEST(QueryEngine, LabelBackendMatchesReferenceRouterOnAllFamilyVariants) {
+  std::uint64_t seed = 0x51ee7;
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    check_label_backend_differential(spec, seed++);
+  }
+}
+
+TEST(QueryEngine, LabelBackendMatchesReferenceRouterOnRandomSpecs) {
+  Xoshiro256 rng(0xabcdef12);
+  for (int round = 0; round < 6; ++round) {
+    const SuperIPSpec spec = testing::random_super_ip_spec(rng);
+    SCOPED_TRACE(spec.name);
+    check_label_backend_differential(
+        spec, 0x900d + static_cast<std::uint64_t>(round));
+  }
+}
+
+TEST(QueryEngine, PackedKernelActiveExactlyForPlainPackableSeeds) {
+  int packed = 0, scalar = 0;
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    const net::ImplicitSuperIPTopology topo(spec);
+    const QueryEngine engine(topo);
+    ASSERT_TRUE(engine.label_backend());
+    (engine.packed_kernel_active() ? packed : scalar) += 1;
+  }
+  // The 6 plain variants pack; the 6 symmetric ones fall back to scalar.
+  EXPECT_EQ(packed, 6);
+  EXPECT_EQ(scalar, 6);
+}
+
+TEST(QueryEngine, AnswersBitIdenticalAtEveryThreadCount) {
+  const std::vector<SuperIPSpec> specs = {
+      make_hsn(3, hypercube_nucleus(2)),                  // packed kernel
+      make_symmetric(make_complete_cn(3, hypercube_nucleus(2))),  // scalar
+  };
+  for (const SuperIPSpec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    const net::ImplicitSuperIPTopology topo(spec);
+    const QueryEngine engine(topo);
+    Xoshiro256 rng(0x7123 + topo.num_nodes());
+    const std::vector<RouteQuery> queries =
+        random_queries(rng, topo.num_nodes(), 400);
+
+    std::vector<RouteAnswer> serial(queries.size());
+    engine.answer_batch(queries, serial);
+    for (const int threads : {2, 8}) {
+      std::vector<RouteAnswer> parallel(queries.size());
+      engine.answer_batch(queries, parallel, ExecPolicy{threads});
+      ASSERT_EQ(parallel, serial) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(QueryEngine, BfsBackendMatchesGraphBfsDistances) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    const IPGraph g = build_ip_graph(spec.to_ip_spec());
+    const net::MaterializedTopology topo(g);
+    const QueryEngine engine(topo);
+    ASSERT_FALSE(engine.label_backend());
+
+    Xoshiro256 rng(g.num_nodes());
+    BfsScratch scratch(g.num_nodes());
+    for (int trial = 0; trial < 40; ++trial) {
+      const NodeId src = rng.below(topo.num_nodes());
+      const NodeId dst = rng.below(topo.num_nodes());
+      const RouteAnswer a =
+          engine.answer({src, dst, QueryKind::kFullRoute});
+      const auto dist = scratch.run(g.graph, static_cast<Node>(src));
+      ASSERT_EQ(a.status, AnswerStatus::kOk);
+      ASSERT_EQ(static_cast<Dist>(a.distance), dist[static_cast<Node>(dst)]);
+      ASSERT_EQ(walk_route(topo, src, a.gens), dst);
+    }
+  }
+}
+
+TEST(QueryEngine, FaultyTopologyRoutesAvoidFaultsOrReportUnreachable) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const IPGraph g = build_ip_graph(spec.to_ip_spec());
+  const net::MaterializedTopology base(g);
+
+  net::FaultSet faults;
+  Xoshiro256 rng(0xfa17);
+  for (int i = 0; i < 6; ++i) faults.fail_node(rng.below(base.num_nodes()));
+  for (int i = 0; i < 6; ++i) {
+    faults.fail_link(rng.below(base.num_nodes()), rng.below(base.num_nodes()));
+  }
+  const net::FaultyTopology topo(base, faults);
+  // Mutable fault sets mean no caching: stale routes must never be served.
+  const QueryEngine engine(topo, QueryEngineOptions{.cache_capacity = 0});
+
+  std::vector<net::TopoArc> arcs;
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId src = rng.below(topo.num_nodes());
+    const NodeId dst = rng.below(topo.num_nodes());
+    const RouteAnswer a = engine.answer({src, dst, QueryKind::kFullRoute});
+    if (src == dst) {
+      ASSERT_EQ(a.status, AnswerStatus::kOk);
+      ASSERT_EQ(a.distance, 0);
+      continue;
+    }
+    if (!faults.node_up(src) || !faults.node_up(dst)) {
+      // A down endpoint has no arcs, so no route can exist.
+      ASSERT_EQ(a.status, AnswerStatus::kUnreachable);
+      continue;
+    }
+    if (a.status == AnswerStatus::kOk) {
+      // Every hop must be an arc of the *faulty* view.
+      ASSERT_EQ(walk_route(topo, src, a.gens), dst);
+      ASSERT_EQ(a.distance, static_cast<std::int32_t>(a.gens.size()));
+    }
+  }
+}
+
+TEST(QueryEngine, InvalidAndDegenerateQueries) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const QueryEngine engine(topo);
+  const NodeId n = topo.num_nodes();
+
+  const RouteAnswer bad = engine.answer({n, 0, QueryKind::kDistance});
+  EXPECT_EQ(bad.status, AnswerStatus::kInvalid);
+  EXPECT_EQ(bad.distance, -1);
+
+  const RouteAnswer self = engine.answer({5, 5, QueryKind::kFullRoute});
+  EXPECT_EQ(self.status, AnswerStatus::kOk);
+  EXPECT_EQ(self.distance, 0);
+  EXPECT_TRUE(self.gens.empty());
+  EXPECT_EQ(self.next_hop, net::kInvalidNodeId);
+}
+
+TEST(QueryEngine, KindsAreConsistentViewsOfOneRoute) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const QueryEngine engine(topo);
+  Xoshiro256 rng(0xc0de);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId src = rng.below(topo.num_nodes());
+    const NodeId dst = rng.below(topo.num_nodes());
+    const RouteAnswer full = engine.answer({src, dst, QueryKind::kFullRoute});
+    const RouteAnswer hop = engine.answer({src, dst, QueryKind::kNextHop});
+    const RouteAnswer d = engine.answer({src, dst, QueryKind::kDistance});
+    EXPECT_EQ(hop.next_hop, full.next_hop);
+    EXPECT_EQ(hop.distance, full.distance);
+    EXPECT_EQ(d.distance, full.distance);
+    EXPECT_EQ(d.first_gen, full.first_gen);
+    EXPECT_TRUE(d.gens.empty());  // kDistance carries no route body
+  }
+}
+
+TEST(QueryEngine, ServiceLoopMatchesDirectBatchCalls) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const QueryEngine engine(topo);
+  Xoshiro256 rng(0x5e11);
+
+  route::RouteService service(engine, {.workers = 2, .ring_capacity = 4});
+  std::vector<std::vector<RouteQuery>> batches;
+  std::vector<std::future<std::vector<RouteAnswer>>> futures;
+  for (int b = 0; b < 8; ++b) {
+    batches.push_back(random_queries(rng, topo.num_nodes(), 64));
+    futures.push_back(service.submit(batches.back()));
+  }
+  for (int b = 0; b < 8; ++b) {
+    const std::vector<RouteAnswer> got = futures[as_size(b)].get();
+    std::vector<RouteAnswer> want(batches[as_size(b)].size());
+    engine.answer_batch(batches[as_size(b)], want);
+    ASSERT_EQ(got, want) << "batch " << b;
+  }
+  service.shutdown();
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,341 @@
+// Property and concurrency tests for the serving tier's caching substrate:
+//   - ShardedCache: the capacity bound survives adversarial all-distinct
+//     streams (the 10^6-key memory regression), hits are byte-identical to
+//     recomputation, admission stores only on the second distinct touch,
+//     and the final counters are deterministic under randomized
+//     multi-threaded hammering (run under TSan in CI);
+//   - the QueryEngine route cache and SuperIPRouter schedule cache (the
+//     previously unbounded map) inherit those bounds end to end;
+//   - RequestRing: FIFO transfer, close-then-drain semantics, and exactly-
+//     once delivery across concurrent producers and consumers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ipg/families.hpp"
+#include "ipg/symmetric.hpp"
+#include "net/topology.hpp"
+#include "route/query_engine.hpp"
+#include "route/request_ring.hpp"
+#include "route/path.hpp"
+#include "route/super_ip_routing.hpp"
+#include "util/narrow.hpp"
+#include "util/prng.hpp"
+#include "util/sharded_cache.hpp"
+
+namespace ipg {
+namespace {
+
+using net::NodeId;
+using route::QueryEngine;
+using route::QueryEngineOptions;
+using route::QueryKind;
+using route::RequestRing;
+using route::RouteAnswer;
+using route::RouteQuery;
+
+/// Deterministic value function the cache tests recompute against.
+std::vector<int> value_of(std::uint64_t key) {
+  std::vector<int> v(as_size(1 + key % 5));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int>((key * 31 + i) % 1000);
+  }
+  return v;
+}
+
+TEST(ShardedCache, CapacityNeverExceededUnderAdversarialDistinctStream) {
+  // The memory regression the unbounded SuperIPRouter schedule map failed:
+  // 10^6 never-repeating keys must churn, not grow.
+  ShardedCache<std::uint64_t, std::uint64_t> cache(
+      {.capacity = 1024, .shards = 16, .admission = false});
+  const std::uint64_t bound = cache.capacity();
+  const std::uint64_t memory_bound = cache.memory_bound_bytes();
+  for (std::uint64_t key = 0; key < 1'000'000; ++key) {
+    std::uint64_t out = 0;
+    cache.get_or_compute(key, [&](std::uint64_t& v) { v = key * 3; }, out);
+    ASSERT_EQ(out, key * 3);
+    if ((key & 0xffff) == 0) {
+      ASSERT_LE(cache.stats().entries, bound);
+    }
+  }
+  const ShardedCacheStats s = cache.stats();
+  EXPECT_LE(s.entries, bound);
+  EXPECT_EQ(s.misses, 1'000'000u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_GT(s.evictions, 0u);
+  // The configuration-implied bound is a constant of the instance.
+  EXPECT_EQ(cache.memory_bound_bytes(), memory_bound);
+}
+
+TEST(ShardedCache, HitIsByteIdenticalToRecompute) {
+  ShardedCache<std::uint64_t, std::vector<int>> cache(
+      {.capacity = 256, .shards = 4, .admission = false});
+  Xoshiro256 rng(0x11dead);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.below(128);
+    std::vector<int> out;
+    cache.get_or_compute(key, [&](std::vector<int>& v) { v = value_of(key); },
+                         out);
+    ASSERT_EQ(out, value_of(key)) << "key " << key;
+  }
+  const ShardedCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups(), 2000u);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_LE(s.misses, 128u);  // one miss per distinct key, no eviction
+}
+
+TEST(ShardedCache, AdmissionStoresOnlyOnSecondDistinctTouch) {
+  ShardedCache<std::uint64_t, std::uint64_t> cache(
+      {.capacity = 64, .shards = 1, .admission = true});
+  std::uint64_t out = 0;
+  const auto compute = [](std::uint64_t& v) { v = 7; };
+
+  cache.get_or_compute(1, compute, out);  // first touch: computed, rejected
+  ShardedCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.entries, 0u);
+
+  cache.get_or_compute(1, compute, out);  // second touch: admitted
+  s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.entries, 1u);
+
+  EXPECT_TRUE(cache.get_or_compute(1, compute, out));  // now a hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ShardedCache, ZeroCapacityComputesEveryTimeAndStoresNothing) {
+  ShardedCache<std::uint64_t, std::uint64_t> cache(
+      {.capacity = 0, .shards = 4, .admission = true});
+  std::uint64_t out = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(
+        cache.get_or_compute(42, [](std::uint64_t& v) { v = 9; }, out));
+  }
+  const ShardedCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 10u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
+TEST(ShardedCache, DeterministicCountersUnderConcurrentHammering) {
+  // Keyspace fits the cache (no eviction), admission off: per key the
+  // first access is a miss and the rest are hits *whatever the thread
+  // interleaving*, because get_or_compute is atomic per shard. The final
+  // counters are then a pure function of the query multiset.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 5000;
+  constexpr std::uint64_t kKeyspace = 128;
+  ShardedCache<std::uint64_t, std::vector<int>> cache(
+      {.capacity = 512, .shards = 8, .admission = false});
+
+  std::vector<std::vector<std::uint64_t>> streams(kThreads);
+  std::set<std::uint64_t> distinct;
+  for (int t = 0; t < kThreads; ++t) {
+    Xoshiro256 rng(0xbeef + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      streams[as_size(t)].push_back(rng.below(kKeyspace));
+      distinct.insert(streams[as_size(t)].back());
+    }
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &streams, t] {
+      std::vector<int> out;
+      for (const std::uint64_t key : streams[as_size(t)]) {
+        cache.get_or_compute(
+            key, [&](std::vector<int>& v) { v = value_of(key); }, out);
+        ASSERT_EQ(out, value_of(key));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const ShardedCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(s.misses, distinct.size());
+  EXPECT_EQ(s.hits, s.lookups() - distinct.size());
+  EXPECT_EQ(s.entries, distinct.size());
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(RouteCache, EngineCacheHitsServeByteIdenticalAnswers) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const QueryEngine engine(
+      topo, QueryEngineOptions{.cache_capacity = 4096,
+                               .cache_admission = false});
+  Xoshiro256 rng(0x777);
+  std::vector<RouteQuery> queries(300);
+  for (RouteQuery& q : queries) {
+    q.src = rng.below(topo.num_nodes());
+    q.dst = rng.below(topo.num_nodes());
+    q.kind = QueryKind::kFullRoute;
+  }
+  std::vector<RouteAnswer> cold(queries.size()), warm(queries.size());
+  engine.answer_batch(queries, cold);
+  const std::uint64_t misses_after_cold = engine.cache_stats().misses;
+  engine.answer_batch(queries, warm);
+  EXPECT_EQ(warm, cold);
+  const ShardedCacheStats s = engine.cache_stats();
+  EXPECT_EQ(s.misses, misses_after_cold);  // warm pass: all hits
+  EXPECT_GT(s.hits, 0u);
+}
+
+TEST(RouteCache, EngineCacheEntriesStayWithinCapacity) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const QueryEngine engine(
+      topo, QueryEngineOptions{.cache_capacity = 64,
+                               .cache_shards = 4,
+                               .cache_admission = true});
+  const NodeId n = topo.num_nodes();
+  // All-distinct-pairs adversarial stream through the *engine*.
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      (void)engine.answer({src, dst, QueryKind::kDistance});
+    }
+    ASSERT_LE(engine.cache_stats().entries, engine.cache_capacity());
+  }
+  EXPECT_LE(engine.cache_stats().entries, engine.cache_capacity());
+}
+
+TEST(RouteCache, EngineCountersDeterministicAcrossThreadCounts) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  Xoshiro256 rng(0x8a8a);
+  std::vector<RouteQuery> queries(2000);
+  std::set<std::pair<NodeId, NodeId>> distinct;
+  for (RouteQuery& q : queries) {
+    q.src = rng.below(64);
+    q.dst = rng.below(64);
+    q.kind = QueryKind::kDistance;
+    if (q.src != q.dst) distinct.insert({q.src, q.dst});
+  }
+  const std::uint64_t eligible = static_cast<std::uint64_t>(
+      std::count_if(queries.begin(), queries.end(),
+                    [](const RouteQuery& q) { return q.src != q.dst; }));
+
+  for (const int threads : {1, 2, 8}) {
+    const net::ImplicitSuperIPTopology topo(spec);
+    const QueryEngine engine(
+        topo, QueryEngineOptions{.cache_capacity = 8192,
+                                 .cache_admission = false});
+    std::vector<RouteAnswer> answers(queries.size());
+    engine.answer_batch(queries, answers, ExecPolicy{threads});
+    const ShardedCacheStats s = engine.cache_stats();
+    EXPECT_EQ(s.lookups(), eligible) << "threads=" << threads;
+    EXPECT_EQ(s.misses, distinct.size()) << "threads=" << threads;
+    EXPECT_EQ(s.hits, eligible - distinct.size()) << "threads=" << threads;
+    EXPECT_EQ(s.evictions, 0u) << "threads=" << threads;
+  }
+}
+
+TEST(RouteCache, RouterScheduleCacheStaysBoundedAndCorrect) {
+  // Regression for the formerly unbounded symmetric-schedule map: a
+  // 4-block symmetric seed reaches up to 4! destination arrangements; a
+  // capacity-4 cache must churn through them without growing and without
+  // perturbing a single route.
+  const SuperIPSpec spec =
+      make_symmetric(make_complete_cn(4, hypercube_nucleus(2)));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const SuperIPRouter router(spec, /*schedule_cache_capacity=*/4);
+  ASSERT_FALSE(router.plain_seed());
+
+  Xoshiro256 rng(0x5ca1e);
+  Label src, dst;
+  for (int trial = 0; trial < 400; ++trial) {
+    topo.label_into(rng.below(topo.num_nodes()), src);
+    topo.label_into(rng.below(topo.num_nodes()), dst);
+    const GenPath got = router.route(src, dst);
+    // Same length as the paper's reference and a valid path: eviction and
+    // recomputation must never perturb a route.
+    ASSERT_EQ(got.length(), route_super_ip(spec, src, dst).length());
+    ASSERT_TRUE(verify_path(spec.to_ip_spec(), src, dst, got.gens));
+    ASSERT_LE(router.schedule_cache_stats().entries,
+              router.schedule_cache_capacity());
+  }
+  const ShardedCacheStats s = router.schedule_cache_stats();
+  EXPECT_GT(s.lookups(), 0u);
+  EXPECT_LE(s.entries, router.schedule_cache_capacity());
+}
+
+TEST(RequestRing, FifoOrderSingleThread) {
+  RequestRing<int> ring(4);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_TRUE(ring.try_push(3));
+  int v = 0;
+  EXPECT_TRUE(ring.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ring.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(ring.pop(v));
+  EXPECT_EQ(v, 3);
+}
+
+TEST(RequestRing, TryPushRespectsCapacityAndCloseDrains) {
+  RequestRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));  // full
+  ring.close();
+  EXPECT_FALSE(ring.push(4));  // closed
+  int v = 0;
+  EXPECT_TRUE(ring.pop(v));  // close() drains before failing
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ring.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(ring.pop(v));  // drained + closed
+}
+
+TEST(RequestRing, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 2000;
+  RequestRing<std::uint64_t> ring(8);  // small: forces blocking both ways
+
+  std::vector<std::vector<std::uint64_t>> received(kConsumers);
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&ring, &received, c] {
+      std::uint64_t v = 0;
+      while (ring.pop(v)) received[as_size(c)].push_back(v);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ring.push(static_cast<std::uint64_t>(p) * kPerProducer +
+                              static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  for (int t = kConsumers; t < kProducers + kConsumers; ++t) {
+    threads[as_size(t)].join();  // producers first
+  }
+  ring.close();
+  for (int t = 0; t < kConsumers; ++t) threads[as_size(t)].join();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& r : received) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), as_size(kProducers * kPerProducer));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i);  // exactly once, nothing lost or duplicated
+  }
+}
+
+}  // namespace
+}  // namespace ipg
