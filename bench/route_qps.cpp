@@ -147,8 +147,9 @@ Record run_row(const QueryEngine& engine, const std::string& engine_name,
 
   // Latency pass: the service loop overlaps batches across its workers;
   // per-batch latency is submit -> future-ready, queueing included.
-  route::RouteService service(engine,
-                              {.workers = threads, .ring_capacity = 16});
+  constexpr std::size_t service_ring_capacity = 16;
+  route::RouteService service(
+      engine, {.workers = threads, .ring_capacity = service_ring_capacity});
   std::vector<double> latencies_us;
   std::vector<std::future<std::vector<RouteAnswer>>> futures;
   std::vector<std::chrono::steady_clock::time_point> submitted;
@@ -165,8 +166,17 @@ Record run_row(const QueryEngine& engine, const std::string& engine_name,
     futures[b].get();
     latencies_us.push_back(elapsed_s(submitted[b]) * 1e6);
   }
+  const route::RingStats ring = service.ring_stats();
   service.shutdown();
   std::sort(latencies_us.begin(), latencies_us.end());
+  std::printf(
+      "    ring[%s/%s %dt]: %llu pushes, %llu pops, %llu enqueue waits, "
+      "depth max %zu/%zu\n",
+      engine_name.c_str(), workload.c_str(), threads,
+      static_cast<unsigned long long>(ring.pushes),
+      static_cast<unsigned long long>(ring.pops),
+      static_cast<unsigned long long>(ring.enqueue_waits), ring.max_depth,
+      service_ring_capacity);
 
   Record r;
   r.family = family;

@@ -1,0 +1,300 @@
+// PERF — shard-seam scaling: the sharded BFS driver and the sharded
+// fault-aware simulator at 1 / 2 / 8 shards, against the unsharded
+// engines, on a materialized HSN(2, Q8) and the implicit 16.7M-node
+// HSN(6, Q4). Every row re-checks the shard determinism contract — the
+// summary / FaultSimResult must be bit-identical to the 1-shard serial
+// baseline — and the binary exits nonzero on any divergence, so the CI
+// bench job doubles as a cross-shard consistency gate.
+//
+// Machine-readable output: --json=PATH (default BENCH_shard.json) writes
+// one record per (instance, mode, shards, threads) with the stable schema
+//   {family, mode, nodes, shards, threads, wall_ms, work_items, identical}
+// where mode is "bfs" (work_items = sources) or "faults" (work_items =
+// packets).
+//
+// Usage: shard_scaling [--quick] [--threads=1,8] [--json=PATH]
+//   --quick    small instances (HSN(2,Q4) materialized, HSN(3,Q4)
+//              implicit) so sanitizer/CI lanes finish in seconds.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/bfs_batch.hpp"
+#include "ipg/families.hpp"
+#include "ipg/super.hpp"
+#include "net/topology.hpp"
+#include "shard/bfs_engine.hpp"
+#include "shard/fault_engine.hpp"
+#include "shard/partition.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "topo/hypercube.hpp"
+
+namespace {
+
+using namespace ipg;
+using shard::RankRangePartition;
+
+double elapsed_ms(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Record {
+  std::string family;
+  std::string mode;  // "bfs" | "faults"
+  std::uint64_t nodes = 0;
+  int shards = 1;
+  int threads = 1;
+  double wall_ms = 0.0;
+  std::uint64_t work_items = 0;  // sources (bfs) or packets (faults)
+  bool identical = true;
+};
+
+bool summaries_identical(const DistanceSummary& a, const DistanceSummary& b) {
+  return a.diameter == b.diameter &&
+         a.strongly_connected == b.strongly_connected &&
+         a.histogram == b.histogram &&
+         a.average_distance == b.average_distance;
+}
+
+bool fault_results_identical(const sim::FaultSimResult& a,
+                             const sim::FaultSimResult& b) {
+  return a.injected == b.injected && a.delivered == b.delivered &&
+         a.dropped == b.dropped && a.detours == b.detours &&
+         a.bfs_fallbacks == b.bfs_fallbacks &&
+         a.planned_hop_sum == b.planned_hop_sum &&
+         a.actual_hop_sum == b.actual_hop_sum && a.makespan == b.makespan &&
+         a.latency.count() == b.latency.count() &&
+         a.latency.mean() == b.latency.mean() &&
+         a.latency.max() == b.latency.max() &&
+         a.latency.mean_hops() == b.latency.mean_hops();
+}
+
+void print_row(const Record& r) {
+  std::printf("%-18s %-6s n=%-9llu %d shards %dt  %9.1f ms  %s\n",
+              r.family.c_str(), r.mode.c_str(),
+              static_cast<unsigned long long>(r.nodes), r.shards, r.threads,
+              r.wall_ms, r.identical ? "identical" : "DIVERGED");
+}
+
+/// Sharded BFS sweep rows for one materialized graph: the 1-shard serial
+/// run IS the unsharded engine (delegation), so it is the baseline.
+bool bench_bfs_graph(const std::string& family, const Graph& g,
+                     const std::vector<Node>& sources,
+                     const std::vector<int>& shard_counts,
+                     const std::vector<int>& thread_counts,
+                     std::vector<Record>& records) {
+  const DistanceSummary baseline =
+      batched_distance_summary(g, sources, ExecPolicy::serial_policy());
+  bool ok = true;
+  for (const int s : shard_counts) {
+    const RankRangePartition part(g.num_nodes(), s);
+    for (const int t : thread_counts) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const DistanceSummary got =
+          shard::sharded_distance_summary(g, sources, part, ExecPolicy{t});
+      const double ms = elapsed_ms(t0);
+      const bool same = summaries_identical(baseline, got);
+      ok &= same;
+      records.push_back(
+          {family, "bfs", g.num_nodes(), s, t, ms, sources.size(), same});
+      print_row(records.back());
+    }
+  }
+  return ok;
+}
+
+/// Same over an implicit topology (ranks as node ids); baseline is the
+/// 1-shard serial sharded run, cross-checked at every other configuration.
+bool bench_bfs_implicit(const std::string& family,
+                        const net::ImplicitSuperIPTopology& topo,
+                        const std::vector<net::NodeId>& sources,
+                        const std::vector<int>& shard_counts,
+                        const std::vector<int>& thread_counts,
+                        std::vector<Record>& records) {
+  const RankRangePartition whole(topo.num_nodes(), 1);
+  const auto b0 = std::chrono::steady_clock::now();
+  const DistanceSummary baseline = shard::sharded_distance_summary(
+      topo, sources, whole, ExecPolicy::serial_policy());
+  records.push_back({family, "bfs", topo.num_nodes(), 1, 1, elapsed_ms(b0),
+                     sources.size(), true});
+  print_row(records.back());
+  bool ok = true;
+  for (const int s : shard_counts) {
+    const RankRangePartition part(topo.num_nodes(), s);
+    for (const int t : thread_counts) {
+      if (s == 1 && t == 1) continue;  // the baseline row above
+      const auto t0 = std::chrono::steady_clock::now();
+      const DistanceSummary got =
+          shard::sharded_distance_summary(topo, sources, part, ExecPolicy{t});
+      const double ms = elapsed_ms(t0);
+      const bool same = summaries_identical(baseline, got);
+      ok &= same;
+      records.push_back(
+          {family, "bfs", topo.num_nodes(), s, t, ms, sources.size(), same});
+      print_row(records.back());
+    }
+  }
+  return ok;
+}
+
+/// Sharded fault-simulation rows; baseline is the sequential
+/// simulate_with_faults (which the 1-shard partition delegates to).
+bool bench_faults(const std::string& family, const sim::SimNetwork& net,
+                  const std::vector<sim::Packet>& packets,
+                  const sim::FaultPlan& plan,
+                  const std::vector<int>& shard_counts,
+                  const std::vector<int>& thread_counts,
+                  std::vector<Record>& records) {
+  const sim::FaultSimResult baseline =
+      simulate_with_faults(net, packets, plan);
+  bool ok = true;
+  for (const int s : shard_counts) {
+    const RankRangePartition part(net.num_nodes(), s);
+    for (const int t : thread_counts) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::FaultSimResult got = shard::sharded_simulate_with_faults(
+          net, packets, plan, part, {}, {}, ExecPolicy{t});
+      const double ms = elapsed_ms(t0);
+      const bool same = fault_results_identical(baseline, got);
+      ok &= same;
+      records.push_back(
+          {family, "faults", net.num_nodes(), s, t, ms, packets.size(), same});
+      print_row(records.back());
+    }
+  }
+  return ok;
+}
+
+void write_json(const char* path, const std::vector<Record>& records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "  {\"family\": \"%s\", \"mode\": \"%s\", \"nodes\": %llu, "
+                 "\"shards\": %d, \"threads\": %d, \"wall_ms\": %.2f, "
+                 "\"work_items\": %llu, \"identical\": %s}%s\n",
+                 r.family.c_str(), r.mode.c_str(),
+                 static_cast<unsigned long long>(r.nodes), r.shards, r.threads,
+                 r.wall_ms, static_cast<unsigned long long>(r.work_items),
+                 r.identical ? "true" : "false",
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu records to %s\n", records.size(), path);
+}
+
+/// Evenly spaced rank sample (the bench's fixed source set).
+template <typename Id>
+std::vector<Id> spaced_sources(std::uint64_t n, std::uint64_t k) {
+  if (k > n) k = n;
+  std::vector<Id> out(k);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    out[i] = static_cast<Id>(i * n / k);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_shard.json";
+  std::vector<int> thread_counts = {1, ExecPolicy{}.resolved_threads()};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_counts.clear();
+      const char* p = arg.c_str() + 10;
+      while (*p) {
+        thread_counts.push_back(static_cast<int>(std::strtol(p, nullptr, 10)));
+        while (*p && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--threads=1,8] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::vector<int> threads_unique;
+  for (const int t : thread_counts) {
+    bool seen = false;
+    for (const int u : threads_unique) seen = seen || u == t;
+    if (!seen && t >= 1) threads_unique.push_back(t);
+  }
+  const std::vector<int> shard_counts = {1, 2, 8};
+
+  std::vector<Record> records;
+  bool all_ok = true;
+
+  // --- Sharded BFS, materialized graph.
+  {
+    const SuperIPSpec spec =
+        quick ? make_hsn(2, hypercube_nucleus(4)) : make_hsn(2, hypercube_nucleus(8));
+    std::printf("building %s ...\n", spec.name.c_str());
+    const IPGraph g = build_super_ip_graph(spec, 1u << 24, ExecPolicy{});
+    const auto sources = spaced_sources<Node>(g.num_nodes(), 64);
+    all_ok &= bench_bfs_graph(spec.name, g.graph, sources, shard_counts,
+                              threads_unique, records);
+  }
+
+  // --- Sharded BFS, implicit topology (never materialized).
+  {
+    const SuperIPSpec spec =
+        quick ? make_hsn(3, hypercube_nucleus(4)) : make_hsn(6, hypercube_nucleus(4));
+    const net::ImplicitSuperIPTopology topo(spec);
+    const auto sources = spaced_sources<net::NodeId>(topo.num_nodes(), 64);
+    all_ok &= bench_bfs_implicit(spec.name, topo, sources, shard_counts,
+                                 threads_unique, records);
+  }
+
+  // --- Sharded fault simulation, table policy (materialized).
+  {
+    const Graph g = topo::hypercube(quick ? 6 : 8);
+    const sim::SimNetwork net(g, sim::LinkTiming{1.0, 1.0});
+    const auto packets =
+        sim::uniform_traffic(g.num_nodes(), quick ? 3.0 : 8.0, 120.0, 11);
+    sim::FaultPlan plan = sim::FaultPlan::random_node_faults(g.num_nodes(), 3, 42);
+    plan.fail_node(1, 10.0, 60.0);  // one transient window in the mix
+    all_ok &= bench_faults(quick ? "Q6-table" : "Q8-table", net, packets, plan,
+                           shard_counts, threads_unique, records);
+  }
+
+  // --- Sharded fault simulation, label policy (implicit).
+  {
+    const SuperIPSpec spec =
+        quick ? make_hsn(2, hypercube_nucleus(4)) : make_hsn(2, hypercube_nucleus(8));
+    const net::ImplicitSuperIPTopology topo(spec);
+    const sim::SimNetwork net(topo, sim::LinkTiming{1.0, 2.0});
+    const auto packets = sim::uniform_traffic(
+        static_cast<Node>(topo.num_nodes()), quick ? 2.0 : 4.0, 100.0, 13);
+    const sim::FaultPlan plan = sim::FaultPlan::random_transient_node_faults(
+        topo.num_nodes(), 4, 80.0, 10.0, 7);
+    all_ok &= bench_faults(spec.name + "-label", net, packets, plan,
+                           shard_counts, threads_unique, records);
+  }
+
+  write_json(json_path.c_str(), records);
+  std::printf("%s\n", all_ok
+                          ? "PASS: sharded engines bit-identical on every row"
+                          : "FAIL: cross-shard divergence");
+  return all_ok ? 0 : 1;
+}

@@ -1,22 +1,48 @@
 #include "analysis/exact.hpp"
 
 #include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "graph/bfs_batch.hpp"
+#include "shard/partition.hpp"
 
 namespace ipg {
 
 namespace {
 
+/// Single-source summary of node 0, routed through the rank-range shard
+/// seam when the options ask for it (one-shard stays on today's path).
+DistanceSummary one_source_summary(const Graph& g, const ExactOptions& opts,
+                                   const ExecPolicy& exec) {
+  const Node source0 = 0;
+  const std::span<const Node> src(&source0, 1);
+  if (opts.num_shards > 1) {
+    return sharded_distance_summary(
+        g, src, shard::RankRangePartition(g.num_nodes(), opts.num_shards),
+        exec);
+  }
+  return multi_source_distance_summary(g, src, exec);
+}
+
+/// Full all-pairs summary, likewise routed through the shard seam.
+DistanceSummary full_sweep_summary(const Graph& g, const ExactOptions& opts,
+                                   const ExecPolicy& exec) {
+  if (opts.num_shards > 1) {
+    std::vector<Node> sources(g.num_nodes());
+    std::iota(sources.begin(), sources.end(), Node{0});
+    return sharded_distance_summary(
+        g, sources, shard::RankRangePartition(g.num_nodes(), opts.num_shards),
+        exec);
+  }
+  return all_pairs_distance_summary(g, exec);
+}
+
 /// Derives the all-pairs summary of a vertex-transitive graph from the
 /// distance distribution of node 0: histogram and distance sum scale by N,
 /// so the resulting integral totals — and hence the final division — are
 /// bit-identical to the full sweep.
-DistanceSummary vertex_transitive_summary(const Graph& g,
-                                          const ExecPolicy& exec) {
-  const Node n = g.num_nodes();
-  const Node source0 = 0;
-  DistanceSummary one =
-      multi_source_distance_summary(g, std::span<const Node>(&source0, 1),
-                                    exec);
+DistanceSummary vertex_transitive_summary(DistanceSummary one, Node n) {
   DistanceSummary out;
   out.diameter = one.diameter;
   // Reachable-from-one-source + transitivity implies reachable from every
@@ -54,7 +80,9 @@ ExactAnalysis exact_analysis(const Graph& g, const ExecPolicy& exec,
   const bool fast_path = opts.assume_vertex_transitive &&
                          opts.use_symmetry_fast_path && g.num_nodes() > 0;
   if (fast_path) {
-    out.distances = vertex_transitive_summary(g, exec);
+    out.distances =
+        vertex_transitive_summary(one_source_summary(g, opts, exec),
+                                  g.num_nodes());
     // Differential guard: in Debug builds the asserted symmetry is checked
     // against the full sweep, so a wrong assumption fails loudly instead
     // of skewing figures.
@@ -63,7 +91,7 @@ ExactAnalysis exact_analysis(const Graph& g, const ExecPolicy& exec,
            "vertex-transitive fast path diverged: the graph is not "
            "vertex-transitive");
   } else {
-    out.distances = all_pairs_distance_summary(g, exec);
+    out.distances = full_sweep_summary(g, opts, exec);
   }
   out.profile.nodes = g.num_nodes();
   out.profile.symmetric_digraph = g.is_symmetric();

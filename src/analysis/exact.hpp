@@ -31,6 +31,13 @@ struct ExactOptions {
   /// Opt-out: force the full all-pairs sweep even when vertex-transitivity
   /// is asserted (e.g. to measure the engine itself).
   bool use_symmetry_fast_path = true;
+
+  /// Rank-range shards the sweep executes over (the shard/ seam). 1 (the
+  /// default) runs today's unsharded engine unchanged; > 1 partitions
+  /// [0, N) into contiguous slices and routes the sweep through
+  /// sharded_distance_summary. Bit-identical either way (the shard
+  /// determinism contract), so figures never depend on the decomposition.
+  int num_shards = 1;
 };
 
 /// One all-pairs sweep under `exec`; both views are filled from the same

@@ -47,7 +47,7 @@ void DistanceAccumulator::merge(const DistanceAccumulator& other) {
 
 DistanceSummary finish_distance_summary(DistanceAccumulator&& acc,
                                         std::uint64_t num_sources,
-                                        Node num_nodes) {
+                                        std::uint64_t num_nodes) {
   DistanceSummary out;
   out.diameter = acc.diameter;
   out.strongly_connected = !acc.disconnected;

@@ -27,6 +27,10 @@
 
 namespace ipg {
 
+namespace shard {
+class RankRangePartition;
+}  // namespace shard
+
 /// Sources per batch: one bit lane per source in a machine word.
 inline constexpr std::uint32_t kBfsBatchWidth = 64;
 
@@ -48,10 +52,11 @@ struct DistanceAccumulator {
 };
 
 /// Final division step shared by both engines: `num_sources * (n - 1)`
-/// ordered pairs, computed from the exact integral totals.
+/// ordered pairs, computed from the exact integral totals. `num_nodes` is
+/// 64-bit so the sharded driver can pass implicit-topology rank counts.
 DistanceSummary finish_distance_summary(DistanceAccumulator&& acc,
                                         std::uint64_t num_sources,
-                                        Node num_nodes);
+                                        std::uint64_t num_nodes);
 
 /// Reusable workspace for batched runs: three `uint64_t` masks per node
 /// (visited / current frontier / next frontier).
@@ -81,6 +86,17 @@ class BfsBatchScratch {
 /// thread count.
 DistanceSummary batched_distance_summary(const Graph& g,
                                          std::span<const Node> sources,
+                                         const ExecPolicy& exec);
+
+/// The batched engine decomposed over a rank-range partition: shards expand
+/// only their owned node ranges and exchange boundary activations through
+/// the shard/channel.hpp seam between levels. Bit-identical to
+/// batched_distance_summary for every partition and thread count; a
+/// one-shard partition delegates to it outright. Defined in
+/// shard/bfs_engine.cpp (the driver lives behind the seam, not here).
+DistanceSummary sharded_distance_summary(const Graph& g,
+                                         std::span<const Node> sources,
+                                         const shard::RankRangePartition& part,
                                          const ExecPolicy& exec);
 
 }  // namespace ipg

@@ -33,8 +33,13 @@ ImplicitSuperIPTopology::ImplicitSuperIPTopology(SuperIPSpec spec)
       nucleus_count_(static_cast<int>(spec_.nucleus_gens.size())) {}
 
 void ImplicitSuperIPTopology::neighbors(NodeId u, std::vector<TopoArc>& out) const {
-  out.clear();
   Label x, y;
+  neighbors_with_scratch(u, x, y, out);
+}
+
+void ImplicitSuperIPTopology::neighbors_with_scratch(
+    NodeId u, Label& x, Label& y, std::vector<TopoArc>& out) const {
+  out.clear();
   ranking_.unrank_into(u, x);
   for (int g = 0; g < num_generators(); ++g) {
     ip_spec_.generators[as_size(g)].perm.apply_into(x, y);
@@ -49,6 +54,23 @@ void ImplicitSuperIPTopology::neighbors(NodeId u, std::vector<TopoArc>& out) con
                           return a.to == b.to;
                         }),
             out.end());
+}
+
+bool RankRangeCursor::next(NodeId& u) {
+  if (next_ >= last_) return false;
+  cur_ = next_++;
+  arcs_valid_ = false;
+  u = cur_;
+  return true;
+}
+
+const std::vector<TopoArc>& RankRangeCursor::arcs() {
+  assert(cur_ != kInvalidNodeId && "arcs() before a successful next()");
+  if (!arcs_valid_) {
+    topo_->neighbors_with_scratch(cur_, x_, y_, arcs_);
+    arcs_valid_ = true;
+  }
+  return arcs_;
 }
 
 void ImplicitSuperIPTopology::label_into(NodeId u, Label& out) const {

@@ -90,6 +90,41 @@ class MaterializedTopology final : public Topology {
   const IPGraph* g_;
 };
 
+class ImplicitSuperIPTopology;
+
+/// Allocation-amortized neighbor iteration over a contiguous rank slice —
+/// the shard workers' adjacency primitive (shard/bfs_engine): a worker
+/// walks exactly its owned range [first, last) and never unranks a label
+/// outside it. next() advances the position without doing any label work;
+/// arcs() lazily unranks the current rank into cursor-owned Label scratch,
+/// so skipping non-frontier ranks costs one comparison and a dense scan of
+/// the slice does no per-node allocation (unlike Topology::neighbors,
+/// which builds two Labels per call).
+class RankRangeCursor {
+ public:
+  /// Advances to the next rank of the range; false when exhausted.
+  bool next(NodeId& u);
+
+  /// Out-arcs of the current rank, Topology::neighbors conventions
+  /// (sorted by (to, tag), self-loops dropped, smallest tag kept). Valid
+  /// until the next next() call.
+  const std::vector<TopoArc>& arcs();
+
+ private:
+  friend class ImplicitSuperIPTopology;
+  RankRangeCursor(const ImplicitSuperIPTopology& topo, NodeId first,
+                  NodeId last)
+      : topo_(&topo), next_(first), last_(last) {}
+
+  const ImplicitSuperIPTopology* topo_;
+  NodeId next_ = 0;
+  NodeId last_ = 0;
+  NodeId cur_ = kInvalidNodeId;
+  bool arcs_valid_ = false;
+  Label x_, y_;  // label scratch reused across the whole range
+  std::vector<TopoArc> arcs_;
+};
+
 /// Never-materialized super-IP topology: nodes are SuperRanking ranks
 /// (node 0 = rank 0, *not* BFS discovery order), arcs are generator
 /// applications computed per call. Memory is O(nucleus + generators)
@@ -124,7 +159,20 @@ class ImplicitSuperIPTopology final : public Topology {
   /// generator fixes the label (such self-loops are not arcs).
   NodeId neighbor_via(NodeId u, int gen) const;
 
+  /// Cursor over the rank slice [first, last) (see RankRangeCursor); the
+  /// topology must outlive the cursor. Arc-identical to calling
+  /// neighbors() on each rank of the range in order.
+  RankRangeCursor rank_range(NodeId first, NodeId last) const {
+    return RankRangeCursor(*this, first, last);
+  }
+
  private:
+  friend class RankRangeCursor;
+
+  /// neighbors() with caller-owned Label scratch (the cursor's fast path).
+  void neighbors_with_scratch(NodeId u, Label& x, Label& y,
+                              std::vector<TopoArc>& out) const;
+
   SuperIPSpec spec_;
   IPGraphSpec ip_spec_;
   SuperRanking ranking_;

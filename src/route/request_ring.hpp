@@ -13,11 +13,24 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 namespace ipg::route {
+
+/// Occupancy counters of a RequestRing, snapshotted under the ring lock —
+/// the observability the QPS bench uses to tell "workers starved" from
+/// "ring saturated" (depth pinned at capacity + growing enqueue_waits).
+struct RingStats {
+  std::uint64_t pushes = 0;            ///< successful push()/try_push() calls
+  std::uint64_t pops = 0;              ///< successful pop() calls
+  std::uint64_t enqueue_waits = 0;     ///< push() calls that blocked on full
+  std::uint64_t try_push_failures = 0; ///< try_push() rejections (full/closed)
+  std::size_t max_depth = 0;           ///< high-water occupancy
+  std::size_t depth = 0;               ///< occupancy at snapshot time
+};
 
 template <typename T>
 class RequestRing {
@@ -34,10 +47,13 @@ class RequestRing {
   /// been closed.
   bool push(T v) {
     std::unique_lock<std::mutex> lock(mu_);
+    if (!closed_ && size_ >= buf_.size()) ++enqueue_waits_;
     not_full_.wait(lock, [&] { return closed_ || size_ < buf_.size(); });
     if (closed_) return false;
     buf_[(head_ + size_) % buf_.size()] = std::move(v);
     ++size_;
+    ++pushes_;
+    if (size_ > max_depth_) max_depth_ = size_;
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -47,9 +63,14 @@ class RequestRing {
   bool try_push(T v) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || size_ >= buf_.size()) return false;
+      if (closed_ || size_ >= buf_.size()) {
+        ++try_push_failures_;
+        return false;
+      }
       buf_[(head_ + size_) % buf_.size()] = std::move(v);
       ++size_;
+      ++pushes_;
+      if (size_ > max_depth_) max_depth_ = size_;
     }
     not_empty_.notify_one();
     return true;
@@ -64,6 +85,7 @@ class RequestRing {
     out = std::move(buf_[head_]);
     head_ = (head_ + 1) % buf_.size();
     --size_;
+    ++pops_;
     lock.unlock();
     not_full_.notify_one();
     return true;
@@ -89,6 +111,19 @@ class RequestRing {
     return size_;
   }
 
+  /// Consistent snapshot of the occupancy counters.
+  RingStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    RingStats s;
+    s.pushes = pushes_;
+    s.pops = pops_;
+    s.enqueue_waits = enqueue_waits_;
+    s.try_push_failures = try_push_failures_;
+    s.max_depth = max_depth_;
+    s.depth = size_;
+    return s;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
@@ -97,6 +132,11 @@ class RequestRing {
   std::size_t head_ = 0;  ///< index of the oldest element
   std::size_t size_ = 0;
   bool closed_ = false;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t enqueue_waits_ = 0;
+  std::uint64_t try_push_failures_ = 0;
+  std::size_t max_depth_ = 0;
 };
 
 }  // namespace ipg::route

@@ -57,6 +57,11 @@ class RouteService {
     return fut;
   }
 
+  /// The intake ring's occupancy counters (see route::RingStats) — depth
+  /// pinned at capacity plus growing enqueue_waits means the ring, not the
+  /// workers, is the bottleneck.
+  RingStats ring_stats() const { return ring_.stats(); }
+
   /// Closes the ring and joins the workers; pending batches are drained
   /// first (pop() keeps delivering until empty).
   void shutdown() {

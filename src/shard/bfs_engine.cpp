@@ -1,0 +1,188 @@
+#include "shard/bfs_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "ipg/static_check.hpp"
+#include "shard/channel.hpp"
+#include "shard/context.hpp"
+#include "util/narrow.hpp"
+
+namespace ipg::shard {
+
+namespace {
+
+/// One boundary message: OR `lanes` into the owner's next-mask of `node`.
+/// OR is commutative, so only the per-shard drain order needs fixing (the
+/// channel's sender-order concatenation does that and more).
+struct Activation {
+  std::uint64_t node = 0;
+  std::uint64_t lanes = 0;
+};
+static_assert(sizeof(Activation) == 16);
+
+/// The shared superstep driver. `expand(ctx)` pushes ctx's frontier along
+/// its out-arcs: locally-owned targets OR straight into ctx.next, foreign
+/// targets become Activation messages (the backend-specific part).
+template <typename SourceT, typename ExpandShard>
+DistanceSummary drive(std::uint64_t n, std::span<const SourceT> sources,
+                      const RankRangePartition& part, const ExecPolicy& exec,
+                      const ExpandShard& expand) {
+  IPG_CONTRACT(part.num_ranks() == n);
+  const int num_shards = part.num_shards();
+  std::vector<ShardContext> ctx(as_size(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    ctx[as_size(s)].assign_range(s, part.begin(s), part.end(s));
+  }
+  ShardChannel channel(num_shards);
+  ThreadPool pool(exec.resolved_threads());
+  DistanceAccumulator acc;
+
+  const std::uint64_t num_batches =
+      (sources.size() + kBfsBatchWidth - 1) / kBfsBatchWidth;
+  for (std::uint64_t b = 0; b < num_batches; ++b) {
+    const std::size_t batch_begin = b * kBfsBatchWidth;
+    const std::uint32_t k = static_cast<std::uint32_t>(
+        std::min<std::size_t>(kBfsBatchWidth, sources.size() - batch_begin));
+    const std::uint64_t full = k == kBfsBatchWidth ? ~0ull : ((1ull << k) - 1);
+
+    pool.parallel_for(as_size(num_shards), as_size(num_shards),
+                      [&](int, std::uint64_t chunk, std::uint64_t,
+                          std::uint64_t) { ctx[chunk].reset_batch(); });
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint64_t src =
+          static_cast<std::uint64_t>(sources[batch_begin + i]);
+      ShardContext& c = ctx[as_size(part.owner(src))];
+      c.front[static_cast<std::size_t>(src - c.first)] |= 1ull << i;
+      c.visit[static_cast<std::size_t>(src - c.first)] |= 1ull << i;
+    }
+    // Level 0: every source sees itself at distance 0 (duplicates counted
+    // per source, matching the unsharded engines).
+    if (acc.histogram.empty()) acc.histogram.resize(1, 0);
+    acc.histogram[0] += k;
+
+    Dist level = 0;
+    for (;;) {
+      ++level;
+      pool.parallel_for(
+          as_size(num_shards), as_size(num_shards),
+          [&](int, std::uint64_t chunk, std::uint64_t, std::uint64_t) {
+            expand(ctx[chunk], channel);
+          });
+      channel.exchange();
+      pool.parallel_for(
+          as_size(num_shards), as_size(num_shards),
+          [&](int, std::uint64_t chunk, std::uint64_t, std::uint64_t) {
+            ShardContext& c = ctx[chunk];
+            ByteReader in(channel.inbox(c.shard));
+            while (!in.empty()) {
+              const Activation a = in.read<Activation>();
+              c.next[static_cast<std::size_t>(a.node - c.first)] |= a.lanes;
+            }
+            std::uint64_t new_count = 0;
+            for (std::size_t i = 0; i < c.next.size(); ++i) {
+              const std::uint64_t fresh = c.next[i] & ~c.visit[i];
+              c.next[i] = 0;
+              c.front[i] = fresh;
+              if (fresh != 0) {
+                c.visit[i] |= fresh;
+                new_count +=
+                    static_cast<std::uint64_t>(std::popcount(fresh));
+              }
+            }
+            c.new_count = new_count;
+          });
+      std::uint64_t total_new = 0;
+      for (int s = 0; s < num_shards; ++s) {  // shard order = merge order
+        total_new += ctx[as_size(s)].new_count;
+      }
+      if (total_new == 0) break;
+      if (level >= acc.histogram.size()) acc.histogram.resize(level + 1, 0);
+      acc.histogram[level] += total_new;
+      acc.total += static_cast<std::uint64_t>(level) * total_new;
+      acc.diameter = std::max(acc.diameter, level);
+    }
+
+    pool.parallel_for(
+        as_size(num_shards), as_size(num_shards),
+        [&](int, std::uint64_t chunk, std::uint64_t, std::uint64_t) {
+          ShardContext& c = ctx[chunk];
+          for (const std::uint64_t word : c.visit) {
+            if ((word & full) != full) {
+              c.disconnected = true;
+              break;
+            }
+          }
+        });
+    for (int s = 0; s < num_shards; ++s) {
+      acc.disconnected = acc.disconnected || ctx[as_size(s)].disconnected;
+    }
+  }
+  return finish_distance_summary(std::move(acc), sources.size(), n);
+}
+
+}  // namespace
+
+DistanceSummary sharded_distance_summary(const Graph& g,
+                                         std::span<const Node> sources,
+                                         const RankRangePartition& part,
+                                         const ExecPolicy& exec) {
+  // shards == 1: today's (unsharded) engine IS the single-shard engine;
+  // delegating keeps the oracle relationship definitional.
+  if (part.num_shards() == 1) {
+    return batched_distance_summary(g, sources, exec);
+  }
+  const auto expand = [&](ShardContext& c, ShardChannel& channel) {
+    for (std::uint64_t u = c.first; u < c.last; ++u) {
+      const std::uint64_t f = c.front[static_cast<std::size_t>(u - c.first)];
+      if (f == 0) continue;
+      for (const Node v : g.neighbors(static_cast<Node>(u))) {
+        const int t = part.owner(v);
+        if (t == c.shard) {
+          c.next[static_cast<std::size_t>(v - c.first)] |= f;
+        } else {
+          ByteWriter(channel.outbox(c.shard, t)).write(Activation{v, f});
+        }
+      }
+    }
+  };
+  return drive(g.num_nodes(), sources, part, exec, expand);
+}
+
+DistanceSummary sharded_distance_summary(
+    const net::ImplicitSuperIPTopology& topo,
+    std::span<const net::NodeId> sources, const RankRangePartition& part,
+    const ExecPolicy& exec) {
+  const auto expand = [&](ShardContext& c, ShardChannel& channel) {
+    // rank_range keeps every unrank inside the owned slice and amortizes
+    // the label scratch across it; non-frontier ranks cost one comparison.
+    net::RankRangeCursor cursor = topo.rank_range(c.first, c.last);
+    net::NodeId u = 0;
+    while (cursor.next(u)) {
+      const std::uint64_t f = c.front[static_cast<std::size_t>(u - c.first)];
+      if (f == 0) continue;
+      for (const net::TopoArc& a : cursor.arcs()) {
+        const int t = part.owner(a.to);
+        if (t == c.shard) {
+          c.next[static_cast<std::size_t>(a.to - c.first)] |= f;
+        } else {
+          ByteWriter(channel.outbox(c.shard, t)).write(Activation{a.to, f});
+        }
+      }
+    }
+  };
+  return drive(topo.num_nodes(), sources, part, exec, expand);
+}
+
+}  // namespace ipg::shard
+
+namespace ipg {
+
+DistanceSummary sharded_distance_summary(const Graph& g,
+                                         std::span<const Node> sources,
+                                         const shard::RankRangePartition& part,
+                                         const ExecPolicy& exec) {
+  return shard::sharded_distance_summary(g, sources, part, exec);
+}
+
+}  // namespace ipg

@@ -1,0 +1,55 @@
+#pragma once
+// Sharded frontier-exchange BFS driver: the bit-parallel 64-source batched
+// engine of graph/bfs_batch.hpp decomposed over a RankRangePartition.
+//
+// Per source batch, the level-synchronous loop becomes a sequence of
+// bulk-synchronous supersteps. Each shard expands only the frontier words
+// of its owned rank range; an arc whose target another shard owns becomes
+// an Activation{target, lanes} message in that shard's outbox. At the
+// barrier the channel exchanges boundary activations (sender order), each
+// shard ORs its inbox into its local next-masks, and the per-shard
+// new-lane popcounts merge in shard-index order.
+//
+// Determinism contract (tests/shard_engine_test.cpp): every accumulated
+// quantity is integral and the per-level fold is a sum/max/or over
+// per-shard aggregates merged in shard order, so the summary is
+// bit-identical across any shard count and any thread count — and
+// bit-identical to the unsharded engine, because the level sets of a BFS
+// do not depend on how the expansion work was split (the sharded driver is
+// top-down-only; direction choice never changes what a level computes,
+// only how). shards == 1 delegates to the unsharded engine outright.
+//
+// Two adjacency backends share the driver core: the materialized CSR Graph
+// and the implicit super-IP topology, the latter walking each shard's
+// slice with ImplicitSuperIPTopology::rank_range so no worker ever unranks
+// outside its range.
+
+#include <span>
+
+#include "graph/bfs.hpp"
+#include "graph/bfs_batch.hpp"
+#include "graph/graph.hpp"
+#include "net/topology.hpp"
+#include "shard/partition.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::shard {
+
+/// Sharded distance summary over a materialized graph. Bit-identical to
+/// batched_distance_summary(g, sources, exec) for every partition of
+/// [0, g.num_nodes()) and every thread count.
+DistanceSummary sharded_distance_summary(const Graph& g,
+                                         std::span<const Node> sources,
+                                         const RankRangePartition& part,
+                                         const ExecPolicy& exec);
+
+/// Sharded distance summary over an implicit super-IP topology (node ids
+/// are Theorem 3.2 ranks). The partition must cover [0, num_nodes());
+/// shard memory is 3 words per owned rank, so slices of 10^8-node
+/// instances fit where the whole-space masks would not.
+DistanceSummary sharded_distance_summary(
+    const net::ImplicitSuperIPTopology& topo,
+    std::span<const net::NodeId> sources, const RankRangePartition& part,
+    const ExecPolicy& exec);
+
+}  // namespace ipg::shard

@@ -1,0 +1,50 @@
+#include "shard/channel.hpp"
+
+#include "ipg/static_check.hpp"
+#include "util/narrow.hpp"
+
+namespace ipg::shard {
+
+void InProcessTransport::exchange(
+    std::vector<std::vector<std::vector<std::uint8_t>>>& outboxes,
+    std::vector<std::vector<std::uint8_t>>& inboxes) {
+  const std::size_t shards = inboxes.size();
+  for (std::size_t dst = 0; dst < shards; ++dst) {
+    std::vector<std::uint8_t>& in = inboxes[dst];
+    in.clear();
+    std::size_t total = 0;
+    for (std::size_t src = 0; src < shards; ++src) {
+      total += outboxes[src][dst].size();
+    }
+    in.reserve(total);
+    // Sender order IS the determinism contract; see the header.
+    for (std::size_t src = 0; src < shards; ++src) {
+      std::vector<std::uint8_t>& out = outboxes[src][dst];
+      in.insert(in.end(), out.begin(), out.end());
+      out.clear();  // keeps capacity for the next superstep
+    }
+  }
+}
+
+ShardChannel::ShardChannel(int num_shards, Transport* transport)
+    : shards_(num_shards) {
+  IPG_CONTRACT(num_shards >= 1);
+  if (transport == nullptr) {
+    owned_ = std::make_unique<InProcessTransport>();
+    transport_ = owned_.get();
+  } else {
+    transport_ = transport;
+  }
+  outboxes_.resize(as_size(num_shards));
+  for (auto& row : outboxes_) row.resize(as_size(num_shards));
+  inboxes_.resize(as_size(num_shards));
+}
+
+void ShardChannel::exchange() {
+  for (const auto& row : outboxes_) {
+    for (const auto& box : row) bytes_exchanged_ += box.size();
+  }
+  transport_->exchange(outboxes_, inboxes_);
+}
+
+}  // namespace ipg::shard

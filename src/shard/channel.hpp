@@ -1,0 +1,138 @@
+#pragma once
+// The message seam between shards (docs/MODEL.md §12).
+//
+// Shard workers run bulk-synchronous supersteps: during a parallel phase
+// shard `s` appends messages for shard `t` to its own outbox row
+// (outboxes[s][t] — written by exactly one worker, so no locking), and at
+// the barrier exchange() concatenates every column into the receiver's
+// inbox *in sender-shard order*. That fixed concatenation order is the
+// whole determinism argument for the seam: whatever the thread schedule
+// did during the phase, shard t always drains s=0's bytes before s=1's.
+//
+// Transport is the backend seam. InProcessTransport is memcpy; an MPI
+// backend is a drop-in — exchange() maps onto MPI_Alltoallv (per-rank
+// send buffers in rank order is exactly alltoallv's layout), and nothing
+// above the Transport interface would change. Payloads are raw bytes with
+// memcpy-based typed framing (ByteWriter/ByteReader) so every message is
+// trivially serializable over a wire by construction.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace ipg::shard {
+
+/// Backend seam: delivers outboxes[src][dst] into inboxes[dst],
+/// concatenated in ascending src order, and leaves every outbox empty
+/// (capacity retained). Implementations may move bytes in-process or ship
+/// them across ranks; callers only rely on the concatenation order.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void exchange(
+      std::vector<std::vector<std::vector<std::uint8_t>>>& outboxes,
+      std::vector<std::vector<std::uint8_t>>& inboxes) = 0;
+};
+
+/// Single-process transport: byte moves under the superstep barrier.
+class InProcessTransport final : public Transport {
+ public:
+  void exchange(std::vector<std::vector<std::vector<std::uint8_t>>>& outboxes,
+                std::vector<std::vector<std::uint8_t>>& inboxes) override;
+};
+
+/// Appends trivially-copyable values to a byte buffer (memcpy framing: no
+/// aliasing UB, no padding surprises — each field crosses as bytes).
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+
+  template <typename T>
+  void write(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = buf_->size();
+    buf_->resize(at + sizeof(T));
+    std::memcpy(buf_->data() + at, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void write_span(std::span<const T> vs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = buf_->size();
+    buf_->resize(at + vs.size_bytes());
+    if (!vs.empty()) std::memcpy(buf_->data() + at, vs.data(), vs.size_bytes());
+  }
+
+ private:
+  std::vector<std::uint8_t>* buf_;
+};
+
+/// Sequential reader over a received byte span; the reverse of ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool empty() const noexcept { return at_ >= bytes_.size(); }
+  std::size_t remaining() const noexcept { return bytes_.size() - at_; }
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    std::memcpy(&v, bytes_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  void read_into(T* dst, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count > 0) std::memcpy(dst, bytes_.data() + at_, count * sizeof(T));
+    at_ += count * sizeof(T);
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+};
+
+/// S x S mailbox grid over a Transport. Writer discipline: during a
+/// parallel phase, only shard s touches outbox(s, *); exchange() runs at
+/// the barrier (single caller); inbox(t) is read-only until the next
+/// exchange overwrites it.
+class ShardChannel {
+ public:
+  /// Owns an InProcessTransport unless `transport` injects another backend
+  /// (non-owning in that case; must outlive the channel).
+  explicit ShardChannel(int num_shards, Transport* transport = nullptr);
+
+  int num_shards() const noexcept { return shards_; }
+
+  std::vector<std::uint8_t>& outbox(int from, int to) {
+    return outboxes_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
+
+  /// Barrier step: inboxes become the sender-ordered concatenation of this
+  /// round's outboxes; outboxes come back empty with capacity retained.
+  void exchange();
+
+  std::span<const std::uint8_t> inbox(int shard) const {
+    return inboxes_[static_cast<std::size_t>(shard)];
+  }
+
+  /// Total payload bytes moved across all exchange() calls (bench stat).
+  std::uint64_t bytes_exchanged() const noexcept { return bytes_exchanged_; }
+
+ private:
+  int shards_ = 1;
+  std::unique_ptr<Transport> owned_;
+  Transport* transport_ = nullptr;
+  std::vector<std::vector<std::vector<std::uint8_t>>> outboxes_;  // [src][dst]
+  std::vector<std::vector<std::uint8_t>> inboxes_;                // [dst]
+  std::uint64_t bytes_exchanged_ = 0;
+};
+
+}  // namespace ipg::shard

@@ -1,0 +1,55 @@
+#pragma once
+// Per-shard execution state for the sharded BFS driver: each shard owns
+// the visit/front/next lane-mask slices of its rank range (local index =
+// rank - first) plus its per-level aggregates. The whole-space arrays of
+// graph/bfs_batch.hpp split exactly along the partition cuts, so shard
+// memory is (range size) x 3 words regardless of total instance size —
+// the property that lets an MPI backend hold 10^8-node slices per rank.
+//
+// The fault engine's per-shard state (event calendar, fault replica, link
+// timings, in-flight packets) lives inside shard/fault_engine.cpp — it is
+// policy-shaped rather than range-shaped, so it does not share this
+// struct.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/bfs_batch.hpp"
+
+namespace ipg::shard {
+
+struct ShardContext {
+  int shard = 0;
+  std::uint64_t first = 0;  ///< owned rank range [first, last)
+  std::uint64_t last = 0;
+
+  /// One lane-mask word per owned rank (kBfsBatchWidth sources per word).
+  std::vector<std::uint64_t> visit, front, next;
+
+  /// Per-level / per-batch aggregates, merged across shards in shard order.
+  std::uint64_t new_count = 0;
+  bool disconnected = false;
+
+  void assign_range(int shard_index, std::uint64_t range_first,
+                    std::uint64_t range_last) {
+    shard = shard_index;
+    first = range_first;
+    last = range_last;
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    visit.assign(n, 0);
+    front.assign(n, 0);
+    next.assign(n, 0);
+  }
+
+  /// Resets the masks for the next source batch (aggregates too).
+  void reset_batch() {
+    std::fill(visit.begin(), visit.end(), 0);
+    std::fill(front.begin(), front.end(), 0);
+    std::fill(next.begin(), next.end(), 0);
+    new_count = 0;
+    disconnected = false;
+  }
+};
+
+}  // namespace ipg::shard

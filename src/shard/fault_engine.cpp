@@ -1,0 +1,260 @@
+#include "shard/fault_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ipg/static_check.hpp"
+#include "shard/channel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault_step.hpp"
+#include "sim/link_state.hpp"
+#include "util/narrow.hpp"
+
+namespace ipg::shard {
+
+namespace {
+
+using sim::Event;
+using sim::Packet;
+using sim::detail::Flight;
+
+/// One delivery, buffered per shard and merged across shards in
+/// (time, packet) order — the sequential engine's pop order restricted to
+/// deliveries — so LatencyStats sees its samples in the same order.
+struct Delivery {
+  double time = 0.0;
+  std::uint32_t packet = 0;
+  double latency = 0.0;
+  int hops = 0;
+  int off_hops = 0;
+  std::uint32_t planned = 0;
+};
+
+/// All state one shard owns. The fault replica replays the *whole* plan —
+/// faults are a pure function of time, so replicas agree without any
+/// cross-shard traffic.
+struct FaultShard {
+  FaultShard(const sim::SimNetwork& net, const sim::FaultPlan& plan,
+             bool label_routed)
+      : faults(plan), link_free(net.policy(), net.num_links()) {
+    if (label_routed) faulty_view.emplace(net.topology(), faults.faults());
+  }
+
+  sim::EventQueue queue;
+  sim::FaultState faults;
+  sim::detail::LinkState link_free;
+  std::optional<net::FaultyTopology> faulty_view;
+  sim::detail::FaultStepScratch scratch;
+
+  // Per-run commutative counters, folded into the result in shard order.
+  std::uint64_t dropped = 0;
+  std::uint64_t detours = 0;
+  std::uint64_t bfs_fallbacks = 0;
+
+  std::vector<Delivery> deliveries;  // this round's, cleared after merge
+};
+
+/// Serializes a migrating packet's continuation: the arrival event plus
+/// the full Flight. In-process the Flight lives in a shared vector and the
+/// bytes round-trip to identical values; the point is that the message
+/// carries *everything* the receiving shard needs, which is the MPI
+/// drop-in requirement.
+void write_migration(ByteWriter w, double arrive, std::uint32_t packet,
+                     Node to, const Flight& f) {
+  w.write(arrive);
+  w.write(packet);
+  w.write(to);
+  w.write(f.hops);
+  w.write(f.off_hops);
+  w.write(f.planned);
+  w.write(static_cast<std::uint64_t>(f.pos));
+  w.write(f.detours);
+  w.write(f.bfs_tries);
+  w.write(static_cast<std::uint64_t>(f.gens.size()));
+  w.write(static_cast<std::uint64_t>(f.path.size()));
+  w.write_span(std::span<const int>(f.gens));
+  w.write_span(std::span<const Node>(f.path));
+}
+
+/// Deserializes one migration; pushes the arrival into `sh.queue` and
+/// restores the Flight. Safe to run per shard in parallel: each packet has
+/// exactly one in-flight event, so no two shards restore the same slot.
+void read_migration(ByteReader& r, FaultShard& sh,
+                    std::vector<Flight>& flight) {
+  const double arrive = r.read<double>();
+  const auto packet = r.read<std::uint32_t>();
+  const Node to = r.read<Node>();
+  Flight& f = flight[packet];
+  f.hops = r.read<int>();
+  f.off_hops = r.read<int>();
+  f.planned = r.read<std::uint32_t>();
+  f.pos = static_cast<std::size_t>(r.read<std::uint64_t>());
+  f.detours = r.read<int>();
+  f.bfs_tries = r.read<int>();
+  const auto gens_count = r.read<std::uint64_t>();
+  const auto path_count = r.read<std::uint64_t>();
+  f.gens.resize(static_cast<std::size_t>(gens_count));
+  f.path.resize(static_cast<std::size_t>(path_count));
+  r.read_into(f.gens.data(), f.gens.size());
+  r.read_into(f.path.data(), f.path.size());
+  sh.queue.push(Event{arrive, packet, to});
+}
+
+}  // namespace
+
+sim::FaultSimResult sharded_simulate_with_faults(
+    const sim::SimNetwork& net, std::span<const Packet> packets,
+    const sim::FaultPlan& plan, const RankRangePartition& part,
+    sim::MessageModel model, sim::AdaptiveOptions opts, ExecPolicy exec) {
+  if (part.num_shards() == 1) {
+    return sim::simulate_with_faults(net, packets, plan, model, opts);
+  }
+  assert(model.flits >= 1);
+  IPG_CONTRACT(part.num_ranks() == net.num_nodes());
+  for ([[maybe_unused]] const sim::FaultWindow& w : plan.windows()) {
+    IPG_CONTRACT(w.fail_time <= w.repair_time);
+  }
+  const double lmin = net.min_service_time();
+  IPG_CONTRACT(lmin > 0.0);
+
+  sim::FaultSimResult result;
+  result.injected = packets.size();
+
+  const bool label_routed =
+      net.policy() == sim::RoutingPolicy::kLabelRoute;
+  const int num_shards = part.num_shards();
+
+  std::vector<std::unique_ptr<FaultShard>> shards;
+  shards.reserve(as_size(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards.push_back(std::make_unique<FaultShard>(net, plan, label_routed));
+  }
+
+  std::vector<Flight> flight(packets.size());
+  for (std::uint32_t i = 0; i < packets.size(); ++i) {
+    shards[as_size(part.owner(packets[i].src))]->queue.push(
+        Event{packets[i].inject_time, i, packets[i].src});
+  }
+
+  ShardChannel channel(num_shards);
+  ThreadPool pool(exec.resolved_threads());
+  std::vector<Delivery> round;
+
+  for (;;) {
+    // Window bound: the earliest pending event plus the minimum service
+    // time, nudged down one ulp so every event *created* this round lands
+    // strictly after the window (see the header's monotonicity argument).
+    double tmin = std::numeric_limits<double>::infinity();
+    for (int s = 0; s < num_shards; ++s) {
+      const auto& q = shards[as_size(s)]->queue;
+      if (!q.empty()) tmin = std::min(tmin, q.top().time);
+    }
+    if (tmin == std::numeric_limits<double>::infinity()) break;
+    const double tend =
+        std::max(tmin, std::nextafter(tmin + lmin,
+                                      -std::numeric_limits<double>::infinity()));
+
+    pool.parallel_for(
+        as_size(num_shards), as_size(num_shards),
+        [&](int, std::uint64_t chunk, std::uint64_t, std::uint64_t) {
+          FaultShard& sh = *shards[chunk];
+          const int self = static_cast<int>(chunk);
+          while (!sh.queue.empty() && sh.queue.top().time <= tend) {
+            const Event e = sh.queue.pop();
+            sh.faults.advance_to(e.time);
+            const Packet& p = packets[e.packet];
+            Flight& f = flight[e.packet];
+            const sim::detail::StepResult r = sim::detail::fault_step(
+                net, opts, sh.faults.faults(),
+                sh.faulty_view ? &*sh.faulty_view : nullptr, p, e, f,
+                sh.scratch);
+            switch (r.outcome) {
+              case sim::detail::StepOutcome::kDropped:
+                sh.dropped++;
+                break;
+              case sim::detail::StepOutcome::kDelivered:
+                sh.deliveries.push_back(Delivery{e.time, e.packet,
+                                                 e.time - p.inject_time,
+                                                 f.hops, f.off_hops,
+                                                 f.planned});
+                break;
+              case sim::detail::StepOutcome::kForwarded: {
+                if (r.detoured) sh.detours++;
+                if (r.bfs_rerouted) sh.bfs_fallbacks++;
+                double& free_at = sh.link_free[r.hop.link];
+                const double start = std::max(e.time, free_at);
+                const double full =
+                    start + r.hop.service_time * model.flits;
+                free_at = full;  // the link carries every flit either way
+                const bool header_only =
+                    model.mode == sim::SwitchingMode::kCutThrough &&
+                    r.hop.to != p.dst;
+                const double arrive =
+                    header_only ? start + r.hop.service_time : full;
+                // The window-closure contract; can only fail when the
+                // service time is below one ulp of the timestamps, which
+                // no meaningful timing model reaches.
+                IPG_CONTRACT(arrive > tend);
+                f.hops++;
+                if (r.hop.off_module) f.off_hops++;
+                const int target = part.owner(r.hop.to);
+                if (target == self) {
+                  sh.queue.push(Event{arrive, e.packet, r.hop.to});
+                } else {
+                  write_migration(ByteWriter(channel.outbox(self, target)),
+                                  arrive, e.packet, r.hop.to, f);
+                }
+                break;
+              }
+            }
+          }
+        });
+
+    channel.exchange();
+    pool.parallel_for(
+        as_size(num_shards), as_size(num_shards),
+        [&](int, std::uint64_t chunk, std::uint64_t, std::uint64_t) {
+          FaultShard& sh = *shards[chunk];
+          ByteReader in(channel.inbox(static_cast<int>(chunk)));
+          while (!in.empty()) read_migration(in, sh, flight);
+        });
+
+    // Merge the round's deliveries in global (time, packet) order. Rounds
+    // never split a timestamp (every event <= Tend was consumed and every
+    // new event is > Tend), so round-major + per-round sort is the global
+    // order.
+    round.clear();
+    for (int s = 0; s < num_shards; ++s) {
+      auto& d = shards[as_size(s)]->deliveries;
+      round.insert(round.end(), d.begin(), d.end());
+      d.clear();
+    }
+    std::sort(round.begin(), round.end(),
+              [](const Delivery& a, const Delivery& b) {
+                return a.time != b.time ? a.time < b.time
+                                        : a.packet < b.packet;
+              });
+    for (const Delivery& d : round) {
+      result.latency.record(d.latency, d.hops, d.off_hops);
+      result.delivered++;
+      result.makespan = std::max(result.makespan, d.time);
+      result.planned_hop_sum += d.planned;
+      result.actual_hop_sum += static_cast<std::uint64_t>(d.hops);
+    }
+  }
+
+  for (int s = 0; s < num_shards; ++s) {  // shard order = merge order
+    const FaultShard& sh = *shards[as_size(s)];
+    result.dropped += sh.dropped;
+    result.detours += sh.detours;
+    result.bfs_fallbacks += sh.bfs_fallbacks;
+  }
+  return result;
+}
+
+}  // namespace ipg::shard

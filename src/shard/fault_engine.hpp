@@ -1,0 +1,49 @@
+#pragma once
+// Sharded fault-aware packet simulation: simulate_with_faults() decomposed
+// over a RankRangePartition with a conservative (lookahead-window) parallel
+// discrete-event scheme. Each shard owns the packets currently standing at
+// its rank range — event calendar, link busy-until times, fault-state
+// replica and BFS scratch are all shard-local — and a packet hopping into
+// another shard's range migrates as a serialized message through the
+// shard/channel.hpp seam, so the same engine maps onto MPI ranks
+// unchanged.
+//
+// Round structure (bulk-synchronous):
+//   1. Tmin = earliest pending event across shards; the round's window is
+//      Tend = nextafter(fl(Tmin + Lmin), -inf) clamped up to Tmin, where
+//      Lmin = SimNetwork::min_service_time() > 0.
+//   2. Every shard processes its events with time <= Tend. Safe, because
+//      a processed event only creates events at time fl(x) for a real
+//      x >= Tmin + Lmin, and rounding is monotone, so every new time is
+//      >= fl(Tmin + Lmin) = succ(Tend) > Tend — strictly after the window.
+//      Within the window shards cannot interact: a link's id is keyed by
+//      its source node, faults are a pure function of time (each replica
+//      replays the same plan), and each packet has exactly one in-flight
+//      event.
+//   3. Boundary hops exchange; deliveries merge sorted by (time, packet),
+//      which equals the sequential engine's pop order restricted to
+//      deliveries — so even the floating-point latency accumulation order
+//      is identical.
+//
+// Determinism contract (tests/shard_engine_test.cpp): the FaultSimResult —
+// every counter and every LatencyStats sample — is bit-identical across
+// shard counts and thread counts, and bit-identical to the sequential
+// simulate_with_faults(); a one-shard partition delegates to it outright.
+
+#include <span>
+
+#include "shard/partition.hpp"
+#include "sim/faults.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::shard {
+
+/// Sharded counterpart of sim::simulate_with_faults. `part` must cover
+/// [0, net.num_nodes()).
+sim::FaultSimResult sharded_simulate_with_faults(
+    const sim::SimNetwork& net, std::span<const sim::Packet> packets,
+    const sim::FaultPlan& plan, const RankRangePartition& part,
+    sim::MessageModel model = {}, sim::AdaptiveOptions opts = {},
+    ExecPolicy exec = ExecPolicy::serial_policy());
+
+}  // namespace ipg::shard

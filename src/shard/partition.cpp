@@ -1,0 +1,52 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+
+#include "ipg/static_check.hpp"
+
+namespace ipg::shard {
+
+RankRangePartition::RankRangePartition(std::uint64_t num_ranks,
+                                       int num_shards) {
+  IPG_CONTRACT(num_shards >= 1);
+  shards_ = num_shards;
+  uniform_ = true;
+  base_ = num_ranks / static_cast<std::uint64_t>(num_shards);
+  extra_ = num_ranks % static_cast<std::uint64_t>(num_shards);
+  bounds_.resize(static_cast<std::size_t>(num_shards) + 1);
+  std::uint64_t cut = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    bounds_[static_cast<std::size_t>(s)] = cut;
+    cut += base_ + (static_cast<std::uint64_t>(s) < extra_ ? 1 : 0);
+  }
+  bounds_.back() = cut;
+  IPG_CONTRACT(cut == num_ranks);
+}
+
+RankRangePartition RankRangePartition::from_boundaries(
+    std::vector<std::uint64_t> boundaries) {
+  IPG_CONTRACT(boundaries.size() >= 2);
+  IPG_CONTRACT(boundaries.front() == 0);
+  IPG_CONTRACT(std::is_sorted(boundaries.begin(), boundaries.end()));
+  RankRangePartition part;
+  part.shards_ = static_cast<int>(boundaries.size()) - 1;
+  part.uniform_ = false;
+  part.bounds_ = std::move(boundaries);
+  return part;
+}
+
+int RankRangePartition::owner(std::uint64_t rank) const {
+  IPG_CONTRACT(rank < num_ranks());
+  if (uniform_) {
+    // The first `extra_` shards hold base_ + 1 ranks each.
+    const std::uint64_t wide = extra_ * (base_ + 1);
+    if (rank < wide) return static_cast<int>(rank / (base_ + 1));
+    return static_cast<int>(extra_ + (rank - wide) / base_);
+  }
+  // bounds_ is nondecreasing; the owner is the last cut <= rank whose slice
+  // is non-empty, which upper_bound - 1 lands on directly.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), rank);
+  return static_cast<int>(it - bounds_.begin()) - 1;
+}
+
+}  // namespace ipg::shard

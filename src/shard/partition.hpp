@@ -1,0 +1,61 @@
+#pragma once
+// Rank-range sharding: the partition algebra under the sharded execution
+// engine (docs/MODEL.md §12).
+//
+// The Theorem 3.2 ranking is a bijection [0, N) <-> nodes, so a partition
+// of the rank interval into S contiguous slices is a partition of the node
+// set — each shard owns exactly the state (BFS lane masks, distance
+// accumulators, in-flight packets, link timings) of its slice, and
+// ownership of any node is a pure O(1) / O(log S) function of its rank.
+// Contiguity is what makes the implicit topologies shard-friendly: a shard
+// enumerates its slice with ImplicitSuperIPTopology::rank_range and never
+// unranks a label it does not own.
+//
+// Two constructions:
+//   - RankRangePartition(n, s): near-equal split, sizes differ by at most
+//     one (the first n % s shards get the extra rank); owner() is O(1).
+//   - from_boundaries({b0..bS}): arbitrary contiguous cuts — the tests use
+//     this to place boundaries *inside* super-symbol digit spans, proving
+//     the engine does not depend on module-aligned cuts; owner() is a
+//     binary search.
+//
+// The partition is pure data shared read-only by every shard worker; all
+// determinism arguments reduce to "shard index order is merge order".
+
+#include <cstdint>
+#include <vector>
+
+namespace ipg::shard {
+
+class RankRangePartition {
+ public:
+  /// Near-equal contiguous split of [0, num_ranks) into num_shards slices.
+  RankRangePartition(std::uint64_t num_ranks, int num_shards);
+
+  /// Explicit cuts: `boundaries` = {b0 <= b1 <= ... <= bS} with b0 == 0;
+  /// shard s owns [b_s, b_{s+1}). Empty slices are allowed.
+  static RankRangePartition from_boundaries(
+      std::vector<std::uint64_t> boundaries);
+
+  int num_shards() const noexcept { return shards_; }
+  std::uint64_t num_ranks() const noexcept { return bounds_.back(); }
+
+  std::uint64_t begin(int s) const { return bounds_[static_cast<std::size_t>(s)]; }
+  std::uint64_t end(int s) const { return bounds_[static_cast<std::size_t>(s) + 1]; }
+  std::uint64_t size(int s) const { return end(s) - begin(s); }
+
+  /// The shard owning `rank`. O(1) for the uniform construction, O(log S)
+  /// for explicit boundaries.
+  int owner(std::uint64_t rank) const;
+
+ private:
+  RankRangePartition() = default;
+
+  int shards_ = 1;
+  bool uniform_ = false;
+  std::uint64_t base_ = 0;   ///< uniform: floor(num_ranks / shards)
+  std::uint64_t extra_ = 0;  ///< uniform: num_ranks % shards (first shards get +1)
+  std::vector<std::uint64_t> bounds_;  ///< S + 1 cuts, nondecreasing
+};
+
+}  // namespace ipg::shard

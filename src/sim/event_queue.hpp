@@ -26,6 +26,10 @@ class EventQueue {
   /// Removes and returns the earliest event (ties broken by packet id).
   Event pop();
 
+  /// The earliest event without removing it (queue must be non-empty).
+  /// The conservative sharded engine peeks to size its lookahead window.
+  const Event& top() const noexcept { return heap_.front(); }
+
  private:
   static bool later(const Event& a, const Event& b) noexcept {
     if (a.time != b.time) return a.time > b.time;

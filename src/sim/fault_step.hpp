@@ -1,0 +1,71 @@
+#pragma once
+// One packet-event step of the fault-aware adaptive policy, factored out
+// of simulate_with_faults() so the sequential driver (sim/faults.cpp) and
+// the sharded conservative engine (shard/fault_engine.cpp) execute the
+// *same* routing code per event — the bit-identity contract between them
+// reduces to "same events in the same relative order", which the shard
+// layer proves, not re-implements.
+//
+// The split: fault_step() owns the routing decision (injection-route
+// derivation, planned-hop trimming, adaptive generator detours, the
+// bounded-BFS fallback) and mutates only the packet's Flight and the
+// caller's scratch. The caller owns everything timing- and aggregate-
+// related: link FIFO occupancy, the arrival event, result counters,
+// latency recording. That is exactly the state the sharded engine keeps
+// per shard.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/faulty_topology.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+
+namespace ipg::sim::detail {
+
+/// In-flight per-packet routing state (one per injected packet, reused
+/// across the packet's events).
+struct Flight {
+  int hops = 0;
+  int off_hops = 0;
+  std::uint32_t planned = 0;  ///< fault-free route length, set at injection
+  std::vector<int> gens;      ///< label policy: current source route
+  std::vector<Node> path;     ///< table policy: BFS detour path
+  std::size_t pos = 0;        ///< next unconsumed entry of gens/path
+  int detours = 0;
+  int bfs_tries = 0;
+};
+
+enum class StepOutcome {
+  kDropped,    ///< dead node, no live route, or reroute budget exhausted
+  kDelivered,  ///< the event's node is the packet's destination
+  kForwarded,  ///< one hop chosen; the caller schedules the arrival
+};
+
+struct StepResult {
+  StepOutcome outcome = StepOutcome::kDropped;
+  SimNetwork::Hop hop;        ///< valid iff kForwarded
+  bool detoured = false;      ///< kForwarded: took a generator detour
+  bool bfs_rerouted = false;  ///< kForwarded: took a bounded-BFS fallback
+};
+
+/// Reusable per-driver scratch (the label policy's BFS fallback path).
+struct FaultStepScratch {
+  std::vector<net::TopoArc> arc_path;
+};
+
+/// Executes the routing decision of packet `p`'s event `e` against the
+/// fault set active at e.time. On kDropped/kDelivered the Flight's route
+/// storage is released (hop counters stay readable for the caller's
+/// accounting). `faulty_view` must be the fault-masked view of the
+/// label-routed topology; it is unused (may be null) under the table
+/// policy.
+StepResult fault_step(const SimNetwork& net, const AdaptiveOptions& opts,
+                      const net::FaultSet& fs,
+                      const net::Topology* faulty_view, const Packet& p,
+                      const Event& e, Flight& f, FaultStepScratch& scratch);
+
+}  // namespace ipg::sim::detail

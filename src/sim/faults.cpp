@@ -4,13 +4,13 @@
 #include <cassert>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "ipg/static_check.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_step.hpp"
 #include "sim/link_state.hpp"
 #include "util/prng.hpp"
 
@@ -137,84 +137,6 @@ void FaultState::advance_to(double time) {
 }
 
 // ---------------------------------------------------------------------------
-// Bounded BFS fallbacks
-
-namespace {
-
-/// Deterministic bounded BFS over an (already fault-masked) topology view;
-/// fills `out` with the arc sequence src -> dst. False when dst is not
-/// reached within `budget` discovered nodes. Hash-based visited set: the
-/// implicit topologies this serves are too large for dense arrays.
-bool bounded_bfs_arcs(const net::Topology& topo, net::NodeId src,
-                      net::NodeId dst, std::uint64_t budget,
-                      std::vector<net::TopoArc>& out) {
-  out.clear();
-  if (src == dst) return true;
-  struct Parent {
-    net::NodeId from;
-    EdgeTag tag;
-  };
-  std::unordered_map<net::NodeId, Parent> parent;
-  std::vector<net::NodeId> queue;
-  parent.emplace(src, Parent{src, kNoTag});
-  queue.push_back(src);
-  std::vector<net::TopoArc> arcs;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const net::NodeId u = queue[head];
-    topo.neighbors(u, arcs);  // sorted by (to, tag): deterministic order
-    for (const net::TopoArc& a : arcs) {
-      if (!parent.emplace(a.to, Parent{u, a.tag}).second) continue;
-      if (a.to == dst) {
-        for (net::NodeId cur = dst; cur != src;) {
-          const Parent& p = parent.at(cur);
-          out.push_back({cur, p.tag});
-          cur = p.from;
-        }
-        std::reverse(out.begin(), out.end());
-        return true;
-      }
-      if (parent.size() >= budget) return false;
-      queue.push_back(a.to);
-    }
-  }
-  return false;
-}
-
-/// Dense-array variant for the materialized table policy (instances are
-/// capped at a few thousand nodes there); fills `out` with the node path
-/// after src. Skips arcs that `faults` masks.
-bool bounded_bfs_nodes(const Graph& g, const net::FaultSet& faults, Node src,
-                       Node dst, std::uint64_t budget,
-                       std::vector<Node>& out) {
-  out.clear();
-  if (src == dst) return true;
-  if (!faults.node_up(src)) return false;
-  std::vector<Node> parent(g.num_nodes(), kUnreachable);
-  std::vector<Node> queue;
-  parent[src] = src;
-  queue.push_back(src);
-  std::uint64_t discovered = 1;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const Node u = queue[head];
-    for (const Node v : g.neighbors(u)) {  // sorted: deterministic
-      if (parent[v] != kUnreachable) continue;
-      if (!faults.node_up(v) || !faults.link_up(u, v)) continue;
-      parent[v] = u;
-      if (v == dst) {
-        for (Node cur = dst; cur != src; cur = parent[cur]) out.push_back(cur);
-        std::reverse(out.begin(), out.end());
-        return true;
-      }
-      if (++discovered >= budget) return false;
-      queue.push_back(v);
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
 // Fault-aware simulation
 
 FaultSimResult simulate_with_faults(const SimNetwork& net,
@@ -230,17 +152,7 @@ FaultSimResult simulate_with_faults(const SimNetwork& net,
 
   const bool label_routed = net.policy() == RoutingPolicy::kLabelRoute;
 
-  struct Flight {
-    int hops = 0;
-    int off_hops = 0;
-    std::uint32_t planned = 0;  ///< fault-free route length, set at injection
-    std::vector<int> gens;      ///< label policy: current source route
-    std::vector<Node> path;     ///< table policy: BFS detour path
-    std::size_t pos = 0;        ///< next unconsumed entry of gens/path
-    int detours = 0;
-    int bfs_tries = 0;
-  };
-  std::vector<Flight> flight(packets.size());
+  std::vector<detail::Flight> flight(packets.size());
   detail::LinkState link_free(net.policy(), net.num_links());
 
   FaultState faults(plan);
@@ -255,135 +167,43 @@ FaultSimResult simulate_with_faults(const SimNetwork& net,
     queue.push(Event{packets[i].inject_time, i, packets[i].src});
   }
 
-  std::vector<net::TopoArc> arc_path;
-  const auto drop = [&result](Flight& f) {
-    result.dropped++;
-    std::vector<int>().swap(f.gens);
-    std::vector<Node>().swap(f.path);
-  };
-
+  detail::FaultStepScratch scratch;
   while (!queue.empty()) {
     const Event e = queue.pop();
     faults.advance_to(e.time);
     const Packet& p = packets[e.packet];
-    Flight& f = flight[e.packet];
+    detail::Flight& f = flight[e.packet];
 
-    // A packet standing on (or arriving at) a dead node is lost.
-    if (!fs.node_up(e.node)) {
-      drop(f);
-      continue;
-    }
-    if (e.node == p.dst) {
-      result.latency.record(e.time - p.inject_time, f.hops, f.off_hops);
-      result.delivered++;
-      result.makespan = std::max(result.makespan, e.time);
-      result.planned_hop_sum += f.planned;
-      result.actual_hop_sum += static_cast<std::uint64_t>(f.hops);
-      std::vector<int>().swap(f.gens);
-      std::vector<Node>().swap(f.path);
-      continue;
-    }
-
-    // Injection: derive the fault-free source route / planned hop count.
-    if (f.hops == 0 && f.gens.empty() && f.path.empty() && f.pos == 0) {
-      if (label_routed) {
-        f.gens = net.route_gens(p.src, p.dst);
-        // Delivery happens on first arrival at dst, so a sorting route
-        // that passes through dst early effectively ends there; trim the
-        // dead tail so `planned` is the walk the simulator actually takes.
-        Node cur = p.src;
-        for (std::size_t i = 0; i < f.gens.size(); ++i) {
-          cur = net.hop_via(cur, f.gens[i]).to;
-          if (cur == p.dst) {
-            f.gens.resize(i + 1);
-            break;
-          }
-        }
-        f.planned = static_cast<std::uint32_t>(f.gens.size());
-      } else {
-        for (Node cur = p.src; cur != p.dst;) {
-          const Node nh = net.next_hop(cur, p.dst);
-          if (nh == kUnreachable) {
-            f.planned = 0;
-            break;
-          }
-          cur = nh;
-          f.planned++;
-        }
+    const detail::StepResult r = detail::fault_step(
+        net, opts, fs, faulty_view ? &*faulty_view : nullptr, p, e, f,
+        scratch);
+    switch (r.outcome) {
+      case detail::StepOutcome::kDropped:
+        result.dropped++;
+        break;
+      case detail::StepOutcome::kDelivered:
+        result.latency.record(e.time - p.inject_time, f.hops, f.off_hops);
+        result.delivered++;
+        result.makespan = std::max(result.makespan, e.time);
+        result.planned_hop_sum += f.planned;
+        result.actual_hop_sum += static_cast<std::uint64_t>(f.hops);
+        break;
+      case detail::StepOutcome::kForwarded: {
+        if (r.detoured) result.detours++;
+        if (r.bfs_rerouted) result.bfs_fallbacks++;
+        double& free_at = link_free[r.hop.link];
+        const double start = std::max(e.time, free_at);
+        const double full = start + r.hop.service_time * model.flits;
+        free_at = full;  // the link carries every flit either way
+        const bool header_only =
+            model.mode == SwitchingMode::kCutThrough && r.hop.to != p.dst;
+        const double arrive = header_only ? start + r.hop.service_time : full;
+        f.hops++;
+        if (r.hop.off_module) f.off_hops++;
+        queue.push(Event{arrive, e.packet, r.hop.to});
+        break;
       }
     }
-
-    SimNetwork::Hop h;
-    bool have_hop = false;
-    if (label_routed) {
-      assert(f.pos < f.gens.size());
-      auto step = net.adaptive_step(e.node, p.dst, f.gens[f.pos], fs);
-      if (step && !step->detoured) {
-        h = step->hop;
-        f.pos++;
-        have_hop = true;
-      } else if (step && f.detours < opts.max_reroutes) {
-        // Alternative-generator detour: take the live arc, follow the
-        // route re-derived from its target.
-        h = step->hop;
-        f.gens = std::move(step->fresh_gens);
-        f.pos = 0;
-        f.detours++;
-        result.detours++;
-        have_hop = true;
-      } else if (f.bfs_tries < opts.max_reroutes &&
-                 bounded_bfs_arcs(*faulty_view, e.node, p.dst,
-                                  opts.bfs_node_budget, arc_path)) {
-        // Detour budget exhausted (or no live arc improves): route around
-        // the faults explicitly. The arc tags are generator indices, so
-        // the path slots straight into the source-route machinery.
-        f.bfs_tries++;
-        result.bfs_fallbacks++;
-        f.gens.clear();
-        for (const net::TopoArc& a : arc_path) f.gens.push_back(a.tag);
-        h = net.hop_via(e.node, f.gens[0]);
-        f.pos = 1;
-        have_hop = true;
-      } else {
-        if (f.bfs_tries < opts.max_reroutes) f.bfs_tries++;
-      }
-    } else {
-      const Node planned_v = f.pos < f.path.size()
-                                 ? f.path[f.pos]
-                                 : net.next_hop(e.node, p.dst);
-      if (planned_v != kUnreachable && fs.arc_up(e.node, planned_v)) {
-        h = net.hop_to(e.node, planned_v);
-        if (f.pos < f.path.size()) f.pos++;
-        have_hop = true;
-      } else if (f.bfs_tries < opts.max_reroutes &&
-                 bounded_bfs_nodes(net.graph(), fs, e.node, p.dst,
-                                   opts.bfs_node_budget, f.path)) {
-        // Tables are fault-oblivious; the detour is a shortest path over
-        // the surviving subgraph, followed explicitly.
-        f.bfs_tries++;
-        result.bfs_fallbacks++;
-        h = net.hop_to(e.node, f.path[0]);
-        f.pos = 1;
-        have_hop = true;
-      } else {
-        if (f.bfs_tries < opts.max_reroutes) f.bfs_tries++;
-      }
-    }
-    if (!have_hop) {  // isolated, unreachable, or out of budget
-      drop(f);
-      continue;
-    }
-
-    double& free_at = link_free[h.link];
-    const double start = std::max(e.time, free_at);
-    const double full = start + h.service_time * model.flits;
-    free_at = full;  // the link carries every flit either way
-    const bool header_only =
-        model.mode == SwitchingMode::kCutThrough && h.to != p.dst;
-    const double arrive = header_only ? start + h.service_time : full;
-    f.hops++;
-    if (h.off_module) f.off_hops++;
-    queue.push(Event{arrive, e.packet, h.to});
   }
   return result;
 }

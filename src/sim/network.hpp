@@ -137,6 +137,16 @@ class SimNetwork {
   /// the simulator keeps per-link state in a hash map in that case.
   std::uint64_t num_links() const noexcept;
 
+  /// Lower bound on every hop's service time — the conservative sharded
+  /// fault engine's lookahead (events closer than this cannot spawn
+  /// earlier work). Positive whenever the timing model is (LinkTiming's
+  /// contract); zero or negative timings have no meaningful simulation.
+  double min_service_time() const noexcept {
+    return timing_.on_module_time < timing_.off_module_time
+               ? timing_.on_module_time
+               : timing_.off_module_time;
+  }
+
   // --- kPrecomputedTable-only accessors (asserted; link_load and the
   // table-policy tests use these directly) ---
 

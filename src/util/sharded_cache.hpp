@@ -18,12 +18,17 @@
 //   3. Values are copied out under the lock, never referenced: eviction by
 //      another thread can't invalidate what a caller is holding.
 //
-// Admission control (optional): a key is only *stored* on its second
-// distinct miss. A per-shard doorkeeper — a fixed-size fingerprint table,
-// bounded memory, deterministic in operation order — remembers recent
-// first touches. This is what keeps a scan of never-repeated keys from
-// evicting the hot working set (the classic admission argument; compare
-// the unbounded SuperIPRouter schedule map this layer replaced).
+// Admission control (optional): TinyLFU. Each shard keeps a count-min
+// sketch of 4 rows of 4-bit counters (16 per word, saturating at 15,
+// periodically halved so the frequency estimate tracks the recent stream).
+// A missing key is stored only when its estimated frequency clears the
+// bar: at least a second distinct touch while the shard has room, and
+// strictly more popular than the FIFO's next eviction victim once it is
+// full. That second rule is what a doorkeeper bit cannot express — a key
+// seen twice in a cold scan no longer displaces a resident key seen fifty
+// times. Saturating increments commute (a counter's value depends only on
+// how many touches it absorbed, never their order), so the sketch is as
+// interleaving-independent as the counters it feeds.
 //
 // Eviction is per-shard FIFO: deterministic in operation order and free of
 // per-hit bookkeeping (an LRU would dirty a list node on the hot hit
@@ -45,7 +50,7 @@ struct ShardedCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t admitted = 0;  ///< misses whose value was stored
-  std::uint64_t rejected = 0;  ///< misses rejected by the doorkeeper
+  std::uint64_t rejected = 0;  ///< misses rejected by the TinyLFU filter
   std::uint64_t entries = 0;   ///< currently resident values
 
   std::uint64_t lookups() const noexcept { return hits + misses; }
@@ -61,7 +66,8 @@ class ShardedCache {
     /// Power of two. More shards = less lock contention; counters and
     /// entry bounds are aggregated over all of them.
     int shards = 64;
-    /// Store a value only on its second distinct miss (see header).
+    /// TinyLFU admission: store a value only when its sketch frequency
+    /// clears the bar (see header).
     bool admission = true;
   };
 
@@ -72,11 +78,18 @@ class ShardedCache {
     if (opts_.capacity > 0 && per_shard_cap_ == 0) per_shard_cap_ = 1;
     shards_ = std::vector<Shard>(static_cast<std::size_t>(opts_.shards));
     if (opts_.admission && per_shard_cap_ > 0) {
-      // Doorkeeper sized at 2x the shard's entry bound: enough slots that
-      // a hot working set's fingerprints survive a concurrent cold scan.
+      // Sketch rows sized at 2x the shard's entry bound: enough counters
+      // that a hot working set's frequencies survive a concurrent cold
+      // scan without drowning in collisions.
       std::size_t slots = 16;
       while (slots < 2 * per_shard_cap_) slots <<= 1;
-      for (Shard& s : shards_) s.doorkeeper.assign(slots, 0);
+      sketch_slots_ = slots;
+      // Halve counters every ~10 cache-fulls of misses so the estimate
+      // tracks recent popularity instead of all history.
+      sample_period_ = per_shard_cap_ * 10 < 32 ? 32 : per_shard_cap_ * 10;
+      for (Shard& s : shards_) {
+        s.sketch.assign(kSketchRows * (slots / kCountersPerWord), 0);
+      }
     }
   }
 
@@ -109,9 +122,16 @@ class ShardedCache {
     ++s.misses;
     compute(out);
     if (per_shard_cap_ == 0) return false;
-    if (opts_.admission && !doorkeeper_passes(s, h)) {
-      ++s.rejected;
-      return false;
+    if (opts_.admission) {
+      const std::uint32_t freq = sketch_touch(s, h);
+      const bool admit =
+          s.fifo.size() < per_shard_cap_
+              ? freq >= 2  // room to spare: second distinct touch suffices
+              : freq > sketch_estimate(s, Hash{}(s.fifo.front()));
+      if (!admit) {
+        ++s.rejected;
+        return false;
+      }
     }
     ++s.admitted;
     if (s.fifo.size() >= per_shard_cap_) {
@@ -138,56 +158,111 @@ class ShardedCache {
     return total;
   }
 
-  /// Drops every entry and doorkeeper fingerprint; counters are kept.
+  /// Drops every entry and sketch counter; counters are kept.
   void clear() {
     for (Shard& s : shards_) {
       std::lock_guard<std::mutex> lock(s.mu);
       s.map.clear();
       s.fifo.clear();
-      for (std::uint64_t& f : s.doorkeeper) f = 0;
+      for (std::uint64_t& w : s.sketch) w = 0;
+      s.sketch_ops = 0;
     }
   }
 
   /// Approximate heap bound implied by the configuration: resident
-  /// entries + FIFO keys + doorkeeper slots. What the bounded-memory
+  /// entries + FIFO keys + sketch words. What the bounded-memory
   /// regression test asserts stays flat under adversarial streams.
   std::uint64_t memory_bound_bytes() const noexcept {
     const std::uint64_t per_entry = sizeof(Key) + sizeof(Value) +
                                     sizeof(void*) * 4;  // map node overhead
-    std::uint64_t door = 0;
+    std::uint64_t sketch = 0;
     for (const Shard& s : shards_) {
-      door += s.doorkeeper.size() * sizeof(std::uint64_t);
+      sketch += s.sketch.size() * sizeof(std::uint64_t);
     }
-    return capacity() * (per_entry + sizeof(Key)) + door;
+    return capacity() * (per_entry + sizeof(Key)) + sketch;
   }
 
  private:
+  static constexpr std::size_t kSketchRows = 4;
+  static constexpr std::size_t kCountersPerWord = 16;  // 4-bit counters
+  static constexpr std::uint32_t kCounterMax = 15;
+
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<Key, Value, Hash> map;  // never iterated: lookups only
     std::deque<Key> fifo;                      // insertion order, for eviction
-    std::vector<std::uint64_t> doorkeeper;     // fingerprint slots (0 = empty)
+    std::vector<std::uint64_t> sketch;  // kSketchRows x slots 4-bit counters
+    std::uint64_t sketch_ops = 0;       // misses since the last halving
     std::uint64_t hits = 0, misses = 0, evictions = 0;
     std::uint64_t admitted = 0, rejected = 0;
   };
 
-  /// True when the fingerprint was already present (second distinct
-  /// touch). Records it otherwise. Collisions can only *over*-admit,
-  /// never lose a legitimate second touch of a still-resident fingerprint.
-  static bool doorkeeper_passes(Shard& s, std::uint64_t h) {
-    if (s.doorkeeper.empty()) return true;
-    // Second hash round so shard-selection bits don't alias slot bits.
-    std::uint64_t f = h * 0x9e3779b97f4a7c15ull;
-    f ^= f >> 29;
-    if (f == 0) f = 1;  // 0 marks an empty slot
-    const std::size_t slot = f & (s.doorkeeper.size() - 1);
-    if (s.doorkeeper[slot] == f) return true;
-    s.doorkeeper[slot] = f;
-    return false;
+  /// Second hash round so shard-selection bits don't alias sketch bits;
+  /// returns the double-hashing pair the rows stride by.
+  static std::pair<std::uint64_t, std::uint64_t> sketch_hashes(
+      std::uint64_t h) {
+    std::uint64_t a = h * 0x9e3779b97f4a7c15ull;
+    a ^= a >> 29;
+    std::uint64_t b = a * 0xbf58476d1ce4e5b9ull;
+    b ^= b >> 31;
+    return {a, b | 1};  // odd stride: hits every slot of a pow2 row
+  }
+
+  std::uint32_t sketch_read(const Shard& s, std::size_t row,
+                            std::size_t slot) const {
+    const std::size_t word =
+        row * (sketch_slots_ / kCountersPerWord) + slot / kCountersPerWord;
+    const std::size_t shift = 4 * (slot % kCountersPerWord);
+    return static_cast<std::uint32_t>((s.sketch[word] >> shift) & 0xF);
+  }
+
+  void sketch_bump(Shard& s, std::size_t row, std::size_t slot) const {
+    const std::size_t word =
+        row * (sketch_slots_ / kCountersPerWord) + slot / kCountersPerWord;
+    const std::size_t shift = 4 * (slot % kCountersPerWord);
+    const std::uint64_t cur = (s.sketch[word] >> shift) & 0xF;
+    if (cur < kCounterMax) {
+      s.sketch[word] += std::uint64_t{1} << shift;
+    }
+  }
+
+  /// Count-min estimate of `h`'s frequency (no mutation).
+  std::uint32_t sketch_estimate(const Shard& s, std::uint64_t h) const {
+    const auto [a, b] = sketch_hashes(h);
+    std::uint32_t est = kCounterMax;
+    for (std::size_t row = 0; row < kSketchRows; ++row) {
+      const std::size_t slot = (a + row * b) & (sketch_slots_ - 1);
+      const std::uint32_t c = sketch_read(s, row, slot);
+      if (c < est) est = c;
+    }
+    return est;
+  }
+
+  /// Records one touch of `h` (saturating per row) and returns the
+  /// post-touch estimate. Every sample_period_ touches all counters halve,
+  /// so the estimate tracks the recent stream — the TinyLFU aging rule.
+  std::uint32_t sketch_touch(Shard& s, std::uint64_t h) const {
+    const auto [a, b] = sketch_hashes(h);
+    std::uint32_t est = kCounterMax;
+    for (std::size_t row = 0; row < kSketchRows; ++row) {
+      const std::size_t slot = (a + row * b) & (sketch_slots_ - 1);
+      sketch_bump(s, row, slot);
+      const std::uint32_t c = sketch_read(s, row, slot);
+      if (c < est) est = c;
+    }
+    if (++s.sketch_ops >= sample_period_) {
+      s.sketch_ops = 0;
+      for (std::uint64_t& w : s.sketch) {
+        w = (w >> 1) & 0x7777777777777777ull;
+      }
+    }
+    return est;
   }
 
   Options opts_;
   std::uint64_t per_shard_cap_ = 0;
+  std::size_t sketch_slots_ = 0;
+  std::uint64_t sample_period_ = 0;
   std::vector<Shard> shards_;
 };
 

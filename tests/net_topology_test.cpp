@@ -92,6 +92,54 @@ TEST(ImplicitTopology, GenIsSuperSplitsGeneratorList) {
   }
 }
 
+TEST(ImplicitTopology, RankRangeCursorMatchesNeighborsOnEveryFamily) {
+  // The cursor is the sharded engine's slice walk: for every family shape
+  // (plain and symmetric) it must visit exactly [first, last) in rank
+  // order and report arcs byte-identical to neighbors().
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    const ImplicitSuperIPTopology topo(spec);
+    const NodeId n = topo.num_nodes();
+
+    std::vector<TopoArc> expected;
+    RankRangeCursor whole = topo.rank_range(0, n);
+    NodeId u = kInvalidNodeId;
+    NodeId visited = 0;
+    while (whole.next(u)) {
+      ASSERT_EQ(u, visited);
+      topo.neighbors(u, expected);
+      EXPECT_EQ(whole.arcs(), expected) << "rank " << u;
+      // arcs() is idempotent until the next advance.
+      EXPECT_EQ(whole.arcs(), expected);
+      ++visited;
+    }
+    EXPECT_EQ(visited, n);
+    EXPECT_FALSE(whole.next(u));  // exhausted cursors stay exhausted
+  }
+}
+
+TEST(ImplicitTopology, RankRangeCursorPartialAndEmptyRanges) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(3));
+  const ImplicitSuperIPTopology topo(spec);
+  const NodeId n = topo.num_nodes();
+  ASSERT_GE(n, 16u);
+
+  // A range straddling super-symbol digit spans (Q3 nucleus: spans of 8).
+  RankRangeCursor mid = topo.rank_range(5, 19);
+  std::vector<TopoArc> expected;
+  NodeId u = kInvalidNodeId;
+  for (NodeId want = 5; want < 19; ++want) {
+    ASSERT_TRUE(mid.next(u));
+    EXPECT_EQ(u, want);
+    topo.neighbors(u, expected);
+    EXPECT_EQ(mid.arcs(), expected);
+  }
+  EXPECT_FALSE(mid.next(u));
+
+  RankRangeCursor empty = topo.rank_range(7, 7);
+  EXPECT_FALSE(empty.next(u));
+}
+
 TEST(ImplicitTopology, TenMillionNodeInstanceNeverMaterialized) {
   // HSN(6, Q4): 16^6 = 16,777,216 nodes. Construction plus adjacency
   // queries touch O(nucleus) memory only.

@@ -1,0 +1,419 @@
+// The shard determinism contract (docs/MODEL.md §12): every result a
+// sharded engine produces — distance summaries, exact analysis,
+// FaultSimResult down to each LatencyStats sample — is bit-identical
+// across shard counts {1, 2, 8}, thread counts {1, 8}, and against the
+// unsharded reference engines, including partitions whose cuts straddle
+// super-symbol digit boundaries (from_boundaries with arbitrary cuts).
+// Plus unit coverage of the partition algebra and the message seam.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "analysis/exact.hpp"
+#include "cluster/imetrics.hpp"
+#include "graph/bfs.hpp"
+#include "graph/bfs_batch.hpp"
+#include "graph/graph.hpp"
+#include "ipg/families.hpp"
+#include "ipg/super.hpp"
+#include "ipg/symmetric.hpp"
+#include "net/topology.hpp"
+#include "shard/bfs_engine.hpp"
+#include "shard/channel.hpp"
+#include "shard/fault_engine.hpp"
+#include "shard/partition.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topo/hypercube.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg {
+namespace {
+
+using shard::ByteReader;
+using shard::ByteWriter;
+using shard::RankRangePartition;
+using shard::ShardChannel;
+using sim::FaultPlan;
+using sim::FaultSimResult;
+using sim::LinkTiming;
+using sim::Packet;
+using sim::SimNetwork;
+
+constexpr int kShardCounts[] = {1, 2, 8};
+constexpr int kThreadCounts[] = {1, 8};
+
+// ---------------------------------------------------------------------------
+// Partition algebra.
+
+TEST(RankRangePartition, UniformSplitCoversWithNearEqualSlices) {
+  for (const std::uint64_t n : {0ull, 1ull, 7ull, 64ull, 1000ull}) {
+    for (const int s : {1, 2, 3, 8, 13}) {
+      const RankRangePartition part(n, s);
+      ASSERT_EQ(part.num_shards(), s);
+      ASSERT_EQ(part.num_ranks(), n);
+      std::uint64_t covered = 0;
+      std::uint64_t lo = n, hi = 0;
+      for (int i = 0; i < s; ++i) {
+        EXPECT_EQ(part.begin(i), covered) << "shard " << i;
+        covered += part.size(i);
+        EXPECT_EQ(part.end(i), covered);
+        lo = std::min(lo, part.size(i));
+        hi = std::max(hi, part.size(i));
+      }
+      EXPECT_EQ(covered, n);
+      if (n > 0) {
+        EXPECT_LE(hi - lo, 1u) << "n=" << n << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(RankRangePartition, OwnerInvertsTheSliceMap) {
+  for (const int s : {1, 2, 5, 8}) {
+    const RankRangePartition part(100, s);
+    for (std::uint64_t r = 0; r < 100; ++r) {
+      const int o = part.owner(r);
+      EXPECT_GE(r, part.begin(o));
+      EXPECT_LT(r, part.end(o));
+    }
+  }
+}
+
+TEST(RankRangePartition, FromBoundariesAllowsEmptyAndSkewedSlices) {
+  const auto part =
+      RankRangePartition::from_boundaries({0, 0, 7, 7, 10, 64});
+  ASSERT_EQ(part.num_shards(), 5);
+  ASSERT_EQ(part.num_ranks(), 64u);
+  EXPECT_EQ(part.size(0), 0u);
+  EXPECT_EQ(part.size(2), 0u);
+  EXPECT_EQ(part.size(4), 54u);
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    const int o = part.owner(r);
+    EXPECT_GE(r, part.begin(o)) << "rank " << r;
+    EXPECT_LT(r, part.end(o)) << "rank " << r;
+    EXPECT_GT(part.size(o), 0u);  // owner is never an empty slice
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message seam.
+
+TEST(ShardChannel, ExchangeConcatenatesInboxInSenderOrder) {
+  ShardChannel ch(3);
+  // Senders write to shard 2 out of order; the inbox must still read
+  // s=0's bytes, then s=1's, then s=2's.
+  ByteWriter(ch.outbox(1, 2)).write(std::uint32_t{111});
+  ByteWriter(ch.outbox(0, 2)).write(std::uint32_t{100});
+  ByteWriter(ch.outbox(2, 2)).write(std::uint32_t{122});
+  ByteWriter(ch.outbox(2, 0)).write(std::uint64_t{7});
+  ch.exchange();
+
+  ByteReader r2(ch.inbox(2));
+  EXPECT_EQ(r2.read<std::uint32_t>(), 100u);
+  EXPECT_EQ(r2.read<std::uint32_t>(), 111u);
+  EXPECT_EQ(r2.read<std::uint32_t>(), 122u);
+  EXPECT_TRUE(r2.empty());
+
+  ByteReader r0(ch.inbox(0));
+  EXPECT_EQ(r0.read<std::uint64_t>(), 7u);
+  EXPECT_TRUE(r0.empty());
+  EXPECT_TRUE(ByteReader(ch.inbox(1)).empty());
+  EXPECT_EQ(ch.bytes_exchanged(), 3 * sizeof(std::uint32_t) + sizeof(std::uint64_t));
+
+  // Outboxes come back empty; the next round starts clean.
+  EXPECT_TRUE(ch.outbox(0, 2).empty());
+  ch.exchange();
+  EXPECT_TRUE(ByteReader(ch.inbox(2)).empty());
+}
+
+TEST(ShardChannel, ByteFramingRoundTripsSpansAndScalars) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.write(3.25);
+  const std::vector<Node> path = {5, 9, 2};
+  w.write(std::uint64_t{path.size()});
+  w.write_span(std::span<const Node>(path));
+  ByteReader r(buf);
+  EXPECT_EQ(r.read<double>(), 3.25);
+  std::vector<Node> got(r.read<std::uint64_t>());
+  r.read_into(got.data(), got.size());
+  EXPECT_EQ(got, path);
+  EXPECT_TRUE(r.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded distance summaries.
+
+void expect_summary_identical(const DistanceSummary& a,
+                              const DistanceSummary& b,
+                              const std::string& tag) {
+  EXPECT_EQ(a.diameter, b.diameter) << tag;
+  EXPECT_EQ(a.average_distance, b.average_distance) << tag;  // bitwise
+  EXPECT_EQ(a.strongly_connected, b.strongly_connected) << tag;
+  EXPECT_EQ(a.histogram, b.histogram) << tag;
+}
+
+TEST(ShardedBfs, GraphSummaryBitIdenticalAcrossShardsAndThreads) {
+  const std::vector<std::pair<const char*, Graph>> cases = [] {
+    std::vector<std::pair<const char*, Graph>> v;
+    v.emplace_back("Q6", topo::hypercube(6));
+    v.emplace_back("HSN(2,Q3)",
+                   build_super_ip_graph(make_hsn(2, hypercube_nucleus(3))).graph);
+    v.emplace_back("ringCN(3,S3)",
+                   build_super_ip_graph(make_ring_cn(3, star_nucleus(3))).graph);
+    return v;
+  }();
+  for (const auto& [name, g] : cases) {
+    SCOPED_TRACE(name);
+    // More sources than one 64-lane batch, so the batch loop is exercised.
+    std::vector<Node> sources(std::min<Node>(g.num_nodes(), 80));
+    std::iota(sources.begin(), sources.end(), Node{0});
+    const DistanceSummary oracle =
+        batched_distance_summary(g, sources, ExecPolicy::serial_policy());
+    for (const int s : kShardCounts) {
+      const RankRangePartition part(g.num_nodes(), s);
+      for (const int t : kThreadCounts) {
+        const DistanceSummary got =
+            shard::sharded_distance_summary(g, sources, part, ExecPolicy{t});
+        expect_summary_identical(oracle, got,
+                                 std::string(name) + " shards=" +
+                                     std::to_string(s) + " threads=" +
+                                     std::to_string(t));
+      }
+    }
+  }
+}
+
+TEST(ShardedBfs, BoundaryStraddlingCutsChangeNothing) {
+  // HSN(2,Q3): 64 ranks in 8 super-symbol spans of 8. Cuts at 3/13/37
+  // land strictly inside digit spans — the engine must not care.
+  const Graph g =
+      build_super_ip_graph(make_hsn(2, hypercube_nucleus(3))).graph;
+  ASSERT_EQ(g.num_nodes(), 64u);
+  std::vector<Node> sources(g.num_nodes());
+  std::iota(sources.begin(), sources.end(), Node{0});
+  const DistanceSummary oracle =
+      batched_distance_summary(g, sources, ExecPolicy::serial_policy());
+  const auto part = RankRangePartition::from_boundaries({0, 3, 13, 37, 64});
+  for (const int t : kThreadCounts) {
+    const DistanceSummary got =
+        shard::sharded_distance_summary(g, sources, part, ExecPolicy{t});
+    expect_summary_identical(oracle, got, "straddling @" + std::to_string(t));
+  }
+}
+
+TEST(ShardedBfs, ImplicitTopologyMatchesMaterializedSweep) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const IPGraph g = build_super_ip_graph(spec);
+  ASSERT_EQ(topo.num_nodes(), g.graph.num_nodes());
+
+  // Sources by rank on the implicit side; the same nodes translated
+  // through the label bijection on the materialized side. The summary is
+  // an isomorphism invariant of the (graph, source multiset) pair.
+  std::vector<net::NodeId> rank_sources;
+  for (net::NodeId r = 0; r < topo.num_nodes(); r += 3) rank_sources.push_back(r);
+  std::vector<Node> mat_of_rank(g.graph.num_nodes());
+  for (Node u = 0; u < g.graph.num_nodes(); ++u) {
+    const net::NodeId r = topo.node_of(g.labels()[u]);
+    ASSERT_NE(r, net::kInvalidNodeId);
+    mat_of_rank[r] = u;
+  }
+  std::vector<Node> mat_sources;
+  for (const net::NodeId r : rank_sources) {
+    mat_sources.push_back(mat_of_rank[r]);
+  }
+  const DistanceSummary oracle = multi_source_distance_summary(
+      g.graph, mat_sources, ExecPolicy::serial_policy());
+
+  for (const int s : kShardCounts) {
+    const RankRangePartition part(topo.num_nodes(), s);
+    for (const int t : kThreadCounts) {
+      const DistanceSummary got = shard::sharded_distance_summary(
+          topo, rank_sources, part, ExecPolicy{t});
+      expect_summary_identical(oracle, got,
+                               "implicit shards=" + std::to_string(s) +
+                                   " threads=" + std::to_string(t));
+    }
+  }
+  // And with cuts inside super-symbol digit spans.
+  const auto straddle =
+      RankRangePartition::from_boundaries({0, 5, 21, 22, topo.num_nodes()});
+  const DistanceSummary got = shard::sharded_distance_summary(
+      topo, rank_sources, straddle, ExecPolicy{8});
+  expect_summary_identical(oracle, got, "implicit straddling");
+}
+
+// ---------------------------------------------------------------------------
+// Analysis routed through the seam.
+
+TEST(ShardedAnalysis, ExactAnalysisBitIdenticalAcrossShardCounts) {
+  const Graph g =
+      build_super_ip_graph(make_complete_cn(3, hypercube_nucleus(2))).graph;
+  ExactOptions base;
+  const ExactAnalysis oracle = exact_analysis(g, ExecPolicy::serial_policy(), base);
+  for (const int s : kShardCounts) {
+    for (const int t : kThreadCounts) {
+      ExactOptions opts;
+      opts.num_shards = s;
+      const ExactAnalysis got = exact_analysis(g, ExecPolicy{t}, opts);
+      const std::string tag =
+          "shards=" + std::to_string(s) + " threads=" + std::to_string(t);
+      expect_summary_identical(oracle.distances, got.distances, tag);
+      EXPECT_EQ(oracle.profile.diameter, got.profile.diameter) << tag;
+      EXPECT_EQ(oracle.profile.average_distance, got.profile.average_distance)
+          << tag;
+      EXPECT_EQ(oracle.profile.nodes, got.profile.nodes) << tag;
+      EXPECT_EQ(oracle.profile.links, got.profile.links) << tag;
+    }
+  }
+}
+
+TEST(ShardedAnalysis, SymmetryFastPathShardsTheSingleSourceSweep) {
+  const SuperIPSpec spec = make_symmetric(make_hsn(2, hypercube_nucleus(2)));
+  const Graph g = build_super_ip_graph(spec).graph;
+  ExactOptions base;
+  base.assume_vertex_transitive = true;
+  const ExactAnalysis oracle = exact_analysis(g, ExecPolicy::serial_policy(), base);
+  for (const int s : kShardCounts) {
+    ExactOptions opts = base;
+    opts.num_shards = s;
+    const ExactAnalysis got = exact_analysis(g, ExecPolicy{8}, opts);
+    expect_summary_identical(oracle.distances, got.distances,
+                             "fast path shards=" + std::to_string(s));
+  }
+}
+
+TEST(ShardedAnalysis, IMetricsStableAcrossThreadCounts) {
+  // The I-metrics sweep sits beside the sharded sweep in the figure
+  // pipeline; pin that its numbers are exec-invariant on the same
+  // instances the shard tests use.
+  const IPGraph g = build_super_ip_graph(make_hsn(2, hypercube_nucleus(3)));
+  const ModuleAssignment ma = nucleus_modules(g, 2);
+  const Clustering c{ma.module_of, ma.num_modules};
+  const IMetrics oracle = i_metrics(g.graph, c);
+  for (const int t : kThreadCounts) {
+    const IMetrics got = i_metrics(g.graph, c, ExecPolicy{t});
+    EXPECT_EQ(oracle.i_degree, got.i_degree) << t;
+    EXPECT_EQ(oracle.i_diameter, got.i_diameter) << t;
+    EXPECT_EQ(oracle.avg_i_distance, got.avg_i_distance) << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded fault simulation.
+
+void expect_fault_result_identical(const FaultSimResult& a,
+                                   const FaultSimResult& b,
+                                   const std::string& tag) {
+  EXPECT_EQ(a.injected, b.injected) << tag;
+  EXPECT_EQ(a.delivered, b.delivered) << tag;
+  EXPECT_EQ(a.dropped, b.dropped) << tag;
+  EXPECT_EQ(a.detours, b.detours) << tag;
+  EXPECT_EQ(a.bfs_fallbacks, b.bfs_fallbacks) << tag;
+  EXPECT_EQ(a.planned_hop_sum, b.planned_hop_sum) << tag;
+  EXPECT_EQ(a.actual_hop_sum, b.actual_hop_sum) << tag;
+  EXPECT_EQ(a.makespan, b.makespan) << tag;  // bitwise: same fl order
+  EXPECT_EQ(a.latency.count(), b.latency.count()) << tag;
+  EXPECT_EQ(a.latency.mean(), b.latency.mean()) << tag;
+  EXPECT_EQ(a.latency.max(), b.latency.max()) << tag;
+  EXPECT_EQ(a.latency.percentile(0.99), b.latency.percentile(0.99)) << tag;
+  EXPECT_EQ(a.latency.mean_hops(), b.latency.mean_hops()) << tag;
+  EXPECT_EQ(a.latency.mean_off_module_hops(), b.latency.mean_off_module_hops())
+      << tag;
+}
+
+TEST(ShardedFaults, TablePolicyBitIdenticalAcrossShardsAndThreads) {
+  const Graph g =
+      build_super_ip_graph(make_hsn(2, hypercube_nucleus(3))).graph;
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const auto packets = sim::uniform_traffic(g.num_nodes(), 3.0, 60.0, 11);
+  // Permanent faults plus transient windows: the fault timeline interacts
+  // with the event calendar, and both engines must agree anyway.
+  FaultPlan plan = FaultPlan::random_node_faults(g.num_nodes(), 3, 42);
+  plan.fail_node(1, 5.0, 20.0);
+  plan.fail_link(0, net.next_hop(0, g.num_nodes() - 1), 10.0, 30.0);
+
+  const FaultSimResult oracle = simulate_with_faults(net, packets, plan);
+  for (const int s : kShardCounts) {
+    const RankRangePartition part(g.num_nodes(), s);
+    for (const int t : kThreadCounts) {
+      const FaultSimResult got = shard::sharded_simulate_with_faults(
+          net, packets, plan, part, {}, {}, ExecPolicy{t});
+      expect_fault_result_identical(oracle, got,
+                                    "table shards=" + std::to_string(s) +
+                                        " threads=" + std::to_string(t));
+    }
+  }
+}
+
+TEST(ShardedFaults, LabelPolicyMultiFlitCutThroughBitIdentical) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const SimNetwork net(topo, LinkTiming{1.0, 4.0});
+  const auto packets = sim::uniform_traffic(
+      static_cast<Node>(topo.num_nodes()), 2.0, 80.0, 13);
+  FaultPlan plan = FaultPlan::random_transient_node_faults(
+      topo.num_nodes(), 4, 60.0, 8.0, 7);
+  const sim::MessageModel model{4, sim::SwitchingMode::kCutThrough};
+
+  const FaultSimResult oracle = simulate_with_faults(net, packets, plan, model);
+  for (const int s : kShardCounts) {
+    const RankRangePartition part(topo.num_nodes(), s);
+    for (const int t : kThreadCounts) {
+      const FaultSimResult got = shard::sharded_simulate_with_faults(
+          net, packets, plan, part, model, {}, ExecPolicy{t});
+      expect_fault_result_identical(oracle, got,
+                                    "label shards=" + std::to_string(s) +
+                                        " threads=" + std::to_string(t));
+    }
+  }
+}
+
+TEST(ShardedFaults, BoundaryStraddlingPartitionBitIdentical) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const SimNetwork net(topo, LinkTiming{1.0, 1.0});
+  const auto packets = sim::uniform_traffic(
+      static_cast<Node>(topo.num_nodes()), 2.0, 40.0, 5);
+  FaultPlan plan;
+  plan.fail_node(3, 0.0, 15.0);
+
+  const FaultSimResult oracle = simulate_with_faults(net, packets, plan);
+  // HSN(2,Q2): 16 ranks in 4 super-symbol spans of 4; cuts at 1/6/7 sit
+  // inside digit spans and leave one slice empty.
+  const auto part =
+      RankRangePartition::from_boundaries({0, 1, 6, 6, 7, topo.num_nodes()});
+  for (const int t : kThreadCounts) {
+    const FaultSimResult got = shard::sharded_simulate_with_faults(
+        net, packets, plan, part, {}, {}, ExecPolicy{t});
+    expect_fault_result_identical(oracle, got,
+                                  "straddling @" + std::to_string(t));
+  }
+}
+
+TEST(ShardedFaults, EmptyPlanStillMatchesPlainSimulate) {
+  // Transitively pins the sharded engine to simulate(): sharded == faulty
+  // == plain when no fault ever fires.
+  const Graph g = topo::hypercube(5);
+  const SimNetwork net(g, LinkTiming{1.0, 1.0});
+  const auto packets = sim::uniform_traffic(g.num_nodes(), 3.0, 40.0, 3);
+  const auto plain = simulate(net, packets);
+  const RankRangePartition part(g.num_nodes(), 8);
+  const FaultSimResult got = shard::sharded_simulate_with_faults(
+      net, packets, FaultPlan{}, part, {}, {}, ExecPolicy{8});
+  EXPECT_EQ(got.delivered, plain.delivered);
+  EXPECT_EQ(got.dropped, 0u);
+  EXPECT_EQ(got.latency.mean(), plain.latency.mean());
+  EXPECT_EQ(got.latency.max(), plain.latency.max());
+  EXPECT_EQ(got.makespan, plain.makespan);
+}
+
+}  // namespace
+}  // namespace ipg
