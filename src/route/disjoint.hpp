@@ -1,0 +1,118 @@
+#pragma once
+// k-disjoint-path routing: Menger-certified sets of pairwise internally
+// node-disjoint routes over super-IP topologies.
+//
+// The paper's families are maximally fault tolerant (connectivity kappa
+// equals the degree for the symmetric variants), so any kappa - 1 node
+// failures leave every surviving pair connected — and a set of kappa
+// internally disjoint paths turns that existence theorem into a routing
+// strategy: at most one path dies per faulty node, so trying the paths in
+// length order always finds a live one while faults stay below kappa.
+//
+// Two modes behind one API:
+//   - snapshot mode (instances within KDisjointOptions' caps): a per-query
+//     unit-capacity node-split max flow over a captured CSR image yields
+//     the exact Menger maximum pi(src, dst); candidates from the rotated
+//     shortest-path IST forest (route/ist.hpp) rooted at dst are preferred
+//     when they already realize that maximum (every tree path has optimal
+//     length), otherwise the flow decomposition itself is returned. Either
+//     way the cardinality is flow-certified.
+//   - structural mode (implicit topologies beyond the caps): candidates
+//     come from the lazily evaluated StructuralPathSystem (generator-g
+//     branch + Theorem 4.1/4.3 schedule), greedily filtered to a pairwise
+//     internally-disjoint subset. No oracle runs at that scale, so the set
+//     is best-effort (certified = false) but still disjoint by
+//     construction of the filter.
+//
+// Queries are pure functions of (topology, src, dst, k) with per-call
+// scratch only, so concurrent calls from the engine's worker threads are
+// safe and bit-identical.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "route/ist.hpp"
+
+namespace ipg::route {
+
+/// One simple src -> dst path: the node sequence (endpoints included) and
+/// the parallel generator/arc-tag sequence (gens.size() == nodes.size()-1).
+struct DisjointPath {
+  std::vector<net::NodeId> nodes;
+  std::vector<int> gens;
+
+  int length() const noexcept { return static_cast<int>(gens.size()); }
+};
+
+/// routes() result: pairwise internally node-disjoint paths in
+/// nondecreasing length order (paths[0] is the set's shortest route).
+struct DisjointRouteSet {
+  std::vector<DisjointPath> paths;
+  /// True when the cardinality is flow-certified: |paths| equals the
+  /// Menger maximum pi(src, dst) — or the requested k when that is
+  /// smaller. Snapshot mode always certifies; structural mode cannot run
+  /// the oracle.
+  bool certified = false;
+  /// True when every path came from the IST construction (all of optimal
+  /// length in snapshot mode); false when the flow decomposition had to
+  /// replace them.
+  bool from_trees = false;
+};
+
+struct KDisjointOptions {
+  /// Snapshot caps. Instances beyond either bound use the structural path
+  /// system (implicit topologies) or make the generic constructor throw
+  /// std::length_error.
+  net::NodeId max_snapshot_nodes = net::NodeId{1} << 18;
+  std::uint64_t max_snapshot_arcs = std::uint64_t{1} << 23;
+};
+
+class KDisjointRouter {
+ public:
+  /// Snapshot mode over any adjacency view; throws std::length_error when
+  /// the instance exceeds the caps. Non-owning; `topo` must outlive the
+  /// router. The snapshot is taken here, so a FaultyTopology view is
+  /// frozen at construction time — route around live faults at the
+  /// selection layer (sim::SimNetwork), not here.
+  explicit KDisjointRouter(const net::Topology& topo,
+                           KDisjointOptions opts = {});
+
+  /// Implicit super-IP overload: snapshot mode within the caps, structural
+  /// mode beyond them (never throws for size).
+  explicit KDisjointRouter(const net::ImplicitSuperIPTopology& topo,
+                           KDisjointOptions opts = {});
+
+  KDisjointRouter(const KDisjointRouter&) = delete;
+  KDisjointRouter& operator=(const KDisjointRouter&) = delete;
+
+  bool snapshot_mode() const noexcept { return snap_.has_value(); }
+  const TopoSnapshot* snapshot() const noexcept {
+    return snap_ ? &*snap_ : nullptr;
+  }
+
+  /// Pairwise internally node-disjoint src -> dst paths; k == 0 asks for
+  /// the maximum set, k > 0 caps the cardinality at k. Empty (and
+  /// certified in snapshot mode) when dst is unreachable; empty and
+  /// uncertified when src == dst or an id is out of range.
+  DisjointRouteSet routes(net::NodeId src, net::NodeId dst, int k = 0) const;
+
+  /// The rotated shortest-path IST forest rooted at `root` (snapshot mode
+  /// only) — exposed for the oracle tests and broadcast experiments.
+  ISTForest forest(net::NodeId root, int num_trees) const;
+
+ private:
+  DisjointRouteSet routes_snapshot(net::NodeId src, net::NodeId dst,
+                                   int k) const;
+  DisjointRouteSet routes_structural(net::NodeId src, net::NodeId dst,
+                                     int k) const;
+
+  const net::Topology* topo_;
+  KDisjointOptions opts_;
+  std::optional<TopoSnapshot> snap_;
+  std::unique_ptr<StructuralPathSystem> structural_;
+};
+
+}  // namespace ipg::route

@@ -1,0 +1,206 @@
+#include "route/ist.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "ipg/static_check.hpp"
+
+namespace ipg::route {
+
+TopoSnapshot TopoSnapshot::capture(const net::Topology& topo,
+                                   net::NodeId max_nodes,
+                                   std::uint64_t max_arcs) {
+  TopoSnapshot s;
+  s.n = topo.num_nodes();
+  if (s.n > max_nodes) {
+    throw std::length_error("TopoSnapshot: " + std::to_string(s.n) +
+                            " nodes exceed the snapshot cap of " +
+                            std::to_string(max_nodes));
+  }
+  s.off.assign(static_cast<std::size_t>(s.n) + 1, 0);
+  std::vector<net::TopoArc> arcs;
+  for (net::NodeId u = 0; u < s.n; ++u) {
+    topo.neighbors(u, arcs);  // sorted by (to, tag): deterministic image
+    if (s.to.size() + arcs.size() > max_arcs) {
+      throw std::length_error("TopoSnapshot: arc count exceeds the cap of " +
+                              std::to_string(max_arcs));
+    }
+    for (const net::TopoArc& a : arcs) {
+      s.to.push_back(a.to);
+      s.tag.push_back(a.tag);
+    }
+    s.off[static_cast<std::size_t>(u) + 1] = s.to.size();
+  }
+
+  // Reverse CSR: indegree count, prefix sum, then a stable fill — scanning
+  // sources in ascending order keeps every reverse list sorted.
+  s.roff.assign(static_cast<std::size_t>(s.n) + 1, 0);
+  for (const net::NodeId v : s.to) s.roff[static_cast<std::size_t>(v) + 1]++;
+  for (std::size_t i = 1; i <= s.n; ++i) s.roff[i] += s.roff[i - 1];
+  s.rfrom.resize(s.to.size());
+  std::vector<std::uint64_t> cursor(s.roff.begin(), s.roff.end() - 1);
+  for (net::NodeId u = 0; u < s.n; ++u) {
+    for (std::uint64_t e = s.off[static_cast<std::size_t>(u)];
+         e < s.off[static_cast<std::size_t>(u) + 1]; ++e) {
+      s.rfrom[cursor[static_cast<std::size_t>(s.to[e])]++] = u;
+    }
+  }
+  return s;
+}
+
+bool ISTForest::spans(int t) const {
+  const auto& parent = parent_[static_cast<std::size_t>(t)];
+  for (net::NodeId v = 0; v < n_; ++v) {
+    net::NodeId cur = v;
+    net::NodeId steps = 0;
+    while (cur != root_) {
+      const net::TopoArc p = parent[static_cast<std::size_t>(cur)];
+      if (p.to == net::kInvalidNodeId || ++steps > n_) return false;
+      cur = p.to;
+    }
+  }
+  return true;
+}
+
+std::vector<net::TopoArc> ISTForest::path_to_root(int t, net::NodeId v) const {
+  std::vector<net::TopoArc> out;
+  const auto& parent = parent_[static_cast<std::size_t>(t)];
+  for (net::NodeId cur = v; cur != root_;) {
+    const net::TopoArc p = parent[static_cast<std::size_t>(cur)];
+    IPG_CONTRACT(p.to != net::kInvalidNodeId);
+    out.push_back(p);
+    cur = p.to;  // dist strictly decreases: terminates in dist(v) steps
+  }
+  return out;
+}
+
+ISTForest build_ist_forest(const TopoSnapshot& snap, net::NodeId root,
+                           int num_trees) {
+  IPG_CONTRACT(root < snap.n);
+  IPG_CONTRACT(num_trees >= 1);
+  ISTForest f;
+  f.root_ = root;
+  f.n_ = snap.n;
+
+  // BFS over reverse arcs: dist_[v] = forward-hop distance v -> root.
+  f.dist_.assign(static_cast<std::size_t>(snap.n),
+                 ISTForest::kUnreachableDist);
+  std::vector<net::NodeId> queue;
+  queue.reserve(static_cast<std::size_t>(snap.n));
+  f.dist_[static_cast<std::size_t>(root)] = 0;
+  queue.push_back(root);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const net::NodeId v = queue[head];
+    const std::uint32_t dv = f.dist_[static_cast<std::size_t>(v)];
+    for (std::uint64_t e = snap.roff[static_cast<std::size_t>(v)];
+         e < snap.roff[static_cast<std::size_t>(v) + 1]; ++e) {
+      const net::NodeId u = snap.rfrom[e];
+      if (f.dist_[static_cast<std::size_t>(u)] != ISTForest::kUnreachableDist) {
+        continue;
+      }
+      f.dist_[static_cast<std::size_t>(u)] = dv + 1;
+      queue.push_back(u);
+    }
+  }
+
+  // Tree t's parent of v: the (t mod c_v)-th of v's distance-descending
+  // out-arcs (c_v >= 1 for every root-reaching vertex). The arcs inherit
+  // the snapshot's (to, tag) order, so the rotation is deterministic.
+  f.parent_.assign(static_cast<std::size_t>(num_trees),
+                   std::vector<net::TopoArc>(static_cast<std::size_t>(snap.n)));
+  std::vector<net::TopoArc> down;
+  for (net::NodeId v = 0; v < snap.n; ++v) {
+    const std::uint32_t dv = f.dist_[static_cast<std::size_t>(v)];
+    if (v == root || dv == ISTForest::kUnreachableDist) continue;
+    down.clear();
+    for (std::uint64_t e = snap.off[static_cast<std::size_t>(v)];
+         e < snap.off[static_cast<std::size_t>(v) + 1]; ++e) {
+      const net::NodeId w = snap.to[e];
+      if (f.dist_[static_cast<std::size_t>(w)] + 1 == dv) {
+        down.push_back({w, snap.tag[e]});
+      }
+    }
+    IPG_CONTRACT(!down.empty());
+    for (int t = 0; t < num_trees; ++t) {
+      f.parent_[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)] =
+          down[static_cast<std::size_t>(t) % down.size()];
+    }
+  }
+  return f;
+}
+
+ISTForest build_ist_forest(const net::Topology& topo, net::NodeId root,
+                           int num_trees) {
+  const TopoSnapshot snap = TopoSnapshot::capture(
+      topo, net::NodeId{1} << 18, std::uint64_t{1} << 23);
+  return build_ist_forest(snap, root, num_trees);
+}
+
+StructuralPathSystem::StructuralPathSystem(
+    const net::ImplicitSuperIPTopology& topo)
+    : topo_(&topo), router_(std::make_unique<SuperIPRouter>(topo.spec())) {}
+
+bool StructuralPathSystem::path_to_root(int t, net::NodeId v, net::NodeId root,
+                                        std::vector<net::NodeId>& nodes,
+                                        std::vector<int>& gens) const {
+  nodes.clear();
+  gens.clear();
+  nodes.push_back(v);
+  if (v == root) return true;
+
+  net::NodeId cur = v;
+  if (t >= 0) {
+    const net::NodeId w = topo_->neighbor_via(v, t);
+    if (w == v) return false;  // generator fixes the label: no branch here
+    gens.push_back(t);
+    nodes.push_back(w);
+    cur = w;
+  }
+  if (cur != root) {
+    Label a, b;
+    topo_->label_into(cur, a);
+    topo_->label_into(root, b);
+    for (const int g : router_->route(a, b).gens) {
+      cur = topo_->neighbor_via(cur, g);
+      gens.push_back(g);
+      nodes.push_back(cur);
+    }
+  }
+
+  // Truncate at the first visit to the root (a sorting route may pass
+  // through it early), then erase loops: the branch hop can revisit nodes
+  // the restarted schedule walks again.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == root) {
+      nodes.resize(i + 1);
+      gens.resize(i);
+      break;
+    }
+  }
+  std::unordered_map<net::NodeId, std::size_t> first;  // node -> kept index
+  std::vector<net::NodeId> kept_nodes;
+  std::vector<int> kept_gens;
+  kept_nodes.push_back(nodes[0]);
+  first.emplace(nodes[0], 0);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const auto it = first.find(nodes[i]);
+    if (it != first.end()) {
+      while (kept_nodes.size() > it->second + 1) {
+        first.erase(kept_nodes.back());
+        kept_nodes.pop_back();
+        kept_gens.pop_back();
+      }
+    } else {
+      kept_gens.push_back(gens[i - 1]);
+      kept_nodes.push_back(nodes[i]);
+      first.emplace(nodes[i], kept_nodes.size() - 1);
+    }
+  }
+  nodes.swap(kept_nodes);
+  gens.swap(kept_gens);
+  IPG_CONTRACT(nodes.back() == root);
+  return true;
+}
+
+}  // namespace ipg::route

@@ -1,0 +1,132 @@
+#pragma once
+// Independent spanning trees for super-IP topologies — the construction
+// layer under route/disjoint.hpp's k-disjoint-path router.
+//
+// Snapshot side (TopoSnapshot + ISTForest): capture a bounded CSR image of
+// any net::Topology, BFS the reverse arcs from a root, and give every
+// vertex one parent per tree among its distance-descending out-arcs,
+// rotating the choice by tree index. This is the rightmost-correct-symbol
+// idiom of the permutation-graph IST literature generalized to arbitrary
+// generator sets: tree t "corrects a different symbol" — takes a different
+// shortest-path arc — wherever the vertex has a choice. Every tree is a
+// shortest-path in-tree, so each one spans and its root paths have optimal
+// length; trees differ wherever the topology offers alternatives, and the
+// router above certifies pairwise disjointness against a max-flow oracle
+// (constructing provably independent trees for arbitrary k-connected
+// graphs is open beyond k = 4, so the oracle — not the rotation — carries
+// the guarantee).
+//
+// Structural side (StructuralPathSystem): for implicit instances too large
+// to snapshot, tree t's path v -> root is the loop-erased walk "generator
+// t first, then the Theorem 4.1/4.3 schedule route from the branch
+// target" — O(nucleus) memory, no materialization: the first hop picks the
+// branch and the schedule sorts the rest, lifting the nucleus-level rule
+// through the hierarchy exactly as the paper's routing does.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/topology.hpp"
+#include "route/super_ip_routing.hpp"
+
+namespace ipg::route {
+
+/// Bounded CSR image (forward + reverse arcs) of a Topology — the
+/// substrate of ISTForest and of KDisjointRouter's flow oracle. capture()
+/// throws std::length_error when the instance exceeds either cap.
+struct TopoSnapshot {
+  net::NodeId n = 0;
+  std::vector<std::uint64_t> off;   ///< forward CSR offsets, size n + 1
+  std::vector<net::NodeId> to;      ///< arc targets, (to, tag)-sorted per node
+  std::vector<EdgeTag> tag;         ///< arc tags, parallel to `to`
+  std::vector<std::uint64_t> roff;  ///< reverse CSR offsets, size n + 1
+  std::vector<net::NodeId> rfrom;   ///< arc sources, sorted per node
+
+  std::uint64_t num_arcs() const noexcept { return to.size(); }
+
+  static TopoSnapshot capture(const net::Topology& topo, net::NodeId max_nodes,
+                              std::uint64_t max_arcs);
+};
+
+class ISTForest;
+ISTForest build_ist_forest(const TopoSnapshot& snap, net::NodeId root,
+                           int num_trees);
+
+/// `num_trees` rotated shortest-path in-trees rooted at one vertex: every
+/// tree-t path v -> root follows forward arcs and has exactly
+/// dist_to_root(v) hops, so on a (strongly) connected topology every tree
+/// spans. Rooting at the *destination* makes the per-tree src -> dst paths
+/// of the disjoint router follow arc directions on digraphs too.
+class ISTForest {
+ public:
+  static constexpr std::uint32_t kUnreachableDist = ~0u;
+
+  net::NodeId root() const noexcept { return root_; }
+  net::NodeId num_nodes() const noexcept { return n_; }
+  int num_trees() const noexcept { return static_cast<int>(parent_.size()); }
+
+  /// Hop count of every tree's path v -> root (all trees are shortest-path
+  /// trees); kUnreachableDist when v cannot reach the root.
+  std::uint32_t dist_to_root(net::NodeId v) const {
+    return dist_[static_cast<std::size_t>(v)];
+  }
+
+  /// Parent arc of v in tree `t` (the arc v -> parent). The root — and any
+  /// vertex that cannot reach it — has parent {kInvalidNodeId, kNoTag}.
+  net::TopoArc parent(int t, net::NodeId v) const {
+    return parent_[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)];
+  }
+
+  /// True iff every vertex reaches the root through tree `t`'s parent
+  /// chain (verified by walking the chains, not assumed).
+  bool spans(int t) const;
+
+  /// The tree-t path v -> root as arcs; empty when v is the root. Length
+  /// equals dist_to_root(v).
+  std::vector<net::TopoArc> path_to_root(int t, net::NodeId v) const;
+
+ private:
+  friend ISTForest build_ist_forest(const TopoSnapshot& snap, net::NodeId root,
+                                    int num_trees);
+
+  net::NodeId root_ = net::kInvalidNodeId;
+  net::NodeId n_ = 0;
+  std::vector<std::uint32_t> dist_;                // [vertex]
+  std::vector<std::vector<net::TopoArc>> parent_;  // [tree][vertex]
+};
+
+/// Convenience overload: snapshot then build (throws std::length_error
+/// past the caps — intended for enumerable instances).
+ISTForest build_ist_forest(const net::Topology& topo, net::NodeId root,
+                           int num_trees);
+
+/// Lazy tree-path evaluation on implicit super-IP topologies beyond
+/// snapshot scale: no per-vertex state is ever stored, so instances of
+/// 10^7+ nodes cost O(nucleus) memory. Candidate paths from distinct first
+/// generators start over distinct arcs; the disjoint router filters them
+/// to a pairwise internally-disjoint subset at query time.
+class StructuralPathSystem {
+ public:
+  explicit StructuralPathSystem(const net::ImplicitSuperIPTopology& topo);
+
+  /// One candidate tree per generator of the lifted spec.
+  int num_trees() const noexcept { return topo_->num_generators(); }
+
+  /// The tree-`t` walk v -> root: generator `t` first (t == -1 skips the
+  /// branch hop — the plain Theorem 4.1/4.3 route), then the schedule
+  /// route from the branch target, truncated at the first visit to `root`
+  /// and loop-erased. Fills `nodes` (v .. root inclusive) and the parallel
+  /// generator sequence `gens`; returns false (outputs cleared) when
+  /// generator `t` fixes v's label, i.e. tree t has no branch at v.
+  bool path_to_root(int t, net::NodeId v, net::NodeId root,
+                    std::vector<net::NodeId>& nodes,
+                    std::vector<int>& gens) const;
+
+ private:
+  const net::ImplicitSuperIPTopology* topo_;
+  std::unique_ptr<SuperIPRouter> router_;
+};
+
+}  // namespace ipg::route

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ipg/static_check.hpp"
 #include "util/narrow.hpp"
 
 namespace ipg::route {
@@ -12,7 +13,11 @@ QueryEngine::QueryEngine(const net::Topology& topo, QueryEngineOptions opts)
       opts_(opts),
       cache_({.capacity = opts.cache_capacity,
               .shards = opts.cache_shards,
-              .admission = opts.cache_admission}) {}
+              .admission = opts.cache_admission}) {
+  if (opts_.enable_disjoint) {
+    disjoint_ = std::make_unique<KDisjointRouter>(topo);
+  }
+}
 
 QueryEngine::QueryEngine(const net::ImplicitSuperIPTopology& topo,
                          QueryEngineOptions opts)
@@ -43,6 +48,9 @@ QueryEngine::QueryEngine(const net::ImplicitSuperIPTopology& topo,
     for (int q = 0; q < topo.spec().l; ++q) {
       plain_dest_[sched.final_arrangement[as_size(q)]] = q;
     }
+  }
+  if (opts_.enable_disjoint) {
+    disjoint_ = std::make_unique<KDisjointRouter>(topo);
   }
 }
 
@@ -198,6 +206,29 @@ void QueryEngine::answer_one(const RouteQuery& q, RouteAnswer& out, Scratch& s,
     return;
   }
 
+  if (q.policy == RoutePolicy::kDisjoint) {
+    // Bypasses the route cache (it is keyed by (src, dst) only) and the
+    // backends: the answer is the shortest path of the disjoint set.
+    if (disjoint_ == nullptr) {
+      out.status = AnswerStatus::kInvalid;
+      out.distance = -1;
+      return;
+    }
+    const DisjointRouteSet set = disjoint_->routes(q.src, q.dst, /*k=*/1);
+    if (set.paths.empty()) {
+      out.status = AnswerStatus::kUnreachable;
+      out.distance = -1;
+      return;
+    }
+    const DisjointPath& p = set.paths.front();
+    out.status = AnswerStatus::kOk;
+    out.distance = static_cast<std::int32_t>(p.gens.size());
+    out.first_gen = p.gens.empty() ? -1 : p.gens.front();
+    if (q.kind != QueryKind::kDistance) out.next_hop = p.nodes[1];
+    if (q.kind == QueryKind::kFullRoute) out.gens = p.gens;
+    return;
+  }
+
   if (use_cache && cache_.capacity() > 0) {
     cache_.get_or_compute(
         PairKey{q.src, q.dst},
@@ -279,6 +310,13 @@ RouteAnswer QueryEngine::answer(const RouteQuery& q) const {
   Scratch s;
   answer_one(q, out, s, /*use_cache=*/true, opts_.use_packed_kernels);
   return out;
+}
+
+DisjointRouteSet QueryEngine::k_disjoint_routes(net::NodeId src,
+                                                net::NodeId dst, int k) const {
+  IPG_CONTRACT(disjoint_ != nullptr &&
+               "construct with QueryEngineOptions::enable_disjoint");
+  return disjoint_->routes(src, dst, k);
 }
 
 }  // namespace ipg::route

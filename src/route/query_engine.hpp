@@ -38,6 +38,7 @@
 #include "ipg/packed_batch.hpp"
 #include "ipg/packed_label.hpp"
 #include "net/topology.hpp"
+#include "route/disjoint.hpp"
 #include "route/super_ip_routing.hpp"
 #include "util/sharded_cache.hpp"
 #include "util/thread_pool.hpp"
@@ -51,10 +52,17 @@ enum class QueryKind : std::uint8_t {
   kFullRoute  ///< the whole generator/tag sequence
 };
 
+/// Which route the engine answers with.
+enum class RoutePolicy : std::uint8_t {
+  kEngine,   ///< the backend's single route (label schedule or BFS)
+  kDisjoint  ///< shortest path of the k-disjoint set (IST multipath layer)
+};
+
 struct RouteQuery {
   net::NodeId src = net::kInvalidNodeId;
   net::NodeId dst = net::kInvalidNodeId;
   QueryKind kind = QueryKind::kFullRoute;
+  RoutePolicy policy = RoutePolicy::kEngine;
 };
 
 enum class AnswerStatus : std::uint8_t {
@@ -89,6 +97,10 @@ struct QueryEngineOptions {
   /// Bound on the symmetric-seed schedule cache of the owned router.
   std::uint64_t schedule_cache_capacity =
       SuperIPRouter::kDefaultScheduleCacheCapacity;
+  /// Build the KDisjointRouter so RoutePolicy::kDisjoint queries and
+  /// k_disjoint_routes() work. Off by default: the snapshot costs memory
+  /// proportional to the topology.
+  bool enable_disjoint = false;
 };
 
 class QueryEngine {
@@ -135,6 +147,16 @@ class QueryEngine {
                            std::span<RouteAnswer> answers) const;
 
   RouteAnswer answer(const RouteQuery& q) const;
+
+  /// The full pairwise internally node-disjoint path set (requires
+  /// opts.enable_disjoint). k == 0 asks for the maximum set.
+  DisjointRouteSet k_disjoint_routes(net::NodeId src, net::NodeId dst,
+                                     int k = 0) const;
+
+  /// Non-null iff constructed with opts.enable_disjoint.
+  const KDisjointRouter* disjoint_router() const noexcept {
+    return disjoint_.get();
+  }
 
   ShardedCacheStats cache_stats() const { return cache_.stats(); }
   std::uint64_t cache_capacity() const noexcept { return cache_.capacity(); }
@@ -194,6 +216,7 @@ class QueryEngine {
   PackedSuperCodec packed_;                // valid => packed kernel active
   std::vector<PackedPerm> packed_gens_;    // ip_spec generator perms, packed
   std::vector<int> plain_dest_;            // d[i]: dst position of block i
+  std::unique_ptr<KDisjointRouter> disjoint_;  // opts.enable_disjoint only
   mutable ShardedCache<PairKey, CachedRoute, PairKeyHash> cache_;
 };
 

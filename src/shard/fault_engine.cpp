@@ -126,7 +126,7 @@ sim::FaultSimResult sharded_simulate_with_faults(
   result.injected = packets.size();
 
   const bool label_routed =
-      net.policy() == sim::RoutingPolicy::kLabelRoute;
+      net.policy() != sim::RoutingPolicy::kPrecomputedTable;
   const int num_shards = part.num_shards();
 
   std::vector<std::unique_ptr<FaultShard>> shards;

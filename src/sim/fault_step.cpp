@@ -93,7 +93,7 @@ StepResult fault_step(const SimNetwork& net, const AdaptiveOptions& opts,
                       const net::FaultSet& fs,
                       const net::Topology* faulty_view, const Packet& p,
                       const Event& e, Flight& f, FaultStepScratch& scratch) {
-  const bool label_routed = net.policy() == RoutingPolicy::kLabelRoute;
+  const bool label_routed = net.policy() != RoutingPolicy::kPrecomputedTable;
   StepResult r;  // defaults to kDropped
 
   // A packet standing on (or arriving at) a dead node is lost.
@@ -140,35 +140,63 @@ StepResult fault_step(const SimNetwork& net, const AdaptiveOptions& opts,
   bool have_hop = false;
   if (label_routed) {
     assert(f.pos < f.gens.size());
-    auto step = net.adaptive_step(e.node, p.dst, f.gens[f.pos], fs);
-    if (step && !step->detoured) {
-      h = step->hop;
-      f.pos++;
-      have_hop = true;
-    } else if (step && f.detours < opts.max_reroutes) {
-      // Alternative-generator detour: take the live arc, follow the
-      // route re-derived from its target.
-      h = step->hop;
-      f.gens = std::move(step->fresh_gens);
-      f.pos = 0;
-      f.detours++;
-      r.detoured = true;
-      have_hop = true;
-    } else if (f.bfs_tries < opts.max_reroutes &&
-               bounded_bfs_arcs(*faulty_view, e.node, p.dst,
-                                opts.bfs_node_budget, scratch.arc_path)) {
-      // Detour budget exhausted (or no live arc improves): route around
-      // the faults explicitly. The arc tags are generator indices, so
-      // the path slots straight into the source-route machinery.
-      f.bfs_tries++;
-      r.bfs_rerouted = true;
-      f.gens.clear();
-      for (const net::TopoArc& a : scratch.arc_path) f.gens.push_back(a.tag);
-      h = net.hop_via(e.node, f.gens[0]);
-      f.pos = 1;
-      have_hop = true;
+    if (net.policy() == RoutingPolicy::kDisjoint) {
+      const SimNetwork::Hop planned = net.hop_via(e.node, f.gens[f.pos]);
+      if (fs.arc_up(e.node, planned.to)) {
+        h = planned;
+        f.pos++;
+        have_hop = true;
+      } else if (f.detours < opts.max_reroutes) {
+        // Multipath failover: re-select among the k disjoint paths from
+        // here. While faults stay below kappa, at least one of them is
+        // fully alive (each faulty node kills at most one path), so the
+        // selected route runs fault-free to dst and the BFS fallback
+        // below never fires in that window.
+        SimNetwork::DisjointSelection sel =
+            net.disjoint_route(e.node, p.dst, fs);
+        if (sel.found) {
+          f.gens = std::move(sel.gens);
+          h = net.hop_via(e.node, f.gens[0]);
+          f.pos = 1;
+          f.detours++;
+          r.detoured = true;
+          have_hop = true;
+        }
+      }
     } else {
-      if (f.bfs_tries < opts.max_reroutes) f.bfs_tries++;
+      auto step = net.adaptive_step(e.node, p.dst, f.gens[f.pos], fs);
+      if (step && !step->detoured) {
+        h = step->hop;
+        f.pos++;
+        have_hop = true;
+      } else if (step && f.detours < opts.max_reroutes) {
+        // Alternative-generator detour: take the live arc, follow the
+        // route re-derived from its target.
+        h = step->hop;
+        f.gens = std::move(step->fresh_gens);
+        f.pos = 0;
+        f.detours++;
+        r.detoured = true;
+        have_hop = true;
+      }
+    }
+    if (!have_hop) {
+      if (f.bfs_tries < opts.max_reroutes &&
+          bounded_bfs_arcs(*faulty_view, e.node, p.dst, opts.bfs_node_budget,
+                           scratch.arc_path)) {
+        // Detour budget exhausted (or no live alternative): route around
+        // the faults explicitly. The arc tags are generator indices, so
+        // the path slots straight into the source-route machinery.
+        f.bfs_tries++;
+        r.bfs_rerouted = true;
+        f.gens.clear();
+        for (const net::TopoArc& a : scratch.arc_path) f.gens.push_back(a.tag);
+        h = net.hop_via(e.node, f.gens[0]);
+        f.pos = 1;
+        have_hop = true;
+      } else if (f.bfs_tries < opts.max_reroutes) {
+        f.bfs_tries++;
+      }
     }
   } else {
     const Node planned_v = f.pos < f.path.size()

@@ -150,7 +150,7 @@ FaultSimResult simulate_with_faults(const SimNetwork& net,
   FaultSimResult result;
   result.injected = packets.size();
 
-  const bool label_routed = net.policy() == RoutingPolicy::kLabelRoute;
+  const bool label_routed = net.policy() != RoutingPolicy::kPrecomputedTable;
 
   std::vector<detail::Flight> flight(packets.size());
   detail::LinkState link_free(net.policy(), net.num_links());

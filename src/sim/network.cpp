@@ -64,11 +64,16 @@ SimNetwork::SimNetwork(const Graph& g, LinkTiming timing,
 }
 
 SimNetwork::SimNetwork(const net::ImplicitSuperIPTopology& topo,
-                       LinkTiming timing)
-    : policy_(RoutingPolicy::kLabelRoute),
-      topo_(&topo),
-      timing_(timing),
-      engine_(std::make_unique<route::QueryEngine>(topo)) {
+                       LinkTiming timing, RoutingPolicy policy)
+    : policy_(policy), topo_(&topo), timing_(timing) {
+  if (policy == RoutingPolicy::kPrecomputedTable) {
+    throw std::invalid_argument(
+        "SimNetwork: kPrecomputedTable requires the Graph constructor; "
+        "implicit topologies route by label (kLabelRoute / kDisjoint)");
+  }
+  route::QueryEngineOptions opts;
+  opts.enable_disjoint = policy == RoutingPolicy::kDisjoint;
+  engine_ = std::make_unique<route::QueryEngine>(topo, opts);
   // Packets address nodes with 32-bit ids; the rank space must fit.
   if (topo.num_nodes() >= kUnreachable) {
     throw std::length_error(
@@ -91,15 +96,39 @@ SimNetwork::Hop SimNetwork::hop(Node u, Node dst) const {
 }
 
 std::vector<int> SimNetwork::route_gens(Node src, Node dst) const {
-  assert(policy_ == RoutingPolicy::kLabelRoute);
-  route::RouteAnswer a = engine_->answer(
-      {src, dst, route::QueryKind::kFullRoute});
+  assert(policy_ != RoutingPolicy::kPrecomputedTable);
+  route::RouteAnswer a =
+      engine_->answer({src, dst, route::QueryKind::kFullRoute,
+                       policy_ == RoutingPolicy::kDisjoint
+                           ? route::RoutePolicy::kDisjoint
+                           : route::RoutePolicy::kEngine});
   assert(a.status == route::AnswerStatus::kOk);
   return std::move(a.gens);
 }
 
+SimNetwork::DisjointSelection SimNetwork::disjoint_route(
+    Node src, Node dst, const net::FaultSet& faults) const {
+  assert(policy_ == RoutingPolicy::kDisjoint);
+  DisjointSelection sel;
+  const route::DisjointRouteSet set = engine_->k_disjoint_routes(src, dst);
+  for (std::size_t i = 0; i < set.paths.size(); ++i) {
+    const route::DisjointPath& p = set.paths[i];
+    bool alive = true;
+    for (std::size_t h = 0; h + 1 < p.nodes.size() && alive; ++h) {
+      alive = faults.arc_up(static_cast<Node>(p.nodes[h]),
+                            static_cast<Node>(p.nodes[h + 1]));
+    }
+    if (!alive) continue;
+    sel.gens = p.gens;
+    sel.found = true;
+    sel.switched = i > 0;
+    break;
+  }
+  return sel;
+}
+
 SimNetwork::Hop SimNetwork::hop_via(Node u, int gen) const {
-  assert(policy_ == RoutingPolicy::kLabelRoute);
+  assert(policy_ != RoutingPolicy::kPrecomputedTable);
   Hop h;
   h.to = static_cast<Node>(topo_->neighbor_via(u, gen));
   assert(h.to != u && "route generators always move the label");

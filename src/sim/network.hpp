@@ -37,6 +37,7 @@ struct LinkTiming {
 enum class RoutingPolicy {
   kPrecomputedTable,  ///< O(N^2) tables, exact shortest paths
   kLabelRoute,        ///< on-the-fly Theorem 4.1/4.3 label routing
+  kDisjoint,          ///< IST k-disjoint multipath (label routes + failover)
 };
 
 class SimNetwork {
@@ -59,7 +60,12 @@ class SimNetwork {
   /// paths. An arc is off-module iff its generator is a super-generator,
   /// which matches cluster_by_nucleus on the materialized graph. Throws
   /// std::length_error if the instance exceeds the 32-bit packet id space.
-  SimNetwork(const net::ImplicitSuperIPTopology& topo, LinkTiming timing);
+  /// Pass kDisjoint to route packets over the IST k-disjoint path sets
+  /// (route/disjoint.hpp) with length-order failover under faults;
+  /// kPrecomputedTable is rejected here (std::invalid_argument) — tables
+  /// come from the Graph constructor.
+  SimNetwork(const net::ImplicitSuperIPTopology& topo, LinkTiming timing,
+             RoutingPolicy policy = RoutingPolicy::kLabelRoute);
 
   RoutingPolicy policy() const noexcept { return policy_; }
 
@@ -131,6 +137,22 @@ class SimNetwork {
   /// means every arc out of `u` is down.
   std::optional<AdaptiveStep> adaptive_step(Node u, Node dst, int planned_gen,
                                             const net::FaultSet& faults) const;
+
+  /// Selected disjoint route under faults: the generator sequence of the
+  /// first path (in length order) of the k-disjoint set src -> dst whose
+  /// arcs are all alive, plus whether a non-primary path had to be taken
+  /// (`switched`). found == false when every disjoint path is dead —
+  /// possible only at >= kappa faults on the paper's families.
+  struct DisjointSelection {
+    std::vector<int> gens;
+    bool found = false;
+    bool switched = false;
+  };
+
+  /// kDisjoint only. Pure function of (topology, src, dst, faults):
+  /// deterministic across calls and thread counts.
+  DisjointSelection disjoint_route(Node src, Node dst,
+                                   const net::FaultSet& faults) const;
 
   /// Size of the link-id space. Dense (== num_arcs) for tables; an upper
   /// bound (num_nodes * num_generators, sparsely used) for label routing —

@@ -28,7 +28,7 @@ SimResult simulate(const SimNetwork& net, std::span<const Packet> packets,
   // schedule phase, so the route is fixed at injection and followed hop by
   // hop (re-deriving it mid-flight would restart the schedule). Computed
   // lazily on the packet's first event; hops counts the steps taken.
-  const bool label_routed = net.policy() == RoutingPolicy::kLabelRoute;
+  const bool label_routed = net.policy() != RoutingPolicy::kPrecomputedTable;
   std::vector<std::vector<int>> route;
   if (label_routed) route.resize(packets.size());
 

@@ -1,0 +1,26 @@
+#pragma once
+// Shared connectivity assertions for the fault-tolerance suites: the
+// paper's headline families are maximally connected (kappa equals the
+// minimum degree), which is the hypothesis behind every "survives kappa-1
+// faults" guarantee — so the suites verify it with the flow oracle rather
+// than assume it.
+
+#include <gtest/gtest.h>
+
+#include "graph/flow.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+
+namespace ipg::testing {
+
+/// Computes kappa with the max-flow oracle and asserts it meets the
+/// min-degree upper bound (maximal connectivity). Returns kappa so callers
+/// can size fault plans and disjoint-path expectations from it.
+inline int expect_maximally_connected(const Graph& g) {
+  const int kappa = vertex_connectivity(g);
+  EXPECT_EQ(kappa, static_cast<int>(degree_stats(g).min_degree))
+      << "family is not maximally connected";
+  return kappa;
+}
+
+}  // namespace ipg::testing

@@ -1,0 +1,144 @@
+// Property/fuzz pass over the IST multipath layer: random super-IP specs
+// (tests/random_spec.hpp), random kappa-1 node FaultSets, and the two
+// quantified guarantees of docs/MODEL.md section 13 —
+//   1. kDisjoint delivery is 100% on surviving connected pairs while
+//      faults stay below kappa, with zero BFS fallbacks (the window of
+//      provable delivery);
+//   2. zero-fault kDisjoint routes are never longer than diameter + c for
+//      a small family-independent constant (the primary path is a
+//      shortest path whenever the tree realization is accepted, and is
+//      bounded by the flow decomposition otherwise) — the observed c is
+//      recorded per run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "connectivity_helpers.hpp"
+#include "graph/builder.hpp"
+#include "graph/flow.hpp"
+#include "graph/metrics.hpp"
+#include "ipg/families.hpp"
+#include "net/topology.hpp"
+#include "random_spec.hpp"
+#include "route/disjoint.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+using sim::FaultPlan;
+using sim::LinkTiming;
+using sim::Packet;
+using sim::SimNetwork;
+
+Graph rank_id_graph(const net::ImplicitSuperIPTopology& topo) {
+  const auto n = static_cast<Node>(topo.num_nodes());
+  GraphBuilder b(n);
+  std::vector<net::TopoArc> arcs;
+  for (Node u = 0; u < n; ++u) {
+    topo.neighbors(u, arcs);
+    net::NodeId prev = net::kInvalidNodeId;
+    for (const net::TopoArc& a : arcs) {
+      if (a.to == prev) continue;
+      prev = a.to;
+      b.add_arc(u, static_cast<Node>(a.to));
+    }
+  }
+  return std::move(b).build();
+}
+
+/// All-pairs traffic between surviving nodes, spaced far apart so every
+/// packet sees an idle network; capped to keep the sweep fast.
+std::vector<Packet> surviving_pairs_sample(net::NodeId n,
+                                           const net::FaultSet& faults,
+                                           Xoshiro256& rng,
+                                           std::size_t max_packets) {
+  std::vector<Packet> out;
+  double t = 0.0;
+  while (out.size() < max_packets) {
+    const auto s = static_cast<Node>(rng.below(n));
+    const auto d = static_cast<Node>(rng.below(n));
+    if (s == d || !faults.node_up(s) || !faults.node_up(d)) continue;
+    out.push_back({s, d, t});
+    t += 1000.0;
+  }
+  return out;
+}
+
+TEST(IstProperty, KappaMinusOneFaultsNeverDropSurvivingTraffic) {
+  Xoshiro256 rng(20260809);
+  int instances = 0;
+  while (instances < 6) {
+    const SuperIPSpec spec = ipg::testing::random_super_ip_spec(rng);
+    const net::ImplicitSuperIPTopology topo(spec);
+    // vertex_connectivity is the budget-setter here; keep it tractable.
+    if (topo.num_nodes() > 400) continue;
+    instances++;
+    SCOPED_TRACE(spec.name);
+
+    const Graph g = rank_id_graph(topo);
+    const int kappa = vertex_connectivity(g);
+    ASSERT_GT(kappa, 0);
+    const SimNetwork net(topo, LinkTiming{1.0, 1.0},
+                         sim::RoutingPolicy::kDisjoint);
+
+    for (int trial = 0; trial < 2; ++trial) {
+      if (kappa == 1) break;  // no fault budget below kappa
+      const FaultPlan plan = FaultPlan::random_node_faults(
+          topo.num_nodes(), kappa - 1, rng());
+      const net::FaultSet faults = plan.snapshot(0.0);
+      const auto packets =
+          surviving_pairs_sample(topo.num_nodes(), faults, rng, 200);
+      const auto r = simulate_with_faults(net, packets, plan);
+      EXPECT_EQ(r.delivered, packets.size());
+      EXPECT_EQ(r.dropped, 0u);
+      // The headline claim: below kappa the disjoint set always holds a
+      // fully live path, so the BFS escape hatch never fires.
+      EXPECT_EQ(r.bfs_fallbacks, 0u);
+    }
+  }
+}
+
+TEST(IstProperty, ZeroFaultRoutesStayWithinDiameterPlusConstant) {
+  Xoshiro256 rng(4242);
+  int instances = 0;
+  std::int64_t max_slack = 0;  // observed c over every sampled route
+  while (instances < 6) {
+    const SuperIPSpec spec = ipg::testing::random_super_ip_spec(rng);
+    const net::ImplicitSuperIPTopology topo(spec);
+    if (topo.num_nodes() > 400) continue;
+    instances++;
+    SCOPED_TRACE(spec.name);
+
+    const Graph g = rank_id_graph(topo);
+    const TopologyProfile prof = profile(g);
+    const route::KDisjointRouter router(topo);
+    for (int trial = 0; trial < 32; ++trial) {
+      const auto src = static_cast<Node>(rng.below(topo.num_nodes()));
+      const auto dst = static_cast<Node>(rng.below(topo.num_nodes()));
+      if (src == dst) continue;
+      const route::DisjointRouteSet set = router.routes(src, dst);
+      ASSERT_FALSE(set.paths.empty());
+      const auto len = static_cast<std::int64_t>(set.paths.front().length());
+      const auto diam = static_cast<std::int64_t>(prof.diameter);
+      max_slack = std::max(max_slack, len - diam);
+      if (set.from_trees) {
+        // Accepted tree realizations are shortest paths: within diameter.
+        EXPECT_LE(len, diam);
+      } else {
+        // Flow decompositions trade length for disjointness, but the
+        // primary stays within the node-disjoint detour bound.
+        EXPECT_LE(len, 2 * diam + 2);
+      }
+    }
+  }
+  RecordProperty("max_additive_slack_over_diameter",
+                 static_cast<int>(max_slack));
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,148 @@
+// Differential fault simulation: RoutingPolicy::kDisjoint (IST multipath
+// failover) vs the greedy detour-then-BFS heuristic (kLabelRoute) on the
+// headline families at fault counts kappa-1 (inside the provable window —
+// both must deliver everything, but only the multipath policy does so
+// without BFS fallbacks) and 2*kappa (beyond it — the disjoint policy must
+// never deliver less). Delivered/dropped counts are pinned in a golden
+// table so a silent behavior change in either policy trips the diff.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "connectivity_helpers.hpp"
+#include "graph/builder.hpp"
+#include "ipg/families.hpp"
+#include "net/topology.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+
+namespace ipg {
+namespace {
+
+using sim::FaultPlan;
+using sim::FaultSimResult;
+using sim::LinkTiming;
+using sim::Packet;
+using sim::SimNetwork;
+
+Graph rank_id_graph(const net::ImplicitSuperIPTopology& topo) {
+  const auto n = static_cast<Node>(topo.num_nodes());
+  GraphBuilder b(n);
+  std::vector<net::TopoArc> arcs;
+  for (Node u = 0; u < n; ++u) {
+    topo.neighbors(u, arcs);
+    net::NodeId prev = net::kInvalidNodeId;
+    for (const net::TopoArc& a : arcs) {
+      if (a.to == prev) continue;
+      prev = a.to;
+      b.add_arc(u, static_cast<Node>(a.to));
+    }
+  }
+  return std::move(b).build();
+}
+
+std::vector<Packet> surviving_all_pairs(net::NodeId n,
+                                        const net::FaultSet& faults) {
+  std::vector<Packet> out;
+  double t = 0.0;
+  for (net::NodeId s = 0; s < n; ++s) {
+    for (net::NodeId d = 0; d < n; ++d) {
+      if (s == d || !faults.node_up(s) || !faults.node_up(d)) continue;
+      out.push_back({static_cast<Node>(s), static_cast<Node>(d), t});
+      t += 1000.0;
+    }
+  }
+  return out;
+}
+
+struct GoldenRow {
+  const char* name;
+  int fault_multiple;  ///< faults = kappa - 1 (0) or 2 * kappa (1)
+  std::uint64_t packets;
+  std::uint64_t greedy_delivered;
+  std::uint64_t disjoint_delivered;
+};
+
+TEST(IstSim, DisjointPolicyDominatesGreedyDetourUnderFaults) {
+  struct Case {
+    const char* name;
+    SuperIPSpec spec;
+  };
+  const std::vector<Case> cases = {
+      {"HSN(2,Q3)", make_hsn(2, hypercube_nucleus(3))},
+      {"ring-CN(3,S3)", make_ring_cn(3, star_nucleus(3))},
+      {"SFN(3,Q2)", make_super_flip(3, hypercube_nucleus(2))},
+  };
+  // Measured once (seed 7 fault plans); delivery_rate(IST) >=
+  // delivery_rate(greedy) is the invariant, the integers are the pin.
+  const std::vector<GoldenRow> golden = {
+      {"HSN(2,Q3)", 0, 3782u, 3782u, 3782u},
+      {"HSN(2,Q3)", 1, 3306u, 3306u, 3306u},
+      {"ring-CN(3,S3)", 0, 46010u, 46010u, 46010u},
+      {"ring-CN(3,S3)", 1, 44732u, 44732u, 44732u},
+      {"SFN(3,Q2)", 0, 3906u, 3906u, 3906u},
+      {"SFN(3,Q2)", 1, 3540u, 3540u, 3540u},
+  };
+
+  std::size_t row = 0;
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const net::ImplicitSuperIPTopology topo(c.spec);
+    const Graph g = rank_id_graph(topo);
+    const int kappa = testing::expect_maximally_connected(g);
+    ASSERT_GE(kappa, 2);
+
+    const SimNetwork greedy(topo, LinkTiming{1.0, 1.0});
+    const SimNetwork multipath(topo, LinkTiming{1.0, 1.0},
+                               sim::RoutingPolicy::kDisjoint);
+
+    for (const int faults : {kappa - 1, 2 * kappa}) {
+      SCOPED_TRACE(std::string("faults=") + std::to_string(faults));
+      const FaultPlan plan =
+          FaultPlan::random_node_faults(topo.num_nodes(), faults, 7);
+      const net::FaultSet fs = plan.snapshot(0.0);
+      const auto packets = surviving_all_pairs(topo.num_nodes(), fs);
+
+      const FaultSimResult rg = simulate_with_faults(greedy, packets, plan);
+      const FaultSimResult rd = simulate_with_faults(multipath, packets, plan);
+
+      // The ISSUE's acceptance inequality, at every swept fault count.
+      EXPECT_GE(rd.delivered, rg.delivered);
+
+      if (faults < kappa) {
+        // Inside the provable window both policies deliver everything,
+        // but only the multipath policy needs no BFS escape hatch.
+        EXPECT_EQ(rd.delivered, packets.size());
+        EXPECT_EQ(rd.dropped, 0u);
+        EXPECT_EQ(rd.bfs_fallbacks, 0u);
+        EXPECT_EQ(rg.delivered, packets.size());
+      }
+
+      ASSERT_LT(row, golden.size());
+      const GoldenRow& gold = golden[row++];
+      ASSERT_STREQ(gold.name, c.name);
+      EXPECT_EQ(packets.size(), gold.packets) << "traffic drifted";
+      EXPECT_EQ(rg.delivered, gold.greedy_delivered) << "greedy drifted";
+      EXPECT_EQ(rd.delivered, gold.disjoint_delivered) << "disjoint drifted";
+    }
+  }
+}
+
+TEST(IstSim, EmptyPlanDisjointPolicyDeliversEverythingWithoutDetours) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const SimNetwork net(topo, LinkTiming{1.0, 1.0},
+                       sim::RoutingPolicy::kDisjoint);
+  const auto packets = sim::uniform_traffic(
+      static_cast<Node>(topo.num_nodes()), 2.0, 60.0, 5);
+  const auto r = simulate_with_faults(net, packets, FaultPlan{});
+  EXPECT_EQ(r.delivered, packets.size());
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.detours, 0u);
+  EXPECT_EQ(r.bfs_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,277 @@
+// Disjointness oracle harness for the IST / k-disjoint-path layer
+// (route/ist.hpp, route/disjoint.hpp): on every golden family variant the
+// rotated forest spans per tree, the disjoint router returns exactly
+// max_vertex_disjoint_paths(src, dst) pairwise internally node-disjoint
+// paths (the existing max-flow module is the independent oracle), and the
+// full-set cardinality at the connectivity kappa realizes Menger. The
+// QueryEngine policy wiring and the structural (beyond-snapshot) mode are
+// covered at the end.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "connectivity_helpers.hpp"
+#include "graph/builder.hpp"
+#include "graph/flow.hpp"
+#include "ipg/families.hpp"
+#include "ipg/symmetric.hpp"
+#include "net/topology.hpp"
+#include "route/disjoint.hpp"
+#include "route/ist.hpp"
+#include "route/query_engine.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+using route::DisjointPath;
+using route::DisjointRouteSet;
+using route::ISTForest;
+using route::KDisjointOptions;
+using route::KDisjointRouter;
+
+/// The 12 golden variants of golden_diameters_test.cpp (6 plain families +
+/// their symmetric Cayley forms).
+std::vector<SuperIPSpec> all_family_specs() {
+  std::vector<SuperIPSpec> specs = {
+      make_hcn(2),
+      make_hsn(3, hypercube_nucleus(2)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_complete_cn(3, hypercube_nucleus(2)),
+      make_directed_cn(3, star_nucleus(3)),
+      make_super_flip(3, hypercube_nucleus(2)),
+  };
+  const std::size_t plain_count = specs.size();
+  for (std::size_t i = 0; i < plain_count; ++i) {
+    specs.push_back(make_symmetric(specs[i]));
+  }
+  return specs;
+}
+
+/// Materializes the implicit topology under ITS OWN node ids (Theorem 3.2
+/// ranks), so the flow oracle and the disjoint router talk about the same
+/// vertices. Parallel arcs (same target, different generator) collapse to
+/// one, matching the router's flow network.
+Graph rank_id_graph(const net::ImplicitSuperIPTopology& topo) {
+  const auto n = static_cast<Node>(topo.num_nodes());
+  GraphBuilder b(n);
+  std::vector<net::TopoArc> arcs;
+  for (Node u = 0; u < n; ++u) {
+    topo.neighbors(u, arcs);  // sorted by (to, tag): repeats are adjacent
+    net::NodeId prev = net::kInvalidNodeId;
+    for (const net::TopoArc& a : arcs) {
+      if (a.to == prev) continue;
+      prev = a.to;
+      b.add_arc(u, static_cast<Node>(a.to));
+    }
+  }
+  return std::move(b).build();
+}
+
+/// Structural validity of a disjoint route set: every path is a simple
+/// src -> dst walk over real arcs, paths are pairwise internally
+/// node-disjoint, lengths are nondecreasing, and at most one path is the
+/// direct arc.
+void expect_valid_disjoint(const net::Topology& topo, net::NodeId src,
+                           net::NodeId dst, const DisjointRouteSet& set) {
+  std::set<net::NodeId> used_interior;
+  int direct = 0;
+  std::size_t prev_len = 0;
+  std::vector<net::TopoArc> arcs;
+  for (const DisjointPath& p : set.paths) {
+    ASSERT_GE(p.nodes.size(), 2u);
+    ASSERT_EQ(p.gens.size(), p.nodes.size() - 1);
+    EXPECT_EQ(p.nodes.front(), src);
+    EXPECT_EQ(p.nodes.back(), dst);
+    EXPECT_GE(p.gens.size(), prev_len) << "lengths must be nondecreasing";
+    prev_len = p.gens.size();
+    if (p.nodes.size() == 2) direct++;
+
+    std::set<net::NodeId> on_path;
+    for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+      EXPECT_TRUE(on_path.insert(p.nodes[i]).second)
+          << "path revisits node " << p.nodes[i];
+      if (i + 1 == p.nodes.size()) continue;
+      topo.neighbors(p.nodes[i], arcs);
+      bool found = false;
+      for (const net::TopoArc& a : arcs) {
+        found = found || (a.to == p.nodes[i + 1] &&
+                          a.tag == static_cast<EdgeTag>(p.gens[i]));
+      }
+      EXPECT_TRUE(found) << "hop " << p.nodes[i] << " -> " << p.nodes[i + 1]
+                         << " via gen " << p.gens[i] << " is not an arc";
+    }
+    for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+      EXPECT_TRUE(used_interior.insert(p.nodes[i]).second)
+          << "interior node " << p.nodes[i] << " is shared between paths";
+    }
+  }
+  EXPECT_LE(direct, 1);
+}
+
+TEST(IstForest, EveryGoldenVariantGrowsKappaSpanningTrees) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    const net::ImplicitSuperIPTopology topo(spec);
+    const Graph g = rank_id_graph(topo);
+    // Plain vertex_connectivity, not the maximal-connectivity helper:
+    // HCN's kappa sits below its min degree, and that is fine here — the
+    // claim under test is "kappa spanning trees exist", not maximality.
+    const int kappa = vertex_connectivity(g);
+    ASSERT_GT(kappa, 0);
+
+    Xoshiro256 rng(0x15757ull ^ topo.num_nodes());
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto root = static_cast<net::NodeId>(rng.below(topo.num_nodes()));
+      const ISTForest forest = route::build_ist_forest(topo, root, kappa);
+      ASSERT_EQ(forest.num_trees(), kappa);
+      EXPECT_EQ(forest.root(), root);
+      for (int t = 0; t < kappa; ++t) {
+        EXPECT_TRUE(forest.spans(t)) << "tree " << t << " root " << root;
+      }
+      // Tree paths are shortest: length equals the BFS distance field.
+      const auto v = static_cast<net::NodeId>(rng.below(topo.num_nodes()));
+      for (int t = 0; t < kappa; ++t) {
+        EXPECT_EQ(forest.path_to_root(t, v).size(), forest.dist_to_root(v));
+      }
+    }
+  }
+}
+
+TEST(IstDisjoint, SampledPairsMatchTheMaxFlowOracleOnEveryGoldenVariant) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    const net::ImplicitSuperIPTopology topo(spec);
+    const Graph g = rank_id_graph(topo);
+    const KDisjointRouter router(topo);
+    ASSERT_TRUE(router.snapshot_mode());
+
+    Xoshiro256 rng(0xd15701ull ^ topo.num_nodes());
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto src = static_cast<Node>(rng.below(topo.num_nodes()));
+      const auto dst = static_cast<Node>(rng.below(topo.num_nodes()));
+      if (src == dst) continue;
+      SCOPED_TRACE(std::string("pair ") + std::to_string(src) + " -> " +
+                   std::to_string(dst));
+      const DisjointRouteSet set = router.routes(src, dst);
+      EXPECT_TRUE(set.certified);
+      // The independent oracle: the unrelated flow module of graph/flow.hpp
+      // computes the Menger maximum over the same rank-id graph.
+      const int pi = max_vertex_disjoint_paths(g, src, dst);
+      EXPECT_EQ(static_cast<int>(set.paths.size()), pi);
+      expect_valid_disjoint(topo, src, dst, set);
+    }
+  }
+}
+
+TEST(IstDisjoint, FullSetRealizesConnectivityManyPathsOnHeadlineFamilies) {
+  // On the maximally connected headline families every pair admits at
+  // least kappa = min-degree disjoint paths (Menger); the router must
+  // find them all, and a k-capped query must return exactly k.
+  const std::vector<SuperIPSpec> specs = {
+      make_hsn(2, hypercube_nucleus(3)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_super_flip(3, hypercube_nucleus(2)),
+  };
+  for (const SuperIPSpec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    const net::ImplicitSuperIPTopology topo(spec);
+    const Graph g = rank_id_graph(topo);
+    const int kappa = ipg::testing::expect_maximally_connected(g);
+    const KDisjointRouter router(topo);
+
+    Xoshiro256 rng(0xf111ull ^ topo.num_nodes());
+    for (int trial = 0; trial < 6; ++trial) {
+      const auto src = static_cast<Node>(rng.below(topo.num_nodes()));
+      const auto dst = static_cast<Node>(rng.below(topo.num_nodes()));
+      if (src == dst) continue;
+      const DisjointRouteSet set = router.routes(src, dst);
+      EXPECT_GE(static_cast<int>(set.paths.size()), kappa);
+      expect_valid_disjoint(topo, src, dst, set);
+
+      const DisjointRouteSet capped = router.routes(src, dst, kappa);
+      EXPECT_EQ(static_cast<int>(capped.paths.size()), kappa);
+      expect_valid_disjoint(topo, src, dst, capped);
+    }
+  }
+}
+
+TEST(IstDisjoint, QueryEnginePolicyAnswersWithTheShortestDisjointPath) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(3));
+  const net::ImplicitSuperIPTopology topo(spec);
+  route::QueryEngineOptions opts;
+  opts.enable_disjoint = true;
+  const route::QueryEngine engine(topo, opts);
+  ASSERT_NE(engine.disjoint_router(), nullptr);
+
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 16; ++trial) {
+    const auto src = static_cast<Node>(rng.below(topo.num_nodes()));
+    const auto dst = static_cast<Node>(rng.below(topo.num_nodes()));
+    const route::RouteAnswer sched =
+        engine.answer({src, dst, route::QueryKind::kFullRoute});
+    const route::RouteAnswer multi =
+        engine.answer({src, dst, route::QueryKind::kFullRoute,
+                       route::RoutePolicy::kDisjoint});
+    ASSERT_EQ(multi.status, route::AnswerStatus::kOk);
+    if (src == dst) {
+      EXPECT_EQ(multi.distance, 0);
+      continue;
+    }
+    // The disjoint primary is a shortest path; the schedule route need
+    // not be, so the policy can only improve the distance.
+    EXPECT_LE(multi.distance, sched.distance);
+    EXPECT_EQ(multi.distance, static_cast<std::int32_t>(multi.gens.size()));
+    // The answer's route must be walkable to dst.
+    net::NodeId cur = src;
+    for (const int gen : multi.gens) cur = topo.neighbor_via(cur, gen);
+    EXPECT_EQ(cur, static_cast<net::NodeId>(dst));
+    EXPECT_EQ(multi.first_gen, multi.gens.front());
+    EXPECT_EQ(multi.next_hop, topo.neighbor_via(src, multi.gens.front()));
+  }
+
+  // Without enable_disjoint the policy is rejected, not silently ignored.
+  const route::QueryEngine plain(topo);
+  EXPECT_EQ(plain
+                .answer({0, 1, route::QueryKind::kDistance,
+                         route::RoutePolicy::kDisjoint})
+                .status,
+            route::AnswerStatus::kInvalid);
+}
+
+TEST(IstDisjoint, StructuralModeStaysDisjointBeyondTheSnapshotCaps) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  KDisjointOptions opts;
+  opts.max_snapshot_nodes = 0;  // force the beyond-snapshot code path
+  const KDisjointRouter router(topo, opts);
+  ASSERT_FALSE(router.snapshot_mode());
+
+  Xoshiro256 rng(1234);
+  int nonempty = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    const auto src = static_cast<net::NodeId>(rng.below(topo.num_nodes()));
+    const auto dst = static_cast<net::NodeId>(rng.below(topo.num_nodes()));
+    if (src == dst) continue;
+    const DisjointRouteSet set = router.routes(src, dst);
+    EXPECT_FALSE(set.certified);  // no oracle at structural scale
+    EXPECT_FALSE(set.paths.empty());
+    nonempty += !set.paths.empty();
+    expect_valid_disjoint(topo, src, dst, set);
+  }
+  EXPECT_GT(nonempty, 0);
+}
+
+TEST(IstDisjoint, UnreachableAndDegeneratePairsComeBackEmpty) {
+  const SuperIPSpec spec = make_hsn(2, hypercube_nucleus(2));
+  const net::ImplicitSuperIPTopology topo(spec);
+  const KDisjointRouter router(topo);
+  EXPECT_TRUE(router.routes(0, 0).paths.empty());
+  EXPECT_TRUE(router.routes(0, topo.num_nodes()).paths.empty());
+  EXPECT_TRUE(router.routes(topo.num_nodes(), 0).paths.empty());
+}
+
+}  // namespace
+}  // namespace ipg
