@@ -5,20 +5,33 @@
 // the *same* source set at the same thread count, checks the summaries are
 // bit-identical, and reports wall-clock ns per source.
 //
+// With --orbit the orbit-compressed engine (analysis/orbit.hpp) joins the
+// comparison: the automorphism-orbit quotient is built (timed separately
+// as quotient_build_ns), the folded sweep runs from orbit representatives
+// only, and the result is checked bit-identical against the batched full
+// sweep — any divergence fails the run.
+//
 // Machine-readable output: --json=PATH (default BENCH_apsp.json) writes
 // one record per (instance, threads, engine) with the stable schema
 //   {family, nodes, arcs, threads, engine, ns_per_source, bytes_per_node,
-//    sources, speedup_vs_scalar}
+//    sources, speedup_vs_scalar?, orbits?, compression?, speedup_vs_batch?,
+//    quotient_build_ns?}
 // where bytes_per_node counts the CSR + transpose + per-thread scratch
-// footprint and speedup_vs_scalar is scalar ns / batched ns at the same
-// thread count (present on batched rows only).
+// footprint. speedup_vs_scalar appears only on batched rows whose scalar
+// baseline actually ran (never on the --large full-sweep rows, which have
+// no scalar counterpart). Orbit rows carry the orbit count, compression
+// (= nodes / orbits), speedup_vs_batch (batched full-sweep ns / orbit
+// sweep ns at the same thread count) and the one-off quotient build cost;
+// their ns_per_source divides the sweep wall-clock by *nodes*, not by
+// representative count, so it is directly comparable with batch rows.
 //
-// Usage: apsp_scaling [--large] [--threads=1,2,8] [--sample=N]
+// Usage: apsp_scaling [--large] [--orbit] [--threads=1,2,8] [--sample=N]
 //                     [--json=PATH]
 //   --large     add HSN(2, Q8) (65,536 nodes); its engine comparison runs
 //               over --sample sources (default 4096) so the scalar
 //               baseline stays tractable, and the batched engine
 //               additionally runs the full all-pairs sweep.
+//   --orbit     add the orbit-compressed engine rows (and divergence gate).
 //   --threads   comma list of thread counts (default "1,auto").
 
 #include <chrono>
@@ -29,6 +42,7 @@
 #include <vector>
 
 #include "analysis/exact.hpp"
+#include "analysis/orbit.hpp"
 #include "graph/bfs.hpp"
 #include "graph/bfs_batch.hpp"
 #include "ipg/families.hpp"
@@ -50,11 +64,15 @@ struct Record {
   std::uint64_t nodes = 0;
   std::uint64_t arcs = 0;
   int threads = 1;
-  std::string engine;  // "scalar" | "batch"
+  std::string engine;  // "scalar" | "batch" | "orbit"
   double ns_per_source = 0.0;
   double bytes_per_node = 0.0;
   std::uint64_t sources = 0;
-  double speedup_vs_scalar = 0.0;  // batched rows only
+  double speedup_vs_scalar = 0.0;   // batched rows with a scalar baseline
+  std::uint64_t orbits = 0;         // orbit rows only
+  double compression = 0.0;         // orbit rows only: nodes / orbits
+  double speedup_vs_batch = 0.0;    // orbit rows only
+  double quotient_build_ns = 0.0;   // orbit rows only: one-off build cost
 };
 
 bool summaries_identical(const DistanceSummary& a, const DistanceSummary& b) {
@@ -110,16 +128,77 @@ bool compare_engines(const std::string& family, const Graph& g,
   const double batch_ns = elapsed_ns(t0) / static_cast<double>(sources.size());
 
   const bool ok = summaries_identical(scalar, batched);
-  records.push_back({family, g.num_nodes(), g.num_arcs(), threads, "scalar",
-                     scalar_ns, node_bytes, sources.size(), 0.0});
-  records.push_back({family, g.num_nodes(), g.num_arcs(), threads, "batch",
-                     batch_ns, node_bytes, sources.size(),
-                     batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0});
+  Record sr;
+  sr.family = family;
+  sr.nodes = g.num_nodes();
+  sr.arcs = g.num_arcs();
+  sr.threads = threads;
+  sr.engine = "scalar";
+  sr.ns_per_source = scalar_ns;
+  sr.bytes_per_node = node_bytes;
+  sr.sources = sources.size();
+  records.push_back(sr);
+  Record br = sr;
+  br.engine = "batch";
+  br.ns_per_source = batch_ns;
+  br.speedup_vs_scalar = batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0;
+  records.push_back(br);
   std::printf("%-24s n=%-7llu %dt  scalar %10.0f ns/src  batch %9.0f ns/src"
               "  speedup %5.1fx  %s\n",
               family.c_str(),
               static_cast<unsigned long long>(g.num_nodes()), threads,
               scalar_ns, batch_ns, batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0,
+              ok ? "identical" : "MISMATCH");
+  return ok;
+}
+
+/// Orbit-engine row: folds the all-pairs summary from orbit representatives
+/// and checks it bit-identical against the batched full sweep (whose timing
+/// provides speedup_vs_batch). `reference` != nullptr reuses the caller's
+/// already-timed sweep (at `batch_sweep_ns` per source) so the --large path
+/// never runs the expensive baseline twice; otherwise it is measured here.
+bool compare_orbit(const std::string& family, const Graph& g,
+                   const OrbitQuotient& q, double quotient_build_ns,
+                   int threads, const DistanceSummary* reference,
+                   double batch_sweep_ns, std::vector<Record>& records) {
+  const ExecPolicy exec{threads};
+  const double n = static_cast<double>(g.num_nodes());
+  (void)g.transpose();  // warm the cache outside the timed regions
+
+  DistanceSummary batched;
+  if (reference == nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    batched = all_pairs_distance_summary(g, exec);
+    batch_sweep_ns = elapsed_ns(t0) / n;
+  } else {
+    batched = *reference;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const DistanceSummary folded = orbit_folded_distance_summary(g, q, exec);
+  const double orbit_ns = elapsed_ns(t0) / n;
+
+  const bool ok = summaries_identical(batched, folded);
+  Record r;
+  r.family = family;
+  r.nodes = g.num_nodes();
+  r.arcs = g.num_arcs();
+  r.threads = threads;
+  r.engine = "orbit";
+  r.ns_per_source = orbit_ns;
+  r.bytes_per_node = bytes_per_node(g);
+  r.sources = q.num_orbits();
+  r.orbits = q.num_orbits();
+  r.compression = q.compression();
+  r.speedup_vs_batch = orbit_ns > 0.0 ? batch_sweep_ns / orbit_ns : 0.0;
+  r.quotient_build_ns = quotient_build_ns;
+  records.push_back(r);
+  std::printf("%-24s n=%-7llu %dt  orbit  %10.0f ns/src  %5llu orbits "
+              "(%6.1fx)  vs batch %5.1fx  %s\n",
+              family.c_str(),
+              static_cast<unsigned long long>(g.num_nodes()), threads,
+              orbit_ns, static_cast<unsigned long long>(q.num_orbits()),
+              q.compression(), r.speedup_vs_batch,
               ok ? "identical" : "MISMATCH");
   return ok;
 }
@@ -142,8 +221,17 @@ void write_json(const char* path, const std::vector<Record>& records) {
         static_cast<unsigned long long>(r.arcs), r.threads, r.engine.c_str(),
         r.ns_per_source, r.bytes_per_node,
         static_cast<unsigned long long>(r.sources));
-    if (r.engine == "batch") {
+    // Only rows whose scalar baseline actually ran carry the speedup; the
+    // --large full-sweep rows have none and must not claim 0.00x.
+    if (r.engine == "batch" && r.speedup_vs_scalar > 0.0) {
       std::fprintf(f, ", \"speedup_vs_scalar\": %.2f", r.speedup_vs_scalar);
+    }
+    if (r.engine == "orbit") {
+      std::fprintf(f,
+                   ", \"orbits\": %llu, \"compression\": %.2f, "
+                   "\"speedup_vs_batch\": %.2f, \"quotient_build_ns\": %.0f",
+                   static_cast<unsigned long long>(r.orbits), r.compression,
+                   r.speedup_vs_batch, r.quotient_build_ns);
     }
     std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
@@ -156,6 +244,7 @@ void write_json(const char* path, const std::vector<Record>& records) {
 
 int main(int argc, char** argv) {
   bool large = false;
+  bool orbit = false;
   std::string json_path = "BENCH_apsp.json";
   std::vector<int> thread_counts = {1, ExecPolicy{}.resolved_threads()};
   std::uint64_t sample = 4096;
@@ -163,6 +252,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--large") {
       large = true;
+    } else if (arg == "--orbit") {
+      orbit = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--sample=", 0) == 0) {
@@ -177,8 +268,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--large] [--threads=1,2,8] [--sample=N] "
-                   "[--json=PATH]\n",
+                   "usage: %s [--large] [--orbit] [--threads=1,2,8] "
+                   "[--sample=N] [--json=PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -201,6 +292,15 @@ int main(int argc, char** argv) {
     for (const int t : threads_unique) {
       all_ok &= compare_engines(spec.name, g.graph, all, t, records);
     }
+    if (orbit) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const OrbitQuotient q = compute_orbit_quotient(g, spec);
+      const double build_ns = elapsed_ns(t0);
+      for (const int t : threads_unique) {
+        all_ok &= compare_orbit(spec.name, g.graph, q, build_ns, t, nullptr,
+                                0.0, records);
+      }
+    }
   }
 
   if (large) {
@@ -218,21 +318,40 @@ int main(int argc, char** argv) {
       all_ok &= compare_engines(spec.name, g.graph, sources, t, records);
     }
     // Headline: the full all-pairs sweep, batched only (the scalar sweep
-    // is what the sampled rows extrapolate).
+    // is what the sampled rows extrapolate). No scalar baseline ran here,
+    // so these rows carry no speedup_vs_scalar field.
+    OrbitQuotient q;
+    double build_ns = 0.0;
+    if (orbit) {
+      const auto t0 = std::chrono::steady_clock::now();
+      q = compute_orbit_quotient(g, spec);
+      build_ns = elapsed_ns(t0);
+    }
     for (const int t : threads_unique) {
       const auto t0 = std::chrono::steady_clock::now();
       const DistanceSummary full =
           all_pairs_distance_summary(g.graph, ExecPolicy{t});
       const double ns =
           elapsed_ns(t0) / static_cast<double>(g.num_nodes());
-      records.push_back({spec.name + "-full", g.num_nodes(),
-                         g.graph.num_arcs(), t, "batch", ns,
-                         bytes_per_node(g.graph), g.num_nodes(), 0.0});
+      Record fr;
+      fr.family = spec.name + "-full";
+      fr.nodes = g.num_nodes();
+      fr.arcs = g.graph.num_arcs();
+      fr.threads = t;
+      fr.engine = "batch";
+      fr.ns_per_source = ns;
+      fr.bytes_per_node = bytes_per_node(g.graph);
+      fr.sources = g.num_nodes();
+      records.push_back(fr);
       std::printf("%-24s n=%-7llu %dt  full batched sweep %8.0f ns/src  "
                   "diameter %u\n",
                   (spec.name + "-full").c_str(),
                   static_cast<unsigned long long>(g.num_nodes()), t, ns,
                   full.diameter);
+      if (orbit) {
+        all_ok &= compare_orbit(spec.name + "-full", g.graph, q, build_ns, t,
+                                &full, ns, records);
+      }
     }
   }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "analysis/orbit.hpp"
 #include "graph/bfs_batch.hpp"
 #include "shard/partition.hpp"
 
@@ -11,21 +12,9 @@ namespace ipg {
 
 namespace {
 
-/// Single-source summary of node 0, routed through the rank-range shard
-/// seam when the options ask for it (one-shard stays on today's path).
-DistanceSummary one_source_summary(const Graph& g, const ExactOptions& opts,
-                                   const ExecPolicy& exec) {
-  const Node source0 = 0;
-  const std::span<const Node> src(&source0, 1);
-  if (opts.num_shards > 1) {
-    return sharded_distance_summary(
-        g, src, shard::RankRangePartition(g.num_nodes(), opts.num_shards),
-        exec);
-  }
-  return multi_source_distance_summary(g, src, exec);
-}
-
-/// Full all-pairs summary, likewise routed through the shard seam.
+/// Full all-pairs summary, routed through the rank-range shard seam when
+/// the options ask for it (one-shard stays on today's path). This is the
+/// brute-force differential oracle the orbit fold is tested against.
 DistanceSummary full_sweep_summary(const Graph& g, const ExactOptions& opts,
                                    const ExecPolicy& exec) {
   if (opts.num_shards > 1) {
@@ -36,31 +25,6 @@ DistanceSummary full_sweep_summary(const Graph& g, const ExactOptions& opts,
         exec);
   }
   return all_pairs_distance_summary(g, exec);
-}
-
-/// Derives the all-pairs summary of a vertex-transitive graph from the
-/// distance distribution of node 0: histogram and distance sum scale by N,
-/// so the resulting integral totals — and hence the final division — are
-/// bit-identical to the full sweep.
-DistanceSummary vertex_transitive_summary(DistanceSummary one, Node n) {
-  DistanceSummary out;
-  out.diameter = one.diameter;
-  // Reachable-from-one-source + transitivity implies reachable from every
-  // source, so single-source connectivity is whole-graph strong
-  // connectivity.
-  out.strongly_connected = one.strongly_connected;
-  out.histogram.resize(one.histogram.size());
-  std::uint64_t total = 0;
-  for (std::size_t d = 0; d < one.histogram.size(); ++d) {
-    out.histogram[d] = one.histogram[d] * n;
-    total += static_cast<std::uint64_t>(d) * out.histogram[d];
-  }
-  const std::uint64_t pairs =
-      n == 0 ? 0 : static_cast<std::uint64_t>(n) * (n - 1);
-  out.average_distance = pairs == 0 ? 0.0
-                                    : static_cast<double>(total) /
-                                          static_cast<double>(pairs);
-  return out;
 }
 
 #ifndef NDEBUG
@@ -77,19 +41,29 @@ bool summaries_identical(const DistanceSummary& a, const DistanceSummary& b) {
 ExactAnalysis exact_analysis(const Graph& g, const ExecPolicy& exec,
                              const ExactOptions& opts) {
   ExactAnalysis out;
-  const bool fast_path = opts.assume_vertex_transitive &&
-                         opts.use_symmetry_fast_path && g.num_nodes() > 0;
-  if (fast_path) {
+  // The orbit fold is the one compressed path: an explicit quotient wins,
+  // the caller-asserted vertex-transitive case is the 1-orbit quotient,
+  // and use_orbit_quotient = false forces the brute-force oracle.
+  const OrbitQuotient* quotient = nullptr;
+  OrbitQuotient transitive;
+  if (opts.use_orbit_quotient) {
+    if (opts.orbit != nullptr) {
+      quotient = opts.orbit;
+    } else if (opts.assume_vertex_transitive && g.num_nodes() > 0) {
+      transitive = OrbitQuotient::single_orbit(g.num_nodes());
+      quotient = &transitive;
+    }
+  }
+  if (quotient != nullptr) {
     out.distances =
-        vertex_transitive_summary(one_source_summary(g, opts, exec),
-                                  g.num_nodes());
-    // Differential guard: in Debug builds the asserted symmetry is checked
-    // against the full sweep, so a wrong assumption fails loudly instead
-    // of skewing figures.
+        orbit_folded_distance_summary(g, *quotient, exec, opts.num_shards);
+    // Differential guard: in Debug builds the quotient (or the asserted
+    // symmetry) is checked against the full sweep, so a wrong partition
+    // fails loudly instead of skewing figures.
     assert(summaries_identical(out.distances,
                                all_pairs_distance_summary(g, exec)) &&
-           "vertex-transitive fast path diverged: the graph is not "
-           "vertex-transitive");
+           "orbit fold diverged: the quotient does not describe a genuine "
+           "automorphism orbit partition of this graph");
   } else {
     out.distances = full_sweep_summary(g, opts, exec);
   }

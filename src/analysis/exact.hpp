@@ -13,6 +13,8 @@
 
 namespace ipg {
 
+struct OrbitQuotient;  // analysis/orbit.hpp
+
 struct ExactAnalysis {
   TopologyProfile profile;     ///< degree/diameter/average-distance view
   DistanceSummary distances;   ///< full histogram + connectivity
@@ -23,14 +25,25 @@ struct ExactOptions {
   /// Caller-asserted vertex-transitivity. Symmetric super-IP families are
   /// Cayley graphs (Section 3.5; `is_cayley(spec)` checks the seed), so
   /// every node sees the same distance distribution and the all-pairs
-  /// summary is one source's histogram scaled by N — an O(N/64)-fold
-  /// saving. Asserting it on a non-transitive graph yields wrong numbers;
-  /// Debug builds cross-check against the full sweep.
+  /// summary is one source's histogram scaled by N. Internally this is
+  /// the 1-orbit OrbitQuotient (OrbitQuotient::single_orbit) — exactly
+  /// the extreme case of the orbit fold. Asserting it on a non-transitive
+  /// graph yields wrong numbers; Debug builds cross-check against the
+  /// full sweep.
   bool assume_vertex_transitive = false;
 
-  /// Opt-out: force the full all-pairs sweep even when vertex-transitivity
-  /// is asserted (e.g. to measure the engine itself).
-  bool use_symmetry_fast_path = true;
+  /// Opt-out: force the brute-force all-pairs sweep even when a quotient
+  /// (or vertex-transitivity) is supplied. The brute path is the
+  /// differential oracle the orbit engine is tested against.
+  bool use_orbit_quotient = true;
+
+  /// Orbit partition to fold over (see compute_orbit_quotient): the sweep
+  /// runs from orbit representatives only, each folded with its orbit
+  /// multiplicity — bit-identical to the brute sweep, O(#orbits) sources
+  /// instead of O(N). Must describe exactly this graph's node set; not
+  /// owned. nullptr means no quotient (assume_vertex_transitive may still
+  /// engage the 1-orbit case).
+  const OrbitQuotient* orbit = nullptr;
 
   /// Rank-range shards the sweep executes over (the shard/ seam). 1 (the
   /// default) runs today's unsharded engine unchanged; > 1 partitions
@@ -42,10 +55,9 @@ struct ExactOptions {
 
 /// One all-pairs sweep under `exec`; both views are filled from the same
 /// summary, so they are mutually consistent and bit-identical to the
-/// serial single-purpose routines at every thread count. With the
-/// vertex-transitive fast path engaged the summary is derived from a
-/// single source, bit-identical to the full sweep whenever the assertion
-/// holds.
+/// serial single-purpose routines at every thread count. With an orbit
+/// quotient engaged the summary is folded from orbit representatives,
+/// bit-identical to the full sweep whenever the quotient is sound.
 ExactAnalysis exact_analysis(const Graph& g,
                              const ExecPolicy& exec = ExecPolicy::serial_policy(),
                              const ExactOptions& opts = {});

@@ -1,0 +1,670 @@
+#include "analysis/orbit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "graph/bfs_batch.hpp"
+#include "ipg/static_check.hpp"
+#include "shard/partition.hpp"
+#include "util/narrow.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+
+namespace {
+
+/// Sentinel for "label is not a node" across both backends.
+constexpr std::uint64_t kNoNode = ~0ull;
+
+constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// Representative sweeps smaller than this run one scalar BFS per source:
+/// a near-empty 64-lane batch still pays a full per-level O(N) update
+/// pass, so for a handful of sources the scalar engine is strictly faster
+/// (and bit-identical — the PR 4 contract). Depends only on the group
+/// size, never on thread or shard counts, so determinism is preserved.
+constexpr std::size_t kScalarSweepCutover = 16;
+
+struct UnionFind {
+  std::vector<std::uint32_t> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<std::uint32_t>(i);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Smaller root wins, so every class root is its minimum member — the
+    // renumbering below then yields ascending representatives for free.
+    if (b < a) std::swap(a, b);
+    parent[b] = a;
+  }
+};
+
+bool blocks_identical(const SuperIPSpec& spec) {
+  const Label block0 = spec.seed_block(0);
+  for (int i = 1; i < spec.l; ++i) {
+    if (spec.seed_block(i) != block0) return false;
+  }
+  return true;
+}
+
+bool symbols_distinct(const Label& x) {
+  std::array<bool, 256> seen{};
+  for (const std::uint8_t s : x) {
+    if (seen[s]) return false;
+    seen[s] = true;
+  }
+  return true;
+}
+
+/// Symbol map sending `from` to `to` position-wise, identity elsewhere.
+/// False when the images conflict (repeated symbol, different targets) or
+/// the map would not be injective on the touched symbols.
+bool relabel_from_images(const Label& from, const Label& to,
+                         std::vector<std::uint8_t>& map) {
+  map.resize(256);
+  for (std::size_t s = 0; s < 256; ++s) map[s] = static_cast<std::uint8_t>(s);
+  std::array<bool, 256> assigned{};
+  std::array<bool, 256> hit{};
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const std::uint8_t s = from[i];
+    const std::uint8_t t = to[i];
+    if (assigned[s]) {
+      if (map[s] != t) return false;
+      continue;
+    }
+    if (hit[t]) return false;
+    assigned[s] = true;
+    hit[t] = true;
+    map[s] = t;
+  }
+  return true;
+}
+
+/// The certified symbol-relabel layer: its generators plus the data the
+/// canonicalizer needs (anchor content and seed shape).
+struct RelabelFamily {
+  bool canonical = false;  ///< the full family certified; canon maps apply
+  bool symmetric = false;  ///< whole-label anchoring (else block-0)
+  int m = 0;
+  Label anchor;  ///< nucleus seed (plain) or full seed (symmetric)
+  std::vector<OrbitAutomorphism> gens;
+};
+
+/// Builds and certifies the relabel family for `spec`. `try_node` maps a
+/// label to its node id or kNoNode. The family is all-or-nothing: the
+/// anchoring argument (every orbit holds exactly one anchored form, and
+/// the anchoring map is a product of the certified generators) needs the
+/// whole generator family, so one failed candidate drops the layer.
+template <class TryNode>
+RelabelFamily certify_relabels(const SuperIPSpec& spec, TryNode&& try_node) {
+  RelabelFamily fam;
+  fam.m = spec.m;
+  const bool plain = blocks_identical(spec);
+  const Label block0 = spec.seed_block(0);
+  fam.symmetric = !plain && symbols_distinct(spec.seed);
+  if (plain) {
+    if (!symbols_distinct(block0)) return fam;
+    fam.anchor = block0;
+    // Diagonal relabelings c -> c.gamma for each nucleus generator: the
+    // same symbol map rewrites every block, so the map commutes with the
+    // expanded super-generators too.
+    std::vector<std::uint8_t> map;
+    Label image(spec.seed.size());
+    for (const Generator& g : spec.nucleus_gens) {
+      const Label target = g.perm.apply(block0);
+      if (!relabel_from_images(block0, target, map)) return fam;
+      for (std::size_t i = 0; i < spec.seed.size(); ++i) {
+        image[i] = map[spec.seed[i]];
+      }
+      if (try_node(image) == kNoNode) return fam;
+      OrbitAutomorphism a;
+      a.kind = OrbitAutomorphism::Kind::kSymbolRelabel;
+      a.name = "relabel:" + g.name;
+      a.symbol_map = map;
+      fam.gens.push_back(std::move(a));
+    }
+  } else if (fam.symmetric) {
+    fam.anchor = spec.seed;
+    // Neighbor relabelings seed -> seed.g for every lifted generator:
+    // together they generate the left-multiplication group of the Cayley
+    // graph (Section 3.5), which is transitive.
+    const IPGraphSpec ip = spec.to_ip_spec();
+    std::vector<std::uint8_t> map;
+    for (const Generator& g : ip.generators) {
+      const Label target = g.perm.apply(ip.seed);
+      if (!relabel_from_images(ip.seed, target, map)) return fam;
+      if (try_node(target) == kNoNode) return fam;
+      OrbitAutomorphism a;
+      a.kind = OrbitAutomorphism::Kind::kSymbolRelabel;
+      a.name = "relabel:" + g.name;
+      a.symbol_map = map;
+      fam.gens.push_back(std::move(a));
+    }
+  } else {
+    return fam;  // mixed seed shape: no certified relabel layer
+  }
+  fam.canonical = !fam.gens.empty();
+  return fam;
+}
+
+/// Canonical form of `x` under the relabel group: the unique orbit element
+/// whose anchored positions carry the anchor content (block 0 = nucleus
+/// seed for plain shapes, the whole label = seed for symmetric ones).
+/// False when x's anchored content is not a symbol arrangement of the
+/// anchor — impossible for genuine nodes, and surfaced by the caller's
+/// contract rather than silently merged.
+bool canonicalize(const RelabelFamily& fam, const Label& x, Label& out,
+                  std::vector<std::uint8_t>& map) {
+  const std::size_t prefix = fam.symmetric
+                                 ? x.size()
+                                 : static_cast<std::size_t>(fam.m);
+  map.resize(256);
+  for (std::size_t s = 0; s < 256; ++s) map[s] = static_cast<std::uint8_t>(s);
+  std::array<bool, 256> assigned{};
+  std::array<bool, 256> hit{};
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const std::uint8_t s = x[i];
+    const std::uint8_t t = fam.anchor[i];
+    if (assigned[s]) {
+      if (map[s] != t) return false;
+      continue;
+    }
+    if (hit[t]) return false;
+    assigned[s] = true;
+    hit[t] = true;
+    map[s] = t;
+  }
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = map[x[i]];
+  return true;
+}
+
+/// Index-permutation candidates: expanded block permutations (all of
+/// Sym(l) for the instance sizes this library enumerates) and diagonal
+/// nucleus permutations (the same nucleus generator applied inside every
+/// block). Certification happens in certify_index_perms.
+std::vector<Permutation> index_perm_candidates(const SuperIPSpec& spec,
+                                               const OrbitOptions& opts) {
+  std::vector<Permutation> out;
+  const int l = spec.l;
+  const int m = spec.m;
+  if (l >= 2 && l <= 6) {  // l! <= 720 block permutations
+    std::vector<std::uint8_t> blocks(as_size(l));
+    for (int i = 0; i < l; ++i) blocks[as_size(i)] = static_cast<std::uint8_t>(i);
+    while (std::next_permutation(blocks.begin(), blocks.end())) {
+      if (opts.module_preserving_only && blocks[0] != 0) continue;
+      out.push_back(Permutation(blocks).expand_blocks(m));
+    }
+  }
+  for (const Generator& g : spec.nucleus_gens) {
+    if (g.perm.is_identity()) continue;
+    std::vector<std::uint8_t> diag(as_size(l * m));
+    for (int b = 0; b < l; ++b) {
+      for (int i = 0; i < m; ++i) {
+        diag[as_size(b * m + i)] =
+            static_cast<std::uint8_t>(b * m + g.perm[i]);
+      }
+    }
+    Permutation p(std::move(diag));
+    bool dup = false;
+    for (const Permutation& q : out) {
+      if (q == p) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// Certifies each candidate sigma: conjugation sigma^-1 g sigma must map
+/// every lifted generator into the generator set (so arcs map to arcs,
+/// possibly with a different tag) and seed.sigma must be a node (so the
+/// image vertex set is the vertex set).
+template <class TryNode>
+std::vector<OrbitAutomorphism> certify_index_perms(const SuperIPSpec& spec,
+                                                   const OrbitOptions& opts,
+                                                   TryNode&& try_node) {
+  std::vector<OrbitAutomorphism> out;
+  const IPGraphSpec ip = spec.to_ip_spec();
+  for (Permutation& sigma : index_perm_candidates(spec, opts)) {
+    const Permutation inv = sigma.inverse();
+    bool ok = true;
+    for (const Generator& g : ip.generators) {
+      const Permutation conj = inv.then(g.perm).then(sigma);
+      bool in_set = false;
+      for (const Generator& h : ip.generators) {
+        if (h.perm == conj) {
+          in_set = true;
+          break;
+        }
+      }
+      if (!in_set) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (try_node(sigma.apply(ip.seed)) == kNoNode) continue;
+    OrbitAutomorphism a;
+    a.kind = OrbitAutomorphism::Kind::kIndexPermutation;
+    a.name = "indexperm:" + sigma.to_cycle_string();
+    a.index_perm = std::move(sigma);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+/// Backend adapters: the quotient builder only needs size / unrank /
+/// membership, so one template serves the materialized and implicit paths.
+struct MaterializedBackend {
+  const IPGraph* g;
+
+  std::uint64_t size() const { return g->num_nodes(); }
+  void label_into(std::uint64_t u, Label& out) const {
+    g->label_into(static_cast<Node>(u), out);
+  }
+  std::uint64_t try_node(const Label& x) const {
+    const Node v = g->node_of(x);
+    return v == kInvalidIPNode ? kNoNode : v;
+  }
+};
+
+struct ImplicitBackend {
+  const SuperRanking* ranking;
+
+  std::uint64_t size() const { return ranking->size(); }
+  void label_into(std::uint64_t u, Label& out) const {
+    ranking->unrank_into(u, out);
+  }
+  std::uint64_t try_node(const Label& x) const {
+    const std::uint64_t r = ranking->try_rank(x);
+    return r == SuperRanking::kInvalidRank ? kNoNode : r;
+  }
+};
+
+template <class Backend>
+OrbitQuotient build_quotient(const Backend& backend, const SuperIPSpec& spec,
+                             const OrbitOptions& opts) {
+  OrbitQuotient out;
+  out.num_nodes = backend.size();
+  const std::uint64_t n = out.num_nodes;
+  if (n == 0) return out;
+
+  const auto try_node = [&backend](const Label& x) {
+    return backend.try_node(x);
+  };
+  RelabelFamily relabels = certify_relabels(spec, try_node);
+  std::vector<OrbitAutomorphism> index_gens =
+      certify_index_perms(spec, opts, try_node);
+
+  // Pass 1 — symbol-relabel layer by anchoring: every node is mapped to
+  // the unique anchored element of its relabel orbit in O(l*m), with one
+  // node lookup and no union-find. Nodes sharing an anchor share an orbit
+  // (the anchoring map is a product of certified generators); processing
+  // ids in ascending order makes the first member of each slot its
+  // minimum, i.e. the representative.
+  out.orbit_of.assign(as_size(n), 0);
+  std::vector<std::uint32_t> slot(as_size(n), kNoSlot);
+  std::vector<std::uint64_t> reps;
+  std::vector<std::uint64_t> counts;
+  Label x, y;
+  std::vector<std::uint8_t> map_scratch;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    std::uint64_t anchor = u;
+    if (relabels.canonical) {
+      backend.label_into(u, x);
+      if (canonicalize(relabels, x, y, map_scratch)) {
+        anchor = backend.try_node(y);
+      } else {
+        anchor = kNoNode;
+      }
+      // Genuine nodes always anchor (their block contents are symbol
+      // arrangements of the seed's); a miss means the spec and the node
+      // set disagree, so fail loudly rather than silently under-merge.
+      IPG_CONTRACT(anchor != kNoNode);
+      if (anchor == kNoNode) anchor = u;  // release-mode safe fallback
+    }
+    std::uint32_t s = slot[as_size(anchor)];
+    if (s == kNoSlot) {
+      s = static_cast<std::uint32_t>(reps.size());
+      slot[as_size(anchor)] = s;
+      reps.push_back(u);
+      counts.push_back(0);
+    }
+    out.orbit_of[as_size(u)] = s;
+    counts[s]++;
+  }
+
+  // Pass 2 — index-permutation layer: union-find over the pass-1 slots.
+  // sigma commutes with every symbol relabel, so the image slot of a
+  // whole orbit equals the image slot of its representative: the loop is
+  // #slots x #sigma applications, not N x #sigma.
+  if (!index_gens.empty() && reps.size() > 1) {
+    UnionFind uf(reps.size());
+    Label z;
+    for (std::uint32_t i = 0; i < reps.size(); ++i) {
+      backend.label_into(reps[i], x);
+      for (const OrbitAutomorphism& a : index_gens) {
+        a.index_perm.apply_into(x, y);
+        std::uint64_t image = kNoNode;
+        if (relabels.canonical) {
+          if (canonicalize(relabels, y, z, map_scratch)) {
+            image = backend.try_node(z);
+          }
+        } else {
+          image = backend.try_node(y);
+        }
+        IPG_CONTRACT(image != kNoNode);
+        if (image == kNoNode) continue;  // drop the merge, stay sound
+        uf.unite(i, out.orbit_of[as_size(image)]);
+      }
+    }
+    // Collapse: renumber classes in ascending order of their minimum
+    // representative (class roots are minimum slots by construction).
+    std::vector<std::uint32_t> renumber(reps.size(), kNoSlot);
+    std::vector<std::uint64_t> final_reps;
+    std::vector<std::uint64_t> final_counts;
+    for (std::uint32_t i = 0; i < reps.size(); ++i) {
+      const std::uint32_t root = uf.find(i);
+      if (renumber[root] == kNoSlot) {
+        renumber[root] = static_cast<std::uint32_t>(final_reps.size());
+        final_reps.push_back(reps[as_size(root)]);
+        final_counts.push_back(0);
+      }
+      renumber[i] = renumber[root];
+      final_counts[renumber[root]] += counts[i];
+    }
+    for (std::uint64_t u = 0; u < n; ++u) {
+      out.orbit_of[as_size(u)] = renumber[out.orbit_of[as_size(u)]];
+    }
+    reps = std::move(final_reps);
+    counts = std::move(final_counts);
+  }
+
+  out.representatives = std::move(reps);
+  out.multiplicity = std::move(counts);
+  if (relabels.canonical) {
+    out.generators = std::move(relabels.gens);
+  }
+  out.generators.insert(out.generators.end(),
+                        std::make_move_iterator(index_gens.begin()),
+                        std::make_move_iterator(index_gens.end()));
+  IPG_AUDIT(orbit_partition_consistent(out));
+  return out;
+}
+
+}  // namespace
+
+void OrbitAutomorphism::apply_into(const Label& x, Label& out) const {
+  if (kind == Kind::kSymbolRelabel) {
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = symbol_map[x[i]];
+  } else {
+    index_perm.apply_into(x, out);
+  }
+}
+
+double OrbitQuotient::compression() const noexcept {
+  return representatives.empty()
+             ? 1.0
+             : static_cast<double>(num_nodes) /
+                   static_cast<double>(representatives.size());
+}
+
+OrbitQuotient OrbitQuotient::single_orbit(std::uint64_t n) {
+  OrbitQuotient q;
+  q.num_nodes = n;
+  if (n > 0) {
+    q.representatives = {0};
+    q.multiplicity = {n};
+  }
+  return q;
+}
+
+OrbitQuotient compute_orbit_quotient(const IPGraph& g, const SuperIPSpec& spec,
+                                     const OrbitOptions& opts) {
+  const MaterializedBackend backend{&g};
+  OrbitQuotient q = build_quotient(backend, spec, opts);
+#ifdef IPG_CONTRACTS_ACTIVE
+  for (const OrbitAutomorphism& a : q.generators) {
+    IPG_AUDIT(automorphism_arc_preserving(g, a, opts.audit_samples,
+                                          0x9e3779b97f4a7c15ull));
+  }
+#endif
+  return q;
+}
+
+OrbitQuotient compute_orbit_quotient(const net::ImplicitSuperIPTopology& topo,
+                                     const OrbitOptions& opts) {
+  const ImplicitBackend backend{&topo.ranking()};
+  OrbitQuotient q = build_quotient(backend, topo.spec(), opts);
+#ifdef IPG_CONTRACTS_ACTIVE
+  for (const OrbitAutomorphism& a : q.generators) {
+    IPG_AUDIT(automorphism_arc_preserving(topo, a, opts.audit_samples,
+                                          0x9e3779b97f4a7c15ull));
+  }
+#endif
+  return q;
+}
+
+ImplicitOrbitMapper::ImplicitOrbitMapper(
+    const net::ImplicitSuperIPTopology& topo)
+    : topo_(&topo) {
+  const ImplicitBackend backend{&topo.ranking()};
+  const auto try_node = [&backend](const Label& x) {
+    return backend.try_node(x);
+  };
+  RelabelFamily fam = certify_relabels(topo.spec(), try_node);
+  canonicalizes_ = fam.canonical;
+  symmetric_ = fam.symmetric;
+  m_ = fam.m;
+  anchor_ = std::move(fam.anchor);
+}
+
+std::uint64_t ImplicitOrbitMapper::canonical_rank(std::uint64_t r) const {
+  if (!canonicalizes_) return r;
+  RelabelFamily fam;
+  fam.canonical = true;
+  fam.symmetric = symmetric_;
+  fam.m = m_;
+  fam.anchor = anchor_;
+  Label x, y;
+  std::vector<std::uint8_t> map;
+  topo_->ranking().unrank_into(r, x);
+  if (!canonicalize(fam, x, y, map)) {
+    IPG_CONTRACT(false && "implicit orbit mapper: rank fails to anchor");
+    return r;
+  }
+  const std::uint64_t canon = topo_->ranking().try_rank(y);
+  IPG_CONTRACT(canon != SuperRanking::kInvalidRank);
+  return canon == SuperRanking::kInvalidRank ? r : canon;
+}
+
+OrbitQuotient module_orbit_quotient(const OrbitQuotient& node_orbits,
+                                    std::span<const std::uint32_t> module_of,
+                                    std::uint32_t num_modules) {
+  IPG_CONTRACT(node_orbits.orbit_of.size() == node_orbits.num_nodes);
+  IPG_CONTRACT(module_of.size() == node_orbits.num_nodes);
+  OrbitQuotient out;
+  out.num_nodes = num_modules;
+  if (num_modules == 0) return out;
+
+  // Certified automorphisms map modules onto modules (the builder was
+  // asked for module-preserving generators), so two modules sharing a
+  // node orbit are automorphism images of each other: union every node's
+  // module with its orbit representative's module.
+  UnionFind uf(num_modules);
+  for (std::uint64_t u = 0; u < node_orbits.num_nodes; ++u) {
+    const std::uint64_t rep =
+        node_orbits.representatives[node_orbits.orbit_of[as_size(u)]];
+    uf.unite(module_of[as_size(u)], module_of[as_size(rep)]);
+  }
+
+  out.orbit_of.assign(num_modules, 0);
+  for (std::uint32_t mod = 0; mod < num_modules; ++mod) {
+    const std::uint32_t root = uf.find(mod);
+    if (root == mod) {
+      out.orbit_of[mod] = static_cast<std::uint32_t>(out.representatives.size());
+      out.representatives.push_back(mod);
+      out.multiplicity.push_back(0);
+    } else {
+      out.orbit_of[mod] = out.orbit_of[root];  // root < mod: already placed
+    }
+    out.multiplicity[out.orbit_of[mod]]++;
+  }
+  IPG_AUDIT(orbit_partition_consistent(out));
+  return out;
+}
+
+bool orbit_partition_consistent(const OrbitQuotient& q) {
+  if (q.representatives.size() != q.multiplicity.size()) return false;
+  std::uint64_t total = 0;
+  std::uint64_t prev_rep = 0;
+  for (std::size_t i = 0; i < q.representatives.size(); ++i) {
+    const std::uint64_t rep = q.representatives[i];
+    if (rep >= q.num_nodes) return false;
+    if (i > 0 && rep <= prev_rep) return false;
+    prev_rep = rep;
+    if (q.multiplicity[i] == 0) return false;
+    total += q.multiplicity[i];
+  }
+  if (total != q.num_nodes) return false;
+  if (q.orbit_of.empty()) {
+    // Compressed form: only the (caller-asserted) 1-orbit quotient and the
+    // empty quotient may omit the per-node map.
+    return q.representatives.size() <= 1;
+  }
+  if (q.orbit_of.size() != q.num_nodes) return false;
+  std::vector<std::uint64_t> counts(q.representatives.size(), 0);
+  for (std::uint64_t u = 0; u < q.num_nodes; ++u) {
+    const std::uint32_t o = q.orbit_of[as_size(u)];
+    if (o >= q.representatives.size()) return false;
+    counts[o]++;
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != q.multiplicity[i]) return false;
+    const std::uint64_t rep = q.representatives[i];
+    if (q.orbit_of[as_size(rep)] != i) return false;
+  }
+  return true;
+}
+
+bool automorphism_arc_preserving(const IPGraph& g, const OrbitAutomorphism& a,
+                                 int samples, std::uint64_t seed) {
+  const Node n = g.num_nodes();
+  if (n == 0) return true;
+  Xoshiro256 rng(seed);
+  Label x, y;
+  std::vector<Node> mapped, expected;
+  for (int s = 0; s < samples; ++s) {
+    const Node u = static_cast<Node>(rng.below(n));
+    g.label_into(u, x);
+    a.apply_into(x, y);
+    const Node pu = g.node_of(y);
+    if (pu == kInvalidIPNode) return false;
+    mapped.clear();
+    for (const Node v : g.graph.neighbors(u)) {
+      g.label_into(v, x);
+      a.apply_into(x, y);
+      const Node pv = g.node_of(y);
+      if (pv == kInvalidIPNode) return false;
+      mapped.push_back(pv);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    const auto image_arcs = g.graph.neighbors(pu);
+    expected.assign(image_arcs.begin(), image_arcs.end());
+    std::sort(expected.begin(), expected.end());
+    if (mapped != expected) return false;
+  }
+  return true;
+}
+
+bool automorphism_arc_preserving(const net::ImplicitSuperIPTopology& topo,
+                                 const OrbitAutomorphism& a, int samples,
+                                 std::uint64_t seed) {
+  const std::uint64_t n = topo.num_nodes();
+  if (n == 0) return true;
+  Xoshiro256 rng(seed);
+  Label x, y;
+  std::vector<net::TopoArc> arcs;
+  std::vector<std::uint64_t> mapped, expected;
+  for (int s = 0; s < samples; ++s) {
+    const std::uint64_t u = rng.below(n);
+    topo.label_into(u, x);
+    a.apply_into(x, y);
+    const std::uint64_t pu = topo.node_of(y);
+    if (pu == net::kInvalidNodeId) return false;
+    mapped.clear();
+    topo.neighbors(u, arcs);
+    for (const net::TopoArc& arc : arcs) {
+      topo.label_into(arc.to, x);
+      a.apply_into(x, y);
+      const std::uint64_t pv = topo.node_of(y);
+      if (pv == net::kInvalidNodeId) return false;
+      mapped.push_back(pv);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    expected.clear();
+    topo.neighbors(pu, arcs);
+    for (const net::TopoArc& arc : arcs) expected.push_back(arc.to);
+    std::sort(expected.begin(), expected.end());
+    if (mapped != expected) return false;
+  }
+  return true;
+}
+
+DistanceSummary orbit_folded_distance_summary(const Graph& g,
+                                              const OrbitQuotient& q,
+                                              const ExecPolicy& exec,
+                                              int num_shards) {
+  const Node n = g.num_nodes();
+  IPG_CONTRACT(q.num_nodes == n);
+  if (n == 0 || q.representatives.empty()) {
+    return finish_distance_summary(DistanceAccumulator{}, 0, n);
+  }
+
+  // Group representatives by multiplicity so each group is one weighted
+  // sweep. std::map iterates in ascending multiplicity and representative
+  // ids stay ascending inside a group — a merge order that depends only on
+  // the quotient, never on threads or shards.
+  std::map<std::uint64_t, std::vector<Node>> groups;
+  for (std::size_t i = 0; i < q.representatives.size(); ++i) {
+    groups[q.multiplicity[i]].push_back(
+        narrow_cast<Node>(q.representatives[i]));
+  }
+
+  DistanceAccumulator merged;
+  for (const auto& [mult, reps] : groups) {
+    DistanceAccumulator acc;
+    if (num_shards > 1) {
+      acc = accumulator_from_summary(sharded_distance_summary(
+          g, reps, shard::RankRangePartition(n, num_shards), exec));
+    } else if (reps.size() < kScalarSweepCutover) {
+      BfsScratch scratch(n);
+      for (const Node rep : reps) acc.add(scratch.run(g, rep));
+    } else {
+      acc = accumulator_from_summary(batched_distance_summary(g, reps, exec));
+    }
+    merged.merge_scaled(acc, mult);
+  }
+  return finish_distance_summary(std::move(merged), n, n);
+}
+
+}  // namespace ipg

@@ -1,0 +1,177 @@
+#pragma once
+// Orbit-compressed exact analytics: the automorphism-orbit partition of a
+// super-IP vertex set, and the weighted sweep that makes symmetry the
+// optimizer (ROADMAP "Orbit-compressed analytics").
+//
+// Two kinds of label-level symmetry are certified cheaply, without ever
+// touching the full automorphism group:
+//
+//  * Symbol relabelings phi(x)[i] = pi(x[i]). A symbol permutation acts
+//    position-wise, so it commutes with every index-permutation generator
+//    (phi(x . g) = phi(x) . g with the *same* generator); phi is therefore
+//    an automorphism iff phi(seed) is a node. For plain seeds (l identical
+//    blocks with nucleus seed c) the diagonal relabelings c -> d, d a
+//    nucleus node, form a free group of order M = |nucleus| whose orbits
+//    have the canonical form "block 0 = c"; for symmetric seeds (distinct
+//    symbols, Section 3.5) the relabelings seed -> neighbor generate the
+//    left-multiplication group of the Cayley graph, which is transitive —
+//    PR 4's vertex-transitive fast path drops out as the 1-orbit case.
+//
+//  * Index permutations phi(x) = x . sigma, certified by checking that
+//    conjugation sigma^-1 g sigma maps the generator set into itself (the
+//    normalizer condition; static_check.hpp proves it constexpr for the
+//    paper's super-generator shapes) and that seed . sigma is a node.
+//    Candidates: expanded block permutations and diagonal nucleus
+//    permutations (the same nucleus generator applied in every block).
+//
+// Every certified generator is additionally audited for arc preservation
+// on a sampled arc set under IPG_CONTRACT, and the finished partition is
+// audited for consistency (disjoint orbits, multiplicities summing to N).
+//
+// The quotient feeds orbit_folded_distance_summary: the 64-lane batched
+// BFS runs only from orbit representatives and each representative's
+// DistanceAccumulator is folded with its orbit multiplicity. All folded
+// quantities are integral, so the result is bit-identical to the
+// brute-force all-pairs sweep at every thread and shard count.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "ipg/build.hpp"
+#include "ipg/permutation.hpp"
+#include "ipg/super.hpp"
+#include "net/topology.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg {
+
+/// One certified automorphism generator, in applicable form (used by the
+/// orbit builder, the arc-preservation audit and the tests).
+struct OrbitAutomorphism {
+  enum class Kind : std::uint8_t {
+    kSymbolRelabel,    ///< phi(x)[i] = symbol_map[x[i]]
+    kIndexPermutation  ///< phi(x)[i] = x[index_perm[i]]
+  };
+
+  Kind kind = Kind::kSymbolRelabel;
+  std::string name;                     ///< diagnostic tag, e.g. "relabel:T(1,2)"
+  std::vector<std::uint8_t> symbol_map; ///< 256-entry table (kSymbolRelabel)
+  Permutation index_perm;               ///< label-length permutation (kIndexPermutation)
+
+  /// Applies the automorphism to a label (out is resized as needed).
+  void apply_into(const Label& x, Label& out) const;
+};
+
+/// The orbit partition of a vertex set under the certified automorphism
+/// subgroup. Node ids are graph node ids (BFS discovery order) for the
+/// materialized builder and SuperRanking ranks for the implicit one.
+struct OrbitQuotient {
+  std::uint64_t num_nodes = 0;
+
+  /// Minimum node id of each orbit, strictly ascending.
+  std::vector<std::uint64_t> representatives;
+
+  /// Orbit sizes, parallel to `representatives`; sums to num_nodes.
+  std::vector<std::uint64_t> multiplicity;
+
+  /// Orbit index of every node. May be empty only for the 1-orbit
+  /// quotient (single_orbit), where it is implied.
+  std::vector<std::uint32_t> orbit_of;
+
+  /// The certified automorphism generators the partition was built from
+  /// (empty for single_orbit: the symmetry is caller-asserted there).
+  std::vector<OrbitAutomorphism> generators;
+
+  std::uint64_t num_orbits() const noexcept { return representatives.size(); }
+
+  /// N / #orbits — the source-sweep compression factor.
+  double compression() const noexcept;
+
+  /// The caller-asserted vertex-transitive quotient: one orbit, node 0 as
+  /// representative (exactly PR 4's fast path, now a trivial instance).
+  static OrbitQuotient single_orbit(std::uint64_t n);
+};
+
+/// Knobs for the orbit builders.
+struct OrbitOptions {
+  /// Restrict index-permutation candidates to permutations fixing the
+  /// block-0 position set, so every certified automorphism maps nucleus
+  /// modules onto nucleus modules. Required when the quotient will be
+  /// projected with module_orbit_quotient (symbol relabelings preserve
+  /// modules unconditionally; block permutations that move block 0 do not).
+  bool module_preserving_only = false;
+
+  /// Arc samples per certified generator for the IPG_CONTRACT audit.
+  int audit_samples = 32;
+};
+
+/// Orbit partition of a materialized super-IP graph. `spec` must be the
+/// spec `g` was built from (seed node 0). Degrades gracefully: candidates
+/// that fail certification are dropped, so the worst case is the discrete
+/// partition (one orbit per node), never a wrong one.
+OrbitQuotient compute_orbit_quotient(const IPGraph& g, const SuperIPSpec& spec,
+                                     const OrbitOptions& opts = {});
+
+/// Orbit partition of an implicit topology: the orbit of a rank is found
+/// by unrank -> permute -> rank, so no CSR is ever materialized (memory is
+/// O(N) for the partition arrays plus O(nucleus) for the mapper).
+OrbitQuotient compute_orbit_quotient(const net::ImplicitSuperIPTopology& topo,
+                                     const OrbitOptions& opts = {});
+
+/// Streaming form of the implicit quotient's symbol-relabel layer: maps a
+/// rank to the canonical (anchor) rank of its relabel orbit in O(l*m) per
+/// query with O(nucleus) state — the scales-past-materialization hook.
+/// When no relabel family certifies, canonical_rank is the identity.
+class ImplicitOrbitMapper {
+ public:
+  explicit ImplicitOrbitMapper(const net::ImplicitSuperIPTopology& topo);
+
+  /// True when a full relabel family certified and mapping is non-trivial.
+  bool canonicalizes() const noexcept { return canonicalizes_; }
+
+  std::uint64_t canonical_rank(std::uint64_t r) const;
+
+ private:
+  const net::ImplicitSuperIPTopology* topo_;
+  bool canonicalizes_ = false;
+  bool symmetric_ = false;
+  int m_ = 0;
+  Label anchor_;  ///< nucleus seed (plain) / full seed (symmetric)
+};
+
+/// Projects a node quotient onto nucleus modules: two modules are in the
+/// same orbit iff they contain nodes of the same node orbit (certified
+/// automorphisms map modules onto modules, which is why the node quotient
+/// must have been built with OrbitOptions::module_preserving_only).
+/// Representatives/orbit_of are module ids, multiplicity counts modules.
+OrbitQuotient module_orbit_quotient(const OrbitQuotient& node_orbits,
+                                    std::span<const std::uint32_t> module_of,
+                                    std::uint32_t num_modules);
+
+/// Structural audit: representatives ascending and in range, multiplicity
+/// parallel and summing to num_nodes, orbit_of consistent with both (or
+/// empty with exactly one orbit). Pure check — callers wrap in IPG_AUDIT.
+bool orbit_partition_consistent(const OrbitQuotient& q);
+
+/// Arc-preservation audit on `samples` seeded-random nodes: phi maps each
+/// sampled node to a node and its out-neighbor set onto the image's
+/// out-neighbor set. False for any non-automorphism with high probability.
+bool automorphism_arc_preserving(const IPGraph& g, const OrbitAutomorphism& a,
+                                 int samples, std::uint64_t seed);
+bool automorphism_arc_preserving(const net::ImplicitSuperIPTopology& topo,
+                                 const OrbitAutomorphism& a, int samples,
+                                 std::uint64_t seed);
+
+/// All-pairs distance summary via the orbit fold: batched (or scalar, for
+/// tiny representative groups; or sharded, for num_shards > 1) sweeps from
+/// representatives only, each accumulator folded with its multiplicity.
+/// Bit-identical to the brute-force sweep at every thread/shard count.
+DistanceSummary orbit_folded_distance_summary(const Graph& g,
+                                              const OrbitQuotient& q,
+                                              const ExecPolicy& exec,
+                                              int num_shards = 1);
+
+}  // namespace ipg

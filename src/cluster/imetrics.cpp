@@ -5,8 +5,10 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/orbit.hpp"
 #include "graph/bfs.hpp"
 #include "graph/quotient.hpp"
+#include "ipg/static_check.hpp"
 #include "util/prng.hpp"
 #include "util/narrow.hpp"
 
@@ -51,9 +53,16 @@ struct IDistancePartial {
 void accumulate_idistance_source(const Graph& mod_graph,
                                  std::span<const std::uint32_t> module_sizes,
                                  std::uint64_t total_nodes, BfsScratch& scratch,
-                                 Node src, IDistancePartial& p) {
+                                 Node src, IDistancePartial& p,
+                                 std::uint64_t weight = 1) {
   const auto dist = scratch.run(mod_graph, src);
-  const long double src_size = module_sizes[src];
+  // Orbit fold: a representative stands for `weight` source modules with
+  // identical size and distance profile, and both sums are linear in
+  // src_size — so scaling it keeps every summand integer-valued (exact in
+  // a long double) and reproduces the brute sweep bit for bit.
+  const long double src_size =
+      static_cast<long double>(weight) *
+      static_cast<long double>(module_sizes[src]);
   for (Node m = 0; m < mod_graph.num_nodes(); ++m) {
     if (dist[m] == kUnreachable) {
       p.disconnected = true;
@@ -81,18 +90,24 @@ IDistanceStats finish_idistance(const IDistancePartial& p) {
 IDistanceStats stats_from_sources(const Graph& mod_graph,
                                   std::span<const std::uint32_t> module_sizes,
                                   std::span<const Node> sources,
-                                  const ExecPolicy& exec = ExecPolicy::serial_policy()) {
+                                  const ExecPolicy& exec = ExecPolicy::serial_policy(),
+                                  std::span<const std::uint64_t> weights = {}) {
   assert(module_sizes.size() == mod_graph.num_nodes());
+  assert(weights.empty() || weights.size() == sources.size());
   std::uint64_t total_nodes = 0;
   for (const std::uint32_t s : module_sizes) total_nodes += s;
+  const auto weight_of = [&weights](std::uint64_t i) {
+    return weights.empty() ? std::uint64_t{1} : weights[as_size(i)];
+  };
 
   const int threads = exec.resolved_threads();
   if (threads == 1) {
     IDistancePartial p;
     BfsScratch scratch(mod_graph.num_nodes());
-    for (const Node src : sources) {
+    for (std::uint64_t i = 0; i < sources.size(); ++i) {
       accumulate_idistance_source(mod_graph, module_sizes, total_nodes,
-                                  scratch, src, p);
+                                  scratch, sources[as_size(i)], p,
+                                  weight_of(i));
     }
     return finish_idistance(p);
   }
@@ -113,8 +128,9 @@ IDistanceStats stats_from_sources(const Graph& mod_graph,
         }
         for (std::uint64_t i = begin; i < end; ++i) {
           accumulate_idistance_source(mod_graph, module_sizes, total_nodes,
-                                      *scratch[as_size(worker)], sources[i],
-                                      partials[chunk]);
+                                      *scratch[as_size(worker)],
+                                      sources[as_size(i)], partials[chunk],
+                                      weight_of(i));
         }
       });
   IDistancePartial merged;
@@ -142,6 +158,30 @@ IDistanceStats i_distance_stats(const Graph& mod_graph,
   return stats_from_sources(mod_graph, module_sizes, all, exec);
 }
 
+IDistanceStats i_distance_stats(const Graph& mod_graph,
+                                std::span<const std::uint32_t> module_sizes,
+                                const OrbitQuotient& module_orbits,
+                                const ExecPolicy& exec) {
+  IPG_CONTRACT(module_orbits.num_nodes == mod_graph.num_nodes());
+  std::vector<Node> sources(module_orbits.representatives.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    sources[i] = narrow_cast<Node>(module_orbits.representatives[i]);
+#ifdef IPG_CONTRACTS_ACTIVE
+    // The fold assumes orbit-mate modules have the representative's size
+    // (automorphisms map modules onto modules bijectively); check it for
+    // the whole orbit so a mismatched clustering fails loudly.
+    for (Node mod = 0; mod < mod_graph.num_nodes(); ++mod) {
+      if (module_orbits.orbit_of.empty() ||
+          module_orbits.orbit_of[mod] == i) {
+        IPG_CONTRACT(module_sizes[mod] == module_sizes[sources[i]]);
+      }
+    }
+#endif
+  }
+  return stats_from_sources(mod_graph, module_sizes, sources, exec,
+                            module_orbits.multiplicity);
+}
+
 IDistanceStats i_distance_stats_sampled(const Graph& mod_graph,
                                         std::span<const std::uint32_t> module_sizes,
                                         int samples, std::uint64_t seed) {
@@ -167,6 +207,19 @@ IMetrics i_metrics(const Graph& g, const Clustering& c,
   const Graph mg = module_graph(g, c);
   const auto sizes = c.module_sizes();
   const IDistanceStats s = i_distance_stats(mg, sizes, exec);
+  out.i_diameter = s.i_diameter;
+  out.avg_i_distance = s.avg_i_distance;
+  return out;
+}
+
+IMetrics i_metrics(const Graph& g, const Clustering& c,
+                   const OrbitQuotient& module_orbits,
+                   const ExecPolicy& exec) {
+  IMetrics out;
+  out.i_degree = i_degree(g, c);
+  const Graph mg = module_graph(g, c);
+  const auto sizes = c.module_sizes();
+  const IDistanceStats s = i_distance_stats(mg, sizes, module_orbits, exec);
   out.i_diameter = s.i_diameter;
   out.avg_i_distance = s.avg_i_distance;
   return out;

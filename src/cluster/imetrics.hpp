@@ -21,6 +21,8 @@
 
 namespace ipg {
 
+struct OrbitQuotient;  // analysis/orbit.hpp
+
 /// Maximum over modules of (off-module arc endpoints in the module) /
 /// (module size). For symmetric digraphs this counts each undirected
 /// off-module link once per endpoint, i.e. per-node off-module links.
@@ -48,6 +50,19 @@ IDistanceStats i_distance_stats(const Graph& mod_graph,
                                 std::span<const std::uint32_t> module_sizes,
                                 const ExecPolicy& exec);
 
+/// Orbit-compressed variant: sweeps only the representative module of
+/// each orbit of `module_orbits` (see module_orbit_quotient), folding each
+/// representative's partials with the orbit's module count — orbit-mate
+/// modules are automorphism images of each other, so they contribute
+/// identical weighted distance profiles. All folded summands stay
+/// integer-valued, so the result is bit-identical to the full sweep at
+/// every thread count. `module_orbits` must partition exactly the module
+/// id space of `mod_graph`, built from a module-preserving node quotient.
+IDistanceStats i_distance_stats(const Graph& mod_graph,
+                                std::span<const std::uint32_t> module_sizes,
+                                const OrbitQuotient& module_orbits,
+                                const ExecPolicy& exec);
+
 /// Same, but sampling `samples` source modules (for module graphs too big
 /// for all-pairs). avg is unbiased over the sampled sources; i_diameter is
 /// the max sampled eccentricity (a lower bound that is tight for the
@@ -69,6 +84,12 @@ IMetrics i_metrics(const Graph& g, const Clustering& c);
 /// dominates on large instances) honors `exec`; results are bit-identical
 /// to the serial overload.
 IMetrics i_metrics(const Graph& g, const Clustering& c,
+                   const ExecPolicy& exec);
+
+/// Orbit-compressed variant: the module-graph sweep runs from orbit
+/// representative modules only (see the i_distance_stats overload above).
+IMetrics i_metrics(const Graph& g, const Clustering& c,
+                   const OrbitQuotient& module_orbits,
                    const ExecPolicy& exec);
 
 }  // namespace ipg

@@ -45,6 +45,31 @@ void DistanceAccumulator::merge(const DistanceAccumulator& other) {
   }
 }
 
+void DistanceAccumulator::merge_scaled(const DistanceAccumulator& other,
+                                       std::uint64_t weight) {
+  if (weight == 0) return;
+  diameter = std::max(diameter, other.diameter);
+  total += other.total * weight;
+  disconnected = disconnected || other.disconnected;
+  if (other.histogram.size() > histogram.size()) {
+    histogram.resize(other.histogram.size(), 0);
+  }
+  for (std::size_t d = 0; d < other.histogram.size(); ++d) {
+    histogram[d] += other.histogram[d] * weight;
+  }
+}
+
+DistanceAccumulator accumulator_from_summary(const DistanceSummary& s) {
+  DistanceAccumulator acc;
+  acc.diameter = s.diameter;
+  acc.disconnected = !s.strongly_connected;
+  acc.histogram = s.histogram;
+  for (std::size_t d = 0; d < acc.histogram.size(); ++d) {
+    acc.total += static_cast<std::uint64_t>(d) * acc.histogram[d];
+  }
+  return acc;
+}
+
 DistanceSummary finish_distance_summary(DistanceAccumulator&& acc,
                                         std::uint64_t num_sources,
                                         std::uint64_t num_nodes) {

@@ -49,7 +49,21 @@ struct DistanceAccumulator {
 
   /// Folds `other` into this accumulator (call in chunk order).
   void merge(const DistanceAccumulator& other);
+
+  /// Folds `other` scaled by an integer weight — the orbit-quotient fold:
+  /// an orbit representative's counts stand for `weight` sources with
+  /// identical distance distributions. Every scaled quantity stays
+  /// integral, so a weighted fold of orbit representatives reproduces the
+  /// brute-force accumulation bit for bit.
+  void merge_scaled(const DistanceAccumulator& other, std::uint64_t weight);
 };
+
+/// Lossless inverse of finish_distance_summary (up to the source count,
+/// which only enters the final division): reconstructs the integral
+/// accumulator from a summary so sweep results can be re-merged — the
+/// orbit fold uses this to reuse the batched/sharded drivers per
+/// representative group.
+DistanceAccumulator accumulator_from_summary(const DistanceSummary& s);
 
 /// Final division step shared by both engines: `num_sources * (n - 1)`
 /// ordered pairs, computed from the exact integral totals. `num_nodes` is

@@ -158,6 +158,45 @@ constexpr CPerm<Total> embed(const CPerm<K>& a, int at) {
   return q;
 }
 
+/// Inverse permutation: then(a, inverse(a)) == identity.
+template <int K>
+constexpr CPerm<K> inverse(const CPerm<K>& a) {
+  CPerm<K> q{};
+  for (int i = 0; i < K; ++i) {
+    q[a[static_cast<std::size_t>(i)]] = static_cast<std::uint8_t>(i);
+  }
+  return q;
+}
+
+/// Conjugation matching the orbit certifier (analysis/orbit.cpp): the
+/// action of generator `g` seen through the candidate automorphism
+/// x -> x∘sigma is sigma^-1 ∘ g ∘ sigma in the library's composition
+/// order. sigma is a certified automorphism exactly when this lands in
+/// the generator set for every generator (plus seed membership).
+template <int K>
+constexpr CPerm<K> conjugate(const CPerm<K>& sigma, const CPerm<K>& g) {
+  return then<K>(then<K>(inverse<K>(sigma), g), sigma);
+}
+
+/// Lexicographic unrank (inverse of rank_of): permutation number `r` of
+/// 0..K-1, for exhaustive constexpr enumeration of small groups.
+template <int K>
+constexpr CPerm<K> unrank_perm(int r) {
+  std::array<std::uint8_t, static_cast<std::size_t>(K)> pool{};
+  for (int i = 0; i < K; ++i) pool[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  CPerm<K> p{};
+  for (int i = 0; i < K; ++i) {
+    const int radix = factorial(K - 1 - i);
+    const int pick = r / radix;
+    r %= radix;
+    p[static_cast<std::size_t>(i)] = pool[static_cast<std::size_t>(pick)];
+    for (int j = pick; j + 1 < K - i; ++j) {
+      pool[static_cast<std::size_t>(j)] = pool[static_cast<std::size_t>(j + 1)];
+    }
+  }
+  return p;
+}
+
 /// Lexicographic rank of a permutation of 0..K-1 (Lehmer code); bijective
 /// onto [0, K!).
 template <int K>
@@ -303,7 +342,77 @@ constexpr bool disjoint_generators_commute() {
   return true;
 }
 
+/// then(a, inverse(a)) and then(inverse(a), a) are the identity for every
+/// permutation of K positions.
+template <int K>
+constexpr bool inverses_roundtrip() {
+  for (int r = 0; r < factorial(K); ++r) {
+    const CPerm<K> p = unrank_perm<K>(r);
+    if (!is_identity<K>(then<K>(p, inverse<K>(p)))) return false;
+    if (!is_identity<K>(then<K>(inverse<K>(p), p))) return false;
+  }
+  return true;
+}
+
+/// The orbit certifier's normalizer premise for HSN: every block
+/// permutation fixing position 0 conjugates the transposition set
+/// {T(0,i) : i >= 1} into itself — so on HSN(l, ·) all (l-1)! such block
+/// permutations certify as automorphisms (analysis/orbit.cpp).
+template <int K>
+constexpr bool stabilizer_normalizes_transpositions() {
+  for (int r = 0; r < factorial(K); ++r) {
+    const CPerm<K> sigma = unrank_perm<K>(r);
+    if (sigma[0] != 0) continue;  // must fix the nucleus block position
+    for (int i = 1; i < K; ++i) {
+      const CPerm<K> h = conjugate<K>(sigma, transposition<K>(0, i));
+      bool in_set = false;
+      for (int j = 1; j < K; ++j) {
+        if (h == transposition<K>(0, j)) in_set = true;
+      }
+      if (!in_set) return false;
+    }
+  }
+  return true;
+}
+
+/// The ring-CN premise: reversal conjugates L into R and R into L (so the
+/// reflection certifies on ring-CN), and every rotation centralizes both
+/// (so all K rotations certify).
+template <int K>
+constexpr bool reflection_and_rotations_normalize_shifts() {
+  CPerm<K> rev{};
+  for (int i = 0; i < K; ++i) {
+    rev[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(K - 1 - i);
+  }
+  if (conjugate<K>(rev, rotate_left<K>(1)) != rotate_right<K>(1)) return false;
+  if (conjugate<K>(rev, rotate_right<K>(1)) != rotate_left<K>(1)) return false;
+  for (int s = 0; s < K; ++s) {
+    const CPerm<K> rot = rotate_left<K>(s);
+    if (conjugate<K>(rot, rotate_left<K>(1)) != rotate_left<K>(1)) return false;
+    if (conjugate<K>(rot, rotate_right<K>(1)) != rotate_right<K>(1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace detail
+
+static_assert(detail::inverses_roundtrip<3>() && detail::inverses_roundtrip<4>() &&
+                  detail::inverses_roundtrip<5>(),
+              "inverse() must invert then() for every permutation");
+
+static_assert(detail::stabilizer_normalizes_transpositions<3>() &&
+                  detail::stabilizer_normalizes_transpositions<4>() &&
+                  detail::stabilizer_normalizes_transpositions<5>(),
+              "orbit certification premise: block permutations fixing block "
+              "0 must normalize the HSN transposition super-generators");
+
+static_assert(detail::reflection_and_rotations_normalize_shifts<3>() &&
+                  detail::reflection_and_rotations_normalize_shifts<4>() &&
+                  detail::reflection_and_rotations_normalize_shifts<6>(),
+              "orbit certification premise: reversal swaps L and R and "
+              "rotations centralize them on ring-CN super-generators");
 
 static_assert(detail::transpositions_are_involutions<3>() &&
                   detail::transpositions_are_involutions<5>() &&

@@ -241,7 +241,7 @@ TEST(BfsBatchFastPath, OptOutForcesFullSweep) {
   const IPGraph g = build_super_ip_graph(spec);
   ExactOptions opts;
   opts.assume_vertex_transitive = true;
-  opts.use_symmetry_fast_path = false;  // opt-out: identical by construction
+  opts.use_orbit_quotient = false;  // opt-out: identical by construction
   expect_summaries_identical(exact_analysis(g.graph).distances,
                              exact_analysis(g.graph, ExecPolicy{2}, opts)
                                  .distances,

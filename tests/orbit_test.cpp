@@ -1,0 +1,277 @@
+// Orbit-quotient suite (ctest label `orbit`): the orbit-compressed exact
+// analytics engine is differentially tested against the scalar brute-force
+// oracle on every golden family variant and on random specs, at several
+// thread and shard counts — the fold must be bit-identical, not just close.
+// The partition and arc-preservation audits are additionally shown to trip
+// on deliberately corrupted inputs, so the safety net itself is tested.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/exact.hpp"
+#include "analysis/orbit.hpp"
+#include "cluster/imetrics.hpp"
+#include "graph/bfs.hpp"
+#include "ipg/build.hpp"
+#include "ipg/families.hpp"
+#include "ipg/super.hpp"
+#include "ipg/symmetric.hpp"
+#include "net/topology.hpp"
+#include "random_spec.hpp"
+#include "util/narrow.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+/// The 12 golden variants of tests/golden_diameters_test.cpp.
+std::vector<SuperIPSpec> all_family_specs() {
+  std::vector<SuperIPSpec> specs = {
+      make_hcn(2),
+      make_hsn(3, hypercube_nucleus(2)),
+      make_ring_cn(3, star_nucleus(3)),
+      make_complete_cn(3, hypercube_nucleus(2)),
+      make_directed_cn(3, star_nucleus(3)),
+      make_super_flip(3, hypercube_nucleus(2)),
+  };
+  const std::size_t plain_count = specs.size();
+  for (std::size_t i = 0; i < plain_count; ++i) {
+    specs.push_back(make_symmetric(specs[i]));
+  }
+  return specs;
+}
+
+void expect_summaries_identical(const DistanceSummary& want,
+                                const DistanceSummary& got,
+                                const std::string& tag) {
+  EXPECT_EQ(want.diameter, got.diameter) << tag;
+  EXPECT_EQ(want.strongly_connected, got.strongly_connected) << tag;
+  EXPECT_EQ(want.histogram, got.histogram) << tag;
+  // Bitwise: both sides divide the same integral total by the same count.
+  EXPECT_EQ(want.average_distance, got.average_distance) << tag;
+}
+
+void expect_orbit_matches_oracle(const IPGraph& g, const OrbitQuotient& q,
+                                 const std::string& name) {
+  const DistanceSummary oracle = all_pairs_distance_summary_scalar(g.graph);
+  for (const int threads : {1, 2, 8}) {
+    for (const int shards : {1, 2}) {
+      ExactOptions opts;
+      opts.orbit = &q;
+      opts.num_shards = shards;
+      const ExactAnalysis got =
+          exact_analysis(g.graph, ExecPolicy{threads}, opts);
+      expect_summaries_identical(oracle, got.distances,
+                                 name + " @" + std::to_string(threads) +
+                                     "t/" + std::to_string(shards) + "s");
+    }
+  }
+}
+
+TEST(OrbitQuotientTest, GoldenVariantsBitIdenticalToScalarOracle) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    const IPGraph g = build_super_ip_graph(spec);
+    const OrbitQuotient q = compute_orbit_quotient(g, spec);
+    EXPECT_TRUE(orbit_partition_consistent(q)) << spec.name;
+    expect_orbit_matches_oracle(g, q, spec.name);
+  }
+}
+
+TEST(OrbitQuotientTest, RandomSpecsBitIdenticalToScalarOracle) {
+  Xoshiro256 rng(0x0913c0de);
+  int tested = 0;
+  while (tested < 6) {
+    const SuperIPSpec spec = testing::random_super_ip_spec(rng);
+    const IPGraph g = build_super_ip_graph(spec);
+    if (g.num_nodes() > 4000) continue;  // keep the suite fast
+    SCOPED_TRACE(spec.name);
+    const OrbitQuotient q = compute_orbit_quotient(g, spec);
+    EXPECT_TRUE(orbit_partition_consistent(q)) << spec.name;
+    expect_orbit_matches_oracle(g, q, spec.name);
+    ++tested;
+  }
+}
+
+TEST(OrbitQuotientTest, SymmetricVariantsCollapseToOneOrbit) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    if (spec.name.rfind("sym-", 0) != 0) continue;
+    SCOPED_TRACE(spec.name);
+    const IPGraph g = build_super_ip_graph(spec);
+    const OrbitQuotient q = compute_orbit_quotient(g, spec);
+    EXPECT_EQ(q.num_orbits(), 1u) << spec.name;
+    EXPECT_EQ(q.representatives[0], 0u) << spec.name;
+    EXPECT_EQ(q.multiplicity[0], g.num_nodes()) << spec.name;
+  }
+}
+
+TEST(OrbitQuotientTest, PlainVariantsCompressByAtLeastNucleusSize) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    if (spec.name.rfind("sym-", 0) == 0) continue;
+    SCOPED_TRACE(spec.name);
+    const IPGraph g = build_super_ip_graph(spec);
+    const OrbitQuotient q = compute_orbit_quotient(g, spec);
+    // The diagonal symbol relabelings form a free group of order
+    // M = |nucleus|, so every orbit has at least M elements.
+    const IPGraph nucleus = build_ip_graph(spec.nucleus_spec());
+    const auto m_nodes = static_cast<std::uint64_t>(nucleus.num_nodes());
+    EXPECT_GE(q.compression(), static_cast<double>(m_nodes)) << spec.name;
+    for (const std::uint64_t mult : q.multiplicity) {
+      EXPECT_EQ(mult % m_nodes, 0u) << spec.name;
+    }
+  }
+}
+
+TEST(OrbitQuotientTest, SingleOrbitFoldEqualsScalarOnCayleyVariants) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    if (spec.name.rfind("sym-", 0) != 0) continue;
+    SCOPED_TRACE(spec.name);
+    const IPGraph g = build_super_ip_graph(spec);
+    const DistanceSummary oracle = all_pairs_distance_summary_scalar(g.graph);
+    const OrbitQuotient one = OrbitQuotient::single_orbit(g.num_nodes());
+    for (const int shards : {1, 2}) {
+      expect_summaries_identical(
+          oracle,
+          orbit_folded_distance_summary(g.graph, one, ExecPolicy{2}, shards),
+          spec.name + " single-orbit/" + std::to_string(shards) + "s");
+    }
+  }
+}
+
+TEST(OrbitAuditTest, PartitionConsistencyHoldsForBuiltQuotients) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(spec);
+  const OrbitQuotient q = compute_orbit_quotient(g, spec);
+  ASSERT_TRUE(orbit_partition_consistent(q));
+  ASSERT_GE(q.num_orbits(), 2u);
+
+  OrbitQuotient bad_mult = q;
+  bad_mult.multiplicity[0] += 1;  // multiplicities no longer sum to N
+  EXPECT_FALSE(orbit_partition_consistent(bad_mult));
+
+  OrbitQuotient bad_reps = q;
+  std::swap(bad_reps.representatives[0], bad_reps.representatives[1]);
+  EXPECT_FALSE(orbit_partition_consistent(bad_reps));  // not ascending
+
+  OrbitQuotient bad_assign = q;
+  const std::size_t rep0 = as_size(bad_assign.representatives[0]);
+  bad_assign.orbit_of[rep0] ^= 1u;  // representative leaves its own orbit
+  EXPECT_FALSE(orbit_partition_consistent(bad_assign));
+
+  OrbitQuotient bad_implied = q;
+  bad_implied.orbit_of.clear();  // implied assignment needs exactly 1 orbit
+  EXPECT_FALSE(orbit_partition_consistent(bad_implied));
+}
+
+TEST(OrbitAuditTest, ArcAuditRejectsUncertifiedIndexPermutation) {
+  const SuperIPSpec spec = make_ring_cn(3, star_nucleus(3));
+  const IPGraph g = build_super_ip_graph(spec);
+  // Swapping position 0 (block 0) with position 3 (block 1) fixes the
+  // plain seed but mixes blocks, so it is not an automorphism: the audit
+  // must find a node whose neighborhood it fails to preserve.
+  OrbitAutomorphism bad;
+  bad.kind = OrbitAutomorphism::Kind::kIndexPermutation;
+  bad.name = "bad:T(0,3)";
+  bad.index_perm = Permutation::transposition(spec.label_length(), 0, 3);
+  EXPECT_FALSE(automorphism_arc_preserving(g, bad, 32, 0x5eed));
+
+  const net::ImplicitSuperIPTopology topo(spec);
+  EXPECT_FALSE(automorphism_arc_preserving(topo, bad, 32, 0x5eed));
+
+  // A genuine relabel generator from the built quotient passes the same
+  // audit, so the rejection above is discriminating, not vacuous.
+  const OrbitQuotient q = compute_orbit_quotient(g, spec);
+  ASSERT_FALSE(q.generators.empty());
+  EXPECT_TRUE(automorphism_arc_preserving(g, q.generators[0], 32, 0x5eed));
+}
+
+TEST(OrbitImplicitTest, ImplicitQuotientMatchesMaterializedShape) {
+  for (const SuperIPSpec& spec : all_family_specs()) {
+    SCOPED_TRACE(spec.name);
+    const IPGraph g = build_super_ip_graph(spec);
+    const OrbitQuotient mat = compute_orbit_quotient(g, spec);
+    const net::ImplicitSuperIPTopology topo(spec);
+    const OrbitQuotient imp = compute_orbit_quotient(topo);
+    EXPECT_TRUE(orbit_partition_consistent(imp)) << spec.name;
+    EXPECT_EQ(imp.num_nodes, mat.num_nodes) << spec.name;
+    // Node ids differ (BFS order vs ranks), so compare partition shape:
+    // the same certified group acts, so orbit-size multisets must agree.
+    ASSERT_EQ(imp.num_orbits(), mat.num_orbits()) << spec.name;
+    std::vector<std::uint64_t> a = mat.multiplicity;
+    std::vector<std::uint64_t> b = imp.multiplicity;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << spec.name;
+  }
+}
+
+TEST(OrbitImplicitTest, MapperCanonicalizesWithinImplicitOrbits) {
+  for (const SuperIPSpec& spec :
+       {make_hsn(3, hypercube_nucleus(2)),
+        make_symmetric(make_hsn(3, hypercube_nucleus(2))),
+        make_ring_cn(3, star_nucleus(3))}) {
+    SCOPED_TRACE(spec.name);
+    const net::ImplicitSuperIPTopology topo(spec);
+    const OrbitQuotient q = compute_orbit_quotient(topo);
+    const ImplicitOrbitMapper mapper(topo);
+    EXPECT_TRUE(mapper.canonicalizes()) << spec.name;
+    for (std::uint64_t r = 0; r < topo.num_nodes(); ++r) {
+      const std::uint64_t c = mapper.canonical_rank(r);
+      ASSERT_LT(c, topo.num_nodes()) << spec.name;
+      // Idempotent, and never crosses a certified orbit boundary.
+      EXPECT_EQ(mapper.canonical_rank(c), c) << spec.name << " r=" << r;
+      if (!q.orbit_of.empty()) {
+        EXPECT_EQ(q.orbit_of[as_size(c)], q.orbit_of[as_size(r)])
+            << spec.name << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(OrbitModuleTest, ModuleOrbitFoldMatchesPlainIMetrics) {
+  for (const SuperIPSpec& spec :
+       {make_hsn(3, hypercube_nucleus(2)),
+        make_ring_cn(3, star_nucleus(3)),
+        make_symmetric(make_complete_cn(3, hypercube_nucleus(2)))}) {
+    SCOPED_TRACE(spec.name);
+    const IPGraph g = build_super_ip_graph(spec);
+    OrbitOptions opts;
+    opts.module_preserving_only = true;
+    const OrbitQuotient nodes = compute_orbit_quotient(g, spec, opts);
+    const ModuleAssignment ma = nucleus_modules(g, spec.m);
+    const OrbitQuotient mods =
+        module_orbit_quotient(nodes, ma.module_of, ma.num_modules);
+    EXPECT_TRUE(orbit_partition_consistent(mods)) << spec.name;
+    Clustering c;
+    c.module_of = ma.module_of;
+    c.num_modules = ma.num_modules;
+    for (const int threads : {1, 4}) {
+      const IMetrics plain = i_metrics(g.graph, c, ExecPolicy{threads});
+      const IMetrics folded = i_metrics(g.graph, c, mods, ExecPolicy{threads});
+      const std::string tag = spec.name + " @" + std::to_string(threads) + "t";
+      EXPECT_EQ(plain.i_degree, folded.i_degree) << tag;
+      EXPECT_EQ(plain.i_diameter, folded.i_diameter) << tag;
+      EXPECT_EQ(plain.avg_i_distance, folded.avg_i_distance) << tag;
+    }
+  }
+}
+
+TEST(OrbitExactOptionsTest, OptOutAndExplicitQuotientAgree) {
+  const SuperIPSpec spec = make_hsn(3, hypercube_nucleus(2));
+  const IPGraph g = build_super_ip_graph(spec);
+  const OrbitQuotient q = compute_orbit_quotient(g, spec);
+  ExactOptions brute;
+  brute.use_orbit_quotient = false;
+  brute.orbit = &q;  // must be ignored by the opt-out
+  ExactOptions orbit;
+  orbit.orbit = &q;
+  expect_summaries_identical(
+      exact_analysis(g.graph, ExecPolicy{2}, brute).distances,
+      exact_analysis(g.graph, ExecPolicy{2}, orbit).distances, spec.name);
+}
+
+}  // namespace
+}  // namespace ipg
