@@ -70,7 +70,7 @@ std::uint64_t Graph::memory_bytes() const noexcept {
 }
 
 const TransposeCsr& Graph::transpose() const {
-  std::lock_guard<std::mutex> lock(transpose_cache_.mu);
+  LockGuard lock(transpose_cache_.mu);
   if (!transpose_cache_.csr) {
     const Node n = num_nodes();
     auto t = std::make_shared<TransposeCsr>();

@@ -14,9 +14,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace ipg {
 
@@ -104,32 +105,56 @@ class Graph {
   std::uint64_t memory_bytes() const noexcept;
 
   /// Transpose CSR (in-neighbor lists), built on first call and cached for
-  /// the lifetime of the graph; thread-safe. The returned reference stays
-  /// valid until the graph is destroyed or assigned over.
-  const TransposeCsr& transpose() const;
+  /// the lifetime of the graph; thread-safe (any number of threads may
+  /// race the first call — one builds, the rest block, all see the same
+  /// cached CSR). The returned reference stays valid until the graph is
+  /// destroyed or assigned over.
+  const TransposeCsr& transpose() const IPG_EXCLUDES(transpose_cache_.mu);
 
  private:
   friend class GraphBuilder;
 
-  /// Lazily built transpose. The cache is an identity-like member: copies
-  /// and moves of a Graph start with an empty cache (rebuilt on demand),
-  /// and assignment clears the target's cache so it can never go stale
-  /// against new adjacency.
+  /// Lazily built transpose. The cache is an identity-like member with one
+  /// exception: a *moved* Graph carries its adjacency along, so the move
+  /// ctor adopts the source's cache (and clears it — annotating the cache
+  /// surfaced the latent bug where the moved-from source kept a transpose
+  /// that no longer matched its emptied adjacency). Copies start cold: the
+  /// copy is a distinct graph object and must own a distinct TransposeCsr
+  /// (tests/bfs_batch_test.cpp pins `&copy.transpose() != &g.transpose()`),
+  /// so the copy ctor reads no source state. Assignment clears the target's
+  /// cache so it can never go stale against new adjacency. Every access to
+  /// the guarded pointer goes through the owning object's mutex — annotated
+  /// so the thread-safety analysis proves the discipline
+  /// (tests/concurrency_stress_test.cpp hammers the same paths under TSan).
   struct TransposeCache {
-    mutable std::mutex mu;
-    mutable std::shared_ptr<const TransposeCsr> csr;
+    mutable Mutex mu;
+    mutable std::shared_ptr<const TransposeCsr> csr IPG_GUARDED_BY(mu);
 
     TransposeCache() = default;
     TransposeCache(const TransposeCache&) noexcept {}
-    TransposeCache(TransposeCache&&) noexcept {}
-    TransposeCache& operator=(const TransposeCache&) noexcept {
-      std::lock_guard<std::mutex> lock(mu);
+    TransposeCache(TransposeCache&& other) noexcept {
+      // Adopt the built transpose (it still matches the adjacency that is
+      // moving with us) and leave the source empty, never stale. The
+      // target is under construction, so only the source needs its lock.
+      LockGuard lock(other.mu);
+      csr = std::move(other.csr);
+    }
+    TransposeCache& operator=(const TransposeCache&) {
+      LockGuard lock(mu);
       csr.reset();
       return *this;
     }
-    TransposeCache& operator=(TransposeCache&&) noexcept {
-      std::lock_guard<std::mutex> lock(mu);
-      csr.reset();
+    TransposeCache& operator=(TransposeCache&& other) {
+      // Memberwise Graph move-assignment has already moved the adjacency
+      // by the time this runs, so the source's cache (possibly empty) is
+      // exactly the right value for the target — and the source must not
+      // keep it. Distinct objects, so taking both locks cannot deadlock
+      // with itself; concurrent cross-moves of the same pair would be a
+      // data race on the Graphs regardless of lock order.
+      if (this == &other) return *this;
+      LockGuard source(other.mu);
+      LockGuard target(mu);
+      csr = std::move(other.csr);
       return *this;
     }
   };

@@ -5,18 +5,20 @@
 // it is empty, and close() drains: producers fail fast, consumers keep
 // popping until the ring is empty and only then see "closed".
 //
-// A mutex + two condition variables over a fixed circular buffer. The lock
+// An ipg::Mutex + two ipg::CondVars over a fixed circular buffer. The lock
 // is held only to move one element, and the routing engine's unit of work
 // is a whole *batch* of queries, so the ring is never the bottleneck — the
-// simplicity buys straightforward TSan-clean blocking semantics (no lost
-// wakeups, no ABA) which a lock-free ring would have to re-derive.
+// simplicity buys straightforward blocking semantics (no lost wakeups, no
+// ABA) that are now checked twice: TSan at runtime and Clang's
+// thread-safety analysis at compile time (every mutable member is
+// IPG_GUARDED_BY the ring mutex).
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace ipg::route {
 
@@ -36,38 +38,41 @@ template <typename T>
 class RequestRing {
  public:
   explicit RequestRing(std::size_t capacity)
-      : buf_(capacity < 1 ? 1 : capacity) {}
+      : capacity_(capacity < 1 ? 1 : capacity), buf_(capacity_) {}
 
   RequestRing(const RequestRing&) = delete;
   RequestRing& operator=(const RequestRing&) = delete;
 
-  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
 
   /// Blocks while full. Returns false (dropping `v`) when the ring has
   /// been closed.
-  bool push(T v) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!closed_ && size_ >= buf_.size()) ++enqueue_waits_;
-    not_full_.wait(lock, [&] { return closed_ || size_ < buf_.size(); });
-    if (closed_) return false;
-    buf_[(head_ + size_) % buf_.size()] = std::move(v);
-    ++size_;
-    ++pushes_;
-    if (size_ > max_depth_) max_depth_ = size_;
-    lock.unlock();
+  bool push(T v) IPG_EXCLUDES(mu_) {
+    {
+      UniqueLock lock(mu_);
+      if (!closed_ && size_ >= capacity_) {
+        ++enqueue_waits_;
+        while (!closed_ && size_ >= capacity_) not_full_.wait(lock);
+      }
+      if (closed_) return false;
+      buf_[(head_ + size_) % capacity_] = std::move(v);
+      ++size_;
+      ++pushes_;
+      if (size_ > max_depth_) max_depth_ = size_;
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push: false when full or closed.
-  bool try_push(T v) {
+  bool try_push(T v) IPG_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || size_ >= buf_.size()) {
+      LockGuard lock(mu_);
+      if (closed_ || size_ >= capacity_) {
         ++try_push_failures_;
         return false;
       }
-      buf_[(head_ + size_) % buf_.size()] = std::move(v);
+      buf_[(head_ + size_) % capacity_] = std::move(v);
       ++size_;
       ++pushes_;
       if (size_ > max_depth_) max_depth_ = size_;
@@ -78,42 +83,43 @@ class RequestRing {
 
   /// Blocks while empty. Returns false only once the ring is closed AND
   /// drained — elements pushed before close() are always delivered.
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
-    if (size_ == 0) return false;  // closed and drained
-    out = std::move(buf_[head_]);
-    head_ = (head_ + 1) % buf_.size();
-    --size_;
-    ++pops_;
-    lock.unlock();
+  bool pop(T& out) IPG_EXCLUDES(mu_) {
+    {
+      UniqueLock lock(mu_);
+      while (!closed_ && size_ == 0) not_empty_.wait(lock);
+      if (size_ == 0) return false;  // closed and drained
+      out = std::move(buf_[head_]);
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+      ++pops_;
+    }
     not_full_.notify_one();
     return true;
   }
 
   /// Wakes every waiter; subsequent pushes fail, pops drain then fail.
-  void close() {
+  void close() IPG_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const IPG_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const IPG_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
     return size_;
   }
 
   /// Consistent snapshot of the occupancy counters.
-  RingStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  RingStats stats() const IPG_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
     RingStats s;
     s.pushes = pushes_;
     s.pops = pops_;
@@ -125,18 +131,19 @@ class RequestRing {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::vector<T> buf_;
-  std::size_t head_ = 0;  ///< index of the oldest element
-  std::size_t size_ = 0;
-  bool closed_ = false;
-  std::uint64_t pushes_ = 0;
-  std::uint64_t pops_ = 0;
-  std::uint64_t enqueue_waits_ = 0;
-  std::uint64_t try_push_failures_ = 0;
-  std::size_t max_depth_ = 0;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  const std::size_t capacity_;  ///< fixed at construction; lock-free reads OK
+  std::vector<T> buf_ IPG_GUARDED_BY(mu_);  ///< never resized; slots guarded
+  std::size_t head_ IPG_GUARDED_BY(mu_) = 0;  ///< index of the oldest element
+  std::size_t size_ IPG_GUARDED_BY(mu_) = 0;
+  bool closed_ IPG_GUARDED_BY(mu_) = false;
+  std::uint64_t pushes_ IPG_GUARDED_BY(mu_) = 0;
+  std::uint64_t pops_ IPG_GUARDED_BY(mu_) = 0;
+  std::uint64_t enqueue_waits_ IPG_GUARDED_BY(mu_) = 0;
+  std::uint64_t try_push_failures_ IPG_GUARDED_BY(mu_) = 0;
+  std::size_t max_depth_ IPG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ipg::route

@@ -11,6 +11,12 @@
 // The ring bounds in-flight work: when every worker is busy and the ring
 // is full, submit() blocks (backpressure) instead of queueing unboundedly.
 // bench/route_qps.cpp drives this loop for its p50/p99 latency rows.
+//
+// The service itself holds no locks: all shared mutable state lives inside
+// the RequestRing, whose members are IPG_GUARDED_BY its capability-annotated
+// mutex (util/sync.hpp), so Clang's -Wthread-safety proves the discipline at
+// compile time. Worker threads are joined in shutdown() — never detached
+// (the detached-thread lint forbids it tree-wide).
 
 #include <cstddef>
 #include <future>

@@ -21,6 +21,13 @@ struct Activation {
 };
 static_assert(sizeof(Activation) == 16);
 
+/// Framing pair for Activation messages. Named write_*/read_* so the
+/// framing-symmetry lint (tools/ipg_lint.py) checks the two sequences stay
+/// field-for-field mirrors.
+void write_activation(ByteWriter out, const Activation& a) { out.write(a); }
+
+Activation read_activation(ByteReader& in) { return in.read<Activation>(); }
+
 /// The shared superstep driver. `expand(ctx)` pushes ctx's frontier along
 /// its out-arcs: locally-owned targets OR straight into ctx.next, foreign
 /// targets become Activation messages (the backend-specific part).
@@ -76,7 +83,7 @@ DistanceSummary drive(std::uint64_t n, std::span<const SourceT> sources,
             ShardContext& c = ctx[chunk];
             ByteReader in(channel.inbox(c.shard));
             while (!in.empty()) {
-              const Activation a = in.read<Activation>();
+              const Activation a = read_activation(in);
               c.next[static_cast<std::size_t>(a.node - c.first)] |= a.lanes;
             }
             std::uint64_t new_count = 0;
@@ -141,7 +148,8 @@ DistanceSummary sharded_distance_summary(const Graph& g,
         if (t == c.shard) {
           c.next[static_cast<std::size_t>(v - c.first)] |= f;
         } else {
-          ByteWriter(channel.outbox(c.shard, t)).write(Activation{v, f});
+          write_activation(ByteWriter(channel.outbox(c.shard, t)),
+                           Activation{v, f});
         }
       }
     }
@@ -166,7 +174,8 @@ DistanceSummary sharded_distance_summary(
         if (t == c.shard) {
           c.next[static_cast<std::size_t>(a.to - c.first)] |= f;
         } else {
-          ByteWriter(channel.outbox(c.shard, t)).write(Activation{a.to, f});
+          write_activation(ByteWriter(channel.outbox(c.shard, t)),
+                           Activation{a.to, f});
         }
       }
     }

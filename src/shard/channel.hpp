@@ -15,6 +15,18 @@
 // above the Transport interface would change. Payloads are raw bytes with
 // memcpy-based typed framing (ByteWriter/ByteReader) so every message is
 // trivially serializable over a wire by construction.
+//
+// Framing discipline: each message kind gets a named write_<kind> /
+// read_<kind> function pair whose ByteWriter writes and ByteReader reads
+// mirror each other field for field. The framing-symmetry rule in
+// tools/ipg_lint.py pairs the functions by suffix and flags any skew
+// (a field written but never read, or read out of order, silently
+// corrupts every later field in the frame).
+//
+// ByteWriter/ByteReader hold no locks by design — the superstep writer
+// discipline above (one worker per outbox row, exchange() at the barrier)
+// is the whole synchronization story, checked by TSan rather than by the
+// capability annotations in util/sync.hpp.
 
 #include <cstdint>
 #include <cstring>

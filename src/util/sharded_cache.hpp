@@ -36,10 +36,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace ipg {
 
@@ -88,6 +89,10 @@ class ShardedCache {
       // tracks recent popularity instead of all history.
       sample_period_ = per_shard_cap_ * 10 < 32 ? 32 : per_shard_cap_ * 10;
       for (Shard& s : shards_) {
+        // No sharing yet (the cache is still being constructed), but the
+        // sketch is a guarded member: take the lock so the thread-safety
+        // analysis sees a uniform discipline.
+        LockGuard lock(s.mu);
         s.sketch.assign(kSketchRows * (slots / kCountersPerWord), 0);
       }
     }
@@ -110,7 +115,7 @@ class ShardedCache {
   bool get_or_compute(const Key& key, const Compute& compute, Value& out) {
     const std::uint64_t h = Hash{}(key);
     Shard& s = shards_[h & (static_cast<std::uint64_t>(opts_.shards) - 1)];
-    std::lock_guard<std::mutex> lock(s.mu);
+    LockGuard lock(s.mu);
     if (per_shard_cap_ > 0) {
       const auto it = s.map.find(key);
       if (it != s.map.end()) {
@@ -147,7 +152,7 @@ class ShardedCache {
   ShardedCacheStats stats() const {
     ShardedCacheStats total;
     for (const Shard& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
+      LockGuard lock(s.mu);
       total.hits += s.hits;
       total.misses += s.misses;
       total.evictions += s.evictions;
@@ -161,7 +166,7 @@ class ShardedCache {
   /// Drops every entry and sketch counter; counters are kept.
   void clear() {
     for (Shard& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
+      LockGuard lock(s.mu);
       s.map.clear();
       s.fifo.clear();
       for (std::uint64_t& w : s.sketch) w = 0;
@@ -172,11 +177,12 @@ class ShardedCache {
   /// Approximate heap bound implied by the configuration: resident
   /// entries + FIFO keys + sketch words. What the bounded-memory
   /// regression test asserts stays flat under adversarial streams.
-  std::uint64_t memory_bound_bytes() const noexcept {
+  std::uint64_t memory_bound_bytes() const {
     const std::uint64_t per_entry = sizeof(Key) + sizeof(Value) +
                                     sizeof(void*) * 4;  // map node overhead
     std::uint64_t sketch = 0;
     for (const Shard& s : shards_) {
+      LockGuard lock(s.mu);
       sketch += s.sketch.size() * sizeof(std::uint64_t);
     }
     return capacity() * (per_entry + sizeof(Key)) + sketch;
@@ -188,13 +194,19 @@ class ShardedCache {
   static constexpr std::uint32_t kCounterMax = 15;
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, Value, Hash> map;  // never iterated: lookups only
-    std::deque<Key> fifo;                      // insertion order, for eviction
-    std::vector<std::uint64_t> sketch;  // kSketchRows x slots 4-bit counters
-    std::uint64_t sketch_ops = 0;       // misses since the last halving
-    std::uint64_t hits = 0, misses = 0, evictions = 0;
-    std::uint64_t admitted = 0, rejected = 0;
+    mutable Mutex mu;
+    // Never iterated: lookups only.
+    std::unordered_map<Key, Value, Hash> map IPG_GUARDED_BY(mu);
+    // Insertion order, for eviction.
+    std::deque<Key> fifo IPG_GUARDED_BY(mu);
+    // kSketchRows x slots 4-bit counters.
+    std::vector<std::uint64_t> sketch IPG_GUARDED_BY(mu);
+    std::uint64_t sketch_ops IPG_GUARDED_BY(mu) = 0;  // misses since halving
+    std::uint64_t hits IPG_GUARDED_BY(mu) = 0;
+    std::uint64_t misses IPG_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions IPG_GUARDED_BY(mu) = 0;
+    std::uint64_t admitted IPG_GUARDED_BY(mu) = 0;
+    std::uint64_t rejected IPG_GUARDED_BY(mu) = 0;
   };
 
   /// Second hash round so shard-selection bits don't alias sketch bits;
@@ -209,14 +221,15 @@ class ShardedCache {
   }
 
   std::uint32_t sketch_read(const Shard& s, std::size_t row,
-                            std::size_t slot) const {
+                            std::size_t slot) const IPG_REQUIRES(s.mu) {
     const std::size_t word =
         row * (sketch_slots_ / kCountersPerWord) + slot / kCountersPerWord;
     const std::size_t shift = 4 * (slot % kCountersPerWord);
     return static_cast<std::uint32_t>((s.sketch[word] >> shift) & 0xF);
   }
 
-  void sketch_bump(Shard& s, std::size_t row, std::size_t slot) const {
+  void sketch_bump(Shard& s, std::size_t row, std::size_t slot) const
+      IPG_REQUIRES(s.mu) {
     const std::size_t word =
         row * (sketch_slots_ / kCountersPerWord) + slot / kCountersPerWord;
     const std::size_t shift = 4 * (slot % kCountersPerWord);
@@ -227,7 +240,8 @@ class ShardedCache {
   }
 
   /// Count-min estimate of `h`'s frequency (no mutation).
-  std::uint32_t sketch_estimate(const Shard& s, std::uint64_t h) const {
+  std::uint32_t sketch_estimate(const Shard& s, std::uint64_t h) const
+      IPG_REQUIRES(s.mu) {
     const auto [a, b] = sketch_hashes(h);
     std::uint32_t est = kCounterMax;
     for (std::size_t row = 0; row < kSketchRows; ++row) {
@@ -241,7 +255,8 @@ class ShardedCache {
   /// Records one touch of `h` (saturating per row) and returns the
   /// post-touch estimate. Every sample_period_ touches all counters halve,
   /// so the estimate tracks the recent stream — the TinyLFU aging rule.
-  std::uint32_t sketch_touch(Shard& s, std::uint64_t h) const {
+  std::uint32_t sketch_touch(Shard& s, std::uint64_t h) const
+      IPG_REQUIRES(s.mu) {
     const auto [a, b] = sketch_hashes(h);
     std::uint32_t est = kCounterMax;
     for (std::size_t row = 0; row < kSketchRows; ++row) {

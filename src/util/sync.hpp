@@ -1,0 +1,132 @@
+#pragma once
+// The concurrency capability layer: every mutex, condition variable and
+// lock in the tree goes through these wrappers so Clang's thread-safety
+// analysis (-Wthread-safety) can prove lock discipline at compile time —
+// the static counterpart of the TSan CI lane. docs/MODEL.md §15 describes
+// the conventions; tools/ipg_lint.py's `naked-sync` rule enforces that no
+// std::mutex / std::condition_variable / std:: lock RAII type is used
+// outside this header, and `manual-lock` that .lock()/.unlock() never
+// appear outside the RAII wrappers below.
+//
+// Annotation conventions:
+//   * every member written under a lock is declared `IPG_GUARDED_BY(mu_)`;
+//   * helpers that assume the lock is already held are `IPG_REQUIRES(mu)`;
+//   * public entry points that take the lock themselves may advertise
+//     `IPG_EXCLUDES(mu_)` so re-entry deadlocks are compile errors;
+//   * state protected by a protocol other than a mutex (e.g. the
+//     ThreadPool job slot, stable per generation) stays *unannotated* with
+//     a comment naming the protocol — never annotate what the analysis
+//     cannot check.
+//
+// CondVar deliberately has no predicate-taking wait: the analysis checks
+// lambda bodies as separate functions with no capabilities held, so a
+// `wait(lock, [&]{ return guarded_; })` call would warn on every guarded
+// read inside the predicate. Write the loop out instead —
+// `while (!cond) cv.wait(lock);` — which the analysis follows exactly.
+//
+// Off Clang the attribute macros expand to nothing, so GCC builds (and
+// cppcheck, clang-format, coverage) see plain std synchronization.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define IPG_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef IPG_TSA
+#define IPG_TSA(x)
+#endif
+
+#define IPG_CAPABILITY(x) IPG_TSA(capability(x))
+#define IPG_SCOPED_CAPABILITY IPG_TSA(scoped_lockable)
+#define IPG_GUARDED_BY(x) IPG_TSA(guarded_by(x))
+#define IPG_PT_GUARDED_BY(x) IPG_TSA(pt_guarded_by(x))
+#define IPG_ACQUIRED_BEFORE(...) IPG_TSA(acquired_before(__VA_ARGS__))
+#define IPG_ACQUIRED_AFTER(...) IPG_TSA(acquired_after(__VA_ARGS__))
+#define IPG_REQUIRES(...) IPG_TSA(requires_capability(__VA_ARGS__))
+#define IPG_ACQUIRE(...) IPG_TSA(acquire_capability(__VA_ARGS__))
+#define IPG_RELEASE(...) IPG_TSA(release_capability(__VA_ARGS__))
+#define IPG_TRY_ACQUIRE(...) IPG_TSA(try_acquire_capability(__VA_ARGS__))
+#define IPG_EXCLUDES(...) IPG_TSA(locks_excluded(__VA_ARGS__))
+#define IPG_RETURN_CAPABILITY(x) IPG_TSA(lock_returned(x))
+#define IPG_NO_THREAD_SAFETY_ANALYSIS IPG_TSA(no_thread_safety_analysis)
+
+namespace ipg {
+
+class CondVar;
+class UniqueLock;
+
+/// std::mutex with the `capability` attribute, so members can be declared
+/// IPG_GUARDED_BY it and lock-holding methods IPG_REQUIRES it.
+class IPG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IPG_ACQUIRE() { mu_.lock(); }
+  void unlock() IPG_RELEASE() { mu_.unlock(); }
+  bool try_lock() IPG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over an ipg::Mutex: acquires for exactly one scope.
+class IPG_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) IPG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() IPG_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over an ipg::Mutex: the lock handle CondVar::wait
+/// releases and reacquires. Relockable — lock()/unlock() move the scoped
+/// capability in and out of the held state, and the analysis tracks it.
+class IPG_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) IPG_ACQUIRE(mu) : inner_(mu.mu_) {}
+  ~UniqueLock() IPG_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() IPG_ACQUIRE() { inner_.lock(); }
+  void unlock() IPG_RELEASE() { inner_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> inner_;
+};
+
+/// std::condition_variable paired with UniqueLock. wait() returns with the
+/// lock reacquired, so from the analysis's point of view the capability is
+/// held continuously across the call — which is exactly the caller-visible
+/// contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks, reacquires before returning.
+  /// Spurious wakeups happen: always call inside a `while (!cond)` loop
+  /// (see the header comment for why there is no predicate overload).
+  void wait(UniqueLock& lock) { cv_.wait(lock.inner_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ipg

@@ -19,6 +19,13 @@ int auto_threads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+// The chunk-claim counter is a pure work-distribution ticket: each chunk
+// id is handed out exactly once by the RMW's atomicity alone, and the
+// done_cv_ barrier in parallel_for sequences every chunk's writes before
+// the caller resumes — no inter-thread ordering rides on the counter.
+// ipg-lint: allow(relaxed-order)
+constexpr std::memory_order kTicketOrder = std::memory_order_relaxed;
+
 }  // namespace
 
 int ExecPolicy::resolved_threads() const {
@@ -35,7 +42,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -56,8 +63,7 @@ void ThreadPool::run_chunks(int worker) {
   const std::uint64_t extra = n % num_chunks;
   std::exception_ptr error;
   for (;;) {
-    const std::uint64_t c =
-        job_.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t c = job_.next_chunk.fetch_add(1, kTicketOrder);
     if (c >= num_chunks) break;
     const std::uint64_t begin = c * base + (c < extra ? c : extra);
     const std::uint64_t end = begin + base + (c < extra ? 1 : 0);
@@ -70,7 +76,7 @@ void ThreadPool::run_chunks(int worker) {
     }
   }
   if (error) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (!first_error_) first_error_ = error;
   }
 }
@@ -79,10 +85,10 @@ void ThreadPool::worker_loop(int worker) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      UniqueLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        work_cv_.wait(lock);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       // A job can complete (all chunks claimed and finished by the other
@@ -94,7 +100,7 @@ void ThreadPool::worker_loop(int worker) {
     }
     run_chunks(worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       --active_workers_;
     }
     done_cv_.notify_one();
@@ -118,11 +124,13 @@ void ThreadPool::parallel_for(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     job_.n = n;
     job_.num_chunks = num_chunks;
     job_.body = &body;
-    job_.next_chunk.store(0, std::memory_order_relaxed);
+    // The reset is published by the mu_ release below; workers read the
+    // counter only after acquiring mu_ in worker_loop.
+    job_.next_chunk.store(0, kTicketOrder);
     first_error_ = nullptr;
     job_open_ = true;
     ++generation_;
@@ -134,8 +142,8 @@ void ThreadPool::parallel_for(
     // Wait until every woken worker has left run_chunks: afterwards all
     // chunk bodies have completed (happens-before via mu_) and the job slot
     // is free for the next call.
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    UniqueLock lock(mu_);
+    while (active_workers_ != 0) done_cv_.wait(lock);
     job_open_ = false;  // closed under the same lock hold as the last check
     error = first_error_;
     first_error_ = nullptr;

@@ -12,13 +12,13 @@
 // *when* a chunk runs, never what it computes or the merge order.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace ipg {
 
@@ -63,11 +63,12 @@ class ThreadPool {
   void parallel_for(
       std::uint64_t n, std::uint64_t num_chunks,
       const std::function<void(int worker, std::uint64_t chunk,
-                               std::uint64_t begin, std::uint64_t end)>& body);
+                               std::uint64_t begin, std::uint64_t end)>& body)
+      IPG_EXCLUDES(mu_);
 
  private:
-  void worker_loop(int worker);
-  void run_chunks(int worker);
+  void worker_loop(int worker) IPG_EXCLUDES(mu_);
+  void run_chunks(int worker) IPG_EXCLUDES(mu_);
 
   struct Job {
     std::uint64_t n = 0;
@@ -80,15 +81,20 @@ class ThreadPool {
   int threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a job / shutdown
-  std::condition_variable done_cv_;   // caller waits for workers to retire
+  Mutex mu_;
+  CondVar work_cv_;   // workers wait for a job / shutdown
+  CondVar done_cv_;   // caller waits for workers to retire
+  // Deliberately NOT guarded by mu_: the job slot is protected by the
+  // generation protocol, not the lock — fields are installed under mu_,
+  // then stay frozen until every participating worker has retired (the
+  // active_workers_ barrier), so run_chunks reads them lock-free. The
+  // thread-safety analysis cannot express that protocol; TSan checks it.
   Job job_;
-  std::uint64_t generation_ = 0;      // bumped per parallel_for call
-  int active_workers_ = 0;            // workers currently inside run_chunks
-  bool job_open_ = false;             // late wakers must not join a done job
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  std::uint64_t generation_ IPG_GUARDED_BY(mu_) = 0;  // bumped per parallel_for
+  int active_workers_ IPG_GUARDED_BY(mu_) = 0;   // workers inside run_chunks
+  bool job_open_ IPG_GUARDED_BY(mu_) = false;    // late wakers skip done jobs
+  bool shutdown_ IPG_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ IPG_GUARDED_BY(mu_);
 };
 
 /// Deterministic chunked reduction: splits [0, n) into `num_chunks`

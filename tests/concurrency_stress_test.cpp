@@ -1,0 +1,211 @@
+// Stress tests for the concurrency capability layer (docs/MODEL.md §15).
+// The sanitizer CI lanes run these under TSan and ASan: the annotations in
+// util/sync.hpp prove the lock discipline at compile time (clang
+// -Wthread-safety), and these tests drive the same paths hard enough at
+// runtime that a protocol-level mistake (not expressible as an annotation)
+// still surfaces as a TSan report or a broken invariant.
+//
+//   TransposeStress    8 threads race Graph::transpose()'s lazy first
+//                      build while others run BFS over the same graph;
+//                      copies snapshot mid-race; moves adopt the built
+//                      cache instead of discarding it (the latent issue
+//                      the annotation pass surfaced: the old move ctor
+//                      left the *source* holding a cache for adjacency
+//                      that had just moved away).
+//   RequestRingStress  4x4 MPMC over a tiny ring with push and try_push
+//                      mixed, asserting exactly-once delivery and the
+//                      RingStats teardown invariants (pushes == pops,
+//                      depth == 0, max_depth <= capacity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+#include "route/request_ring.hpp"
+#include "util/narrow.hpp"
+#include "util/prng.hpp"
+
+namespace ipg {
+namespace {
+
+Graph random_digraph(Node n, std::uint64_t arcs, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n);
+  for (std::uint64_t i = 0; i < arcs; ++i) {
+    b.add_arc(static_cast<Node>(rng.below(n)),
+              static_cast<Node>(rng.below(n)));
+  }
+  return std::move(b).build();
+}
+
+TEST(TransposeStress, EightThreadsRaceTheFirstBuildDuringBfs) {
+  const Graph g = random_digraph(256, 1024, 99);
+  const Graph ref = random_digraph(256, 1024, 99);  // identical, serial
+  const TransposeCsr& want = ref.transpose();
+
+  constexpr int kThreads = 8;
+  std::vector<const TransposeCsr*> seen(kThreads, nullptr);
+  std::vector<std::vector<Dist>> dist(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Rendezvous so all eight threads hit the cold cache together.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      // Half BFS first (concurrent readers of the forward CSR), half race
+      // the lazy transpose build first.
+      if (t % 2 == 0) dist[as_size(t)] = bfs_distances(g, static_cast<Node>(t));
+      seen[as_size(t)] = &g.transpose();
+      if (t % 2 == 1) dist[as_size(t)] = bfs_distances(g, static_cast<Node>(t));
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // One thread built, everyone shares the same immutable CSR.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seen[as_size(t)], &g.transpose()) << t;
+  }
+  EXPECT_EQ(g.transpose().offsets, want.offsets);
+  EXPECT_EQ(g.transpose().targets, want.targets);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(dist[as_size(t)], bfs_distances(ref, static_cast<Node>(t))) << t;
+  }
+}
+
+TEST(TransposeStress, CopiesSnapshotWhileOtherThreadsTransposed) {
+  const Graph g = random_digraph(128, 512, 7);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 8;
+  std::atomic<std::uint64_t> arcs_seen{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        if (t % 2 == 0) {
+          Graph copy = g;  // copies start cold and build their own cache
+          arcs_seen.fetch_add(copy.transpose().targets.size());
+        } else {
+          arcs_seen.fetch_add(
+              g.transpose().in_degree(static_cast<Node>(t)));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const std::uint64_t copier_arcs =
+      (kThreads / 2) * static_cast<std::uint64_t>(kRounds) * g.num_arcs();
+  EXPECT_GE(arcs_seen.load(), copier_arcs);
+}
+
+TEST(TransposeStress, MoveAdoptsTheBuiltCacheInsteadOfDiscardingIt) {
+  Graph g = random_digraph(64, 256, 5);
+  const std::uint64_t arcs = g.num_arcs();
+  const TransposeCsr* built = &g.transpose();
+
+  Graph moved = std::move(g);
+  EXPECT_EQ(&moved.transpose(), built);  // same O(n+m) build, carried over
+  EXPECT_EQ(moved.transpose().targets.size(), arcs);
+
+  Graph target = random_digraph(32, 64, 6);
+  (void)target.transpose();  // stale-to-be cache must be dropped
+  target = std::move(moved);
+  EXPECT_EQ(&target.transpose(), built);  // adopted through assignment too
+  EXPECT_EQ(target.transpose().targets.size(), arcs);
+}
+
+TEST(RequestRingStress, MixedPushTryPushMpmcKeepsTheLedgerExact) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 2000;
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  constexpr std::size_t kCapacity = 4;  // tiny: backpressure on every side
+  route::RequestRing<std::uint64_t> ring(kCapacity);
+
+  // One slot per item: exactly-once delivery means every slot ends at 1.
+  std::vector<std::atomic<std::uint32_t>> delivered(kTotal);
+  std::atomic<std::uint64_t> rejected_retries{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&ring, &delivered] {
+      std::uint64_t v = 0;
+      while (ring.pop(v)) delivered[as_size(v)].fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ring, &rejected_retries, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item =
+            static_cast<std::uint64_t>(p) * kPerProducer + i;
+        if (i % 2 == 0) {
+          ASSERT_TRUE(ring.push(item));
+        } else {
+          // try_push spins: every rejection is counted by the ring, so the
+          // ledger below still balances.
+          while (!ring.try_push(item)) {
+            rejected_retries.fetch_add(1);
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (int t = kConsumers; t < kProducers + kConsumers; ++t) {
+    threads[as_size(t)].join();  // producers first
+  }
+  ring.close();  // consumers drain the tail, then pop() returns false
+  for (int t = 0; t < kConsumers; ++t) threads[as_size(t)].join();
+
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(delivered[as_size(i)].load(), 1u) << "item " << i;
+  }
+  const route::RingStats s = ring.stats();
+  EXPECT_EQ(s.pushes, kTotal);
+  EXPECT_EQ(s.pops, kTotal);
+  EXPECT_EQ(s.depth, 0u);  // drained at teardown
+  EXPECT_LE(s.max_depth, kCapacity);
+  EXPECT_GE(s.max_depth, 1u);
+  EXPECT_EQ(s.try_push_failures, rejected_retries.load());
+}
+
+TEST(RequestRingStress, StatsSnapshotsAreConsistentMidFlight) {
+  constexpr std::uint64_t kItems = 4000;
+  route::RequestRing<std::uint64_t> ring(8);
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kItems; ++i) ASSERT_TRUE(ring.push(i));
+    ring.close();
+  });
+  std::thread consumer([&ring] {
+    std::uint64_t v = 0;
+    while (ring.pop(v)) {
+    }
+  });
+  // Snapshot under fire: every snapshot must satisfy the ring invariants
+  // even while both sides are mid-operation.
+  for (int probe = 0; probe < 1000; ++probe) {
+    const route::RingStats s = ring.stats();
+    EXPECT_GE(s.pushes, s.pops);
+    EXPECT_EQ(s.depth, s.pushes - s.pops);
+    EXPECT_LE(s.depth, ring.capacity());
+    EXPECT_LE(s.max_depth, ring.capacity());
+    EXPECT_GE(s.max_depth, s.depth);
+  }
+  producer.join();
+  consumer.join();
+  const route::RingStats s = ring.stats();
+  EXPECT_EQ(s.pushes, kItems);
+  EXPECT_EQ(s.pops, kItems);
+  EXPECT_EQ(s.depth, 0u);
+}
+
+}  // namespace
+}  // namespace ipg

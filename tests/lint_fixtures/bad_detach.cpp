@@ -1,0 +1,7 @@
+// Fixture: a detached thread must fire detached-thread (line 6).
+#include <thread>
+
+void fire_and_forget(int* counter) {
+  std::thread worker([counter] { ++*counter; });
+  worker.detach();
+}

@@ -1,0 +1,20 @@
+// Fixture: read_sample drops the writer's last field, so framing-symmetry
+// fires at the reader's definition (line 17).
+#include "shard/channel.hpp"
+
+struct Sample {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+};
+
+void write_sample(ipg::shard::ByteWriter w, const Sample& s) {
+  w.write(s.a);
+  w.write(s.b);
+  w.write(s.c);
+}
+
+void read_sample(ipg::shard::ByteReader& r, Sample& s) {
+  s.a = r.read<int>();
+  s.b = r.read<int>();
+}

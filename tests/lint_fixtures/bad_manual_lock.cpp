@@ -1,0 +1,11 @@
+// Fixture: manual .lock()/.unlock() outside util/sync.hpp must fire
+// manual-lock (lines 7 and 9); RAII guards are the only sanctioned form.
+#include "util/sync.hpp"
+
+int manual_critical_section(ipg::Mutex& mu, int value) {
+  // A throw between these two calls would leak the capability.
+  mu.lock();
+  const int copy = value;
+  mu.unlock();
+  return copy;
+}

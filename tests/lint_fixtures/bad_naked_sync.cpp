@@ -1,0 +1,13 @@
+// Fixture: std sync primitives outside util/sync.hpp must fire naked-sync
+// once per offending line (6, 7, and 11).
+#include <condition_variable>
+#include <mutex>
+
+std::mutex fixture_mu;
+std::condition_variable fixture_cv;
+
+int locked_read(int value) {
+  // Two offending tokens on one line still produce a single diagnostic.
+  std::lock_guard<std::mutex> lock(fixture_mu);
+  return value;
+}

@@ -1,0 +1,14 @@
+// Fixture: memory_order_relaxed without an adjacent justification fires
+// relaxed-order (line 8); the annotated load below is suppressed.
+#include <atomic>
+
+std::atomic<int> fixture_counter{0};
+
+int unjustified_bump() {
+  return fixture_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+int justified_read() {
+  // Monotonic stat, no ordering rides on it. ipg-lint: allow(relaxed-order)
+  return fixture_counter.load(std::memory_order_relaxed);
+}

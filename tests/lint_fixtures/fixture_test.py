@@ -25,6 +25,13 @@ EXPECTED = {
                           (8, "naked-new")],
     "bad_pragma.hpp": [(2, "pragma-once")],
     "bad_using_namespace.hpp": [(6, "using-namespace")],
+    "bad_naked_sync.cpp": [(6, "naked-sync"), (7, "naked-sync"),
+                           (11, "naked-sync")],
+    "bad_manual_lock.cpp": [(7, "manual-lock"), (9, "manual-lock")],
+    "bad_detach.cpp": [(6, "detached-thread")],
+    "bad_relaxed.cpp": [(8, "relaxed-order")],
+    "bad_framing.cpp": [(17, "framing-symmetry")],
+    "framing_ok.cpp": [],
     "sorted_drain.cpp": [],
     "allowed.cpp": [],
 }

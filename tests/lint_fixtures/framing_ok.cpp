@@ -1,0 +1,20 @@
+// Fixture: a mirrored write/read pair (including the span ops) must stay
+// silent under framing-symmetry.
+#include <span>
+
+#include "shard/channel.hpp"
+
+struct Block {
+  unsigned len = 0;
+  int vals[4] = {0, 0, 0, 0};
+};
+
+void write_block(ipg::shard::ByteWriter w, const Block& b) {
+  w.write(b.len);
+  w.write_span(std::span<const int>(b.vals, b.len));
+}
+
+void read_block(ipg::shard::ByteReader& r, Block& b) {
+  b.len = r.read<unsigned>();
+  r.read_into(b.vals, b.len);
+}

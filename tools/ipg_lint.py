@@ -25,6 +25,30 @@ those rules directly:
   using-namespace      headers must not contain using-namespace directives
                        (namespace scope pollution leaks into every includer).
 
+Lock-discipline rules (the concurrency capability layer, docs/MODEL.md §15):
+
+  naked-sync           std::mutex / condition_variable / lock_guard /
+                       unique_lock / scoped_lock etc. are forbidden outside
+                       src/util/sync.hpp — all locking goes through the
+                       capability-annotated ipg::Mutex wrappers so Clang's
+                       -Wthread-safety analysis sees every site.
+  manual-lock          explicit .lock()/.unlock() calls outside
+                       src/util/sync.hpp — RAII guards only (ipg::LockGuard,
+                       ipg::UniqueLock); a missed unlock on an early return
+                       is exactly the bug the wrappers exist to prevent.
+  detached-thread      .detach() on a thread is forbidden: a detached thread
+                       outlives the state it touches and makes shutdown
+                       nondeterministic. Every thread is joined.
+  relaxed-order        memory_order_relaxed without an adjacent
+                       `// ipg-lint: allow(relaxed-order)` justification
+                       arguing that no inter-thread ordering rides on the
+                       access.
+  framing-symmetry     every write_<msg>(ByteWriter...) serializer must be
+                       mirrored by a read_<msg>(ByteReader...) whose ordered
+                       framing ops match field for field (write <-> read,
+                       write_span <-> read_into); a skewed pair silently
+                       corrupts every later field in the frame.
+
 Suppressions: `// ipg-lint: allow(<rule>)` on the offending line or the line
 directly above suppresses one site; `// ipg-lint: allow-file(<rule>)`
 anywhere in a file suppresses the rule for that whole file.
@@ -67,6 +91,22 @@ UNORDERED_DECL_RE = re.compile(
     r"(\w+)\s*[;,({=)]"
 )
 SORT_RE = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
+NAKED_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+MANUAL_LOCK_RE = re.compile(r"\.\s*(?:lock|unlock)\s*\(\s*\)")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+# The one file allowed to name std primitives / call .lock(): the wrappers.
+SYNC_WRAPPER_FILE = "src/util/sync.hpp"
+
+FRAME_DEF_RE = re.compile(r"\b(write|read)_(\w+)\s*\(")
+FRAME_WRITE_OP_RE = re.compile(r"\.\s*(write_span|write)\s*(?:<[^<>]*>)?\s*\(")
+FRAME_READ_OP_RE = re.compile(r"\.\s*(read_into|read)\s*(?:<[^<>]*>)?\s*\(")
+# write op -> the read op that must mirror it.
+FRAME_MIRROR = {"write": "read", "write_span": "read_into"}
 
 # How many lines after an unordered-container loop a std::sort of the
 # drained values still counts as a "sorted drain".
@@ -176,6 +216,8 @@ class FileLint:
         self.check_wall_clock()
         self.check_naked_new()
         self.check_unordered_iteration()
+        self.check_lock_discipline()
+        self.check_framing_symmetry()
         if self.path.suffix == ".hpp":
             self.check_pragma_once()
             self.check_using_namespace()
@@ -229,6 +271,103 @@ class FileLint:
                 f"iteration over unordered container '{name}' is "
                 "order-nondeterministic; drain into a sorted container or "
                 "annotate why order cannot affect results")
+
+    def check_lock_discipline(self) -> None:
+        is_wrapper = self.rel == SYNC_WRAPPER_FILE
+        for lineno, line in enumerate(self.code_lines, 1):
+            if not is_wrapper and NAKED_SYNC_RE.search(line):
+                self.report(
+                    "naked-sync", lineno,
+                    "std sync primitive outside util/sync.hpp; use the "
+                    "capability-annotated ipg::Mutex / ipg::CondVar / "
+                    "ipg::LockGuard / ipg::UniqueLock wrappers so Clang's "
+                    "thread-safety analysis sees this site")
+            if not is_wrapper and MANUAL_LOCK_RE.search(line):
+                self.report(
+                    "manual-lock", lineno,
+                    "manual .lock()/.unlock() outside util/sync.hpp; hold "
+                    "locks through RAII guards (LockGuard / UniqueLock) so "
+                    "no path can leak or double-release the capability")
+            if DETACH_RE.search(line):
+                self.report(
+                    "detached-thread", lineno,
+                    "detached thread outlives the state it touches and "
+                    "makes shutdown nondeterministic; join every thread")
+            if RELAXED_RE.search(line):
+                self.report(
+                    "relaxed-order", lineno,
+                    "memory_order_relaxed needs an adjacent "
+                    "`ipg-lint: allow(relaxed-order)` comment arguing that "
+                    "no inter-thread ordering rides on this access")
+
+    def frame_defs(self) -> dict[str, dict[str, tuple[int, list[str]]]]:
+        """Locates write_<name>/read_<name> *definitions* whose parameter
+        list mentions ByteWriter/ByteReader and extracts each body's ordered
+        framing-op sequence. Call sites (token after the balanced parameter
+        list is not '{') are skipped."""
+        text = "\n".join(self.code_lines)
+        line_of = []  # char offset -> 1-based line
+        lineno = 1
+        for ch in text:
+            line_of.append(lineno)
+            if ch == "\n":
+                lineno += 1
+        pairs: dict[str, dict[str, tuple[int, list[str]]]] = {}
+        for m in FRAME_DEF_RE.finditer(text):
+            kind, name = m.group(1), m.group(2)
+            # Balance the parameter list starting at its '('.
+            i = m.end() - 1
+            depth = 0
+            while i < len(text):
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            if i >= len(text):
+                continue
+            params = text[m.end():i]
+            if ("ByteWriter" if kind == "write" else "ByteReader") not in params:
+                continue
+            j = i + 1
+            while j < len(text) and text[j] in " \t\n":
+                j += 1
+            if j >= len(text) or text[j] != "{":
+                continue  # declaration or call site, not a definition
+            # Balance the body braces to slice it out.
+            depth = 0
+            k = j
+            while k < len(text):
+                if text[k] == "{":
+                    depth += 1
+                elif text[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            body = text[j:k + 1]
+            op_re = FRAME_WRITE_OP_RE if kind == "write" else FRAME_READ_OP_RE
+            ops = [om.group(1) for om in op_re.finditer(body)]
+            pairs.setdefault(name, {}).setdefault(
+                kind, (line_of[m.start()], ops))
+        return pairs
+
+    def check_framing_symmetry(self) -> None:
+        for name, defs in sorted(self.frame_defs().items()):
+            if "write" not in defs or "read" not in defs:
+                continue
+            wline, wops = defs["write"]
+            rline, rops = defs["read"]
+            mirrored = [FRAME_MIRROR[op] for op in wops]
+            if rops != mirrored:
+                self.report(
+                    "framing-symmetry", rline,
+                    f"read_{name} drains [{', '.join(rops)}] but "
+                    f"write_{name} (line {wline}) frames "
+                    f"[{', '.join(wops)}]; the sequences must mirror "
+                    "field for field (write<->read, write_span<->read_into)")
 
     def check_pragma_once(self) -> None:
         for lineno, line in enumerate(self.code_lines, 1):
